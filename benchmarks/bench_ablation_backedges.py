@@ -1,0 +1,76 @@
+"""Ablation — indegree-scaled back edges vs uniform back edges.
+
+Sec. 2.1 argues that treating links as undirected breaks proximity
+because of hubs ("a department with a large number of faculty and
+students would act as a hub") and fixes it by weighting back edges by
+indegree.  This ablation runs the planted university query — two
+students who share both a large department and a tiny course — under
+both policies.  The measured effect is stark:
+
+* with the paper's indegree scaling, the only surviving answer is the
+  shared-course connection (even department-rooted candidates route
+  their shortest paths through the course and dedup into it);
+* with uniform back edges the department hub connects the pair in a
+  2-edge tree that *displaces* the meaningful course answer entirely.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import BANKS
+from repro.eval.baselines import uniform_backedge_policy
+
+
+def _top_answer(banks):
+    answers = banks.search("alice bob", max_results=10, output_heap_size=200)
+    assert answers, "hub query returned nothing"
+    return answers[0]
+
+
+def test_indegree_backedges_prefer_shared_course(benchmark, university):
+    database, anecdotes = university
+    banks = BANKS(database)
+    top = benchmark.pedantic(
+        _top_answer, args=(banks,), rounds=1, iterations=1
+    )
+    print(
+        f"\n[indegree-scaled] weight={top.tree.weight:.1f} "
+        f"course_in_tree={anecdotes.shared_course in top.tree.nodes}"
+    )
+    assert anecdotes.shared_course in top.tree.nodes
+    assert anecdotes.big_department not in top.tree.nodes
+
+
+def test_uniform_backedges_let_the_hub_win(benchmark, university):
+    database, anecdotes = university
+    banks = BANKS(database, weight_policy=uniform_backedge_policy())
+    top = benchmark.pedantic(
+        _top_answer, args=(banks,), rounds=1, iterations=1
+    )
+    print(
+        f"\n[uniform] weight={top.tree.weight:.1f} "
+        f"dept_in_tree={anecdotes.big_department in top.tree.nodes}"
+    )
+    # The hub now *is* the best connection: the paper's failure mode.
+    assert anecdotes.big_department in top.tree.nodes
+    assert anecdotes.shared_course not in top.tree.nodes
+
+
+def test_hub_distance_collapses_without_scaling(university):
+    """Quantify the effect: under uniform weights the hub tree weighs
+    less than the course tree; indegree scaling inflates the hub path by
+    the department's fan-in (>100x)."""
+    database, anecdotes = university
+    scaled_top = _top_answer(BANKS(database))
+    uniform_top = _top_answer(
+        BANKS(database, weight_policy=uniform_backedge_policy())
+    )
+    hub_fan_in = database.indegree(anecdotes.big_department)
+    print(
+        f"\nscaled top weight={scaled_top.tree.weight:.1f} "
+        f"uniform top weight={uniform_top.tree.weight:.1f} "
+        f"hub fan-in={hub_fan_in}"
+    )
+    assert uniform_top.tree.weight < scaled_top.tree.weight
+    assert hub_fan_in > 100

@@ -1,0 +1,54 @@
+"""Ablation — output-heap size vs ordering quality (Sec. 3 heuristic).
+
+"To avoid these overheads, as a heuristic, we maintain a small
+fixed-size heap of generated connection trees. ... While this heuristic
+does not guarantee that the trees are generated in decreasing order, we
+have found it works well even with a reasonably small heap size."
+
+This bench quantifies that trade-off: for the junk-rich query
+("seltzer sunita") it compares the emission order at several heap sizes
+against the exact relevance order (huge heap), reporting precision@10
+(how many of the true top-10 made it into the emitted top-10).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.search import SearchConfig, backward_expanding_search
+
+HEAP_SIZES = [10, 20, 50, 100, 400]
+
+
+def _top10_keys(banks, heap_size):
+    sets_ = banks.resolve("seltzer sunita")
+    config = SearchConfig(
+        max_results=10,
+        output_heap_size=heap_size,
+        excluded_root_tables=banks.search_config.excluded_root_tables,
+    )
+    answers = list(
+        backward_expanding_search(banks.graph, sets_, banks.scorer, config)
+    )
+    return [answer.tree.undirected_key() for answer in answers]
+
+
+@pytest.mark.parametrize("heap_size", HEAP_SIZES)
+def test_heap_size_vs_ordering_quality(benchmark, biblio_banks, heap_size):
+    exact = set(_top10_keys(biblio_banks, 100_000))
+    emitted = benchmark(_top10_keys, biblio_banks, heap_size)
+    precision = len(set(emitted) & exact) / max(1, len(exact))
+    print(f"\nheap={heap_size}: precision@10={precision:.2f}")
+    # Monotone sanity: the generous heap reproduces the exact ordering.
+    if heap_size >= 400:
+        assert precision == 1.0
+
+
+def test_larger_heaps_never_hurt(biblio_banks):
+    exact = set(_top10_keys(biblio_banks, 100_000))
+    precisions = []
+    for heap_size in HEAP_SIZES:
+        emitted = _top10_keys(biblio_banks, heap_size)
+        precisions.append(len(set(emitted) & exact) / max(1, len(exact)))
+    print(f"\nprecisions across {HEAP_SIZES}: {precisions}")
+    assert precisions[-1] >= precisions[0]

@@ -1,0 +1,44 @@
+"""Ablation — Eq. 1 merge rule: minimum vs parallel resistance.
+
+When both directions of a tuple pair carry edges, the paper takes the
+minimum of the two candidate weights but notes "other choices are
+possible.  For instance, if one were to view the two weights as
+resistances in an electrical network, one may use the equivalent
+parallel resistance."  This ablation reruns the Figure 5 workload under
+both merge rules at the best scoring setting and reports the error —
+showing the choice is not load-bearing on this workload (the parallel
+rule only lowers weights where candidates collide).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import BANKS
+from repro.core.scoring import ScoringConfig
+from repro.eval.baselines import parallel_resistance_policy
+from repro.eval.error_score import scale_errors
+from repro.eval.sweep import run_workload
+from repro.eval.workload import bibliography_workload
+
+
+@pytest.mark.parametrize("merge_rule", ["min", "parallel"])
+def test_merge_rule_error(benchmark, bibliography, merge_rule):
+    database, anecdotes = bibliography
+    policy = (
+        parallel_resistance_policy() if merge_rule == "parallel" else None
+    )
+    banks = BANKS(database, weight_policy=policy)
+    workload = bibliography_workload(anecdotes)
+    total_ideals = sum(len(q.ideal_keys) for q in workload)
+
+    def run():
+        raw, _ = run_workload(
+            banks, workload, ScoringConfig(lambda_weight=0.2, edge_log=True)
+        )
+        return raw
+
+    raw = benchmark.pedantic(run, rounds=1, iterations=1)
+    scaled = scale_errors(raw, total_ideals)
+    print(f"\n[merge={merge_rule}] scaled error = {scaled:.1f}")
+    assert scaled <= 10.0

@@ -1,0 +1,134 @@
+"""Section 5.1 anecdotes — every stated ranking must reproduce.
+
+One benchmark per anecdote; each asserts the paper's stated winner and
+measures the query's latency on the way.
+
+Paper statements covered:
+
+* "For the query 'Mohan' ... C. Mohan came out at the top of the
+  ranking, with Mohan Ahuja and Mohan Kamat following."
+* "The query 'transaction' returned Jim Gray's classic paper and the
+  book by Gray and Reuter as the top two answers."
+* "the query 'computer engineering' returned the Computer Science and
+  Engineering department with a higher relevance than a number of
+  thesis [sic] that had these two words in their title."
+* "The query 'sudarshan aditya' returned a thesis written by Aditya
+  whose advisor is Sudarshan."
+* "the query 'soumen sunita' returned the answer shown in Figure 2."
+* "The query 'seltzer sunita' returned Stonebraker as the root ...
+  Without log scaling on edges, this answer got a lower rank."
+* (Sec. 2.1 TPCD example) "if a query matches two parts the one with
+  more orders would get a higher prestige."
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import BANKS, ScoringConfig
+from repro.core.search import SearchConfig
+
+
+def test_mohan_prestige(benchmark, biblio_banks, bibliography):
+    _db, anecdotes = bibliography
+    answers = benchmark(biblio_banks.search, "mohan", max_results=5)
+    roots = [answer.tree.root for answer in answers]
+    assert roots[0] == anecdotes.c_mohan
+    assert roots[1] == anecdotes.mohan_ahuja
+    assert roots[2] == anecdotes.mohan_kamat
+
+
+def test_transaction_citation_prestige(benchmark, biblio_banks, bibliography):
+    _db, anecdotes = bibliography
+    answers = benchmark(biblio_banks.search, "transaction", max_results=5)
+    roots = [answer.tree.root for answer in answers]
+    assert roots[0] == anecdotes.transaction_classic
+    assert roots[1] == anecdotes.transaction_book
+
+
+def test_soumen_sunita_figure2(benchmark, biblio_banks, bibliography):
+    """The Fig. 2 tree: paper root, writes intermediates, author leaves."""
+    _db, anecdotes = bibliography
+    answers = benchmark(biblio_banks.search, "soumen sunita", max_results=10)
+    top_roots = [answer.tree.root for answer in answers[:2]]
+    assert anecdotes.chakrabarti_sd98 in top_roots
+    assert anecdotes.soumen_sunita_second_paper in top_roots
+    # The Fig. 2 answer is a 5-node tree covering both author leaves.
+    figure2 = next(
+        a for a in answers if a.tree.root == anecdotes.chakrabarti_sd98
+    )
+    assert figure2.tree.size() == 5
+    assert anecdotes.soumen in figure2.tree.nodes
+    assert anecdotes.sunita in figure2.tree.nodes
+
+
+def test_seltzer_sunita_stonebraker_root(benchmark, biblio_banks, bibliography):
+    _db, anecdotes = bibliography
+    answers = benchmark(
+        biblio_banks.search,
+        "seltzer sunita",
+        max_results=10,
+        output_heap_size=400,
+    )
+    assert answers[0].tree.root == anecdotes.stonebraker
+    assert anecdotes.seltzer in answers[0].tree.nodes
+    assert anecdotes.sunita in answers[0].tree.nodes
+
+
+def test_seltzer_sunita_needs_edge_log(biblio_banks, bibliography):
+    """Without log scaling the Stonebraker answer ranks lower (its
+    author->writes back edge is very heavy)."""
+    _db, anecdotes = bibliography
+
+    def rank_of_stonebraker(edge_log: bool) -> int:
+        answers = biblio_banks.search(
+            "seltzer sunita",
+            max_results=10,
+            scoring=ScoringConfig(lambda_weight=0.2, edge_log=edge_log),
+            output_heap_size=400,
+        )
+        for answer in answers:
+            if answer.tree.root == anecdotes.stonebraker:
+                return answer.rank
+        return len(answers)
+
+    with_log = rank_of_stonebraker(True)
+    without_log = rank_of_stonebraker(False)
+    assert with_log == 0
+    assert without_log > with_log
+
+
+def test_computer_engineering_department(benchmark, thesis_banks, thesis):
+    _db, anecdotes = thesis
+    answers = benchmark(
+        thesis_banks.search, "computer engineering", max_results=10
+    )
+    assert answers[0].tree.root == anecdotes.cse_department
+    # The title-matching theses are present but ranked below.
+    other_roots = {answer.tree.root for answer in answers[1:]}
+    assert other_roots & set(anecdotes.computer_engineering_theses)
+
+
+def test_sudarshan_aditya_thesis(benchmark, thesis_banks, thesis):
+    _db, anecdotes = thesis
+    answers = benchmark(
+        thesis_banks.search, "sudarshan aditya", max_results=5
+    )
+    # The answer is Aditya's thesis advised by Sudarshan; the root may
+    # be the thesis or the student (duplicate-modulo-direction trees
+    # keep whichever rooting scores higher, Sec. 3).
+    top = answers[0].tree
+    assert anecdotes.aditya_thesis in top.nodes
+    assert anecdotes.sudarshan in top.nodes
+    assert anecdotes.aditya in top.nodes
+    assert top.root in (anecdotes.aditya_thesis, anecdotes.aditya)
+
+
+def test_tpcd_part_prestige(benchmark, tpcd):
+    """Sec. 2.1: the part with more orders gets higher prestige."""
+    database, anecdotes = tpcd
+    banks = BANKS(database)
+    answers = benchmark(banks.search, "steel", max_results=5)
+    roots = [answer.tree.root for answer in answers]
+    assert roots[0] == anecdotes.popular_steel_part
+    assert anecdotes.unpopular_steel_part in roots[1:]

@@ -1,0 +1,88 @@
+"""Related-system shootout — BANKS vs the Sec. 6 comparators.
+
+The paper's Sec. 6 argues qualitatively against DataSpot (no prestige,
+no hub penalty), Goldman et al.'s proximity search (single tuples from
+one relation, no weighting) and Mragyati (join paths capped at length
+two, indegree-only ranking).  With all three implemented as runnable
+systems (``repro.baselines``), this benchmark makes those arguments
+quantitative on the 7-query evaluation workload:
+
+* BANKS must achieve the lowest scaled error and find every ideal;
+* Mragyati must fail exactly the queries whose ideal answers need join
+  paths longer than two (the co-authorship trees);
+* Goldman must miss every tree-shaped ideal (it returns bare tuples);
+* DataSpot must trail BANKS on prestige-driven queries while still
+  finding most connection trees (it has the tree model, not the
+  weights).
+
+Run with::
+
+    pytest benchmarks/bench_baselines.py --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import compare_systems
+from repro.baselines.compare import format_comparison
+
+
+@pytest.fixture(scope="module")
+def reports(bibliography, biblio_banks, biblio_workload):
+    database, _anecdotes = bibliography
+    return compare_systems(database, biblio_workload, banks=biblio_banks)
+
+
+def test_system_shootout(benchmark, bibliography, biblio_banks, biblio_workload):
+    database, _anecdotes = bibliography
+    reports = benchmark.pedantic(
+        compare_systems,
+        args=(database, biblio_workload),
+        kwargs={"banks": biblio_banks},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_comparison(reports))
+
+    by_name = {report.system: report for report in reports}
+    banks = by_name["BANKS"]
+
+    # BANKS wins outright: lowest error, every ideal found.
+    for name, report in by_name.items():
+        assert banks.scaled_error <= report.scaled_error, name
+    assert banks.ideals_found == banks.total_ideals
+
+    # Every baseline is strictly worse (the missing ingredient bites).
+    for name in ("DataSpot", "Goldman", "Mragyati"):
+        assert by_name[name].scaled_error > banks.scaled_error, name
+
+
+def test_mragyati_path_length_limitation(reports):
+    """Sec. 6: "Their implementation does not handle paths of length
+    greater than two" — the co-authorship ideals need length 4."""
+    mragyati = next(r for r in reports if r.system == "Mragyati")
+    assert mragyati.per_query_error["q1-coauthors"] > 0
+    assert mragyati.per_query_error["q2-common-coauthor"] > 0
+    # Queries answerable within two hops still work.
+    assert mragyati.per_query_error["q4-title-only"] == 0
+    assert mragyati.per_query_error["q5-author-only"] == 0
+
+
+def test_goldman_single_tuple_limitation(reports):
+    """Sec. 6: results restricted to single tuples — tree ideals are
+    unreachable, single-node ideals are fine."""
+    goldman = next(r for r in reports if r.system == "Goldman")
+    assert goldman.per_query_error["q1-coauthors"] > 0
+    assert goldman.per_query_error["q4-title-only"] == 0
+
+
+def test_dataspot_prestige_limitation(reports):
+    """DataSpot finds the trees (same answer model) but has no prestige:
+    the prestige-driven single-keyword queries misrank."""
+    dataspot = next(r for r in reports if r.system == "DataSpot")
+    prestige_queries = ("q4-title-only", "q5-author-only")
+    assert any(dataspot.per_query_error[q] > 0 for q in prestige_queries)
+    # The pure-proximity co-authorship query still succeeds.
+    assert dataspot.per_query_error["q2-common-coauthor"] == 0

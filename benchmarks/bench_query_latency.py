@@ -1,0 +1,42 @@
+"""Section 5.2 — query latency.
+
+The paper: "Once the database graph is loaded, queries take about a
+second to a few seconds for most queries on the bibliographic
+database."  This bench times each of the 7 evaluation queries on the
+prebuilt BANKS instance (the same separation the paper makes: load
+once, query many times).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+QUERIES = [
+    ("q1-coauthors", "soumen sunita"),
+    ("q2-common-coauthor", "seltzer sunita"),
+    ("q3-author-title", "gray transaction"),
+    ("q4-title-only", "transaction"),
+    ("q5-author-only", "mohan"),
+    ("q6-author-title-word", "sunita temporal"),
+    ("q7-metadata", "author sudarshan"),
+]
+
+
+@pytest.mark.parametrize(("query_id", "text"), QUERIES)
+def test_query_latency(benchmark, biblio_banks, query_id, text):
+    answers = benchmark(
+        biblio_banks.search, text, max_results=10, output_heap_size=400
+    )
+    assert answers, f"{query_id} returned no answers"
+
+
+def test_metadata_query_is_the_slow_case(biblio_banks):
+    """Sec. 7: "Query evaluation with keywords matching metadata can be
+    relatively slow, since a large number of tuples may be defined to be
+    relevant to the keyword."  Confirm the metadata query fans out to
+    far more keyword nodes than the selective ones."""
+    meta_sets = biblio_banks.resolve("author sudarshan")
+    plain_sets = biblio_banks.resolve("soumen sunita")
+    assert max(len(s) for s in meta_sets) > 20 * max(
+        len(s) for s in plain_sets
+    )

@@ -1,0 +1,125 @@
+"""Scaling behaviour: query latency vs dataset size and keyword count.
+
+Sec. 5.2 reports "queries take about a second to a few seconds for most
+queries" on the 100K-node graph and Sec. 7 notes that queries matching
+many nodes are the slow ones.  This bench charts both axes on generated
+bibliographies:
+
+* latency vs graph size at fixed query (the paper's implicit claim:
+  growth is moderate because backward expansion touches a
+  neighbourhood, not the whole graph);
+* latency vs number of keywords at fixed size (each keyword adds
+  concurrent Dijkstra iterators and larger cross products).
+
+Run with::
+
+    pytest benchmarks/bench_scaling.py --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro import BANKS
+from repro.datasets import generate_bibliography
+
+#: (label, papers, authors) — node counts grow ~5x across steps.
+SCALES = (
+    ("tiny", 100, 60),
+    ("small", 400, 220),
+    ("medium", 1600, 800),
+)
+
+
+def _median_latency(banks: BANKS, query: str, repeats: int = 5) -> float:
+    samples = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        banks.search(query, max_results=10)
+        samples.append(time.perf_counter() - start)
+    samples.sort()
+    return samples[len(samples) // 2]
+
+
+@pytest.fixture(scope="module")
+def scaled_banks():
+    instances = {}
+    for label, papers, authors in SCALES:
+        database, _ = generate_bibliography(
+            papers=papers, authors=authors, seed=42
+        )
+        instances[label] = BANKS(database)
+    return instances
+
+
+def test_latency_vs_graph_size(benchmark, scaled_banks):
+    def measure():
+        rows = []
+        for label, _papers, _authors in SCALES:
+            banks = scaled_banks[label]
+            latency = _median_latency(banks, "soumen sunita")
+            rows.append((label, banks.stats.num_nodes, latency))
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print()
+    print(f"{'scale':<8} {'nodes':>8} {'median latency':>16}")
+    for label, nodes, latency in rows:
+        print(f"{label:<8} {nodes:>8} {1000 * latency:>13.1f} ms")
+
+    # Interactive at every scale (the paper's core practicality claim).
+    for _label, _nodes, latency in rows:
+        assert latency < 5.0
+    # End-to-end growth is sub-quadratic in node count (per-step ratios
+    # are structure-sensitive; the envelope is the meaningful claim).
+    (_, first_nodes, first_latency), (_, last_nodes, last_latency) = (
+        rows[0],
+        rows[-1],
+    )
+    if first_latency >= 0.001:
+        assert last_latency / first_latency < (last_nodes / first_nodes) ** 2
+
+
+def test_latency_vs_keyword_count(benchmark, scaled_banks):
+    banks = scaled_banks["small"]
+    queries = (
+        "soumen",
+        "soumen sunita",
+        "soumen sunita byron",
+        "soumen sunita byron temporal",
+    )
+
+    def measure():
+        return [
+            (query, _median_latency(banks, query)) for query in queries
+        ]
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print()
+    for query, latency in rows:
+        terms = len(query.split())
+        print(f"{terms} keyword(s): {1000 * latency:>8.1f} ms   ({query!r})")
+    # All interactive; the paper's "a second to a few seconds" envelope.
+    for _query, latency in rows:
+        assert latency < 5.0
+
+
+def test_broad_term_is_the_slow_case(benchmark, scaled_banks):
+    """Sec. 7: "keywords matching metadata can be relatively slow, since
+    a large number of tuples may be defined to be relevant" — a
+    metadata term must cost more than a selective term."""
+    banks = scaled_banks["small"]
+
+    def measure():
+        selective = _median_latency(banks, "soumen sunita")
+        broad = _median_latency(banks, "author sudarshan")
+        return selective, broad
+
+    selective, broad = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print(
+        f"\nselective: {1000 * selective:.1f} ms, "
+        f"metadata-broad: {1000 * broad:.1f} ms"
+    )
+    assert broad > selective

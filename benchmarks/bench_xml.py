@@ -1,0 +1,110 @@
+"""XML keyword search (Sec. 7 extension): quality and latency.
+
+No table in the paper covers XML (it was future work); this bench
+holds the extension to the same standards as the relational side:
+
+* the planted co-authored paper must be the top answer for the Fig. 2
+  query on the XML corpus, exactly as on the relational corpus;
+* containment hubs must be tamed by fan-out-scaled back edges (the
+  Sec. 2.1 argument transplanted to XML): with scaling disabled, the
+  document root — a hub touching everything — floods the results;
+* query latency stays interactive at thousands of elements.
+
+Run with::
+
+    pytest benchmarks/bench_xml.py --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.xmlkw import XMLBanks
+from repro.xmlkw.generator import ANECDOTE_TITLE, generate_bibliography_xml
+from repro.xmlkw.model import XMLGraphConfig
+
+EXCLUDED = ("bibliography", "authorref", "cite")
+
+
+@pytest.fixture(scope="module")
+def xml_banks():
+    document = generate_bibliography_xml(papers=400, authors=200, seed=7)
+    return XMLBanks(document, excluded_root_tags=EXCLUDED)
+
+
+def test_xml_anecdote_quality(benchmark, xml_banks):
+    answers = benchmark.pedantic(
+        xml_banks.search,
+        args=("soumen sunita",),
+        kwargs={"max_results": 10},
+        rounds=1,
+        iterations=1,
+    )
+    print(f"\ntop answer:\n{answers[0].render()}")
+    root = answers[0].root_element()
+    title = root.find("title")
+    assert title is not None and title.text == ANECDOTE_TITLE
+
+
+def test_xml_query_latency(benchmark, xml_banks):
+    queries = ("soumen sunita", "temporal", "title:mining", "author")
+
+    def measure():
+        rows = []
+        for query in queries:
+            start = time.perf_counter()
+            xml_banks.search(query, max_results=10)
+            rows.append((query, time.perf_counter() - start))
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print()
+    for query, latency in rows:
+        print(f"{1000 * latency:>8.1f} ms  {query!r}")
+    for _query, latency in rows:
+        assert latency < 5.0
+    print(
+        f"corpus: {xml_banks.stats.num_nodes} elements, "
+        f"{xml_banks.stats.num_edges} edges"
+    )
+
+
+def test_xml_fanout_scaling_ablation(benchmark):
+    """Without fan-out scaling the flat root makes sibling papers
+    spuriously near; the paper-level connection must win only when
+    scaling is on."""
+    document = generate_bibliography_xml(papers=150, authors=80, seed=11)
+
+    def build_and_rank():
+        scaled = XMLBanks(document, excluded_root_tags=EXCLUDED)
+        unscaled = XMLBanks(
+            document,
+            graph_config=XMLGraphConfig(backward_fanout_scaling=False),
+            excluded_root_tags=EXCLUDED,
+        )
+        results = {}
+        for label, banks in (("scaled", scaled), ("unscaled", unscaled)):
+            answers = banks.search("soumen sunita", max_results=5)
+            results[label] = [
+                (answer.root_element().tag, answer.tree.weight)
+                for answer in answers
+            ]
+        return results
+
+    results = benchmark.pedantic(build_and_rank, rounds=1, iterations=1)
+    print(f"\nscaled top answers:   {results['scaled']}")
+    print(f"unscaled top answers: {results['unscaled']}")
+
+    # With scaling, the co-authored paper connection is strictly
+    # cheaper than any root-mediated tree; the top answer is a paper.
+    assert results["scaled"][0][0] == "paper"
+    # Without scaling, root-mediated trees cost the same as real
+    # connections: the top answers' weights collapse together (the
+    # hub-flooding failure the paper describes).
+    scaled_weights = [weight for _tag, weight in results["scaled"]]
+    unscaled_weights = [weight for _tag, weight in results["unscaled"]]
+    assert max(unscaled_weights) - min(unscaled_weights) <= max(
+        scaled_weights
+    ) - min(scaled_weights)

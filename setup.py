@@ -1,0 +1,7 @@
+"""Shim for environments whose pip/setuptools cannot build PEP 660
+editable wheels (no ``wheel`` package available offline).  Configuration
+lives in pyproject.toml; this file only enables ``setup.py develop``."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,43 @@
+"""BANKS — Browsing ANd Keyword Searching in relational databases.
+
+A full reproduction of *"Keyword Searching and Browsing in Databases
+using BANKS"* (Bhalotia et al., ICDE 2002): the data-graph model, the
+backward expanding search, proximity+prestige ranking, the browsing
+subsystem, and the paper's evaluation harness — on top of a from-scratch
+relational engine with sqlite/CSV adapters.
+
+Quickstart::
+
+    from repro import BANKS
+    from repro.datasets.bibliography import generate_bibliography
+
+    database = generate_bibliography(papers=200, authors=120, seed=7)
+    banks = BANKS(database)
+    for answer in banks.search("soumen sunita"):
+        print(f"[{answer.relevance:.3f}]")
+        print(answer.render())
+"""
+
+from repro.core.banks import BANKS, Answer
+from repro.core.answer import AnswerTree
+from repro.core.scoring import ScoringConfig
+from repro.core.search import SearchConfig
+from repro.core.weights import WeightPolicy
+from repro.relational.database import Database
+from repro.relational.schema import Column, ForeignKey, TableSchema
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Answer",
+    "AnswerTree",
+    "BANKS",
+    "Column",
+    "Database",
+    "ForeignKey",
+    "ScoringConfig",
+    "SearchConfig",
+    "TableSchema",
+    "WeightPolicy",
+    "__version__",
+]

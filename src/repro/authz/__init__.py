@@ -1,0 +1,31 @@
+"""Authorization: selectively exposing data to different users (Sec. 7).
+
+The paper plans *"authorization mechanisms to selectively expose data to
+different users"*.  This subpackage implements them at three
+granularities — relations, columns and rows — in a role-based model:
+
+* :mod:`repro.authz.policy` — :class:`Principal` (user + roles),
+  :class:`AccessPolicy` (what one role may see) and :class:`PolicySet`
+  (role -> policy, with permissive union across a principal's roles);
+* :mod:`repro.authz.enforce` — :func:`authorized_view` builds a
+  filtered snapshot database a principal is allowed to see (with
+  referential cascade, so no dangling references survive filtering),
+  :class:`SecureBanks` serves per-principal keyword search over those
+  views, and :class:`AuditLog` records every search for review.
+
+Search-level guarantee, asserted by the tests: a principal's answers
+never contain a tuple (or a value of a hidden column) their policy
+filters out — including as *intermediate* nodes of connection trees.
+"""
+
+from repro.authz.policy import AccessPolicy, PolicySet, Principal
+from repro.authz.enforce import AuditLog, SecureBanks, authorized_view
+
+__all__ = [
+    "AccessPolicy",
+    "AuditLog",
+    "PolicySet",
+    "Principal",
+    "SecureBanks",
+    "authorized_view",
+]

@@ -1,0 +1,257 @@
+"""Policy enforcement: authorized views, per-principal search, auditing.
+
+:func:`authorized_view` materialises the sub-database a principal may
+see.  Filtering can orphan references (a visible ``writes`` tuple whose
+``author`` was filtered out), so removal *cascades*: rows whose foreign
+keys point at removed rows are removed too, iterating to a fixed point.
+The result is a fully consistent :class:`Database` every downstream
+subsystem (BANKS search, the browser, SQL) can use without caveats —
+and, critically for search, a principal's connection trees cannot leak
+a forbidden tuple even as an intermediate node, because that node never
+enters their graph.
+
+Snapshot semantics: the view copies visible rows at construction time;
+re-derive it (or use :meth:`SecureBanks.invalidate`) after the base
+data changes.  Hidden columns are nulled, not dropped, so schemas (and
+the paper's metadata keyword matching) stay stable across principals.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.authz.policy import PolicySet, Principal
+from repro.core.banks import BANKS, Answer
+from repro.errors import AuthorizationError
+from repro.relational.database import Database, RID
+from repro.relational.schema import TableSchema
+
+
+def _key_columns(schema: TableSchema) -> Set[str]:
+    columns: Set[str] = set(schema.primary_key)
+    for fk in schema.foreign_keys:
+        columns.update(fk.source_columns)
+    return columns
+
+
+def authorized_view(
+    database: Database,
+    policies: PolicySet,
+    principal: Principal,
+    name: Optional[str] = None,
+) -> Database:
+    """The sub-database ``principal`` is authorized to see.
+
+    Tables the principal cannot see are dropped along with every
+    foreign key pointing at them; hidden columns are nulled (hiding a
+    primary-key or foreign-key column raises
+    :class:`AuthorizationError` — keys carry connection structure, not
+    content); row predicates filter tuples, and removal cascades
+    through foreign keys so the view stays referentially consistent.
+    """
+    view = Database(
+        name or f"{database.name}@{principal.name}", deferred_fk_check=True
+    )
+
+    visible_tables = [
+        table.schema
+        for table in database.tables()
+        if policies.table_visible(principal, table.schema.name)
+    ]
+    visible_names = {schema.name for schema in visible_tables}
+
+    schemas: List[TableSchema] = []
+    hidden_by_table: Dict[str, frozenset] = {}
+    for schema in visible_tables:
+        hidden = policies.hidden_columns(principal, schema.name)
+        forbidden = hidden & _key_columns(schema)
+        if forbidden:
+            raise AuthorizationError(
+                f"cannot hide key column(s) {sorted(forbidden)} of "
+                f"table {schema.name!r}"
+            )
+        hidden_by_table[schema.name] = hidden
+        kept_fks = tuple(
+            fk for fk in schema.foreign_keys if fk.target_table in visible_names
+        )
+        schemas.append(
+            TableSchema(
+                schema.name, schema.columns, schema.primary_key, kept_fks
+            )
+        )
+    view.create_tables(schemas)
+
+    # Row filtering, then cascade removal to a fixed point.
+    surviving: Dict[str, Dict[int, Tuple]] = {}
+    for schema in schemas:
+        table = database.table(schema.name)
+        hidden = hidden_by_table[schema.name]
+        rows: Dict[int, Tuple] = {}
+        for row in table.scan():
+            if not policies.row_visible(principal, schema.name, row):
+                continue
+            if hidden:
+                values = tuple(
+                    None if column in hidden else value
+                    for column, value in zip(schema.column_names, row.values)
+                )
+            else:
+                values = row.values
+            rows[row.rid] = values
+        surviving[schema.name] = rows
+
+    changed = True
+    while changed:
+        changed = False
+        for schema in schemas:
+            rows = surviving[schema.name]
+            if not schema.foreign_keys:
+                continue
+            doomed: List[int] = []
+            for rid, values in rows.items():
+                for fk in schema.foreign_keys:
+                    key = tuple(
+                        values[schema.column_position(c)]
+                        for c in fk.source_columns
+                    )
+                    if any(part is None for part in key):
+                        continue
+                    if not _target_alive(
+                        database, surviving, fk.target_table, fk.target_columns, key
+                    ):
+                        doomed.append(rid)
+                        break
+            for rid in doomed:
+                del rows[rid]
+                changed = True
+
+    # RIDs shift in the view (it is a snapshot); insertion order follows
+    # base-table RID order so views are deterministic.
+    for schema in schemas:
+        view_table = view.table(schema.name)
+        for rid in sorted(surviving[schema.name]):
+            view_table.insert(surviving[schema.name][rid])
+    view.check_integrity()
+    return view
+
+
+def _target_alive(
+    database: Database,
+    surviving: Dict[str, Dict[int, Tuple]],
+    target_table: str,
+    target_columns: Sequence[str],
+    key: Tuple,
+) -> bool:
+    """Does some surviving row of ``target_table`` carry ``key``?"""
+    rows = surviving.get(target_table)
+    if rows is None:
+        return False
+    schema = database.table(target_table).schema
+    positions = [schema.column_position(c) for c in target_columns]
+    for values in rows.values():
+        if tuple(values[p] for p in positions) == key:
+            return True
+    return False
+
+
+@dataclass(frozen=True)
+class AuditRecord:
+    """One audited search: who asked what, when, and how much came back."""
+
+    principal: str
+    query: str
+    answer_count: int
+    timestamp: float
+
+
+class AuditLog:
+    """Append-only in-memory audit trail of authorized searches."""
+
+    def __init__(self) -> None:
+        self._records: List[AuditRecord] = []
+
+    def record(self, principal: Principal, query: str, answers: int) -> None:
+        self._records.append(
+            AuditRecord(principal.name, query, answers, time.time())
+        )
+
+    def records(
+        self, principal: Optional[str] = None
+    ) -> List[AuditRecord]:
+        if principal is None:
+            return list(self._records)
+        return [r for r in self._records if r.principal == principal]
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+
+class SecureBanks:
+    """Per-principal keyword search under an access-policy set.
+
+    Builds (and caches) one authorized view + BANKS instance per
+    principal; searches are audited.
+
+    Args:
+        database: the base data.
+        policies: role -> policy grants.
+        audit: an optional shared audit log (one is created if omitted).
+        banks_options: keyword arguments forwarded to :class:`BANKS`
+            (weight policy, scoring, ...).
+    """
+
+    def __init__(
+        self,
+        database: Database,
+        policies: PolicySet,
+        audit: Optional[AuditLog] = None,
+        **banks_options,
+    ):
+        self.database = database
+        self.policies = policies
+        self.audit = audit or AuditLog()
+        self._banks_options = banks_options
+        self._views: Dict[str, Database] = {}
+        self._engines: Dict[str, BANKS] = {}
+
+    def view_for(self, principal: Principal) -> Database:
+        """The principal's authorized view (cached)."""
+        if principal.name not in self._views:
+            self._views[principal.name] = authorized_view(
+                self.database, self.policies, principal
+            )
+        return self._views[principal.name]
+
+    def engine_for(self, principal: Principal) -> BANKS:
+        """The principal's BANKS instance over their view (cached)."""
+        if principal.name not in self._engines:
+            self._engines[principal.name] = BANKS(
+                self.view_for(principal), **self._banks_options
+            )
+        return self._engines[principal.name]
+
+    def search(
+        self, principal: Principal, query: str, **kwargs
+    ) -> List[Answer]:
+        """Answer ``query`` with only the data ``principal`` may see."""
+        answers = self.engine_for(principal).search(query, **kwargs)
+        self.audit.record(principal, query, len(answers))
+        return answers
+
+    def invalidate(self, principal: Optional[Principal] = None) -> None:
+        """Drop cached views/engines (all, or one principal's) so the
+        next search re-derives them from current base data."""
+        if principal is None:
+            self._views.clear()
+            self._engines.clear()
+        else:
+            self._views.pop(principal.name, None)
+            self._engines.pop(principal.name, None)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SecureBanks({self.database.name}, "
+            f"{len(self._engines)} cached principal engine(s))"
+        )

@@ -1,0 +1,186 @@
+"""Role-based access policies over relational data.
+
+An :class:`AccessPolicy` describes what one role may see:
+
+* **relations** — a default (``allow`` / ``deny``) plus per-table
+  overrides;
+* **columns** — hidden columns per table (values are nulled out; key
+  columns cannot be hidden, they carry the connection structure BANKS
+  and the browser both need);
+* **rows** — per-table predicates (``Row -> bool``); only rows
+  satisfying every applicable predicate are visible.
+
+A :class:`Principal` carries a set of roles; :class:`PolicySet` maps
+roles to policies and combines a principal's roles *permissively*: a
+table is visible if any role sees it, a column is hidden only if every
+role hides it, and a row is visible if any role's predicate accepts it.
+This is the standard "union of grants" semantics of SQL role systems.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import AuthorizationError
+from repro.relational.table import Row
+
+#: A row-level security predicate.
+RowPredicate = Callable[[Row], bool]
+
+
+@dataclass(frozen=True)
+class Principal:
+    """A user identity with roles.
+
+    Attributes:
+        name: login / identifier.
+        roles: role names granting policies through a :class:`PolicySet`.
+    """
+
+    name: str
+    roles: FrozenSet[str] = frozenset()
+
+    @staticmethod
+    def with_roles(name: str, *roles: str) -> "Principal":
+        return Principal(name, frozenset(roles))
+
+
+class AccessPolicy:
+    """What one role may see.
+
+    Args:
+        default: ``"allow"`` (see everything not denied) or ``"deny"``
+            (see only what is explicitly allowed).
+    """
+
+    def __init__(self, default: str = "allow"):
+        if default not in ("allow", "deny"):
+            raise AuthorizationError(
+                f"default must be 'allow' or 'deny', got {default!r}"
+            )
+        self.default = default
+        self._allowed_tables: Set[str] = set()
+        self._denied_tables: Set[str] = set()
+        self._hidden_columns: Dict[str, Set[str]] = {}
+        self._row_predicates: Dict[str, List[RowPredicate]] = {}
+
+    # -- declaration (fluent: each returns self) ---------------------------------
+
+    def allow_table(self, table: str) -> "AccessPolicy":
+        """Explicitly expose ``table`` (needed under ``default='deny'``)."""
+        self._allowed_tables.add(table)
+        self._denied_tables.discard(table)
+        return self
+
+    def deny_table(self, table: str) -> "AccessPolicy":
+        """Explicitly hide ``table`` entirely."""
+        self._denied_tables.add(table)
+        self._allowed_tables.discard(table)
+        return self
+
+    def hide_columns(self, table: str, *columns: str) -> "AccessPolicy":
+        """Null out the named columns of ``table`` in authorized views."""
+        if not columns:
+            raise AuthorizationError("hide_columns needs at least one column")
+        self._hidden_columns.setdefault(table, set()).update(columns)
+        return self
+
+    def restrict_rows(
+        self, table: str, predicate: RowPredicate
+    ) -> "AccessPolicy":
+        """Only rows of ``table`` satisfying ``predicate`` are visible.
+
+        Multiple restrictions on one table AND together (each narrows
+        visibility further).
+        """
+        self._row_predicates.setdefault(table, []).append(predicate)
+        return self
+
+    # -- queries ------------------------------------------------------------------
+
+    def table_visible(self, table: str) -> bool:
+        if table in self._denied_tables:
+            return False
+        if self.default == "allow":
+            return True
+        return table in self._allowed_tables
+
+    def hidden_columns(self, table: str) -> FrozenSet[str]:
+        return frozenset(self._hidden_columns.get(table, ()))
+
+    def row_visible(self, table: str, row: Row) -> bool:
+        for predicate in self._row_predicates.get(table, ()):
+            if not predicate(row):
+                return False
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"AccessPolicy(default={self.default!r}, "
+            f"denied={sorted(self._denied_tables)}, "
+            f"allowed={sorted(self._allowed_tables)})"
+        )
+
+
+#: The policy an unknown role receives: sees nothing.
+def nothing_policy() -> AccessPolicy:
+    return AccessPolicy(default="deny")
+
+
+class PolicySet:
+    """Role name -> :class:`AccessPolicy`, with permissive union."""
+
+    def __init__(self) -> None:
+        self._by_role: Dict[str, AccessPolicy] = {}
+
+    def grant(self, role: str, policy: AccessPolicy) -> "PolicySet":
+        if role in self._by_role:
+            raise AuthorizationError(f"role {role!r} already has a policy")
+        self._by_role[role] = policy
+        return self
+
+    def policy_for_role(self, role: str) -> AccessPolicy:
+        return self._by_role.get(role, nothing_policy())
+
+    def roles(self) -> List[str]:
+        return list(self._by_role)
+
+    # -- effective (principal-level) checks -----------------------------------------
+
+    def _policies(self, principal: Principal) -> List[AccessPolicy]:
+        return [self.policy_for_role(role) for role in sorted(principal.roles)]
+
+    def table_visible(self, principal: Principal, table: str) -> bool:
+        """Visible if *any* of the principal's roles sees the table."""
+        return any(
+            policy.table_visible(table)
+            for policy in self._policies(principal)
+        )
+
+    def hidden_columns(
+        self, principal: Principal, table: str
+    ) -> FrozenSet[str]:
+        """Hidden only if *every* role that sees the table hides it."""
+        policies = [
+            policy
+            for policy in self._policies(principal)
+            if policy.table_visible(table)
+        ]
+        if not policies:
+            return frozenset()
+        hidden = policies[0].hidden_columns(table)
+        for policy in policies[1:]:
+            hidden = hidden & policy.hidden_columns(table)
+        return hidden
+
+    def row_visible(self, principal: Principal, table: str, row: Row) -> bool:
+        """Visible if any role that sees the table accepts the row."""
+        return any(
+            policy.row_visible(table, row)
+            for policy in self._policies(principal)
+            if policy.table_visible(table)
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"PolicySet(roles={self.roles()})"

@@ -1,0 +1,35 @@
+"""Runnable reimplementations of the related systems of paper Sec. 6.
+
+The paper positions BANKS against three contemporaries; each is built
+here as a complete, queryable system over the same
+:class:`repro.relational.database.Database`, so the comparative
+benchmarks measure *system against system* rather than BANKS against a
+strawman configuration:
+
+* :mod:`repro.baselines.dataspot` — DataSpot [6, 12, 13]: undirected
+  "hyperbase" graph, answers are trees rooted at fact nodes, relevance
+  from tree size alone (no prestige, no directional hub penalty);
+* :mod:`repro.baselines.goldman` — Goldman et al. [7] proximity search:
+  ``find <objects> near <objects>`` returning *single tuples* of one
+  relation ranked by graph distance ("they restrict results to tuples
+  from one relation near a set of keywords");
+* :mod:`repro.baselines.mragyati` — Mragyati [14]: keyword answers
+  joined by paths of length at most two, ranked by indegree.
+
+:mod:`repro.baselines.compare` runs all of them (plus BANKS) on the
+paper's evaluation workload and reports quality and latency side by
+side — the basis of ``benchmarks/bench_baselines.py``.
+"""
+
+from repro.baselines.dataspot import DataSpotSearch
+from repro.baselines.goldman import ProximitySearch
+from repro.baselines.mragyati import MragyatiSearch
+from repro.baselines.compare import SystemReport, compare_systems
+
+__all__ = [
+    "DataSpotSearch",
+    "MragyatiSearch",
+    "ProximitySearch",
+    "SystemReport",
+    "compare_systems",
+]

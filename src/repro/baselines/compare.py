@@ -1,0 +1,173 @@
+"""Side-by-side comparison harness: BANKS vs the Sec. 6 related systems.
+
+Runs the paper's 7-query evaluation workload through each system and
+reports, per system:
+
+* the scaled rank-difference error (the Figure 5 metric) — computable
+  for every system because each returns answers reducible to undirected
+  tree keys (single tuples are single-node trees);
+* how many of the workload's ideal answers were found at all (within
+  the examined top 10);
+* mean per-query wall-clock latency.
+
+The expected shape (asserted by ``benchmarks/bench_baselines.py``):
+BANKS scores the lowest error; DataSpot finds the connection trees but
+misranks prestige-driven queries; Mragyati cannot produce any answer
+that needs a join path longer than two (all the co-authorship trees);
+Goldman proximity returns bare tuples, so it can match single-node
+ideals only.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, FrozenSet, List, Sequence, Tuple
+
+from repro.baselines.dataspot import DataSpotSearch
+from repro.baselines.goldman import ProximitySearch
+from repro.baselines.mragyati import MragyatiSearch
+from repro.core.banks import BANKS
+from repro.eval.error_score import (
+    ANSWERS_EXAMINED,
+    query_rank_error,
+    scale_errors,
+)
+from repro.eval.workload import EvalQuery
+from repro.relational.database import Database, RID
+
+
+@dataclass(frozen=True)
+class SystemReport:
+    """One system's results over the workload.
+
+    Attributes:
+        system: display name.
+        scaled_error: Figure 5-style error (0 best, 100 worst).
+        ideals_found: ideal answers present in the examined top-k.
+        total_ideals: ideal answers in the workload.
+        mean_latency_ms: mean per-query latency.
+        per_query_error: raw error per query id.
+    """
+
+    system: str
+    scaled_error: float
+    ideals_found: int
+    total_ideals: int
+    mean_latency_ms: float
+    per_query_error: Dict[str, int]
+
+    def row(self) -> str:
+        return (
+            f"{self.system:<12} error={self.scaled_error:6.1f} "
+            f"found={self.ideals_found}/{self.total_ideals} "
+            f"latency={self.mean_latency_ms:7.1f} ms"
+        )
+
+
+def _single_node_key(node: RID) -> FrozenSet:
+    return frozenset((frozenset((node,)), frozenset()))
+
+
+#: A system adapter: query text -> undirected tree keys, best first.
+SystemRunner = Callable[[str], List[FrozenSet]]
+
+
+def _banks_runner(banks: BANKS) -> SystemRunner:
+    def run(text: str) -> List[FrozenSet]:
+        answers = banks.search(
+            text, max_results=ANSWERS_EXAMINED, output_heap_size=400
+        )
+        return [answer.tree.undirected_key() for answer in answers]
+
+    return run
+
+
+def _dataspot_runner(system: DataSpotSearch) -> SystemRunner:
+    def run(text: str) -> List[FrozenSet]:
+        answers = system.search(text, max_results=ANSWERS_EXAMINED)
+        return [answer.tree.undirected_key() for answer in answers]
+
+    return run
+
+
+def _mragyati_runner(system: MragyatiSearch) -> SystemRunner:
+    def run(text: str) -> List[FrozenSet]:
+        answers = system.search(text, max_results=ANSWERS_EXAMINED)
+        return [answer.tree.undirected_key() for answer in answers]
+
+    return run
+
+
+def _goldman_runner(system: ProximitySearch) -> SystemRunner:
+    def run(text: str) -> List[FrozenSet]:
+        results = system.search(text, max_results=ANSWERS_EXAMINED)
+        return [_single_node_key(result.node) for result in results]
+
+    return run
+
+
+def evaluate_system(
+    name: str,
+    runner: SystemRunner,
+    workload: Sequence[EvalQuery],
+) -> SystemReport:
+    """Run one system over the workload and collect its report."""
+    per_query: Dict[str, int] = {}
+    found = 0
+    total_ideals = 0
+    elapsed = 0.0
+    for query in workload:
+        start = time.perf_counter()
+        result_keys = runner(query.text)
+        elapsed += time.perf_counter() - start
+        per_query[query.query_id] = query_rank_error(
+            query.ideal_keys, result_keys
+        )
+        total_ideals += len(query.ideal_keys)
+        result_set = set(result_keys)
+        found += sum(1 for key in query.ideal_keys if key in result_set)
+    raw = sum(per_query.values())
+    return SystemReport(
+        system=name,
+        scaled_error=scale_errors(raw, total_ideals),
+        ideals_found=found,
+        total_ideals=total_ideals,
+        mean_latency_ms=1000.0 * elapsed / max(1, len(workload)),
+        per_query_error=per_query,
+    )
+
+
+def compare_systems(
+    database: Database,
+    workload: Sequence[EvalQuery],
+    banks: BANKS = None,
+) -> List[SystemReport]:
+    """Evaluate BANKS and all three related-system baselines.
+
+    Args:
+        database: the bibliographic database the workload targets.
+        workload: the evaluation queries with ideal answers.
+        banks: an existing BANKS instance to reuse (else built here).
+
+    Returns:
+        One report per system, in presentation order (BANKS first).
+    """
+    if banks is None:
+        banks = BANKS(database)
+    systems: List[Tuple[str, SystemRunner]] = [
+        ("BANKS", _banks_runner(banks)),
+        ("DataSpot", _dataspot_runner(DataSpotSearch(database))),
+        ("Goldman", _goldman_runner(ProximitySearch(database))),
+        ("Mragyati", _mragyati_runner(MragyatiSearch(database))),
+    ]
+    return [
+        evaluate_system(name, runner, workload) for name, runner in systems
+    ]
+
+
+def format_comparison(reports: Sequence[SystemReport]) -> str:
+    """Fixed-width comparison table (printed by the benchmark)."""
+    lines = ["System comparison on the 7-query workload:"]
+    lines.extend(report.row() for report in reports)
+    return "\n".join(lines)

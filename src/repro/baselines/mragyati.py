@@ -1,0 +1,154 @@
+"""Mragyati-style search: join paths of length <= 2, indegree ranking.
+
+Sarda and Jain's Mragyati (2001) answers keyword queries over a
+relational database by joining keyword-matching tuples, but — per the
+paper's Sec. 6 — "their implementation does not handle paths of length
+greater than two", and "the default ranking system uses indegree".
+
+This baseline implements that model faithfully:
+
+* an answer is a *star*: a center tuple with one arm of length 0 or 1
+  (an undirected foreign-key step) to a tuple matching each keyword —
+  so any keyword pair in an answer is within a join path of length 2;
+* answers are ranked by the **indegree of the center** (reference
+  count), ties broken by star size then determinstic node order;
+* answers whose connection genuinely needs longer paths (e.g. the
+  paper's author–writes–paper–writes–author co-authorship tree, which
+  is a length-4 path) are simply *not found* — the limitation the
+  comparative benchmark quantifies.
+
+Results are materialised as :class:`repro.core.answer.AnswerTree` over
+the BANKS data graph so quality is measured with the same undirected
+tree keys as every other system.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.core.answer import AnswerTree
+from repro.core.model import build_data_graph
+from repro.core.query import ParsedQuery, parse_query, resolve_query
+from repro.core.search import ScoredAnswer
+from repro.core.weights import WeightPolicy
+from repro.graph.digraph import DiGraph
+from repro.relational.database import Database, RID
+from repro.text.inverted_index import InvertedIndex
+
+
+class MragyatiSearch:
+    """Keyword search with join paths bounded at length two.
+
+    Args:
+        database: the data to search.
+        include_metadata: let keywords match table/column names.
+        max_results: answers returned per query.
+    """
+
+    def __init__(
+        self,
+        database: Database,
+        include_metadata: bool = False,
+        max_results: int = 10,
+    ):
+        self.database = database
+        self.include_metadata = include_metadata
+        self.max_results = max_results
+        self.index = InvertedIndex(database)
+        # The data graph supplies undirected adjacency and edge weights
+        # for materialising comparable AnswerTrees; ranking ignores the
+        # weights (Mragyati has no edge model).
+        self.graph, _stats = build_data_graph(database, WeightPolicy())
+
+    # -- search ------------------------------------------------------------------
+
+    def search(
+        self, query: Union[str, ParsedQuery], max_results: Optional[int] = None
+    ) -> List[ScoredAnswer]:
+        """Ranked star answers (best first)."""
+        limit = max_results if max_results is not None else self.max_results
+        parsed = parse_query(query) if isinstance(query, str) else query
+        keyword_node_sets = resolve_query(
+            parsed,
+            self.index,
+            self.database,
+            include_metadata=self.include_metadata,
+        )
+        if any(not group for group in keyword_node_sets):
+            return []
+
+        # Candidate centers: keyword nodes and their undirected neighbors.
+        candidates: Set[RID] = set()
+        for group in keyword_node_sets:
+            for node in group:
+                if not self.graph.has_node(node):
+                    continue
+                candidates.add(node)
+                for neighbor, _w in self.graph.successors(node):
+                    candidates.add(neighbor)
+
+        answers: List[Tuple[float, int, AnswerTree]] = []
+        seen_keys: Set = set()
+        for center in candidates:
+            arms = self._cover(center, keyword_node_sets)
+            if arms is None:
+                continue
+            tree = self._materialise(center, arms)
+            key = tree.undirected_key()
+            if key in seen_keys:
+                continue
+            seen_keys.add(key)
+            prestige = float(self.database.indegree(center))
+            answers.append((prestige, -tree.size(), tree))
+
+        answers.sort(
+            key=lambda entry: (-entry[0], -entry[1], repr(entry[2].root))
+        )
+        results: List[ScoredAnswer] = []
+        for order, (prestige, _neg_size, tree) in enumerate(
+            answers[:limit]
+        ):
+            # Normalised pseudo-relevance for reporting only: Mragyati
+            # ranks by raw indegree.
+            score = prestige / (1.0 + prestige)
+            results.append(ScoredAnswer(tree, score, order))
+        return results
+
+    # -- internals ----------------------------------------------------------------
+
+    def _cover(
+        self, center: RID, keyword_node_sets: Sequence[Set[RID]]
+    ) -> Optional[List[Optional[RID]]]:
+        """For each term, a keyword node equal to the center (arm length
+        0) or an undirected neighbor of it (arm length 1); ``None`` when
+        some term cannot be covered."""
+        neighbors = {node for node, _w in self.graph.successors(center)}
+        arms: List[Optional[RID]] = []
+        for group in keyword_node_sets:
+            if center in group:
+                arms.append(None)  # covered by the center itself
+                continue
+            arm = None
+            for node in sorted(group, key=repr):
+                if node in neighbors:
+                    arm = node
+                    break
+            if arm is None:
+                return None
+            arms.append(arm)
+        return arms
+
+    def _materialise(
+        self, center: RID, arms: Sequence[Optional[RID]]
+    ) -> AnswerTree:
+        """Build the star as an AnswerTree over the data graph."""
+        paths: List[Optional[List[RID]]] = []
+        for arm in arms:
+            if arm is None:
+                paths.append([center])
+            else:
+                paths.append([center, arm])
+        return AnswerTree.from_paths(self.graph, center, paths)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"MragyatiSearch({self.database.name})"

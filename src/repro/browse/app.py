@@ -1,0 +1,164 @@
+"""A WSGI application exposing search + browsing over one database.
+
+This is the reproduction of the paper's servlet front end: point it at
+any :class:`~repro.relational.database.Database` (e.g. one loaded from
+sqlite) and every relation becomes browsable and keyword-searchable with
+zero programming — the paper's "near zero-effort Web publishing of
+relational data".
+
+The app is framework-free: :meth:`BrowseApp.handle` maps
+``(path, query_string)`` to ``(status, html)`` as a pure function (unit
+tested directly), and ``__call__`` adapts it to WSGI for
+``wsgiref.simple_server`` (see ``examples/publish_sqlite.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Optional, Tuple
+from urllib.parse import parse_qs, unquote
+
+from repro.browse.html import el, link, page
+from repro.browse.hyperlink import BrowseState, row_url, search_url, table_url
+from repro.browse.schema_browser import render_schema
+from repro.browse.tableview import render_row_page, render_table_page
+from repro.browse.templates import TEMPLATE_TABLE, TemplateRegistry
+from repro.core.banks import BANKS
+from repro.errors import ReproError
+
+
+class BrowseApp:
+    """Search + browse application over one BANKS instance."""
+
+    def __init__(self, banks: BANKS):
+        self.banks = banks
+        self.database = banks.database
+        self.templates = TemplateRegistry(self.database)
+
+    # -- pages -------------------------------------------------------------
+
+    def home_page(self) -> str:
+        table_items = [
+            el(
+                "li",
+                None,
+                link(table_url(name), name),
+                f" ({len(self.database.table(name))} rows)",
+            )
+            for name in self.database.table_names
+            if name != TEMPLATE_TABLE
+        ]
+        template_items = [
+            el("li", None, link(f"/template/{name}", name))
+            for name in self.templates.names()
+        ]
+        form = el(
+            "form",
+            {"action": "/search", "method": "get"},
+            el("input", {"name": "q", "size": "40"}),
+            el("input", {"type": "submit", "value": "Search"}),
+        )
+        body = [
+            el("p", None, link("/schema", "browse the schema")),
+            form,
+            el("h2", None, "Relations"),
+            el("ul", None, *table_items),
+        ]
+        if template_items:
+            body.append(el("h2", None, "Templates"))
+            body.append(el("ul", None, *template_items))
+        return page(f"BANKS: {self.database.name}", *body)
+
+    def search_page(self, query: str, max_results: int = 10) -> str:
+        if not query.strip():
+            return page("Search", el("p", None, "Empty query."))
+        try:
+            answers = self.banks.search(query, max_results=max_results)
+        except ReproError as error:
+            return page("Search", el("p", None, f"Error: {error}"))
+        blocks = []
+        for answer in answers:
+            lines = []
+            matched = {
+                node for node in answer.tree.keyword_nodes if node is not None
+            }
+
+            def walk(node, depth: int) -> None:
+                label = self.banks.node_label(node)
+                attrs = {"class": "kw"} if node in matched else None
+                lines.append(
+                    el(
+                        "div",
+                        {"style": f"margin-left:{depth * 1.5}em"},
+                        el("span", attrs, link(row_url(node), label)),
+                    )
+                )
+                for child in sorted(answer.tree.children(node), key=repr):
+                    walk(child, depth + 1)
+
+            walk(answer.tree.root, 0)
+            blocks.append(
+                el(
+                    "div",
+                    None,
+                    el(
+                        "h3",
+                        None,
+                        f"#{answer.rank + 1} "
+                        f"(relevance {answer.relevance:.3f})",
+                    ),
+                    *lines,
+                )
+            )
+        if not blocks:
+            blocks.append(el("p", None, "No answers."))
+        return page(f"Results for {query!r}", *blocks)
+
+    # -- routing ------------------------------------------------------------
+
+    def handle(self, path: str, query_string: str = "") -> Tuple[str, str]:
+        """Route one request; returns ``(status, html)``."""
+        try:
+            parts = [unquote(p) for p in path.strip("/").split("/") if p]
+            if not parts:
+                return "200 OK", self.home_page()
+            if parts[0] == "schema":
+                return "200 OK", render_schema(self.database)
+            if parts[0] == "search":
+                params = parse_qs(query_string)
+                query = params.get("q", [""])[0]
+                return "200 OK", self.search_page(query)
+            if parts[0] == "table" and len(parts) == 2:
+                state = BrowseState.from_query(parts[1], query_string)
+                return "200 OK", render_table_page(self.database, state)
+            if parts[0] == "row" and len(parts) == 3:
+                node = (parts[1], int(parts[2]))
+                return "200 OK", render_row_page(self.database, node)
+            if parts[0] == "template" and len(parts) == 2:
+                params = parse_qs(query_string)
+                drill_path = params.get("path", [])
+                return "200 OK", self.templates.render(parts[1], drill_path)
+        except (ReproError, ValueError) as error:
+            return "404 Not Found", page(
+                "Not found", el("p", None, f"{error}")
+            )
+        return "404 Not Found", page(
+            "Not found", el("p", None, f"No route for {path!r}")
+        )
+
+    # -- WSGI adapter ----------------------------------------------------------
+
+    def __call__(
+        self, environ: dict, start_response: Callable
+    ) -> Iterable[bytes]:
+        status, html = self.handle(
+            environ.get("PATH_INFO", "/"), environ.get("QUERY_STRING", "")
+        )
+        payload = html.encode("utf-8")
+        start_response(
+            status,
+            [
+                ("Content-Type", "text/html; charset=utf-8"),
+                ("Content-Length", str(len(payload))),
+            ],
+        )
+        return [payload]

@@ -1,0 +1,138 @@
+"""SVG charts with drill-down hyperlinks (paper Sec. 4).
+
+"The graphical interface template permits information to be displayed
+in bar chart, line chart or pie chart format.  Hyperlinks are provided
+on the graphical data via HTML image maps; clicking on a bar of a bar
+chart, or a slice of a pie chart shows tuples with the associated
+value."
+
+Modern equivalent of the paper's image maps: every bar / point / slice
+is wrapped in an SVG ``<a>`` element carrying the drill-down URL.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+from repro.browse.html import escape
+from repro.errors import BrowseError
+
+#: (label, value, drill-down URL or None)
+Datum = Tuple[str, float, Optional[str]]
+
+_PALETTE = [
+    "#4e79a7", "#f28e2b", "#e15759", "#76b7b2", "#59a14f",
+    "#edc948", "#b07aa1", "#ff9da7", "#9c755f", "#bab0ac",
+]
+
+
+def _wrap_link(fragment: str, url: Optional[str]) -> str:
+    if url is None:
+        return fragment
+    return f'<a href="{escape(url)}">{fragment}</a>'
+
+
+def bar_chart(
+    data: Sequence[Datum], width: int = 480, height: int = 240
+) -> str:
+    """An SVG bar chart; each bar links to its drill-down URL."""
+    if not data:
+        raise BrowseError("cannot chart an empty series")
+    peak = max(value for _label, value, _url in data) or 1.0
+    bar_space = width / len(data)
+    bar_width = max(4.0, bar_space * 0.8)
+    parts: List[str] = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height + 40}" role="img">'
+    ]
+    for i, (label, value, url) in enumerate(data):
+        bar_height = 0.0 if peak <= 0 else (max(0.0, value) / peak) * height
+        x = i * bar_space + (bar_space - bar_width) / 2
+        y = height - bar_height
+        color = _PALETTE[i % len(_PALETTE)]
+        bar = (
+            f'<rect x="{x:.1f}" y="{y:.1f}" width="{bar_width:.1f}" '
+            f'height="{bar_height:.1f}" fill="{color}">'
+            f"<title>{escape(label)}: {value:g}</title></rect>"
+        )
+        parts.append(_wrap_link(bar, url))
+        parts.append(
+            f'<text x="{x + bar_width / 2:.1f}" y="{height + 14}" '
+            f'font-size="10" text-anchor="middle">'
+            f"{escape(label[:12])}</text>"
+        )
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def line_chart(
+    data: Sequence[Datum], width: int = 480, height: int = 240
+) -> str:
+    """An SVG line chart; each point links to its drill-down URL."""
+    if not data:
+        raise BrowseError("cannot chart an empty series")
+    peak = max(value for _label, value, _url in data) or 1.0
+    step = width / max(1, len(data) - 1)
+    points: List[Tuple[float, float]] = []
+    for i, (_label, value, _url) in enumerate(data):
+        x = i * step
+        y = height - (max(0.0, value) / peak) * height
+        points.append((x, y))
+    path = " ".join(f"{x:.1f},{y:.1f}" for x, y in points)
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height + 40}">',
+        f'<polyline points="{path}" fill="none" stroke="{_PALETTE[0]}" '
+        'stroke-width="2"/>',
+    ]
+    for (x, y), (label, value, url) in zip(points, data):
+        dot = (
+            f'<circle cx="{x:.1f}" cy="{y:.1f}" r="4" fill="{_PALETTE[2]}">'
+            f"<title>{escape(label)}: {value:g}</title></circle>"
+        )
+        parts.append(_wrap_link(dot, url))
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def pie_chart(data: Sequence[Datum], radius: int = 120) -> str:
+    """An SVG pie chart; each slice links to its drill-down URL."""
+    if not data:
+        raise BrowseError("cannot chart an empty series")
+    total = sum(max(0.0, value) for _label, value, _url in data)
+    if total <= 0:
+        raise BrowseError("pie chart needs a positive total")
+    size = radius * 2 + 20
+    cx = cy = size / 2
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{size}" '
+        f'height="{size}">'
+    ]
+    angle = -math.pi / 2
+    for i, (label, value, url) in enumerate(data):
+        fraction = max(0.0, value) / total
+        sweep = fraction * 2 * math.pi
+        x1 = cx + radius * math.cos(angle)
+        y1 = cy + radius * math.sin(angle)
+        angle_end = angle + sweep
+        x2 = cx + radius * math.cos(angle_end)
+        y2 = cy + radius * math.sin(angle_end)
+        large = 1 if sweep > math.pi else 0
+        color = _PALETTE[i % len(_PALETTE)]
+        if fraction >= 0.999999:
+            slice_svg = (
+                f'<circle cx="{cx}" cy="{cy}" r="{radius}" fill="{color}">'
+                f"<title>{escape(label)}: {value:g}</title></circle>"
+            )
+        else:
+            slice_svg = (
+                f'<path d="M{cx:.1f},{cy:.1f} L{x1:.1f},{y1:.1f} '
+                f'A{radius},{radius} 0 {large} 1 {x2:.1f},{y2:.1f} Z" '
+                f'fill="{color}">'
+                f"<title>{escape(label)}: {value:g}</title></path>"
+            )
+        parts.append(_wrap_link(slice_svg, url))
+        angle = angle_end
+    parts.append("</svg>")
+    return "".join(parts)

@@ -1,0 +1,108 @@
+"""A minimal, safe HTML builder.
+
+Three primitives cover everything the browsing pages need: escaping,
+elements, and documents.  All text content and attribute values pass
+through :func:`escape`, so injection from data values is impossible by
+construction (tests feed hostile strings through the table renderer).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Sequence, Union
+
+_ESCAPES = {
+    "&": "&amp;",
+    "<": "&lt;",
+    ">": "&gt;",
+    '"': "&quot;",
+    "'": "&#x27;",
+}
+
+#: Elements that never take closing tags.
+_VOID_ELEMENTS = {"br", "hr", "img", "input", "link", "meta"}
+
+Node = Union[str, "Element"]
+
+
+def escape(text: str) -> str:
+    """HTML-escape ``text`` for use in content or attribute values."""
+    out = []
+    for char in text:
+        out.append(_ESCAPES.get(char, char))
+    return "".join(out)
+
+
+class Element:
+    """One HTML element; renders recursively via :meth:`render`."""
+
+    def __init__(
+        self,
+        tag_name: str,
+        attrs: Optional[Dict[str, str]] = None,
+        children: Sequence[Node] = (),
+    ):
+        self.tag_name = tag_name
+        self.attrs = dict(attrs or {})
+        self.children = list(children)
+
+    def append(self, child: Node) -> "Element":
+        self.children.append(child)
+        return self
+
+    def render(self) -> str:
+        attr_text = "".join(
+            f' {name}="{escape(str(value))}"'
+            for name, value in self.attrs.items()
+        )
+        if self.tag_name in _VOID_ELEMENTS:
+            return f"<{self.tag_name}{attr_text}/>"
+        inner = "".join(
+            child.render() if isinstance(child, Element) else escape(str(child))
+            for child in self.children
+        )
+        return f"<{self.tag_name}{attr_text}>{inner}</{self.tag_name}>"
+
+
+def el(
+    tag_name: str,
+    attrs: Optional[Dict[str, str]] = None,
+    *children: Node,
+) -> Element:
+    """Shorthand element constructor."""
+    return Element(tag_name, attrs, children)
+
+
+def raw(html: str) -> Element:
+    """Wrap a pre-rendered HTML fragment (used for SVG charts, which the
+    chart module builds with its own escaping)."""
+    fragment = Element("span")
+    fragment.render = lambda: html  # type: ignore[method-assign]
+    return fragment
+
+
+def link(href: str, label: str) -> Element:
+    return el("a", {"href": href}, label)
+
+
+def page(title: str, *body: Node) -> str:
+    """A complete HTML document with a minimal stylesheet."""
+    style = (
+        "body{font-family:sans-serif;margin:1.5em}"
+        "table{border-collapse:collapse}"
+        "td,th{border:1px solid #999;padding:2px 8px}"
+        "th{background:#eee}"
+        ".controls a{margin-right:.6em;font-size:80%}"
+        ".kw{background:#ffd}"
+    )
+    document = el(
+        "html",
+        None,
+        el(
+            "head",
+            None,
+            el("title", None, title),
+            el("style", None, style),
+        ),
+        el("body", None, el("h1", None, title), *body),
+    )
+    return "<!DOCTYPE html>" + document.render()

@@ -1,0 +1,150 @@
+"""Hyperlink scheme and browse-state encoding.
+
+Every browsing page is addressed by a URL whose query string carries the
+full view state, so views are bookmarkable and the renderer is a pure
+function of the URL — the property that lets the paper's system compose
+views through hyperlinks alone.
+
+URL scheme::
+
+    /                      home page (table list)
+    /schema                schema browser
+    /table/<name>?...      table view; state in the query string
+    /row/<table>/<rid>     single-tuple page with reference links
+    /search?q=...          keyword search results
+    /template/<name>?...   stored template instance
+
+Table-view state parameters (all optional, all repeatable where noted):
+
+* ``drop=col`` (repeatable) — projected-away columns;
+* ``where=col:op:value`` (repeatable) — selections;
+* ``join=fk_index:dir`` (repeatable) — foreign keys joined in
+  (``dir`` is ``f`` for referencing->referenced, ``r`` for reverse);
+* ``groupby=col`` — group by a column; ``expand=value`` opens a group;
+* ``sort=col`` / ``sort=-col`` — ascending / descending sort;
+* ``page=N`` — 1-based page number.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+from urllib.parse import parse_qs, quote, urlencode
+
+from repro.errors import BrowseError
+from repro.relational.database import RID
+
+
+@dataclass(frozen=True)
+class BrowseState:
+    """The full state of one table view."""
+
+    table: str
+    dropped: Tuple[str, ...] = ()
+    selections: Tuple[Tuple[str, str, str], ...] = ()  # (col, op, value)
+    joins: Tuple[Tuple[int, str], ...] = ()  # (fk index in schema, "f"|"r")
+    group_by: Optional[str] = None
+    expand: Optional[str] = None
+    sort: Optional[str] = None  # column, "-column" for descending
+    page: int = 1
+
+    # -- encoding ---------------------------------------------------------
+
+    def to_query(self) -> str:
+        params: List[Tuple[str, str]] = []
+        for column in self.dropped:
+            params.append(("drop", column))
+        for column, op, value in self.selections:
+            params.append(("where", f"{column}:{op}:{value}"))
+        for fk_index, direction in self.joins:
+            params.append(("join", f"{fk_index}:{direction}"))
+        if self.group_by:
+            params.append(("groupby", self.group_by))
+        if self.expand is not None:
+            params.append(("expand", self.expand))
+        if self.sort:
+            params.append(("sort", self.sort))
+        if self.page != 1:
+            params.append(("page", str(self.page)))
+        return urlencode(params)
+
+    @classmethod
+    def from_query(cls, table: str, query_string: str) -> "BrowseState":
+        values = parse_qs(query_string, keep_blank_values=True)
+        selections: List[Tuple[str, str, str]] = []
+        for spec in values.get("where", []):
+            parts = spec.split(":", 2)
+            if len(parts) != 3:
+                raise BrowseError(f"bad where parameter: {spec!r}")
+            selections.append((parts[0], parts[1], parts[2]))
+        joins: List[Tuple[int, str]] = []
+        for spec in values.get("join", []):
+            index_text, _, direction = spec.partition(":")
+            if direction not in ("f", "r") or not index_text.isdigit():
+                raise BrowseError(f"bad join parameter: {spec!r}")
+            joins.append((int(index_text), direction))
+        page_texts = values.get("page", ["1"])
+        if not page_texts[-1].isdigit() or int(page_texts[-1]) < 1:
+            raise BrowseError(f"bad page parameter: {page_texts[-1]!r}")
+        return cls(
+            table=table,
+            dropped=tuple(values.get("drop", [])),
+            selections=tuple(selections),
+            joins=tuple(joins),
+            group_by=values.get("groupby", [None])[-1],
+            expand=values.get("expand", [None])[-1],
+            sort=values.get("sort", [None])[-1],
+            page=int(page_texts[-1]),
+        )
+
+    # -- state transitions (each returns the URL of the modified view) -----
+
+    def url(self) -> str:
+        query = self.to_query()
+        base = f"/table/{quote(self.table)}"
+        return f"{base}?{query}" if query else base
+
+    def with_drop(self, column: str) -> "BrowseState":
+        return replace(self, dropped=self.dropped + (column,))
+
+    def with_selection(self, column: str, op: str, value: str) -> "BrowseState":
+        return replace(
+            self, selections=self.selections + ((column, op, value),), page=1
+        )
+
+    def with_join(self, fk_index: int, direction: str) -> "BrowseState":
+        return replace(self, joins=self.joins + ((fk_index, direction),))
+
+    def with_group_by(self, column: Optional[str]) -> "BrowseState":
+        return replace(self, group_by=column, expand=None, page=1)
+
+    def with_expand(self, value: str) -> "BrowseState":
+        return replace(self, expand=value)
+
+    def with_sort(self, column: str) -> "BrowseState":
+        if self.sort == column:
+            return replace(self, sort=f"-{column}")
+        return replace(self, sort=column)
+
+    def with_page(self, page: int) -> "BrowseState":
+        return replace(self, page=page)
+
+
+def table_url(table: str) -> str:
+    return BrowseState(table).url()
+
+
+def row_url(node: RID) -> str:
+    table, rid = node
+    return f"/row/{quote(table)}/{rid}"
+
+
+def search_url(query: str) -> str:
+    return "/search?" + urlencode({"q": query})
+
+
+def template_url(name: str, path: Sequence[str] = ()) -> str:
+    base = f"/template/{quote(name)}"
+    if not path:
+        return base
+    return base + "?" + urlencode([("path", p) for p in path])

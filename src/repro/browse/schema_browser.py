@@ -1,0 +1,75 @@
+"""Schema browsing (paper Sec. 4: "schema browsing is supported").
+
+One page listing every relation with its columns, types, key
+annotations, and hyperlinks to browse the data or follow foreign keys.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.browse.html import Element, el, link, page
+from repro.browse.hyperlink import BrowseState, table_url
+from repro.relational.database import Database
+
+
+def _column_annotations(schema, column_name: str) -> str:
+    notes: List[str] = []
+    if column_name in schema.primary_key:
+        notes.append("PK")
+    for fk in schema.foreign_keys:
+        if column_name in fk.source_columns:
+            notes.append(f"FK -> {fk.target_table}")
+    return ", ".join(notes)
+
+
+def render_schema(database: Database) -> str:
+    """The schema overview page."""
+    sections: List[Element] = [el("p", None, link("/", "home"))]
+    for schema in database.schema.tables():
+        rows: List[Element] = [
+            el(
+                "tr",
+                None,
+                el("th", None, "column"),
+                el("th", None, "type"),
+                el("th", None, "keys"),
+            )
+        ]
+        for column in schema.columns:
+            rows.append(
+                el(
+                    "tr",
+                    None,
+                    el("td", None, column.name),
+                    el(
+                        "td",
+                        None,
+                        column.datatype.name
+                        + ("" if column.nullable else " NOT NULL"),
+                    ),
+                    el("td", None, _column_annotations(schema, column.name)),
+                )
+            )
+        referencing = database.schema.references_to(schema.name)
+        referenced_by = (
+            "referenced by: "
+            + ", ".join(fk.source_table for fk in referencing)
+            if referencing
+            else ""
+        )
+        sections.append(
+            el(
+                "div",
+                None,
+                el(
+                    "h2",
+                    None,
+                    link(table_url(schema.name), schema.name),
+                    f" ({len(database.table(schema.name))} rows)",
+                ),
+                el("table", None, *rows),
+                el("p", None, referenced_by),
+            )
+        )
+    return page(f"Schema of {database.name}", *sections)

@@ -1,0 +1,320 @@
+"""Table and tuple pages with the paper's interactive controls.
+
+Section 4: "Every displayed foreign key attribute value becomes a
+hyperlink to the referenced tuple.  In addition, primary key columns can
+be browsed backwards, to find referencing tuples, organized by
+referencing relations. ... Columns can be projected away; selections can
+be imposed on any column; for foreign key columns, clicking on 'join'
+results in the referenced table being joined in ...; results can be
+grouped-by on a column; tuples ... can be sorted by a specified column.
+Controls for these operations can be accessed by clicking on the column
+names in the table header.  In addition, displayed data is paginated."
+
+Every control is rendered as a plain hyperlink whose URL is the current
+:class:`~repro.browse.hyperlink.BrowseState` plus one transition — the
+renderer itself stays a pure function.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.browse.html import Element, el, link, page
+from repro.browse.hyperlink import BrowseState, row_url
+from repro.errors import BrowseError
+from repro.relational.algebra import (
+    Relation,
+    drop_columns,
+    from_table,
+    group_by,
+    join_fk,
+    page_count,
+    paginate,
+    select,
+    sort_by,
+)
+from repro.relational.database import Database, RID
+
+PAGE_SIZE = 25
+
+#: Comparators offered in selection controls.
+_SELECT_OPS = ("=", "!=", "<", "<=", ">", ">=")
+
+
+def build_relation(database: Database, state: BrowseState) -> Relation:
+    """Materialise the relation a browse state describes.
+
+    Operator order matches the UI semantics: joins first (they add
+    columns selections may refer to), then selections, then projection,
+    then sort.  Pagination and grouping happen at render time.
+    """
+    relation = from_table(database.table(state.table))
+    base_schema = database.table(state.table).schema
+    for fk_index, direction in state.joins:
+        if fk_index >= len(base_schema.foreign_keys):
+            raise BrowseError(f"no foreign key #{fk_index} on {state.table!r}")
+        foreign_key = base_schema.foreign_keys[fk_index]
+        relation = join_fk(
+            database, relation, foreign_key, reverse=(direction == "r")
+        )
+    for column, op, raw_value in state.selections:
+        value = _coerce_selection_value(relation, column, raw_value)
+        relation = select(relation, column, op, value)
+    if state.dropped:
+        present = [c for c in state.dropped if _has_column(relation, c)]
+        if present:
+            relation = drop_columns(relation, present)
+    if state.sort:
+        descending = state.sort.startswith("-")
+        column = state.sort.lstrip("-")
+        if _has_column(relation, column):
+            relation = sort_by(relation, column, descending)
+    return relation
+
+
+def _has_column(relation: Relation, column: str) -> bool:
+    try:
+        relation.column_position(column)
+    except Exception:
+        return False
+    return True
+
+
+def _coerce_selection_value(
+    relation: Relation, column: str, raw_value: str
+) -> Any:
+    """Best-effort typing of a selection literal from the URL."""
+    try:
+        position = relation.column_position(column)
+    except Exception:
+        raise BrowseError(f"unknown selection column {column!r}") from None
+    for row in relation.rows:
+        cell = row[position]
+        if cell is None:
+            continue
+        if isinstance(cell, bool):
+            return raw_value == "True"
+        if isinstance(cell, int):
+            try:
+                return int(raw_value)
+            except ValueError:
+                return raw_value
+        if isinstance(cell, float):
+            try:
+                return float(raw_value)
+            except ValueError:
+                return raw_value
+        break
+    return raw_value
+
+
+def _header_cell(state: BrowseState, column: str) -> Element:
+    """A column header with its pop-up-menu controls as links."""
+    simple = column.split(".")[-1]
+    controls = el(
+        "span",
+        {"class": "controls"},
+        link(state.with_drop(column).url(), "[drop]"),
+        link(state.with_sort(column).url(), "[sort]"),
+        link(state.with_group_by(column).url(), "[group]"),
+    )
+    return el("th", None, simple, el("br"), controls)
+
+
+def _fk_links(
+    database: Database, state: BrowseState
+) -> List[Element]:
+    """The join controls: one per foreign key, both directions."""
+    schema = database.table(state.table).schema
+    items: List[Element] = []
+    for index, fk in enumerate(schema.foreign_keys):
+        items.append(
+            el(
+                "li",
+                None,
+                f"{fk.name} ",
+                link(state.with_join(index, "f").url(), "[join referenced]"),
+                " ",
+                link(state.with_join(index, "r").url(), "[join referencing]"),
+            )
+        )
+    return items
+
+
+def _value_cell(
+    database: Database,
+    relation: Relation,
+    state: BrowseState,
+    row_index: int,
+    column_index: int,
+) -> Element:
+    """One data cell; FK provenance makes it a hyperlink to the tuple."""
+    value = relation.rows[row_index][column_index]
+    text = "" if value is None else str(value)
+    provenance = relation.provenance[row_index]
+    column = relation.columns[column_index]
+    table_name = column.split(".")[0] if "." in column else state.table
+    target: Optional[RID] = None
+    for rid in provenance:
+        if rid[0] == table_name:
+            target = rid
+            break
+    if target is not None:
+        return el("td", None, link(row_url(target), text or "(null)"))
+    return el("td", None, text)
+
+
+def render_table_page(database: Database, state: BrowseState) -> str:
+    """The main table view (paper Fig. 4)."""
+    relation = build_relation(database, state)
+
+    body: List[Element] = []
+    body.append(
+        el(
+            "p",
+            None,
+            link("/", "home"),
+            " | ",
+            link("/schema", "schema"),
+            f" | {len(relation)} rows",
+        )
+    )
+    join_items = _fk_links(database, state)
+    if join_items:
+        body.append(el("ul", None, *join_items))
+
+    if state.group_by and _has_column(relation, state.group_by):
+        body.append(_render_grouped(relation, state))
+    else:
+        body.append(_render_plain(database, relation, state))
+
+    return page(f"Table {state.table}", *body)
+
+
+def _render_plain(
+    database: Database, relation: Relation, state: BrowseState
+) -> Element:
+    pages = page_count(relation, PAGE_SIZE)
+    current = min(state.page, pages)
+    view = paginate(relation, current, PAGE_SIZE)
+
+    header = el(
+        "tr", None, *[_header_cell(state, column) for column in view.columns]
+    )
+    rows: List[Element] = [header]
+    for row_index in range(len(view.rows)):
+        cells = [
+            _value_cell(database, view, state, row_index, column_index)
+            for column_index in range(len(view.columns))
+        ]
+        rows.append(el("tr", None, *cells))
+
+    pager_links: List[Element] = []
+    if current > 1:
+        pager_links.append(link(state.with_page(current - 1).url(), "prev"))
+    pager_links.append(el("span", None, f" page {current}/{pages} "))
+    if current < pages:
+        pager_links.append(link(state.with_page(current + 1).url(), "next"))
+
+    return el("div", None, el("table", None, *rows), el("p", None, *pager_links))
+
+
+def _render_grouped(relation: Relation, state: BrowseState) -> Element:
+    """Group-by view: distinct values; one group optionally expanded."""
+    grouping = group_by(relation, state.group_by or "")
+    items: List[Element] = []
+    for value in grouping.distinct_values():
+        text = "(null)" if value is None else str(value)
+        count = grouping.count(value)
+        items.append(
+            el(
+                "li",
+                None,
+                link(state.with_expand(text).url(), text),
+                f" ({count} rows)",
+            )
+        )
+    parts: List[Element] = [
+        el("p", None, link(state.with_group_by(None).url(), "[ungroup]")),
+        el("ul", None, *items),
+    ]
+    if state.expand is not None:
+        for value in grouping.distinct_values():
+            text = "(null)" if value is None else str(value)
+            if text == state.expand:
+                expanded = grouping.expand(value)
+                header = el(
+                    "tr",
+                    None,
+                    *[el("th", None, c.split(".")[-1]) for c in expanded.columns],
+                )
+                rows = [header]
+                for row in expanded.rows:
+                    rows.append(
+                        el(
+                            "tr",
+                            None,
+                            *[
+                                el("td", None, "" if v is None else str(v))
+                                for v in row
+                            ],
+                        )
+                    )
+                parts.append(el("h2", None, f"{state.group_by} = {text}"))
+                parts.append(el("table", None, *rows))
+    return el("div", None, *parts)
+
+
+def render_row_page(database: Database, node: RID) -> str:
+    """Single-tuple page: values, outgoing references as hyperlinks, and
+    referencing tuples organised by referencing relation."""
+    table_name, rid = node
+    table = database.table(table_name)
+    row = table.row(rid)
+
+    value_rows: List[Element] = []
+    for column in table.schema.columns:
+        value = row[column.name]
+        value_rows.append(
+            el(
+                "tr",
+                None,
+                el("th", None, column.name),
+                el("td", None, "" if value is None else str(value)),
+            )
+        )
+
+    body: List[Element] = [
+        el("p", None, link(BrowseState(table_name).url(), f"table {table_name}")),
+        el("table", None, *value_rows),
+    ]
+
+    outgoing = database.references_of(node)
+    if outgoing:
+        items = [
+            el(
+                "li",
+                None,
+                f"{fk.name}: ",
+                link(row_url(target), f"{target[0]}#{target[1]}"),
+            )
+            for fk, target in outgoing
+        ]
+        body.append(el("h2", None, "References"))
+        body.append(el("ul", None, *items))
+
+    incoming = database.referencing(node)
+    if incoming:
+        by_relation: Dict[str, List[RID]] = {}
+        for fk, source in incoming:
+            by_relation.setdefault(fk.source_table, []).append(source)
+        body.append(el("h2", None, "Referenced by"))
+        for relation_name, sources in sorted(by_relation.items()):
+            items = [
+                el("li", None, link(row_url(s), f"{s[0]}#{s[1]}"))
+                for s in sources[:50]
+            ]
+            body.append(el("h3", None, f"{relation_name} ({len(sources)})"))
+            body.append(el("ul", None, *items))
+
+    return page(f"{table_name} #{rid}", *body)

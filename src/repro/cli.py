@@ -1,0 +1,203 @@
+"""The ``banks`` command-line interface.
+
+Point it at any database and get keyword search, statistics, the
+Figure 5 parameter sweep, or the Web front end — the CLI packaging of
+the paper's "can be run on any schema without any programming".
+
+Database specifiers (the ``DB`` argument)::
+
+    demo:bibliography      the DBLP-like generated dataset (default sizes)
+    demo:thesis            the IITB-thesis-like dataset
+    demo:tpcd              the mini TPC-D dataset
+    demo:university        the department-hub example
+    sqlite:/path/to/db     any sqlite3 database file
+    csv:/path/to/dir       a directory of CSV files (one per table)
+
+Commands::
+
+    banks stats DB                     graph/index statistics
+    banks search DB QUERY... [-k N]    ranked connection trees
+    banks sweep DB                     the Figure 5 lambda x EdgeLog grid
+    banks serve DB [--port P]          the browsing/search Web app
+
+Exit status: 0 on success, 1 on a usage or data error (message on
+stderr).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.core.banks import BANKS
+from repro.errors import ReproError
+from repro.relational.database import Database
+
+_DEMOS = ("bibliography", "thesis", "tpcd", "university")
+
+
+def load_database(spec: str) -> Database:
+    """Resolve a ``DB`` specifier to a loaded database."""
+    scheme, _, rest = spec.partition(":")
+    if scheme == "demo":
+        if rest == "bibliography":
+            from repro.datasets import generate_bibliography
+
+            return generate_bibliography()[0]
+        if rest == "thesis":
+            from repro.datasets import generate_thesis_db
+
+            return generate_thesis_db()[0]
+        if rest == "tpcd":
+            from repro.datasets import generate_tpcd
+
+            return generate_tpcd()[0]
+        if rest == "university":
+            from repro.datasets import generate_university
+
+            return generate_university()[0]
+        raise ReproError(
+            f"unknown demo dataset {rest!r} (choose from {', '.join(_DEMOS)})"
+        )
+    if scheme == "sqlite":
+        from repro.relational.sqlite_adapter import load_sqlite
+
+        return load_sqlite(rest)
+    if scheme == "csv":
+        from repro.relational.csvio import load_from_csv_dir
+
+        return load_from_csv_dir(rest)
+    raise ReproError(
+        f"unknown database specifier {spec!r} "
+        "(use demo:NAME, sqlite:PATH or csv:DIR)"
+    )
+
+
+def _command_stats(args: argparse.Namespace, out) -> int:
+    database = load_database(args.db)
+    start = time.perf_counter()
+    banks = BANKS(database)
+    elapsed = time.perf_counter() - start
+    print(f"database     : {database.name}", file=out)
+    for table in database.tables():
+        print(
+            f"  table {table.schema.name:<20} {len(table):>8} rows", file=out
+        )
+    print(f"graph nodes  : {banks.stats.num_nodes}", file=out)
+    print(f"graph edges  : {banks.stats.num_edges}", file=out)
+    print(f"index terms  : {len(banks.index)}", file=out)
+    print(f"build time   : {elapsed:.2f} s", file=out)
+    return 0
+
+
+def _command_search(args: argparse.Namespace, out) -> int:
+    database = load_database(args.db)
+    banks = BANKS(database)
+    query = " ".join(args.query)
+    start = time.perf_counter()
+    answers = banks.search(query, max_results=args.max_results)
+    elapsed = time.perf_counter() - start
+    if not answers:
+        print("no answers", file=out)
+        return 0
+    for answer in answers:
+        print(f"#{answer.rank + 1} relevance={answer.relevance:.4f}", file=out)
+        print(answer.render(), file=out)
+        print(file=out)
+    print(
+        f"{len(answers)} answer(s) in {1000 * elapsed:.0f} ms", file=out
+    )
+    return 0
+
+
+def _command_sweep(args: argparse.Namespace, out) -> int:
+    if not args.db.startswith("demo:bibliography"):
+        raise ReproError(
+            "sweep needs the ground-truth workload: use demo:bibliography"
+        )
+    from repro.datasets import generate_bibliography
+    from repro.eval.sweep import figure5_sweep, format_figure5
+    from repro.eval.workload import bibliography_workload
+
+    database, anecdotes = generate_bibliography()
+    banks = BANKS(database)
+    workload = bibliography_workload(anecdotes)
+    points = figure5_sweep(banks, workload)
+    print(format_figure5(points), file=out)
+    best = min(points, key=lambda p: p.scaled_error)
+    print(f"best setting: {best.label()} (error {best.scaled_error:.1f})", file=out)
+    return 0
+
+
+def _command_serve(args: argparse.Namespace, out) -> int:
+    from repro.browse.app import BrowseApp
+
+    database = load_database(args.db)
+    app = BrowseApp(BANKS(database))
+    if args.check:
+        status, _html = app.handle("/", "")
+        print(f"self-check: GET / -> {status}", file=out)
+        return 0 if status.startswith("200") else 1
+    from wsgiref.simple_server import make_server
+
+    with make_server(args.host, args.port, app) as server:
+        print(
+            f"serving {database.name} on http://{args.host}:{args.port}/",
+            file=out,
+        )
+        server.serve_forever()
+    return 0  # pragma: no cover - serve_forever does not return
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="banks",
+        description="BANKS: keyword searching and browsing in databases",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    stats = commands.add_parser("stats", help="graph and index statistics")
+    stats.add_argument("db", help="database specifier (see module docs)")
+    stats.set_defaults(run=_command_stats)
+
+    search = commands.add_parser("search", help="keyword search")
+    search.add_argument("db")
+    search.add_argument("query", nargs="+", help="search keywords")
+    search.add_argument(
+        "-k", "--max-results", type=int, default=10, dest="max_results"
+    )
+    search.set_defaults(run=_command_search)
+
+    sweep = commands.add_parser("sweep", help="Figure 5 parameter sweep")
+    sweep.add_argument("db")
+    sweep.set_defaults(run=_command_sweep)
+
+    serve = commands.add_parser("serve", help="run the Web front end")
+    serve.add_argument("db")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8000)
+    serve.add_argument(
+        "--check",
+        action="store_true",
+        help="render the home page and exit (no server)",
+    )
+    serve.set_defaults(run=_command_serve)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None, out=None) -> int:
+    """CLI entry point; returns the process exit status."""
+    out = out or sys.stdout
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.run(args, out)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,230 @@
+"""Answer trees: rooted directed connection trees (paper Sec. 2.3).
+
+An answer to a keyword query is a rooted directed tree — the root is the
+*information node*, the paths lead to nodes matching each keyword.  This
+module owns:
+
+* incremental construction from root-to-keyword paths (grafting each new
+  path onto the existing tree at the first shared node, which keeps the
+  union a tree);
+* structural validation (every test asserts these invariants);
+* the *canonical undirected form* used for duplicate detection — the
+  paper treats two trees as duplicates when "their undirected versions
+  are same";
+* the single-child-root test ("trees whose root has only one child are
+  discarded, since the tree formed by removing the root node would also
+  have been generated, and would be a better answer").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Hashable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import GraphError
+from repro.graph.digraph import DiGraph
+
+Node = Hashable
+Edge = Tuple[Node, Node]
+
+
+class AnswerTree:
+    """A rooted directed tree over data-graph nodes.
+
+    Attributes:
+        root: the information node.
+        parent: child -> parent map (the root has no entry).
+        keyword_nodes: per search term, the node that matched it
+            (``None`` for terms the answer does not cover, when partial
+            answers are allowed).
+        weight: total weight of the tree's directed edges.
+    """
+
+    __slots__ = ("root", "parent", "keyword_nodes", "weight", "_edge_weights")
+
+    def __init__(
+        self,
+        root: Node,
+        parent: Dict[Node, Node],
+        keyword_nodes: Tuple[Optional[Node], ...],
+        edge_weights: Dict[Edge, float],
+    ):
+        self.root = root
+        self.parent = parent
+        self.keyword_nodes = keyword_nodes
+        self._edge_weights = edge_weights
+        self.weight = sum(edge_weights.values())
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def from_paths(
+        cls,
+        graph: DiGraph,
+        root: Node,
+        paths: Sequence[Optional[Sequence[Node]]],
+    ) -> "AnswerTree":
+        """Build a tree from one root-to-keyword path per search term.
+
+        Each path must start at ``root`` and end at the matched node.
+        Paths are grafted in order: edges are added walking from the
+        keyword end toward the root, stopping at the first node already
+        in the tree, so every node keeps a single parent.  ``None``
+        entries mean "term not covered" (partial answers).
+
+        Raises:
+            GraphError: if a path does not start at the root or uses an
+                edge absent from ``graph``.
+        """
+        parent: Dict[Node, Node] = {}
+        in_tree = {root}
+        edge_weights: Dict[Edge, float] = {}
+        keyword_nodes: List[Optional[Node]] = []
+
+        for path in paths:
+            if path is None:
+                keyword_nodes.append(None)
+                continue
+            if not path or path[0] != root:
+                raise GraphError(
+                    f"path must start at the root {root!r}: {path!r}"
+                )
+            keyword_nodes.append(path[-1])
+            # Find the deepest position whose node is already in the tree;
+            # edges beyond it are new.
+            graft = 0
+            for position in range(len(path) - 1, -1, -1):
+                if path[position] in in_tree:
+                    graft = position
+                    break
+            for position in range(graft, len(path) - 1):
+                source, target = path[position], path[position + 1]
+                if target in in_tree:
+                    # The path re-enters the tree: illegal graft that
+                    # would give ``target`` two parents.
+                    raise GraphError(
+                        f"path re-enters the tree at {target!r}"
+                    )
+                parent[target] = source
+                in_tree.add(target)
+                edge_weights[(source, target)] = graph.edge_weight(
+                    source, target
+                )
+
+        return cls(root, parent, tuple(keyword_nodes), edge_weights)
+
+    # -- structure ------------------------------------------------------------
+
+    @property
+    def nodes(self) -> FrozenSet[Node]:
+        return frozenset(self.parent) | {self.root}
+
+    @property
+    def edges(self) -> FrozenSet[Edge]:
+        """Directed edges, each pointing away from the root."""
+        return frozenset(
+            (parent, child) for child, parent in self.parent.items()
+        )
+
+    def edge_weight(self, source: Node, target: Node) -> float:
+        return self._edge_weights[(source, target)]
+
+    def children(self, node: Node) -> List[Node]:
+        return [child for child, parent in self.parent.items() if parent == node]
+
+    def root_child_count(self) -> int:
+        """Number of children of the root (the discard-rule quantity)."""
+        return sum(1 for parent in self.parent.values() if parent == self.root)
+
+    def covered_terms(self) -> int:
+        return sum(1 for node in self.keyword_nodes if node is not None)
+
+    def size(self) -> int:
+        """Node count."""
+        return len(self.parent) + 1
+
+    # -- invariants -------------------------------------------------------------
+
+    def validate(self) -> None:
+        """Assert tree-ness; raises :class:`GraphError` on violation.
+
+        Checks: single root, acyclic parent chains all reaching the
+        root, and every covered keyword node present in the tree.
+        """
+        nodes = self.nodes
+        for node in self.parent:
+            seen = set()
+            current: Optional[Node] = node
+            while current is not None and current != self.root:
+                if current in seen:
+                    raise GraphError(f"cycle through {current!r}")
+                seen.add(current)
+                current = self.parent.get(current)
+                if current is None:
+                    raise GraphError(
+                        f"node {node!r} does not reach the root"
+                    )
+        for keyword_node in self.keyword_nodes:
+            if keyword_node is not None and keyword_node not in nodes:
+                raise GraphError(
+                    f"keyword node {keyword_node!r} missing from tree"
+                )
+
+    # -- duplicate detection ------------------------------------------------------
+
+    def undirected_key(self) -> FrozenSet:
+        """Canonical form ignoring edge direction and root choice.
+
+        Two answers are duplicates when their undirected versions
+        coincide; the key is the node set plus the set of undirected
+        edges (a single-node tree is keyed by its node alone).
+        """
+        undirected_edges = frozenset(
+            frozenset((source, target)) for source, target in self.edges
+        )
+        return frozenset((self.nodes, undirected_edges))
+
+    # -- rendering ----------------------------------------------------------------
+
+    def render_indented(
+        self, label: Optional[Mapping[Node, str]] = None
+    ) -> str:
+        """Indented textual rendering in the style of the paper's Fig. 2.
+
+        Keyword-matching nodes are marked with ``*`` (the paper uses
+        colour for the same purpose).
+        """
+        matched = {node for node in self.keyword_nodes if node is not None}
+
+        def name_of(node: Node) -> str:
+            if label and node in label:
+                return label[node]
+            return repr(node)
+
+        lines: List[str] = []
+
+        def walk(node: Node, depth: int) -> None:
+            marker = "*" if node in matched else " "
+            lines.append(f"{'  ' * depth}{marker} {name_of(node)}")
+            for child in sorted(self.children(node), key=repr):
+                walk(child, depth + 1)
+
+        walk(self.root, 0)
+        return "\n".join(lines)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, AnswerTree):
+            return NotImplemented
+        return (
+            self.root == other.root
+            and self.parent == other.parent
+            and self.keyword_nodes == other.keyword_nodes
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.root, frozenset(self.parent.items())))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"AnswerTree(root={self.root!r}, nodes={self.size()}, "
+            f"weight={self.weight:.3f})"
+        )

@@ -1,0 +1,148 @@
+"""Query result caching for interactive front ends.
+
+The paper's front end is a Web application; repeated queries (reloads,
+back buttons, shared links) are the common case, and graph search is
+the expensive step.  :class:`ResultCache` is a small LRU keyed by the
+*semantics* of a search — normalised query text plus every knob that
+affects ranking — and :class:`CachedBanks` wires it into the facade.
+
+The cache is deliberately conservative: any knob it does not recognise
+bypasses caching rather than risking a stale or mismatched entry, and
+a single :meth:`ResultCache.clear` drops everything after data changes
+(the incremental layer calls it on every mutation when composed).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Hashable, List, Optional, Tuple, Union
+
+from repro.core.banks import BANKS, Answer
+from repro.core.query import ParsedQuery, parse_query
+from repro.core.scoring import ScoringConfig
+from repro.errors import QueryError
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters (monotone; ratios derived)."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def requests(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        if not self.requests:
+            return 0.0
+        return self.hits / self.requests
+
+
+class ResultCache:
+    """A bounded LRU mapping hashable keys to answer lists."""
+
+    def __init__(self, capacity: int = 128):
+        if capacity < 1:
+            raise QueryError("cache capacity must be >= 1")
+        self.capacity = capacity
+        self._entries: "OrderedDict[Hashable, object]" = OrderedDict()
+        self.stats = CacheStats()
+
+    def get(self, key: Hashable) -> Optional[object]:
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return self._entries[key]
+        self.stats.misses += 1
+        return None
+
+    def put(self, key: Hashable, value: object) -> None:
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = value
+        if len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+def _query_key(query: Union[str, ParsedQuery]) -> Tuple:
+    parsed = parse_query(query) if isinstance(query, str) else query
+    return tuple(
+        (term.kind, term.term, term.attribute, term.number)
+        for term in parsed.terms
+    )
+
+
+def _scoring_key(scoring: Optional[ScoringConfig]) -> Tuple:
+    if scoring is None:
+        return ()
+    return (
+        scoring.lambda_weight,
+        scoring.edge_log,
+        scoring.node_log,
+        scoring.combination,
+    )
+
+
+class CachedBanks(BANKS):
+    """A BANKS facade with an LRU result cache in front of search.
+
+    Identical queries (same terms after normalisation, same result
+    count, same scoring override) return the cached answer list;
+    anything else falls through.  Call :meth:`invalidate` after data
+    changes.
+    """
+
+    def __init__(self, database, cache_capacity: int = 128, **banks_options):
+        super().__init__(database, **banks_options)
+        self.cache = ResultCache(cache_capacity)
+
+    def search(
+        self,
+        query,
+        max_results=None,
+        scoring=None,
+        bidirectional=False,
+        **config_overrides,
+    ) -> List[Answer]:
+        if config_overrides:
+            # Unrecognised knobs: bypass rather than over-key the cache.
+            return super().search(
+                query,
+                max_results=max_results,
+                scoring=scoring,
+                bidirectional=bidirectional,
+                **config_overrides,
+            )
+        key = (
+            _query_key(query),
+            max_results,
+            _scoring_key(scoring),
+            bidirectional,
+        )
+        cached = self.cache.get(key)
+        if cached is not None:
+            return list(cached)
+        answers = super().search(
+            query,
+            max_results=max_results,
+            scoring=scoring,
+            bidirectional=bidirectional,
+        )
+        self.cache.put(key, tuple(answers))
+        return answers
+
+    def invalidate(self) -> None:
+        """Drop every cached result (call after mutating the data)."""
+        self.cache.clear()

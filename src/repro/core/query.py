@@ -1,0 +1,169 @@
+"""Query parsing and keyword-to-node resolution.
+
+A BANKS query is a few whitespace-separated search terms.  Besides plain
+keywords this parser implements the two syntaxes the paper describes:
+
+* ``attribute:keyword`` — "queries such as 'author:Levy' which would
+  require the keyword 'Levy' to be in an author name attribute"
+  (Sec. 2.3 / Sec. 7);
+* ``approx(NUMBER)`` — "concurrency approx(1988) to look for papers
+  about concurrency published around 1988" (Sec. 7).
+
+Resolution turns each term into its node set ``S_i``: data postings from
+the inverted index, optionally metadata matches (table/column names) and
+optionally fuzzy (edit-distance) expansion.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Set, Tuple
+
+from repro.errors import EmptyQueryError, QueryError
+from repro.relational.database import Database, RID
+from repro.text.fuzzy import expand_fuzzy, numbers_near
+from repro.text.inverted_index import InvertedIndex
+from repro.text.tokenizer import normalize, tokenize_identifier
+
+_APPROX_RE = re.compile(r"^approx\((\d+)\)$", re.IGNORECASE)
+
+
+@dataclass(frozen=True)
+class QueryTerm:
+    """One parsed search term.
+
+    Attributes:
+        raw: the original text.
+        kind: ``"keyword"``, ``"attribute"`` or ``"approx"``.
+        term: the normalised keyword (empty for ``approx``).
+        attribute: the attribute qualifier for ``attribute:keyword``.
+        number: the target for ``approx(NUMBER)``.
+    """
+
+    raw: str
+    kind: str
+    term: str = ""
+    attribute: Optional[str] = None
+    number: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class ParsedQuery:
+    """A full query: its terms, in order."""
+
+    terms: Tuple[QueryTerm, ...]
+
+    def __len__(self) -> int:
+        return len(self.terms)
+
+
+def parse_query(text: str) -> ParsedQuery:
+    """Parse a query string into :class:`ParsedQuery`.
+
+    Raises:
+        EmptyQueryError: when no usable term remains after parsing.
+    """
+    terms: List[QueryTerm] = []
+    for token in text.split():
+        approx_match = _APPROX_RE.match(token)
+        if approx_match:
+            terms.append(
+                QueryTerm(raw=token, kind="approx", number=int(approx_match.group(1)))
+            )
+            continue
+        if ":" in token:
+            attribute, _, keyword = token.partition(":")
+            attribute = normalize(attribute)
+            keyword = normalize(keyword)
+            if not attribute or not keyword:
+                raise QueryError(f"malformed attribute term: {token!r}")
+            terms.append(
+                QueryTerm(
+                    raw=token, kind="attribute", term=keyword, attribute=attribute
+                )
+            )
+            continue
+        keyword = normalize(token)
+        if keyword:
+            terms.append(QueryTerm(raw=token, kind="keyword", term=keyword))
+    if not terms:
+        raise EmptyQueryError(f"query has no usable terms: {text!r}")
+    return ParsedQuery(tuple(terms))
+
+
+def _attribute_columns(
+    database: Database, attribute: str
+) -> List[Tuple[str, str]]:
+    """(table, column) pairs whose column name matches ``attribute``."""
+    matches: List[Tuple[str, str]] = []
+    for schema in database.schema.tables():
+        for column in schema.columns:
+            if attribute in tokenize_identifier(column.name):
+                matches.append((schema.name, column.name))
+    return matches
+
+
+def resolve_term(
+    term: QueryTerm,
+    index: InvertedIndex,
+    database: Database,
+    include_metadata: bool = True,
+    fuzzy: bool = False,
+    approx_window: int = 2,
+) -> Set[RID]:
+    """The node set ``S_i`` for one term.
+
+    Args:
+        term: a parsed term.
+        index: the database's inverted index.
+        database: the database (needed for metadata expansion).
+        include_metadata: let keywords match table/column names.
+        fuzzy: expand the keyword to edit-distance neighbours when the
+            exact term is absent from the vocabulary.
+        approx_window: half-width of the ``approx(N)`` numeric window.
+    """
+    if term.kind == "approx":
+        nodes: Set[RID] = set()
+        for token in numbers_near(
+            term.number or 0, index.vocabulary(), window=approx_window
+        ):
+            nodes.update(posting.node for posting in index.lookup(token))
+        return nodes
+
+    if term.kind == "attribute":
+        nodes = set()
+        for table, column in _attribute_columns(database, term.attribute or ""):
+            nodes.update(
+                posting.node
+                for posting in index.lookup_column(term.term, table, column)
+            )
+        return nodes
+
+    nodes = index.lookup_nodes(term.term, include_metadata=include_metadata)
+    if not nodes and fuzzy:
+        for token, _distance in expand_fuzzy(term.term, index.vocabulary()):
+            nodes.update(posting.node for posting in index.lookup(token))
+    return nodes
+
+
+def resolve_query(
+    query: ParsedQuery,
+    index: InvertedIndex,
+    database: Database,
+    include_metadata: bool = True,
+    fuzzy: bool = False,
+    approx_window: int = 2,
+) -> List[Set[RID]]:
+    """Node sets for every term of ``query`` (in term order)."""
+    return [
+        resolve_term(
+            term,
+            index,
+            database,
+            include_metadata=include_metadata,
+            fuzzy=fuzzy,
+            approx_window=approx_window,
+        )
+        for term in query.terms
+    ]

@@ -1,0 +1,155 @@
+"""Relevance scoring of answer trees (paper Sec. 2.3).
+
+The paper defines three two-valued options — log scaling of edge scores
+(*EdgeLog*), log scaling of node scores (*NodeLog*), and the combination
+mode (additive / multiplicative) — times a mixing factor ``lambda``:
+
+* ``escore_norm(e) = w(e)/w_min``, or ``log2(1 + w(e)/w_min)`` with
+  EdgeLog;
+* ``EScore = 1 / (1 + sum_e escore_norm(e))`` — lower relevance for
+  larger trees; an answer that is a single node has ``EScore = 1``;
+* ``nscore_norm(v) = w(v)/w_max``, or ``log2(1 + w(v)/w_max)`` with
+  NodeLog — both scale-free quantities in [0, 1];
+* ``NScore`` = the average of ``nscore_norm`` over the root and the
+  keyword-matching leaves, a leaf counted once per search term it
+  matches;
+* combination: additive ``(1-lambda)*EScore + lambda*NScore`` or
+  multiplicative ``EScore^(1-lambda) * NScore^lambda`` (the weighted
+  geometric mean; at ``lambda=1`` both ignore edge weights and at
+  ``lambda=0`` both ignore node weights, matching the paper's reading of
+  the endpoints).
+
+Of the eight combinations the paper discards the three that mix log
+scaling with multiplication ("these scores tended to become quite
+small"); :func:`ScoringConfig.paper_grid` enumerates the remaining five
+the way the evaluation does.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Iterable, List, Optional
+
+from repro.errors import QueryError
+from repro.core.answer import AnswerTree
+from repro.core.model import GraphStats
+from repro.graph.digraph import DiGraph
+
+_COMBINATIONS = ("additive", "multiplicative")
+
+
+@dataclass(frozen=True)
+class ScoringConfig:
+    """One point in the paper's scoring-parameter space.
+
+    Attributes:
+        lambda_weight: node-score weight ``lambda`` in [0, 1]; the
+            paper's best setting is 0.2.
+        edge_log: log-scale edge scores (paper: important, best on).
+        node_log: log-scale node scores (paper: no observed difference).
+        combination: ``"additive"`` or ``"multiplicative"``.
+    """
+
+    lambda_weight: float = 0.2
+    edge_log: bool = True
+    node_log: bool = False
+    combination: str = "additive"
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.lambda_weight <= 1.0:
+            raise QueryError(
+                f"lambda must be in [0, 1], got {self.lambda_weight}"
+            )
+        if self.combination not in _COMBINATIONS:
+            raise QueryError(
+                f"combination must be one of {_COMBINATIONS}, "
+                f"got {self.combination!r}"
+            )
+
+    @staticmethod
+    def paper_grid() -> List["ScoringConfig"]:
+        """The five retained option combinations, at the paper's default
+        lambda; sweep lambda separately (see :mod:`repro.eval.sweep`)."""
+        grid: List[ScoringConfig] = []
+        for edge_log in (False, True):
+            for node_log in (False, True):
+                for combination in _COMBINATIONS:
+                    if combination == "multiplicative" and (edge_log or node_log):
+                        continue  # discarded by the paper
+                    grid.append(
+                        ScoringConfig(
+                            edge_log=edge_log,
+                            node_log=node_log,
+                            combination=combination,
+                        )
+                    )
+        return grid
+
+
+class Scorer:
+    """Computes relevance scores for answer trees against one graph."""
+
+    def __init__(self, stats: GraphStats, config: Optional[ScoringConfig] = None):
+        self.stats = stats
+        self.config = config or ScoringConfig()
+        if stats.min_edge_weight <= 0:
+            raise QueryError("min edge weight must be positive for scoring")
+
+    # -- components -----------------------------------------------------------
+
+    def edge_score_norm(self, weight: float) -> float:
+        scaled = weight / self.stats.min_edge_weight
+        if self.config.edge_log:
+            return math.log2(1.0 + scaled)
+        return scaled
+
+    def node_score_norm(self, weight: float) -> float:
+        scaled = weight / self.stats.max_node_weight
+        scaled = min(1.0, max(0.0, scaled))
+        if self.config.node_log:
+            return math.log2(1.0 + scaled)
+        return scaled
+
+    def edge_score(self, tree: AnswerTree) -> float:
+        """Overall tree edge score in (0, 1]."""
+        total = sum(
+            self.edge_score_norm(tree.edge_weight(source, target))
+            for source, target in tree.edges
+        )
+        return 1.0 / (1.0 + total)
+
+    def node_score(self, tree: AnswerTree, graph: DiGraph) -> float:
+        """Average node score over root + matched leaves, in [0, 1]."""
+        scores = [self.node_score_norm(graph.node_weight(tree.root))]
+        for keyword_node in tree.keyword_nodes:
+            if keyword_node is None:
+                # Uncovered term (partial answers): contributes zero,
+                # penalising incomplete answers.
+                scores.append(0.0)
+            else:
+                scores.append(
+                    self.node_score_norm(graph.node_weight(keyword_node))
+                )
+        return sum(scores) / len(scores)
+
+    # -- combined -----------------------------------------------------------------
+
+    def relevance(self, tree: AnswerTree, graph: DiGraph) -> float:
+        """Overall relevance in [0, 1]."""
+        edge_score = self.edge_score(tree)
+        node_score = self.node_score(tree, graph)
+        lam = self.config.lambda_weight
+        if self.config.combination == "additive":
+            return (1.0 - lam) * edge_score + lam * node_score
+        # Weighted geometric mean; 0^0 == 1 by convention so lambda
+        # endpoints behave like the additive ones.
+        edge_part = edge_score ** (1.0 - lam) if lam < 1.0 else 1.0
+        node_part = node_score**lam if lam > 0.0 else 1.0
+        return edge_part * node_part
+
+    def with_config(self, config: ScoringConfig) -> "Scorer":
+        return Scorer(self.stats, config)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Scorer({self.config})"

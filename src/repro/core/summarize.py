@@ -1,0 +1,61 @@
+"""Answer summarisation by tree structure (paper Sec. 7, implemented).
+
+"We also want to summarize the output, i.e., group the output tuples
+into sets that have the same tree structure, and allow the user to look
+for further answers with a particular tree structure."
+
+The *structure* of an answer is its schema-level shape: replace every
+node by its relation name and compute a canonical form of the resulting
+rooted tree (children sorted by their own canonical forms, so the
+signature is invariant to sibling order).  Answers with equal signatures
+are the same "kind" of result — e.g. every *author -> writes -> paper*
+tree groups together regardless of which author and paper.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Hashable, List, Sequence, Tuple
+
+from repro.core.answer import AnswerTree
+from repro.core.search import ScoredAnswer
+
+
+def _table_of(node: Hashable) -> str:
+    if isinstance(node, tuple) and len(node) == 2 and isinstance(node[0], str):
+        return node[0]
+    return str(node)
+
+
+def structure_signature(tree: AnswerTree) -> str:
+    """Canonical schema-level shape of ``tree``.
+
+    A node renders as ``table(child, child, ...)`` with children sorted
+    lexicographically by their canonical renderings.
+    """
+
+    def canon(node: Hashable) -> str:
+        children = sorted(canon(child) for child in tree.children(node))
+        label = _table_of(node)
+        if not children:
+            return label
+        return f"{label}({','.join(children)})"
+
+    return canon(tree.root)
+
+
+def summarize_answers(
+    answers: Sequence[ScoredAnswer],
+) -> "OrderedDict[str, List[ScoredAnswer]]":
+    """Group answers by structure, preserving best-first order.
+
+    The returned mapping iterates groups in order of each group's best
+    (first-emitted) answer; within a group answers keep their original
+    order — so a UI can render "N answers shaped author->paper" headers
+    and expand on demand, as the paper envisions.
+    """
+    groups: "OrderedDict[str, List[ScoredAnswer]]" = OrderedDict()
+    for answer in answers:
+        signature = structure_signature(answer.tree)
+        groups.setdefault(signature, []).append(answer)
+    return groups

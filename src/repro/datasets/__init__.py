@@ -1,0 +1,32 @@
+"""Deterministic synthetic datasets reproducing the paper's testbeds.
+
+The paper evaluates on (a) a DBLP extraction (~100K nodes / 300K edges)
+and (b) the IIT Bombay thesis database; neither is distributable, so
+these generators produce structurally equivalent data at configurable
+scale, seeded with the exact entities behind every anecdote in Sec. 5.1
+(C. Mohan, Jim Gray's transaction classics, Soumen/Sunita/Byron and
+ChakrabartiSD98, Stonebraker/Seltzer, the CSE department, Aditya's
+thesis advised by Sudarshan).
+
+All generators take a ``seed`` and are fully deterministic for a given
+parameter set — every test and benchmark depends on that.
+"""
+
+from repro.datasets.bibliography import (
+    BibliographyAnecdotes,
+    generate_bibliography,
+)
+from repro.datasets.thesis import ThesisAnecdotes, generate_thesis_db
+from repro.datasets.tpcd import TpcdAnecdotes, generate_tpcd
+from repro.datasets.university import UniversityAnecdotes, generate_university
+
+__all__ = [
+    "BibliographyAnecdotes",
+    "ThesisAnecdotes",
+    "TpcdAnecdotes",
+    "UniversityAnecdotes",
+    "generate_bibliography",
+    "generate_thesis_db",
+    "generate_tpcd",
+    "generate_university",
+]

@@ -1,0 +1,254 @@
+"""IIT-Bombay-style thesis database generator (paper Sec. 5 dataset 2).
+
+Schema (inferred from the paper's Fig. 4 browsing session and the
+Sec. 5.1 anecdotes)::
+
+    department(dept_id PK, name)
+    program(prog_id PK, name)
+    faculty(fac_id PK, name, dept_id -> department)
+    student(roll_no PK, name, dept_id -> department, prog_id -> program)
+    thesis(thesis_id PK, title, roll_no -> student, advisor -> faculty)
+
+Planted anecdotes (Sec. 5.1):
+
+* ``computer engineering`` — the *Computer Science and Engineering*
+  department matches both keywords and carries high prestige (every CSE
+  student and faculty member references it), while several theses with
+  both words in their title have almost no inlinks; the department must
+  outrank them;
+* ``sudarshan aditya`` — student B. Aditya's thesis is advised by
+  faculty S. Sudarshan; the thesis tuple is the ideal information node.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.relational.database import Database, RID
+from repro.relational.schema import Column, ForeignKey, TableSchema
+from repro.relational.types import TEXT
+
+_DEPARTMENTS = [
+    ("CSE", "Computer Science and Engineering"),
+    ("EE", "Electrical Engineering"),
+    ("ME", "Mechanical Engineering"),
+    ("CE", "Civil Engineering"),
+    ("CHE", "Chemical Engineering"),
+    ("AE", "Aerospace Engineering"),
+    ("MM", "Metallurgical Engineering and Materials Science"),
+    ("PH", "Physics"),
+    ("MA", "Mathematics"),
+]
+
+_PROGRAMS = [("MTECH", "Master of Technology"), ("PHD", "Doctor of Philosophy")]
+
+_FACULTY_FIRST = [
+    "Anil", "Bhaskar", "Chitra", "Deepak", "Esha", "Farhad", "Gopal",
+    "Hema", "Indrajit", "Jyoti", "Kiran", "Lakshmi", "Manoj", "Neela",
+    "Om", "Pradeep", "Qamar", "Rekha", "Suresh", "Trupti", "Uday",
+    "Vidya", "Waman", "Yashwant",
+]
+
+_STUDENT_FIRST = [
+    "Abhay", "Bina", "Chetan", "Divya", "Eshan", "Falguni", "Gautam",
+    "Harsha", "Ila", "Jatin", "Kavita", "Lalit", "Mira", "Nakul", "Onkar",
+    "Pooja", "Rahul", "Seema", "Tanmay", "Usha", "Varun", "Zara",
+]
+
+_SURNAMES = [
+    "Agarwal", "Bhat", "Chandra", "Deshpande", "Gokhale", "Hegde",
+    "Inamdar", "Jadhav", "Kulkarni", "Limaye", "Mehta", "Naik", "Oak",
+    "Pandit", "Rane", "Sane", "Tendulkar", "Upadhye", "Vaidya", "Wagh",
+]
+
+_THESIS_TOPICS = [
+    "adaptive control of flexible structures",
+    "finite element analysis of composite plates",
+    "query optimization for deductive databases",
+    "speech recognition using hidden markov models",
+    "low power vlsi circuit synthesis",
+    "catalytic cracking of heavy hydrocarbons",
+    "seismic response of reinforced frames",
+    "combinatorial scheduling for flexible manufacturing",
+    "wavelet methods for image compression",
+    "numerical simulation of turbulent jets",
+    "protocol verification with temporal logic",
+    "microstructure evolution in steel welding",
+    "robust estimation for power system state",
+    "multigrid solvers for elliptic problems",
+    "information extraction from web documents",
+]
+
+
+@dataclass
+class ThesisAnecdotes:
+    """Ground-truth RIDs of the planted thesis-database substructures."""
+
+    cse_department: Optional[RID] = None
+    sudarshan: Optional[RID] = None
+    aditya: Optional[RID] = None
+    aditya_thesis: Optional[RID] = None
+    computer_engineering_theses: List[RID] = field(default_factory=list)
+
+
+def _schema(database: Database) -> None:
+    database.create_table(
+        TableSchema(
+            "department",
+            [Column("dept_id", TEXT, nullable=False),
+             Column("name", TEXT, nullable=False)],
+            primary_key=("dept_id",),
+        )
+    )
+    database.create_table(
+        TableSchema(
+            "program",
+            [Column("prog_id", TEXT, nullable=False),
+             Column("name", TEXT, nullable=False)],
+            primary_key=("prog_id",),
+        )
+    )
+    database.create_table(
+        TableSchema(
+            "faculty",
+            [Column("fac_id", TEXT, nullable=False),
+             Column("name", TEXT, nullable=False),
+             Column("dept_id", TEXT, nullable=False)],
+            primary_key=("fac_id",),
+            foreign_keys=[
+                ForeignKey("faculty", ("dept_id",), "department", ("dept_id",)),
+            ],
+        )
+    )
+    database.create_table(
+        TableSchema(
+            "student",
+            [Column("roll_no", TEXT, nullable=False),
+             Column("name", TEXT, nullable=False),
+             Column("dept_id", TEXT, nullable=False),
+             Column("prog_id", TEXT, nullable=False)],
+            primary_key=("roll_no",),
+            foreign_keys=[
+                ForeignKey("student", ("dept_id",), "department", ("dept_id",)),
+                ForeignKey("student", ("prog_id",), "program", ("prog_id",)),
+            ],
+        )
+    )
+    database.create_table(
+        TableSchema(
+            "thesis",
+            [Column("thesis_id", TEXT, nullable=False),
+             Column("title", TEXT, nullable=False),
+             Column("roll_no", TEXT, nullable=False),
+             Column("advisor", TEXT, nullable=False)],
+            primary_key=("thesis_id",),
+            foreign_keys=[
+                ForeignKey("thesis", ("roll_no",), "student", ("roll_no",)),
+                ForeignKey("thesis", ("advisor",), "faculty", ("fac_id",)),
+            ],
+        )
+    )
+
+
+def generate_thesis_db(
+    students_per_department: int = 40,
+    faculty_per_department: int = 8,
+    seed: int = 7,
+    include_anecdotes: bool = True,
+) -> Tuple[Database, ThesisAnecdotes]:
+    """Generate the thesis database.
+
+    Returns ``(database, anecdotes)``.
+    """
+    rng = random.Random(seed)
+    database = Database("thesis")
+    _schema(database)
+    anecdotes = ThesisAnecdotes()
+
+    for prog_id, prog_name in _PROGRAMS:
+        database.insert("program", [prog_id, prog_name])
+
+    dept_rids: Dict[str, RID] = {}
+    for dept_id, dept_name in _DEPARTMENTS:
+        dept_rids[dept_id] = database.insert("department", [dept_id, dept_name])
+    anecdotes.cse_department = dept_rids["CSE"]
+
+    faculty_of_dept: Dict[str, List[str]] = {d: [] for d, _ in _DEPARTMENTS}
+    faculty_count = 0
+    for dept_id, _ in _DEPARTMENTS:
+        for _ in range(faculty_per_department):
+            fac_id = f"F{faculty_count:04d}"
+            faculty_count += 1
+            name = (
+                f"Prof. {rng.choice(_FACULTY_FIRST)} {rng.choice(_SURNAMES)}"
+            )
+            database.insert("faculty", [fac_id, name, dept_id])
+            faculty_of_dept[dept_id].append(fac_id)
+
+    if include_anecdotes:
+        anecdotes.sudarshan = database.insert(
+            "faculty", ["FSUD", "Prof. S. Sudarshan", "CSE"]
+        )
+        faculty_of_dept["CSE"].append("FSUD")
+
+    student_count = 0
+    thesis_count = 0
+
+    def add_student(name: str, dept_id: str, prog_id: str) -> Tuple[str, RID]:
+        nonlocal student_count
+        roll = f"R{student_count:05d}"
+        student_count += 1
+        rid = database.insert("student", [roll, name, dept_id, prog_id])
+        return roll, rid
+
+    def add_thesis(title: str, roll: str, advisor: str) -> RID:
+        nonlocal thesis_count
+        thesis_id = f"T{thesis_count:05d}"
+        thesis_count += 1
+        return database.insert("thesis", [thesis_id, title, roll, advisor])
+
+    if include_anecdotes:
+        aditya_roll, anecdotes.aditya = add_student(
+            "B. Aditya", "CSE", "MTECH"
+        )
+        anecdotes.aditya_thesis = add_thesis(
+            "Keyword Search Interfaces For Relational Data",
+            aditya_roll,
+            "FSUD",
+        )
+        # Theses whose titles contain both "computer" and "engineering":
+        # they compete with the CSE department for that query and must
+        # lose on prestige.
+        for number, (dept_id, title) in enumerate(
+            [
+                ("ME", "Computer Aided Engineering Of Gear Trains"),
+                ("CE", "Computer Models In Earthquake Engineering"),
+                ("EE", "Computer Methods For Power Engineering Networks"),
+            ]
+        ):
+            roll, _ = add_student(
+                f"Sam Holder{number}", dept_id, "MTECH"
+            )
+            advisor = rng.choice(faculty_of_dept[dept_id])
+            anecdotes.computer_engineering_theses.append(
+                add_thesis(title, roll, advisor)
+            )
+
+    used_names: set = set()
+    for dept_id, _ in _DEPARTMENTS:
+        for _ in range(students_per_department):
+            while True:
+                name = f"{rng.choice(_STUDENT_FIRST)} {rng.choice(_SURNAMES)}"
+                if name not in used_names:
+                    used_names.add(name)
+                    break
+            prog_id = rng.choice(_PROGRAMS)[0]
+            roll, _rid = add_student(name, dept_id, prog_id)
+            advisor = rng.choice(faculty_of_dept[dept_id])
+            topic = rng.choice(_THESIS_TOPICS)
+            title = " ".join(word.capitalize() for word in topic.split())
+            add_thesis(title, roll, advisor)
+
+    return database, anecdotes

@@ -1,0 +1,149 @@
+"""A miniature TPC-D-style database (paper Sec. 2.1 prestige example).
+
+"In a TPCD database storing information about parts, suppliers,
+customers and orders, the orders information contains references to
+parts, suppliers and customers.  As a result, if a query matches two
+parts (or suppliers, or customers) the one with more orders would get a
+higher prestige."
+
+Schema::
+
+    part(part_id PK, name)
+    supplier(supp_id PK, name)
+    customer(cust_id PK, name)
+    orders(order_id PK, cust_id -> customer)
+    lineitem(order_id -> orders, part_id -> part, supp_id -> supplier)
+
+The generator plants two parts whose names share a keyword ("steel
+bolt" vs "steel beam") with very different order volumes so the prestige
+effect is directly testable.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.relational.database import Database, RID
+from repro.relational.schema import Column, ForeignKey, TableSchema
+from repro.relational.types import INTEGER, TEXT
+
+_MATERIALS = ["copper", "brass", "nylon", "rubber", "titanium", "oak", "glass"]
+_SHAPES = ["washer", "valve", "gear", "flange", "rod", "panel", "spring"]
+
+
+@dataclass
+class TpcdAnecdotes:
+    """RIDs of the planted prestige pair."""
+
+    popular_steel_part: Optional[RID] = None
+    unpopular_steel_part: Optional[RID] = None
+
+
+def generate_tpcd(
+    parts: int = 40,
+    suppliers: int = 12,
+    customers: int = 25,
+    orders: int = 120,
+    seed: int = 11,
+) -> Tuple[Database, TpcdAnecdotes]:
+    """Generate the mini TPC-D database; returns ``(db, anecdotes)``."""
+    rng = random.Random(seed)
+    database = Database("tpcd")
+
+    database.create_table(
+        TableSchema(
+            "part",
+            [Column("part_id", TEXT, nullable=False),
+             Column("name", TEXT, nullable=False)],
+            primary_key=("part_id",),
+        )
+    )
+    database.create_table(
+        TableSchema(
+            "supplier",
+            [Column("supp_id", TEXT, nullable=False),
+             Column("name", TEXT, nullable=False)],
+            primary_key=("supp_id",),
+        )
+    )
+    database.create_table(
+        TableSchema(
+            "customer",
+            [Column("cust_id", TEXT, nullable=False),
+             Column("name", TEXT, nullable=False)],
+            primary_key=("cust_id",),
+        )
+    )
+    database.create_table(
+        TableSchema(
+            "orders",
+            [Column("order_id", TEXT, nullable=False),
+             Column("cust_id", TEXT, nullable=False)],
+            primary_key=("order_id",),
+            foreign_keys=[
+                ForeignKey("orders", ("cust_id",), "customer", ("cust_id",)),
+            ],
+        )
+    )
+    database.create_table(
+        TableSchema(
+            "lineitem",
+            [Column("line_id", TEXT, nullable=False),
+             Column("order_id", TEXT, nullable=False),
+             Column("part_id", TEXT, nullable=False),
+             Column("supp_id", TEXT, nullable=False)],
+            primary_key=("line_id",),
+            foreign_keys=[
+                ForeignKey("lineitem", ("order_id",), "orders", ("order_id",)),
+                ForeignKey("lineitem", ("part_id",), "part", ("part_id",)),
+                ForeignKey("lineitem", ("supp_id",), "supplier", ("supp_id",)),
+            ],
+        )
+    )
+
+    anecdotes = TpcdAnecdotes()
+    anecdotes.popular_steel_part = database.insert("part", ["PSTEEL1", "steel bolt"])
+    anecdotes.unpopular_steel_part = database.insert("part", ["PSTEEL2", "steel beam"])
+    part_ids = ["PSTEEL1", "PSTEEL2"]
+    for number in range(parts):
+        part_id = f"P{number:04d}"
+        name = f"{rng.choice(_MATERIALS)} {rng.choice(_SHAPES)}"
+        database.insert("part", [part_id, name])
+        part_ids.append(part_id)
+
+    supplier_ids = []
+    for number in range(suppliers):
+        supp_id = f"S{number:03d}"
+        database.insert("supplier", [supp_id, f"Supplier House {number}"])
+        supplier_ids.append(supp_id)
+
+    customer_ids = []
+    for number in range(customers):
+        cust_id = f"C{number:03d}"
+        database.insert("customer", [cust_id, f"Customer Group {number}"])
+        customer_ids.append(cust_id)
+
+    line_count = 0
+    for number in range(orders):
+        order_id = f"O{number:05d}"
+        database.insert("orders", [order_id, rng.choice(customer_ids)])
+        for _ in range(rng.randint(1, 4)):
+            # The popular steel part shows up in ~25% of lines; the
+            # unpopular one almost never.
+            roll = rng.random()
+            if roll < 0.25:
+                part_id = "PSTEEL1"
+            elif roll < 0.27:
+                part_id = "PSTEEL2"
+            else:
+                part_id = rng.choice(part_ids[2:])
+            database.insert(
+                "lineitem",
+                [f"L{line_count:06d}", order_id, part_id,
+                 rng.choice(supplier_ids)],
+            )
+            line_count += 1
+
+    return database, anecdotes

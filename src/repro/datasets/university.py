@@ -1,0 +1,144 @@
+"""University database with a deliberate hub (paper Sec. 2.1 discussion).
+
+"Ignoring directionality would cause problems because of 'hubs' ... in
+a university database a department with a large number of faculty and
+students would act as a hub.  As a result, many nodes would be within a
+short distance of many other nodes, reducing the effectiveness of
+proximity-based scoring. ... If there are more students in a
+department, the back edges would be assigned a higher weight, resulting
+in lower proximity (due to the department) for each pair of students."
+
+Schema::
+
+    department(dept_id PK, name)
+    course(course_id PK, title, dept_id -> department)
+    student(student_id PK, name, dept_id -> department)
+    registration(student_id -> student, course_id -> course)
+
+The generator plants two students in the same *large* department who
+also share a *small* course.  With indegree-proportional back edges the
+shared-course connection wins (the meaningful answer); with uniform back
+edges the department hub is just as close and pollutes the ranking —
+the ablation ``benchmarks/bench_ablation_backedges.py`` measures exactly
+this.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.relational.database import Database, RID
+from repro.relational.schema import Column, ForeignKey, TableSchema
+from repro.relational.types import TEXT
+
+
+@dataclass
+class UniversityAnecdotes:
+    """RIDs of the planted hub-vs-course pair."""
+
+    alice: Optional[RID] = None
+    bob: Optional[RID] = None
+    big_department: Optional[RID] = None
+    shared_course: Optional[RID] = None
+
+
+def generate_university(
+    students: int = 120,
+    courses: int = 15,
+    seed: int = 3,
+) -> Tuple[Database, UniversityAnecdotes]:
+    """Generate the hub-demonstration database; returns ``(db, anecdotes)``.
+
+    All ``students`` belong to one big department (the hub).  Courses
+    have 2–10 registered students each; the planted pair shares one
+    2-student course.
+    """
+    rng = random.Random(seed)
+    database = Database("university")
+
+    database.create_table(
+        TableSchema(
+            "department",
+            [Column("dept_id", TEXT, nullable=False),
+             Column("name", TEXT, nullable=False)],
+            primary_key=("dept_id",),
+        )
+    )
+    database.create_table(
+        TableSchema(
+            "course",
+            [Column("course_id", TEXT, nullable=False),
+             Column("title", TEXT, nullable=False),
+             Column("dept_id", TEXT, nullable=False)],
+            primary_key=("course_id",),
+            foreign_keys=[
+                ForeignKey("course", ("dept_id",), "department", ("dept_id",)),
+            ],
+        )
+    )
+    database.create_table(
+        TableSchema(
+            "student",
+            [Column("student_id", TEXT, nullable=False),
+             Column("name", TEXT, nullable=False),
+             Column("dept_id", TEXT, nullable=False)],
+            primary_key=("student_id",),
+            foreign_keys=[
+                ForeignKey("student", ("dept_id",), "department", ("dept_id",)),
+            ],
+        )
+    )
+    database.create_table(
+        TableSchema(
+            "registration",
+            [Column("student_id", TEXT, nullable=False),
+             Column("course_id", TEXT, nullable=False)],
+            primary_key=("student_id", "course_id"),
+            foreign_keys=[
+                ForeignKey(
+                    "registration", ("student_id",), "student", ("student_id",)
+                ),
+                ForeignKey(
+                    "registration", ("course_id",), "course", ("course_id",)
+                ),
+            ],
+        )
+    )
+
+    anecdotes = UniversityAnecdotes()
+    anecdotes.big_department = database.insert(
+        "department", ["BIGDEPT", "School of Everything"]
+    )
+
+    anecdotes.alice = database.insert(
+        "student", ["SALICE", "Alice Hubward", "BIGDEPT"]
+    )
+    anecdotes.bob = database.insert(
+        "student", ["SBOB", "Bob Hubward", "BIGDEPT"]
+    )
+    anecdotes.shared_course = database.insert(
+        "course", ["CSHARED", "Seminar On Rare Topics", "BIGDEPT"]
+    )
+    database.insert("registration", ["SALICE", "CSHARED"])
+    database.insert("registration", ["SBOB", "CSHARED"])
+
+    student_ids: List[str] = []
+    for number in range(students):
+        student_id = f"S{number:05d}"
+        database.insert(
+            "student",
+            [student_id, f"Student Number{number}", "BIGDEPT"],
+        )
+        student_ids.append(student_id)
+
+    for number in range(courses):
+        course_id = f"C{number:04d}"
+        database.insert(
+            "course", [course_id, f"Lecture Series {number}", "BIGDEPT"]
+        )
+        for student_id in rng.sample(student_ids, rng.randint(2, 10)):
+            database.insert("registration", [student_id, course_id])
+
+    return database, anecdotes

@@ -1,0 +1,101 @@
+"""Exception hierarchy shared by every ``repro`` subpackage.
+
+All library errors derive from :class:`ReproError` so that callers can
+catch everything raised by this package with a single ``except`` clause,
+while still being able to discriminate finer-grained failures.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the ``repro`` package."""
+
+
+class SchemaError(ReproError):
+    """A schema definition is invalid (duplicate columns, bad FK, ...)."""
+
+
+class IntegrityError(ReproError):
+    """A data modification would violate a declared constraint."""
+
+
+class UnknownTableError(SchemaError):
+    """A referenced table does not exist in the catalog."""
+
+    def __init__(self, table_name: str):
+        super().__init__(f"unknown table: {table_name!r}")
+        self.table_name = table_name
+
+
+class UnknownColumnError(SchemaError):
+    """A referenced column does not exist in its table."""
+
+    def __init__(self, table_name: str, column_name: str):
+        super().__init__(f"unknown column: {table_name!r}.{column_name!r}")
+        self.table_name = table_name
+        self.column_name = column_name
+
+
+class TypeMismatchError(IntegrityError):
+    """A value does not conform to the declared column type."""
+
+
+class SQLSyntaxError(ReproError):
+    """The SQL subset parser rejected a statement."""
+
+    def __init__(self, message: str, statement: str = ""):
+        detail = f"{message}"
+        if statement:
+            detail = f"{message} (in statement: {statement!r})"
+        super().__init__(detail)
+        self.statement = statement
+
+
+class GraphError(ReproError):
+    """An operation on the data graph failed."""
+
+
+class UnknownNodeError(GraphError):
+    """A node id is not present in the graph."""
+
+    def __init__(self, node: object):
+        super().__init__(f"unknown node: {node!r}")
+        self.node = node
+
+
+class QueryError(ReproError):
+    """A keyword query is malformed or cannot be answered."""
+
+
+class EmptyQueryError(QueryError):
+    """The query contained no usable search terms."""
+
+
+class IndexError_(ReproError):
+    """A keyword-index operation failed (named with a trailing underscore
+    to avoid shadowing the builtin :class:`IndexError`)."""
+
+
+class BrowseError(ReproError):
+    """A browsing request was invalid (bad URL, unknown control, ...)."""
+
+
+class XMLError(ReproError):
+    """An XML document is malformed or structurally invalid."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        if line:
+            message = f"{message} (line {line}, column {column})"
+        super().__init__(message)
+        self.line = line
+        self.column = column
+
+
+class AuthorizationError(ReproError):
+    """A principal attempted an operation its policy does not allow."""
+
+
+class FederationError(ReproError):
+    """A multi-database federation is misconfigured (unknown member
+    database, dangling external link, duplicate member name, ...)."""

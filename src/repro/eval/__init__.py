@@ -1,0 +1,28 @@
+"""The paper's evaluation harness (Sec. 5).
+
+* :mod:`repro.eval.workload` — the 7-query benchmark with ideal answers
+  (Sec. 5.3: "7 different queries whose form was outlined earlier ...
+  we chose answers that we felt were the most meaningful");
+* :mod:`repro.eval.error_score` — the rank-difference error metric,
+  scaled so the worst possible score is 100;
+* :mod:`repro.eval.sweep` — the parameter sweep behind Figure 5;
+* :mod:`repro.eval.baselines` — ranking baselines (proximity-only,
+  prestige-only, uniform back edges) for the ablation benchmarks;
+* :mod:`repro.eval.memory` — Sec. 5.2 space accounting.
+"""
+
+from repro.eval.error_score import query_rank_error, scale_errors
+from repro.eval.sweep import SweepPoint, figure5_sweep, run_workload
+from repro.eval.workload import EvalQuery, bibliography_workload
+from repro.eval.memory import graph_memory_bytes
+
+__all__ = [
+    "EvalQuery",
+    "SweepPoint",
+    "bibliography_workload",
+    "figure5_sweep",
+    "graph_memory_bytes",
+    "query_rank_error",
+    "run_workload",
+    "scale_errors",
+]

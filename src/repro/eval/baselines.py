@@ -1,0 +1,52 @@
+"""Ranking baselines for the ablation benchmarks.
+
+The paper positions BANKS against simpler schemes from related work
+(Sec. 6): Goldman et al.'s proximity-only search, Mragyati's
+indegree-only ranking, and the naive undirected graph model it argues
+against in Sec. 2.1.  Each baseline here reuses the BANKS machinery with
+one ingredient removed, so differences are attributable to exactly that
+ingredient:
+
+* :func:`proximity_only_scoring` — lambda = 0 (no prestige; Goldman et
+  al. [7] "do not consider node and edge weighting techniques");
+* :func:`prestige_only_scoring` — lambda = 1 (Mragyati's default
+  "ranking system uses indegree");
+* :func:`uniform_backedge_policy` — back edges not scaled by indegree
+  (the "ignore directionality/hub" model of Sec. 2.1);
+* :func:`no_prestige_policy` — node weights all equal.
+"""
+
+from __future__ import annotations
+
+from repro.core.scoring import ScoringConfig
+from repro.core.weights import WeightPolicy
+
+
+def proximity_only_scoring(edge_log: bool = True) -> ScoringConfig:
+    """Rank purely by tree proximity (ignore node prestige)."""
+    return ScoringConfig(lambda_weight=0.0, edge_log=edge_log)
+
+
+def prestige_only_scoring() -> ScoringConfig:
+    """Rank purely by node prestige (ignore edge weights)."""
+    return ScoringConfig(lambda_weight=1.0, edge_log=False)
+
+
+def paper_best_scoring() -> ScoringConfig:
+    """The setting Figure 5 found best: lambda=0.2, EdgeLog on."""
+    return ScoringConfig(lambda_weight=0.2, edge_log=True)
+
+
+def uniform_backedge_policy() -> WeightPolicy:
+    """Back edges cost the same as forward edges (no hub penalty)."""
+    return WeightPolicy(backward_indegree_scaling=False)
+
+
+def no_prestige_policy() -> WeightPolicy:
+    """All node weights equal (prestige disabled at the graph level)."""
+    return WeightPolicy(prestige="none")
+
+
+def parallel_resistance_policy() -> WeightPolicy:
+    """Eq. 1's alternative merge rule ("equivalent parallel resistance")."""
+    return WeightPolicy(merge_rule="parallel")

@@ -1,0 +1,62 @@
+"""The paper's rank-difference error metric (Sec. 5.3).
+
+"For each query, for each parameter setting, we computed the absolute
+value of the rank difference of the ideal answers with their rank in the
+answers for that parameter setting.  The sum of these rank differences
+gives the raw error score for that parameter setting.  We scaled the
+scores to set the worst possible error score to 100. ... For answers
+that were missing at a parameter setting, the rank difference was
+assumed to be 11 (one more than the number of answers examined)."
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, List, Sequence
+
+#: The paper examines the top 10 answers per query.
+ANSWERS_EXAMINED = 10
+
+#: Rank difference charged for an ideal answer absent from the top 10.
+MISSING_PENALTY = ANSWERS_EXAMINED + 1
+
+
+def query_rank_error(
+    ideal_keys: Sequence[FrozenSet],
+    result_keys: Sequence[FrozenSet],
+    missing_penalty: int = MISSING_PENALTY,
+) -> int:
+    """Raw rank-difference error for one query at one parameter setting.
+
+    Args:
+        ideal_keys: undirected tree keys of the ideal answers, in ideal
+            order (position = ideal rank).
+        result_keys: undirected tree keys of the returned answers, in
+            returned order (the caller truncates to the examined top-k).
+        missing_penalty: charge for an ideal answer not returned.
+    """
+    positions = {key: rank for rank, key in enumerate(result_keys)}
+    error = 0
+    for ideal_rank, key in enumerate(ideal_keys):
+        actual_rank = positions.get(key)
+        if actual_rank is None:
+            error += missing_penalty
+        else:
+            error += abs(actual_rank - ideal_rank)
+    return error
+
+
+def worst_possible_error(
+    total_ideals: int, missing_penalty: int = MISSING_PENALTY
+) -> int:
+    """The raw error when every ideal answer is missing everywhere."""
+    return missing_penalty * total_ideals
+
+
+def scale_errors(
+    raw_error: float, total_ideals: int, missing_penalty: int = MISSING_PENALTY
+) -> float:
+    """Scale a raw error so the worst possible score is 100."""
+    worst = worst_possible_error(total_ideals, missing_penalty)
+    if worst <= 0:
+        return 0.0
+    return 100.0 * raw_error / worst

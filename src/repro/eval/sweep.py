@@ -1,0 +1,158 @@
+"""Parameter sweep harness — regenerates Figure 5.
+
+Figure 5 plots the scaled error score against lambda (0, 0.2, 0.5, 0.8,
+1) and EdgeLog (log scaling of edge weights on/off).  The paper also
+checks NodeLog and the additive/multiplicative combination mode, finding
+neither matters much; :func:`full_grid_sweep` covers those axes too.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.banks import BANKS
+from repro.core.scoring import ScoringConfig
+from repro.eval.error_score import (
+    ANSWERS_EXAMINED,
+    query_rank_error,
+    scale_errors,
+)
+from repro.eval.workload import EvalQuery
+
+#: The lambda grid of Figure 5.
+FIGURE5_LAMBDAS = (0.0, 0.2, 0.5, 0.8, 1.0)
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One cell of the sweep: a parameter setting and its error."""
+
+    lambda_weight: float
+    edge_log: bool
+    node_log: bool
+    combination: str
+    scaled_error: float
+    raw_error: int
+
+    def label(self) -> str:
+        return (
+            f"lambda={self.lambda_weight:g} "
+            f"EdgeLog={int(self.edge_log)} NodeLog={int(self.node_log)} "
+            f"{self.combination}"
+        )
+
+
+def run_workload(
+    banks: BANKS,
+    workload: Sequence[EvalQuery],
+    scoring: ScoringConfig,
+    answers_examined: int = ANSWERS_EXAMINED,
+    output_heap_size: int = 400,
+) -> Tuple[int, Dict[str, int]]:
+    """Raw error of one parameter setting over the whole workload.
+
+    Returns ``(total_raw_error, per_query_errors)``.  A generous output
+    heap makes emission order match relevance order exactly for these
+    dataset sizes, isolating the *scoring* comparison Figure 5 is about
+    (the heap-size approximation is studied separately in the ablation
+    benchmark).
+    """
+    per_query: Dict[str, int] = {}
+    for query in workload:
+        answers = banks.search(
+            query.text,
+            max_results=answers_examined,
+            scoring=scoring,
+            output_heap_size=output_heap_size,
+        )
+        result_keys = [answer.tree.undirected_key() for answer in answers]
+        per_query[query.query_id] = query_rank_error(
+            query.ideal_keys, result_keys
+        )
+    return sum(per_query.values()), per_query
+
+
+def figure5_sweep(
+    banks: BANKS,
+    workload: Sequence[EvalQuery],
+    lambdas: Sequence[float] = FIGURE5_LAMBDAS,
+    edge_logs: Sequence[bool] = (False, True),
+    node_log: bool = False,
+    combination: str = "additive",
+) -> List[SweepPoint]:
+    """The lambda x EdgeLog grid of Figure 5."""
+    total_ideals = sum(len(query.ideal_keys) for query in workload)
+    points: List[SweepPoint] = []
+    for edge_log in edge_logs:
+        for lambda_weight in lambdas:
+            scoring = ScoringConfig(
+                lambda_weight=lambda_weight,
+                edge_log=edge_log,
+                node_log=node_log,
+                combination=combination,
+            )
+            raw, _per_query = run_workload(banks, workload, scoring)
+            points.append(
+                SweepPoint(
+                    lambda_weight=lambda_weight,
+                    edge_log=edge_log,
+                    node_log=node_log,
+                    combination=combination,
+                    scaled_error=scale_errors(raw, total_ideals),
+                    raw_error=raw,
+                )
+            )
+    return points
+
+
+def full_grid_sweep(
+    banks: BANKS,
+    workload: Sequence[EvalQuery],
+    lambdas: Sequence[float] = FIGURE5_LAMBDAS,
+) -> List[SweepPoint]:
+    """Every retained option combination (Sec. 2.3's eight minus the
+    three the paper discarded), across the lambda grid."""
+    total_ideals = sum(len(query.ideal_keys) for query in workload)
+    points: List[SweepPoint] = []
+    for option in ScoringConfig.paper_grid():
+        for lambda_weight in lambdas:
+            scoring = ScoringConfig(
+                lambda_weight=lambda_weight,
+                edge_log=option.edge_log,
+                node_log=option.node_log,
+                combination=option.combination,
+            )
+            raw, _per_query = run_workload(banks, workload, scoring)
+            points.append(
+                SweepPoint(
+                    lambda_weight=lambda_weight,
+                    edge_log=option.edge_log,
+                    node_log=option.node_log,
+                    combination=option.combination,
+                    scaled_error=scale_errors(raw, total_ideals),
+                    raw_error=raw,
+                )
+            )
+    return points
+
+
+def format_figure5(points: Sequence[SweepPoint]) -> str:
+    """Render sweep points as the Figure 5 grid (rows: EdgeLog, columns:
+    lambda), the same series the paper plots."""
+    lambdas = sorted({p.lambda_weight for p in points})
+    lines = ["ScaledError by (EdgeLog, lambda):"]
+    header = "EdgeLog\\lambda | " + " | ".join(f"{lam:>5g}" for lam in lambdas)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for edge_log in (0, 1):
+        cells = []
+        for lam in lambdas:
+            match = [
+                p
+                for p in points
+                if p.edge_log == bool(edge_log) and p.lambda_weight == lam
+            ]
+            cells.append(f"{match[0].scaled_error:>5.1f}" if match else "    -")
+        lines.append(f"{edge_log:>14} | " + " | ".join(cells))
+    return "\n".join(lines)

@@ -1,0 +1,153 @@
+"""The evaluation workload: 7 queries with ground-truth ideal answers.
+
+The paper (Sec. 5) picks queries "that illustrated different ways of
+querying this information (e.g. keywords from two authors who are
+coauthors, authors who have a common coauthor, an author and a title,
+keywords from titles alone, and so on)" and, per query, marks the most
+meaningful answers as *ideal*.  Our generator plants those meaningful
+substructures (see :mod:`repro.datasets.bibliography`), so the ideal
+answers are known by construction rather than by judgement.
+
+Ideal answers are expressed as *undirected tree keys* — the same
+canonical form :meth:`repro.core.answer.AnswerTree.undirected_key` uses —
+because the paper "considered answers to be the same if their trees were
+the same, even if the roots were different".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, List, Sequence, Tuple
+
+from repro.datasets.bibliography import BibliographyAnecdotes
+from repro.relational.database import Database, RID
+
+
+@dataclass(frozen=True)
+class EvalQuery:
+    """One benchmark query.
+
+    Attributes:
+        query_id: short identifier (used in benchmark output rows).
+        text: the query string fed to BANKS.
+        form: which of the paper's query forms this exercises.
+        ideal_keys: undirected tree keys of the ideal answers, best
+            first.
+    """
+
+    query_id: str
+    text: str
+    form: str
+    ideal_keys: Tuple[FrozenSet, ...]
+
+
+def _single_node_key(node: RID) -> FrozenSet:
+    return frozenset((frozenset((node,)), frozenset()))
+
+
+def _tree_key(nodes: Sequence[RID], edges: Sequence[Tuple[RID, RID]]) -> FrozenSet:
+    return frozenset(
+        (
+            frozenset(nodes),
+            frozenset(frozenset(edge) for edge in edges),
+        )
+    )
+
+
+def _star_key(
+    anecdotes: BibliographyAnecdotes, paper: RID, authors: Sequence[RID]
+) -> FrozenSet:
+    """Key of a paper-rooted star: paper -> writes -> each author."""
+    nodes: List[RID] = [paper]
+    edges: List[Tuple[RID, RID]] = []
+    for author in authors:
+        writes = anecdotes.writes_by_paper[(author, paper)]
+        nodes.extend([writes, author])
+        edges.append((paper, writes))
+        edges.append((writes, author))
+    return _tree_key(nodes, edges)
+
+
+def bibliography_workload(
+    anecdotes: BibliographyAnecdotes,
+) -> List[EvalQuery]:
+    """The 7 evaluation queries over the bibliographic database."""
+    a = anecdotes
+
+    # Q2: the Stonebraker tree — root at the common co-author, one
+    # branch per co-authored paper down to Seltzer / Sunita.
+    st_nodes: List[RID] = [a.stonebraker]
+    st_edges: List[Tuple[RID, RID]] = []
+    for paper, leaf in (
+        (a.stonebraker_seltzer_paper, a.seltzer),
+        (a.stonebraker_sunita_paper, a.sunita),
+    ):
+        writes_st = a.writes_by_paper[(a.stonebraker, paper)]
+        writes_leaf = a.writes_by_paper[(leaf, paper)]
+        st_nodes.extend([writes_st, paper, writes_leaf, leaf])
+        st_edges.extend(
+            [
+                (a.stonebraker, writes_st),
+                (writes_st, paper),
+                (paper, writes_leaf),
+                (writes_leaf, leaf),
+            ]
+        )
+
+    return [
+        EvalQuery(
+            "q1-coauthors",
+            "soumen sunita",
+            "keywords from two authors who are coauthors",
+            (
+                _star_key(a, a.soumen_sunita_second_paper, [a.soumen, a.sunita]),
+                _star_key(a, a.chakrabarti_sd98, [a.soumen, a.sunita]),
+            ),
+        ),
+        EvalQuery(
+            "q2-common-coauthor",
+            "seltzer sunita",
+            "authors who have a common coauthor",
+            (_tree_key(st_nodes, st_edges),),
+        ),
+        EvalQuery(
+            "q3-author-title",
+            "gray transaction",
+            "an author and a title word",
+            (
+                _star_key(a, a.transaction_classic, [a.gray]),
+                _star_key(a, a.transaction_book, [a.gray]),
+            ),
+        ),
+        EvalQuery(
+            "q4-title-only",
+            "transaction",
+            "keywords from titles alone",
+            (
+                _single_node_key(a.transaction_classic),
+                _single_node_key(a.transaction_book),
+            ),
+        ),
+        EvalQuery(
+            "q5-author-only",
+            "mohan",
+            "an author name matching several authors",
+            (
+                _single_node_key(a.c_mohan),
+                _single_node_key(a.mohan_ahuja),
+                _single_node_key(a.mohan_kamat),
+            ),
+        ),
+        EvalQuery(
+            "q6-author-title-word",
+            "sunita temporal",
+            "an author and a word of one of their titles",
+            (_star_key(a, a.chakrabarti_sd98, [a.sunita]),),
+        ),
+        EvalQuery(
+            "q7-metadata",
+            "author sudarshan",
+            "a metadata keyword (relation name) plus a name",
+            (_single_node_key(a.sudarshan),),
+        ),
+    ]

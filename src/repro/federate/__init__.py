@@ -1,0 +1,27 @@
+"""Multi-database keyword search through external links (paper Sec. 7).
+
+The paper plans: *"We are exploring support for external links, such as
+HTML HREFs, to aid in browsing.  Such support is particularly useful
+when integrating information from multiple databases."*  This subpackage
+implements that integration for both browsing and searching:
+
+* :mod:`repro.federate.links` — declarative external-link specs:
+  value-matching links (a column in one database joins a column in
+  another, like a cross-database inclusion dependency) and explicit
+  tuple-to-tuple links (resolved HREFs);
+* :mod:`repro.federate.federation` — the :class:`Federation`: member
+  registration, link resolution, the unified data graph over
+  ``(database, table, rid)`` nodes, a federated keyword index, and
+  :class:`FederatedBanks`, the cross-database search facade.
+"""
+
+from repro.federate.links import ExternalLink, TupleLink
+from repro.federate.federation import FederatedAnswer, FederatedBanks, Federation
+
+__all__ = [
+    "ExternalLink",
+    "FederatedAnswer",
+    "FederatedBanks",
+    "Federation",
+    "TupleLink",
+]

@@ -1,0 +1,100 @@
+"""External link specifications between member databases.
+
+Two flavours, both directed from a *source* tuple to a *target* tuple
+in a different (or the same) member database:
+
+* :class:`ExternalLink` — *value matching*: every source tuple whose
+  ``source_column`` value equals some target tuple's ``target_column``
+  value links to it (the relational reading of an HREF whose text is a
+  key, and the cross-database analogue of the paper's inclusion
+  dependencies);
+* :class:`TupleLink` — an explicit, already-resolved pair of tuples
+  (the reading of a stored HREF pointing at one specific object).
+
+Resolution happens in :class:`repro.federate.federation.Federation`;
+the specs themselves are plain descriptions, storable and inspectable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.errors import FederationError
+from repro.relational.database import RID
+
+#: A federated graph node: (member database name, table name, rid).
+FederatedNode = Tuple[str, str, int]
+
+
+@dataclass(frozen=True)
+class ExternalLink:
+    """A value-matching link between two member databases.
+
+    Attributes:
+        name: human-readable identifier (error messages, DESIGN docs).
+        source_db: member holding the referencing tuples.
+        source_table: referencing table.
+        source_column: column whose value identifies the target.
+        target_db: member holding the referenced tuples.
+        target_table: referenced table.
+        target_column: column matched against the source value.
+        weight: forward edge weight (1.0 = as strong as a foreign key;
+            larger = weaker association, as in the paper's edge model).
+    """
+
+    name: str
+    source_db: str
+    source_table: str
+    source_column: str
+    target_db: str
+    target_table: str
+    target_column: str
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0:
+            raise FederationError(
+                f"external link {self.name!r}: weight must be positive"
+            )
+        if (self.source_db, self.source_table, self.source_column) == (
+            self.target_db,
+            self.target_table,
+            self.target_column,
+        ):
+            raise FederationError(
+                f"external link {self.name!r} references itself"
+            )
+
+
+@dataclass(frozen=True)
+class TupleLink:
+    """An explicit tuple-to-tuple link (a resolved HREF).
+
+    Attributes:
+        source_db: member holding the source tuple.
+        source: the source tuple's (table, rid).
+        target_db: member holding the target tuple.
+        target: the target tuple's (table, rid).
+        weight: forward edge weight.
+    """
+
+    source_db: str
+    source: RID
+    target_db: str
+    target: RID
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0:
+            raise FederationError("tuple link weight must be positive")
+        if (self.source_db, self.source) == (self.target_db, self.target):
+            raise FederationError("tuple link references itself")
+
+    @property
+    def source_node(self) -> FederatedNode:
+        return (self.source_db, self.source[0], self.source[1])
+
+    @property
+    def target_node(self) -> FederatedNode:
+        return (self.target_db, self.target[0], self.target[1])

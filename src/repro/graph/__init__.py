@@ -1,0 +1,28 @@
+"""Directed-graph substrate for the BANKS data graph.
+
+:mod:`repro.graph.digraph` is a compact adjacency-list digraph with node
+and edge weights; :mod:`repro.graph.dijkstra` provides the *lazy*
+single-source shortest-path iterator that the backward expanding search
+multiplexes (Fig. 3 of the paper); :mod:`repro.graph.steiner` is an exact
+directed-Steiner-tree oracle used by tests and the output-heap ablation;
+:mod:`repro.graph.pagerank` implements the authority-transfer prestige
+the paper sketches as future work (Sec. 7).
+"""
+
+from repro.graph.digraph import DiGraph
+from repro.graph.dijkstra import DijkstraIterator, Visit, shortest_path_lengths
+from repro.graph.pagerank import pagerank
+from repro.graph.steiner import (
+    SteinerResult,
+    steiner_tree,
+)
+
+__all__ = [
+    "DiGraph",
+    "DijkstraIterator",
+    "SteinerResult",
+    "Visit",
+    "pagerank",
+    "shortest_path_lengths",
+    "steiner_tree",
+]

@@ -1,0 +1,174 @@
+"""Lazy single-source shortest-path iteration (Dijkstra).
+
+The backward expanding search (paper Sec. 3) runs one shortest-path
+computation *per keyword node*, all concurrently, multiplexed on "the
+distance of the next node [each] will output".  That requires an
+iterator-shaped Dijkstra: settle one node per :meth:`DijkstraIterator.next`
+call, expose the tentative distance of the next settlement through
+:meth:`DijkstraIterator.peek`, and remember parent pointers so the path
+back to the source can be reconstructed for answer trees.
+
+Iterators can traverse edges forward or in reverse.  The reverse mode is
+the one BANKS uses: starting from a keyword node and walking *incoming*
+edges finds all nodes that can reach the keyword, and the parent chain of
+a settled node spells out the forward path from that node to the keyword.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Dict, Hashable, List, Optional, Tuple
+
+from repro.graph.digraph import DiGraph
+
+
+@dataclass(frozen=True)
+class Visit:
+    """One settled node: its id, distance from the source, and parent.
+
+    ``parent`` is ``None`` for the source itself.  In reverse mode the
+    parent is the *next hop on the forward path toward the source*.
+    """
+
+    node: Hashable
+    distance: float
+    parent: Optional[Hashable]
+
+
+class DijkstraIterator:
+    """Incremental Dijkstra over a :class:`DiGraph`.
+
+    Args:
+        graph: the graph to traverse.
+        source: starting node (a keyword node in BANKS).
+        reverse: traverse incoming rather than outgoing edges.
+        initial_distance: starting distance for the source; BANKS's
+            "distance measure can be extended to include node weights of
+            nodes matching keywords" hook — pass a per-keyword-node
+            offset here.
+        max_distance: stop expanding past this distance (search frontier
+            budget); ``None`` means unbounded.
+    """
+
+    def __init__(
+        self,
+        graph: DiGraph,
+        source: Hashable,
+        reverse: bool = False,
+        initial_distance: float = 0.0,
+        max_distance: Optional[float] = None,
+    ):
+        self._graph = graph
+        self.source = source
+        self._reverse = reverse
+        self._max_distance = max_distance
+        source_index = graph.index_of(source)
+        self._distances: Dict[int, float] = {source_index: initial_distance}
+        self._parents: Dict[int, Optional[int]] = {source_index: None}
+        self._settled: Dict[int, float] = {}
+        # (distance, tiebreak, index); the monotone tiebreak keeps heap
+        # behaviour deterministic across runs for equal distances.
+        self._counter = itertools.count()
+        self._heap: List[Tuple[float, int, int]] = [
+            (initial_distance, next(self._counter), source_index)
+        ]
+
+    # -- iteration ------------------------------------------------------------
+
+    def _neighbors(self, index: int) -> Dict[int, float]:
+        if self._reverse:
+            return self._graph.raw_predecessors(index)
+        return self._graph.raw_successors(index)
+
+    def _skim(self) -> None:
+        """Drop stale heap entries so the top is the true next output."""
+        heap = self._heap
+        while heap:
+            distance, _tiebreak, index = heap[0]
+            if index in self._settled:
+                heapq.heappop(heap)
+                continue
+            if self._max_distance is not None and distance > self._max_distance:
+                heap.clear()
+                continue
+            return
+
+    def peek(self) -> Optional[float]:
+        """Distance of the node :meth:`next` would output, or ``None``."""
+        self._skim()
+        if not self._heap:
+            return None
+        return self._heap[0][0]
+
+    def next(self) -> Optional[Visit]:
+        """Settle and return the nearest unsettled node, or ``None``."""
+        self._skim()
+        if not self._heap:
+            return None
+        distance, _tiebreak, index = heapq.heappop(self._heap)
+        self._settled[index] = distance
+        for neighbor, weight in self._neighbors(index).items():
+            if neighbor in self._settled:
+                continue
+            candidate = distance + weight
+            known = self._distances.get(neighbor)
+            if known is None or candidate < known:
+                self._distances[neighbor] = candidate
+                self._parents[neighbor] = index
+                heapq.heappush(
+                    self._heap, (candidate, next(self._counter), neighbor)
+                )
+        parent_index = self._parents[index]
+        parent = (
+            None if parent_index is None else self._graph.id_of(parent_index)
+        )
+        return Visit(self._graph.id_of(index), distance, parent)
+
+    def __iter__(self):
+        while True:
+            visit = self.next()
+            if visit is None:
+                return
+            yield visit
+
+    # -- queries over settled state ----------------------------------------------
+
+    def settled_distance(self, node: Hashable) -> Optional[float]:
+        """Final distance of ``node`` if already settled, else ``None``."""
+        return self._settled.get(self._graph.index_of(node))
+
+    def path_to_source(self, node: Hashable) -> List[Hashable]:
+        """The node sequence from ``node`` to the source along parents.
+
+        In reverse mode this is the *forward* path ``node -> ... ->
+        source`` in the original graph — exactly the root-to-keyword path
+        an answer tree needs.
+        """
+        index = self._graph.index_of(node)
+        if index not in self._settled:
+            raise KeyError(f"node {node!r} not settled yet")
+        path: List[Hashable] = []
+        current: Optional[int] = index
+        while current is not None:
+            path.append(self._graph.id_of(current))
+            current = self._parents[current]
+        return path
+
+    @property
+    def exhausted(self) -> bool:
+        return self.peek() is None
+
+
+def shortest_path_lengths(
+    graph: DiGraph,
+    source: Hashable,
+    reverse: bool = False,
+    max_distance: Optional[float] = None,
+) -> Dict[Hashable, float]:
+    """Run an iterator to exhaustion; return ``{node: distance}``."""
+    iterator = DijkstraIterator(
+        graph, source, reverse=reverse, max_distance=max_distance
+    )
+    return {visit.node: visit.distance for visit in iterator}

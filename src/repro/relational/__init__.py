@@ -1,0 +1,73 @@
+"""A small, from-scratch relational engine.
+
+This package is the storage substrate of the BANKS reproduction.  It
+provides exactly what the paper requires from its RDBMS (IBM UDB via JDBC
+in the original system):
+
+* a catalog describing tables, typed columns, primary keys and foreign
+  keys (:mod:`repro.relational.schema`);
+* heap-stored tuples addressable by RID (:mod:`repro.relational.table`);
+* constraint-enforcing inserts and reverse-reference lookups
+  (:mod:`repro.relational.database`);
+* secondary hash indexes (:mod:`repro.relational.index`);
+* relational-algebra operators used by the browsing subsystem
+  (:mod:`repro.relational.algebra`);
+* a small SQL subset (:mod:`repro.relational.sql`) and adapters for
+  sqlite3 files and CSV directories, so BANKS can be pointed at existing
+  data "without any programming" as the paper puts it.
+"""
+
+from repro.relational.algebra import (
+    Projection,
+    Relation,
+    group_by,
+    join_fk,
+    paginate,
+    project,
+    select,
+    sort_by,
+)
+from repro.relational.database import Database, RID
+from repro.relational.index import HashIndex
+from repro.relational.schema import (
+    Column,
+    DatabaseSchema,
+    ForeignKey,
+    TableSchema,
+)
+from repro.relational.sql import execute_sql, execute_script
+from repro.relational.table import Row, Table
+from repro.relational.types import (
+    BOOLEAN,
+    INTEGER,
+    REAL,
+    TEXT,
+    DataType,
+)
+
+__all__ = [
+    "BOOLEAN",
+    "Column",
+    "Database",
+    "DatabaseSchema",
+    "DataType",
+    "ForeignKey",
+    "HashIndex",
+    "INTEGER",
+    "Projection",
+    "REAL",
+    "RID",
+    "Relation",
+    "Row",
+    "Table",
+    "TableSchema",
+    "TEXT",
+    "execute_script",
+    "execute_sql",
+    "group_by",
+    "join_fk",
+    "paginate",
+    "project",
+    "select",
+    "sort_by",
+]

@@ -1,0 +1,306 @@
+"""The :class:`Database`: catalog + tables + referential integrity.
+
+Beyond plain storage this layer maintains the *reverse reference index* —
+for every tuple, which tuples reference it through which foreign key.
+That index serves two masters:
+
+* BANKS graph construction (:mod:`repro.core.model`) reads it to create
+  backward edges and to compute the per-relation indegrees
+  ``IN_{R}(v)`` that drive Eq. 1 edge weights and node prestige;
+* the browsing subsystem uses it to offer "referencing tuples" links on
+  every primary key (Sec. 4 of the paper).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import IntegrityError, TypeMismatchError, UnknownTableError
+from repro.relational.schema import DatabaseSchema, ForeignKey, TableSchema
+from repro.relational.table import Row, Table
+
+# A fully-qualified row identifier: (table name, slot in that table's heap).
+RID = Tuple[str, int]
+
+
+class Database:
+    """A named collection of :class:`Table` objects with FK enforcement.
+
+    Foreign keys are checked on insert: referencing a primary key that
+    does not (yet) exist raises :class:`IntegrityError` unless the
+    database was created with ``deferred_fk_check=True``, in which case
+    :meth:`check_integrity` validates everything at the end of loading
+    (bulk loaders and the sqlite adapter use that mode since dumps are
+    rarely topologically sorted).
+    """
+
+    def __init__(self, name: str = "db", deferred_fk_check: bool = False):
+        self.name = name
+        self.schema = DatabaseSchema()
+        self._tables: Dict[str, Table] = {}
+        self._deferred = deferred_fk_check
+        # (target table, target rid) -> list of (fk, source table, source rid)
+        self._reverse_refs: Dict[RID, List[Tuple[ForeignKey, str, int]]] = (
+            defaultdict(list)
+        )
+
+    # -- DDL ----------------------------------------------------------------
+
+    def create_table(self, table_schema: TableSchema) -> Table:
+        self.schema.add_table(table_schema)
+        self.schema.validate()
+        table = Table(table_schema)
+        self._tables[table_schema.name] = table
+        return table
+
+    def create_tables(self, table_schemas: Sequence[TableSchema]) -> None:
+        """Create several tables, validating foreign keys only after all
+        are registered — required when declaration order does not follow
+        reference order (sqlite dumps list tables alphabetically)."""
+        for table_schema in table_schemas:
+            self.schema.add_table(table_schema)
+        self.schema.validate()
+        for table_schema in table_schemas:
+            self._tables[table_schema.name] = Table(table_schema)
+
+    def drop_table(self, table_name: str) -> None:
+        self.schema.drop_table(table_name)
+        table = self._tables.pop(table_name)
+        for row in table.scan():
+            self._forget_references(table.schema, row)
+
+    # -- access ---------------------------------------------------------------
+
+    def table(self, table_name: str) -> Table:
+        try:
+            return self._tables[table_name]
+        except KeyError:
+            raise UnknownTableError(table_name) from None
+
+    def tables(self) -> List[Table]:
+        return list(self._tables.values())
+
+    @property
+    def table_names(self) -> List[str]:
+        return list(self._tables)
+
+    def row(self, rid: RID) -> Row:
+        table_name, slot = rid
+        return self.table(table_name).row(slot)
+
+    def total_rows(self) -> int:
+        return sum(len(t) for t in self._tables.values())
+
+    def all_rows(self) -> Iterator[Row]:
+        for table in self._tables.values():
+            yield from table.scan()
+
+    # -- DML ----------------------------------------------------------------
+
+    def insert(self, table_name: str, values: Sequence[Any]) -> RID:
+        """Insert one tuple, enforce FKs, maintain the reverse index."""
+        table = self.table(table_name)
+        slot = table.insert(values)
+        row = table.row(slot)
+        try:
+            self._record_references(table.schema, row)
+        except IntegrityError:
+            table.delete(slot)
+            raise
+        return (table_name, slot)
+
+    def insert_dict(self, table_name: str, mapping: Mapping[str, Any]) -> RID:
+        table = self.table(table_name)
+        slot = table.insert_dict(mapping)
+        row = table.row(slot)
+        try:
+            self._record_references(table.schema, row)
+        except IntegrityError:
+            table.delete(slot)
+            raise
+        return (table_name, slot)
+
+    def update(self, rid: RID, changes: Mapping[str, Any]) -> None:
+        """Update columns of one tuple in place, preserving its RID.
+
+        Foreign keys of the *new* tuple are validated (an update that
+        would dangle a reference raises :class:`IntegrityError` and the
+        tuple is restored); the reverse-reference index is maintained.
+        Changing the primary key of a tuple that other tuples reference
+        is refused — their foreign-key values would be orphaned.
+        """
+        table_name, slot = rid
+        table = self.table(table_name)
+        schema = table.schema
+        for column_name in changes:
+            schema.column_position(column_name)  # raises on unknown
+
+        old_row = table.row(slot)
+        old_values = old_row.values
+        pk_changed = any(
+            column in changes and changes[column] != old_row[column]
+            for column in schema.primary_key
+        )
+        if pk_changed and self._reverse_refs.get(rid):
+            raise IntegrityError(
+                f"cannot change primary key of {rid}: referenced by "
+                f"{len(self._reverse_refs[rid])} tuple(s)"
+            )
+
+        new_values = [
+            changes.get(name, old_values[position])
+            for position, name in enumerate(schema.column_names)
+        ]
+        self._forget_references(schema, old_row)
+        try:
+            table.update(slot, new_values)
+        except (IntegrityError, TypeMismatchError):
+            self._record_references(schema, old_row)
+            raise
+        try:
+            self._record_references(schema, table.row(slot))
+        except IntegrityError:
+            table.update(slot, list(old_values))
+            self._record_references(schema, table.row(slot))
+            raise
+
+    def delete(self, rid: RID) -> None:
+        """Delete a tuple; refuse if other live tuples reference it."""
+        if self._reverse_refs.get(rid):
+            referrers = self._reverse_refs[rid]
+            fk = referrers[0][0]
+            raise IntegrityError(
+                f"cannot delete {rid}: referenced by {len(referrers)} "
+                f"tuple(s), e.g. via {fk.name}"
+            )
+        table_name, slot = rid
+        table = self.table(table_name)
+        row = table.row(slot)
+        self._forget_references(table.schema, row)
+        table.delete(slot)
+
+    # -- referential machinery ------------------------------------------------
+
+    def _resolve_fk_target(
+        self, fk: ForeignKey, row: Row
+    ) -> Optional[RID]:
+        """RID of the tuple that ``row`` references through ``fk``.
+
+        Returns ``None`` when any referencing column is NULL (SQL
+        semantics: NULL foreign keys reference nothing).
+        """
+        key = tuple(row[c] for c in fk.source_columns)
+        if any(part is None for part in key):
+            return None
+        target_table = self.table(fk.target_table)
+        target_schema = target_table.schema
+        if tuple(target_schema.primary_key) == tuple(fk.target_columns):
+            target_row = target_table.lookup_pk(key)
+        else:
+            # Referenced columns are not the PK (the paper's "inclusion
+            # dependency" extension): fall back to a scan for the first
+            # matching tuple.
+            target_row = None
+            positions = [
+                target_schema.column_position(c) for c in fk.target_columns
+            ]
+            for candidate in target_table.scan():
+                if tuple(candidate.values[p] for p in positions) == key:
+                    target_row = candidate
+                    break
+        if target_row is None:
+            if self._deferred:
+                return None
+            raise IntegrityError(
+                f"foreign key violation: {fk.name} has no target for {key!r}"
+            )
+        return (fk.target_table, target_row.rid)
+
+    def _record_references(self, schema: TableSchema, row: Row) -> None:
+        # Resolve every target before mutating the index so that a failing
+        # FK leaves no partial entries behind.
+        targets: List[Tuple[RID, ForeignKey]] = []
+        for fk in schema.foreign_keys:
+            target = self._resolve_fk_target(fk, row)
+            if target is not None:
+                targets.append((target, fk))
+        for target, fk in targets:
+            self._reverse_refs[target].append((fk, schema.name, row.rid))
+
+    def _forget_references(self, schema: TableSchema, row: Row) -> None:
+        for fk in schema.foreign_keys:
+            key = tuple(row[c] for c in fk.source_columns)
+            if any(part is None for part in key):
+                continue
+            for target, entries in list(self._reverse_refs.items()):
+                if target[0] != fk.target_table:
+                    continue
+                kept = [
+                    e
+                    for e in entries
+                    if not (e[0] is fk and e[1] == schema.name and e[2] == row.rid)
+                ]
+                if len(kept) != len(entries):
+                    if kept:
+                        self._reverse_refs[target] = kept
+                    else:
+                        del self._reverse_refs[target]
+
+    # -- reference queries ------------------------------------------------------
+
+    def references_of(self, rid: RID) -> List[Tuple[ForeignKey, RID]]:
+        """Outgoing references: tuples that ``rid`` points to."""
+        table_name, slot = rid
+        table = self.table(table_name)
+        row = table.row(slot)
+        out: List[Tuple[ForeignKey, RID]] = []
+        for fk in table.schema.foreign_keys:
+            target = self._resolve_fk_target(fk, row)
+            if target is not None:
+                out.append((fk, target))
+        return out
+
+    def referencing(self, rid: RID) -> List[Tuple[ForeignKey, RID]]:
+        """Incoming references: tuples that point to ``rid``."""
+        return [
+            (fk, (source_table, source_rid))
+            for fk, source_table, source_rid in self._reverse_refs.get(rid, ())
+        ]
+
+    def indegree(self, rid: RID) -> int:
+        """Total number of tuples referencing ``rid`` — node prestige."""
+        return len(self._reverse_refs.get(rid, ()))
+
+    def indegree_from(self, rid: RID, source_table: str) -> int:
+        """Indegree of ``rid`` contributed by tuples of ``source_table``
+        (the ``IN_{R}(v)`` quantity of the paper's Eq. 1)."""
+        return sum(
+            1
+            for _, table_name, _ in self._reverse_refs.get(rid, ())
+            if table_name == source_table
+        )
+
+    def check_integrity(self) -> None:
+        """Re-validate every foreign key (for deferred-check loading).
+
+        After a successful check the reverse-reference index is rebuilt,
+        so deferred databases become fully queryable.
+        """
+        self.schema.validate()
+        self._reverse_refs.clear()
+        was_deferred = self._deferred
+        self._deferred = False
+        try:
+            for table in self._tables.values():
+                for row in table.scan():
+                    self._record_references(table.schema, row)
+        except IntegrityError:
+            self._deferred = was_deferred
+            raise
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        parts = ", ".join(
+            f"{name}({len(table)})" for name, table in self._tables.items()
+        )
+        return f"Database({self.name}: {parts})"

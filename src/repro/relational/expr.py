@@ -1,0 +1,379 @@
+"""SQL expression engine: syntax-tree nodes and three-valued evaluation.
+
+The extended SQL subset shares one expression language across ``WHERE``,
+``HAVING``, ``JOIN ... ON`` and ``UPDATE ... SET``: boolean connectives
+over comparison predicates, ``LIKE`` / ``IN`` / ``IS [NOT] NULL`` /
+``BETWEEN``, and arithmetic over column references and literals.
+
+Evaluation follows SQL's three-valued logic (Kleene): any comparison or
+arithmetic involving NULL yields *unknown*, represented as ``None``;
+``AND`` / ``OR`` / ``NOT`` propagate unknowns per Kleene's tables; a
+``WHERE`` clause keeps a row only when its predicate evaluates to
+``True`` (unknown is collapsed to false at the filtering boundary, as
+real databases do).
+
+Expressions are parsed by :mod:`repro.relational.sql` and evaluated
+against a row tuple plus a *resolver* that maps column names to
+positions (``repro.relational.algebra.Relation.column_position`` in
+practice, which accepts both qualified ``table.column`` names and
+unambiguous bare names).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Any, Callable, Optional, Sequence, Tuple
+
+from repro.errors import SQLSyntaxError
+
+#: Maps a column name to its position in the row tuple.
+Resolver = Callable[[str], int]
+
+#: The value of an evaluated expression: a Python scalar or ``None`` (NULL).
+Value = Any
+
+
+class Expression:
+    """Base class for expression-tree nodes.
+
+    Subclasses implement :meth:`evaluate`; the result is a Python value,
+    with ``None`` standing for SQL NULL / unknown.
+    """
+
+    def evaluate(self, row: Tuple[Any, ...], resolve: Resolver) -> Value:
+        raise NotImplementedError
+
+    def is_true(self, row: Tuple[Any, ...], resolve: Resolver) -> bool:
+        """Predicate truth: unknown (NULL) collapses to false."""
+        return self.evaluate(row, resolve) is True
+
+    def columns(self) -> Tuple[str, ...]:
+        """Every column name referenced anywhere in this expression."""
+        return ()
+
+
+@dataclass(frozen=True)
+class Literal(Expression):
+    """A constant: number, string, boolean or NULL."""
+
+    value: Value
+
+    def evaluate(self, row: Tuple[Any, ...], resolve: Resolver) -> Value:
+        return self.value
+
+
+@dataclass(frozen=True)
+class ColumnRef(Expression):
+    """A reference to a column, possibly qualified (``table.column``)."""
+
+    name: str
+
+    def evaluate(self, row: Tuple[Any, ...], resolve: Resolver) -> Value:
+        return row[resolve(self.name)]
+
+    def columns(self) -> Tuple[str, ...]:
+        return (self.name,)
+
+
+def _known(*values: Value) -> bool:
+    return all(value is not None for value in values)
+
+
+@dataclass(frozen=True)
+class Arithmetic(Expression):
+    """Binary arithmetic: ``+ - * / %`` (NULL-propagating)."""
+
+    operator: str
+    left: Expression
+    right: Expression
+
+    def evaluate(self, row: Tuple[Any, ...], resolve: Resolver) -> Value:
+        left = self.left.evaluate(row, resolve)
+        right = self.right.evaluate(row, resolve)
+        if not _known(left, right):
+            return None
+        if self.operator == "+":
+            return left + right
+        if self.operator == "-":
+            return left - right
+        if self.operator == "*":
+            return left * right
+        if self.operator == "/":
+            if right == 0:
+                return None  # SQL: division by zero yields NULL (sqlite)
+            result = left / right
+            # Integer division stays integral when exact, matching the
+            # engine's INTEGER columns.
+            if isinstance(left, int) and isinstance(right, int) and left % right == 0:
+                return left // right
+            return result
+        if self.operator == "%":
+            if right == 0:
+                return None
+            return left % right
+        raise SQLSyntaxError(f"unknown arithmetic operator {self.operator!r}")
+
+    def columns(self) -> Tuple[str, ...]:
+        return self.left.columns() + self.right.columns()
+
+
+@dataclass(frozen=True)
+class Negate(Expression):
+    """Unary minus."""
+
+    operand: Expression
+
+    def evaluate(self, row: Tuple[Any, ...], resolve: Resolver) -> Value:
+        value = self.operand.evaluate(row, resolve)
+        if value is None:
+            return None
+        return -value
+
+    def columns(self) -> Tuple[str, ...]:
+        return self.operand.columns()
+
+
+_COMPARISONS: dict = {
+    "=": lambda a, b: a == b,
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<>": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+@dataclass(frozen=True)
+class Comparison(Expression):
+    """A binary comparison; NULL on either side yields unknown."""
+
+    operator: str
+    left: Expression
+    right: Expression
+
+    def evaluate(self, row: Tuple[Any, ...], resolve: Resolver) -> Optional[bool]:
+        left = self.left.evaluate(row, resolve)
+        right = self.right.evaluate(row, resolve)
+        if not _known(left, right):
+            return None
+        try:
+            return bool(_COMPARISONS[self.operator](left, right))
+        except TypeError:
+            # Cross-type comparison (e.g. TEXT vs INTEGER): unknown.
+            return None
+
+    def columns(self) -> Tuple[str, ...]:
+        return self.left.columns() + self.right.columns()
+
+
+def like_to_regex(pattern: str) -> "re.Pattern[str]":
+    """Compile a SQL LIKE pattern (``%`` any run, ``_`` any one char).
+
+    Matching is case-insensitive, following sqlite's default behaviour.
+    """
+    parts = []
+    for char in pattern:
+        if char == "%":
+            parts.append(".*")
+        elif char == "_":
+            parts.append(".")
+        else:
+            parts.append(re.escape(char))
+    return re.compile("^" + "".join(parts) + "$", re.IGNORECASE | re.DOTALL)
+
+
+@dataclass(frozen=True)
+class Like(Expression):
+    """``expr [NOT] LIKE pattern`` (pattern must evaluate to text)."""
+
+    operand: Expression
+    pattern: Expression
+    negated: bool = False
+
+    def evaluate(self, row: Tuple[Any, ...], resolve: Resolver) -> Optional[bool]:
+        value = self.operand.evaluate(row, resolve)
+        pattern = self.pattern.evaluate(row, resolve)
+        if not _known(value, pattern):
+            return None
+        matched = like_to_regex(str(pattern)).match(str(value)) is not None
+        return (not matched) if self.negated else matched
+
+    def columns(self) -> Tuple[str, ...]:
+        return self.operand.columns() + self.pattern.columns()
+
+
+@dataclass(frozen=True)
+class InList(Expression):
+    """``expr [NOT] IN (v1, v2, ...)`` with SQL NULL semantics.
+
+    If the operand is NULL the result is unknown; if no element matches
+    but the list contains a NULL, the result is unknown too (the NULL
+    *might* have been the match).
+    """
+
+    operand: Expression
+    items: Tuple[Expression, ...]
+    negated: bool = False
+
+    def evaluate(self, row: Tuple[Any, ...], resolve: Resolver) -> Optional[bool]:
+        value = self.operand.evaluate(row, resolve)
+        if value is None:
+            return None
+        saw_null = False
+        found = False
+        for item in self.items:
+            candidate = item.evaluate(row, resolve)
+            if candidate is None:
+                saw_null = True
+            elif candidate == value:
+                found = True
+                break
+        if found:
+            result: Optional[bool] = True
+        elif saw_null:
+            result = None
+        else:
+            result = False
+        if result is None:
+            return None
+        return (not result) if self.negated else result
+
+    def columns(self) -> Tuple[str, ...]:
+        names = self.operand.columns()
+        for item in self.items:
+            names = names + item.columns()
+        return names
+
+
+@dataclass(frozen=True)
+class IsNull(Expression):
+    """``expr IS [NOT] NULL`` — always a definite boolean."""
+
+    operand: Expression
+    negated: bool = False
+
+    def evaluate(self, row: Tuple[Any, ...], resolve: Resolver) -> bool:
+        is_null = self.operand.evaluate(row, resolve) is None
+        return (not is_null) if self.negated else is_null
+
+    def columns(self) -> Tuple[str, ...]:
+        return self.operand.columns()
+
+
+@dataclass(frozen=True)
+class Between(Expression):
+    """``expr [NOT] BETWEEN low AND high`` (inclusive both ends)."""
+
+    operand: Expression
+    low: Expression
+    high: Expression
+    negated: bool = False
+
+    def evaluate(self, row: Tuple[Any, ...], resolve: Resolver) -> Optional[bool]:
+        inner = And(
+            Comparison(">=", self.operand, self.low),
+            Comparison("<=", self.operand, self.high),
+        )
+        result = inner.evaluate(row, resolve)
+        if result is None:
+            return None
+        return (not result) if self.negated else result
+
+    def columns(self) -> Tuple[str, ...]:
+        return self.operand.columns() + self.low.columns() + self.high.columns()
+
+
+@dataclass(frozen=True)
+class Not(Expression):
+    """Kleene NOT: unknown stays unknown."""
+
+    operand: Expression
+
+    def evaluate(self, row: Tuple[Any, ...], resolve: Resolver) -> Optional[bool]:
+        value = self.operand.evaluate(row, resolve)
+        if value is None:
+            return None
+        return not value
+
+    def columns(self) -> Tuple[str, ...]:
+        return self.operand.columns()
+
+
+@dataclass(frozen=True)
+class And(Expression):
+    """Kleene AND: false dominates, unknown otherwise propagates."""
+
+    left: Expression
+    right: Expression
+
+    def evaluate(self, row: Tuple[Any, ...], resolve: Resolver) -> Optional[bool]:
+        left = self.left.evaluate(row, resolve)
+        if left is False:
+            return False
+        right = self.right.evaluate(row, resolve)
+        if right is False:
+            return False
+        if left is None or right is None:
+            return None
+        return True
+
+    def columns(self) -> Tuple[str, ...]:
+        return self.left.columns() + self.right.columns()
+
+
+@dataclass(frozen=True)
+class Or(Expression):
+    """Kleene OR: true dominates, unknown otherwise propagates."""
+
+    left: Expression
+    right: Expression
+
+    def evaluate(self, row: Tuple[Any, ...], resolve: Resolver) -> Optional[bool]:
+        left = self.left.evaluate(row, resolve)
+        if left is True:
+            return True
+        right = self.right.evaluate(row, resolve)
+        if right is True:
+            return True
+        if left is None or right is None:
+            return None
+        return False
+
+    def columns(self) -> Tuple[str, ...]:
+        return self.left.columns() + self.right.columns()
+
+
+def conjoin(expressions: Sequence[Expression]) -> Expression:
+    """AND together a non-empty list of expressions."""
+    if not expressions:
+        raise SQLSyntaxError("cannot conjoin zero expressions")
+    result = expressions[0]
+    for expression in expressions[1:]:
+        result = And(result, expression)
+    return result
+
+
+def equality_pairs(
+    expression: Expression,
+) -> Optional[Tuple[Tuple[str, str], ...]]:
+    """If ``expression`` is a conjunction of column = column comparisons,
+    return the ``(left_column, right_column)`` pairs — the shape a hash
+    join can exploit.  Returns ``None`` for anything more general.
+    """
+    if isinstance(expression, And):
+        left = equality_pairs(expression.left)
+        right = equality_pairs(expression.right)
+        if left is None or right is None:
+            return None
+        return left + right
+    if (
+        isinstance(expression, Comparison)
+        and expression.operator in ("=", "==")
+        and isinstance(expression.left, ColumnRef)
+        and isinstance(expression.right, ColumnRef)
+    ):
+        return ((expression.left.name, expression.right.name),)
+    return None

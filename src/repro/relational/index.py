@@ -1,0 +1,56 @@
+"""Secondary hash indexes on arbitrary column combinations.
+
+Used by the browsing subsystem for fast selections and by tests as an
+oracle-checked structure.  The index is maintained eagerly from the rows
+present at build time; :meth:`HashIndex.add` / :meth:`HashIndex.remove`
+keep it current afterwards.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Dict, List, Sequence, Tuple
+
+from repro.relational.table import Row, Table
+
+
+class HashIndex:
+    """An equality index ``column values -> [RID]`` over one table."""
+
+    def __init__(self, table: Table, column_names: Sequence[str]):
+        self.table = table
+        self.column_names: Tuple[str, ...] = tuple(column_names)
+        self._positions = tuple(
+            table.schema.column_position(name) for name in self.column_names
+        )
+        self._buckets: Dict[Tuple[Any, ...], List[int]] = defaultdict(list)
+        for row in table.scan():
+            self.add(row)
+
+    def _key_of(self, row: Row) -> Tuple[Any, ...]:
+        return tuple(row.values[p] for p in self._positions)
+
+    def add(self, row: Row) -> None:
+        self._buckets[self._key_of(row)].append(row.rid)
+
+    def remove(self, row: Row) -> None:
+        bucket = self._buckets.get(self._key_of(row))
+        if bucket and row.rid in bucket:
+            bucket.remove(row.rid)
+            if not bucket:
+                del self._buckets[self._key_of(row)]
+
+    def lookup(self, key: Sequence[Any]) -> List[Row]:
+        """All rows whose indexed columns equal ``key`` (RID order)."""
+        rids = self._buckets.get(tuple(key), ())
+        return [self.table.row(rid) for rid in rids if self.table.has_rid(rid)]
+
+    def keys(self) -> List[Tuple[Any, ...]]:
+        return list(self._buckets)
+
+    def __len__(self) -> int:
+        return sum(len(bucket) for bucket in self._buckets.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        cols = ",".join(self.column_names)
+        return f"HashIndex({self.table.schema.name}[{cols}], {len(self)} entries)"

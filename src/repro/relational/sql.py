@@ -1,0 +1,960 @@
+"""A SQL subset: DDL, DML and queries for BANKS databases.
+
+Supported statements::
+
+    CREATE TABLE t (
+        a INTEGER NOT NULL PRIMARY KEY,
+        b TEXT,
+        PRIMARY KEY (a, b),                      -- table-level form
+        FOREIGN KEY (b) REFERENCES other(name)
+    );
+    INSERT INTO t VALUES (1, 'x');
+    INSERT INTO t (a, b) VALUES (1, 'x');
+    UPDATE t SET b = 'y', a = a + 1 WHERE a >= 2;
+    DELETE FROM t WHERE b LIKE '%obsolete%';
+    SELECT a, b FROM t
+        WHERE (a >= 2 OR b IN ('x', 'y')) AND b IS NOT NULL
+        ORDER BY a DESC, b LIMIT 5 OFFSET 10;
+    SELECT DISTINCT b FROM t;
+    SELECT t.a, u.name FROM t JOIN u ON t.b = u.id WHERE u.age > 30;
+    SELECT b, COUNT(*), SUM(a) AS total FROM t GROUP BY b HAVING COUNT(*) > 1;
+    DROP TABLE t;
+
+Still intentionally a *subset* — no subqueries, no outer joins, no window
+functions.  The parser is a hand-written tokenizer + recursive descent,
+raising :class:`repro.errors.SQLSyntaxError` with the offending statement
+on any deviation.  Expressions (``WHERE`` / ``HAVING`` / ``ON`` / ``SET``)
+share the engine in :mod:`repro.relational.expr`, which implements SQL's
+three-valued NULL logic.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import IntegrityError, SQLSyntaxError, UnknownColumnError
+from repro.relational.algebra import (
+    Relation,
+    from_table,
+    paginate,
+    project,
+    select_where,
+    sort_by,
+)
+from repro.relational.database import Database, RID
+from repro.relational.expr import (
+    Arithmetic,
+    Between,
+    ColumnRef,
+    Comparison,
+    Expression,
+    InList,
+    IsNull,
+    Like,
+    Literal,
+    Negate,
+    Not,
+    And,
+    Or,
+    equality_pairs,
+)
+from repro.relational.schema import Column, ForeignKey, TableSchema
+from repro.relational.types import type_from_name
+
+_TOKEN_RE = re.compile(
+    r"""
+    \s*(
+        '(?:[^']|'')*'            # string literal with '' escape
+      | \d+\.\d+                  # float
+      | \d+                       # int
+      | [A-Za-z_][A-Za-z_0-9]*    # identifier / keyword
+      | <> | <= | >= | != | ==    # two-char operators
+      | [(),;*=<>.+\-/%]          # punctuation and arithmetic
+    )
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {
+    "CREATE", "TABLE", "DROP", "INSERT", "INTO", "VALUES", "SELECT", "FROM",
+    "WHERE", "AND", "OR", "NOT", "ORDER", "BY", "ASC", "DESC", "LIMIT",
+    "OFFSET", "PRIMARY", "KEY", "FOREIGN", "REFERENCES", "NULL", "TRUE",
+    "FALSE", "UPDATE", "SET", "DELETE", "JOIN", "INNER", "ON", "GROUP",
+    "HAVING", "DISTINCT", "LIKE", "IN", "IS", "BETWEEN", "AS",
+}
+
+#: Aggregate function names accepted in a select list.
+_AGGREGATES = ("COUNT", "SUM", "AVG", "MIN", "MAX")
+
+_COMPARATOR_TOKENS = ("=", "==", "!=", "<>", "<", "<=", ">", ">=")
+
+
+def tokenize(text: str) -> List[str]:
+    """Split ``text`` into SQL tokens; raise on unlexable input."""
+    tokens: List[str] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            remainder = text[position:].strip()
+            if not remainder:
+                break
+            raise SQLSyntaxError(f"cannot tokenize near {remainder[:20]!r}", text)
+        tokens.append(match.group(1))
+        position = match.end()
+    return tokens
+
+
+class _Parser:
+    """Token-stream cursor with expectation helpers."""
+
+    def __init__(self, tokens: List[str], statement: str):
+        self.tokens = tokens
+        self.statement = statement
+        self.position = 0
+        # When set (HAVING clauses), aggregate spellings like COUNT(*)
+        # parse as references to the aggregation's output columns.
+        self.aggregate_refs = False
+
+    # -- cursor helpers ----------------------------------------------------
+
+    def peek(self, ahead: int = 0) -> Optional[str]:
+        if self.position + ahead < len(self.tokens):
+            return self.tokens[self.position + ahead]
+        return None
+
+    def peek_upper(self, ahead: int = 0) -> Optional[str]:
+        token = self.peek(ahead)
+        return token.upper() if token is not None else None
+
+    def advance(self) -> str:
+        token = self.peek()
+        if token is None:
+            raise SQLSyntaxError("unexpected end of statement", self.statement)
+        self.position += 1
+        return token
+
+    def expect(self, expected: str) -> str:
+        token = self.advance()
+        if token.upper() != expected.upper():
+            raise SQLSyntaxError(
+                f"expected {expected!r}, found {token!r}", self.statement
+            )
+        return token
+
+    def accept(self, expected: str) -> bool:
+        if self.peek_upper() == expected.upper():
+            self.position += 1
+            return True
+        return False
+
+    def done(self) -> bool:
+        # A trailing semicolon is allowed and ignored.
+        return self.peek() is None or self.peek() == ";"
+
+    def expect_identifier(self) -> str:
+        token = self.advance()
+        if not re.fullmatch(r"[A-Za-z_][A-Za-z_0-9]*", token):
+            raise SQLSyntaxError(f"expected identifier, found {token!r}", self.statement)
+        if token.upper() in _KEYWORDS:
+            raise SQLSyntaxError(
+                f"keyword {token!r} used as identifier", self.statement
+            )
+        return token
+
+    def expect_column_ref(self) -> str:
+        """An optionally qualified column name (``col`` or ``table.col``)."""
+        name = self.expect_identifier()
+        if self.peek() == ".":
+            self.advance()
+            name = f"{name}.{self.expect_identifier()}"
+        return name
+
+    def at_literal(self) -> bool:
+        token = self.peek()
+        if token is None:
+            return False
+        if token.startswith("'") or re.fullmatch(r"\d+(\.\d+)?", token):
+            return True
+        return token.upper() in ("NULL", "TRUE", "FALSE")
+
+    def parse_literal(self) -> Any:
+        negative = False
+        if self.peek() == "-":
+            self.advance()
+            negative = True
+        token = self.advance()
+        if token.startswith("'"):
+            if negative:
+                raise SQLSyntaxError("cannot negate a string literal", self.statement)
+            return token[1:-1].replace("''", "'")
+        if re.fullmatch(r"\d+\.\d+", token):
+            value: Any = float(token)
+            return -value if negative else value
+        if re.fullmatch(r"\d+", token):
+            value = int(token)
+            return -value if negative else value
+        upper = token.upper()
+        if negative:
+            raise SQLSyntaxError(f"cannot negate {token!r}", self.statement)
+        if upper == "NULL":
+            return None
+        if upper == "TRUE":
+            return True
+        if upper == "FALSE":
+            return False
+        raise SQLSyntaxError(f"expected literal, found {token!r}", self.statement)
+
+    # -- expression grammar ---------------------------------------------------
+    #
+    # expr     := or_expr
+    # or_expr  := and_expr (OR and_expr)*
+    # and_expr := not_expr (AND not_expr)*
+    # not_expr := NOT not_expr | predicate
+    # predicate:= sum [comparison | LIKE | IN | IS NULL | BETWEEN]
+    # sum      := term ((+|-) term)*
+    # term     := factor ((*|/|%) factor)*
+    # factor   := - factor | literal | column_ref | ( expr )
+
+    def parse_expression(self) -> Expression:
+        return self._parse_or()
+
+    def _parse_or(self) -> Expression:
+        left = self._parse_and()
+        while self.accept("OR"):
+            left = Or(left, self._parse_and())
+        return left
+
+    def _parse_and(self) -> Expression:
+        left = self._parse_not()
+        while self.accept("AND"):
+            left = And(left, self._parse_not())
+        return left
+
+    def _parse_not(self) -> Expression:
+        if self.accept("NOT"):
+            return Not(self._parse_not())
+        return self._parse_predicate()
+
+    def _parse_predicate(self) -> Expression:
+        left = self._parse_sum()
+        token = self.peek()
+        upper = self.peek_upper()
+        if token in _COMPARATOR_TOKENS:
+            operator = self.advance()
+            return Comparison(operator, left, self._parse_sum())
+        negated = False
+        if upper == "NOT" and self.peek_upper(1) in ("LIKE", "IN", "BETWEEN"):
+            self.advance()
+            negated = True
+            upper = self.peek_upper()
+        if upper == "LIKE":
+            self.advance()
+            return Like(left, self._parse_sum(), negated=negated)
+        if upper == "IN":
+            self.advance()
+            self.expect("(")
+            items: List[Expression] = [Literal(self.parse_literal())]
+            while self.accept(","):
+                items.append(Literal(self.parse_literal()))
+            self.expect(")")
+            return InList(left, tuple(items), negated=negated)
+        if upper == "BETWEEN":
+            self.advance()
+            low = self._parse_sum()
+            self.expect("AND")
+            return Between(left, low, self._parse_sum(), negated=negated)
+        if upper == "IS":
+            self.advance()
+            is_not = self.accept("NOT")
+            self.expect("NULL")
+            return IsNull(left, negated=is_not)
+        return left
+
+    def _parse_sum(self) -> Expression:
+        left = self._parse_term()
+        while self.peek() in ("+", "-"):
+            operator = self.advance()
+            left = Arithmetic(operator, left, self._parse_term())
+        return left
+
+    def _parse_term(self) -> Expression:
+        left = self._parse_factor()
+        while self.peek() in ("*", "/", "%"):
+            operator = self.advance()
+            left = Arithmetic(operator, left, self._parse_factor())
+        return left
+
+    def _parse_factor(self) -> Expression:
+        if self.peek() == "-":
+            self.advance()
+            return Negate(self._parse_factor())
+        if self.peek() == "(":
+            self.advance()
+            inner = self.parse_expression()
+            self.expect(")")
+            return inner
+        if self.at_literal():
+            return Literal(self.parse_literal())
+        if (
+            self.aggregate_refs
+            and self.peek_upper() in _AGGREGATES
+            and self.peek(1) == "("
+        ):
+            function = self.advance().lower()
+            self.expect("(")
+            if self.peek() == "*":
+                self.advance()
+                argument = "*"
+            else:
+                argument = self.expect_column_ref()
+            self.expect(")")
+            return ColumnRef(f"{function}({argument})")
+        return ColumnRef(self.expect_column_ref())
+
+
+def _split_statements(script: str) -> List[str]:
+    """Split a script on semicolons that are outside string literals."""
+    statements: List[str] = []
+    current: List[str] = []
+    in_string = False
+    for char in script:
+        if char == "'":
+            in_string = not in_string
+            current.append(char)
+        elif char == ";" and not in_string:
+            text = "".join(current).strip()
+            if text:
+                statements.append(text)
+            current = []
+        else:
+            current.append(char)
+    tail = "".join(current).strip()
+    if tail:
+        statements.append(tail)
+    return statements
+
+
+# -- DDL ----------------------------------------------------------------------
+
+
+def _parse_column_list(parser: _Parser) -> List[str]:
+    parser.expect("(")
+    names = [parser.expect_identifier()]
+    while parser.accept(","):
+        names.append(parser.expect_identifier())
+    parser.expect(")")
+    return names
+
+
+def _execute_create_table(parser: _Parser, database: Database) -> None:
+    parser.expect("TABLE")
+    table_name = parser.expect_identifier()
+    parser.expect("(")
+
+    columns: List[Column] = []
+    primary_key: List[str] = []
+    foreign_keys: List[ForeignKey] = []
+
+    while True:
+        upper = parser.peek_upper()
+        if upper == "PRIMARY":
+            parser.advance()
+            parser.expect("KEY")
+            if primary_key:
+                raise SQLSyntaxError("duplicate PRIMARY KEY", parser.statement)
+            primary_key = _parse_column_list(parser)
+        elif upper == "FOREIGN":
+            parser.advance()
+            parser.expect("KEY")
+            source_columns = _parse_column_list(parser)
+            parser.expect("REFERENCES")
+            target_table = parser.expect_identifier()
+            target_columns = _parse_column_list(parser)
+            foreign_keys.append(
+                ForeignKey(
+                    table_name,
+                    tuple(source_columns),
+                    target_table,
+                    tuple(target_columns),
+                )
+            )
+        else:
+            column_name = parser.expect_identifier()
+            type_token = parser.advance()
+            # Swallow a parenthesised length like VARCHAR(80).
+            if parser.peek() == "(":
+                parser.advance()
+                parser.advance()
+                parser.expect(")")
+            datatype = type_from_name(type_token)
+            nullable = True
+            while True:
+                if parser.accept("NOT"):
+                    parser.expect("NULL")
+                    nullable = False
+                elif parser.peek_upper() == "PRIMARY":
+                    parser.advance()
+                    parser.expect("KEY")
+                    primary_key = [column_name]
+                    nullable = False
+                elif parser.peek_upper() == "REFERENCES":
+                    parser.advance()
+                    target_table = parser.expect_identifier()
+                    target_columns = _parse_column_list(parser)
+                    foreign_keys.append(
+                        ForeignKey(
+                            table_name,
+                            (column_name,),
+                            target_table,
+                            tuple(target_columns),
+                        )
+                    )
+                else:
+                    break
+            columns.append(Column(column_name, datatype, nullable))
+
+        if parser.accept(","):
+            continue
+        parser.expect(")")
+        break
+
+    database.create_table(
+        TableSchema(table_name, columns, primary_key, foreign_keys)
+    )
+
+
+# -- DML ----------------------------------------------------------------------
+
+
+def _execute_insert(parser: _Parser, database: Database) -> Tuple[str, int]:
+    parser.expect("INTO")
+    table_name = parser.expect_identifier()
+    column_names: Optional[List[str]] = None
+    if parser.peek() == "(":
+        column_names = _parse_column_list(parser)
+    parser.expect("VALUES")
+    parser.expect("(")
+    values: List[Any] = [parser.parse_literal()]
+    while parser.accept(","):
+        values.append(parser.parse_literal())
+    parser.expect(")")
+
+    if column_names is None:
+        return database.insert(table_name, values)
+    if len(column_names) != len(values):
+        raise SQLSyntaxError(
+            f"{len(column_names)} columns but {len(values)} values",
+            parser.statement,
+        )
+    return database.insert_dict(table_name, dict(zip(column_names, values)))
+
+
+def _execute_update(parser: _Parser, database: Database) -> int:
+    """``UPDATE t SET col = expr [, ...] [WHERE expr]``; returns the
+    number of updated rows.  SET expressions are evaluated against the
+    *old* row, so ``SET a = a + 1`` behaves as in SQL."""
+    table_name = parser.expect_identifier()
+    table = database.table(table_name)
+    parser.expect("SET")
+
+    assignments: List[Tuple[str, Expression]] = []
+    while True:
+        column = parser.expect_identifier()
+        table.schema.column_position(column)  # raises on unknown
+        parser.expect("=")
+        assignments.append((column, parser.parse_expression()))
+        if not parser.accept(","):
+            break
+
+    predicate: Optional[Expression] = None
+    if parser.accept("WHERE"):
+        predicate = parser.parse_expression()
+
+    relation = from_table(table)
+    resolve = relation.column_position
+    updates: List[Tuple[RID, Dict[str, Any]]] = []
+    for row_values, provenance in zip(relation.rows, relation.provenance):
+        if predicate is not None and not predicate.is_true(row_values, resolve):
+            continue
+        changes = {
+            column: expression.evaluate(row_values, resolve)
+            for column, expression in assignments
+        }
+        updates.append((provenance[0], changes))
+    for rid, changes in updates:
+        database.update(rid, changes)
+    return len(updates)
+
+
+def _execute_delete(parser: _Parser, database: Database) -> int:
+    """``DELETE FROM t [WHERE expr]``; returns the number of deleted rows.
+
+    Matching rows may reference each other (self-referencing tables), so
+    deletion retries in passes until it stops making progress; a genuine
+    external reference then surfaces as :class:`IntegrityError`.
+    """
+    parser.expect("FROM")
+    table_name = parser.expect_identifier()
+    table = database.table(table_name)
+
+    predicate: Optional[Expression] = None
+    if parser.accept("WHERE"):
+        predicate = parser.parse_expression()
+
+    relation = from_table(table)
+    resolve = relation.column_position
+    doomed: List[RID] = [
+        provenance[0]
+        for row_values, provenance in zip(relation.rows, relation.provenance)
+        if predicate is None or predicate.is_true(row_values, resolve)
+    ]
+
+    deleted = 0
+    pending = doomed
+    while pending:
+        survivors: List[RID] = []
+        last_error: Optional[IntegrityError] = None
+        for rid in pending:
+            try:
+                database.delete(rid)
+                deleted += 1
+            except IntegrityError as exc:  # maybe referenced intra-batch
+                survivors.append(rid)
+                last_error = exc
+        if len(survivors) == len(pending):
+            assert last_error is not None
+            raise last_error  # no progress: a real external reference
+        pending = survivors
+    return deleted
+
+
+# -- SELECT ---------------------------------------------------------------------
+
+
+class _SelectItem:
+    """One entry of a select list: a column or an aggregate call."""
+
+    __slots__ = ("kind", "column", "function", "alias")
+
+    def __init__(
+        self,
+        kind: str,
+        column: Optional[str],
+        function: Optional[str] = None,
+        alias: Optional[str] = None,
+    ):
+        self.kind = kind  # "column" | "aggregate"
+        self.column = column  # None means COUNT(*)
+        self.function = function
+        self.alias = alias
+
+    @property
+    def output_name(self) -> str:
+        if self.alias:
+            return self.alias
+        if self.kind == "column":
+            return self.column or ""
+        argument = self.column if self.column is not None else "*"
+        return f"{(self.function or '').lower()}({argument})"
+
+
+def _parse_select_item(parser: _Parser) -> _SelectItem:
+    upper = parser.peek_upper()
+    if upper in _AGGREGATES and parser.peek(1) == "(":
+        function = parser.advance().upper()
+        parser.expect("(")
+        if parser.peek() == "*":
+            parser.advance()
+            column: Optional[str] = None
+            if function != "COUNT":
+                raise SQLSyntaxError(
+                    f"{function}(*) is not valid; only COUNT(*)",
+                    parser.statement,
+                )
+        else:
+            column = parser.expect_column_ref()
+        parser.expect(")")
+        alias = parser.expect_identifier() if parser.accept("AS") else None
+        return _SelectItem("aggregate", column, function, alias)
+    column = parser.expect_column_ref()
+    alias = parser.expect_identifier() if parser.accept("AS") else None
+    return _SelectItem("column", column, alias=alias)
+
+
+def _hash_join(
+    left: Relation,
+    right: Relation,
+    pairs: Sequence[Tuple[str, str]],
+) -> Relation:
+    """Equi-join on resolved column pairs (each pair may name a column of
+    either side; both orientations are tried)."""
+    left_positions: List[int] = []
+    right_positions: List[int] = []
+    for first, second in pairs:
+        try:
+            left_positions.append(left.column_position(first))
+            right_positions.append(right.column_position(second))
+        except UnknownColumnError:
+            left_positions.append(left.column_position(second))
+            right_positions.append(right.column_position(first))
+
+    buckets: Dict[Tuple[Any, ...], List[int]] = {}
+    for i, row in enumerate(right.rows):
+        key = tuple(row[p] for p in right_positions)
+        if any(part is None for part in key):
+            continue
+        buckets.setdefault(key, []).append(i)
+
+    columns = list(left.columns) + list(right.columns)
+    rows: List[Tuple[Any, ...]] = []
+    provenance: List[Tuple[RID, ...]] = []
+    for row, prov in zip(left.rows, left.provenance):
+        key = tuple(row[p] for p in left_positions)
+        if any(part is None for part in key):
+            continue
+        for i in buckets.get(key, ()):
+            rows.append(row + right.rows[i])
+            provenance.append(prov + right.provenance[i])
+    return Relation(columns, rows, provenance)
+
+
+def _nested_loop_join(
+    left: Relation, right: Relation, condition: Expression
+) -> Relation:
+    """General-predicate inner join (used when ON is not an equi-join)."""
+    columns = list(left.columns) + list(right.columns)
+    combined = Relation(columns, [], [])
+    resolve = combined.column_position
+    rows: List[Tuple[Any, ...]] = []
+    provenance: List[Tuple[RID, ...]] = []
+    for row, prov in zip(left.rows, left.provenance):
+        for other_row, other_prov in zip(right.rows, right.provenance):
+            candidate = row + other_row
+            if condition.is_true(candidate, resolve):
+                rows.append(candidate)
+                provenance.append(prov + other_prov)
+    return Relation(columns, rows, provenance)
+
+
+def _distinct(relation: Relation) -> Relation:
+    """Keep the first occurrence of each distinct row."""
+    seen: set = set()
+    rows: List[Tuple[Any, ...]] = []
+    provenance: List[Tuple[RID, ...]] = []
+    for row, prov in zip(relation.rows, relation.provenance):
+        if row in seen:
+            continue
+        seen.add(row)
+        rows.append(row)
+        provenance.append(prov)
+    return Relation(list(relation.columns), rows, provenance)
+
+
+def _aggregate_value(
+    function: str, values: List[Any]
+) -> Any:
+    """One aggregate over the non-null values of a group (SQL semantics:
+    NULLs are ignored; empty input yields NULL, except COUNT = 0)."""
+    if function == "COUNT":
+        return len(values)
+    if not values:
+        return None
+    if function == "SUM":
+        return sum(values)
+    if function == "AVG":
+        return sum(values) / len(values)
+    if function == "MIN":
+        return min(values)
+    if function == "MAX":
+        return max(values)
+    raise SQLSyntaxError(f"unknown aggregate {function!r}")
+
+
+def _apply_aggregation(
+    relation: Relation,
+    items: Sequence[_SelectItem],
+    group_columns: Sequence[str],
+    statement: str,
+) -> Relation:
+    """GROUP BY + aggregate evaluation producing the output relation."""
+    group_positions = [relation.column_position(c) for c in group_columns]
+    grouped_names = set(group_columns) | {
+        relation.columns[p] for p in group_positions
+    }
+    for item in items:
+        if item.kind == "column":
+            name = item.column or ""
+            if name not in grouped_names and not any(
+                relation.column_position(name) == p for p in group_positions
+            ):
+                raise SQLSyntaxError(
+                    f"column {name!r} must appear in GROUP BY "
+                    "or inside an aggregate",
+                    statement,
+                )
+
+    groups: Dict[Tuple[Any, ...], List[int]] = {}
+    for i, row in enumerate(relation.rows):
+        key = tuple(row[p] for p in group_positions)
+        groups.setdefault(key, []).append(i)
+    if not group_positions and not groups:
+        groups[()] = []  # aggregate over an empty table: one empty group
+
+    columns = [item.output_name for item in items]
+    rows: List[Tuple[Any, ...]] = []
+    for key, indexes in groups.items():
+        out: List[Any] = []
+        for item in items:
+            if item.kind == "column":
+                position = relation.column_position(item.column or "")
+                out.append(relation.rows[indexes[0]][position] if indexes else None)
+                continue
+            if item.column is None:  # COUNT(*)
+                out.append(len(indexes))
+                continue
+            position = relation.column_position(item.column)
+            values = [
+                relation.rows[i][position]
+                for i in indexes
+                if relation.rows[i][position] is not None
+            ]
+            out.append(_aggregate_value(item.function or "", values))
+        rows.append(tuple(out))
+    return Relation(columns, rows)
+
+
+def _execute_select(parser: _Parser, database: Database) -> Relation:
+    distinct = parser.accept("DISTINCT")
+    star = parser.accept("*")
+    items: List[_SelectItem] = []
+    if not star:
+        items.append(_parse_select_item(parser))
+        while parser.accept(","):
+            items.append(_parse_select_item(parser))
+
+    parser.expect("FROM")
+    table_name = parser.expect_identifier()
+    relation = from_table(database.table(table_name))
+
+    while True:
+        if parser.accept("INNER"):
+            parser.expect("JOIN")
+        elif not parser.accept("JOIN"):
+            break
+        other_name = parser.expect_identifier()
+        other = from_table(database.table(other_name))
+        parser.expect("ON")
+        condition = parser.parse_expression()
+        pairs = equality_pairs(condition)
+        if pairs is not None:
+            relation = _hash_join(relation, other, pairs)
+        else:
+            relation = _nested_loop_join(relation, other, condition)
+
+    if parser.accept("WHERE"):
+        predicate = parser.parse_expression()
+        resolve = relation.column_position
+        relation = select_where(
+            relation, lambda row: predicate.is_true(row, resolve)
+        )
+
+    group_columns: List[str] = []
+    if parser.accept("GROUP"):
+        parser.expect("BY")
+        group_columns.append(parser.expect_column_ref())
+        while parser.accept(","):
+            group_columns.append(parser.expect_column_ref())
+
+    has_aggregates = any(item.kind == "aggregate" for item in items)
+
+    having: Optional[Expression] = None
+    if parser.accept("HAVING"):
+        if not (group_columns or has_aggregates):
+            raise SQLSyntaxError(
+                "HAVING requires GROUP BY or aggregates", parser.statement
+            )
+        parser.aggregate_refs = True
+        having = parser.parse_expression()
+        parser.aggregate_refs = False
+
+    if group_columns or has_aggregates:
+        if star:
+            raise SQLSyntaxError(
+                "SELECT * cannot be combined with GROUP BY / aggregates",
+                parser.statement,
+            )
+        # Aggregates the HAVING clause uses but the select list does not
+        # are computed as hidden columns and projected away afterwards
+        # (``... GROUP BY c HAVING COUNT(*) > 1`` with COUNT unselected).
+        output_names = {item.output_name for item in items}
+        hidden: List[_SelectItem] = []
+        if having is not None:
+            for name in having.columns():
+                item = _aggregate_item_from_name(name)
+                if (
+                    item is not None
+                    and name not in output_names
+                    and all(h.output_name != name for h in hidden)
+                ):
+                    hidden.append(item)
+        relation = _apply_aggregation(
+            relation, list(items) + hidden, group_columns, parser.statement
+        )
+        if having is not None:
+            resolve = relation.column_position
+            relation = select_where(
+                relation, lambda row: having.is_true(row, resolve)
+            )
+        if hidden:
+            relation = project(
+                relation, [item.output_name for item in items]
+            )
+        projected = True
+    else:
+        projected = False
+
+    order_terms: List[Tuple[str, bool]] = []
+    if parser.accept("ORDER"):
+        parser.expect("BY")
+        while True:
+            column = _order_by_column(parser)
+            descending = False
+            if parser.accept("DESC"):
+                descending = True
+            else:
+                parser.accept("ASC")
+            order_terms.append((column, descending))
+            if not parser.accept(","):
+                break
+        # Stable sorts applied minor-key first implement multi-column order.
+        for column, descending in reversed(order_terms):
+            relation = sort_by(relation, column, descending)
+
+    limit: Optional[int] = None
+    offset = 0
+    if parser.accept("LIMIT"):
+        limit_value = parser.parse_literal()
+        if not isinstance(limit_value, int) or limit_value < 0:
+            raise SQLSyntaxError(
+                "LIMIT must be a non-negative integer", parser.statement
+            )
+        limit = limit_value
+        if parser.accept("OFFSET"):
+            offset_value = parser.parse_literal()
+            if not isinstance(offset_value, int) or offset_value < 0:
+                raise SQLSyntaxError(
+                    "OFFSET must be a non-negative integer", parser.statement
+                )
+            offset = offset_value
+
+    if limit is not None or offset:
+        stop = None if limit is None else offset + limit
+        relation = Relation(
+            list(relation.columns),
+            relation.rows[offset:stop],
+            relation.provenance[offset:stop],
+        )
+
+    if not star and not projected:
+        positions = [
+            relation.column_position(item.column or "") for item in items
+        ]
+        columns = [
+            item.alias or relation.columns[position]
+            for item, position in zip(items, positions)
+        ]
+        rows = [tuple(row[p] for p in positions) for row in relation.rows]
+        relation = Relation(columns, rows, list(relation.provenance))
+
+    if distinct:
+        relation = _distinct(relation)
+    return relation
+
+
+_AGGREGATE_NAME_RE = re.compile(
+    r"^(count|sum|avg|min|max)\((.+|\*)\)$", re.IGNORECASE
+)
+
+
+def _aggregate_item_from_name(name: str) -> Optional[_SelectItem]:
+    """Reconstruct a select item from an aggregate spelling like
+    ``count(*)`` or ``sum(price)``; ``None`` for plain column names."""
+    match = _AGGREGATE_NAME_RE.match(name)
+    if match is None:
+        return None
+    function = match.group(1).upper()
+    argument = match.group(2)
+    column = None if argument == "*" else argument
+    if column is None and function != "COUNT":
+        return None
+    return _SelectItem("aggregate", column, function)
+
+
+def _order_by_column(parser: _Parser) -> str:
+    """ORDER BY accepts plain/qualified columns and aggregate spellings
+    (``COUNT(*)``), the latter resolving to the output column name."""
+    upper = parser.peek_upper()
+    if upper in _AGGREGATES and parser.peek(1) == "(":
+        function = parser.advance().lower()
+        parser.expect("(")
+        if parser.peek() == "*":
+            parser.advance()
+            argument = "*"
+        else:
+            argument = parser.expect_column_ref()
+        parser.expect(")")
+        return f"{function}({argument})"
+    return parser.expect_column_ref()
+
+
+# -- entry points ----------------------------------------------------------------
+
+#: What :func:`execute_sql` may return, depending on the statement verb.
+SQLResult = Union[Relation, Tuple[str, int], int, None]
+
+
+def execute_sql(database: Database, statement: str) -> SQLResult:
+    """Execute a single SQL statement against ``database``.
+
+    Returns a :class:`Relation` for SELECT, the inserted RID for INSERT,
+    the affected-row count for UPDATE / DELETE, and ``None`` for DDL.
+    """
+    tokens = tokenize(statement)
+    if not tokens:
+        raise SQLSyntaxError("empty statement", statement)
+    parser = _Parser(tokens, statement)
+    verb = parser.advance().upper()
+    result: SQLResult
+    if verb == "CREATE":
+        _execute_create_table(parser, database)
+        result = None
+    elif verb == "DROP":
+        parser.expect("TABLE")
+        database.drop_table(parser.expect_identifier())
+        result = None
+    elif verb == "INSERT":
+        result = _execute_insert(parser, database)
+    elif verb == "UPDATE":
+        result = _execute_update(parser, database)
+    elif verb == "DELETE":
+        result = _execute_delete(parser, database)
+    elif verb == "SELECT":
+        result = _execute_select(parser, database)
+    else:
+        raise SQLSyntaxError(f"unsupported statement verb {verb!r}", statement)
+    if not parser.done():
+        raise SQLSyntaxError(
+            f"trailing tokens: {' '.join(parser.tokens[parser.position:])!r}",
+            statement,
+        )
+    return result
+
+
+def execute_script(database: Database, script: str) -> List[SQLResult]:
+    """Execute a semicolon-separated script; return per-statement results."""
+    return [
+        execute_sql(database, statement)
+        for statement in _split_statements(script)
+    ]

@@ -1,0 +1,166 @@
+"""Import any sqlite3 database into a :class:`repro.relational.Database`.
+
+This adapter is the reproduction's counterpart of the paper's JDBC layer:
+*"The BANKS system is developed in Java using servlets and JDBC, and can
+be run on any schema without any programming."*  Point
+:func:`load_sqlite` at a sqlite file (or an open connection) and you get
+a fully-catalogued database — tables, primary keys, foreign keys and all
+rows — ready for :class:`repro.core.banks.BANKS`.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.errors import SchemaError
+from repro.relational.database import Database
+from repro.relational.schema import Column, ForeignKey, TableSchema
+from repro.relational.types import type_from_name
+
+
+def _connect(source: Union[str, sqlite3.Connection]) -> Tuple[sqlite3.Connection, bool]:
+    if isinstance(source, sqlite3.Connection):
+        return source, False
+    return sqlite3.connect(source), True
+
+
+def _table_names(connection: sqlite3.Connection) -> List[str]:
+    cursor = connection.execute(
+        "SELECT name FROM sqlite_master "
+        "WHERE type = 'table' AND name NOT LIKE 'sqlite_%' ORDER BY name"
+    )
+    return [row[0] for row in cursor.fetchall()]
+
+
+def _columns_of(
+    connection: sqlite3.Connection, table_name: str
+) -> Tuple[List[Column], List[str]]:
+    columns: List[Column] = []
+    primary_key: List[Tuple[int, str]] = []
+    cursor = connection.execute(f'PRAGMA table_info("{table_name}")')
+    for _cid, name, declared_type, notnull, _default, pk_position in cursor:
+        datatype = type_from_name(declared_type or "TEXT")
+        columns.append(Column(name, datatype, nullable=not notnull and not pk_position))
+        if pk_position:
+            primary_key.append((pk_position, name))
+    primary_key.sort()
+    return columns, [name for _, name in primary_key]
+
+
+def _foreign_keys_of(
+    connection: sqlite3.Connection, table_name: str
+) -> List[ForeignKey]:
+    """Read sqlite's foreign_key_list pragma, grouping composite keys."""
+    grouped: Dict[int, Dict[str, object]] = {}
+    cursor = connection.execute(f'PRAGMA foreign_key_list("{table_name}")')
+    for fk_id, seq, target_table, source_col, target_col, *_rest in cursor:
+        entry = grouped.setdefault(
+            fk_id, {"target": target_table, "pairs": []}
+        )
+        entry["pairs"].append((seq, source_col, target_col))
+    keys: List[ForeignKey] = []
+    for entry in grouped.values():
+        pairs = sorted(entry["pairs"])  # type: ignore[arg-type]
+        source_columns = tuple(source for _seq, source, _target in pairs)
+        target_columns = tuple(target for _seq, _source, target in pairs)
+        if any(target is None for target in target_columns):
+            # `REFERENCES t` without explicit columns: resolve to t's PK.
+            pk_cursor = connection.execute(
+                f'PRAGMA table_info("{entry["target"]}")'
+            )
+            pk = sorted(
+                (row[5], row[1]) for row in pk_cursor if row[5]
+            )
+            target_columns = tuple(name for _, name in pk)
+            if len(target_columns) != len(source_columns):
+                raise SchemaError(
+                    f"cannot resolve implicit FK targets for {table_name!r}"
+                )
+        keys.append(
+            ForeignKey(
+                table_name,
+                source_columns,
+                str(entry["target"]),
+                target_columns,
+            )
+        )
+    return keys
+
+
+def load_sqlite(
+    source: Union[str, sqlite3.Connection],
+    name: Optional[str] = None,
+    check_integrity: bool = True,
+) -> Database:
+    """Build a :class:`Database` mirroring the sqlite database ``source``.
+
+    Args:
+        source: a filename/path or an existing sqlite3 connection
+            (including ``":memory:"`` databases under test).
+        name: name for the resulting database; defaults to ``"sqlite"``.
+        check_integrity: if true (default), re-validate every foreign key
+            after loading; disable for dirty real-world dumps.
+    """
+    connection, owned = _connect(source)
+    try:
+        database = Database(name or "sqlite", deferred_fk_check=True)
+        table_names = _table_names(connection)
+
+        schemas = []
+        for table_name in table_names:
+            columns, primary_key = _columns_of(connection, table_name)
+            foreign_keys = _foreign_keys_of(connection, table_name)
+            schemas.append(
+                TableSchema(table_name, columns, primary_key, foreign_keys)
+            )
+        database.create_tables(schemas)
+
+        for table_name in table_names:
+            cursor = connection.execute(f'SELECT * FROM "{table_name}"')
+            for values in cursor:
+                database.insert(table_name, list(values))
+
+        if check_integrity:
+            database.check_integrity()
+        return database
+    finally:
+        if owned:
+            connection.close()
+
+
+def dump_to_sqlite(
+    database: Database, target: Union[str, sqlite3.Connection]
+) -> None:
+    """Write ``database`` out as a sqlite3 database (round-trip support)."""
+    connection, owned = _connect(target)
+    try:
+        for table in database.tables():
+            schema = table.schema
+            column_clauses = []
+            for column in schema.columns:
+                clause = f'"{column.name}" {column.datatype.name}'
+                if not column.nullable:
+                    clause += " NOT NULL"
+                column_clauses.append(clause)
+            if schema.primary_key:
+                quoted = ", ".join(f'"{c}"' for c in schema.primary_key)
+                column_clauses.append(f"PRIMARY KEY ({quoted})")
+            for fk in schema.foreign_keys:
+                sources = ", ".join(f'"{c}"' for c in fk.source_columns)
+                targets = ", ".join(f'"{c}"' for c in fk.target_columns)
+                column_clauses.append(
+                    f'FOREIGN KEY ({sources}) REFERENCES "{fk.target_table}" ({targets})'
+                )
+            connection.execute(
+                f'CREATE TABLE "{schema.name}" ({", ".join(column_clauses)})'
+            )
+            placeholders = ", ".join("?" for _ in schema.columns)
+            connection.executemany(
+                f'INSERT INTO "{schema.name}" VALUES ({placeholders})',
+                (row.values for row in table.scan()),
+            )
+        connection.commit()
+    finally:
+        if owned:
+            connection.close()

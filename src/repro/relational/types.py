@@ -1,0 +1,151 @@
+"""Column datatypes for the mini relational engine.
+
+The engine supports four scalar types — ``INTEGER``, ``REAL``, ``TEXT``
+and ``BOOLEAN`` — which cover everything BANKS needs (keys, measures,
+names/titles, flags).  Each type knows how to validate and coerce Python
+values; ``None`` is the SQL NULL and is accepted by every type unless the
+column is declared ``NOT NULL`` (enforced at the schema layer, not here).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+from repro.errors import TypeMismatchError
+
+
+@dataclass(frozen=True)
+class DataType:
+    """A scalar column type.
+
+    Attributes:
+        name: canonical SQL-ish spelling (``"INTEGER"`` etc.).
+        python_type: the Python type stored for non-null values.
+        coerce: converts an arbitrary input value to ``python_type`` or
+            raises :class:`TypeMismatchError`.
+    """
+
+    name: str
+    python_type: type
+    coerce: Callable[[Any], Any]
+
+    def validate(self, value: Any) -> Any:
+        """Return ``value`` coerced to this type (``None`` passes through)."""
+        if value is None:
+            return None
+        return self.coerce(value)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"DataType({self.name})"
+
+
+def _coerce_integer(value: Any) -> int:
+    if isinstance(value, bool):
+        # bool is a subclass of int but TRUE/FALSE in an INTEGER column is
+        # almost always a bug in the caller; refuse it explicitly.
+        raise TypeMismatchError(f"INTEGER column cannot store boolean {value!r}")
+    if isinstance(value, int):
+        return value
+    if isinstance(value, float) and value.is_integer():
+        return int(value)
+    if isinstance(value, str):
+        try:
+            return int(value, 10)
+        except ValueError:
+            raise TypeMismatchError(f"cannot coerce {value!r} to INTEGER") from None
+    raise TypeMismatchError(f"cannot coerce {value!r} to INTEGER")
+
+
+def _coerce_real(value: Any) -> float:
+    if isinstance(value, bool):
+        raise TypeMismatchError(f"REAL column cannot store boolean {value!r}")
+    if isinstance(value, (int, float)):
+        return float(value)
+    if isinstance(value, str):
+        try:
+            return float(value)
+        except ValueError:
+            raise TypeMismatchError(f"cannot coerce {value!r} to REAL") from None
+    raise TypeMismatchError(f"cannot coerce {value!r} to REAL")
+
+
+def _coerce_text(value: Any) -> str:
+    if isinstance(value, str):
+        return value
+    if isinstance(value, (int, float, bool)):
+        return str(value)
+    raise TypeMismatchError(f"cannot coerce {value!r} to TEXT")
+
+
+_TRUE_LITERALS = {"true", "t", "1", "yes"}
+_FALSE_LITERALS = {"false", "f", "0", "no"}
+
+
+def _coerce_boolean(value: Any) -> bool:
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, int) and value in (0, 1):
+        return bool(value)
+    if isinstance(value, str):
+        lowered = value.strip().lower()
+        if lowered in _TRUE_LITERALS:
+            return True
+        if lowered in _FALSE_LITERALS:
+            return False
+    raise TypeMismatchError(f"cannot coerce {value!r} to BOOLEAN")
+
+
+INTEGER = DataType("INTEGER", int, _coerce_integer)
+REAL = DataType("REAL", float, _coerce_real)
+TEXT = DataType("TEXT", str, _coerce_text)
+BOOLEAN = DataType("BOOLEAN", bool, _coerce_boolean)
+
+_BY_NAME = {
+    "INTEGER": INTEGER,
+    "INT": INTEGER,
+    "BIGINT": INTEGER,
+    "SMALLINT": INTEGER,
+    "REAL": REAL,
+    "FLOAT": REAL,
+    "DOUBLE": REAL,
+    "NUMERIC": REAL,
+    "DECIMAL": REAL,
+    "TEXT": TEXT,
+    "VARCHAR": TEXT,
+    "CHAR": TEXT,
+    "STRING": TEXT,
+    "CLOB": TEXT,
+    "BOOLEAN": BOOLEAN,
+    "BOOL": BOOLEAN,
+}
+
+
+def type_from_name(name: str) -> DataType:
+    """Resolve a SQL type spelling (``"VARCHAR(80)"``, ``"int"``) to a
+    :class:`DataType`.
+
+    Unknown names map to ``TEXT``, mirroring sqlite's forgiving affinity
+    rules so that the sqlite adapter can ingest arbitrary schemas.
+    """
+    base = name.strip().upper()
+    if "(" in base:
+        base = base[: base.index("(")].strip()
+    return _BY_NAME.get(base, TEXT)
+
+
+def infer_type(value: Any) -> Optional[DataType]:
+    """Infer the narrowest :class:`DataType` able to store ``value``.
+
+    Returns ``None`` for ``None`` (no information).  Used by the CSV
+    importer.
+    """
+    if value is None:
+        return None
+    if isinstance(value, bool):
+        return BOOLEAN
+    if isinstance(value, int):
+        return INTEGER
+    if isinstance(value, float):
+        return REAL
+    return TEXT

@@ -1,0 +1,131 @@
+"""A disk-resident keyword index.
+
+The paper keeps the data graph in memory but notes that *"indices to map
+keywords to RIDs can be disk resident"*.  This module provides that
+flavour: postings are written to a single file sorted by token, with an
+in-memory directory of ``token -> (offset, count)`` built from the file
+footer, so a lookup costs one seek plus one sequential read regardless of
+vocabulary size.
+
+File layout (all little-endian, lengths in bytes)::
+
+    header    magic b"BNKIDX1\\n"
+    body      repeated postings records, grouped by token, each
+              <u16 table_len><table utf-8><u32 rid><u16 col_len><col utf-8>
+    directory repeated <u16 token_len><token utf-8><u64 offset><u32 count>
+    footer    <u64 directory_offset><u32 directory_entries> magic again
+
+The format is append-free (write once, read many), which matches how
+BANKS uses it: build at load time, query forever after.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+import struct
+from typing import BinaryIO, Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import IndexError_
+from repro.text.inverted_index import InvertedIndex, Posting
+from repro.text.tokenizer import normalize
+
+_MAGIC = b"BNKIDX1\n"
+_FOOTER = struct.Struct("<QI")
+_U16 = struct.Struct("<H")
+_U32 = struct.Struct("<I")
+
+
+def _write_string(handle: BinaryIO, text: str) -> None:
+    raw = text.encode("utf-8")
+    if len(raw) > 0xFFFF:
+        raise IndexError_(f"string too long for index: {text[:40]!r}...")
+    handle.write(_U16.pack(len(raw)))
+    handle.write(raw)
+
+
+def _read_string(handle: BinaryIO) -> str:
+    (length,) = _U16.unpack(handle.read(2))
+    return handle.read(length).decode("utf-8")
+
+
+class DiskIndex:
+    """Read-side handle on a disk-resident postings file."""
+
+    def __init__(self, path: str):
+        self.path = path
+        self._directory: Dict[str, Tuple[int, int]] = {}
+        self._load_directory()
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def write(cls, index: InvertedIndex, path: str) -> "DiskIndex":
+        """Serialise an in-memory :class:`InvertedIndex` to ``path``."""
+        directory: List[Tuple[str, int, int]] = []
+        with open(path, "wb") as handle:
+            handle.write(_MAGIC)
+            for token in index.vocabulary():
+                postings = index.lookup(token)
+                directory.append((token, handle.tell(), len(postings)))
+                for posting in postings:
+                    _write_string(handle, posting.table)
+                    handle.write(_U32.pack(posting.rid))
+                    _write_string(handle, posting.column)
+            directory_offset = handle.tell()
+            for token, offset, count in directory:
+                _write_string(handle, token)
+                handle.write(struct.pack("<QI", offset, count))
+            handle.write(_FOOTER.pack(directory_offset, len(directory)))
+            handle.write(_MAGIC)
+        return cls(path)
+
+    def _load_directory(self) -> None:
+        size = os.path.getsize(self.path)
+        tail = _FOOTER.size + len(_MAGIC)
+        if size < len(_MAGIC) + tail:
+            raise IndexError_(f"{self.path!r} is not a BANKS index (too small)")
+        with open(self.path, "rb") as handle:
+            if handle.read(len(_MAGIC)) != _MAGIC:
+                raise IndexError_(f"{self.path!r} has a bad header magic")
+            handle.seek(size - tail)
+            directory_offset, entries = _FOOTER.unpack(
+                handle.read(_FOOTER.size)
+            )
+            if handle.read(len(_MAGIC)) != _MAGIC:
+                raise IndexError_(f"{self.path!r} has a bad footer magic")
+            handle.seek(directory_offset)
+            for _ in range(entries):
+                token = _read_string(handle)
+                offset, count = struct.unpack("<QI", handle.read(12))
+                self._directory[token] = (offset, count)
+
+    # -- lookup ------------------------------------------------------------
+
+    def lookup(self, term: str) -> List[Posting]:
+        """Postings of ``term`` (one seek + sequential read)."""
+        entry = self._directory.get(normalize(term))
+        if entry is None:
+            return []
+        offset, count = entry
+        postings: List[Posting] = []
+        with open(self.path, "rb") as handle:
+            handle.seek(offset)
+            for _ in range(count):
+                table = _read_string(handle)
+                (rid,) = _U32.unpack(handle.read(4))
+                column = _read_string(handle)
+                postings.append(Posting(table, rid, column))
+        return postings
+
+    def vocabulary(self) -> List[str]:
+        return sorted(self._directory)
+
+    def document_frequency(self, term: str) -> int:
+        return len({p.node for p in self.lookup(term)})
+
+    def __contains__(self, term: str) -> bool:
+        return normalize(term) in self._directory
+
+    def __len__(self) -> int:
+        return len(self._directory)

@@ -1,0 +1,111 @@
+"""Approximate keyword matching (paper Sec. 7, implemented).
+
+Two flavours the paper sketches as future work:
+
+* *"some form of approximate matching"* — :func:`expand_fuzzy` maps a
+  query term to all vocabulary tokens within a Damerau–Levenshtein
+  distance budget, so ``chakraborti`` still finds ``chakrabarti``;
+* *"concurrency approx(1988) to look for papers about concurrency
+  published around 1988"* — :func:`numbers_near` matches numeric tokens
+  within a window of a target value.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+
+def damerau_levenshtein(left: str, right: str, cap: int = 10**9) -> int:
+    """Edit distance with transpositions; early-exits above ``cap``.
+
+    The restricted (optimal string alignment) variant — sufficient for
+    typo tolerance and O(len(left)·len(right)).
+    """
+    if left == right:
+        return 0
+    if abs(len(left) - len(right)) > cap:
+        return cap + 1
+    previous2: List[int] = []
+    previous = list(range(len(right) + 1))
+    for i, left_char in enumerate(left, start=1):
+        current = [i] + [0] * len(right)
+        for j, right_char in enumerate(right, start=1):
+            substitution_cost = 0 if left_char == right_char else 1
+            current[j] = min(
+                previous[j] + 1,          # deletion
+                current[j - 1] + 1,       # insertion
+                previous[j - 1] + substitution_cost,
+            )
+            if (
+                i > 1
+                and j > 1
+                and left_char == right[j - 2]
+                and left[i - 2] == right_char
+            ):
+                current[j] = min(current[j], previous2[j - 2] + 1)
+        if min(current) > cap:
+            return cap + 1
+        previous2, previous = previous, current
+    return previous[len(right)]
+
+
+def default_distance_budget(term: str) -> int:
+    """A sensible typo budget: 0 for short terms, 1 up to 8 chars, 2 above.
+
+    Short terms explode combinatorially under fuzzy matching (every
+    3-letter token is within distance 2 of hundreds of others), so the
+    budget scales with length.
+    """
+    if len(term) <= 4:
+        return 0
+    if len(term) <= 8:
+        return 1
+    return 2
+
+
+def expand_fuzzy(
+    term: str,
+    vocabulary: Iterable[str],
+    max_distance: int = -1,
+) -> List[Tuple[str, int]]:
+    """Vocabulary tokens within edit distance of ``term``.
+
+    Args:
+        term: normalised query term.
+        vocabulary: candidate tokens (normalised).
+        max_distance: edit budget; ``-1`` selects
+            :func:`default_distance_budget`.
+
+    Returns:
+        ``(token, distance)`` pairs sorted by distance then token; the
+        exact term (distance 0) comes first when present.
+    """
+    budget = max_distance if max_distance >= 0 else default_distance_budget(term)
+    matches: List[Tuple[str, int]] = []
+    for token in vocabulary:
+        if abs(len(token) - len(term)) > budget:
+            continue
+        distance = damerau_levenshtein(term, token, cap=budget)
+        if distance <= budget:
+            matches.append((token, distance))
+    matches.sort(key=lambda pair: (pair[1], pair[0]))
+    return matches
+
+
+def numbers_near(
+    target: int, vocabulary: Iterable[str], window: int = 2
+) -> List[str]:
+    """Numeric vocabulary tokens within ``window`` of ``target``.
+
+    Implements the paper's ``approx(1988)`` example: with
+    ``window=2``, ``approx(1988)`` matches tokens 1986..1990.
+    """
+    matches: List[str] = []
+    for token in vocabulary:
+        if not token.isdigit():
+            continue
+        value = int(token)
+        if abs(value - target) <= window:
+            matches.append(token)
+    matches.sort(key=int)
+    return matches

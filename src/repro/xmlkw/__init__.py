@@ -1,0 +1,39 @@
+"""Keyword search over XML documents (the paper's Sec. 7 extension).
+
+The paper notes that BANKS's edge model subsumes XML: *"Since edges in
+our model can have attributes such as type and weight, we can model
+containment (as in DataSpot and in nested XML) simply as edges of a new
+type.  (We are currently working on adding XML support to BANKS.)"*
+
+This subpackage realises that plan end to end:
+
+* :mod:`repro.xmlkw.parser` — a from-scratch, well-formedness-checking
+  XML parser (no stdlib XML machinery);
+* :mod:`repro.xmlkw.document` — the element-tree document model;
+* :mod:`repro.xmlkw.model` — documents -> BANKS data graph (containment
+  edges as a new edge type, ID/IDREF reference edges, prestige);
+* :mod:`repro.xmlkw.search` — :class:`XMLBanks`, the facade mirroring
+  :class:`repro.BANKS` for XML corpora;
+* :mod:`repro.xmlkw.browse` — hyperlinked element/outline/search pages
+  and a WSGI app (the browsing half of the Sec. 7 sentence);
+* :mod:`repro.xmlkw.generator` — a deterministic synthetic XML corpus
+  generator used by the tests, examples and benchmarks.
+"""
+
+from repro.xmlkw.browse import XMLBrowseApp, XMLBrowser
+from repro.xmlkw.document import XMLDocument, XMLElement
+from repro.xmlkw.model import XMLGraphConfig, build_xml_graph
+from repro.xmlkw.parser import parse_xml
+from repro.xmlkw.search import XMLAnswer, XMLBanks
+
+__all__ = [
+    "XMLAnswer",
+    "XMLBanks",
+    "XMLBrowseApp",
+    "XMLBrowser",
+    "XMLDocument",
+    "XMLElement",
+    "XMLGraphConfig",
+    "build_xml_graph",
+    "parse_xml",
+]

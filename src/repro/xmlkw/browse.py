@@ -1,0 +1,339 @@
+"""Hyperlinked browsing of XML documents (the Sec. 7 plan, browsing half).
+
+The paper: *"We are currently extending the BANKS system to handle
+browsing and keyword searching of XML data."*  The searching half lives
+in :mod:`repro.xmlkw.search`; this module supplies the browsing half in
+the same style as the relational browser (:mod:`repro.browse`):
+
+* every element gets a page showing its tag, attributes, text, parent,
+  children and — crucially — its *reference* neighbourhood: outgoing
+  IDREF links and incoming referencers, each a hyperlink (the XML
+  analogue of foreign-key and reverse-reference browsing);
+* a document outline page renders the containment hierarchy with
+  expandable depth;
+* an :class:`XMLBrowseApp` routes URLs to pages and adapts to WSGI, so
+  any XML corpus becomes a browsable, keyword-searchable site with zero
+  programming.
+
+All rendering is pure (``handle(path, query) -> (status, html)``) and
+unit-testable without a server, matching the relational app's design.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Optional, Tuple
+from urllib.parse import parse_qs, unquote
+
+from repro.browse.html import el, link, page
+from repro.errors import ReproError, XMLError
+from repro.xmlkw.document import XMLDocument, XMLElement
+from repro.xmlkw.model import XMLNode
+from repro.xmlkw.search import XMLBanks
+
+
+def element_url(node: XMLNode) -> str:
+    document_name, element_id = node
+    return f"/element/{document_name}/{element_id}"
+
+
+def outline_url(document_name: str, depth: int = 2) -> str:
+    return f"/outline/{document_name}?depth={depth}"
+
+
+class XMLBrowser:
+    """Pure page renderers over one :class:`XMLBanks` corpus."""
+
+    def __init__(self, banks: XMLBanks):
+        self.banks = banks
+
+    # -- element pages -----------------------------------------------------
+
+    def _element_link(self, node: XMLNode) -> object:
+        return link(element_url(node), self.banks.node_label(node))
+
+    def element_page(self, node: XMLNode) -> str:
+        """One element: attributes, text, structure and references."""
+        element = self.banks.element(node)
+        document_name = node[0]
+        body: List[object] = [
+            el("p", None, link(outline_url(document_name), "document outline")),
+            el("h2", None, f"<{element.tag}>"),
+            el("p", None, f"path: {element.path()}"),
+        ]
+
+        if element.attributes:
+            rows = [
+                el(
+                    "tr",
+                    None,
+                    el("td", None, name),
+                    el("td", None, value),
+                )
+                for name, value in element.attributes.items()
+            ]
+            body.append(el("h3", None, "Attributes"))
+            body.append(el("table", {"border": "1"}, *rows))
+
+        if element.text:
+            body.append(el("h3", None, "Text"))
+            body.append(el("p", None, element.text))
+
+        if element.parent is not None:
+            body.append(el("h3", None, "Parent"))
+            body.append(
+                el(
+                    "p",
+                    None,
+                    self._element_link(
+                        (document_name, element.parent.element_id)
+                    ),
+                )
+            )
+
+        if element.children:
+            items = [
+                el(
+                    "li",
+                    None,
+                    self._element_link((document_name, child.element_id)),
+                )
+                for child in element.children
+            ]
+            body.append(el("h3", None, f"Children ({len(element.children)})"))
+            body.append(el("ul", None, *items))
+
+        outgoing, incoming = self._references(node)
+        if outgoing:
+            body.append(el("h3", None, "References (outgoing)"))
+            body.append(
+                el(
+                    "ul",
+                    None,
+                    *[
+                        el(
+                            "li",
+                            None,
+                            f"@{attribute} -> ",
+                            self._element_link(target),
+                        )
+                        for attribute, target in outgoing
+                    ],
+                )
+            )
+        if incoming:
+            body.append(el("h3", None, "Referenced by (incoming)"))
+            body.append(
+                el(
+                    "ul",
+                    None,
+                    *[
+                        el("li", None, self._element_link(source))
+                        for source in incoming
+                    ],
+                )
+            )
+        return page(f"{element.tag} — {document_name}", *body)
+
+    def _references(
+        self, node: XMLNode
+    ) -> Tuple[List[Tuple[str, XMLNode]], List[XMLNode]]:
+        """Outgoing (attribute, target) IDREF pairs and incoming sources."""
+        document = next(
+            d for d in self.banks.documents if d.name == node[0]
+        )
+        element = document.element(node[1])
+        config = self.banks.graph_config
+        outgoing: List[Tuple[str, XMLNode]] = []
+        for attribute, value in element.attributes.items():
+            lowered = attribute.lower()
+            if not (
+                lowered in config.idref_attributes or lowered.endswith("ref")
+            ):
+                continue
+            referee = document.by_id(value)
+            if referee is not None and referee is not element:
+                outgoing.append(
+                    (attribute, (document.name, referee.element_id))
+                )
+
+        incoming: List[XMLNode] = []
+        own_ids = {
+            element.attributes[a]
+            for a in config.id_attributes
+            if a in element.attributes
+        }
+        if own_ids:
+            for other in document.elements():
+                if other is element:
+                    continue
+                for attribute, value in other.attributes.items():
+                    lowered = attribute.lower()
+                    if (
+                        lowered in config.idref_attributes
+                        or lowered.endswith("ref")
+                    ) and value in own_ids:
+                        incoming.append((document.name, other.element_id))
+                        break
+        return outgoing, incoming
+
+    # -- outline pages -----------------------------------------------------------
+
+    def outline_page(self, document_name: str, depth: int = 2) -> str:
+        """The containment hierarchy down to ``depth`` levels."""
+        document = next(
+            (d for d in self.banks.documents if d.name == document_name),
+            None,
+        )
+        if document is None:
+            raise XMLError(f"unknown document {document_name!r}")
+
+        def render(element: XMLElement, remaining: int) -> object:
+            label = self._element_link(
+                (document_name, element.element_id)
+            )
+            if not element.children or remaining <= 0:
+                suffix = (
+                    f" (+{len(element.children)} children)"
+                    if element.children
+                    else ""
+                )
+                return el("li", None, label, suffix)
+            return el(
+                "li",
+                None,
+                label,
+                el(
+                    "ul",
+                    None,
+                    *[render(child, remaining - 1) for child in element.children],
+                ),
+            )
+
+        deeper = el(
+            "p",
+            None,
+            link(outline_url(document_name, depth + 1), "expand one level"),
+        )
+        return page(
+            f"Outline — {document_name}",
+            el("ul", None, render(document.root, depth)),
+            deeper,
+        )
+
+    # -- search page ----------------------------------------------------------------
+
+    def search_page(self, query: str, max_results: int = 10) -> str:
+        if not query.strip():
+            return page("Search", el("p", None, "Empty query."))
+        try:
+            answers = self.banks.search(query, max_results=max_results)
+        except ReproError as error:
+            return page("Search", el("p", None, f"Error: {error}"))
+        blocks: List[object] = []
+        for answer in answers:
+            matched = {
+                node for node in answer.tree.keyword_nodes if node is not None
+            }
+            lines: List[object] = []
+
+            def walk(node: XMLNode, indent: int) -> None:
+                attrs = {"class": "kw"} if node in matched else None
+                lines.append(
+                    el(
+                        "div",
+                        {"style": f"margin-left:{indent * 1.5}em"},
+                        el("span", attrs, self._element_link(node)),
+                    )
+                )
+                for child in sorted(answer.tree.children(node), key=repr):
+                    walk(child, indent + 1)
+
+            walk(answer.tree.root, 0)
+            blocks.append(
+                el(
+                    "div",
+                    None,
+                    el(
+                        "h3",
+                        None,
+                        f"#{answer.rank + 1} "
+                        f"(relevance {answer.relevance:.3f})",
+                    ),
+                    *lines,
+                )
+            )
+        if not blocks:
+            blocks.append(el("p", None, "No answers."))
+        return page(f"Results for {query!r}", *blocks)
+
+    def home_page(self) -> str:
+        items = [
+            el(
+                "li",
+                None,
+                link(outline_url(document.name), document.name),
+                f" ({document.element_count()} elements)",
+            )
+            for document in self.banks.documents
+        ]
+        form = el(
+            "form",
+            {"action": "/search", "method": "get"},
+            el("input", {"name": "q", "size": "40"}),
+            el("input", {"type": "submit", "value": "Search"}),
+        )
+        return page(
+            "BANKS: XML corpus",
+            form,
+            el("h2", None, "Documents"),
+            el("ul", None, *items),
+        )
+
+
+class XMLBrowseApp:
+    """Routing + WSGI adapter over :class:`XMLBrowser`."""
+
+    def __init__(self, banks: XMLBanks):
+        self.browser = XMLBrowser(banks)
+
+    def handle(self, path: str, query_string: str = "") -> Tuple[str, str]:
+        """Route one request; returns ``(status, html)``."""
+        try:
+            parts = [unquote(p) for p in path.strip("/").split("/") if p]
+            if not parts:
+                return "200 OK", self.browser.home_page()
+            if parts[0] == "search":
+                params = parse_qs(query_string)
+                return "200 OK", self.browser.search_page(
+                    params.get("q", [""])[0]
+                )
+            if parts[0] == "element" and len(parts) == 3:
+                node = (parts[1], int(parts[2]))
+                return "200 OK", self.browser.element_page(node)
+            if parts[0] == "outline" and len(parts) == 2:
+                params = parse_qs(query_string)
+                depth = int(params.get("depth", ["2"])[0])
+                return "200 OK", self.browser.outline_page(parts[1], depth)
+        except (ReproError, ValueError) as error:
+            return "404 Not Found", page(
+                "Not found", el("p", None, f"{error}")
+            )
+        return "404 Not Found", page(
+            "Not found", el("p", None, f"No route for {path!r}")
+        )
+
+    def __call__(
+        self, environ: dict, start_response: Callable
+    ) -> Iterable[bytes]:
+        status, html = self.handle(
+            environ.get("PATH_INFO", "/"), environ.get("QUERY_STRING", "")
+        )
+        payload = html.encode("utf-8")
+        start_response(
+            status,
+            [
+                ("Content-Type", "text/html; charset=utf-8"),
+                ("Content-Length", str(len(payload))),
+            ],
+        )
+        return [payload]

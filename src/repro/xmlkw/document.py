@@ -1,0 +1,179 @@
+"""The XML document model: elements, attributes, text, navigation.
+
+A deliberately small tree model — exactly what keyword search over XML
+needs: element tags and attributes (metadata terms), text content (data
+terms), parent/child structure (containment edges) and ID/IDREF links
+(reference edges).  Namespaces, processing-instruction semantics and DTD
+validation are out of scope; documents carrying them still parse (the
+constructs are tolerated and skipped).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import XMLError
+
+
+class XMLElement:
+    """One element: tag, attributes, text fragments and child elements.
+
+    Attributes:
+        tag: the element name.
+        attributes: attribute name -> value (document order preserved,
+            duplicates rejected by the parser).
+        children: child elements, in document order.
+        text_fragments: the text runs directly inside this element (not
+            including descendant text), in document order.
+        parent: the containing element (``None`` for the root).
+        element_id: preorder position within the document; assigned by
+            :meth:`XMLDocument.finalize` and used as the graph node id.
+    """
+
+    __slots__ = (
+        "tag",
+        "attributes",
+        "children",
+        "text_fragments",
+        "parent",
+        "element_id",
+    )
+
+    def __init__(self, tag: str, attributes: Optional[Dict[str, str]] = None):
+        self.tag = tag
+        self.attributes: Dict[str, str] = attributes or {}
+        self.children: List["XMLElement"] = []
+        self.text_fragments: List[str] = []
+        self.parent: Optional["XMLElement"] = None
+        self.element_id = -1
+
+    # -- content ------------------------------------------------------------
+
+    @property
+    def text(self) -> str:
+        """Direct text content (fragments joined, stripped)."""
+        return " ".join(
+            fragment.strip()
+            for fragment in self.text_fragments
+            if fragment.strip()
+        )
+
+    def full_text(self) -> str:
+        """Text of this element and every descendant, in document order."""
+        parts: List[str] = []
+        if self.text:
+            parts.append(self.text)
+        for child in self.children:
+            child_text = child.full_text()
+            if child_text:
+                parts.append(child_text)
+        return " ".join(parts)
+
+    def get(self, attribute: str, default: Optional[str] = None) -> Optional[str]:
+        return self.attributes.get(attribute, default)
+
+    # -- navigation -----------------------------------------------------------
+
+    def iter(self) -> Iterator["XMLElement"]:
+        """This element and all descendants, preorder."""
+        yield self
+        for child in self.children:
+            yield from child.iter()
+
+    def find(self, tag: str) -> Optional["XMLElement"]:
+        """First descendant (or self) with the given tag, preorder."""
+        for element in self.iter():
+            if element.tag == tag:
+                return element
+        return None
+
+    def find_all(self, tag: str) -> List["XMLElement"]:
+        """Every descendant (or self) with the given tag, preorder."""
+        return [element for element in self.iter() if element.tag == tag]
+
+    def path(self) -> str:
+        """Root-to-here tag path, e.g. ``bibliography/paper/title``."""
+        parts: List[str] = []
+        current: Optional[XMLElement] = self
+        while current is not None:
+            parts.append(current.tag)
+            current = current.parent
+        return "/".join(reversed(parts))
+
+    def depth(self) -> int:
+        """Edges between this element and the root."""
+        count = 0
+        current = self.parent
+        while current is not None:
+            count += 1
+            current = current.parent
+        return count
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"XMLElement(<{self.tag}> id={self.element_id})"
+
+
+class XMLDocument:
+    """A parsed document: the root element plus document-level indexes.
+
+    Call :meth:`finalize` (the parser does) to assign preorder element
+    ids, wire parent pointers and build the ID attribute index used for
+    IDREF resolution.
+    """
+
+    def __init__(self, root: XMLElement, name: str = "doc"):
+        self.root = root
+        self.name = name
+        self._elements: List[XMLElement] = []
+        self._by_id_attribute: Dict[str, XMLElement] = {}
+
+    def finalize(self, id_attributes: Tuple[str, ...] = ("id",)) -> None:
+        """Assign element ids, parents, and index ID attributes.
+
+        Args:
+            id_attributes: attribute names treated as element IDs;
+                duplicate ID values in one document raise
+                :class:`XMLError` (ID attributes must be unique).
+        """
+        self._elements = []
+        self._by_id_attribute = {}
+        for element in self.root.iter():
+            element.element_id = len(self._elements)
+            self._elements.append(element)
+            for child in element.children:
+                child.parent = element
+            for attribute in id_attributes:
+                value = element.attributes.get(attribute)
+                if value is None:
+                    continue
+                if value in self._by_id_attribute:
+                    raise XMLError(
+                        f"duplicate ID {value!r} in document {self.name!r}"
+                    )
+                self._by_id_attribute[value] = element
+
+    # -- element access -----------------------------------------------------------
+
+    def element(self, element_id: int) -> XMLElement:
+        try:
+            return self._elements[element_id]
+        except IndexError:
+            raise XMLError(
+                f"unknown element id {element_id} in document {self.name!r}"
+            ) from None
+
+    def elements(self) -> List[XMLElement]:
+        return list(self._elements)
+
+    def element_count(self) -> int:
+        return len(self._elements)
+
+    def by_id(self, id_value: str) -> Optional[XMLElement]:
+        """The element whose ID attribute equals ``id_value``, if any."""
+        return self._by_id_attribute.get(id_value)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"XMLDocument({self.name!r}, root=<{self.root.tag}>, "
+            f"{len(self._elements)} elements)"
+        )

@@ -1,0 +1,201 @@
+"""Deterministic synthetic XML corpora for tests, examples, benchmarks.
+
+Generates a DBLP-like bibliography *as XML*: a ``<bibliography>`` root
+containing ``<author>`` elements (with unique ``id`` attributes) and
+``<paper>`` elements whose ``<authorref ref="..."/>`` children reference
+authors and whose ``<cite ref="..."/>`` children reference other papers
+— the XML mirror of the relational generator's schema, exercising both
+containment edges (paper -> title/authorref/cite) and IDREF reference
+edges (authorref -> author, cite -> paper).
+
+As in :mod:`repro.datasets.bibliography`, the corpus plants the paper's
+anecdote substructures (Soumen/Sunita/Byron co-authoring a temporal
+data-mining paper) so examples and tests can assert the Fig. 1/Fig. 2
+behaviour on XML too, and draws citation counts from a Zipf-like
+distribution so prestige has something to rank.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from repro.xmlkw.document import XMLDocument, XMLElement
+from repro.xmlkw.parser import parse_xml
+
+_FIRST_NAMES = (
+    "alice", "bob", "carol", "dave", "erin", "frank", "grace", "heidi",
+    "ivan", "judy", "mallory", "oscar", "peggy", "trent", "victor", "wendy",
+)
+_LAST_NAMES = (
+    "anderson", "brown", "chen", "davis", "evans", "fischer", "garcia",
+    "huang", "ito", "jones", "kumar", "lopez", "miller", "nakamura",
+)
+_TITLE_WORDS = (
+    "query", "optimization", "transaction", "index", "parallel", "stream",
+    "temporal", "spatial", "graph", "mining", "recovery", "concurrency",
+    "distributed", "relational", "semantic", "adaptive", "incremental",
+)
+
+#: The planted anecdote authors (mirrors the relational generator).
+ANECDOTE_AUTHORS = ("soumen chakrabarti", "sunita sarawagi", "byron dom")
+ANECDOTE_TITLE = (
+    "mining surprising patterns using temporal description length"
+)
+
+
+def _escape(text: str) -> str:
+    return (
+        text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+    )
+
+
+def generate_bibliography_xml(
+    papers: int = 100,
+    authors: int = 60,
+    seed: int = 7,
+    name: str = "dblp",
+    plant_anecdotes: bool = True,
+) -> XMLDocument:
+    """Build a bibliography document with ``papers`` papers and
+    ``authors`` authors (plus the planted anecdote entities).
+
+    The output is produced by *serialising then re-parsing* through
+    :func:`repro.xmlkw.parser.parse_xml`, so every generated corpus also
+    exercises the parser round trip.
+    """
+    rng = random.Random(seed)
+    lines: List[str] = ["<bibliography>"]
+
+    author_ids: List[str] = []
+    author_names: List[str] = []
+
+    def add_author(full_name: str) -> str:
+        author_id = f"a{len(author_ids) + 1}"
+        author_ids.append(author_id)
+        author_names.append(full_name)
+        lines.append(
+            f'  <author id="{author_id}">'
+            f"<name>{_escape(full_name)}</name></author>"
+        )
+        return author_id
+
+    anecdote_ids: List[str] = []
+    if plant_anecdotes:
+        anecdote_ids = [add_author(name_) for name_ in ANECDOTE_AUTHORS]
+    while len(author_ids) < authors + len(anecdote_ids):
+        first = rng.choice(_FIRST_NAMES)
+        last = rng.choice(_LAST_NAMES)
+        add_author(f"{first} {last}-{len(author_ids)}")
+
+    paper_ids: List[str] = []
+
+    def add_paper(
+        title: str, writer_ids: Sequence[str], cited: Sequence[str]
+    ) -> str:
+        paper_id = f"p{len(paper_ids) + 1}"
+        paper_ids.append(paper_id)
+        lines.append(f'  <paper id="{paper_id}">')
+        lines.append(f"    <title>{_escape(title)}</title>")
+        for writer in writer_ids:
+            lines.append(f'    <authorref ref="{writer}"/>')
+        for citation in cited:
+            lines.append(f'    <cite ref="{citation}"/>')
+        lines.append("  </paper>")
+        return paper_id
+
+    if plant_anecdotes:
+        add_paper(ANECDOTE_TITLE, anecdote_ids, ())
+
+    while len(paper_ids) < papers + (1 if plant_anecdotes else 0):
+        title = " ".join(
+            rng.sample(_TITLE_WORDS, rng.randint(3, 6))
+        )
+        team_size = rng.randint(1, 4)
+        team = rng.sample(author_ids, min(team_size, len(author_ids)))
+        # Zipf-ish citations: early papers accumulate more references.
+        citations: List[str] = []
+        if paper_ids:
+            count = min(len(paper_ids), _zipf_citation_count(rng))
+            weights = [1.0 / (i + 1) for i in range(len(paper_ids))]
+            citations = _weighted_sample(rng, paper_ids, weights, count)
+        add_paper(title, team, citations)
+
+    lines.append("</bibliography>")
+    return parse_xml("\n".join(lines), name)
+
+
+def _zipf_citation_count(rng: random.Random, maximum: int = 8) -> int:
+    """A heavy-tailed small count (most papers cite few, some cite many)."""
+    value = 1
+    while value < maximum and rng.random() < 0.55:
+        value += 1
+    return value
+
+
+def _weighted_sample(
+    rng: random.Random,
+    population: Sequence[str],
+    weights: Sequence[float],
+    count: int,
+) -> List[str]:
+    """Sample ``count`` distinct items with probability ~ weights."""
+    chosen: List[str] = []
+    candidates = list(population)
+    remaining = list(weights)
+    for _ in range(min(count, len(candidates))):
+        total = sum(remaining)
+        point = rng.random() * total
+        cumulative = 0.0
+        for index, weight in enumerate(remaining):
+            cumulative += weight
+            if point <= cumulative:
+                chosen.append(candidates.pop(index))
+                remaining.pop(index)
+                break
+    return chosen
+
+
+def generate_catalog_xml(
+    categories: int = 8,
+    products_per_category: int = 12,
+    seed: int = 11,
+    name: str = "catalog",
+) -> XMLDocument:
+    """A product-catalog document (the paper's "electronic catalogs"
+    publishing scenario): nested category/product containment with
+    ``supplier`` reference edges — deep containment, few references,
+    the structural opposite of the bibliography corpus.
+    """
+    rng = random.Random(seed)
+    adjectives = ("steel", "brass", "compact", "heavy", "precision", "economy")
+    nouns = ("hammer", "valve", "bearing", "gasket", "coupler", "fitting")
+    lines: List[str] = ["<catalog>"]
+    supplier_ids = []
+    for index in range(1 + categories // 2):
+        supplier_id = f"s{index + 1}"
+        supplier_ids.append(supplier_id)
+        lines.append(
+            f'  <supplier id="{supplier_id}">'
+            f"<name>supplier {index + 1}</name></supplier>"
+        )
+    product_number = 0
+    for category_index in range(categories):
+        lines.append(
+            f'  <category id="c{category_index + 1}">'
+        )
+        lines.append(
+            f"    <label>category {category_index + 1}</label>"
+        )
+        for _ in range(products_per_category):
+            product_number += 1
+            product_name = f"{rng.choice(adjectives)} {rng.choice(nouns)}"
+            supplier = rng.choice(supplier_ids)
+            lines.append(
+                f'    <product id="pr{product_number}" ref="{supplier}">'
+                f"<name>{product_name}</name>"
+                f"<price>{rng.randint(5, 500)}</price></product>"
+            )
+        lines.append("  </category>")
+    lines.append("</catalog>")
+    return parse_xml("\n".join(lines), name)

@@ -1,0 +1,281 @@
+"""A from-scratch, well-formedness-checking XML parser.
+
+Implements the subset of XML 1.0 that real data documents use:
+
+* elements with attributes (single- or double-quoted values);
+* text content with the five predefined entities plus numeric character
+  references (``&#65;`` / ``&#x41;``);
+* self-closing tags, comments, CDATA sections, the XML declaration and
+  processing instructions (the latter three tolerated and skipped);
+* strict well-formedness: one root element, balanced and properly nested
+  tags, no duplicate attributes, no stray ``<`` / ``&``.
+
+Errors raise :class:`repro.errors.XMLError` carrying line/column.  The
+parser is a single left-to-right scan with an explicit element stack —
+no regex backtracking, linear in document size.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import XMLError
+from repro.xmlkw.document import XMLDocument, XMLElement
+
+_PREDEFINED_ENTITIES = {
+    "amp": "&",
+    "lt": "<",
+    "gt": ">",
+    "quot": '"',
+    "apos": "'",
+}
+
+_NAME_START = set(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_:"
+)
+_NAME_CHARS = _NAME_START | set("0123456789.-")
+
+
+class _Scanner:
+    """Cursor over the document text with line/column tracking."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self.position = 0
+
+    def location(self, position: Optional[int] = None) -> Tuple[int, int]:
+        """1-based (line, column) of ``position`` (default: the cursor)."""
+        if position is None:
+            position = self.position
+        line = self.text.count("\n", 0, position) + 1
+        last_newline = self.text.rfind("\n", 0, position)
+        return line, position - last_newline
+
+    def error(self, message: str) -> XMLError:
+        line, column = self.location()
+        return XMLError(message, line, column)
+
+    @property
+    def exhausted(self) -> bool:
+        return self.position >= len(self.text)
+
+    def peek(self) -> str:
+        if self.exhausted:
+            return ""
+        return self.text[self.position]
+
+    def startswith(self, prefix: str) -> bool:
+        return self.text.startswith(prefix, self.position)
+
+    def advance(self, count: int = 1) -> str:
+        chunk = self.text[self.position : self.position + count]
+        self.position += count
+        return chunk
+
+    def skip_whitespace(self) -> None:
+        while not self.exhausted and self.text[self.position].isspace():
+            self.position += 1
+
+    def read_until(self, terminator: str, construct: str) -> str:
+        """Text up to (not including) ``terminator``; cursor lands after it."""
+        end = self.text.find(terminator, self.position)
+        if end < 0:
+            raise self.error(f"unterminated {construct}")
+        chunk = self.text[self.position : end]
+        self.position = end + len(terminator)
+        return chunk
+
+    def read_name(self) -> str:
+        if self.exhausted or self.text[self.position] not in _NAME_START:
+            raise self.error("expected a name")
+        start = self.position
+        while (
+            self.position < len(self.text)
+            and self.text[self.position] in _NAME_CHARS
+        ):
+            self.position += 1
+        return self.text[start : self.position]
+
+
+def decode_entities(text: str, scanner: Optional[_Scanner] = None) -> str:
+    """Expand predefined entities and character references in ``text``."""
+    if "&" not in text:
+        return text
+    parts: List[str] = []
+    position = 0
+    while True:
+        ampersand = text.find("&", position)
+        if ampersand < 0:
+            parts.append(text[position:])
+            break
+        parts.append(text[position:ampersand])
+        semicolon = text.find(";", ampersand + 1)
+        if semicolon < 0:
+            raise XMLError(f"unterminated entity near {text[ampersand:ampersand + 12]!r}")
+        entity = text[ampersand + 1 : semicolon]
+        if entity.startswith("#x") or entity.startswith("#X"):
+            try:
+                parts.append(chr(int(entity[2:], 16)))
+            except ValueError:
+                raise XMLError(f"bad character reference &{entity};") from None
+        elif entity.startswith("#"):
+            try:
+                parts.append(chr(int(entity[1:], 10)))
+            except ValueError:
+                raise XMLError(f"bad character reference &{entity};") from None
+        elif entity in _PREDEFINED_ENTITIES:
+            parts.append(_PREDEFINED_ENTITIES[entity])
+        else:
+            raise XMLError(f"unknown entity &{entity};")
+        position = semicolon + 1
+    return "".join(parts)
+
+
+def _parse_attributes(scanner: _Scanner, tag: str) -> Dict[str, str]:
+    attributes: Dict[str, str] = {}
+    while True:
+        scanner.skip_whitespace()
+        if scanner.peek() in (">", "/", "?", ""):
+            return attributes
+        name = scanner.read_name()
+        scanner.skip_whitespace()
+        if scanner.peek() != "=":
+            raise scanner.error(f"attribute {name!r} of <{tag}> missing '='")
+        scanner.advance()
+        scanner.skip_whitespace()
+        quote = scanner.peek()
+        if quote not in ("'", '"'):
+            raise scanner.error(
+                f"attribute {name!r} of <{tag}> must be quoted"
+            )
+        scanner.advance()
+        value = scanner.read_until(quote, f"attribute value of {name!r}")
+        if "<" in value:
+            raise scanner.error(f"raw '<' in attribute {name!r}")
+        if name in attributes:
+            raise scanner.error(f"duplicate attribute {name!r} on <{tag}>")
+        attributes[name] = decode_entities(value, scanner)
+
+
+def parse_xml(text: str, name: str = "doc") -> XMLDocument:
+    """Parse ``text`` into an :class:`XMLDocument` (finalized).
+
+    Args:
+        text: the document source.
+        name: a document name (becomes part of graph node ids when
+            multiple documents are searched together).
+
+    Raises:
+        XMLError: on any well-formedness violation, with line/column.
+    """
+    scanner = _Scanner(text)
+    root: Optional[XMLElement] = None
+    stack: List[XMLElement] = []
+
+    def append_text(fragment: str) -> None:
+        if not fragment:
+            return
+        if stack:
+            stack[-1].text_fragments.append(fragment)
+        elif fragment.strip():
+            raise scanner.error("text outside the root element")
+
+    while not scanner.exhausted:
+        if scanner.peek() != "<":
+            start = scanner.position
+            next_tag = scanner.text.find("<", start)
+            if next_tag < 0:
+                next_tag = len(scanner.text)
+            raw = scanner.text[start:next_tag]
+            scanner.position = next_tag
+            append_text(decode_entities(raw, scanner))
+            continue
+
+        if scanner.startswith("<!--"):
+            scanner.advance(4)
+            comment = scanner.read_until("-->", "comment")
+            if "--" in comment:
+                raise scanner.error("'--' inside comment")
+            continue
+        if scanner.startswith("<![CDATA["):
+            scanner.advance(9)
+            append_text(scanner.read_until("]]>", "CDATA section"))
+            continue
+        if scanner.startswith("<?"):
+            scanner.advance(2)
+            scanner.read_until("?>", "processing instruction")
+            continue
+        if scanner.startswith("<!"):
+            # DOCTYPE or other declaration: tolerate and skip (no internal
+            # subset support — a '[' would contain '>' and is rejected).
+            scanner.advance(2)
+            declaration = scanner.read_until(">", "declaration")
+            if "[" in declaration:
+                raise scanner.error("DTD internal subsets are not supported")
+            continue
+
+        if scanner.startswith("</"):
+            scanner.advance(2)
+            tag = scanner.read_name()
+            scanner.skip_whitespace()
+            if scanner.peek() != ">":
+                raise scanner.error(f"malformed closing tag </{tag}>")
+            scanner.advance()
+            if not stack:
+                raise scanner.error(f"closing tag </{tag}> with no open element")
+            open_element = stack.pop()
+            if open_element.tag != tag:
+                raise scanner.error(
+                    f"mismatched closing tag: expected </{open_element.tag}>, "
+                    f"found </{tag}>"
+                )
+            continue
+
+        # An opening (or self-closing) tag.
+        scanner.advance()
+        tag = scanner.read_name()
+        attributes = _parse_attributes(scanner, tag)
+        self_closing = False
+        if scanner.peek() == "/":
+            scanner.advance()
+            self_closing = True
+        if scanner.peek() != ">":
+            raise scanner.error(f"malformed tag <{tag}>")
+        scanner.advance()
+
+        element = XMLElement(tag, attributes)
+        if stack:
+            stack[-1].children.append(element)
+        elif root is None:
+            root = element
+        else:
+            raise scanner.error(
+                f"second root element <{tag}> (document already rooted "
+                f"at <{root.tag}>)"
+            )
+        if not self_closing:
+            stack.append(element)
+
+    if stack:
+        raise XMLError(
+            f"unclosed element <{stack[-1].tag}> at end of document"
+        )
+    if root is None:
+        raise XMLError("document has no root element")
+
+    document = XMLDocument(root, name)
+    document.finalize()
+    return document
+
+
+def parse_xml_fragmentless(text: str, name: str = "doc") -> XMLDocument:
+    """Parse, then drop whitespace-only text fragments (convenience for
+    pretty-printed documents where indentation is not content)."""
+    document = parse_xml(text, name)
+    for element in document.root.iter():
+        element.text_fragments = [
+            fragment
+            for fragment in element.text_fragments
+            if fragment.strip()
+        ]
+    return document

@@ -1,0 +1,88 @@
+"""Tests for the HTML builder and the URL / browse-state scheme."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.browse.html import Element, el, escape, link, page
+from repro.browse.hyperlink import BrowseState, row_url, search_url, table_url
+from repro.errors import BrowseError
+
+
+class TestEscape:
+    def test_basic_entities(self):
+        assert escape("<b>&\"'") == "&lt;b&gt;&amp;&quot;&#x27;"
+
+    def test_plain_text_untouched(self):
+        assert escape("hello world") == "hello world"
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.text(max_size=80))
+    def test_no_raw_specials_survive(self, text):
+        escaped = escape(text)
+        assert "<" not in escaped
+        assert ">" not in escaped
+
+
+class TestElements:
+    def test_render_nested(self):
+        fragment = el("div", {"class": "x"}, el("b", None, "hi"), "there")
+        assert fragment.render() == '<div class="x"><b>hi</b>there</div>'
+
+    def test_attribute_values_escaped(self):
+        fragment = el("a", {"href": 'x"onmouseover="evil'})
+        assert 'onmouseover="evil"' not in fragment.render()
+
+    def test_content_escaped(self):
+        assert "<script>" not in el("p", None, "<script>").render()
+
+    def test_void_elements(self):
+        assert el("br").render() == "<br/>"
+
+    def test_page_document(self):
+        document = page("Title", el("p", None, "body"))
+        assert document.startswith("<!DOCTYPE html>")
+        assert "<title>Title</title>" in document
+
+    def test_link(self):
+        assert link("/x", "y").render() == '<a href="/x">y</a>'
+
+
+class TestBrowseState:
+    def test_round_trip(self):
+        state = (
+            BrowseState("student")
+            .with_drop("student.name")
+            .with_selection("student.dept_id", "=", "CSE")
+            .with_join(0, "f")
+            .with_group_by("student.prog_id")
+            .with_page(3)
+        )
+        # group_by reset the page; set it again for the round trip.
+        state = state.with_page(3)
+        parsed = BrowseState.from_query("student", state.to_query())
+        assert parsed == state
+
+    def test_default_state_minimal_url(self):
+        assert BrowseState("author").url() == "/table/author"
+
+    def test_sort_toggles_direction(self):
+        state = BrowseState("t").with_sort("c")
+        assert state.sort == "c"
+        assert state.with_sort("c").sort == "-c"
+
+    def test_selection_resets_page(self):
+        state = BrowseState("t").with_page(9).with_selection("c", "=", "v")
+        assert state.page == 1
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(BrowseError):
+            BrowseState.from_query("t", "where=only-two:parts")
+        with pytest.raises(BrowseError):
+            BrowseState.from_query("t", "join=notanumber:f")
+        with pytest.raises(BrowseError):
+            BrowseState.from_query("t", "page=0")
+
+    def test_urls(self):
+        assert row_url(("paper", 7)) == "/row/paper/7"
+        assert table_url("a b") == "/table/a%20b"
+        assert search_url("soumen sunita") == "/search?q=soumen+sunita"

@@ -1,0 +1,134 @@
+"""Tests for table/tuple pages, the schema browser, and the WSGI app."""
+
+import pytest
+
+from repro import BANKS
+from repro.browse.app import BrowseApp
+from repro.browse.hyperlink import BrowseState
+from repro.browse.schema_browser import render_schema
+from repro.browse.tableview import build_relation, render_row_page, render_table_page
+from repro.relational import Database, execute_script
+
+
+@pytest.fixture
+def app(figure1_banks):
+    return BrowseApp(figure1_banks)
+
+
+class TestBuildRelation:
+    def test_plain_table(self, figure1_db):
+        relation = build_relation(figure1_db, BrowseState("author"))
+        assert len(relation) == 3
+
+    def test_join_selection_drop_sort(self, figure1_db):
+        state = (
+            BrowseState("writes")
+            .with_join(0, "f")  # writes -> author
+            .with_selection("author.name", "=", "Byron Dom")
+            .with_drop("writes.paper_id")
+            .with_sort("author.name")
+        )
+        relation = build_relation(figure1_db, state)
+        assert len(relation) == 1
+        assert "writes.paper_id" not in relation.columns
+
+    def test_reverse_join(self, figure1_db):
+        state = BrowseState("author").with_join(0, "r")
+        # author has no FKs: join index out of range.
+        from repro.errors import BrowseError
+
+        with pytest.raises(BrowseError):
+            build_relation(figure1_db, state)
+
+    def test_integer_selection_coerced_from_url(self):
+        database = Database("n")
+        execute_script(
+            database,
+            "CREATE TABLE t (id INTEGER PRIMARY KEY, v INTEGER);"
+            "INSERT INTO t VALUES (1, 10); INSERT INTO t VALUES (2, 20);",
+        )
+        state = BrowseState("t").with_selection("t.v", ">", "15")
+        relation = build_relation(database, state)
+        assert len(relation) == 1
+
+
+class TestPages:
+    def test_table_page_has_controls_and_links(self, figure1_db):
+        html = render_table_page(figure1_db, BrowseState("writes"))
+        assert "[drop]" in html
+        assert "[sort]" in html
+        assert "[group]" in html
+        assert "/row/writes/0" in html
+        assert "[join referenced]" in html
+
+    def test_grouped_page(self, figure1_db):
+        state = (
+            BrowseState("writes")
+            .with_group_by("writes.paper_id")
+            .with_expand("ChakrabartiSD98")
+        )
+        html = render_table_page(figure1_db, state)
+        assert "(3 rows)" in html
+        assert "[ungroup]" in html
+
+    def test_row_page_shows_references_both_ways(self, figure1_db):
+        html = render_row_page(figure1_db, ("author", 0))
+        assert "Referenced by" in html
+        assert "/row/writes/0" in html
+        writes_html = render_row_page(figure1_db, ("writes", 0))
+        assert "References" in writes_html
+        assert "/row/author/0" in writes_html
+
+    def test_schema_page(self, figure1_db):
+        html = render_schema(figure1_db)
+        assert "FK -&gt; author" in html or "FK -> author" in html
+        assert "writes" in html and "PK" in html
+
+    def test_hostile_values_escaped(self):
+        database = Database("x")
+        execute_script(
+            database,
+            "CREATE TABLE t (id TEXT PRIMARY KEY, v TEXT);",
+        )
+        database.insert("t", ["<script>alert(1)</script>", "<img onerror=x>"])
+        html = render_table_page(database, BrowseState("t"))
+        assert "<script>alert" not in html
+        assert "<img onerror" not in html
+
+
+class TestApp:
+    def test_home_lists_tables(self, app):
+        status, html = app.handle("/", "")
+        assert status == "200 OK"
+        for table in ("author", "paper", "writes", "cites"):
+            assert table in html
+
+    def test_search_route(self, app):
+        status, html = app.handle("/search", "q=soumen+sunita")
+        assert status == "200 OK"
+        assert "relevance" in html
+        assert "Soumen Chakrabarti" in html
+
+    def test_search_empty_query(self, app):
+        status, html = app.handle("/search", "q=")
+        assert "Empty query" in html
+
+    def test_unknown_routes_404(self, app):
+        assert app.handle("/nope", "")[0] == "404 Not Found"
+        assert app.handle("/table/ghost", "")[0] == "404 Not Found"
+        assert app.handle("/row/author/999", "")[0] == "404 Not Found"
+        assert app.handle("/row/author/NaN", "")[0] == "404 Not Found"
+
+    def test_wsgi_contract(self, app):
+        captured = {}
+
+        def start_response(status, headers):
+            captured["status"] = status
+            captured["headers"] = dict(headers)
+
+        body = b"".join(
+            app({"PATH_INFO": "/", "QUERY_STRING": ""}, start_response)
+        )
+        assert captured["status"] == "200 OK"
+        assert captured["headers"]["Content-Type"].startswith("text/html")
+        assert int(captured["headers"]["Content-Length"]) == len(body)

@@ -1,0 +1,129 @@
+"""Tests for display templates and SVG charts."""
+
+import pytest
+
+from repro.browse.charts import bar_chart, line_chart, pie_chart
+from repro.browse.templates import TemplateRegistry
+from repro.errors import BrowseError
+
+
+@pytest.fixture
+def registry(thesis_session):
+    database, _anecdotes = thesis_session
+    return TemplateRegistry(database)
+
+
+class TestRegistry:
+    def test_save_load_roundtrip(self, registry):
+        registry.save("t1", "crosstab", {"table": "student",
+                                         "row": "student.dept_id",
+                                         "column": "student.prog_id"})
+        instance = registry.load("t1")
+        assert instance.kind == "crosstab"
+        assert instance.spec["table"] == "student"
+
+    def test_overwrite_replaces(self, registry):
+        registry.save("t2", "chart", {"table": "student",
+                                      "label_column": "student.dept_id"})
+        registry.save("t2", "chart", {"table": "faculty",
+                                      "label_column": "faculty.dept_id"})
+        assert registry.load("t2").spec["table"] == "faculty"
+
+    def test_unknown_kind_rejected(self, registry):
+        with pytest.raises(BrowseError):
+            registry.save("bad", "hologram", {})
+
+    def test_unknown_name_rejected(self, registry):
+        with pytest.raises(BrowseError):
+            registry.load("missing-template")
+
+    def test_templates_live_in_the_database(self, registry):
+        registry.save("t3", "folder", {"table": "student",
+                                       "group_columns": ["student.dept_id"]})
+        rows = list(registry.database.table("_banks_templates").scan())
+        assert any(row["name"] == "t3" for row in rows)
+
+
+class TestRendering:
+    def test_crosstab_counts(self, registry):
+        registry.save("xt", "crosstab", {"table": "student",
+                                         "row": "student.dept_id",
+                                         "column": "student.prog_id"})
+        html = registry.render("xt")
+        assert "CSE" in html and "total" in html
+
+    def test_hierarchy_drilldown(self, registry):
+        registry.save(
+            "hier", "groupby",
+            {"table": "student",
+             "group_columns": ["student.dept_id", "student.prog_id"]},
+        )
+        top = registry.render("hier")
+        assert "CSE" in top
+        level2 = registry.render("hier", ["CSE"])
+        assert "MTECH" in level2 or "PHD" in level2
+        leaves = registry.render("hier", ["CSE", "MTECH"])
+        assert "<table>" in leaves
+
+    def test_folder_view_marks_folders(self, registry):
+        registry.save(
+            "fold", "folder",
+            {"table": "faculty", "group_columns": ["faculty.dept_id"]},
+        )
+        assert "📁" in registry.render("fold")
+
+    def test_chart_template_links(self, registry):
+        registry.save(
+            "chart", "chart",
+            {"table": "student", "label_column": "student.dept_id",
+             "chart": "bar"},
+        )
+        html = registry.render("chart")
+        assert "<svg" in html
+        assert "/table/student?where=" in html
+
+    def test_template_composition(self, registry):
+        registry.save(
+            "inner", "groupby",
+            {"table": "student", "group_columns": ["student.dept_id"]},
+        )
+        registry.save(
+            "outer", "chart",
+            {"table": "student", "label_column": "student.dept_id",
+             "chart": "pie", "link_to": "inner"},
+        )
+        html = registry.render("outer")
+        assert "/template/inner?path=" in html
+
+
+class TestCharts:
+    DATA = [("a", 3.0, "/x"), ("b", 1.0, None), ("c", 2.0, "/y")]
+
+    def test_bar_chart_links_and_titles(self):
+        svg = bar_chart(self.DATA)
+        assert svg.count("<rect") == 3
+        assert '<a href="/x">' in svg
+        assert "<title>a: 3</title>" in svg
+
+    def test_line_chart(self):
+        svg = line_chart(self.DATA)
+        assert "<polyline" in svg
+        assert svg.count("<circle") == 3
+
+    def test_pie_chart(self):
+        svg = pie_chart(self.DATA)
+        assert svg.count("<path") == 3
+
+    def test_pie_chart_single_full_slice(self):
+        svg = pie_chart([("all", 5.0, None)])
+        assert "<circle" in svg
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(BrowseError):
+            bar_chart([])
+        with pytest.raises(BrowseError):
+            pie_chart([("zero", 0.0, None)])
+
+    def test_labels_escaped(self):
+        svg = bar_chart([("<evil>", 1.0, None)])
+        assert "<evil>" not in svg

@@ -1,0 +1,145 @@
+"""Tests for answer trees: construction, invariants, dedup keys."""
+
+import pytest
+
+from repro.core.answer import AnswerTree
+from repro.errors import GraphError
+from repro.graph.digraph import DiGraph
+
+
+@pytest.fixture
+def diamond():
+    """root -> {x, y} -> leaf plus a side chain."""
+    graph = DiGraph()
+    graph.add_edge("root", "x", 1.0)
+    graph.add_edge("root", "y", 2.0)
+    graph.add_edge("x", "k1", 1.0)
+    graph.add_edge("y", "k2", 1.0)
+    graph.add_edge("x", "k2", 5.0)
+    return graph
+
+
+class TestFromPaths:
+    def test_two_paths(self, diamond):
+        tree = AnswerTree.from_paths(
+            diamond,
+            "root",
+            [["root", "x", "k1"], ["root", "y", "k2"]],
+        )
+        tree.validate()
+        assert tree.root == "root"
+        assert tree.size() == 5
+        assert tree.weight == 5.0
+        assert tree.root_child_count() == 2
+        assert tree.keyword_nodes == ("k1", "k2")
+
+    def test_shared_prefix_grafts(self, diamond):
+        tree = AnswerTree.from_paths(
+            diamond,
+            "root",
+            [["root", "x", "k1"], ["root", "x", "k2"]],
+        )
+        tree.validate()
+        # Edge root->x counted once.
+        assert tree.weight == 1.0 + 1.0 + 5.0
+        assert tree.root_child_count() == 1
+
+    def test_single_node_tree(self, diamond):
+        tree = AnswerTree.from_paths(diamond, "k1", [["k1"]])
+        tree.validate()
+        assert tree.size() == 1
+        assert tree.weight == 0.0
+        assert tree.root_child_count() == 0
+
+    def test_partial_coverage(self, diamond):
+        tree = AnswerTree.from_paths(
+            diamond, "root", [["root", "x", "k1"], None]
+        )
+        assert tree.covered_terms() == 1
+        assert tree.keyword_nodes == ("k1", None)
+
+    def test_path_must_start_at_root(self, diamond):
+        with pytest.raises(GraphError):
+            AnswerTree.from_paths(diamond, "root", [["x", "k1"]])
+
+    def test_missing_edge_rejected(self, diamond):
+        with pytest.raises(GraphError):
+            AnswerTree.from_paths(diamond, "root", [["root", "k1"]])
+
+
+class TestStructure:
+    def test_nodes_edges_children(self, diamond):
+        tree = AnswerTree.from_paths(
+            diamond,
+            "root",
+            [["root", "x", "k1"], ["root", "y", "k2"]],
+        )
+        assert tree.nodes == {"root", "x", "y", "k1", "k2"}
+        assert ("root", "x") in tree.edges
+        assert tree.children("root") == sorted(["x", "y"]) or set(
+            tree.children("root")
+        ) == {"x", "y"}
+        assert tree.children("k1") == []
+
+    def test_edge_weight_lookup(self, diamond):
+        tree = AnswerTree.from_paths(diamond, "root", [["root", "y", "k2"]])
+        assert tree.edge_weight("root", "y") == 2.0
+
+    def test_render_marks_keywords(self, diamond):
+        tree = AnswerTree.from_paths(
+            diamond, "root", [["root", "x", "k1"], ["root", "y", "k2"]]
+        )
+        text = tree.render_indented()
+        assert "* 'k1'" in text
+        assert text.splitlines()[0].strip().endswith("'root'")
+
+
+class TestDuplicateKeys:
+    def test_same_undirected_edges_same_key(self, diamond):
+        tree_a = AnswerTree.from_paths(
+            diamond, "root", [["root", "x", "k1"], ["root", "y", "k2"]]
+        )
+        # A different rooting of the same undirected structure: build it
+        # manually from the reversed paths.
+        graph2 = DiGraph()
+        for source, target, weight in diamond.edges():
+            graph2.add_edge(source, target, weight)
+            graph2.add_edge(target, source, weight)
+        tree_b = AnswerTree.from_paths(
+            graph2,
+            "k1",
+            [["k1"], ["k1", "x", "root", "y", "k2"]],
+        )
+        assert tree_a.undirected_key() == tree_b.undirected_key()
+
+    def test_different_structures_different_keys(self, diamond):
+        tree_a = AnswerTree.from_paths(
+            diamond, "root", [["root", "x", "k1"], ["root", "y", "k2"]]
+        )
+        tree_b = AnswerTree.from_paths(
+            diamond, "root", [["root", "x", "k1"], ["root", "x", "k2"]]
+        )
+        assert tree_a.undirected_key() != tree_b.undirected_key()
+
+    def test_single_node_keys_distinct(self, diamond):
+        tree_a = AnswerTree.from_paths(diamond, "k1", [["k1"]])
+        tree_b = AnswerTree.from_paths(diamond, "k2", [["k2"]])
+        assert tree_a.undirected_key() != tree_b.undirected_key()
+
+
+class TestValidate:
+    def test_detects_orphan_parent_chain(self, diamond):
+        tree = AnswerTree.from_paths(
+            diamond, "root", [["root", "x", "k1"]]
+        )
+        # Corrupt: point x's parent at a node outside the tree.
+        tree.parent["x"] = "nowhere"
+        with pytest.raises(GraphError):
+            tree.validate()
+
+    def test_detects_cycle(self, diamond):
+        tree = AnswerTree.from_paths(diamond, "root", [["root", "x", "k1"]])
+        tree.parent["x"] = "k1"
+        tree.parent["k1"] = "x"
+        with pytest.raises(GraphError):
+            tree.validate()

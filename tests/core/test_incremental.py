@@ -1,0 +1,264 @@
+"""Tests for IncrementalBANKS: per-delta behaviour plus the rebuild
+equivalence property over random mutation sequences."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.banks import BANKS
+from repro.core.incremental import IncrementalBANKS
+from repro.core.model import build_data_graph
+from repro.core.weights import WeightPolicy
+from repro.errors import GraphError, IntegrityError
+from repro.relational import Database, execute_script
+
+
+def make_db() -> Database:
+    database = Database("inc")
+    execute_script(
+        database,
+        """
+        CREATE TABLE author (aid TEXT PRIMARY KEY, name TEXT NOT NULL);
+        CREATE TABLE paper (pid TEXT PRIMARY KEY, title TEXT NOT NULL);
+        CREATE TABLE writes (
+            aid TEXT NOT NULL REFERENCES author(aid),
+            pid TEXT NOT NULL REFERENCES paper(pid)
+        );
+        INSERT INTO author VALUES ('a1', 'ada lovelace');
+        INSERT INTO author VALUES ('a2', 'alan turing');
+        INSERT INTO paper VALUES ('p1', 'computing machinery');
+        INSERT INTO writes VALUES ('a1', 'p1');
+        """,
+    )
+    return database
+
+
+def graph_snapshot(graph):
+    nodes = {node: graph.node_weight(node) for node in graph.nodes()}
+    edges = {
+        (source, target): weight for source, target, weight in graph.edges()
+    }
+    return nodes, edges
+
+
+def assert_matches_rebuild(incremental: IncrementalBANKS) -> None:
+    """The incremental graph must equal a from-scratch construction."""
+    fresh_graph, fresh_stats = build_data_graph(
+        incremental.database, incremental.weight_policy
+    )
+    inc_nodes, inc_edges = graph_snapshot(incremental.graph)
+    fresh_nodes, fresh_edges = graph_snapshot(fresh_graph)
+    assert inc_nodes == fresh_nodes
+    assert inc_edges == fresh_edges
+    incremental._refresh_stats()
+    assert incremental.stats == fresh_stats
+
+
+class TestInsert:
+    def test_insert_adds_node_and_edges(self):
+        banks = IncrementalBANKS(make_db())
+        rid = banks.insert("writes", ["a2", "p1"])
+        assert banks.graph.has_node(rid)
+        assert banks.graph.has_edge(rid, ("author", 1))
+        assert banks.graph.has_edge(rid, ("paper", 0))
+        assert_matches_rebuild(banks)
+
+    def test_insert_reweights_sibling_back_edges(self):
+        """A second writes tuple for p1 doubles the paper's back-edge
+        weight to the first writes tuple (IN_writes(p1) went 1 -> 2)."""
+        banks = IncrementalBANKS(make_db())
+        paper = ("paper", 0)
+        first_writes = ("writes", 0)
+        assert banks.graph.edge_weight(paper, first_writes) == 1.0
+        banks.insert("writes", ["a2", "p1"])
+        assert banks.graph.edge_weight(paper, first_writes) == 2.0
+        assert_matches_rebuild(banks)
+
+    def test_insert_updates_prestige(self):
+        banks = IncrementalBANKS(make_db())
+        paper = ("paper", 0)
+        before = banks.graph.node_weight(paper)
+        banks.insert("writes", ["a2", "p1"])
+        assert banks.graph.node_weight(paper) == before + 1
+
+    def test_insert_indexes_text(self):
+        banks = IncrementalBANKS(make_db())
+        rid = banks.insert("paper", ["p2", "symbolic reasoning"])
+        assert rid in banks.index.lookup_nodes("symbolic")
+        answers = banks.search("symbolic")
+        assert answers and answers[0].tree.root == rid
+
+    def test_insert_dict(self):
+        banks = IncrementalBANKS(make_db())
+        rid = banks.insert_dict("paper", {"pid": "p9", "title": "lambda calculus"})
+        assert banks.search("lambda")[0].tree.root == rid
+        assert_matches_rebuild(banks)
+
+    def test_insert_invalid_fk_leaves_graph_untouched(self):
+        banks = IncrementalBANKS(make_db())
+        nodes_before, edges_before = graph_snapshot(banks.graph)
+        with pytest.raises(IntegrityError):
+            banks.insert("writes", ["ghost", "p1"])
+        assert graph_snapshot(banks.graph) == (nodes_before, edges_before)
+
+
+class TestDelete:
+    def test_delete_removes_node_and_edges(self):
+        banks = IncrementalBANKS(make_db())
+        writes = ("writes", 0)
+        banks.delete(writes)
+        assert not banks.graph.has_node(writes)
+        assert_matches_rebuild(banks)
+
+    def test_delete_reweights_remaining_back_edges(self):
+        banks = IncrementalBANKS(make_db())
+        second = banks.insert("writes", ["a2", "p1"])
+        paper = ("paper", 0)
+        assert banks.graph.edge_weight(paper, second) == 2.0
+        banks.delete(("writes", 0))
+        assert banks.graph.edge_weight(paper, second) == 1.0
+        assert_matches_rebuild(banks)
+
+    def test_delete_referenced_tuple_refused_graph_intact(self):
+        banks = IncrementalBANKS(make_db())
+        snapshot = graph_snapshot(banks.graph)
+        with pytest.raises(IntegrityError):
+            banks.delete(("paper", 0))
+        assert graph_snapshot(banks.graph) == snapshot
+        # The index must also still find the paper.
+        assert banks.search("computing")
+
+    def test_deleted_text_no_longer_searchable(self):
+        banks = IncrementalBANKS(make_db())
+        banks.delete(("writes", 0))
+        banks.delete(("paper", 0))
+        assert banks.search("computing") == []
+
+
+class TestUpdate:
+    def test_update_moves_reference(self):
+        banks = IncrementalBANKS(make_db())
+        banks.insert("paper", ["p2", "symbolic reasoning"])
+        writes = ("writes", 0)
+        banks.update(writes, {"pid": "p2"})
+        assert banks.graph.has_edge(writes, ("paper", 1))
+        assert not banks.graph.has_edge(writes, ("paper", 0))
+        assert_matches_rebuild(banks)
+
+    def test_update_text_reindexes(self):
+        banks = IncrementalBANKS(make_db())
+        banks.update(("paper", 0), {"title": "deep learning"})
+        assert banks.search("computing") == []
+        answers = banks.search("deep")
+        assert answers and answers[0].tree.root == ("paper", 0)
+        assert_matches_rebuild(banks)
+
+    def test_update_prestige_follows(self):
+        banks = IncrementalBANKS(make_db())
+        banks.insert("paper", ["p2", "symbolic reasoning"])
+        banks.update(("writes", 0), {"pid": "p2"})
+        assert banks.graph.node_weight(("paper", 0)) == 0.0
+        assert banks.graph.node_weight(("paper", 1)) == 1.0
+
+    def test_failed_update_leaves_everything_intact(self):
+        banks = IncrementalBANKS(make_db())
+        snapshot = graph_snapshot(banks.graph)
+        with pytest.raises(IntegrityError):
+            banks.update(("writes", 0), {"pid": "ghost"})
+        assert graph_snapshot(banks.graph) == snapshot
+        assert banks.search("computing")
+
+
+class TestConfiguration:
+    def test_pagerank_prestige_refused(self):
+        with pytest.raises(GraphError):
+            IncrementalBANKS(
+                make_db(), weight_policy=WeightPolicy(prestige="pagerank")
+            )
+
+    def test_none_prestige_supported(self):
+        banks = IncrementalBANKS(
+            make_db(), weight_policy=WeightPolicy(prestige="none")
+        )
+        banks.insert("writes", ["a2", "p1"])
+        assert_matches_rebuild(banks)
+
+    def test_parallel_merge_rule_supported(self):
+        banks = IncrementalBANKS(
+            make_db(), weight_policy=WeightPolicy(merge_rule="parallel")
+        )
+        banks.insert("writes", ["a2", "p1"])
+        assert_matches_rebuild(banks)
+
+    def test_stats_refresh_after_mutation(self):
+        banks = IncrementalBANKS(make_db())
+        banks.insert("writes", ["a2", "p1"])
+        banks._refresh_stats()
+        fresh_graph, fresh_stats = build_data_graph(
+            banks.database, banks.weight_policy
+        )
+        assert banks.stats == fresh_stats
+
+
+# -- property: any mutation sequence matches a rebuild ---------------------------
+
+_operations = st.lists(
+    st.tuples(
+        st.sampled_from(["insert_paper", "insert_writes", "delete", "update_title"]),
+        st.integers(0, 9),
+    ),
+    min_size=1,
+    max_size=12,
+)
+
+
+@settings(deadline=None, max_examples=40)
+@given(operations=_operations)
+def test_property_mutations_match_rebuild(operations):
+    banks = IncrementalBANKS(make_db())
+    paper_count = 1
+    for op, argument in operations:
+        try:
+            if op == "insert_paper":
+                paper_count += 1
+                banks.insert(
+                    "paper", [f"p{paper_count}", f"title word{argument}"]
+                )
+            elif op == "insert_writes":
+                authors = list(banks.database.table("author").rids())
+                papers = list(banks.database.table("paper").rids())
+                if not authors or not papers:
+                    continue
+                author_row = banks.database.table("author").row(
+                    authors[argument % len(authors)]
+                )
+                paper_row = banks.database.table("paper").row(
+                    papers[argument % len(papers)]
+                )
+                banks.insert(
+                    "writes", [author_row["aid"], paper_row["pid"]]
+                )
+            elif op == "delete":
+                writes = list(banks.database.table("writes").rids())
+                if writes:
+                    banks.delete(("writes", writes[argument % len(writes)]))
+            elif op == "update_title":
+                papers = list(banks.database.table("paper").rids())
+                if papers:
+                    banks.update(
+                        ("paper", papers[argument % len(papers)]),
+                        {"title": f"renamed word{argument}"},
+                    )
+        except IntegrityError:
+            pass  # legitimately refused mutations leave state consistent
+    assert_matches_rebuild(banks)
+    # The index must agree with a fresh one on every vocabulary term.
+    from repro.text.inverted_index import InvertedIndex
+
+    fresh_index = InvertedIndex(banks.database)
+    assert set(banks.index.vocabulary()) == set(fresh_index.vocabulary())
+    for term in fresh_index.vocabulary():
+        assert set(p.node for p in banks.index.lookup(term)) == set(
+            p.node for p in fresh_index.lookup(term)
+        )

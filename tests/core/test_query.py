@@ -1,0 +1,97 @@
+"""Tests for query parsing and keyword-to-node resolution."""
+
+import pytest
+
+from repro.core.query import parse_query, resolve_query, resolve_term
+from repro.errors import EmptyQueryError, QueryError
+from repro.text.inverted_index import InvertedIndex
+
+
+class TestParse:
+    def test_plain_keywords(self):
+        parsed = parse_query("soumen sunita")
+        assert len(parsed) == 2
+        assert parsed.terms[0].kind == "keyword"
+        assert parsed.terms[0].term == "soumen"
+
+    def test_case_folded(self):
+        parsed = parse_query("MOHAN")
+        assert parsed.terms[0].term == "mohan"
+
+    def test_attribute_syntax(self):
+        parsed = parse_query("author:Levy")
+        term = parsed.terms[0]
+        assert term.kind == "attribute"
+        assert term.attribute == "author"
+        assert term.term == "levy"
+
+    def test_approx_syntax(self):
+        parsed = parse_query("concurrency approx(1988)")
+        assert parsed.terms[1].kind == "approx"
+        assert parsed.terms[1].number == 1988
+
+    def test_malformed_attribute_rejected(self):
+        with pytest.raises(QueryError):
+            parse_query("author: levy")  # empty keyword part
+
+    def test_empty_query_rejected(self):
+        with pytest.raises(EmptyQueryError):
+            parse_query("   ")
+
+
+class TestResolve:
+    def test_keyword_resolution(self, figure1_db):
+        index = InvertedIndex(figure1_db)
+        parsed = parse_query("sunita")
+        (nodes,) = resolve_query(parsed, index, figure1_db)
+        assert nodes == {("author", 1)}
+
+    def test_metadata_resolution(self, figure1_db):
+        index = InvertedIndex(figure1_db)
+        parsed = parse_query("author")
+        (nodes,) = resolve_query(parsed, index, figure1_db)
+        assert {("author", 0), ("author", 1), ("author", 2)} <= nodes
+
+    def test_metadata_disabled(self, figure1_db):
+        index = InvertedIndex(figure1_db)
+        parsed = parse_query("author")
+        (nodes,) = resolve_query(
+            parsed, index, figure1_db, include_metadata=False
+        )
+        assert nodes == set()
+
+    def test_attribute_restriction(self, figure1_db):
+        index = InvertedIndex(figure1_db)
+        # 'name:sunita' restricts to the author.name column.
+        (nodes,) = resolve_query(
+            parse_query("name:sunita"), index, figure1_db
+        )
+        assert nodes == {("author", 1)}
+        # 'title:sunita' finds nothing.
+        (nodes,) = resolve_query(
+            parse_query("title:sunita"), index, figure1_db
+        )
+        assert nodes == set()
+
+    def test_approx_resolution(self, figure1_db):
+        figure1_db.insert("paper", ["P1987", "Concurrency results of 1987"])
+        figure1_db.insert("paper", ["P1993", "Concurrency results of 1993"])
+        index = InvertedIndex(figure1_db)
+        (nodes,) = resolve_query(
+            parse_query("approx(1988)"), index, figure1_db
+        )
+        assert ("paper", 1) in nodes  # 1987 within the default window
+        assert ("paper", 2) not in nodes  # 1993 outside
+
+    def test_fuzzy_fallback(self, figure1_db):
+        index = InvertedIndex(figure1_db)
+        term = parse_query("chakraborti").terms[0]  # misspelled
+        assert resolve_term(term, index, figure1_db, fuzzy=False) == set()
+        nodes = resolve_term(term, index, figure1_db, fuzzy=True)
+        assert ("author", 0) in nodes
+
+    def test_fuzzy_not_used_when_exact_hits(self, figure1_db):
+        index = InvertedIndex(figure1_db)
+        term = parse_query("sunita").terms[0]
+        nodes = resolve_term(term, index, figure1_db, fuzzy=True)
+        assert nodes == {("author", 1)}

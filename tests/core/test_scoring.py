@@ -1,0 +1,184 @@
+"""Tests for the scoring model (Sec. 2.3), incl. range properties."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.answer import AnswerTree
+from repro.core.model import GraphStats
+from repro.core.scoring import Scorer, ScoringConfig
+from repro.errors import QueryError
+from repro.graph.digraph import DiGraph
+
+
+def make_stats(min_edge=1.0, max_node=10.0):
+    return GraphStats(
+        min_edge_weight=min_edge,
+        max_node_weight=max_node,
+        num_nodes=10,
+        num_edges=20,
+    )
+
+
+def two_leaf_tree(edge_weight_left=1.0, edge_weight_right=1.0):
+    graph = DiGraph()
+    graph.add_node("root", 10.0)
+    graph.add_node("k1", 5.0)
+    graph.add_node("k2", 0.0)
+    graph.add_edge("root", "k1", edge_weight_left)
+    graph.add_edge("root", "k2", edge_weight_right)
+    tree = AnswerTree.from_paths(
+        graph, "root", [["root", "k1"], ["root", "k2"]]
+    )
+    return graph, tree
+
+
+class TestConfig:
+    def test_lambda_range_enforced(self):
+        with pytest.raises(QueryError):
+            ScoringConfig(lambda_weight=1.5)
+
+    def test_combination_validated(self):
+        with pytest.raises(QueryError):
+            ScoringConfig(combination="averaged")
+
+    def test_paper_grid_has_five_entries(self):
+        grid = ScoringConfig.paper_grid()
+        assert len(grid) == 5
+        multiplicative = [g for g in grid if g.combination == "multiplicative"]
+        # Only the no-log multiplicative combo is retained.
+        assert len(multiplicative) == 1
+        assert not multiplicative[0].edge_log
+        assert not multiplicative[0].node_log
+
+
+class TestEdgeScore:
+    def test_single_node_tree_scores_one(self):
+        graph = DiGraph()
+        graph.add_node("only", 3.0)
+        tree = AnswerTree.from_paths(graph, "only", [["only"]])
+        scorer = Scorer(make_stats(), ScoringConfig())
+        assert scorer.edge_score(tree) == 1.0
+
+    def test_no_log_normalisation(self):
+        graph, tree = two_leaf_tree(2.0, 3.0)
+        scorer = Scorer(make_stats(min_edge=1.0), ScoringConfig(edge_log=False))
+        assert scorer.edge_score(tree) == pytest.approx(1.0 / (1.0 + 5.0))
+
+    def test_log_scaling(self):
+        graph, tree = two_leaf_tree(1.0, 3.0)
+        scorer = Scorer(make_stats(), ScoringConfig(edge_log=True))
+        expected = 1.0 / (1.0 + math.log2(2.0) + math.log2(4.0))
+        assert scorer.edge_score(tree) == pytest.approx(expected)
+
+    def test_heavier_trees_score_lower(self):
+        _g1, light = two_leaf_tree(1.0, 1.0)
+        _g2, heavy = two_leaf_tree(5.0, 5.0)
+        scorer = Scorer(make_stats(), ScoringConfig())
+        assert scorer.edge_score(light) > scorer.edge_score(heavy)
+
+    def test_min_edge_weight_must_be_positive(self):
+        with pytest.raises(QueryError):
+            Scorer(make_stats(min_edge=0.0), ScoringConfig())
+
+
+class TestNodeScore:
+    def test_average_over_root_and_leaves(self):
+        graph, tree = two_leaf_tree()
+        scorer = Scorer(make_stats(max_node=10.0), ScoringConfig())
+        # root 10/10, k1 5/10, k2 0/10 -> mean of (1, .5, 0).
+        assert scorer.node_score(tree, graph) == pytest.approx(0.5)
+
+    def test_multi_term_node_counted_per_term(self):
+        graph = DiGraph()
+        graph.add_node("root", 10.0)
+        graph.add_node("k", 5.0)
+        graph.add_edge("root", "k", 1.0)
+        tree = AnswerTree.from_paths(
+            graph, "root", [["root", "k"], ["root", "k"]]
+        )
+        scorer = Scorer(make_stats(max_node=10.0), ScoringConfig())
+        # (1 + .5 + .5) / 3.
+        assert scorer.node_score(tree, graph) == pytest.approx(2.0 / 3.0)
+
+    def test_uncovered_term_scores_zero(self):
+        graph, _tree = two_leaf_tree()
+        partial = AnswerTree.from_paths(graph, "root", [["root", "k1"], None])
+        scorer = Scorer(make_stats(max_node=10.0), ScoringConfig())
+        assert scorer.node_score(partial, graph) == pytest.approx(0.5)
+
+    def test_node_log_scaling(self):
+        graph, tree = two_leaf_tree()
+        scorer = Scorer(make_stats(max_node=10.0), ScoringConfig(node_log=True))
+        expected = (
+            math.log2(2.0) + math.log2(1.5) + math.log2(1.0)
+        ) / 3.0
+        assert scorer.node_score(tree, graph) == pytest.approx(expected)
+
+
+class TestCombination:
+    def test_lambda_zero_is_pure_edge_score(self):
+        graph, tree = two_leaf_tree()
+        scorer = Scorer(make_stats(), ScoringConfig(lambda_weight=0.0))
+        assert scorer.relevance(tree, graph) == pytest.approx(
+            scorer.edge_score(tree)
+        )
+
+    def test_lambda_one_is_pure_node_score(self):
+        graph, tree = two_leaf_tree()
+        scorer = Scorer(make_stats(), ScoringConfig(lambda_weight=1.0))
+        assert scorer.relevance(tree, graph) == pytest.approx(
+            scorer.node_score(tree, graph)
+        )
+
+    def test_multiplicative_endpoints_match_additive_semantics(self):
+        graph, tree = two_leaf_tree()
+        for lam in (0.0, 1.0):
+            additive = Scorer(
+                make_stats(),
+                ScoringConfig(lambda_weight=lam, combination="additive"),
+            ).relevance(tree, graph)
+            multiplicative = Scorer(
+                make_stats(),
+                ScoringConfig(lambda_weight=lam, combination="multiplicative"),
+            ).relevance(tree, graph)
+            assert multiplicative == pytest.approx(additive)
+
+    def test_multiplicative_zero_node_score(self):
+        graph = DiGraph()
+        graph.add_node("a", 0.0)
+        graph.add_node("b", 0.0)
+        graph.add_edge("a", "b", 1.0)
+        tree = AnswerTree.from_paths(graph, "a", [["a", "b"]])
+        scorer = Scorer(
+            make_stats(),
+            ScoringConfig(lambda_weight=0.5, combination="multiplicative"),
+        )
+        assert scorer.relevance(tree, graph) == 0.0
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        lam=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+        edge_log=st.booleans(),
+        node_log=st.booleans(),
+        combination=st.sampled_from(["additive", "multiplicative"]),
+        left=st.floats(min_value=1.0, max_value=50.0, allow_nan=False),
+        right=st.floats(min_value=1.0, max_value=50.0, allow_nan=False),
+    )
+    def test_relevance_always_in_unit_interval(
+        self, lam, edge_log, node_log, combination, left, right
+    ):
+        """Property: relevance is in [0, 1] for every configuration."""
+        graph, tree = two_leaf_tree(left, right)
+        scorer = Scorer(
+            make_stats(),
+            ScoringConfig(
+                lambda_weight=lam,
+                edge_log=edge_log,
+                node_log=node_log,
+                combination=combination,
+            ),
+        )
+        relevance = scorer.relevance(tree, graph)
+        assert 0.0 <= relevance <= 1.0

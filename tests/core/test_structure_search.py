@@ -1,0 +1,80 @@
+"""Tests for structure-constrained continuation search (Sec. 7:
+"look for further answers with a particular tree structure")."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import BANKS
+from repro.core.summarize import structure_signature
+from repro.datasets import generate_bibliography
+
+
+@pytest.fixture(scope="module")
+def banks():
+    database, _ = generate_bibliography(papers=80, authors=50, seed=4)
+    return BANKS(database)
+
+
+class TestSearchStructure:
+    def test_drill_into_summarized_group(self, banks):
+        """Keys of search_summarized are valid drill-down signatures."""
+        grouped = banks.search_summarized("soumen sunita")
+        assert grouped
+        signature = next(iter(grouped))
+        drilled = banks.search_structure("soumen sunita", signature)
+        assert drilled
+        for answer in drilled:
+            assert structure_signature(answer.tree) == signature
+
+    def test_only_matching_structures_returned(self, banks):
+        """The paper-rooted star: paper(writes(author),writes(author))."""
+        signature = "paper(writes(author),writes(author))"
+        answers = banks.search_structure("soumen sunita", signature)
+        assert answers
+        for answer in answers:
+            assert structure_signature(answer.tree) == signature
+            assert answer.tree.root[0] == "paper"
+
+    def test_finds_more_than_plain_search(self, banks):
+        """The continuation digs past the default top-10: the number of
+        same-structure answers found must be >= those in the top 10."""
+        signature = "paper(writes(author),writes(author))"
+        plain = banks.search("soumen sunita")
+        in_top = sum(
+            1
+            for answer in plain
+            if structure_signature(answer.tree) == signature
+        )
+        continued = banks.search_structure(
+            "soumen sunita", signature, max_results=10
+        )
+        assert len(continued) >= in_top
+
+    def test_max_results_respected(self, banks):
+        signature = "paper(writes(author),writes(author))"
+        answers = banks.search_structure(
+            "soumen sunita", signature, max_results=1
+        )
+        assert len(answers) == 1
+
+    def test_ranks_are_contiguous(self, banks):
+        signature = "paper(writes(author),writes(author))"
+        answers = banks.search_structure("soumen sunita", signature)
+        assert [answer.rank for answer in answers] == list(
+            range(len(answers))
+        )
+
+    def test_unknown_structure_empty(self, banks):
+        answers = banks.search_structure(
+            "soumen sunita", "cites(paper,paper,paper)"
+        )
+        assert answers == []
+
+    def test_trees_validate(self, banks):
+        grouped = banks.search_summarized("sunita temporal")
+        for signature in grouped:
+            for answer in banks.search_structure(
+                "sunita temporal", signature, max_results=3
+            ):
+                answer.tree.validate()

@@ -1,0 +1,90 @@
+"""Tests for answer summarisation by tree structure (Sec. 7)."""
+
+from repro.core.answer import AnswerTree
+from repro.core.search import ScoredAnswer
+from repro.core.summarize import structure_signature, summarize_answers
+from repro.graph.digraph import DiGraph
+
+
+def data_graph():
+    graph = DiGraph()
+    edges = [
+        (("paper", 0), ("writes", 0)), (("writes", 0), ("author", 0)),
+        (("paper", 0), ("writes", 1)), (("writes", 1), ("author", 1)),
+        (("paper", 1), ("writes", 2)), (("writes", 2), ("author", 2)),
+        (("paper", 1), ("writes", 3)), (("writes", 3), ("author", 3)),
+    ]
+    for source, target in edges:
+        graph.add_edge(source, target, 1.0)
+    return graph
+
+
+def star(graph, paper, writes_pair, authors_pair):
+    return AnswerTree.from_paths(
+        graph,
+        ("paper", paper),
+        [
+            [("paper", paper), ("writes", writes_pair[0]),
+             ("author", authors_pair[0])],
+            [("paper", paper), ("writes", writes_pair[1]),
+             ("author", authors_pair[1])],
+        ],
+    )
+
+
+class TestSignature:
+    def test_same_shape_same_signature(self):
+        graph = data_graph()
+        tree_a = star(graph, 0, (0, 1), (0, 1))
+        tree_b = star(graph, 1, (2, 3), (2, 3))
+        assert structure_signature(tree_a) == structure_signature(tree_b)
+
+    def test_sibling_order_invariant(self):
+        graph = data_graph()
+        tree_a = star(graph, 0, (0, 1), (0, 1))
+        tree_b = star(graph, 0, (1, 0), (1, 0))
+        assert structure_signature(tree_a) == structure_signature(tree_b)
+
+    def test_different_shapes_differ(self):
+        graph = data_graph()
+        two_leaf = star(graph, 0, (0, 1), (0, 1))
+        single = AnswerTree.from_paths(
+            graph,
+            ("paper", 0),
+            [[("paper", 0), ("writes", 0), ("author", 0)]],
+        )
+        assert structure_signature(two_leaf) != structure_signature(single)
+
+    def test_signature_readable(self):
+        graph = data_graph()
+        tree = star(graph, 0, (0, 1), (0, 1))
+        assert structure_signature(tree) == (
+            "paper(writes(author),writes(author))"
+        )
+
+
+class TestGrouping:
+    def test_groups_preserve_order(self):
+        graph = data_graph()
+        answers = [
+            ScoredAnswer(star(graph, 0, (0, 1), (0, 1)), 0.9, 0),
+            ScoredAnswer(
+                AnswerTree.from_paths(
+                    graph,
+                    ("paper", 1),
+                    [[("paper", 1), ("writes", 2), ("author", 2)]],
+                ),
+                0.8,
+                1,
+            ),
+            ScoredAnswer(star(graph, 1, (2, 3), (2, 3)), 0.7, 2),
+        ]
+        grouped = summarize_answers(answers)
+        signatures = list(grouped)
+        assert len(signatures) == 2
+        # First group is the one whose best answer came first.
+        assert grouped[signatures[0]][0].order == 0
+        assert [a.order for a in grouped[signatures[0]]] == [0, 2]
+
+    def test_empty_input(self):
+        assert summarize_answers([]) == {}

@@ -1,0 +1,128 @@
+"""Tests for the dataset generators: determinism, anecdote structure."""
+
+import pytest
+
+from repro.datasets import (
+    generate_bibliography,
+    generate_thesis_db,
+    generate_tpcd,
+    generate_university,
+)
+
+
+class TestBibliography:
+    def test_deterministic(self):
+        db1, _ = generate_bibliography(papers=50, authors=30, seed=5)
+        db2, _ = generate_bibliography(papers=50, authors=30, seed=5)
+        rows1 = [row.values for row in db1.all_rows()]
+        rows2 = [row.values for row in db2.all_rows()]
+        assert rows1 == rows2
+
+    def test_seed_changes_output(self):
+        db1, _ = generate_bibliography(papers=50, authors=30, seed=5)
+        db2, _ = generate_bibliography(papers=50, authors=30, seed=6)
+        rows1 = [row.values for row in db1.all_rows()]
+        rows2 = [row.values for row in db2.all_rows()]
+        assert rows1 != rows2
+
+    def test_referential_integrity(self):
+        database, _ = generate_bibliography(papers=60, authors=40)
+        database.check_integrity()  # raises on any dangling FK
+
+    def test_anecdote_entities_planted(self, bibliography_session):
+        database, anecdotes = bibliography_session
+        assert database.row(anecdotes.c_mohan)["name"] == "C. Mohan"
+        assert database.row(anecdotes.stonebraker)["name"] == (
+            "Michael Stonebraker"
+        )
+        title = database.row(anecdotes.chakrabarti_sd98)["title"]
+        assert "Temporal" in title
+
+    def test_stonebraker_is_most_prolific(self, bibliography_session):
+        database, anecdotes = bibliography_session
+        writes = {}
+        for row in database.table("writes").scan():
+            writes[row["author_id"]] = writes.get(row["author_id"], 0) + 1
+        assert max(writes, key=writes.get) == "MichaelSt"
+
+    def test_classics_most_cited(self, bibliography_session):
+        database, anecdotes = bibliography_session
+        classic_id = database.row(anecdotes.transaction_classic)["paper_id"]
+        cited_counts = {}
+        for row in database.table("cites").scan():
+            cited_counts[row["cited"]] = cited_counts.get(row["cited"], 0) + 1
+        assert max(cited_counts, key=cited_counts.get) == classic_id
+
+    def test_seltzer_and_sunita_not_coauthors(self, bibliography_session):
+        database, _ = bibliography_session
+        papers_of = {}
+        for row in database.table("writes").scan():
+            papers_of.setdefault(row["author_id"], set()).add(row["paper_id"])
+        assert not (papers_of["MargoS"] & papers_of["SunitaS"])
+        assert papers_of["MargoS"] & papers_of["MichaelSt"]
+        assert papers_of["SunitaS"] & papers_of["MichaelSt"]
+
+    def test_anecdotes_can_be_disabled(self):
+        database, anecdotes = generate_bibliography(
+            papers=20, authors=10, include_anecdotes=False
+        )
+        assert anecdotes.c_mohan is None
+        names = {row["name"] for row in database.table("author").scan()}
+        assert "C. Mohan" not in names
+
+    def test_writes_by_paper_mapping(self, bibliography_session):
+        database, anecdotes = bibliography_session
+        key = (anecdotes.soumen, anecdotes.chakrabarti_sd98)
+        writes_rid = anecdotes.writes_by_paper[key]
+        row = database.row(writes_rid)
+        assert row["author_id"] == "SoumenC"
+        assert row["paper_id"] == "ChakrabartiSD98"
+
+
+class TestThesis:
+    def test_integrity_and_determinism(self):
+        db1, _ = generate_thesis_db(students_per_department=10, seed=2)
+        db2, _ = generate_thesis_db(students_per_department=10, seed=2)
+        db1.check_integrity()
+        assert [r.values for r in db1.all_rows()] == [
+            r.values for r in db2.all_rows()
+        ]
+
+    def test_anecdotes(self, thesis_session):
+        database, anecdotes = thesis_session
+        dept = database.row(anecdotes.cse_department)
+        assert dept["name"] == "Computer Science and Engineering"
+        thesis_row = database.row(anecdotes.aditya_thesis)
+        assert thesis_row["advisor"] == "FSUD"
+        assert len(anecdotes.computer_engineering_theses) == 3
+
+    def test_department_is_a_hub(self, thesis_session):
+        database, anecdotes = thesis_session
+        # Students + faculty reference CSE: clearly more than any thesis.
+        assert database.indegree(anecdotes.cse_department) > 20
+        for thesis_rid in anecdotes.computer_engineering_theses:
+            assert database.indegree(thesis_rid) == 0
+
+
+class TestTpcd:
+    def test_integrity(self):
+        database, _ = generate_tpcd(orders=30)
+        database.check_integrity()
+
+    def test_popular_part_has_more_orders(self):
+        database, anecdotes = generate_tpcd()
+        assert database.indegree(anecdotes.popular_steel_part) > (
+            database.indegree(anecdotes.unpopular_steel_part)
+        )
+
+
+class TestUniversity:
+    def test_integrity(self):
+        database, _ = generate_university(students=30, courses=5)
+        database.check_integrity()
+
+    def test_hub_structure(self):
+        database, anecdotes = generate_university()
+        # The department is a hub; the shared course is tiny.
+        assert database.indegree(anecdotes.big_department) > 100
+        assert database.indegree(anecdotes.shared_course) == 2

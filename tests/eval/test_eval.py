@@ -1,0 +1,120 @@
+"""Tests for the evaluation harness: metric, workload, sweep, memory."""
+
+import pytest
+
+from repro.core.scoring import ScoringConfig
+from repro.eval.error_score import (
+    MISSING_PENALTY,
+    query_rank_error,
+    scale_errors,
+    worst_possible_error,
+)
+from repro.eval.memory import graph_memory_bytes
+from repro.eval.sweep import format_figure5, run_workload
+from repro.eval.workload import bibliography_workload
+from repro.graph.digraph import DiGraph
+
+
+class TestErrorMetric:
+    def test_perfect_ranking_is_zero(self):
+        ideals = ["a", "b", "c"]
+        assert query_rank_error(ideals, ["a", "b", "c", "x"]) == 0
+
+    def test_rank_differences_summed(self):
+        # a at rank 1 (ideal 0): +1; b at rank 0 (ideal 1): +1.
+        assert query_rank_error(["a", "b"], ["b", "a"]) == 2
+
+    def test_missing_penalty(self):
+        assert query_rank_error(["a"], []) == MISSING_PENALTY
+        assert query_rank_error(["a", "b"], ["a"]) == MISSING_PENALTY
+
+    def test_worst_and_scaling(self):
+        assert worst_possible_error(12) == 12 * MISSING_PENALTY
+        assert scale_errors(worst_possible_error(12), 12) == 100.0
+        assert scale_errors(0, 12) == 0.0
+        assert scale_errors(0, 0) == 0.0
+
+
+class TestWorkload:
+    def test_seven_queries(self, bibliography_session):
+        _db, anecdotes = bibliography_session
+        workload = bibliography_workload(anecdotes)
+        assert len(workload) == 7
+        forms = {query.form for query in workload}
+        assert len(forms) == 7  # each exercises a distinct form
+
+    def test_ideal_keys_are_valid_tree_keys(self, bibliography_session):
+        _db, anecdotes = bibliography_session
+        for query in bibliography_workload(anecdotes):
+            for key in query.ideal_keys:
+                nodes, edges = None, None
+                for part in key:
+                    # Every key is {nodes, undirected-edges}: sets of
+                    # tuples vs sets of frozenset pairs.
+                    if part and isinstance(next(iter(part)), frozenset):
+                        edges = part
+                    else:
+                        nodes = part
+                assert nodes is not None
+
+    def test_best_setting_has_zero_error(
+        self, bibliography_session, biblio_banks_session
+    ):
+        """The paper's headline: lambda=0.2 + EdgeLog achieves error 0."""
+        _db, anecdotes = bibliography_session
+        workload = bibliography_workload(anecdotes)
+        raw, per_query = run_workload(
+            biblio_banks_session,
+            workload,
+            ScoringConfig(lambda_weight=0.2, edge_log=True),
+        )
+        assert raw == 0, f"non-zero per-query errors: {per_query}"
+
+    def test_ignoring_edges_is_much_worse(
+        self, bibliography_session, biblio_banks_session
+    ):
+        _db, anecdotes = bibliography_session
+        workload = bibliography_workload(anecdotes)
+        raw_best, _ = run_workload(
+            biblio_banks_session,
+            workload,
+            ScoringConfig(lambda_weight=0.2, edge_log=True),
+        )
+        raw_prestige_only, _ = run_workload(
+            biblio_banks_session,
+            workload,
+            ScoringConfig(lambda_weight=1.0, edge_log=True),
+        )
+        assert raw_prestige_only > raw_best + 5
+
+
+class TestFormatting:
+    def test_figure5_grid_renders(self, bibliography_session,
+                                   biblio_banks_session):
+        from repro.eval.sweep import figure5_sweep
+
+        _db, anecdotes = bibliography_session
+        workload = bibliography_workload(anecdotes)
+        points = figure5_sweep(
+            biblio_banks_session, workload, lambdas=(0.2,), edge_logs=(True,)
+        )
+        text = format_figure5(points)
+        assert "EdgeLog" in text
+        assert "0.2" in text
+
+
+class TestMemory:
+    def test_report_scales_with_graph(self):
+        small = DiGraph()
+        for i in range(10):
+            small.add_edge(i, i + 1, 1.0)
+        big = DiGraph()
+        for i in range(1000):
+            big.add_edge(i, i + 1, 1.0)
+        small_report = graph_memory_bytes(small)
+        big_report = graph_memory_bytes(big)
+        assert big_report.total_bytes > small_report.total_bytes
+        assert big_report.num_nodes == 1001
+        assert big_report.megabytes == pytest.approx(
+            big_report.total_bytes / 1048576.0
+        )

@@ -1,0 +1,131 @@
+"""Tests for the lazy Dijkstra iterator, incl. a networkx oracle check."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graph.digraph import DiGraph
+from repro.graph.dijkstra import DijkstraIterator, shortest_path_lengths
+
+
+def chain_graph() -> DiGraph:
+    graph = DiGraph()
+    graph.add_edge("a", "b", 1.0)
+    graph.add_edge("b", "c", 2.0)
+    graph.add_edge("a", "c", 10.0)
+    graph.add_edge("c", "d", 1.0)
+    return graph
+
+
+class TestIterator:
+    def test_visits_in_distance_order(self):
+        iterator = DijkstraIterator(chain_graph(), "a")
+        visits = list(iterator)
+        assert [v.node for v in visits] == ["a", "b", "c", "d"]
+        assert [v.distance for v in visits] == [0.0, 1.0, 3.0, 4.0]
+
+    def test_peek_matches_next(self):
+        iterator = DijkstraIterator(chain_graph(), "a")
+        while True:
+            peeked = iterator.peek()
+            visit = iterator.next()
+            if visit is None:
+                assert peeked is None
+                break
+            assert peeked == visit.distance
+
+    def test_parent_pointers_spell_paths(self):
+        iterator = DijkstraIterator(chain_graph(), "a")
+        list(iterator)
+        assert iterator.path_to_source("d") == ["d", "c", "b", "a"]
+
+    def test_path_requires_settled_node(self):
+        iterator = DijkstraIterator(chain_graph(), "a")
+        iterator.next()
+        with pytest.raises(KeyError):
+            iterator.path_to_source("d")
+
+    def test_reverse_traversal(self):
+        iterator = DijkstraIterator(chain_graph(), "d", reverse=True)
+        distances = {v.node: v.distance for v in iterator}
+        # Forward path a->b->c->d costs 4.
+        assert distances["a"] == 4.0
+        assert iterator.path_to_source("a") == ["a", "b", "c", "d"]
+
+    def test_initial_distance_offset(self):
+        iterator = DijkstraIterator(chain_graph(), "a", initial_distance=5.0)
+        first = iterator.next()
+        assert first.distance == 5.0
+
+    def test_max_distance_prunes(self):
+        iterator = DijkstraIterator(chain_graph(), "a", max_distance=1.5)
+        nodes = [v.node for v in iterator]
+        assert nodes == ["a", "b"]
+        assert iterator.exhausted
+
+    def test_unreachable_nodes_never_output(self):
+        graph = chain_graph()
+        graph.add_node("island")
+        distances = shortest_path_lengths(graph, "a")
+        assert "island" not in distances
+
+    def test_settled_distance(self):
+        iterator = DijkstraIterator(chain_graph(), "a")
+        assert iterator.settled_distance("b") is None
+        list(iterator)
+        assert iterator.settled_distance("b") == 1.0
+
+
+@st.composite
+def random_graphs(draw):
+    node_count = draw(st.integers(min_value=2, max_value=12))
+    nodes = list(range(node_count))
+    edge_count = draw(st.integers(min_value=1, max_value=30))
+    edges = []
+    for _ in range(edge_count):
+        source = draw(st.integers(min_value=0, max_value=node_count - 1))
+        target = draw(st.integers(min_value=0, max_value=node_count - 1))
+        if source == target:
+            continue
+        weight = draw(
+            st.floats(min_value=0.1, max_value=10.0, allow_nan=False)
+        )
+        edges.append((source, target, weight))
+    return nodes, edges
+
+
+@settings(max_examples=60, deadline=None)
+@given(random_graphs())
+def test_matches_networkx_on_random_graphs(graph_spec):
+    """Property: our distances equal networkx's on arbitrary digraphs."""
+    networkx = pytest.importorskip("networkx")
+    nodes, edges = graph_spec
+    ours = DiGraph()
+    theirs = networkx.DiGraph()
+    for node in nodes:
+        ours.add_node(node)
+        theirs.add_node(node)
+    for source, target, weight in edges:
+        # Parallel edges collapse to the last weight in both models.
+        ours.add_edge(source, target, weight)
+        theirs.add_edge(source, target, weight=weight)
+
+    expected = networkx.single_source_dijkstra_path_length(theirs, 0)
+    actual = shortest_path_lengths(ours, 0)
+    assert set(actual) == set(expected)
+    for node, distance in expected.items():
+        assert actual[node] == pytest.approx(distance)
+
+
+@settings(max_examples=30, deadline=None)
+@given(random_graphs())
+def test_reverse_equals_forward_on_reversed_graph(graph_spec):
+    """Property: reverse iteration == forward iteration on G reversed."""
+    nodes, edges = graph_spec
+    graph = DiGraph()
+    for node in nodes:
+        graph.add_node(node)
+    for source, target, weight in edges:
+        graph.add_edge(source, target, weight)
+    reverse_distances = shortest_path_lengths(graph, 0, reverse=True)
+    forward_on_reversed = shortest_path_lengths(graph.reversed(), 0)
+    assert reverse_distances == pytest.approx(forward_on_reversed)

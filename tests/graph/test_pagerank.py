@@ -1,0 +1,69 @@
+"""Tests for the authority-transfer prestige (PageRank)."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.digraph import DiGraph
+from repro.graph.pagerank import pagerank
+
+
+def test_empty_graph():
+    assert pagerank(DiGraph()) == {}
+
+
+def test_scores_sum_to_one():
+    graph = DiGraph()
+    graph.add_edge("a", "b", 1.0)
+    graph.add_edge("b", "c", 1.0)
+    graph.add_edge("c", "a", 1.0)
+    scores = pagerank(graph)
+    assert sum(scores.values()) == pytest.approx(1.0)
+
+
+def test_cycle_is_uniform():
+    graph = DiGraph()
+    graph.add_edge("a", "b", 1.0)
+    graph.add_edge("b", "c", 1.0)
+    graph.add_edge("c", "a", 1.0)
+    scores = pagerank(graph)
+    assert scores["a"] == pytest.approx(scores["b"])
+    assert scores["b"] == pytest.approx(scores["c"])
+
+
+def test_popular_node_scores_higher():
+    graph = DiGraph()
+    for source in ("a", "b", "c", "d"):
+        graph.add_edge(source, "hub", 1.0)
+    graph.add_edge("hub", "a", 1.0)
+    scores = pagerank(graph)
+    assert scores["hub"] > scores["b"]
+
+
+def test_authority_transfer():
+    """A node pointed to by a heavy node outranks one pointed to by a
+    light node — the Sec. 7 'spreading activation' behaviour plain
+    indegree cannot express."""
+    graph = DiGraph()
+    # hub is heavy (many in-links); hub points at 'blessed'.
+    for i in range(5):
+        graph.add_edge(f"fan{i}", "hub", 1.0)
+    graph.add_edge("hub", "blessed", 1.0)
+    graph.add_edge("loner", "plain", 1.0)
+    scores = pagerank(graph)
+    assert scores["blessed"] > scores["plain"]
+    # Indegree alone would tie them (both indegree 1).
+    assert graph.in_degree("blessed") == graph.in_degree("plain")
+
+
+def test_dangling_nodes_handled():
+    graph = DiGraph()
+    graph.add_edge("a", "sink", 1.0)
+    scores = pagerank(graph)
+    assert sum(scores.values()) == pytest.approx(1.0)
+
+
+def test_bad_damping_rejected():
+    graph = DiGraph()
+    graph.add_node("a")
+    with pytest.raises(GraphError):
+        pagerank(graph, damping=1.5)

@@ -1,0 +1,145 @@
+"""Tests for DiGraph node/edge removal (incremental-maintenance support)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import GraphError, UnknownNodeError
+from repro.graph.digraph import DiGraph
+
+
+def make_triangle() -> DiGraph:
+    graph = DiGraph()
+    graph.add_edge("a", "b", 1.0)
+    graph.add_edge("b", "c", 2.0)
+    graph.add_edge("c", "a", 3.0)
+    return graph
+
+
+class TestRemoveEdge:
+    def test_removes_one_direction_only(self):
+        graph = DiGraph()
+        graph.add_edge("a", "b", 1.0)
+        graph.add_edge("b", "a", 2.0)
+        graph.remove_edge("a", "b")
+        assert not graph.has_edge("a", "b")
+        assert graph.has_edge("b", "a")
+        assert graph.num_edges == 1
+
+    def test_missing_edge_raises(self):
+        graph = make_triangle()
+        with pytest.raises(GraphError):
+            graph.remove_edge("a", "c")
+
+    def test_degrees_follow(self):
+        graph = make_triangle()
+        graph.remove_edge("a", "b")
+        assert graph.out_degree("a") == 0
+        assert graph.in_degree("b") == 0
+
+    def test_re_add_after_remove(self):
+        graph = make_triangle()
+        graph.remove_edge("a", "b")
+        graph.add_edge("a", "b", 9.0)
+        assert graph.edge_weight("a", "b") == 9.0
+        assert graph.num_edges == 3
+
+
+class TestRemoveNode:
+    def test_node_gone(self):
+        graph = make_triangle()
+        graph.remove_node("b")
+        assert not graph.has_node("b")
+        assert "b" not in list(graph.nodes())
+        assert graph.num_nodes == 2
+
+    def test_incident_edges_gone_both_directions(self):
+        graph = make_triangle()
+        graph.remove_node("b")
+        assert graph.num_edges == 1  # only c -> a survives
+        assert graph.has_edge("c", "a")
+        assert not graph.has_edge("a", "b")
+
+    def test_neighbors_no_longer_see_removed_node(self):
+        graph = make_triangle()
+        graph.remove_node("b")
+        assert graph.successors("a") == []
+        assert graph.predecessors("c") == []
+
+    def test_unknown_node_raises(self):
+        graph = make_triangle()
+        with pytest.raises(UnknownNodeError):
+            graph.remove_node("zzz")
+
+    def test_access_after_removal_raises(self):
+        graph = make_triangle()
+        graph.remove_node("b")
+        with pytest.raises(UnknownNodeError):
+            graph.node_weight("b")
+
+    def test_surviving_indexes_stable(self):
+        """Removal must not renumber other nodes (live iterators rely
+        on stable internal indexes)."""
+        graph = make_triangle()
+        index_a = graph.index_of("a")
+        index_c = graph.index_of("c")
+        graph.remove_node("b")
+        assert graph.index_of("a") == index_a
+        assert graph.index_of("c") == index_c
+
+    def test_re_add_same_id(self):
+        graph = make_triangle()
+        graph.remove_node("b")
+        graph.add_node("b", weight=7.0)
+        assert graph.has_node("b")
+        assert graph.node_weight("b") == 7.0
+        assert graph.out_degree("b") == 0
+        assert graph.num_nodes == 3
+
+    def test_edges_iteration_skips_removed(self):
+        graph = make_triangle()
+        graph.remove_node("a")
+        edges = list(graph.edges())
+        assert edges == [("b", "c", 2.0)]
+
+    def test_reversed_and_subgraph_after_removal(self):
+        graph = make_triangle()
+        graph.remove_node("a")
+        reversed_graph = graph.reversed()
+        assert reversed_graph.has_edge("c", "b")
+        sub = graph.subgraph(["b", "c"])
+        assert sub.num_edges == 1
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 8), st.integers(0, 8)).filter(
+            lambda e: e[0] != e[1]
+        ),
+        min_size=1,
+        max_size=20,
+    ),
+    st.sets(st.integers(0, 8), max_size=4),
+)
+def test_property_removal_equals_fresh_construction(edge_list, doomed):
+    """Building then removing nodes == building without them."""
+    incremental = DiGraph()
+    for source, target in edge_list:
+        incremental.add_edge(source, target, 1.0 + source)
+    for node in doomed:
+        if incremental.has_node(node):
+            incremental.remove_node(node)
+
+    fresh = DiGraph()
+    for source, target in edge_list:
+        if source in doomed or target in doomed:
+            continue
+        fresh.add_edge(source, target, 1.0 + source)
+    # Nodes that only appeared in doomed edges are absent from fresh;
+    # compare edge sets and shared-node degrees.
+    assert set(incremental.edges()) == set(fresh.edges())
+    assert incremental.num_edges == fresh.num_edges
+    for node in fresh.nodes():
+        assert incremental.out_degree(node) == fresh.out_degree(node)
+        assert incremental.in_degree(node) == fresh.in_degree(node)

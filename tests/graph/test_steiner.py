@@ -1,0 +1,156 @@
+"""Tests for the exact group Steiner oracle."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import GraphError
+from repro.graph.digraph import DiGraph
+from repro.graph.dijkstra import shortest_path_lengths
+from repro.graph.steiner import steiner_tree
+
+
+def star_graph() -> DiGraph:
+    """root -> a, b, c with distinct weights."""
+    graph = DiGraph()
+    graph.add_edge("root", "a", 1.0)
+    graph.add_edge("root", "b", 2.0)
+    graph.add_edge("root", "c", 4.0)
+    return graph
+
+
+class TestBasics:
+    def test_single_group_single_node(self):
+        graph = star_graph()
+        result = steiner_tree(graph, [{"a"}])
+        assert result.weight == 0.0
+        assert result.root == "a"
+        assert result.edges == ()
+
+    def test_two_groups_star(self):
+        result = steiner_tree(star_graph(), [{"a"}, {"b"}])
+        assert result.root == "root"
+        assert result.weight == 3.0
+        assert set(result.edges) == {("root", "a"), ("root", "b")}
+
+    def test_group_choice_picks_cheapest_member(self):
+        result = steiner_tree(star_graph(), [{"a"}, {"b", "c"}])
+        assert result.weight == 3.0  # chooses b over c
+
+    def test_shared_path_counted_once(self):
+        graph = DiGraph()
+        graph.add_edge("r", "m", 5.0)
+        graph.add_edge("m", "x", 1.0)
+        graph.add_edge("m", "y", 1.0)
+        result = steiner_tree(graph, [{"x"}, {"y"}], root="r")
+        # 5 (shared) + 1 + 1, not 5+1+5+1.
+        assert result.weight == 7.0
+
+    def test_respects_direction(self):
+        graph = DiGraph()
+        graph.add_edge("a", "b", 1.0)  # no way back
+        assert steiner_tree(graph, [{"a"}, {"b"}], root="b") is None
+        result = steiner_tree(graph, [{"a"}, {"b"}], root="a")
+        assert result.weight == 1.0
+
+    def test_disconnected_returns_none(self):
+        graph = DiGraph()
+        graph.add_node("a")
+        graph.add_node("b")
+        assert steiner_tree(graph, [{"a"}, {"b"}]) is None
+
+    def test_empty_group_returns_none(self):
+        assert steiner_tree(star_graph(), [{"a"}, set()]) is None
+
+    def test_no_groups_rejected(self):
+        with pytest.raises(GraphError):
+            steiner_tree(star_graph(), [])
+
+    def test_unknown_member_rejected(self):
+        with pytest.raises(GraphError):
+            steiner_tree(star_graph(), [{"ghost"}])
+
+
+@st.composite
+def small_graphs_with_groups(draw):
+    node_count = draw(st.integers(min_value=3, max_value=8))
+    edges = draw(
+        st.lists(
+            st.tuples(
+                st.integers(0, node_count - 1),
+                st.integers(0, node_count - 1),
+                st.floats(min_value=0.5, max_value=5.0, allow_nan=False),
+            ),
+            min_size=node_count,
+            max_size=24,
+        )
+    )
+    group_count = draw(st.integers(min_value=1, max_value=3))
+    groups = [
+        {draw(st.integers(0, node_count - 1))} for _ in range(group_count)
+    ]
+    return node_count, edges, groups
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_graphs_with_groups())
+def test_steiner_weight_bounded_by_path_sums(spec):
+    """Property: the optimal tree weight never exceeds the sum of
+    shortest-path distances from its root (the union-of-paths bound) and
+    never goes below the largest single distance."""
+    node_count, edges, groups = spec
+    graph = DiGraph()
+    for node in range(node_count):
+        graph.add_node(node)
+    for source, target, weight in edges:
+        if source != target:
+            graph.add_edge(source, target, weight)
+
+    result = steiner_tree(graph, groups)
+    if result is None:
+        return
+    distances = shortest_path_lengths(graph, result.root)
+    per_group = []
+    for group in groups:
+        best = min(
+            (distances[m] for m in group if m in distances), default=None
+        )
+        assert best is not None  # tree exists so every group reachable
+        per_group.append(best)
+    assert result.weight <= sum(per_group) + 1e-9
+    assert result.weight >= max(per_group) - 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_graphs_with_groups())
+def test_steiner_tree_structure_is_valid(spec):
+    """Property: returned edges form a tree rooted at `root` covering
+    at least one member of every group, and the weight adds up."""
+    node_count, edges, groups = spec
+    graph = DiGraph()
+    for node in range(node_count):
+        graph.add_node(node)
+    for source, target, weight in edges:
+        if source != target:
+            graph.add_edge(source, target, weight)
+
+    result = steiner_tree(graph, groups)
+    if result is None:
+        return
+    children = {}
+    for source, target in result.edges:
+        assert graph.has_edge(source, target)
+        assert target not in children, "node has two parents"
+        children[target] = source
+    # Every edge target reaches the root through parents.
+    for target in children:
+        seen = set()
+        current = target
+        while current != result.root:
+            assert current not in seen
+            seen.add(current)
+            current = children[current]
+    total = sum(graph.edge_weight(s, t) for s, t in result.edges)
+    assert total == pytest.approx(result.weight)
+    tree_nodes = set(result.nodes)
+    for group in groups:
+        assert tree_nodes & group

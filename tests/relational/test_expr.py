@@ -1,0 +1,287 @@
+"""Unit tests for the SQL expression engine (three-valued logic)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.relational.expr import (
+    And,
+    Arithmetic,
+    Between,
+    ColumnRef,
+    Comparison,
+    InList,
+    IsNull,
+    Like,
+    Literal,
+    Negate,
+    Not,
+    Or,
+    conjoin,
+    equality_pairs,
+    like_to_regex,
+)
+
+COLUMNS = {"a": 0, "b": 1, "c": 2}
+
+
+def ev(expression, row):
+    return expression.evaluate(row, COLUMNS.__getitem__)
+
+
+class TestLiteralsAndColumns:
+    def test_literal(self):
+        assert ev(Literal(42), ()) == 42
+
+    def test_null_literal(self):
+        assert ev(Literal(None), ()) is None
+
+    def test_column_ref(self):
+        assert ev(ColumnRef("b"), (1, "x", 3)) == "x"
+
+    def test_columns_reports_references(self):
+        expression = And(
+            Comparison("=", ColumnRef("a"), Literal(1)),
+            Comparison("=", ColumnRef("b"), ColumnRef("c")),
+        )
+        assert set(expression.columns()) == {"a", "b", "c"}
+
+
+class TestArithmetic:
+    @pytest.mark.parametrize(
+        "operator,expected",
+        [("+", 7), ("-", 3), ("*", 10), ("%", 1)],
+    )
+    def test_integer_arithmetic(self, operator, expected):
+        assert ev(Arithmetic(operator, Literal(5), Literal(2)), ()) == expected
+
+    def test_exact_integer_division_stays_integral(self):
+        assert ev(Arithmetic("/", Literal(6), Literal(3)), ()) == 2
+
+    def test_inexact_division_is_float(self):
+        assert ev(Arithmetic("/", Literal(5), Literal(2)), ()) == 2.5
+
+    def test_division_by_zero_is_null(self):
+        assert ev(Arithmetic("/", Literal(5), Literal(0)), ()) is None
+
+    def test_modulo_by_zero_is_null(self):
+        assert ev(Arithmetic("%", Literal(5), Literal(0)), ()) is None
+
+    def test_null_propagates(self):
+        assert ev(Arithmetic("+", Literal(None), Literal(2)), ()) is None
+
+    def test_negate(self):
+        assert ev(Negate(Literal(3)), ()) == -3
+
+    def test_negate_null(self):
+        assert ev(Negate(Literal(None)), ()) is None
+
+    def test_string_concatenation_via_plus(self):
+        assert ev(Arithmetic("+", Literal("ab"), Literal("cd")), ()) == "abcd"
+
+
+class TestComparisons:
+    @pytest.mark.parametrize(
+        "operator,left,right,expected",
+        [
+            ("=", 1, 1, True),
+            ("==", 1, 2, False),
+            ("!=", 1, 2, True),
+            ("<>", 1, 1, False),
+            ("<", 1, 2, True),
+            ("<=", 2, 2, True),
+            (">", 3, 2, True),
+            (">=", 1, 2, False),
+        ],
+    )
+    def test_definite(self, operator, left, right, expected):
+        result = ev(Comparison(operator, Literal(left), Literal(right)), ())
+        assert result is expected
+
+    def test_null_side_is_unknown(self):
+        assert ev(Comparison("=", Literal(None), Literal(1)), ()) is None
+
+    def test_cross_type_is_unknown(self):
+        assert ev(Comparison("<", Literal("x"), Literal(1)), ()) is None
+
+    def test_is_true_collapses_unknown(self):
+        expression = Comparison("=", Literal(None), Literal(1))
+        assert expression.is_true((), COLUMNS.__getitem__) is False
+
+
+class TestKleeneLogic:
+    T, F, U = Literal(True), Literal(False), Literal(None)
+
+    @pytest.mark.parametrize(
+        "left,right,expected",
+        [("T", "T", True), ("T", "F", False), ("T", "U", None),
+         ("F", "U", False), ("U", "U", None)],
+    )
+    def test_and_table(self, left, right, expected):
+        result = ev(And(getattr(self, left), getattr(self, right)), ())
+        assert result is expected
+
+    @pytest.mark.parametrize(
+        "left,right,expected",
+        [("T", "U", True), ("F", "F", False), ("F", "U", None),
+         ("U", "U", None)],
+    )
+    def test_or_table(self, left, right, expected):
+        result = ev(Or(getattr(self, left), getattr(self, right)), ())
+        assert result is expected
+
+    @pytest.mark.parametrize(
+        "operand,expected", [("T", False), ("F", True), ("U", None)]
+    )
+    def test_not_table(self, operand, expected):
+        assert ev(Not(getattr(self, operand)), ()) is expected
+
+    def test_conjoin_chains(self):
+        expression = conjoin([self.T, self.T, self.F])
+        assert ev(expression, ()) is False
+
+    def test_conjoin_empty_raises(self):
+        from repro.errors import SQLSyntaxError
+
+        with pytest.raises(SQLSyntaxError):
+            conjoin([])
+
+
+class TestLike:
+    def test_percent_matches_any_run(self):
+        assert ev(Like(Literal("hello world"), Literal("hello%")), ()) is True
+
+    def test_underscore_matches_one_char(self):
+        assert ev(Like(Literal("cat"), Literal("c_t")), ()) is True
+        assert ev(Like(Literal("cart"), Literal("c_t")), ()) is False
+
+    def test_case_insensitive(self):
+        assert ev(Like(Literal("Hello"), Literal("hello")), ()) is True
+
+    def test_negated(self):
+        assert ev(Like(Literal("abc"), Literal("z%"), negated=True), ()) is True
+
+    def test_null_operand_unknown(self):
+        assert ev(Like(Literal(None), Literal("%")), ()) is None
+
+    def test_regex_metacharacters_are_literal(self):
+        assert ev(Like(Literal("a.b"), Literal("a.b")), ()) is True
+        assert ev(Like(Literal("axb"), Literal("a.b")), ()) is False
+
+    @given(st.text(max_size=30))
+    def test_universal_pattern_matches_everything(self, text):
+        assert like_to_regex("%").match(text) is not None
+
+
+class TestInList:
+    def test_member(self):
+        expression = InList(Literal(2), (Literal(1), Literal(2)))
+        assert ev(expression, ()) is True
+
+    def test_non_member(self):
+        expression = InList(Literal(9), (Literal(1), Literal(2)))
+        assert ev(expression, ()) is False
+
+    def test_null_operand_unknown(self):
+        expression = InList(Literal(None), (Literal(1),))
+        assert ev(expression, ()) is None
+
+    def test_null_in_list_without_match_is_unknown(self):
+        expression = InList(Literal(9), (Literal(1), Literal(None)))
+        assert ev(expression, ()) is None
+
+    def test_match_beats_null_in_list(self):
+        expression = InList(Literal(1), (Literal(None), Literal(1)))
+        assert ev(expression, ()) is True
+
+    def test_negated(self):
+        expression = InList(Literal(9), (Literal(1),), negated=True)
+        assert ev(expression, ()) is True
+
+    def test_negated_unknown_stays_unknown(self):
+        expression = InList(Literal(None), (Literal(1),), negated=True)
+        assert ev(expression, ()) is None
+
+
+class TestNullPredicates:
+    def test_is_null(self):
+        assert ev(IsNull(Literal(None)), ()) is True
+        assert ev(IsNull(Literal(1)), ()) is False
+
+    def test_is_not_null(self):
+        assert ev(IsNull(Literal(1), negated=True), ()) is True
+
+    def test_between(self):
+        assert ev(Between(Literal(5), Literal(1), Literal(9)), ()) is True
+        assert ev(Between(Literal(0), Literal(1), Literal(9)), ()) is False
+
+    def test_between_inclusive_ends(self):
+        assert ev(Between(Literal(1), Literal(1), Literal(9)), ()) is True
+        assert ev(Between(Literal(9), Literal(1), Literal(9)), ()) is True
+
+    def test_not_between(self):
+        expression = Between(Literal(0), Literal(1), Literal(9), negated=True)
+        assert ev(expression, ()) is True
+
+    def test_between_null_bound_unknown(self):
+        expression = Between(Literal(5), Literal(None), Literal(9))
+        assert ev(expression, ()) is None
+
+
+class TestEqualityPairs:
+    def test_single_equality(self):
+        expression = Comparison("=", ColumnRef("t.a"), ColumnRef("u.b"))
+        assert equality_pairs(expression) == (("t.a", "u.b"),)
+
+    def test_conjunction_of_equalities(self):
+        expression = And(
+            Comparison("=", ColumnRef("a"), ColumnRef("b")),
+            Comparison("=", ColumnRef("c"), ColumnRef("a")),
+        )
+        assert equality_pairs(expression) == (("a", "b"), ("c", "a"))
+
+    def test_non_equality_defeats(self):
+        expression = Comparison("<", ColumnRef("a"), ColumnRef("b"))
+        assert equality_pairs(expression) is None
+
+    def test_literal_side_defeats(self):
+        expression = Comparison("=", ColumnRef("a"), Literal(3))
+        assert equality_pairs(expression) is None
+
+    def test_or_defeats(self):
+        expression = Or(
+            Comparison("=", ColumnRef("a"), ColumnRef("b")),
+            Comparison("=", ColumnRef("c"), ColumnRef("a")),
+        )
+        assert equality_pairs(expression) is None
+
+
+@given(
+    a=st.one_of(st.none(), st.integers(-5, 5)),
+    b=st.one_of(st.none(), st.integers(-5, 5)),
+)
+def test_property_comparison_never_raises(a, b):
+    """Any comparison of NULL-able integers evaluates to True/False/None."""
+    for operator in ("=", "!=", "<", "<=", ">", ">="):
+        result = Comparison(operator, Literal(a), Literal(b)).evaluate(
+            (), COLUMNS.__getitem__
+        )
+        assert result in (True, False, None)
+        if a is None or b is None:
+            assert result is None
+
+
+@given(
+    values=st.lists(st.one_of(st.none(), st.booleans()), min_size=1, max_size=5)
+)
+def test_property_conjoin_matches_python_all(values):
+    """With no unknowns involved, Kleene AND degenerates to ``all``."""
+    expression = conjoin([Literal(v) for v in values])
+    result = expression.evaluate((), COLUMNS.__getitem__)
+    if None not in values:
+        assert result is all(values)
+    elif False in values:
+        assert result is False
+    else:
+        assert result is None

@@ -1,0 +1,144 @@
+"""Unit tests for schema objects and catalog validation."""
+
+import pytest
+
+from repro.errors import SchemaError, UnknownColumnError, UnknownTableError
+from repro.relational.schema import (
+    Column,
+    DatabaseSchema,
+    ForeignKey,
+    TableSchema,
+)
+from repro.relational.types import INTEGER, TEXT
+
+
+def author_schema() -> TableSchema:
+    return TableSchema(
+        "author",
+        [Column("author_id", TEXT, nullable=False), Column("name", TEXT)],
+        primary_key=("author_id",),
+    )
+
+
+def writes_schema() -> TableSchema:
+    return TableSchema(
+        "writes",
+        [Column("author_id", TEXT, nullable=False),
+         Column("paper_id", TEXT, nullable=False)],
+        primary_key=("author_id", "paper_id"),
+        foreign_keys=[
+            ForeignKey("writes", ("author_id",), "author", ("author_id",)),
+        ],
+    )
+
+
+class TestColumn:
+    def test_valid_names(self):
+        Column("a_b_c", TEXT)
+        Column("x1", INTEGER)
+
+    @pytest.mark.parametrize("bad", ["", "a b", "x-y", "t.q"])
+    def test_invalid_names_rejected(self, bad):
+        with pytest.raises(SchemaError):
+            Column(bad, TEXT)
+
+
+class TestForeignKey:
+    def test_column_count_mismatch(self):
+        with pytest.raises(SchemaError):
+            ForeignKey("a", ("x", "y"), "b", ("z",))
+
+    def test_empty_rejected(self):
+        with pytest.raises(SchemaError):
+            ForeignKey("a", (), "b", ())
+
+    def test_name_is_descriptive(self):
+        fk = ForeignKey("writes", ("author_id",), "author", ("author_id",))
+        assert fk.name == "writes(author_id)->author(author_id)"
+
+
+class TestTableSchema:
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(SchemaError):
+            TableSchema("t", [Column("a", TEXT), Column("a", TEXT)])
+
+    def test_empty_tables_rejected(self):
+        with pytest.raises(SchemaError):
+            TableSchema("t", [])
+
+    def test_pk_must_exist(self):
+        with pytest.raises(UnknownColumnError):
+            TableSchema("t", [Column("a", TEXT)], primary_key=("b",))
+
+    def test_fk_on_wrong_table_rejected(self):
+        fk = ForeignKey("other", ("a",), "x", ("a",))
+        with pytest.raises(SchemaError):
+            TableSchema("t", [Column("a", TEXT)], foreign_keys=[fk])
+
+    def test_fk_source_column_must_exist(self):
+        fk = ForeignKey("t", ("missing",), "x", ("a",))
+        with pytest.raises(UnknownColumnError):
+            TableSchema("t", [Column("a", TEXT)], foreign_keys=[fk])
+
+    def test_column_positions(self):
+        schema = writes_schema()
+        assert schema.column_position("paper_id") == 1
+        with pytest.raises(UnknownColumnError):
+            schema.column_position("nope")
+
+    def test_text_columns(self):
+        schema = TableSchema(
+            "t", [Column("a", TEXT), Column("n", INTEGER), Column("b", TEXT)]
+        )
+        assert [c.name for c in schema.text_columns()] == ["a", "b"]
+
+
+class TestDatabaseSchema:
+    def test_duplicate_tables_rejected(self):
+        catalog = DatabaseSchema([author_schema()])
+        with pytest.raises(SchemaError):
+            catalog.add_table(author_schema())
+
+    def test_validate_catches_dangling_fk(self):
+        catalog = DatabaseSchema([writes_schema()])
+        with pytest.raises(UnknownTableError):
+            catalog.validate()
+
+    def test_validate_catches_missing_target_column(self):
+        bad = TableSchema(
+            "writes",
+            [Column("author_id", TEXT)],
+            foreign_keys=[
+                ForeignKey("writes", ("author_id",), "author", ("ghost",)),
+            ],
+        )
+        catalog = DatabaseSchema([author_schema(), bad])
+        with pytest.raises(UnknownColumnError):
+            catalog.validate()
+
+    def test_validate_catches_type_mismatch(self):
+        bad = TableSchema(
+            "writes",
+            [Column("author_id", INTEGER)],
+            foreign_keys=[
+                ForeignKey("writes", ("author_id",), "author", ("author_id",)),
+            ],
+        )
+        catalog = DatabaseSchema([author_schema(), bad])
+        with pytest.raises(SchemaError):
+            catalog.validate()
+
+    def test_drop_referenced_table_rejected(self):
+        catalog = DatabaseSchema([author_schema(), writes_schema()])
+        with pytest.raises(SchemaError):
+            catalog.drop_table("author")
+        catalog.drop_table("writes")
+        catalog.drop_table("author")
+        assert not catalog.table_names
+
+    def test_references_to(self):
+        catalog = DatabaseSchema([author_schema(), writes_schema()])
+        refs = catalog.references_to("author")
+        assert len(refs) == 1
+        assert refs[0].source_table == "writes"
+        assert catalog.references_to("writes") == []

@@ -1,0 +1,169 @@
+"""Differential tests: our SQL subset vs sqlite3 on identical data.
+
+Every statement here is executed by both engines and the result sets
+compared (as multisets — row order is only compared under ORDER BY).
+Scope notes where the engines intentionally diverge:
+
+* integer division: sqlite truncates (``5/2 = 2``), this engine returns
+  2.5 (exact results stay integral) — division is excluded;
+* ORDER BY places NULLs first in sqlite and last here — ordered
+  comparisons use non-null columns;
+* both engines treat LIKE case-insensitively for ASCII.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.relational import Database, execute_script, execute_sql
+
+
+ROWS = [
+    (1, "hammer", 9.5, 1),
+    (2, "saw", 19.0, 1),
+    (3, "roller", 4.0, 2),
+    (4, "mystery", None, None),
+    (5, "Hammer Deluxe", 9.5, 2),
+    (6, "brush", 4.0, 2),
+]
+
+
+@pytest.fixture
+def engines():
+    ours = Database("shop")
+    execute_script(
+        ours,
+        """
+        CREATE TABLE item (
+            id INTEGER PRIMARY KEY,
+            name TEXT NOT NULL,
+            price REAL,
+            category_id INTEGER
+        );
+        """,
+    )
+    theirs = sqlite3.connect(":memory:")
+    theirs.execute(
+        "CREATE TABLE item (id INTEGER PRIMARY KEY, name TEXT NOT NULL, "
+        "price REAL, category_id INTEGER)"
+    )
+    for row in ROWS:
+        ours.insert("item", list(row))
+        theirs.execute("INSERT INTO item VALUES (?, ?, ?, ?)", row)
+    theirs.commit()
+    yield ours, theirs
+    theirs.close()
+
+
+def both(engines, statement: str, ordered: bool = False):
+    ours, theirs = engines
+    our_rows = [tuple(row) for row in execute_sql(ours, statement).rows]
+    their_rows = [tuple(row) for row in theirs.execute(statement).fetchall()]
+    if not ordered:
+        our_rows = sorted(our_rows, key=repr)
+        their_rows = sorted(their_rows, key=repr)
+    return our_rows, their_rows
+
+
+UNORDERED_QUERIES = [
+    "SELECT name FROM item WHERE price > 5.0",
+    "SELECT name FROM item WHERE price >= 4.0 AND category_id = 2",
+    "SELECT name FROM item WHERE price < 5.0 OR price > 15.0",
+    "SELECT name FROM item WHERE NOT price > 5.0",
+    "SELECT name FROM item WHERE name LIKE '%er'",
+    "SELECT name FROM item WHERE name LIKE 'hammer%'",
+    "SELECT name FROM item WHERE name NOT LIKE '%e%'",
+    "SELECT name FROM item WHERE id IN (1, 3, 5)",
+    "SELECT name FROM item WHERE id NOT IN (1, 2)",
+    "SELECT name FROM item WHERE price IS NULL",
+    "SELECT name FROM item WHERE price IS NOT NULL",
+    "SELECT name FROM item WHERE price BETWEEN 4.0 AND 10.0",
+    "SELECT name FROM item WHERE price NOT BETWEEN 4.0 AND 10.0",
+    "SELECT name FROM item WHERE price * 2 > 18.0",
+    "SELECT name FROM item WHERE price + 1.0 <= 5.0",
+    "SELECT name FROM item WHERE category_id < id",
+    "SELECT name FROM item WHERE (price > 5.0 AND category_id = 1) OR id = 6",
+    "SELECT DISTINCT price FROM item WHERE price IS NOT NULL",
+    "SELECT COUNT(*) FROM item",
+    "SELECT COUNT(price) FROM item",
+    "SELECT SUM(price), MIN(price), MAX(price) FROM item",
+    "SELECT AVG(price) FROM item WHERE category_id = 2",
+    "SELECT category_id, COUNT(*) FROM item "
+    "WHERE category_id IS NOT NULL GROUP BY category_id",
+    "SELECT category_id, SUM(price) FROM item "
+    "WHERE category_id IS NOT NULL GROUP BY category_id "
+    "HAVING COUNT(*) > 1",
+]
+
+ORDERED_QUERIES = [
+    "SELECT name FROM item WHERE price IS NOT NULL ORDER BY price, name",
+    "SELECT name, price FROM item WHERE price IS NOT NULL "
+    "ORDER BY price DESC, name ASC",
+    "SELECT id FROM item ORDER BY id LIMIT 3",
+    "SELECT id FROM item ORDER BY id LIMIT 2 OFFSET 2",
+    "SELECT id FROM item ORDER BY id DESC LIMIT 10 OFFSET 4",
+]
+
+
+@pytest.mark.parametrize("statement", UNORDERED_QUERIES)
+def test_unordered_agreement(engines, statement):
+    ours, theirs = both(engines, statement)
+    assert ours == theirs, statement
+
+
+@pytest.mark.parametrize("statement", ORDERED_QUERIES)
+def test_ordered_agreement(engines, statement):
+    ours, theirs = both(engines, statement, ordered=True)
+    assert ours == theirs, statement
+
+
+class TestMutationAgreement:
+    def test_update_agreement(self, engines):
+        ours, theirs = engines
+        statement = "UPDATE item SET price = price + 1.0 WHERE category_id = 1"
+        execute_sql(ours, statement)
+        theirs.execute(statement)
+        left, right = both(engines, "SELECT id, price FROM item")
+        assert left == right
+
+    def test_delete_agreement(self, engines):
+        ours, theirs = engines
+        statement = "DELETE FROM item WHERE price IS NULL OR id > 5"
+        execute_sql(ours, statement)
+        theirs.execute(statement)
+        left, right = both(engines, "SELECT id FROM item")
+        assert left == right
+
+
+@settings(deadline=None, max_examples=30)
+@given(
+    threshold=st.floats(min_value=0.0, max_value=25.0, allow_nan=False),
+    category=st.integers(0, 3),
+)
+def test_property_where_agreement(threshold, category):
+    """Randomised comparison thresholds agree between engines."""
+    ours = Database("p")
+    execute_script(
+        ours,
+        "CREATE TABLE item (id INTEGER PRIMARY KEY, name TEXT NOT NULL, "
+        "price REAL, category_id INTEGER)",
+    )
+    theirs = sqlite3.connect(":memory:")
+    theirs.execute(
+        "CREATE TABLE item (id INTEGER PRIMARY KEY, name TEXT NOT NULL, "
+        "price REAL, category_id INTEGER)"
+    )
+    for row in ROWS:
+        ours.insert("item", list(row))
+        theirs.execute("INSERT INTO item VALUES (?, ?, ?, ?)", row)
+    statement = (
+        f"SELECT id FROM item WHERE price > {threshold:.3f} "
+        f"OR category_id = {category}"
+    )
+    our_rows = sorted(tuple(r) for r in execute_sql(ours, statement).rows)
+    their_rows = sorted(tuple(r) for r in theirs.execute(statement).fetchall())
+    theirs.close()
+    assert our_rows == their_rows

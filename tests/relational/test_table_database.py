@@ -1,0 +1,229 @@
+"""Unit tests for heap tables, RIDs, and the database layer."""
+
+import pytest
+
+from repro.errors import IntegrityError, TypeMismatchError, UnknownTableError
+from repro.relational.database import Database
+from repro.relational.schema import Column, ForeignKey, TableSchema
+from repro.relational.types import INTEGER, TEXT
+
+
+def make_db() -> Database:
+    database = Database("t")
+    database.create_table(
+        TableSchema(
+            "dept",
+            [Column("dept_id", TEXT, nullable=False), Column("name", TEXT)],
+            primary_key=("dept_id",),
+        )
+    )
+    database.create_table(
+        TableSchema(
+            "emp",
+            [Column("emp_id", INTEGER, nullable=False),
+             Column("name", TEXT),
+             Column("dept_id", TEXT)],
+            primary_key=("emp_id",),
+            foreign_keys=[
+                ForeignKey("emp", ("dept_id",), "dept", ("dept_id",)),
+            ],
+        )
+    )
+    return database
+
+
+class TestTable:
+    def test_insert_returns_sequential_rids(self, figure1_db):
+        table = figure1_db.table("author")
+        assert [row.rid for row in table.scan()] == [0, 1, 2]
+
+    def test_wrong_arity_rejected(self):
+        database = make_db()
+        with pytest.raises(IntegrityError):
+            database.table("dept").insert(["D1"])
+
+    def test_not_null_enforced(self):
+        database = make_db()
+        with pytest.raises(IntegrityError):
+            database.table("dept").insert([None, "x"])
+
+    def test_type_checked_on_insert(self):
+        database = make_db()
+        with pytest.raises(TypeMismatchError):
+            database.insert("emp", ["not-an-int", "x", None])
+
+    def test_duplicate_pk_rejected(self):
+        database = make_db()
+        database.insert("dept", ["D1", "Sales"])
+        with pytest.raises(IntegrityError):
+            database.insert("dept", ["D1", "Other"])
+
+    def test_pk_lookup(self):
+        database = make_db()
+        database.insert("dept", ["D1", "Sales"])
+        row = database.table("dept").lookup_pk(["D1"])
+        assert row is not None and row["name"] == "Sales"
+        assert database.table("dept").lookup_pk(["D9"]) is None
+
+    def test_delete_leaves_tombstone(self):
+        database = make_db()
+        database.insert("dept", ["D1", "Sales"])
+        database.insert("dept", ["D2", "Tech"])
+        database.delete(("dept", 0))
+        table = database.table("dept")
+        assert len(table) == 1
+        assert not table.has_rid(0)
+        # RIDs of remaining rows are unchanged.
+        assert table.row(1)["dept_id"] == "D2"
+        with pytest.raises(IntegrityError):
+            table.row(0)
+
+    def test_insert_dict_fills_nulls(self):
+        database = make_db()
+        rid = database.insert_dict("dept", {"dept_id": "D1"})
+        assert database.row(rid)["name"] is None
+
+    def test_insert_dict_unknown_column(self):
+        database = make_db()
+        with pytest.raises(Exception):
+            database.insert_dict("dept", {"bogus": 1})
+
+    def test_row_equality_and_dict(self):
+        database = make_db()
+        rid = database.insert("dept", ["D1", "Sales"])
+        row = database.row(rid)
+        assert row.as_dict() == {"dept_id": "D1", "name": "Sales"}
+        assert row == database.row(rid)
+        assert row.get("ghost", "dflt") == "dflt"
+
+
+class TestForeignKeys:
+    def test_fk_enforced_on_insert(self):
+        database = make_db()
+        with pytest.raises(IntegrityError):
+            database.insert("emp", [1, "Ann", "D404"])
+
+    def test_failed_fk_insert_leaves_no_row(self):
+        database = make_db()
+        with pytest.raises(IntegrityError):
+            database.insert("emp", [1, "Ann", "D404"])
+        assert len(database.table("emp")) == 0
+
+    def test_null_fk_references_nothing(self):
+        database = make_db()
+        rid = database.insert("emp", [1, "Ann", None])
+        assert database.references_of(rid) == []
+
+    def test_reverse_reference_index(self):
+        database = make_db()
+        dept = database.insert("dept", ["D1", "Sales"])
+        e1 = database.insert("emp", [1, "Ann", "D1"])
+        e2 = database.insert("emp", [2, "Bob", "D1"])
+        referencing = {rid for _fk, rid in database.referencing(dept)}
+        assert referencing == {e1, e2}
+        assert database.indegree(dept) == 2
+        assert database.indegree_from(dept, "emp") == 2
+        assert database.indegree_from(dept, "dept") == 0
+
+    def test_delete_referenced_tuple_rejected(self):
+        database = make_db()
+        dept = database.insert("dept", ["D1", "Sales"])
+        database.insert("emp", [1, "Ann", "D1"])
+        with pytest.raises(IntegrityError):
+            database.delete(dept)
+
+    def test_delete_referencing_then_referenced(self):
+        database = make_db()
+        dept = database.insert("dept", ["D1", "Sales"])
+        emp = database.insert("emp", [1, "Ann", "D1"])
+        database.delete(emp)
+        assert database.indegree(dept) == 0
+        database.delete(dept)
+        assert database.total_rows() == 0
+
+    def test_deferred_check_mode(self):
+        database = Database("d", deferred_fk_check=True)
+        database.create_tables(
+            [
+                TableSchema(
+                    "a",
+                    [Column("id", TEXT, nullable=False), Column("b_id", TEXT)],
+                    primary_key=("id",),
+                    foreign_keys=[ForeignKey("a", ("b_id",), "b", ("id",))],
+                ),
+                TableSchema(
+                    "b",
+                    [Column("id", TEXT, nullable=False)],
+                    primary_key=("id",),
+                ),
+            ]
+        )
+        # Insert the referencing row before the referenced row.
+        database.insert("a", ["a1", "b1"])
+        database.insert("b", ["b1"])
+        database.check_integrity()
+        assert database.indegree(("b", 0)) == 1
+
+    def test_deferred_check_catches_dangling(self):
+        database = Database("d", deferred_fk_check=True)
+        database.create_tables(
+            [
+                TableSchema(
+                    "a",
+                    [Column("id", TEXT, nullable=False), Column("b_id", TEXT)],
+                    primary_key=("id",),
+                    foreign_keys=[ForeignKey("a", ("b_id",), "b", ("id",))],
+                ),
+                TableSchema(
+                    "b",
+                    [Column("id", TEXT, nullable=False)],
+                    primary_key=("id",),
+                ),
+            ]
+        )
+        database.insert("a", ["a1", "missing"])
+        with pytest.raises(IntegrityError):
+            database.check_integrity()
+
+
+class TestDatabaseCatalog:
+    def test_unknown_table(self):
+        database = make_db()
+        with pytest.raises(UnknownTableError):
+            database.table("ghost")
+
+    def test_drop_table_clears_reverse_refs(self):
+        database = make_db()
+        dept = database.insert("dept", ["D1", "Sales"])
+        database.insert("emp", [1, "Ann", "D1"])
+        database.drop_table("emp")
+        assert database.indegree(dept) == 0
+
+    def test_total_rows_and_all_rows(self, figure1_db):
+        assert figure1_db.total_rows() == 7
+        assert sum(1 for _ in figure1_db.all_rows()) == 7
+
+    def test_composite_fk_resolution(self):
+        database = Database("c")
+        database.create_table(
+            TableSchema(
+                "k",
+                [Column("a", TEXT, nullable=False),
+                 Column("b", TEXT, nullable=False)],
+                primary_key=("a", "b"),
+            )
+        )
+        database.create_table(
+            TableSchema(
+                "r",
+                [Column("ka", TEXT), Column("kb", TEXT)],
+                foreign_keys=[
+                    ForeignKey("r", ("ka", "kb"), "k", ("a", "b")),
+                ],
+            )
+        )
+        k = database.insert("k", ["x", "y"])
+        r = database.insert("r", ["x", "y"])
+        assert database.references_of(r) == [
+            (database.table("r").schema.foreign_keys[0], k)
+        ]

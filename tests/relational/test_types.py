@@ -1,0 +1,126 @@
+"""Unit tests for column datatypes and coercion."""
+
+import pytest
+
+from repro.errors import TypeMismatchError
+from repro.relational.types import (
+    BOOLEAN,
+    INTEGER,
+    REAL,
+    TEXT,
+    infer_type,
+    type_from_name,
+)
+
+
+class TestIntegerCoercion:
+    def test_int_passes_through(self):
+        assert INTEGER.validate(42) == 42
+
+    def test_none_is_null(self):
+        assert INTEGER.validate(None) is None
+
+    def test_integral_float_accepted(self):
+        assert INTEGER.validate(3.0) == 3
+
+    def test_fractional_float_rejected(self):
+        with pytest.raises(TypeMismatchError):
+            INTEGER.validate(3.5)
+
+    def test_numeric_string_accepted(self):
+        assert INTEGER.validate("17") == 17
+
+    def test_garbage_string_rejected(self):
+        with pytest.raises(TypeMismatchError):
+            INTEGER.validate("seventeen")
+
+    def test_boolean_rejected(self):
+        with pytest.raises(TypeMismatchError):
+            INTEGER.validate(True)
+
+
+class TestRealCoercion:
+    def test_float_passes_through(self):
+        assert REAL.validate(2.5) == 2.5
+
+    def test_int_widened(self):
+        assert REAL.validate(2) == 2.0
+        assert isinstance(REAL.validate(2), float)
+
+    def test_string_parsed(self):
+        assert REAL.validate("2.25") == 2.25
+
+    def test_boolean_rejected(self):
+        with pytest.raises(TypeMismatchError):
+            REAL.validate(False)
+
+    def test_garbage_rejected(self):
+        with pytest.raises(TypeMismatchError):
+            REAL.validate("pi")
+
+
+class TestTextCoercion:
+    def test_string_passes_through(self):
+        assert TEXT.validate("hello") == "hello"
+
+    def test_numbers_stringified(self):
+        assert TEXT.validate(7) == "7"
+
+    def test_objects_rejected(self):
+        with pytest.raises(TypeMismatchError):
+            TEXT.validate(object())
+
+
+class TestBooleanCoercion:
+    @pytest.mark.parametrize("value", [True, 1, "true", "T", "yes", "1"])
+    def test_truthy_literals(self, value):
+        assert BOOLEAN.validate(value) is True
+
+    @pytest.mark.parametrize("value", [False, 0, "false", "F", "no", "0"])
+    def test_falsy_literals(self, value):
+        assert BOOLEAN.validate(value) is False
+
+    def test_other_ints_rejected(self):
+        with pytest.raises(TypeMismatchError):
+            BOOLEAN.validate(2)
+
+    def test_garbage_rejected(self):
+        with pytest.raises(TypeMismatchError):
+            BOOLEAN.validate("maybe")
+
+
+class TestTypeNames:
+    @pytest.mark.parametrize(
+        ("name", "expected"),
+        [
+            ("INTEGER", INTEGER),
+            ("int", INTEGER),
+            ("BIGINT", INTEGER),
+            ("REAL", REAL),
+            ("double", REAL),
+            ("NUMERIC", REAL),
+            ("TEXT", TEXT),
+            ("VARCHAR(80)", TEXT),
+            ("char(1)", TEXT),
+            ("BOOLEAN", BOOLEAN),
+            ("bool", BOOLEAN),
+        ],
+    )
+    def test_known_spellings(self, name, expected):
+        assert type_from_name(name) is expected
+
+    def test_unknown_names_default_to_text(self):
+        assert type_from_name("GEOMETRY") is TEXT
+
+
+class TestInference:
+    def test_none_gives_no_information(self):
+        assert infer_type(None) is None
+
+    def test_bool_before_int(self):
+        assert infer_type(True) is BOOLEAN
+
+    def test_int_and_float_and_text(self):
+        assert infer_type(3) is INTEGER
+        assert infer_type(3.5) is REAL
+        assert infer_type("x") is TEXT

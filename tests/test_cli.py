@@ -1,0 +1,158 @@
+"""Tests for the command-line interface and the result cache."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.cli import load_database, main
+from repro.core.cache import CachedBanks, ResultCache
+from repro.errors import QueryError, ReproError
+from repro.relational import Database, execute_script
+from repro.relational.sqlite_adapter import dump_to_sqlite
+
+
+def run_cli(*argv: str):
+    out = io.StringIO()
+    status = main(list(argv), out=out)
+    return status, out.getvalue()
+
+
+class TestLoadDatabase:
+    def test_demo_datasets(self):
+        for name in ("thesis", "tpcd", "university"):
+            database = load_database(f"demo:{name}")
+            assert database.total_rows() > 0
+
+    def test_unknown_demo(self):
+        with pytest.raises(ReproError):
+            load_database("demo:ghost")
+
+    def test_unknown_scheme(self):
+        with pytest.raises(ReproError):
+            load_database("oracle:prod")
+
+    def test_sqlite_round_trip(self, tmp_path):
+        database = Database("t")
+        execute_script(
+            database,
+            """
+            CREATE TABLE item (id INTEGER PRIMARY KEY, name TEXT);
+            INSERT INTO item VALUES (1, 'hammer');
+            """,
+        )
+        path = str(tmp_path / "t.db")
+        dump_to_sqlite(database, path)
+        loaded = load_database(f"sqlite:{path}")
+        assert loaded.total_rows() == 1
+
+
+class TestCommands:
+    def test_stats(self):
+        status, output = run_cli("stats", "demo:university")
+        assert status == 0
+        assert "graph nodes" in output
+        assert "index terms" in output
+
+    def test_search(self):
+        status, output = run_cli(
+            "search", "demo:university", "alice", "seminar", "-k", "3"
+        )
+        assert status == 0
+        assert "relevance=" in output
+        assert "answer(s) in" in output
+
+    def test_search_no_answers(self):
+        status, output = run_cli("search", "demo:university", "qqqzzz")
+        assert status == 0
+        assert "no answers" in output
+
+    def test_serve_check(self):
+        status, output = run_cli("serve", "demo:university", "--check")
+        assert status == 0
+        assert "200" in output
+
+    def test_sweep_requires_bibliography(self):
+        status = main(["sweep", "demo:university"], out=io.StringIO())
+        assert status == 1
+
+    def test_error_paths_return_one(self):
+        status = main(["stats", "demo:ghost"], out=io.StringIO())
+        assert status == 1
+
+
+class TestResultCache:
+    def test_lru_eviction(self):
+        cache = ResultCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refresh a
+        cache.put("c", 3)           # evicts b
+        assert cache.get("b") is None
+        assert cache.get("a") == 1
+        assert cache.stats.evictions == 1
+
+    def test_stats_counters(self):
+        cache = ResultCache()
+        cache.get("missing")
+        cache.put("x", 1)
+        cache.get("x")
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.hit_rate == 0.5
+
+    def test_capacity_validation(self):
+        with pytest.raises(QueryError):
+            ResultCache(capacity=0)
+
+
+@pytest.fixture
+def cached_banks():
+    database = Database("c")
+    execute_script(
+        database,
+        """
+        CREATE TABLE author (aid TEXT PRIMARY KEY, name TEXT NOT NULL);
+        CREATE TABLE paper (pid TEXT PRIMARY KEY, title TEXT NOT NULL);
+        CREATE TABLE writes (
+            aid TEXT NOT NULL REFERENCES author(aid),
+            pid TEXT NOT NULL REFERENCES paper(pid)
+        );
+        INSERT INTO author VALUES ('a1', 'ada lovelace');
+        INSERT INTO paper VALUES ('p1', 'analytical engines');
+        INSERT INTO writes VALUES ('a1', 'p1');
+        """,
+    )
+    return CachedBanks(database, cache_capacity=8)
+
+
+class TestCachedBanks:
+    def test_second_search_hits_cache(self, cached_banks):
+        first = cached_banks.search("ada engines")
+        second = cached_banks.search("ada engines")
+        assert cached_banks.cache.stats.hits == 1
+        assert [a.tree for a in first] == [a.tree for a in second]
+
+    def test_query_normalisation_shares_entries(self, cached_banks):
+        cached_banks.search("ADA   Engines")
+        cached_banks.search("ada engines")
+        assert cached_banks.cache.stats.hits == 1
+
+    def test_different_scoring_misses(self, cached_banks):
+        from repro.core.scoring import ScoringConfig
+
+        cached_banks.search("ada")
+        cached_banks.search("ada", scoring=ScoringConfig(lambda_weight=0.8))
+        assert cached_banks.cache.stats.hits == 0
+
+    def test_config_overrides_bypass_cache(self, cached_banks):
+        cached_banks.search("ada", output_heap_size=50)
+        cached_banks.search("ada", output_heap_size=50)
+        assert cached_banks.cache.stats.requests == 0
+
+    def test_invalidate(self, cached_banks):
+        cached_banks.search("ada")
+        cached_banks.invalidate()
+        cached_banks.search("ada")
+        assert cached_banks.cache.stats.hits == 0

@@ -1,0 +1,100 @@
+"""Tests for approximate matching (edit distance, approx(N))."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.text.fuzzy import (
+    damerau_levenshtein,
+    default_distance_budget,
+    expand_fuzzy,
+    numbers_near,
+)
+
+words = st.text(
+    alphabet=st.characters(min_codepoint=97, max_codepoint=122),
+    min_size=0,
+    max_size=12,
+)
+
+
+class TestEditDistance:
+    @pytest.mark.parametrize(
+        ("left", "right", "expected"),
+        [
+            ("", "", 0),
+            ("a", "", 1),
+            ("abc", "abc", 0),
+            ("abc", "abd", 1),
+            ("abc", "acb", 1),  # transposition
+            ("chakrabarti", "chakraborti", 1),
+            ("kitten", "sitting", 3),
+        ],
+    )
+    def test_known_distances(self, left, right, expected):
+        assert damerau_levenshtein(left, right) == expected
+
+    def test_cap_early_exit(self):
+        assert damerau_levenshtein("aaaa", "zzzz", cap=1) > 1
+
+    @settings(max_examples=80, deadline=None)
+    @given(words, words)
+    def test_symmetry(self, left, right):
+        assert damerau_levenshtein(left, right) == damerau_levenshtein(
+            right, left
+        )
+
+    @settings(max_examples=80, deadline=None)
+    @given(words)
+    def test_identity(self, word):
+        assert damerau_levenshtein(word, word) == 0
+
+    @settings(max_examples=60, deadline=None)
+    @given(words, words)
+    def test_bounded_by_longer_length(self, left, right):
+        assert damerau_levenshtein(left, right) <= max(len(left), len(right))
+
+
+class TestBudget:
+    def test_short_terms_get_zero(self):
+        assert default_distance_budget("ann") == 0
+
+    def test_medium_terms_get_one(self):
+        assert default_distance_budget("sunita") == 1
+
+    def test_long_terms_get_two(self):
+        assert default_distance_budget("chakrabarti") == 2
+
+
+class TestExpandFuzzy:
+    VOCAB = ["chakrabarti", "chakraborti", "sarawagi", "sudarshan", "mohan"]
+
+    def test_exact_match_first(self):
+        matches = expand_fuzzy("chakrabarti", self.VOCAB)
+        assert matches[0] == ("chakrabarti", 0)
+
+    def test_typo_found(self):
+        matches = expand_fuzzy("chakraborty", self.VOCAB)
+        assert ("chakraborti", 1) in matches
+
+    def test_short_terms_do_not_explode(self):
+        matches = expand_fuzzy("moha", self.VOCAB)
+        assert matches == []  # budget 0 and no exact match
+
+    def test_explicit_budget(self):
+        matches = expand_fuzzy("mohaX", self.VOCAB, max_distance=1)
+        assert ("mohan", 1) in matches
+
+
+class TestNumbersNear:
+    VOCAB = ["1985", "1987", "1988", "1990", "2001", "concurrency"]
+
+    def test_window(self):
+        assert numbers_near(1988, self.VOCAB, window=2) == [
+            "1987", "1988", "1990",
+        ]
+
+    def test_exact_only_with_zero_window(self):
+        assert numbers_near(1988, self.VOCAB, window=0) == ["1988"]
+
+    def test_non_numeric_tokens_ignored(self):
+        assert "concurrency" not in numbers_near(1988, self.VOCAB, window=100)

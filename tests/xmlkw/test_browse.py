@@ -1,0 +1,136 @@
+"""Tests for the XML browsing pages (Sec. 7, browsing half)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.xmlkw import XMLBanks, parse_xml
+from repro.xmlkw.browse import XMLBrowseApp, XMLBrowser, element_url
+
+
+@pytest.fixture
+def banks():
+    document = parse_xml(
+        """
+        <library>
+          <author id="knuth"><name>donald knuth</name></author>
+          <book id="b1" ref="knuth"><title>taocp &amp; friends</title></book>
+          <book id="b2" ref="knuth"><title>concrete mathematics</title></book>
+        </library>
+        """,
+        "lib",
+    )
+    return XMLBanks(document, excluded_root_tags=("library",))
+
+
+@pytest.fixture
+def app(banks):
+    return XMLBrowseApp(banks)
+
+
+class TestElementPage:
+    def test_shows_tag_attributes_text(self, banks):
+        browser = XMLBrowser(banks)
+        html = browser.element_page(("lib", 2))  # <name>
+        assert "&lt;name&gt;" in html
+        assert "donald knuth" in html
+
+    def test_parent_and_children_links(self, banks):
+        browser = XMLBrowser(banks)
+        html = browser.element_page(("lib", 1))  # <author>
+        assert element_url(("lib", 0)) in html  # parent: library
+        assert element_url(("lib", 2)) in html  # child: name
+
+    def test_outgoing_reference_links(self, banks):
+        browser = XMLBrowser(banks)
+        html = browser.element_page(("lib", 3))  # book b1
+        assert "References (outgoing)" in html
+        assert element_url(("lib", 1)) in html
+
+    def test_incoming_reference_links(self, banks):
+        browser = XMLBrowser(banks)
+        html = browser.element_page(("lib", 1))  # the author
+        assert "Referenced by (incoming)" in html
+        assert element_url(("lib", 3)) in html
+        assert element_url(("lib", 5)) in html
+
+    def test_text_is_escaped(self, banks):
+        browser = XMLBrowser(banks)
+        html = browser.element_page(("lib", 4))  # title with &
+        assert "taocp &amp; friends" in html
+
+
+class TestOutlineAndHome:
+    def test_outline_lists_hierarchy(self, banks):
+        browser = XMLBrowser(banks)
+        html = browser.outline_page("lib", depth=2)
+        assert "library" in html
+        assert element_url(("lib", 3)) in html
+
+    def test_outline_depth_truncates(self, banks):
+        browser = XMLBrowser(banks)
+        shallow = browser.outline_page("lib", depth=0)
+        assert "children)" in shallow
+
+    def test_outline_unknown_document(self, banks):
+        browser = XMLBrowser(banks)
+        from repro.errors import XMLError
+
+        with pytest.raises(XMLError):
+            browser.outline_page("ghost")
+
+    def test_home_lists_documents_and_form(self, banks):
+        browser = XMLBrowser(banks)
+        html = browser.home_page()
+        assert "lib" in html
+        assert "form" in html
+
+
+class TestRouting:
+    def test_home(self, app):
+        status, html = app.handle("/")
+        assert status.startswith("200")
+
+    def test_element_route(self, app):
+        status, html = app.handle("/element/lib/1")
+        assert status.startswith("200")
+        assert "author" in html
+
+    def test_outline_route_with_depth(self, app):
+        status, html = app.handle("/outline/lib", "depth=1")
+        assert status.startswith("200")
+
+    def test_search_route(self, app):
+        status, html = app.handle("/search", "q=knuth+concrete")
+        assert status.startswith("200")
+        assert "relevance" in html
+
+    def test_search_marks_keyword_elements(self, app):
+        _status, html = app.handle("/search", "q=knuth")
+        assert 'class="kw"' in html
+
+    def test_empty_search(self, app):
+        status, html = app.handle("/search", "q=")
+        assert "Empty query" in html
+
+    def test_unknown_route_404(self, app):
+        status, _html = app.handle("/nope")
+        assert status.startswith("404")
+
+    def test_bad_element_id_404(self, app):
+        status, _html = app.handle("/element/lib/999")
+        assert status.startswith("404")
+
+    def test_wsgi_adapter(self, app):
+        captured = {}
+
+        def start_response(status, headers):
+            captured["status"] = status
+            captured["headers"] = dict(headers)
+
+        body = b"".join(
+            app({"PATH_INFO": "/", "QUERY_STRING": ""}, start_response)
+        )
+        assert captured["status"].startswith("200")
+        assert captured["headers"]["Content-Type"].startswith("text/html")
+        assert b"BANKS" in body

@@ -1,0 +1,174 @@
+"""Tests for the XML -> data-graph mapping and the XML keyword index."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import XMLError
+from repro.xmlkw.model import XMLGraphConfig, XMLIndex, build_xml_graph
+from repro.xmlkw.parser import parse_xml
+
+
+@pytest.fixture
+def library():
+    """Two books referencing one shared author via IDREF."""
+    return parse_xml(
+        """
+        <library>
+          <author id="a1"><name>donald knuth</name></author>
+          <book id="b1" ref="a1"><title>taocp volume one</title></book>
+          <book id="b2" ref="a1"><title>taocp volume two</title></book>
+        </library>
+        """,
+        "lib",
+    )
+
+
+class TestGraphConstruction:
+    def test_node_per_element(self, library):
+        graph, stats = build_xml_graph([library])
+        assert stats.num_nodes == library.element_count()
+
+    def test_containment_edges_both_directions(self, library):
+        graph, _ = build_xml_graph([library])
+        root = ("lib", 0)
+        author = ("lib", 1)
+        assert graph.has_edge(root, author)
+        assert graph.has_edge(author, root)
+
+    def test_containment_back_edge_scales_with_fanout(self, library):
+        graph, _ = build_xml_graph([library])
+        # <library> has 3 children: each child's back edge costs 3.
+        author = ("lib", 1)
+        root = ("lib", 0)
+        assert graph.edge_weight(root, author) == 1.0
+        assert graph.edge_weight(author, root) == 3.0
+
+    def test_idref_edges(self, library):
+        graph, _ = build_xml_graph([library])
+        book1 = ("lib", 3)
+        author = ("lib", 1)
+        assert graph.has_edge(book1, author)
+        assert graph.edge_weight(book1, author) == 1.0
+
+    def test_idref_back_edge_scales_with_reference_indegree(self, library):
+        graph, _ = build_xml_graph([library])
+        author = ("lib", 1)
+        book1 = ("lib", 3)
+        # Two books reference the author: back edge costs 2.
+        assert graph.edge_weight(author, book1) == 2.0
+
+    def test_prestige_is_reference_indegree(self, library):
+        graph, _ = build_xml_graph([library])
+        assert graph.node_weight(("lib", 1)) == 2.0  # the author
+        assert graph.node_weight(("lib", 3)) == 0.0  # a book
+
+    def test_fanout_scaling_disabled(self, library):
+        config = XMLGraphConfig(backward_fanout_scaling=False)
+        graph, _ = build_xml_graph([library], config)
+        author = ("lib", 1)
+        root = ("lib", 0)
+        assert graph.edge_weight(author, root) == 1.0
+
+    def test_dangling_idref_rejected_by_default(self):
+        document = parse_xml('<a><b ref="missing"/></a>')
+        with pytest.raises(XMLError):
+            build_xml_graph([document])
+
+    def test_dangling_idref_ignored_when_configured(self):
+        document = parse_xml('<a><b ref="missing"/></a>')
+        config = XMLGraphConfig(dangling_idref="ignore")
+        graph, stats = build_xml_graph([document], config)
+        assert stats.num_nodes == 2
+
+    def test_self_reference_skipped(self):
+        document = parse_xml('<a><b id="x" ref="x"/></a>')
+        graph, _ = build_xml_graph([document])
+        b = ("doc", 1)
+        assert not graph.has_edge(b, b)
+
+    def test_duplicate_document_names_rejected(self, library):
+        with pytest.raises(XMLError):
+            build_xml_graph([library, library])
+
+    def test_multiple_documents_disjoint(self, library):
+        other = parse_xml("<x><y/></x>", "other")
+        graph, stats = build_xml_graph([library, other])
+        assert stats.num_nodes == library.element_count() + 2
+        assert not graph.has_edge(("lib", 0), ("other", 0))
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(XMLError):
+            XMLGraphConfig(containment_weight=0)
+        with pytest.raises(XMLError):
+            XMLGraphConfig(dangling_idref="maybe")
+
+    def test_custom_idref_attribute_names(self):
+        document = parse_xml(
+            '<a><b id="t"/><c supervisor_ref="t"/></a>'
+        )
+        graph, _ = build_xml_graph([document])
+        assert graph.has_edge(("doc", 2), ("doc", 1))
+
+    def test_reference_and_containment_coincide_takes_min(self):
+        # b is both a child of a and references a: Eq. 1 min applies.
+        document = parse_xml('<a id="r"><b ref="r"/></a>')
+        graph, _ = build_xml_graph([document])
+        a, b = ("doc", 0), ("doc", 1)
+        # forward containment a->b weight 1; back edge of reference
+        # (a->b would be reference back edge weight 1): min stays 1.
+        assert graph.edge_weight(a, b) == 1.0
+        # b->a: reference forward (1) vs containment back (1 child -> 1).
+        assert graph.edge_weight(b, a) == 1.0
+
+    def test_stats_normalisers(self, library):
+        _, stats = build_xml_graph([library])
+        assert stats.min_edge_weight == 1.0
+        assert stats.max_node_weight == 2.0
+
+
+class TestXMLIndex:
+    def test_text_tokens_indexed(self, library):
+        index = XMLIndex([library])
+        assert ("lib", 2) in index.lookup("knuth")  # the <name> element
+
+    def test_attribute_values_indexed(self, library):
+        index = XMLIndex([library])
+        assert ("lib", 3) in index.lookup("b1")
+
+    def test_tag_metadata_matching(self, library):
+        index = XMLIndex([library])
+        nodes = index.lookup_nodes("book")
+        assert ("lib", 3) in nodes and ("lib", 5) in nodes
+
+    def test_attribute_name_metadata_matching(self, library):
+        index = XMLIndex([library])
+        nodes = index.lookup_nodes("ref")
+        assert ("lib", 3) in nodes
+
+    def test_metadata_can_be_disabled(self, library):
+        index = XMLIndex([library])
+        assert index.lookup_nodes("book", include_metadata=False) == set()
+
+    def test_lookup_tagged(self, library):
+        index = XMLIndex([library])
+        assert index.lookup_tagged("taocp", "title") == {
+            ("lib", 4),
+            ("lib", 6),
+        }
+        assert index.lookup_tagged("taocp", "name") == set()
+
+    def test_document_frequency(self, library):
+        index = XMLIndex([library])
+        assert index.document_frequency("taocp") == 2
+        assert index.document_frequency("missing") == 0
+
+    def test_vocabulary_and_contains(self, library):
+        index = XMLIndex([library])
+        assert "knuth" in index
+        assert "knuth" in index.vocabulary()
+        assert len(index) == len(index.vocabulary())
+
+    def test_case_normalisation(self, library):
+        index = XMLIndex([library])
+        assert index.lookup("KNUTH") == index.lookup("knuth")

@@ -1,0 +1,242 @@
+"""Tests for the from-scratch XML parser: happy paths, every
+well-formedness rule, and a serialise/re-parse round-trip property."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import XMLError
+from repro.xmlkw.document import XMLElement
+from repro.xmlkw.parser import decode_entities, parse_xml, parse_xml_fragmentless
+
+
+class TestBasicParsing:
+    def test_single_element(self):
+        document = parse_xml("<root/>")
+        assert document.root.tag == "root"
+        assert document.root.children == []
+
+    def test_nested_elements(self):
+        document = parse_xml("<a><b><c/></b></a>")
+        assert document.root.tag == "a"
+        assert document.root.children[0].tag == "b"
+        assert document.root.children[0].children[0].tag == "c"
+
+    def test_text_content(self):
+        document = parse_xml("<greeting>hello world</greeting>")
+        assert document.root.text == "hello world"
+
+    def test_mixed_content_preserves_order(self):
+        document = parse_xml("<p>one<b>two</b>three</p>")
+        assert document.root.text_fragments == ["one", "three"]
+        assert document.root.children[0].text == "two"
+
+    def test_attributes(self):
+        document = parse_xml('<item id="7" name="saw"/>')
+        assert document.root.attributes == {"id": "7", "name": "saw"}
+
+    def test_single_quoted_attributes(self):
+        document = parse_xml("<item id='7'/>")
+        assert document.root.get("id") == "7"
+
+    def test_whitespace_in_tags_tolerated(self):
+        document = parse_xml('<item  id="1"   ></item >')
+        assert document.root.get("id") == "1"
+
+    def test_empty_attribute_value(self):
+        document = parse_xml('<item note=""/>')
+        assert document.root.get("note") == ""
+
+    def test_names_with_punctuation(self):
+        document = parse_xml("<ns:item-one _private.x='1'/>")
+        assert document.root.tag == "ns:item-one"
+        assert document.root.get("_private.x") == "1"
+
+
+class TestEntitiesAndSpecialSections:
+    def test_predefined_entities(self):
+        document = parse_xml("<t>&lt;a&gt; &amp; &quot;b&quot; &apos;c&apos;</t>")
+        assert document.root.text == '<a> & "b" \'c\''
+
+    def test_numeric_character_references(self):
+        document = parse_xml("<t>&#65;&#x42;</t>")
+        assert document.root.text == "AB"
+
+    def test_entities_in_attributes(self):
+        document = parse_xml('<t v="a&amp;b"/>')
+        assert document.root.get("v") == "a&b"
+
+    def test_cdata_passes_raw(self):
+        document = parse_xml("<t><![CDATA[<not> & parsed]]></t>")
+        assert document.root.text == "<not> & parsed"
+
+    def test_comments_ignored(self):
+        document = parse_xml("<t><!-- a comment -->text</t>")
+        assert document.root.text == "text"
+
+    def test_xml_declaration_ignored(self):
+        document = parse_xml('<?xml version="1.0" encoding="UTF-8"?><t/>')
+        assert document.root.tag == "t"
+
+    def test_doctype_ignored(self):
+        document = parse_xml("<!DOCTYPE html><t/>")
+        assert document.root.tag == "t"
+
+    def test_processing_instruction_ignored(self):
+        document = parse_xml('<?pi data?><t/>')
+        assert document.root.tag == "t"
+
+    def test_decode_entities_no_amp_fast_path(self):
+        assert decode_entities("plain text") == "plain text"
+
+
+class TestWellFormednessErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "",                                # no root
+            "<a>",                             # unclosed
+            "<a></b>",                         # mismatched
+            "</a>",                            # close without open
+            "<a/><b/>",                        # two roots
+            "<a>text</a>trailing",             # text after root
+            '<a x="1" x="2"/>',                # duplicate attribute
+            "<a x=1/>",                        # unquoted attribute
+            "<a x/>",                          # attribute missing value
+            "<a><b></a></b>",                  # improper nesting
+            "<a>&unknown;</a>",                # unknown entity
+            "<a>&#xZZ;</a>",                   # bad char reference
+            "<a>&amp</a>",                     # unterminated entity
+            "<!-- -- --><a/>",                 # double hyphen in comment
+            "<a><!-- unterminated",            # unterminated comment
+            '<a x="<b>"/>',                    # raw < in attribute
+            "<1tag/>",                         # bad name start
+            "<!DOCTYPE x [<!ENTITY y 'z'>]><a/>",  # internal subset
+        ],
+    )
+    def test_rejected(self, text):
+        with pytest.raises(XMLError):
+            parse_xml(text)
+
+    def test_error_carries_location(self):
+        with pytest.raises(XMLError) as excinfo:
+            parse_xml("<a>\n  <b></c>\n</a>")
+        assert excinfo.value.line == 2
+
+    def test_whitespace_only_outside_root_is_fine(self):
+        document = parse_xml("  \n <a/> \n ")
+        assert document.root.tag == "a"
+
+
+class TestDocumentModel:
+    def test_preorder_element_ids(self):
+        document = parse_xml("<a><b><c/></b><d/></a>")
+        tags = [document.element(i).tag for i in range(4)]
+        assert tags == ["a", "b", "c", "d"]
+
+    def test_parent_pointers(self):
+        document = parse_xml("<a><b><c/></b></a>")
+        c = document.element(2)
+        assert c.parent.tag == "b"
+        assert c.parent.parent.tag == "a"
+        assert document.root.parent is None
+
+    def test_path_and_depth(self):
+        document = parse_xml("<a><b><c/></b></a>")
+        assert document.element(2).path() == "a/b/c"
+        assert document.element(2).depth() == 2
+        assert document.root.depth() == 0
+
+    def test_by_id_index(self):
+        document = parse_xml('<a><b id="x"/><c id="y"/></a>')
+        assert document.by_id("x").tag == "b"
+        assert document.by_id("missing") is None
+
+    def test_duplicate_id_rejected(self):
+        with pytest.raises(XMLError):
+            parse_xml('<a><b id="x"/><c id="x"/></a>')
+
+    def test_find_and_find_all(self):
+        document = parse_xml("<a><b/><c><b/></c></a>")
+        assert document.root.find("b") is document.element(1)
+        assert len(document.root.find_all("b")) == 2
+        assert document.root.find("zzz") is None
+
+    def test_full_text(self):
+        document = parse_xml("<a>x<b>y</b>z</a>")
+        assert document.root.full_text() == "x z y"
+
+    def test_unknown_element_id_raises(self):
+        document = parse_xml("<a/>")
+        with pytest.raises(XMLError):
+            document.element(99)
+
+    def test_fragmentless_drops_indentation(self):
+        document = parse_xml_fragmentless("<a>\n  <b>text</b>\n</a>")
+        assert document.root.text_fragments == []
+        assert document.root.children[0].text == "text"
+
+
+# -- round-trip property --------------------------------------------------------
+
+_tags = st.sampled_from(["a", "b", "item", "node", "x1"])
+_texts = st.text(
+    alphabet=st.characters(
+        codec="ascii", exclude_characters='<>&"\x00\r'
+    ),
+    max_size=12,
+)
+
+
+@st.composite
+def xml_trees(draw, depth=0):
+    tag = draw(_tags)
+    element = XMLElement(tag)
+    attribute_count = draw(st.integers(0, 2))
+    for i in range(attribute_count):
+        element.attributes[f"k{i}"] = draw(_texts)
+    if depth < 3:
+        for _ in range(draw(st.integers(0, 2 if depth else 3))):
+            element.children.append(draw(xml_trees(depth=depth + 1)))
+    text = draw(_texts)
+    if text.strip():
+        element.text_fragments.append(text)
+    return element
+
+
+def _serialize(element: XMLElement) -> str:
+    attributes = "".join(
+        f' {name}="{_escape_attr(value)}"'
+        for name, value in element.attributes.items()
+    )
+    inner = "".join(_serialize(child) for child in element.children) + "".join(
+        _escape_text(fragment) for fragment in element.text_fragments
+    )
+    if not inner:
+        return f"<{element.tag}{attributes}/>"
+    return f"<{element.tag}{attributes}>{inner}</{element.tag}>"
+
+
+def _escape_text(text: str) -> str:
+    return text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+
+
+def _escape_attr(text: str) -> str:
+    return _escape_text(text).replace('"', "&quot;")
+
+
+def _structure(element: XMLElement):
+    return (
+        element.tag,
+        tuple(sorted(element.attributes.items())),
+        tuple(_structure(child) for child in element.children),
+        element.full_text().split(),
+    )
+
+
+@given(xml_trees())
+def test_property_serialize_parse_round_trip(tree):
+    """Any generated element tree survives serialise -> parse."""
+    parsed = parse_xml(_serialize(tree)).root
+    assert _structure(parsed) == _structure(tree)
