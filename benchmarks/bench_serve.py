@@ -1,0 +1,192 @@
+"""Serving-engine benchmarks (the ISSUE 1 acceptance criteria).
+
+Three claims, each asserted:
+
+1. **Throughput** — at concurrency 8 on ``demo:bibliography`` the
+   engine answers a Zipf-skewed workload >= 2x faster than serialized
+   single-thread dispatch through the plain facade (the seed repo's
+   only mode).  The win is collapse of duplicate work: single-flight
+   shares in-flight computations, the result cache shares finished
+   ones.  Pure-Python search is GIL-bound, so thread parallelism alone
+   could not deliver this — the report prints the dedup/hit numbers
+   that do.
+2. **No drops below the bound** — with in-flight requests below the
+   queue bound, admission control sheds nothing.
+3. **Correctness under mixed load** — concurrent readers racing a
+   writer each see exactly one published snapshot: every answer equals
+   what the (sealed, immutable) facade of that snapshot version
+   returns, and the final version equals a from-scratch rebuild.
+
+Run with::
+
+    pytest benchmarks/bench_serve.py --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+
+from repro.core.incremental import IncrementalBANKS
+from repro.datasets import generate_bibliography
+from repro.serve import EngineConfig, QueryEngine
+from repro.serve.bench import run_serving_benchmark
+
+CONCURRENCY = 8
+QUEUE_BOUND = 64
+REQUESTS = 96
+
+
+def test_engine_throughput_vs_serialized(benchmark):
+    database, _anecdotes = generate_bibliography()  # == demo:bibliography
+
+    report = benchmark.pedantic(
+        lambda: run_serving_benchmark(
+            database,
+            requests=REQUESTS,
+            concurrency=CONCURRENCY,
+            workers=8,
+            queue_bound=QUEUE_BOUND,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + report.render())
+
+    # Acceptance: >= 2x over serialized single-thread dispatch.
+    assert report.speedup >= 2.0
+    # Acceptance: zero dropped requests below the queue bound (8
+    # blocking clients never exceed a bound of 64).
+    assert report.shed == 0
+    # Acceptance: identical-to-facade top-k results.
+    assert report.results_match
+    # The mechanism: duplicate work actually collapsed (shared in-flight
+    # computations and/or cache hits on the skewed workload).
+    assert report.cache_hit_rate > 0.3 or report.deduplicated > 0
+
+
+QUERIES = ("soumen sunita", "transaction", "freshly inserted")
+
+
+def _signature(answers):
+    return tuple(
+        (answer.tree.undirected_key(), round(answer.relevance, 9))
+        for answer in answers
+    )
+
+
+def test_mixed_read_update_load_is_snapshot_consistent(benchmark):
+    """Readers racing a writer observe only published versions, and
+    every observed top-k equals the pinned snapshot facade's top-k."""
+
+    def run():
+        database, _ = generate_bibliography(papers=120, authors=70, seed=3)
+        facade = IncrementalBANKS(database)
+        config = EngineConfig(workers=6, queue_bound=QUEUE_BOUND)
+        reference = {}
+        observations = []
+        observations_lock = threading.Lock()
+        errors = []
+
+        with QueryEngine(facade, config) as engine:
+
+            def record_reference():
+                snapshot = engine.snapshots.current()
+                reference[snapshot.version] = {
+                    query: _signature(snapshot.facade.search(query))
+                    for query in QUERIES
+                }
+
+            record_reference()  # version 0
+
+            def writer():
+                try:
+                    for batch in range(3):
+                        def apply(f, batch=batch):
+                            author_rid = next(
+                                iter(f.database.table("author").rids())
+                            )
+                            author = f.database.table("author").row(author_rid)
+                            pid = f"NEWP{batch}"
+                            f.insert(
+                                "paper",
+                                [pid, f"freshly inserted study {batch}"],
+                            )
+                            f.insert(
+                                "writes", [author["author_id"], pid]
+                            )
+
+                        engine.mutate(apply)
+                        record_reference()
+                except BaseException as error:  # noqa: BLE001 - reported
+                    errors.append(error)
+
+            def reader(seed: int):
+                rng = random.Random(seed)
+                try:
+                    for _ in range(10):
+                        query = rng.choice(QUERIES)
+                        outcome = engine.submit(query).result(timeout=30)
+                        with observations_lock:
+                            observations.append(
+                                (
+                                    outcome.snapshot_version,
+                                    query,
+                                    _signature(outcome.answers),
+                                )
+                            )
+                except BaseException as error:  # noqa: BLE001 - reported
+                    errors.append(error)
+
+            threads = [threading.Thread(target=writer)] + [
+                threading.Thread(target=reader, args=(seed,))
+                for seed in range(CONCURRENCY)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            final_version = engine.snapshots.version
+            final_facade = engine.facade
+            shed = int(engine.metrics.snapshot()["shed_total"])
+
+        assert not errors, errors[0]
+        return (
+            reference,
+            observations,
+            final_version,
+            final_facade,
+            shed,
+        )
+
+    reference, observations, final_version, final_facade, shed = (
+        benchmark.pedantic(run, rounds=1, iterations=1)
+    )
+
+    versions_seen = sorted({version for version, _, _ in observations})
+    print(
+        f"\n{len(observations)} concurrent reads across snapshot "
+        f"versions {versions_seen} while 3 mutation batches published; "
+        f"shed={shed}"
+    )
+
+    # Every read matches the facade of the version it was pinned to.
+    assert final_version == 3
+    assert shed == 0  # 8 blocking clients stay far below the bound
+    for version, query, signature in observations:
+        assert version in reference
+        assert signature == reference[version][query], (
+            f"version {version} query {query!r}: served answers diverge "
+            "from the snapshot facade"
+        )
+
+    # The final snapshot equals a from-scratch rebuild of the same data.
+    from repro.core.banks import BANKS
+
+    rebuilt = BANKS(final_facade.database)
+    for query in QUERIES:
+        assert _signature(final_facade.search(query)) == _signature(
+            rebuilt.search(query)
+        )
+    # The inserted papers actually became searchable.
+    assert reference[3]["freshly inserted"] != reference[0]["freshly inserted"]

@@ -1,7 +1,40 @@
-"""Shim for environments whose pip/setuptools cannot build PEP 660
-editable wheels (no ``wheel`` package available offline).  Configuration
-lives in pyproject.toml; this file only enables ``setup.py develop``."""
+"""Packaging for the BANKS reproduction.
 
-from setuptools import setup
+Metadata is declared here (rather than a ``[project]`` table) because
+some offline environments' pip/setuptools cannot build PEP 660 editable
+wheels (no ``wheel`` package available); this file keeps both
+``setup.py develop`` and ``pip install .`` working there.  Tool
+configuration (pytest paths, package discovery) lives in
+pyproject.toml.
+"""
 
-setup()
+from setuptools import find_packages, setup
+
+setup(
+    name="banks-repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'Keyword Searching and Browsing in Databases "
+        "using BANKS' (Bhalotia et al., ICDE 2002)"
+    ),
+    long_description=(
+        "The BANKS data-graph model, backward expanding search, "
+        "proximity+prestige ranking, browsing front end, concurrent "
+        "query-serving engine, and the paper's evaluation harness, on "
+        "top of a from-scratch relational engine with sqlite/CSV "
+        "adapters.  Pure standard library; no runtime dependencies."
+    ),
+    author="paper-repo-growth",
+    license="MIT",
+    python_requires=">=3.9",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    entry_points={"console_scripts": ["banks = repro.cli:main"]},
+    classifiers=[
+        "Development Status :: 4 - Beta",
+        "Intended Audience :: Science/Research",
+        "Programming Language :: Python :: 3",
+        "Topic :: Database :: Front-Ends",
+        "Topic :: Text Processing :: Indexing",
+    ],
+)

@@ -10,6 +10,11 @@ The app is framework-free: :meth:`BrowseApp.handle` maps
 ``(path, query_string)`` to ``(status, html)`` as a pure function (unit
 tested directly), and ``__call__`` adapts it to WSGI for
 ``wsgiref.simple_server`` (see ``examples/publish_sqlite.py``).
+
+When constructed with a :class:`~repro.serve.engine.QueryEngine`,
+searches route through the engine (worker pool, admission control,
+single-flight dedup) instead of calling the facade inline, and the
+engine's metrics registry is exposed as plaintext at ``/metrics``.
 """
 
 from __future__ import annotations
@@ -27,12 +32,32 @@ from repro.errors import ReproError
 
 
 class BrowseApp:
-    """Search + browse application over one BANKS instance."""
+    """Search + browse application over one BANKS instance.
 
-    def __init__(self, banks: BANKS):
-        self.banks = banks
-        self.database = banks.database
-        self.templates = TemplateRegistry(self.database)
+    Args:
+        banks: the facade (browsing pages read its live database).
+        engine: optional :class:`~repro.serve.engine.QueryEngine`;
+            when given, ``/search`` dispatches through it and
+            ``/metrics`` serves the engine's metrics.
+    """
+
+    def __init__(self, banks: BANKS, engine=None):
+        self._banks = banks
+        self.engine = engine
+        self.templates = TemplateRegistry(banks.database)
+
+    @property
+    def banks(self) -> BANKS:
+        """The facade to read from: under an engine, the *current*
+        snapshot — so browse pages and row links reflect every
+        published mutation, matching what searches see."""
+        if self.engine is not None:
+            return self.engine.facade
+        return self._banks
+
+    @property
+    def database(self):
+        return self.banks.database
 
     # -- pages -------------------------------------------------------------
 
@@ -72,7 +97,10 @@ class BrowseApp:
         if not query.strip():
             return page("Search", el("p", None, "Empty query."))
         try:
-            answers = self.banks.search(query, max_results=max_results)
+            if self.engine is not None:
+                answers = self.engine.search(query, max_results=max_results)
+            else:
+                answers = self.banks.search(query, max_results=max_results)
         except ReproError as error:
             return page("Search", el("p", None, f"Error: {error}"))
         blocks = []
@@ -81,9 +109,14 @@ class BrowseApp:
             matched = {
                 node for node in answer.tree.keyword_nodes if node is not None
             }
+            # Label nodes against the facade that produced the answer
+            # (the pinned snapshot under the engine), so labels stay
+            # consistent with the result even if a newer version has
+            # been published since this search was admitted.
+            labeler = getattr(answer, "_banks", self.banks).node_label
 
             def walk(node, depth: int) -> None:
-                label = self.banks.node_label(node)
+                label = labeler(node)
                 attrs = {"class": "kw"} if node in matched else None
                 lines.append(
                     el(
@@ -115,34 +148,72 @@ class BrowseApp:
 
     # -- routing ------------------------------------------------------------
 
+    #: Content types emitted by the router.
+    _HTML = "text/html; charset=utf-8"
+    _PLAINTEXT = "text/plain; version=0.0.4; charset=utf-8"
+
     def handle(self, path: str, query_string: str = "") -> Tuple[str, str]:
-        """Route one request; returns ``(status, html)``."""
+        """Route one request; returns ``(status, body)``."""
+        status, body, _content_type = self.handle_full(path, query_string)
+        return status, body
+
+    def handle_full(
+        self, path: str, query_string: str = ""
+    ) -> Tuple[str, str, str]:
+        """Route one request; returns ``(status, body, content_type)``.
+
+        The single place routing is decided — ``handle`` and the WSGI
+        adapter both delegate here, so the body and its content type
+        cannot desync.
+        """
         try:
             parts = [unquote(p) for p in path.strip("/").split("/") if p]
             if not parts:
-                return "200 OK", self.home_page()
+                return "200 OK", self.home_page(), self._HTML
             if parts[0] == "schema":
-                return "200 OK", render_schema(self.database)
+                return "200 OK", render_schema(self.database), self._HTML
             if parts[0] == "search":
                 params = parse_qs(query_string)
                 query = params.get("q", [""])[0]
-                return "200 OK", self.search_page(query)
+                return "200 OK", self.search_page(query), self._HTML
+            if parts == ["metrics"] and self.engine is not None:
+                return (
+                    "200 OK",
+                    self.engine.metrics.render_text(),
+                    self._PLAINTEXT,
+                )
             if parts[0] == "table" and len(parts) == 2:
                 state = BrowseState.from_query(parts[1], query_string)
-                return "200 OK", render_table_page(self.database, state)
+                return (
+                    "200 OK",
+                    render_table_page(self.database, state),
+                    self._HTML,
+                )
             if parts[0] == "row" and len(parts) == 3:
                 node = (parts[1], int(parts[2]))
-                return "200 OK", render_row_page(self.database, node)
+                return (
+                    "200 OK",
+                    render_row_page(self.database, node),
+                    self._HTML,
+                )
             if parts[0] == "template" and len(parts) == 2:
                 params = parse_qs(query_string)
                 drill_path = params.get("path", [])
-                return "200 OK", self.templates.render(parts[1], drill_path)
+                return (
+                    "200 OK",
+                    self.templates.render(parts[1], drill_path),
+                    self._HTML,
+                )
         except (ReproError, ValueError) as error:
-            return "404 Not Found", page(
-                "Not found", el("p", None, f"{error}")
+            return (
+                "404 Not Found",
+                page("Not found", el("p", None, f"{error}")),
+                self._HTML,
             )
-        return "404 Not Found", page(
-            "Not found", el("p", None, f"No route for {path!r}")
+        return (
+            "404 Not Found",
+            page("Not found", el("p", None, f"No route for {path!r}")),
+            self._HTML,
         )
 
     # -- WSGI adapter ----------------------------------------------------------
@@ -150,14 +221,14 @@ class BrowseApp:
     def __call__(
         self, environ: dict, start_response: Callable
     ) -> Iterable[bytes]:
-        status, html = self.handle(
+        status, body, content_type = self.handle_full(
             environ.get("PATH_INFO", "/"), environ.get("QUERY_STRING", "")
         )
-        payload = html.encode("utf-8")
+        payload = body.encode("utf-8")
         start_response(
             status,
             [
-                ("Content-Type", "text/html; charset=utf-8"),
+                ("Content-Type", content_type),
                 ("Content-Length", str(len(payload))),
             ],
         )

@@ -19,6 +19,23 @@ Commands::
     banks search DB QUERY... [-k N]    ranked connection trees
     banks sweep DB                     the Figure 5 lambda x EdgeLog grid
     banks serve DB [--port P]          the browsing/search Web app
+    banks bench-serve DB               serving-engine throughput benchmark
+
+``banks serve`` dispatches searches through the concurrent serving
+engine (:mod:`repro.serve`): a worker pool with admission control,
+single-flight deduplication and a result cache, with metrics exposed
+at ``/metrics``.  Tuning knobs:
+
+    --workers N        worker threads executing searches (default 4)
+    --queue-bound N    admitted-but-not-running requests before load
+                       shedding kicks in (default 64; 0 = unbounded)
+    --deadline SECS    fail requests that wait longer than this in the
+                       queue (default: no deadline)
+    --no-engine        call the facade inline (the pre-engine behaviour)
+
+``banks bench-serve`` measures the engine against serialized
+single-thread dispatch on a Zipf-skewed workload; ``--concurrency``,
+``--requests``, ``--workers`` and ``--queue-bound`` shape the load.
 
 Exit status: 0 on success, 1 on a usage or data error (message on
 stderr).
@@ -135,20 +152,84 @@ def _command_serve(args: argparse.Namespace, out) -> int:
     from repro.browse.app import BrowseApp
 
     database = load_database(args.db)
-    app = BrowseApp(BANKS(database))
-    if args.check:
-        status, _html = app.handle("/", "")
-        print(f"self-check: GET / -> {status}", file=out)
-        return 0 if status.startswith("200") else 1
-    from wsgiref.simple_server import make_server
+    engine = None
+    if args.no_engine:
+        banks = BANKS(database)
+    else:
+        from repro.core.cache import CachedBanks
+        from repro.serve import EngineConfig, QueryEngine
 
-    with make_server(args.host, args.port, app) as server:
-        print(
-            f"serving {database.name} on http://{args.host}:{args.port}/",
-            file=out,
+        # One facade serves both roles (CachedBanks is-a BANKS):
+        # building a second one would duplicate graph + index work.
+        banks = CachedBanks(database)
+        engine = QueryEngine(
+            banks,
+            EngineConfig(
+                workers=args.workers,
+                queue_bound=args.queue_bound,
+                default_deadline=args.deadline,
+            ),
         )
-        server.serve_forever()
-    return 0  # pragma: no cover - serve_forever does not return
+    app = BrowseApp(banks, engine=engine)
+    try:
+        if args.check:
+            status, _html = app.handle("/", "")
+            print(f"self-check: GET / -> {status}", file=out)
+            if engine is not None:
+                status_metrics, _text = app.handle("/metrics", "")
+                print(
+                    f"self-check: GET /metrics -> {status_metrics}", file=out
+                )
+                if not status_metrics.startswith("200"):
+                    return 1
+            return 0 if status.startswith("200") else 1
+        from socketserver import ThreadingMixIn
+        from wsgiref.simple_server import WSGIServer, make_server
+
+        class ThreadingWSGIServer(ThreadingMixIn, WSGIServer):
+            """One thread per HTTP request, so concurrent clients
+            actually reach the engine's admission queue concurrently
+            (the stock WSGIServer serialises at the socket)."""
+
+            daemon_threads = True
+
+        with make_server(
+            args.host, args.port, app, server_class=ThreadingWSGIServer
+        ) as server:
+            mode = (
+                "inline facade"
+                if engine is None
+                else f"{args.workers} workers, queue bound {args.queue_bound}"
+            )
+            print(
+                f"serving {database.name} on http://{args.host}:{args.port}/ "
+                f"({mode})",
+                file=out,
+            )
+            try:
+                server.serve_forever()
+            except KeyboardInterrupt:  # pragma: no cover - interactive
+                print("shutting down", file=out)
+        return 0
+    finally:
+        if engine is not None:
+            engine.stop()
+
+
+def _command_bench_serve(args: argparse.Namespace, out) -> int:
+    from repro.serve.bench import run_serving_benchmark
+
+    database = load_database(args.db)
+    report = run_serving_benchmark(
+        database,
+        requests=args.requests,
+        concurrency=args.concurrency,
+        workers=args.workers,
+        queue_bound=args.queue_bound,
+        max_results=args.max_results,
+    )
+    print(report.render(), file=out)
+    return 0 if report.results_match else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -183,7 +264,44 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="render the home page and exit (no server)",
     )
+    serve.add_argument(
+        "--workers", type=int, default=4, help="engine worker threads"
+    )
+    serve.add_argument(
+        "--queue-bound",
+        type=int,
+        default=64,
+        dest="queue_bound",
+        help="request queue bound before shedding (0 = unbounded)",
+    )
+    serve.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        help="per-request queueing deadline in seconds",
+    )
+    serve.add_argument(
+        "--no-engine",
+        action="store_true",
+        dest="no_engine",
+        help="dispatch searches inline instead of through the engine",
+    )
     serve.set_defaults(run=_command_serve)
+
+    bench_serve = commands.add_parser(
+        "bench-serve", help="serving-engine throughput benchmark"
+    )
+    bench_serve.add_argument("db")
+    bench_serve.add_argument("--requests", type=int, default=200)
+    bench_serve.add_argument("--concurrency", type=int, default=8)
+    bench_serve.add_argument("--workers", type=int, default=8)
+    bench_serve.add_argument(
+        "--queue-bound", type=int, default=64, dest="queue_bound"
+    )
+    bench_serve.add_argument(
+        "-k", "--max-results", type=int, default=10, dest="max_results"
+    )
+    bench_serve.set_defaults(run=_command_bench_serve)
     return parser
 
 

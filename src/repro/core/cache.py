@@ -10,10 +10,17 @@ The cache is deliberately conservative: any knob it does not recognise
 bypasses caching rather than risking a stale or mismatched entry, and
 a single :meth:`ResultCache.clear` drops everything after data changes
 (the incremental layer calls it on every mutation when composed).
+
+The cache is thread-safe: the serving engine
+(:mod:`repro.serve.engine`) hits one :class:`CachedBanks` from a whole
+worker pool, so every read/write of the LRU order and the hit/miss
+counters happens under one lock.  ``clear()`` during an in-flight
+computation is safe — the late ``put`` simply re-populates the entry.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Hashable, List, Optional, Tuple, Union
@@ -44,36 +51,55 @@ class CacheStats:
 
 
 class ResultCache:
-    """A bounded LRU mapping hashable keys to answer lists."""
+    """A bounded LRU mapping hashable keys to answer lists.
+
+    Safe for concurrent use from multiple threads: lookups, inserts,
+    eviction and the stats counters are serialised by an internal lock.
+    """
 
     def __init__(self, capacity: int = 128):
         if capacity < 1:
             raise QueryError("cache capacity must be >= 1")
         self.capacity = capacity
         self._entries: "OrderedDict[Hashable, object]" = OrderedDict()
+        self._lock = threading.Lock()
         self.stats = CacheStats()
 
     def get(self, key: Hashable) -> Optional[object]:
-        if key in self._entries:
-            self._entries.move_to_end(key)
-            self.stats.hits += 1
-            return self._entries[key]
-        self.stats.misses += 1
-        return None
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self.stats.hits += 1
+                return self._entries[key]
+            self.stats.misses += 1
+            return None
 
     def put(self, key: Hashable, value: object) -> None:
-        if key in self._entries:
-            self._entries.move_to_end(key)
-        self._entries[key] = value
-        if len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
-            self.stats.evictions += 1
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = value
+            if len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
 
     def clear(self) -> None:
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
+
+    def __deepcopy__(self, memo) -> "ResultCache":
+        """Deep copies start empty.
+
+        The snapshot store (:mod:`repro.serve.snapshot`) deep-copies a
+        facade precisely because the data is about to change, so every
+        cached answer list would be stale — and locks cannot be copied
+        anyway.
+        """
+        return ResultCache(self.capacity)
 
 
 def _query_key(query: Union[str, ParsedQuery]) -> Tuple:

@@ -99,3 +99,23 @@ class AuthorizationError(ReproError):
 class FederationError(ReproError):
     """A multi-database federation is misconfigured (unknown member
     database, dangling external link, duplicate member name, ...)."""
+
+
+class ServeError(ReproError):
+    """The query-serving engine could not process a request."""
+
+
+class PoolSaturatedError(ServeError):
+    """The worker pool's bounded task queue is full."""
+
+
+class EngineOverloadedError(ServeError):
+    """Admission control shed the request (queue at its bound)."""
+
+
+class DeadlineExceededError(ServeError):
+    """The request's deadline expired before a worker could finish it."""
+
+
+class EngineStoppedError(ServeError):
+    """The engine (or pool) has been stopped and accepts no new work."""

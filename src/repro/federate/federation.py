@@ -262,6 +262,12 @@ class FederatedBanks:
         search_config: search knobs; link-table root exclusion is
             derived per member automatically, as in :class:`repro.BANKS`.
         include_metadata: let keywords match table/column names.
+        pool: optional worker pool (e.g. a serving engine's
+            ``engine.pool`` or a :class:`repro.serve.pool.WorkerPool`);
+            when given, per-member sub-queries of term resolution fan
+            out across it instead of running serially — with many
+            member databases the resolution phase becomes bounded by
+            the slowest member rather than the sum of all members.
     """
 
     def __init__(
@@ -270,10 +276,12 @@ class FederatedBanks:
         scoring: Optional[ScoringConfig] = None,
         search_config: Optional[SearchConfig] = None,
         include_metadata: bool = True,
+        pool=None,
     ):
         self.federation = federation
         self.scoring = scoring or ScoringConfig()
         self.include_metadata = include_metadata
+        self.pool = pool
         self.graph, self.stats = federation.build_graph()
         self.scorer = Scorer(self.stats, self.scoring)
         self._indexes: Dict[str, InvertedIndex] = {
@@ -302,21 +310,45 @@ class FederatedBanks:
     def resolve(
         self, query: Union[str, ParsedQuery]
     ) -> List[Set[FederatedNode]]:
-        """Node sets per term, unioned across every member database."""
+        """Node sets per term, unioned across every member database.
+
+        With a :attr:`pool`, each ``(term, member)`` sub-query runs as
+        its own pool task (the serving engine's workers when the pool is
+        ``engine.pool``); without one, sub-queries run serially.
+        """
         parsed = parse_query(query) if isinstance(query, str) else query
+        subqueries = [
+            (term, member_name)
+            for term in parsed.terms
+            for member_name in self._indexes
+        ]
+
+        def resolve_one(subquery) -> Set[FederatedNode]:
+            term, member_name = subquery
+            member_nodes = resolve_term(
+                term,
+                self._indexes[member_name],
+                self.federation.member(member_name),
+                include_metadata=self.include_metadata,
+            )
+            return {
+                (member_name, table, rid) for table, rid in member_nodes
+            }
+
+        if self.pool is not None:
+            resolved = self.pool.map(resolve_one, subqueries)
+        else:
+            resolved = [resolve_one(subquery) for subquery in subqueries]
+
         node_sets: List[Set[FederatedNode]] = []
-        for term in parsed.terms:
+        members_per_term = len(self._indexes)
+        for term_index in range(len(parsed.terms)):
             nodes: Set[FederatedNode] = set()
-            for member_name, index in self._indexes.items():
-                member_nodes = resolve_term(
-                    term,
-                    index,
-                    self.federation.member(member_name),
-                    include_metadata=self.include_metadata,
-                )
-                nodes.update(
-                    (member_name, table, rid) for table, rid in member_nodes
-                )
+            for member_sets in resolved[
+                term_index * members_per_term:
+                (term_index + 1) * members_per_term
+            ]:
+                nodes.update(member_sets)
             node_sets.append(nodes)
         return node_sets
 

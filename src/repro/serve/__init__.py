@@ -1,0 +1,25 @@
+"""``repro.serve`` — concurrent query serving over a BANKS facade.
+
+The layer between front ends (web app, CLI, federation) and the
+in-memory engine: a worker pool with admission control, single-flight
+deduplication of identical in-flight queries, snapshot isolation
+against incremental mutations, and an engine-level metrics registry.
+See :mod:`repro.serve.engine` for the architecture overview.
+"""
+
+from repro.serve.engine import EngineConfig, QueryEngine, QueryOutcome
+from repro.serve.metrics import MetricsRegistry
+from repro.serve.pool import WorkerPool
+from repro.serve.singleflight import SingleFlight
+from repro.serve.snapshot import Snapshot, SnapshotStore
+
+__all__ = [
+    "EngineConfig",
+    "MetricsRegistry",
+    "QueryEngine",
+    "QueryOutcome",
+    "SingleFlight",
+    "Snapshot",
+    "SnapshotStore",
+    "WorkerPool",
+]

@@ -1,0 +1,380 @@
+"""The :class:`QueryEngine`: concurrent query serving over one facade.
+
+The paper deploys BANKS as a web front end; a front end means many
+simultaneous clients hitting one in-memory graph.  The engine is the
+missing layer between HTTP handlers and the
+:class:`~repro.core.banks.BANKS` facade, composing four mechanisms:
+
+1. **worker pool** — searches run on a fixed set of threads
+   (:mod:`repro.serve.pool`), so one slow query cannot monopolise the
+   process and callers get futures with timeouts;
+2. **admission control** — the pool's task queue is bounded; when it is
+   full the engine either sheds (``shed_policy="reject"``, default —
+   fail fast so the client can retry elsewhere) or applies
+   back-pressure (``"block"``).  Each request may carry a deadline;
+   a request whose deadline lapses while queued is failed without
+   wasting a worker on it;
+3. **single-flight deduplication** — identical queries already in
+   flight share one computation (:mod:`repro.serve.singleflight`);
+   the key includes the snapshot version, so deduplicated requests are
+   exactly as consistent as independent ones;
+4. **snapshot isolation** — searches pin an immutable snapshot while
+   :meth:`QueryEngine.mutate` applies
+   :class:`~repro.core.incremental.IncrementalBANKS` deltas to a
+   private copy and publishes atomically (:mod:`repro.serve.snapshot`).
+
+Every request updates the engine's :class:`~repro.serve.metrics.MetricsRegistry`
+(QPS, p50/p95 latency, queue depth, shed count, cache hit rate), which
+the browse app exposes at ``/metrics``.
+
+Typical use::
+
+    from repro.core.cache import CachedBanks
+    from repro.serve import EngineConfig, QueryEngine
+
+    with QueryEngine(CachedBanks(database), EngineConfig(workers=8)) as engine:
+        answers = engine.search("soumen sunita", timeout=2.0)
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import CancelledError, Future
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Union
+
+from repro.core.cache import _query_key, _scoring_key
+from repro.errors import (
+    DeadlineExceededError,
+    EngineOverloadedError,
+    EngineStoppedError,
+    PoolSaturatedError,
+    ServeError,
+)
+from repro.serve.metrics import MetricsRegistry
+from repro.serve.pool import WorkerPool
+from repro.serve.singleflight import SingleFlight
+from repro.serve.snapshot import Snapshot, SnapshotStore
+
+#: Admission policies when the queue is at its bound.
+_SHED_POLICIES = ("reject", "block")
+
+
+def _mirror(source: "Future") -> "Future":
+    """A caller-private view of a shared flight future.
+
+    Resolves exactly as ``source`` does, but ``cancel()`` on the mirror
+    abandons only this caller — the shared computation (and every other
+    caller's mirror) is unaffected.
+    """
+    mirror: Future = Future()
+
+    def propagate(completed: Future) -> None:
+        if not mirror.set_running_or_notify_cancel():
+            return  # this caller cancelled its mirror; nobody else cares
+        if completed.cancelled():
+            mirror.set_exception(CancelledError())
+            return
+        error = completed.exception()
+        if error is not None:
+            mirror.set_exception(error)
+        else:
+            mirror.set_result(completed.result())
+
+    source.add_done_callback(propagate)
+    return mirror
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Tuning knobs for one :class:`QueryEngine`.
+
+    Attributes:
+        workers: worker threads executing searches.
+        queue_bound: max queued (admitted, not yet running) requests;
+            0 disables admission control (unbounded queue).
+        default_deadline: seconds a request may spend queued before it
+            is failed with :class:`~repro.errors.DeadlineExceededError`
+            (``None`` = no deadline unless the request sets one).
+        shed_policy: ``"reject"`` fails over-bound submissions with
+            :class:`~repro.errors.EngineOverloadedError`; ``"block"``
+            makes ``submit`` wait for a queue slot (back-pressure).
+        dedup: share one computation among identical in-flight queries.
+        metrics_window: sliding window (seconds) for QPS / quantiles.
+    """
+
+    workers: int = 4
+    queue_bound: int = 64
+    default_deadline: Optional[float] = None
+    shed_policy: str = "reject"
+    dedup: bool = True
+    metrics_window: float = 60.0
+
+    def __post_init__(self):
+        if self.shed_policy not in _SHED_POLICIES:
+            raise ServeError(
+                f"unknown shed policy {self.shed_policy!r} "
+                f"(choose from {', '.join(_SHED_POLICIES)})"
+            )
+        if self.default_deadline is not None and self.default_deadline <= 0:
+            raise ServeError("default_deadline must be positive")
+
+
+@dataclass
+class QueryOutcome:
+    """What a completed request resolves to.
+
+    Attributes:
+        answers: the ranked answer list, exactly as the facade returns.
+        snapshot_version: the data version the search ran against.
+        latency: admission-to-completion seconds (queue wait included).
+    """
+
+    answers: List[Any]
+    snapshot_version: int
+    latency: float
+
+
+class QueryEngine:
+    """Concurrent serving wrapper around a BANKS-style facade.
+
+    Args:
+        facade: anything with a ``search(query, **kwargs)`` method —
+            :class:`~repro.core.banks.BANKS`,
+            :class:`~repro.core.cache.CachedBanks` (recommended: its
+            result cache composes with single-flight), or
+            :class:`~repro.core.incremental.IncrementalBANKS` when
+            :meth:`mutate` will be used.
+        config: tuning knobs (see :class:`EngineConfig`).
+        metrics: an external registry to record into (a fresh one is
+            created otherwise; read it via :attr:`metrics`).  One
+            registry per engine — sharing one across engines raises,
+            since the computed gauges (queue depth, version) can only
+            report a single source.
+    """
+
+    def __init__(
+        self,
+        facade: Any,
+        config: Optional[EngineConfig] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ):
+        self.config = config or EngineConfig()
+        self.snapshots = SnapshotStore(facade)
+        self.pool = WorkerPool(
+            workers=self.config.workers,
+            queue_bound=self.config.queue_bound,
+        )
+        self.metrics = metrics or MetricsRegistry()
+        self._flights = SingleFlight()
+
+        window = self.config.metrics_window
+        m = self.metrics
+        self._requests = m.counter("requests_total", "requests admitted or shed")
+        self._completed = m.counter("completed_total", "searches finished")
+        self._shed = m.counter("shed_total", "requests shed by admission control")
+        self._deduped = m.counter(
+            "dedup_shared_total", "requests served by an in-flight duplicate"
+        )
+        self._expired = m.counter(
+            "deadline_expired_total", "requests whose deadline lapsed queued"
+        )
+        self._errors = m.counter("errors_total", "searches raising an error")
+        self._mutations = m.counter("mutations_total", "published snapshots")
+        m.gauge("queue_depth", "requests admitted, not yet running",
+                fn=lambda: self.pool.depth)
+        m.gauge("snapshot_version", "current data version",
+                fn=lambda: self.snapshots.version)
+        m.gauge("cache_hit_rate", "facade result-cache hit rate",
+                fn=self._cache_hit_rate)
+        self._latency = m.latency(
+            "latency_seconds", "admission-to-completion latency",
+            window_seconds=window,
+        )
+
+    # -- read path ------------------------------------------------------------
+
+    def submit(
+        self,
+        query: Any,
+        *,
+        deadline: Optional[float] = None,
+        **search_kwargs,
+    ) -> "Future[QueryOutcome]":
+        """Admit one search; resolve to a :class:`QueryOutcome`.
+
+        Raises:
+            EngineOverloadedError: queue at its bound (policy "reject").
+            EngineStoppedError: after :meth:`stop`.
+        """
+        if self.pool.stopped:
+            raise EngineStoppedError("engine is stopped")
+        self._requests.inc()
+        snapshot = self.snapshots.current()
+        admitted = time.monotonic()
+        if deadline is None:
+            deadline = self.config.default_deadline
+
+        key = self._flight_key(snapshot, query, deadline, search_kwargs)
+        future, leader = self._flights.join(key)
+        if not leader:
+            self._deduped.inc()
+            return _mirror(future)
+
+        task = self._make_task(snapshot, admitted, deadline, key, query,
+                               search_kwargs)
+        try:
+            if self.config.shed_policy == "block":
+                self.pool.submit(task, future=future)
+            else:
+                self.pool.try_submit(task, future=future)
+        except PoolSaturatedError:
+            self._flights.forget(key)
+            self._shed.inc()
+            error = EngineOverloadedError(
+                f"request queue full ({self.config.queue_bound} pending); "
+                "request shed"
+            )
+            # Followers of this flight hold the same future: fail it, or
+            # they would wait forever on a request that was never queued.
+            future.set_exception(error)
+            raise error from None
+        except EngineStoppedError as stopped:
+            self._flights.forget(key)
+            future.set_exception(stopped)
+            raise
+        # Deduplicatable flights hand every caller (leader included) a
+        # mirror: cancelling one caller's handle must abandon only that
+        # caller, not the computation other callers share.  Non-dedup
+        # requests keep the raw future — nobody shares it, so genuine
+        # cancellation of queued work stays possible.
+        return _mirror(future) if key is not None else future
+
+    def search(
+        self,
+        query: Any,
+        *,
+        timeout: Optional[float] = None,
+        deadline: Optional[float] = None,
+        **search_kwargs,
+    ) -> List[Any]:
+        """Blocking search through the engine; returns the answer list.
+
+        ``timeout`` bounds the caller's wait; ``deadline`` bounds how
+        long the request may sit in the queue before a worker starts it.
+        """
+        future = self.submit(query, deadline=deadline, **search_kwargs)
+        return future.result(timeout=timeout).answers
+
+    # -- write path -----------------------------------------------------------
+
+    def mutate(self, fn: Callable[[Any], Any]) -> Any:
+        """Apply a mutation batch and publish a new snapshot.
+
+        ``fn`` receives a private copy of the current facade (use
+        :class:`~repro.core.incremental.IncrementalBANKS` methods on
+        it); in-flight and later searches each see exactly one
+        consistent version.  Returns ``fn``'s result.
+        """
+        result = self.snapshots.mutate(fn)
+        self._mutations.inc()
+        return result
+
+    # -- introspection --------------------------------------------------------
+
+    @property
+    def facade(self) -> Any:
+        """The facade of the *current* snapshot (read-only by contract)."""
+        return self.snapshots.current().facade
+
+    def _cache_hit_rate(self) -> float:
+        cache = getattr(self.facade, "cache", None)
+        stats = getattr(cache, "stats", None)
+        return getattr(stats, "hit_rate", 0.0)
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def stop(self, wait: bool = True) -> None:
+        """Drain queued work and stop the workers; further submissions
+        raise :class:`~repro.errors.EngineStoppedError`."""
+        self.pool.stop(wait=wait)
+
+    def __enter__(self) -> "QueryEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- internals ------------------------------------------------------------
+
+    def _flight_key(self, snapshot: Snapshot, query, deadline, search_kwargs):
+        """The single-flight identity of a request, or ``None`` when the
+        request must not be deduplicated.
+
+        Mirrors :class:`~repro.core.cache.CachedBanks` conservatism:
+        only the knobs whose ranking effect we can key on participate;
+        anything else opts out.  The snapshot version is part of the
+        key, so requests spanning a mutation never share results; the
+        deadline is part of the key, so a lenient request never
+        inherits a strict leader's expiry (and vice versa) — in
+        practice requests share the config default, so dedup still
+        collapses them.  Followers do share the *leader's admission
+        clock*: a follower that joins late may see the flight expire
+        before its own wait reached the deadline.  That is deliberate —
+        expiry only fires when queue wait exceeds the deadline, i.e.
+        under overload, where failing the whole flight early is
+        conservative shedding, not lost work.
+        """
+        if not self.config.dedup:
+            return None
+        recognised = {"max_results", "scoring", "bidirectional"}
+        if set(search_kwargs) - recognised:
+            return None
+        try:
+            query_key = _query_key(query)
+        except Exception:
+            return None  # unparseable here; let the search path report it
+        return (
+            snapshot.version,
+            query_key,
+            deadline,
+            search_kwargs.get("max_results"),
+            _scoring_key(search_kwargs.get("scoring")),
+            search_kwargs.get("bidirectional", False),
+        )
+
+    def _make_task(self, snapshot, admitted, deadline, key, query,
+                   search_kwargs):
+        def task():
+            try:
+                if (
+                    deadline is not None
+                    and time.monotonic() - admitted > deadline
+                ):
+                    self._expired.inc()
+                    raise DeadlineExceededError(
+                        f"deadline of {deadline:.3f}s lapsed before a "
+                        "worker picked the request up"
+                    )
+                try:
+                    answers = snapshot.facade.search(query, **search_kwargs)
+                except Exception:
+                    self._errors.inc()
+                    raise
+                latency = time.monotonic() - admitted
+                self._latency.observe(latency)
+                self._completed.inc()
+                return QueryOutcome(answers, snapshot.version, latency)
+            finally:
+                # Before the future resolves: a duplicate arriving after
+                # this point must start a fresh flight, not latch onto a
+                # finished one.
+                self._flights.forget(key)
+
+        return task
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"QueryEngine(v{self.snapshots.version}, {self.pool!r}, "
+            f"{self._completed.value} completed)"
+        )

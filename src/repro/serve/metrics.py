@@ -1,0 +1,264 @@
+"""Engine-level metrics: counters, gauges and latency quantiles.
+
+A serving layer is only tunable if it is observable — pool size, queue
+bound and deadlines are chosen by looking at QPS, queue depth, shed
+rate and tail latency.  This module is a dependency-free miniature of
+the Prometheus client model:
+
+* :class:`Counter` — monotone event counts (requests, sheds, errors);
+* :class:`Gauge` — instantaneous values, optionally computed on read
+  (queue depth straight from the pool's queue);
+* :class:`LatencyWindow` — a sliding time window of request latencies
+  giving p50/p95 and a windowed QPS;
+* :class:`MetricsRegistry` — the named collection, exposed both as a
+  Python API (:meth:`MetricsRegistry.snapshot`) and as the plaintext
+  exposition format (:meth:`MetricsRegistry.render_text`) the browse
+  app serves at ``/metrics``.
+
+Everything is thread-safe; hot-path cost is one lock acquisition and an
+append.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+from repro.errors import ServeError
+
+
+class Counter:
+    """A monotonically increasing event count."""
+
+    def __init__(self, name: str, help_text: str = ""):
+        self.name = name
+        self.help_text = help_text
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: int = 1) -> None:
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        with self._lock:
+            return self._value
+
+
+class Gauge:
+    """An instantaneous value; ``fn`` makes it computed-on-read."""
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str = "",
+        fn: Optional[Callable[[], float]] = None,
+    ):
+        self.name = name
+        self.help_text = help_text
+        self._fn = fn
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    @property
+    def value(self) -> float:
+        if self._fn is not None:
+            return float(self._fn())
+        with self._lock:
+            return self._value
+
+
+class LatencyWindow:
+    """Request latencies over a sliding wall-clock window.
+
+    Quantiles computed over the window by sorting on read — the window
+    is bounded (``max_samples``), so reads stay cheap and the hot path
+    (one append) never sorts.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str = "",
+        window_seconds: float = 60.0,
+        max_samples: int = 4096,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.name = name
+        self.help_text = help_text
+        self.window_seconds = window_seconds
+        self._clock = clock
+        self._created = clock()
+        self._samples: Deque[Tuple[float, float]] = deque(maxlen=max_samples)
+        self._lock = threading.Lock()
+
+    def observe(self, seconds: float) -> None:
+        with self._lock:
+            self._samples.append((self._clock(), float(seconds)))
+
+    def _window(self) -> List[float]:
+        horizon = self._clock() - self.window_seconds
+        with self._lock:
+            while self._samples and self._samples[0][0] < horizon:
+                self._samples.popleft()
+            return [latency for _stamp, latency in self._samples]
+
+    def summary(self) -> Tuple[float, float, float, int]:
+        """``(p50, p95, qps, count)`` from one pruned, sorted pass —
+        the read path for exposition, so a scrape pays one copy+sort
+        per window instead of one per statistic."""
+        window = sorted(self._window())
+        if not window:
+            return (0.0, 0.0, 0.0, 0)
+        # Warm-up: divide by elapsed, not the full window, or QPS is
+        # underreported by up to the window/elapsed ratio.
+        elapsed = min(self.window_seconds, self._clock() - self._created)
+        qps = len(window) / max(elapsed, 1e-9)
+        return (
+            self._pick(window, 0.50),
+            self._pick(window, 0.95),
+            qps,
+            len(window),
+        )
+
+    @staticmethod
+    def _pick(sorted_window: List[float], q: float) -> float:
+        index = min(len(sorted_window) - 1, int(q * len(sorted_window)))
+        return sorted_window[index]
+
+    def quantile(self, q: float) -> float:
+        """The ``q``-quantile latency in seconds (0.0 when empty)."""
+        window = sorted(self._window())
+        if not window:
+            return 0.0
+        return self._pick(window, q)
+
+    def qps(self) -> float:
+        """Completions per second over the elapsed part of the window."""
+        return self.summary()[2]
+
+    @property
+    def count(self) -> int:
+        return len(self._window())
+
+
+class MetricsRegistry:
+    """Named metrics with a plaintext exposition endpoint.
+
+    Names follow Prometheus conventions (``snake_case``, ``_total``
+    suffix on counters, base-unit ``_seconds``); quantiles render with
+    a ``{quantile="..."}`` label so standard scrapers parse the output.
+    """
+
+    def __init__(self, prefix: str = "banks_engine"):
+        self.prefix = prefix
+        self._lock = threading.Lock()
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._latencies: Dict[str, LatencyWindow] = {}
+
+    # -- registration (idempotent by name) ------------------------------------
+
+    def counter(self, name: str, help_text: str = "") -> Counter:
+        with self._lock:
+            if name not in self._counters:
+                self._counters[name] = Counter(name, help_text)
+            return self._counters[name]
+
+    def gauge(
+        self,
+        name: str,
+        help_text: str = "",
+        fn: Optional[Callable[[], float]] = None,
+    ) -> Gauge:
+        with self._lock:
+            existing = self._gauges.get(name)
+            if existing is None:
+                self._gauges[name] = Gauge(name, help_text, fn)
+                return self._gauges[name]
+            if fn is not None and existing._fn is not fn:
+                # Silently keeping the first callback would report the
+                # wrong source (e.g. a second engine sharing a registry
+                # would read the first engine's queue depth forever).
+                raise ServeError(
+                    f"gauge {name!r} already registered with a different "
+                    "callback; give each engine its own MetricsRegistry"
+                )
+            return existing
+
+    def latency(
+        self, name: str, help_text: str = "", window_seconds: float = 60.0
+    ) -> LatencyWindow:
+        with self._lock:
+            if name not in self._latencies:
+                self._latencies[name] = LatencyWindow(
+                    name, help_text, window_seconds
+                )
+            return self._latencies[name]
+
+    # -- reading --------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, float]:
+        """Every metric flattened to ``name -> value`` (quantiles as
+        ``name_p50`` / ``name_p95``, throughput as ``name_qps``)."""
+        with self._lock:
+            counters = list(self._counters.values())
+            gauges = list(self._gauges.values())
+            latencies = list(self._latencies.values())
+        out: Dict[str, float] = {}
+        for counter in counters:
+            out[counter.name] = counter.value
+        for gauge in gauges:
+            out[gauge.name] = gauge.value
+        for latency in latencies:
+            p50, p95, qps, _count = latency.summary()
+            out[f"{latency.name}_p50"] = p50
+            out[f"{latency.name}_p95"] = p95
+            out[f"{latency.name}_qps"] = qps
+        return out
+
+    def render_text(self) -> str:
+        """The plaintext exposition format (one metric per line)."""
+        with self._lock:
+            counters = list(self._counters.values())
+            gauges = list(self._gauges.values())
+            latencies = list(self._latencies.values())
+        lines: List[str] = []
+
+        def full(name: str) -> str:
+            return f"{self.prefix}_{name}" if self.prefix else name
+
+        for counter in counters:
+            if counter.help_text:
+                lines.append(f"# HELP {full(counter.name)} {counter.help_text}")
+            lines.append(f"# TYPE {full(counter.name)} counter")
+            lines.append(f"{full(counter.name)} {counter.value}")
+        for gauge in gauges:
+            if gauge.help_text:
+                lines.append(f"# HELP {full(gauge.name)} {gauge.help_text}")
+            lines.append(f"# TYPE {full(gauge.name)} gauge")
+            lines.append(f"{full(gauge.name)} {gauge.value:g}")
+        for latency in latencies:
+            name = full(latency.name)
+            if latency.help_text:
+                lines.append(f"# HELP {name} {latency.help_text}")
+            lines.append(f"# TYPE {name} summary")
+            p50, p95, qps, count = latency.summary()
+            lines.append(f'{name}{{quantile="0.5"}} {p50:.6f}')
+            lines.append(f'{name}{{quantile="0.95"}} {p95:.6f}')
+            lines.append(f"{name}_count {count}")
+            lines.append(f"{full(latency.name + '_qps')} {qps:.3f}")
+        return "\n".join(lines) + "\n"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"MetricsRegistry({len(self._counters)} counters, "
+            f"{len(self._gauges)} gauges, {len(self._latencies)} windows)"
+        )

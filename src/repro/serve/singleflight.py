@@ -1,0 +1,72 @@
+"""Single-flight deduplication of identical in-flight computations.
+
+Interactive search traffic is heavily skewed: the same few queries
+arrive again and again, often *simultaneously* (a result page shared in
+a chat, a browser retry storm).  A result cache only helps after the
+first computation finishes; while it is still running, naive dispatch
+computes the same answer N times on N workers.  Single-flight closes
+that window: the first request for a key becomes the *leader* and
+computes; every concurrent duplicate becomes a *follower* and simply
+waits on the leader's future.
+
+The registry only tracks work *in flight* — once a key's future is
+resolved the entry is discarded (a completed computation is the result
+cache's job, not ours).
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future
+from typing import Dict, Hashable, Optional, Tuple
+
+
+class SingleFlight:
+    """Registry mapping keys to in-flight futures.
+
+    Usage (the engine's admission path)::
+
+        future, leader = flights.join(key)
+        if leader:
+            enqueue_computation(..., future=future)
+            # on completion (any outcome) the worker calls:
+            flights.forget(key)
+        return future  # follower or leader, same object
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._flights: Dict[Hashable, Future] = {}
+
+    def join(self, key: Optional[Hashable]) -> Tuple[Future, bool]:
+        """Return ``(future, is_leader)`` for ``key``.
+
+        ``key=None`` means "not deduplicatable" (unhashable or opted
+        out): always a fresh future and leadership.
+        """
+        if key is None:
+            return Future(), True
+        with self._lock:
+            existing = self._flights.get(key)
+            if existing is not None and not existing.done():
+                return existing, False
+            # No flight — or, defensively, a stale resolved one (the
+            # leader forgets before resolving, so a done future here
+            # means a cleanup path was missed): start fresh rather than
+            # latch onto a dead future.
+            future: Future = Future()
+            self._flights[key] = future
+            return future, True
+
+    def forget(self, key: Optional[Hashable]) -> None:
+        """Drop ``key`` from the registry (leader calls this *before*
+        resolving the future, so a request admitted afterwards starts a
+        new flight rather than latching onto a finished one)."""
+        if key is None:
+            return
+        with self._lock:
+            self._flights.pop(key, None)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._flights)

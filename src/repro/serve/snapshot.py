@@ -1,0 +1,93 @@
+"""Snapshot isolation between searches and graph mutations.
+
+:mod:`repro.core.incremental` mutates the data graph *in place* — safe
+for one thread, catastrophic for a worker pool: Dijkstra iterators
+observe half-applied deltas, scoring normalisers change mid-ranking.
+The serving layer therefore never lets readers and the writer share a
+facade.  :class:`SnapshotStore` implements multi-version concurrency
+control with a single writer:
+
+* readers call :meth:`current` and pin an immutable-by-contract
+  snapshot for the whole search — publication is one reference
+  assignment, so pinning is wait-free and never blocks the writer;
+* the writer calls :meth:`mutate` with a function receiving a private
+  deep copy of the newest facade; when the function returns, the copy
+  is published as the next version.
+
+A reader admitted before a publish keeps its old version until it
+finishes (that version stays alive exactly as long as someone
+references it — plain refcounting, no epoch bookkeeping).  Writers are
+serialised by a lock, so versions advance linearly.
+
+The copy makes writes O(data) — deliberately so: BANKS graphs are
+"modest amounts of memory" (Sec. 5.2) and reads outnumber writes by
+orders of magnitude in the paper's web-publishing workload.  Batch
+mutations through one :meth:`mutate` call to amortise the copy.
+"""
+
+from __future__ import annotations
+
+import copy
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+
+@dataclass(frozen=True)
+class Snapshot:
+    """One published version: never mutated after publication."""
+
+    version: int
+    facade: Any
+
+
+class SnapshotStore:
+    """Single-writer / many-reader versioned store of BANKS facades."""
+
+    def __init__(self, facade: Any):
+        self._current = Snapshot(0, facade)
+        self._write_lock = threading.Lock()
+
+    def current(self) -> Snapshot:
+        """Pin the newest snapshot (wait-free)."""
+        return self._current
+
+    @property
+    def version(self) -> int:
+        return self._current.version
+
+    def mutate(self, fn: Callable[[Any], Any]) -> Any:
+        """Apply ``fn`` to a private copy of the newest facade, then
+        publish the copy as the next version.  Returns ``fn``'s result.
+
+        ``fn`` typically calls :class:`IncrementalBANKS` mutation
+        methods (``insert`` / ``delete`` / ``update``); it may apply any
+        number of them — the whole batch becomes visible atomically.
+        If ``fn`` raises, nothing is published (the failed copy is
+        discarded) and the exception propagates.
+        """
+        with self._write_lock:
+            clone = copy.deepcopy(self._current.facade)
+            result = fn(clone)
+            self._seal(clone)
+            self._current = Snapshot(self._current.version + 1, clone)
+            return result
+
+    @staticmethod
+    def _seal(facade: Any) -> None:
+        """Make the clone read-only in practice before publication.
+
+        ``IncrementalBANKS`` recomputes scoring normalisers lazily on
+        the first search after a mutation — a hidden write that would
+        race between concurrent readers.  Forcing the refresh here means
+        a published snapshot's searches touch no shared mutable state.
+        Result caches deep-copy as empty (see
+        :meth:`repro.core.cache.ResultCache.__deepcopy__`), so no stale
+        answers survive the copy either.
+        """
+        refresh = getattr(facade, "_refresh_stats", None)
+        if callable(refresh):
+            refresh()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SnapshotStore(version={self.version})"

@@ -1,0 +1,156 @@
+"""Tests for the metrics registry and its plaintext exposition."""
+
+from __future__ import annotations
+
+import threading
+
+from repro.serve.metrics import (
+    Counter,
+    Gauge,
+    LatencyWindow,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_monotone(self):
+        counter = Counter("events_total")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_thread_safe(self):
+        counter = Counter("events_total")
+
+        def hammer():
+            for _ in range(1000):
+                counter.inc()
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value == 8000
+
+
+class TestGauge:
+    def test_set_and_read(self):
+        gauge = Gauge("depth")
+        gauge.set(7)
+        assert gauge.value == 7.0
+
+    def test_computed_on_read(self):
+        state = {"depth": 3}
+        gauge = Gauge("depth", fn=lambda: state["depth"])
+        assert gauge.value == 3.0
+        state["depth"] = 9
+        assert gauge.value == 9.0
+
+
+class TestLatencyWindow:
+    def test_quantiles(self):
+        clock = lambda: 100.0  # frozen: everything inside the window
+        window = LatencyWindow("latency_seconds", clock=clock)
+        for ms in range(1, 101):  # 1ms..100ms
+            window.observe(ms / 1000)
+        assert abs(window.quantile(0.5) - 0.051) < 0.005
+        assert abs(window.quantile(0.95) - 0.096) < 0.005
+
+    def test_empty_window(self):
+        window = LatencyWindow("latency_seconds")
+        assert window.quantile(0.5) == 0.0
+        assert window.qps() == 0.0
+
+    def test_old_samples_age_out(self):
+        now = {"t": 0.0}
+        window = LatencyWindow(
+            "latency_seconds", window_seconds=10.0, clock=lambda: now["t"]
+        )
+        window.observe(0.5)
+        now["t"] = 5.0
+        window.observe(0.7)
+        assert window.count == 2
+        now["t"] = 12.0  # first sample (t=0) now outside the window
+        assert window.count == 1
+        assert window.quantile(0.5) == 0.7
+
+    def test_qps_is_count_over_elapsed(self):
+        now = {"t": 0.0}
+        window = LatencyWindow(
+            "latency_seconds", window_seconds=10.0, clock=lambda: now["t"]
+        )
+        for _ in range(20):
+            window.observe(0.001)
+        now["t"] = 5.0  # warm-up: only half the window has elapsed
+        assert window.qps() == 4.0
+        now["t"] = 10.0  # full window elapsed, samples still inside it
+        assert window.qps() == 2.0
+
+
+class TestRegistry:
+    def test_idempotent_registration(self):
+        registry = MetricsRegistry()
+        first = registry.counter("requests_total")
+        second = registry.counter("requests_total")
+        assert first is second
+
+    def test_snapshot_flattens_everything(self):
+        registry = MetricsRegistry()
+        registry.counter("requests_total").inc(3)
+        registry.gauge("queue_depth").set(2)
+        registry.latency("latency_seconds").observe(0.01)
+        snapshot = registry.snapshot()
+        assert snapshot["requests_total"] == 3
+        assert snapshot["queue_depth"] == 2.0
+        assert snapshot["latency_seconds_p50"] > 0
+        assert snapshot["latency_seconds_qps"] > 0
+
+    def test_render_text_format(self):
+        registry = MetricsRegistry(prefix="banks_engine")
+        registry.counter("requests_total", "requests seen").inc(2)
+        registry.gauge("queue_depth", "queued requests").set(1)
+        registry.latency("latency_seconds").observe(0.25)
+        text = registry.render_text()
+        assert "# TYPE banks_engine_requests_total counter" in text
+        assert "banks_engine_requests_total 2" in text
+        assert "# HELP banks_engine_requests_total requests seen" in text
+        assert "banks_engine_queue_depth 1" in text
+        assert 'banks_engine_latency_seconds{quantile="0.5"} 0.25' in text
+        assert text.endswith("\n")
+
+    def test_conflicting_computed_gauge_rejected(self):
+        import pytest
+
+        from repro.errors import ServeError
+
+        registry = MetricsRegistry()
+        registry.gauge("queue_depth", fn=lambda: 1)
+        with pytest.raises(ServeError):
+            registry.gauge("queue_depth", fn=lambda: 2)
+
+    def test_sharing_registry_across_engines_fails_loudly(self):
+        import pytest
+
+        from repro.errors import ServeError
+        from repro.relational import Database, execute_script
+        from repro.serve import QueryEngine
+
+        database = Database("m")
+        execute_script(
+            database,
+            """
+            CREATE TABLE t (id INTEGER PRIMARY KEY, name TEXT);
+            INSERT INTO t VALUES (1, 'x');
+            """,
+        )
+        from repro.core.banks import BANKS
+
+        with QueryEngine(BANKS(database)) as first:
+            with pytest.raises(ServeError):
+                QueryEngine(BANKS(database), metrics=first.metrics)
+
+    def test_render_without_prefix(self):
+        registry = MetricsRegistry(prefix="")
+        registry.counter("hits_total").inc()
+        assert "\nhits_total 1" in "\n" + registry.render_text()

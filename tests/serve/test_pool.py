@@ -1,0 +1,128 @@
+"""Tests for the bounded worker pool."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import EngineStoppedError, PoolSaturatedError, ServeError
+from repro.serve.pool import WorkerPool
+
+
+class TestSubmission:
+    def test_submit_runs_and_returns(self):
+        with WorkerPool(workers=2) as pool:
+            future = pool.submit(lambda x: x * 2, 21)
+            assert future.result(timeout=5) == 42
+
+    def test_map_preserves_order(self):
+        with WorkerPool(workers=4) as pool:
+            assert pool.map(lambda x: x * x, range(20)) == [
+                x * x for x in range(20)
+            ]
+
+    def test_exceptions_travel_through_future(self):
+        with WorkerPool(workers=1) as pool:
+            future = pool.submit(lambda: 1 / 0)
+            with pytest.raises(ZeroDivisionError):
+                future.result(timeout=5)
+
+    def test_kwargs_forwarded(self):
+        with WorkerPool(workers=1) as pool:
+            future = pool.submit(lambda a, b=0: a + b, 1, b=2)
+            assert future.result(timeout=5) == 3
+
+    def test_concurrent_execution(self):
+        """Two workers make two blocking tasks overlap."""
+        barrier = threading.Barrier(2, timeout=5)
+        with WorkerPool(workers=2) as pool:
+            futures = [pool.submit(barrier.wait) for _ in range(2)]
+            for future in futures:
+                future.result(timeout=5)  # deadlocks if serialized
+
+
+class TestBoundedQueue:
+    def test_try_submit_sheds_at_bound(self):
+        release = threading.Event()
+        with WorkerPool(workers=1, queue_bound=1) as pool:
+            blocker = pool.submit(release.wait)
+            # Wait until the worker holds the blocker, then fill the queue.
+            while pool.depth:
+                time.sleep(0.001)
+            queued = pool.try_submit(lambda: "queued")
+            with pytest.raises(PoolSaturatedError):
+                pool.try_submit(lambda: "shed")
+            release.set()
+            assert queued.result(timeout=5) == "queued"
+            assert blocker.result(timeout=5) is True
+
+    def test_zero_bound_means_unbounded(self):
+        with WorkerPool(workers=1, queue_bound=0) as pool:
+            futures = [pool.try_submit(lambda i=i: i) for i in range(100)]
+            assert [f.result(timeout=5) for f in futures] == list(range(100))
+
+    def test_depth_reports_queued_tasks(self):
+        release = threading.Event()
+        with WorkerPool(workers=1, queue_bound=8) as pool:
+            pool.submit(release.wait)
+            while pool.depth:
+                time.sleep(0.001)
+            pool.submit(lambda: None)
+            pool.submit(lambda: None)
+            assert pool.depth == 2
+            release.set()
+
+
+class TestLifecycle:
+    def test_stop_rejects_new_work(self):
+        pool = WorkerPool(workers=1)
+        pool.stop()
+        with pytest.raises(EngineStoppedError):
+            pool.submit(lambda: None)
+        with pytest.raises(EngineStoppedError):
+            pool.try_submit(lambda: None)
+
+    def test_stop_drains_queued_work(self):
+        pool = WorkerPool(workers=2)
+        futures = [pool.submit(lambda i=i: i) for i in range(50)]
+        pool.stop(wait=True)
+        assert [f.result(timeout=0) for f in futures] == list(range(50))
+
+    def test_stop_idempotent(self):
+        pool = WorkerPool(workers=1)
+        pool.stop()
+        pool.stop()
+        assert pool.stopped
+
+    def test_stranded_task_behind_poison_is_failed_not_hung(self):
+        """A task that races past the stopped check and lands behind the
+        poison pills must have its future failed at drain time."""
+        from concurrent.futures import Future
+
+        pool = WorkerPool(workers=1)
+        pool.stop(wait=True)
+        stranded = Future()
+        pool._queue.put((stranded, lambda: "never runs", (), {}))
+        pool._drain_stranded()
+        with pytest.raises(EngineStoppedError):
+            stranded.result(timeout=1)
+
+    def test_stop_twice_with_wait_still_drains(self):
+        pool = WorkerPool(workers=1)
+        pool.stop(wait=False)
+        pool.stop(wait=True)  # second call joins and drains
+        assert pool.stopped
+
+    def test_map_from_worker_thread_runs_inline(self):
+        """pool.map on the pool's own worker must not deadlock."""
+        with WorkerPool(workers=1) as pool:
+            future = pool.submit(lambda: pool.map(lambda x: x + 1, [1, 2, 3]))
+            assert future.result(timeout=5) == [2, 3, 4]
+
+    def test_validation(self):
+        with pytest.raises(ServeError):
+            WorkerPool(workers=0)
+        with pytest.raises(ServeError):
+            WorkerPool(queue_bound=-1)

@@ -1,0 +1,84 @@
+"""Tests for single-flight deduplication."""
+
+from __future__ import annotations
+
+import threading
+
+from repro.serve.singleflight import SingleFlight
+
+
+class TestJoin:
+    def test_first_joiner_leads(self):
+        flights = SingleFlight()
+        future, leader = flights.join("k")
+        assert leader
+        assert len(flights) == 1
+
+    def test_second_joiner_follows_same_future(self):
+        flights = SingleFlight()
+        first, _ = flights.join("k")
+        second, leader = flights.join("k")
+        assert not leader
+        assert second is first
+
+    def test_distinct_keys_distinct_flights(self):
+        flights = SingleFlight()
+        first, _ = flights.join("a")
+        second, leader = flights.join("b")
+        assert leader
+        assert second is not first
+
+    def test_none_key_never_dedups(self):
+        flights = SingleFlight()
+        first, leader_a = flights.join(None)
+        second, leader_b = flights.join(None)
+        assert leader_a and leader_b
+        assert second is not first
+        assert len(flights) == 0
+
+    def test_forget_starts_fresh_flight(self):
+        flights = SingleFlight()
+        first, _ = flights.join("k")
+        flights.forget("k")
+        second, leader = flights.join("k")
+        assert leader
+        assert second is not first
+
+    def test_forget_unknown_key_is_noop(self):
+        flights = SingleFlight()
+        flights.forget("ghost")
+        flights.forget(None)
+
+
+class TestConcurrency:
+    def test_exactly_one_leader_under_contention(self):
+        flights = SingleFlight()
+        leaders = []
+        futures = []
+        barrier = threading.Barrier(16, timeout=5)
+        lock = threading.Lock()
+
+        def join():
+            barrier.wait()
+            future, leader = flights.join("hot")
+            with lock:
+                futures.append(future)
+                if leader:
+                    leaders.append(future)
+
+        threads = [threading.Thread(target=join) for _ in range(16)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(leaders) == 1
+        assert all(future is futures[0] for future in futures)
+
+    def test_followers_receive_leader_result(self):
+        flights = SingleFlight()
+        future, _ = flights.join("k")
+        follower, leader = flights.join("k")
+        assert not leader
+        flights.forget("k")
+        future.set_result("answer")
+        assert follower.result(timeout=1) == "answer"

@@ -1,0 +1,120 @@
+"""Tests for snapshot isolation (the MVCC store)."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.core.incremental import IncrementalBANKS
+from repro.relational import Database, execute_script
+from repro.serve.snapshot import SnapshotStore
+
+SCHEMA = """
+CREATE TABLE author (aid TEXT PRIMARY KEY, name TEXT NOT NULL);
+CREATE TABLE paper (pid TEXT PRIMARY KEY, title TEXT NOT NULL);
+CREATE TABLE writes (
+    aid TEXT NOT NULL REFERENCES author(aid),
+    pid TEXT NOT NULL REFERENCES paper(pid)
+);
+INSERT INTO author VALUES ('a1', 'grace hopper');
+INSERT INTO paper VALUES ('p1', 'compiling arithmetic expressions');
+INSERT INTO writes VALUES ('a1', 'p1');
+"""
+
+
+def incremental_banks() -> IncrementalBANKS:
+    database = Database("snap")
+    execute_script(database, SCHEMA)
+    return IncrementalBANKS(database)
+
+
+class TestVersioning:
+    def test_initial_version_zero(self):
+        store = SnapshotStore(incremental_banks())
+        assert store.version == 0
+        assert store.current().version == 0
+
+    def test_mutate_publishes_next_version(self):
+        store = SnapshotStore(incremental_banks())
+        store.mutate(lambda f: f.insert("paper", ["p2", "flow charts"]))
+        assert store.version == 1
+        store.mutate(lambda f: f.insert("paper", ["p3", "subroutines"]))
+        assert store.version == 2
+
+    def test_mutate_returns_fn_result(self):
+        store = SnapshotStore(incremental_banks())
+        rid = store.mutate(lambda f: f.insert("paper", ["p2", "flow charts"]))
+        assert rid == ("paper", rid[1])
+
+    def test_failed_mutation_publishes_nothing(self):
+        store = SnapshotStore(incremental_banks())
+        before = store.current()
+        with pytest.raises(RuntimeError):
+            store.mutate(self._boom)
+        assert store.current() is before
+        assert store.version == 0
+
+    @staticmethod
+    def _boom(facade):
+        facade.insert("paper", ["px", "doomed"])
+        raise RuntimeError("abort the batch")
+
+
+class TestIsolation:
+    def test_pinned_snapshot_unaffected_by_mutation(self):
+        store = SnapshotStore(incremental_banks())
+        pinned = store.current()
+        store.mutate(
+            lambda f: f.insert("paper", ["p2", "fresh snapshot paper"])
+        )
+        assert pinned.facade.search("fresh snapshot") == []
+        assert len(store.current().facade.search("fresh snapshot")) == 1
+
+    def test_mutation_batch_is_atomic(self):
+        store = SnapshotStore(incremental_banks())
+
+        def batch(facade):
+            facade.insert("author", ["a2", "ada lovelace"])
+            facade.insert("paper", ["p2", "notes on the analytical engine"])
+            facade.insert("writes", ["a2", "p2"])
+
+        store.mutate(batch)
+        assert store.version == 1  # one publish for three mutations
+        answers = store.current().facade.search("ada analytical")
+        assert answers
+        # The connection through `writes` exists: multi-node answer tree.
+        assert len(answers[0].tree.nodes) >= 3
+
+    def test_published_facade_needs_no_lazy_refresh(self):
+        """_refresh_stats is forced at publish, so readers never write."""
+        store = SnapshotStore(incremental_banks())
+        store.mutate(lambda f: f.insert("paper", ["p2", "flow charts"]))
+        assert store.current().facade._stats_dirty is False
+
+    def test_original_facade_untouched(self):
+        facade = incremental_banks()
+        store = SnapshotStore(facade)
+        store.mutate(lambda f: f.insert("paper", ["p2", "flow charts"]))
+        assert len(facade.database.table("paper")) == 1
+        assert len(store.current().facade.database.table("paper")) == 2
+
+    def test_writers_serialised(self):
+        store = SnapshotStore(incremental_banks())
+        started = threading.Barrier(4, timeout=5)
+
+        def writer(index: int):
+            started.wait()
+            store.mutate(
+                lambda f: f.insert("paper", [f"pw{index}", f"study {index}"])
+            )
+
+        threads = [
+            threading.Thread(target=writer, args=(i,)) for i in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert store.version == 4
+        assert len(store.current().facade.database.table("paper")) == 5

@@ -205,7 +205,15 @@ class TestGenerators:
 )
 def test_property_generated_corpus_always_searchable(papers, authors, seed):
     """Any generated corpus builds a valid graph and answers the planted
-    query with the planted paper among the answers."""
+    query with the planted paper among the answers.
+
+    The paper may appear as an *interior* node rather than the root:
+    the search deduplicates answers by undirected tree, so on tiny
+    corpora the surviving rooting of the connection tree can be an
+    author element (falsifying example: papers=5, authors=4, seed=1).
+    The property is that the planted paper is part of some answer, not
+    that it roots one.
+    """
     document = generate_bibliography_xml(papers=papers, authors=authors, seed=seed)
     banks = XMLBanks(
         document, excluded_root_tags=("bibliography", "authorref", "cite")
@@ -214,9 +222,10 @@ def test_property_generated_corpus_always_searchable(papers, authors, seed):
     assert answers
     titles = []
     for answer in answers:
-        title = answer.root_element().find("title")
-        if title is not None:
-            titles.append(title.text)
+        for node in answer.tree.nodes:
+            title = banks.element(node).find("title")
+            if title is not None:
+                titles.append(title.text)
     assert ANECDOTE_TITLE in titles
     for answer in answers:
         answer.tree.validate()
