@@ -16,7 +16,6 @@ both policies.  The measured effect is stark:
 
 from __future__ import annotations
 
-import pytest
 
 from repro import BANKS
 from repro.eval.baselines import uniform_backedge_policy

@@ -23,10 +23,8 @@ Paper statements covered:
 
 from __future__ import annotations
 
-import pytest
 
 from repro import BANKS, ScoringConfig
-from repro.core.search import SearchConfig
 
 
 def test_mohan_prestige(benchmark, biblio_banks, bibliography):

@@ -16,7 +16,6 @@ backward iterators.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.core.bidirectional import bidirectional_search
 from repro.core.search import SearchConfig, backward_expanding_search

@@ -19,7 +19,6 @@ from __future__ import annotations
 import pytest
 
 from repro.core.scoring import ScoringConfig
-from repro.eval.error_score import scale_errors
 from repro.eval.sweep import figure5_sweep, format_figure5, run_workload
 
 

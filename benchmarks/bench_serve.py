@@ -27,6 +27,7 @@ from __future__ import annotations
 import random
 import threading
 
+from benchjson import record_bench_result
 from repro.core.incremental import IncrementalBANKS
 from repro.datasets import generate_bibliography
 from repro.serve import EngineConfig, QueryEngine
@@ -52,6 +53,22 @@ def test_engine_throughput_vs_serialized(benchmark):
         iterations=1,
     )
     print("\n" + report.render())
+    record_bench_result(
+        "serve",
+        "bibliography",
+        {
+            "requests": report.requests,
+            "concurrency": report.concurrency,
+            "workers": report.workers,
+            "qps_serial": round(report.serial_qps, 3),
+            "qps_engine": round(report.engine_qps, 3),
+            "median_ms_engine": round(report.engine_p50_ms, 1),
+            "speedup": round(report.speedup, 3),
+            "cache_hit_rate": round(report.cache_hit_rate, 4),
+            "deduplicated": report.deduplicated,
+            "results_match": report.results_match,
+        },
+    )
 
     # Acceptance: >= 2x over serialized single-thread dispatch.
     assert report.speedup >= 2.0

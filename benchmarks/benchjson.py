@@ -1,0 +1,37 @@
+"""Benchmark result files for the CI regression gate.
+
+Each benchmark module writes a ``BENCH_<name>.json`` next to the
+working directory (override with ``BENCH_OUTPUT_DIR``); the CI
+``bench-regression`` job uploads them as artifacts and compares them
+against the committed baselines in ``benchmarks/baselines/`` with
+``benchmarks/check_regression.py``.
+
+Files merge across tests: a module's tests each contribute one dataset
+entry, so partial runs still produce a valid (smaller) file.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict
+
+
+def bench_json_path(name: str) -> str:
+    out_dir = os.environ.get("BENCH_OUTPUT_DIR", ".")
+    return os.path.join(out_dir, f"BENCH_{name}.json")
+
+
+def record_bench_result(name: str, key: str, payload: Dict[str, Any]) -> str:
+    """Merge ``payload`` under ``key`` into ``BENCH_<name>.json``."""
+    path = bench_json_path(name)
+    document: Dict[str, Any] = {"benchmark": name}
+    if os.path.exists(path):
+        with open(path, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+    document.setdefault("cpu_count", os.cpu_count() or 1)
+    document.setdefault("results", {})[key] = payload
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path

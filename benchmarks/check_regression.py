@@ -1,0 +1,117 @@
+"""CI benchmark-regression gate.
+
+Compares a freshly produced ``BENCH_*.json`` against the committed
+baseline and fails (exit 1) when throughput regresses by more than the
+threshold (default 20%).
+
+What is gated, and why:
+
+* ``speedup`` — the dimensionless throughput ratio each benchmark
+  reports (engine vs serialized dispatch; N shards vs 1 shard).  It is
+  measured entirely on the running machine, so it transfers between a
+  laptop and a CI runner far better than absolute QPS does.  A
+  regression here means the mechanism itself (dedup, caching, shard
+  parallelism) got slower relative to its own baseline dispatch.
+* ``parity_strict`` / ``parity_scores`` / ``results_match`` — required
+  to be at least the baseline value: correctness never regresses.
+
+Absolute QPS and latency figures ride along in the JSON as artifacts
+for humans and dashboards, but are not gated — comparing wall-clock
+numbers across different hardware would make the gate pure noise.
+
+Usage::
+
+    python benchmarks/check_regression.py \
+        --current BENCH_shard.json \
+        --baseline benchmarks/baselines/BENCH_shard.json \
+        [--threshold 0.2]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Dict, List
+
+#: Throughput metrics gated with the relative threshold.
+RATIO_METRICS = ("speedup", "speedup_gather", "speedup_route")
+
+#: Correctness metrics gated as "must not drop below baseline".
+FLOOR_METRICS = (
+    "parity_strict",
+    "parity_scores",
+    "parity_never_worse",
+    "parity_route",
+    "results_match",
+)
+
+
+def _load(path: str) -> Dict[str, Any]:
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def check(
+    current: Dict[str, Any],
+    baseline: Dict[str, Any],
+    threshold: float,
+) -> List[str]:
+    """Every gate violation, as human-readable messages."""
+    failures: List[str] = []
+    baseline_results = baseline.get("results", {})
+    current_results = current.get("results", {})
+    for key, base_entry in baseline_results.items():
+        entry = current_results.get(key)
+        if entry is None:
+            failures.append(f"{key}: missing from current results")
+            continue
+        for metric in RATIO_METRICS:
+            if metric not in base_entry:
+                continue
+            base_value = float(base_entry[metric])
+            value = float(entry.get(metric, 0.0))
+            floor = base_value * (1.0 - threshold)
+            if value < floor:
+                failures.append(
+                    f"{key}.{metric}: {value:.3f} < {floor:.3f} "
+                    f"(baseline {base_value:.3f} - {threshold:.0%})"
+                )
+        for metric in FLOOR_METRICS:
+            if metric not in base_entry:
+                continue
+            base_value = float(base_entry[metric])
+            value = float(entry.get(metric, 0.0))
+            if value < base_value:
+                failures.append(
+                    f"{key}.{metric}: {value:.3f} < baseline "
+                    f"{base_value:.3f} (correctness must not regress)"
+                )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--current", required=True)
+    parser.add_argument("--baseline", required=True)
+    parser.add_argument("--threshold", type=float, default=0.2)
+    args = parser.parse_args(argv)
+
+    current = _load(args.current)
+    baseline = _load(args.baseline)
+    failures = check(current, baseline, args.threshold)
+    name = current.get("benchmark", args.current)
+    if failures:
+        print(f"benchmark regression in {name!r}:")
+        for failure in failures:
+            print(f"  {failure}")
+        return 1
+    print(
+        f"{name!r}: no regression beyond {args.threshold:.0%} "
+        f"({len(baseline.get('results', {}))} result set(s) checked)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -19,8 +19,8 @@ the paper's metadata keyword matching) stay stable across principals.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.authz.policy import PolicySet, Principal
 from repro.core.banks import BANKS, Answer

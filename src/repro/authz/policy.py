@@ -19,8 +19,8 @@ This is the standard "union of grants" semantics of SQL role systems.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, FrozenSet, List, Set
 
 from repro.errors import AuthorizationError
 from repro.relational.table import Row

@@ -20,11 +20,10 @@ distances beyond ``radius`` contribute nothing.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set, Union
+from typing import Dict, List, Set, Union
 
 from repro.baselines.dataspot import build_hyperbase
 from repro.core.query import ParsedQuery, parse_query, resolve_query
-from repro.errors import QueryError
 from repro.graph.dijkstra import DijkstraIterator
 from repro.relational.database import Database, RID
 from repro.text.inverted_index import InvertedIndex

@@ -24,14 +24,13 @@ tree keys as every other system.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+from typing import List, Optional, Sequence, Set, Tuple, Union
 
 from repro.core.answer import AnswerTree
 from repro.core.model import build_data_graph
 from repro.core.query import ParsedQuery, parse_query, resolve_query
 from repro.core.search import ScoredAnswer
 from repro.core.weights import WeightPolicy
-from repro.graph.digraph import DiGraph
 from repro.relational.database import Database, RID
 from repro.text.inverted_index import InvertedIndex
 

@@ -19,11 +19,11 @@ engine's metrics registry is exposed as plaintext at ``/metrics``.
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, List, Optional, Tuple
+from typing import Callable, Iterable, Tuple
 from urllib.parse import parse_qs, unquote
 
 from repro.browse.html import el, link, page
-from repro.browse.hyperlink import BrowseState, row_url, search_url, table_url
+from repro.browse.hyperlink import BrowseState, row_url, table_url
 from repro.browse.schema_browser import render_schema
 from repro.browse.tableview import render_row_page, render_table_page
 from repro.browse.templates import TEMPLATE_TABLE, TemplateRegistry
@@ -52,7 +52,9 @@ class BrowseApp:
         snapshot — so browse pages and row links reflect every
         published mutation, matching what searches see."""
         if self.engine is not None:
-            return self.engine.facade
+            facade = getattr(self.engine, "facade", None)
+            if facade is not None:
+                return facade
         return self._banks
 
     @property
@@ -146,6 +148,50 @@ class BrowseApp:
             blocks.append(el("p", None, "No answers."))
         return page(f"Results for {query!r}", *blocks)
 
+    def shards_page(self) -> str:
+        """Partition layout and per-shard counters of a shard router."""
+        info = self.engine.describe()
+        snapshot = self.engine.metrics.snapshot()
+        facts = el(
+            "ul",
+            None,
+            el("li", None, f"shards: {info['shards']}"),
+            el("li", None, f"strategy: {info['strategy']}"),
+            el("li", None, f"backend: {info['backend']}"),
+            el(
+                "li",
+                None,
+                f"cut edges: {info['cut_edges']} "
+                f"({info['cut_fraction']:.1%} of directed edges)",
+            ),
+            el("li", None, f"balance: {info['balance']:.3f}"),
+        )
+        rows = [
+            el(
+                "tr",
+                None,
+                el("th", None, "shard"),
+                el("th", None, "nodes"),
+                el("th", None, "sub-searches"),
+            )
+        ]
+        for shard_id, nodes in enumerate(info["shard_nodes"]):
+            searches = snapshot.get(f"shard{shard_id}_searches_total", 0)
+            rows.append(
+                el(
+                    "tr",
+                    None,
+                    el("td", None, str(shard_id)),
+                    el("td", None, str(nodes)),
+                    el("td", None, str(int(searches))),
+                )
+            )
+        return page(
+            f"Shards: {self.database.name}",
+            facts,
+            el("table", {"border": "1"}, *rows),
+        )
+
     # -- routing ------------------------------------------------------------
 
     #: Content types emitted by the router.
@@ -182,6 +228,12 @@ class BrowseApp:
                     self.engine.metrics.render_text(),
                     self._PLAINTEXT,
                 )
+            if (
+                parts == ["shards"]
+                and self.engine is not None
+                and hasattr(self.engine, "describe")
+            ):
+                return "200 OK", self.shards_page(), self._HTML
             if parts[0] == "table" and len(parts) == 2:
                 state = BrowseState.from_query(parts[1], query_string)
                 return (

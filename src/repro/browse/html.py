@@ -8,7 +8,7 @@ construction (tests feed hostile strings through the table renderer).
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional, Sequence, Union
+from typing import Dict, Optional, Sequence, Union
 
 _ESCAPES = {
     "&": "&amp;",

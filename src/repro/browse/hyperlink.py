@@ -27,8 +27,8 @@ Table-view state parameters (all optional, all repeatable where noted):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, replace
+from typing import List, Optional, Sequence, Tuple
 from urllib.parse import parse_qs, quote, urlencode
 
 from repro.errors import BrowseError

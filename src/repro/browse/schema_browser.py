@@ -9,7 +9,7 @@ from __future__ import annotations
 from typing import List
 
 from repro.browse.html import Element, el, link, page
-from repro.browse.hyperlink import BrowseState, table_url
+from repro.browse.hyperlink import table_url
 from repro.relational.database import Database
 
 

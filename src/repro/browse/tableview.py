@@ -17,7 +17,7 @@ renderer itself stays a pure function.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional
 
 from repro.browse.html import Element, el, link, page
 from repro.browse.hyperlink import BrowseState, row_url

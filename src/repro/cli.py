@@ -20,6 +20,7 @@ Commands::
     banks sweep DB                     the Figure 5 lambda x EdgeLog grid
     banks serve DB [--port P]          the browsing/search Web app
     banks bench-serve DB               serving-engine throughput benchmark
+    banks bench-shard DB               sharded scatter-gather benchmark
 
 ``banks serve`` dispatches searches through the concurrent serving
 engine (:mod:`repro.serve`): a worker pool with admission control,
@@ -32,10 +33,24 @@ at ``/metrics``.  Tuning knobs:
     --deadline SECS    fail requests that wait longer than this in the
                        queue (default: no deadline)
     --no-engine        call the facade inline (the pre-engine behaviour)
+    --shards N         partition the data graph into N shards and serve
+                       searches through the scatter-gather ShardRouter
+                       (:mod:`repro.shard`); shard stats at ``/shards``
+    --shard-backend B  thread (default) or process (forked workers, one
+                       per shard — CPU scaling) or auto
+    --dispatch P       gather (exact scatter-gather, default) or route
+                       (whole queries to one worker each — the
+                       throughput policy; see repro.shard.router)
 
 ``banks bench-serve`` measures the engine against serialized
 single-thread dispatch on a Zipf-skewed workload; ``--concurrency``,
 ``--requests``, ``--workers`` and ``--queue-bound`` shape the load.
+
+``banks bench-shard`` measures ``--shards N`` scatter-gather against
+``--shards 1`` dispatch at a given client concurrency and verifies the
+gathered global top-k matches single-engine search; it needs a demo
+dataset with a benchmark query set (bibliography, tpcd) or explicit
+``--query`` options.
 
 Exit status: 0 on success, 1 on a usage or data error (message on
 stderr).
@@ -153,7 +168,27 @@ def _command_serve(args: argparse.Namespace, out) -> int:
 
     database = load_database(args.db)
     engine = None
-    if args.no_engine:
+    if args.shards:
+        from repro.serve import EngineConfig
+        from repro.shard import ShardRouter
+
+        # The router fills both roles: the scatter-gather "engine" for
+        # /search and the browsing facade (it carries the database and
+        # labels nodes).  Admission knobs pass through to the per-shard
+        # engines; --workers does not apply (each shard engine fronts
+        # exactly one CPU-bound searcher).
+        engine = ShardRouter(
+            database,
+            shards=args.shards,
+            backend=args.shard_backend,
+            dispatch=args.dispatch,
+            engine_config=EngineConfig(
+                queue_bound=args.queue_bound,
+                default_deadline=args.deadline,
+            ),
+        )
+        banks = engine
+    elif args.no_engine:
         banks = BANKS(database)
     else:
         from repro.core.cache import CachedBanks
@@ -182,6 +217,14 @@ def _command_serve(args: argparse.Namespace, out) -> int:
                 )
                 if not status_metrics.startswith("200"):
                     return 1
+                if args.shards:
+                    status_shards, _html2 = app.handle("/shards", "")
+                    print(
+                        f"self-check: GET /shards -> {status_shards}",
+                        file=out,
+                    )
+                    if not status_shards.startswith("200"):
+                        return 1
             return 0 if status.startswith("200") else 1
         from socketserver import ThreadingMixIn
         from wsgiref.simple_server import WSGIServer, make_server
@@ -196,11 +239,17 @@ def _command_serve(args: argparse.Namespace, out) -> int:
         with make_server(
             args.host, args.port, app, server_class=ThreadingWSGIServer
         ) as server:
-            mode = (
-                "inline facade"
-                if engine is None
-                else f"{args.workers} workers, queue bound {args.queue_bound}"
-            )
+            if engine is None:
+                mode = "inline facade"
+            elif args.shards:
+                mode = (
+                    f"{args.shards} shards, {engine.backend} backend, "
+                    f"{engine.dispatch} dispatch"
+                )
+            else:
+                mode = (
+                    f"{args.workers} workers, queue bound {args.queue_bound}"
+                )
             print(
                 f"serving {database.name} on http://{args.host}:{args.port}/ "
                 f"({mode})",
@@ -214,6 +263,32 @@ def _command_serve(args: argparse.Namespace, out) -> int:
     finally:
         if engine is not None:
             engine.stop()
+
+
+def _command_bench_shard(args: argparse.Namespace, out) -> int:
+    from repro.datasets import DEMO_QUERY_SETS
+    from repro.shard.bench import run_shard_benchmark
+
+    database = load_database(args.db)
+    queries = args.queries or DEMO_QUERY_SETS.get(database.name)
+    if not queries:
+        raise ReproError(
+            f"no benchmark query set for database {database.name!r}; "
+            "pass one or more --query options"
+        )
+    report = run_shard_benchmark(
+        database,
+        queries,
+        dataset=args.db,
+        requests=args.requests,
+        concurrency=args.concurrency,
+        shards=args.shards,
+        backend=args.backend,
+        k=args.max_results,
+        strategy=args.strategy,
+    )
+    print(report.render(), file=out)
+    return 0 if report.parity_ok else 1
 
 
 def _command_bench_serve(args: argparse.Namespace, out) -> int:
@@ -286,6 +361,28 @@ def build_parser() -> argparse.ArgumentParser:
         dest="no_engine",
         help="dispatch searches inline instead of through the engine",
     )
+    serve.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        help="partition the data graph and serve through the shard "
+        "router (0 = unsharded)",
+    )
+    serve.add_argument(
+        "--shard-backend",
+        choices=("thread", "process", "auto"),
+        default="thread",
+        dest="shard_backend",
+        help="shard worker backend (process = one forked worker per "
+        "shard; needs fork)",
+    )
+    serve.add_argument(
+        "--dispatch",
+        choices=("gather", "route"),
+        default="gather",
+        help="shard dispatch policy: exact scatter-gather, or whole "
+        "queries routed to one worker each (throughput)",
+    )
     serve.set_defaults(run=_command_serve)
 
     bench_serve = commands.add_parser(
@@ -302,6 +399,34 @@ def build_parser() -> argparse.ArgumentParser:
         "-k", "--max-results", type=int, default=10, dest="max_results"
     )
     bench_serve.set_defaults(run=_command_bench_serve)
+
+    bench_shard = commands.add_parser(
+        "bench-shard", help="sharded scatter-gather throughput benchmark"
+    )
+    bench_shard.add_argument("db")
+    bench_shard.add_argument("--shards", type=int, default=4)
+    bench_shard.add_argument("--requests", type=int, default=48)
+    bench_shard.add_argument("--concurrency", type=int, default=8)
+    bench_shard.add_argument(
+        "--backend", choices=("thread", "process", "auto"), default="auto"
+    )
+    bench_shard.add_argument(
+        "--strategy",
+        choices=("hash", "table", "round_robin"),
+        default="hash",
+    )
+    bench_shard.add_argument(
+        "--query",
+        action="append",
+        dest="queries",
+        metavar="QUERY",
+        help="benchmark query (repeatable; default: the dataset's "
+        "demo query set)",
+    )
+    bench_shard.add_argument(
+        "-k", "--max-results", type=int, default=5, dest="max_results"
+    )
+    bench_shard.set_defaults(run=_command_bench_shard)
     return parser
 
 

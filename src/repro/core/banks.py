@@ -18,12 +18,11 @@ indexing (:mod:`repro.text.inverted_index`), query parsing
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Dict, List, Optional, Sequence, Set, Union
+from typing import Dict, List, Optional, Set, Union
 
-from repro.errors import QueryError
 from repro.core.answer import AnswerTree
 from repro.core.bidirectional import bidirectional_search
-from repro.core.model import GraphStats, build_data_graph, link_tables
+from repro.core.model import build_data_graph, link_tables
 from repro.core.query import ParsedQuery, parse_query, resolve_query
 from repro.core.scoring import Scorer, ScoringConfig
 from repro.core.search import (
@@ -33,7 +32,6 @@ from repro.core.search import (
 )
 from repro.core.summarize import structure_signature, summarize_answers
 from repro.core.weights import WeightPolicy
-from repro.graph.digraph import DiGraph
 from repro.relational.database import Database, RID
 from repro.text.inverted_index import InvertedIndex
 
@@ -69,6 +67,31 @@ class Answer:
             f"Answer(rank={self.rank}, relevance={self.relevance:.4f}, "
             f"root={self._banks.node_label(self.root)!r})"
         )
+
+
+def node_label(database: Database, node: RID) -> str:
+    """``table: best text`` label for a tuple node (cf. paper Fig. 2).
+
+    Shared by every front end that renders trees — the facade, the
+    shard router, the browse app — so sharded and unsharded pages
+    label rows identically.
+    """
+    table_name, rid = node
+    table = database.table(table_name)
+    row = table.row(rid)
+    best_text = ""
+    for column in table.schema.text_columns():
+        value = row[column.name]
+        if value and len(str(value)) > len(best_text):
+            best_text = str(value)
+    if not best_text:
+        if table.schema.primary_key:
+            best_text = ",".join(str(row[c]) for c in table.schema.primary_key)
+        else:
+            best_text = f"rid={rid}"
+    if len(best_text) > 60:
+        best_text = best_text[:57] + "..."
+    return f"{table_name}: {best_text}"
 
 
 class BANKS:
@@ -249,24 +272,7 @@ class BANKS:
         to the primary key; always prefixed by the relation name so the
         rendering reads like the paper's Fig. 2 trees.
         """
-        table_name, rid = node
-        table = self.database.table(table_name)
-        row = table.row(rid)
-        best_text = ""
-        for column in table.schema.text_columns():
-            value = row[column.name]
-            if value and len(str(value)) > len(best_text):
-                best_text = str(value)
-        if not best_text:
-            if table.schema.primary_key:
-                best_text = ",".join(
-                    str(row[c]) for c in table.schema.primary_key
-                )
-            else:
-                best_text = f"rid={rid}"
-        if len(best_text) > 60:
-            best_text = best_text[:57] + "..."
-        return f"{table_name}: {best_text}"
+        return node_label(self.database, node)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -23,7 +23,7 @@ flows along semantic references only.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Mapping, Optional, Union
+from typing import Dict, Mapping, Union
 
 from repro.core.banks import BANKS, Answer
 from repro.core.model import GraphStats

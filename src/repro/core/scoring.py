@@ -28,8 +28,8 @@ the way the evaluation does.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, replace
-from typing import Iterable, List, Optional
+from dataclasses import dataclass
+from typing import List, Optional
 
 from repro.errors import QueryError
 from repro.core.answer import AnswerTree
@@ -112,10 +112,19 @@ class Scorer:
         return scaled
 
     def edge_score(self, tree: AnswerTree) -> float:
-        """Overall tree edge score in (0, 1]."""
+        """Overall tree edge score in (0, 1].
+
+        Edges are summed in sorted order: ``tree.edges`` is a frozenset
+        whose iteration order follows string-hash randomisation, and
+        float addition is not associative — summing in hash order makes
+        relevance differ in the last ulp between processes, which is
+        enough to flip exact-score ties in every ranking heap built on
+        top.  Sorted summation makes a tree's score a pure function of
+        the tree.
+        """
         total = sum(
             self.edge_score_norm(tree.edge_weight(source, target))
-            for source, target in tree.edges
+            for source, target in sorted(tree.edges, key=repr)
         )
         return 1.0 / (1.0 + total)
 

@@ -38,7 +38,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import (
     Dict,
     FrozenSet,
@@ -75,6 +75,12 @@ class SearchConfig:
         excluded_root_nodes: specific nodes that may not serve as
             information nodes (used by the XML layer, whose exclusions
             are tag- rather than table-based).
+        allowed_root_nodes: when not ``None``, only these nodes may
+            serve as information nodes (on top of the exclusions).  The
+            shard router partitions the answer space with this: each
+            shard searches the same stitched graph but emits only
+            answers rooted in its own partition, so the union of the
+            per-shard emissions covers every answer exactly once.
         max_distance: per-iterator expansion radius; ``None`` unbounded.
         max_visited: total iterator settlements budget (safety valve for
             adversarial graphs); ``None`` unbounded.
@@ -87,6 +93,7 @@ class SearchConfig:
     require_all_keywords: bool = True
     excluded_root_tables: FrozenSet[str] = frozenset()
     excluded_root_nodes: FrozenSet = frozenset()
+    allowed_root_nodes: Optional[FrozenSet] = None
     max_distance: Optional[float] = None
     max_visited: Optional[int] = None
     origin_distance_scale: float = 0.0
@@ -315,6 +322,10 @@ def backward_expanding_search(
         root_allowed = (
             table not in config.excluded_root_tables
             and v not in config.excluded_root_nodes
+            and (
+                config.allowed_root_nodes is None
+                or v in config.allowed_root_nodes
+            )
         )
 
         for term_index in terms_of_origin[origin]:

@@ -15,7 +15,7 @@ tree groups together regardless of which author and paper.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Dict, Hashable, List, Sequence, Tuple
+from typing import Hashable, List, Sequence
 
 from repro.core.answer import AnswerTree
 from repro.core.search import ScoredAnswer

@@ -22,7 +22,7 @@ ablation can also be reached through scoring).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Dict, Tuple
 
 from repro.errors import GraphError
 

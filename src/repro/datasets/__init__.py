@@ -12,6 +12,8 @@ All generators take a ``seed`` and are fully deterministic for a given
 parameter set — every test and benchmark depends on that.
 """
 
+from repro.datasets import bibliography as _bibliography
+from repro.datasets import tpcd as _tpcd
 from repro.datasets.bibliography import (
     BibliographyAnecdotes,
     generate_bibliography,
@@ -20,8 +22,15 @@ from repro.datasets.thesis import ThesisAnecdotes, generate_thesis_db
 from repro.datasets.tpcd import TpcdAnecdotes, generate_tpcd
 from repro.datasets.university import UniversityAnecdotes, generate_university
 
+#: Benchmark query sets per demo dataset (generator vocabulary).
+DEMO_QUERY_SETS = {
+    "bibliography": _bibliography.DEMO_QUERIES,
+    "tpcd": _tpcd.DEMO_QUERIES,
+}
+
 __all__ = [
     "BibliographyAnecdotes",
+    "DEMO_QUERY_SETS",
     "ThesisAnecdotes",
     "TpcdAnecdotes",
     "UniversityAnecdotes",

@@ -38,7 +38,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.relational.database import Database, RID
 from repro.relational.schema import Column, ForeignKey, TableSchema
-from repro.relational.types import INTEGER, TEXT
+from repro.relational.types import TEXT
 
 _FIRST_NAMES = [
     "Alice", "Rajeev", "Wei", "Maria", "David", "Elena", "Hiro", "Fatima",
@@ -415,3 +415,23 @@ def _attach_anecdote_mass(
     # neighbourhood with short junk paths.
     for author_id in ("SoumenC", "MargoS", "SudarshanS"):
         builder.add_writes(author_id, rng.choice(random_paper_ids))
+
+
+#: Queries with real matches in the default dataset, used by the
+#: serving and sharding benchmarks (multi-term heavy: single-keyword
+#: queries over a prestige-flat table produce large tie groups whose
+#: "top k" is not well defined for any incremental engine).
+DEMO_QUERIES = (
+    "soumen sunita",
+    "transaction",
+    "mining",
+    "query optimization",
+    "parallel database",
+    "recovery",
+    "soumen",
+    "index concurrency",
+    "temporal",
+    "sunita mining",
+    "distributed",
+    "join",
+)

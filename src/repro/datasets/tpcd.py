@@ -23,11 +23,11 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Optional, Tuple
 
 from repro.relational.database import Database, RID
 from repro.relational.schema import Column, ForeignKey, TableSchema
-from repro.relational.types import INTEGER, TEXT
+from repro.relational.types import TEXT
 
 _MATERIALS = ["copper", "brass", "nylon", "rubber", "titanium", "oak", "glass"]
 _SHAPES = ["washer", "valve", "gear", "flange", "rod", "panel", "spring"]
@@ -147,3 +147,17 @@ def generate_tpcd(
             line_count += 1
 
     return database, anecdotes
+
+
+#: Queries with real matches in the default dataset (generator
+#: vocabulary), used by the sharding benchmark.
+DEMO_QUERIES = (
+    "steel",
+    "steel bolt",
+    "copper washer",
+    "titanium",
+    "brass valve",
+    "rubber spring",
+    "oak panel",
+    "glass flange",
+)

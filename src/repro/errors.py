@@ -101,6 +101,11 @@ class FederationError(ReproError):
     database, dangling external link, duplicate member name, ...)."""
 
 
+class ShardError(ReproError):
+    """The shard subsystem is misconfigured or a shard failed (bad
+    partition strategy, lossy stitch, dead shard worker process, ...)."""
+
+
 class ServeError(ReproError):
     """The query-serving engine could not process a request."""
 

@@ -11,7 +11,7 @@ assumed to be 11 (one more than the number of answers examined)."
 
 from __future__ import annotations
 
-from typing import FrozenSet, List, Sequence
+from typing import FrozenSet, Sequence
 
 #: The paper examines the top 10 answers per query.
 ANSWERS_EXAMINED = 10

@@ -9,7 +9,7 @@ neither matters much; :func:`full_grid_sweep` covers those axes too.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from repro.core.banks import BANKS
 from repro.core.scoring import ScoringConfig

@@ -20,7 +20,7 @@ from dataclasses import dataclass
 from typing import FrozenSet, List, Sequence, Tuple
 
 from repro.datasets.bibliography import BibliographyAnecdotes
-from repro.relational.database import Database, RID
+from repro.relational.database import RID
 
 
 @dataclass(frozen=True)

@@ -16,7 +16,12 @@ implements that integration for both browsing and searching:
 """
 
 from repro.federate.links import ExternalLink, TupleLink
-from repro.federate.federation import FederatedAnswer, FederatedBanks, Federation
+from repro.federate.federation import (
+    FederatedAnswer,
+    FederatedBanks,
+    Federation,
+    offer_min_edge,
+)
 
 __all__ = [
     "ExternalLink",
@@ -24,4 +29,5 @@ __all__ = [
     "FederatedBanks",
     "Federation",
     "TupleLink",
+    "offer_min_edge",
 ]

@@ -21,22 +21,18 @@ scorer unchanged over the unified graph.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+from typing import Dict, List, Optional, Set, Tuple, Union
 
 from repro.core.model import GraphStats, build_data_graph, link_tables
 from repro.core.answer import AnswerTree
-from repro.core.query import ParsedQuery, QueryTerm, parse_query, resolve_term
+from repro.core.query import ParsedQuery, parse_query, resolve_term
 from repro.core.scoring import Scorer, ScoringConfig
-from repro.core.search import (
-    ScoredAnswer,
-    SearchConfig,
-    backward_expanding_search,
-)
+from repro.core.search import SearchConfig, backward_expanding_search
 from repro.core.weights import WeightPolicy
 from repro.errors import FederationError
 from repro.federate.links import ExternalLink, FederatedNode, TupleLink
 from repro.graph.digraph import DiGraph
-from repro.relational.database import Database, RID
+from repro.relational.database import Database
 from repro.text.inverted_index import InvertedIndex
 
 
@@ -211,12 +207,22 @@ class Federation:
         )
 
 
-def _offer_min(
-    graph: DiGraph, source: FederatedNode, target: FederatedNode, weight: float
-) -> None:
+def offer_min_edge(graph: DiGraph, source, target, weight: float) -> None:
+    """Add ``source -> target`` keeping the *minimum* weight on conflict.
+
+    The Eq. 1 merge rule for a directed pair that receives several
+    candidate weights (mutually referencing relations, duplicate links).
+    Shared by federation graph construction and the shard stitcher, so
+    a graph reassembled from parts merges edges exactly as a graph
+    built in one piece does.
+    """
     if graph.has_edge(source, target):
         weight = min(weight, graph.edge_weight(source, target))
     graph.add_edge(source, target, weight)
+
+
+#: Backward-compatible private alias (pre-shard name).
+_offer_min = offer_min_edge
 
 
 @dataclass

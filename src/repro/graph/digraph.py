@@ -12,7 +12,7 @@ in each direction.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Hashable, Iterable, Iterator, List, Optional, Tuple
+from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Tuple
 
 from repro.errors import GraphError, UnknownNodeError
 
@@ -203,12 +203,21 @@ class DiGraph:
     # -- utilities --------------------------------------------------------------
 
     def subgraph(self, nodes: Iterable[Hashable]) -> "DiGraph":
-        """The induced subgraph on ``nodes`` (copies weights)."""
+        """The induced subgraph on ``nodes`` (copies weights).
+
+        Nodes and edges are inserted in *this* graph's insertion order
+        (not the hash order of ``nodes``), so a subgraph — and anything
+        reassembled from subgraphs, like the shard stitcher — iterates
+        deterministically across processes and hash seeds.  Adjacency
+        order feeds Dijkstra tie-breaking; hash-ordered insertion would
+        make equal-weight path choices differ run to run.
+        """
         wanted = set(nodes)
         result = DiGraph()
-        for node in wanted:
-            result.add_node(node, self.node_weight(node))
-        for node in wanted:
+        for node in self.nodes():
+            if node in wanted:
+                result.add_node(node, self.node_weight(node))
+        for node in result.nodes():
             for neighbor, weight in self.successors(node):
                 if neighbor in wanted:
                     result.add_edge(node, neighbor, weight)

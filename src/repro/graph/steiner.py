@@ -24,7 +24,7 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass
-from typing import Dict, Hashable, List, Optional, Sequence, Set, Tuple
+from typing import Hashable, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import GraphError
 from repro.graph.digraph import DiGraph

@@ -8,8 +8,8 @@ catalog is the single source of truth for both.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
 
 from repro.errors import SchemaError, UnknownColumnError, UnknownTableError
 from repro.relational.types import DataType

@@ -37,7 +37,6 @@ from repro.errors import IntegrityError, SQLSyntaxError, UnknownColumnError
 from repro.relational.algebra import (
     Relation,
     from_table,
-    paginate,
     project,
     select_where,
     sort_by,

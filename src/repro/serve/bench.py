@@ -22,27 +22,17 @@ import random
 import threading
 import time
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, List, Optional, Sequence, Tuple
 
 from repro.core.banks import BANKS
 from repro.core.cache import CachedBanks
 from repro.serve.engine import EngineConfig, QueryEngine
 
-#: Queries with real matches in ``demo:bibliography`` (generator vocabulary).
-BIBLIOGRAPHY_QUERIES: Tuple[str, ...] = (
-    "soumen sunita",
-    "transaction",
-    "mining",
-    "query optimization",
-    "parallel database",
-    "recovery",
-    "soumen",
-    "index concurrency",
-    "temporal",
-    "sunita mining",
-    "distributed",
-    "join",
-)
+from repro.datasets.bibliography import DEMO_QUERIES
+
+#: Queries with real matches in ``demo:bibliography`` (generator
+#: vocabulary); shared with the sharding benchmark via the dataset.
+BIBLIOGRAPHY_QUERIES: Tuple[str, ...] = DEMO_QUERIES
 
 
 def zipfian_workload(
@@ -73,6 +63,7 @@ class ServeBenchReport:
     completed: int
     cache_hit_rate: float
     results_match: bool
+    engine_p50_ms: float = 0.0
 
     @property
     def speedup(self) -> float:
@@ -100,6 +91,7 @@ class ServeBenchReport:
             f"engine dispatch   : {self.engine_seconds:.3f} s "
             f"({self.engine_qps:.1f} qps)",
             f"speedup           : {self.speedup:.2f}x",
+            f"engine p50 latency: {self.engine_p50_ms:.1f} ms",
             f"shed              : {self.shed}",
             f"single-flight dedup: {self.deduplicated}",
             f"cache hit rate    : {self.cache_hit_rate:.2%}",
@@ -193,4 +185,5 @@ def run_serving_benchmark(
         completed=int(snapshot["completed_total"]),
         cache_hit_rate=float(snapshot["cache_hit_rate"]),
         results_match=results_match,
+        engine_p50_ms=1000.0 * float(snapshot["latency_seconds_p50"]),
     )

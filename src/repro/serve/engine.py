@@ -40,8 +40,8 @@ from __future__ import annotations
 
 import time
 from concurrent.futures import CancelledError, Future
-from dataclasses import dataclass, field
-from typing import Any, Callable, List, Optional, Union
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional
 
 from repro.core.cache import _query_key, _scoring_key
 from repro.errors import (
@@ -187,6 +187,11 @@ class QueryEngine:
                 fn=lambda: self.snapshots.version)
         m.gauge("cache_hit_rate", "facade result-cache hit rate",
                 fn=self._cache_hit_rate)
+        m.gauge("snapshot_copies_total", "facade deep copies taken",
+                fn=lambda: self.snapshots.copies)
+        m.gauge("snapshot_copy_seconds_total",
+                "seconds spent deep-copying facades",
+                fn=lambda: self.snapshots.copy_seconds)
         self._latency = m.latency(
             "latency_seconds", "admission-to-completion latency",
             window_seconds=window,
@@ -279,6 +284,16 @@ class QueryEngine:
         result = self.snapshots.mutate(fn)
         self._mutations.inc()
         return result
+
+    def mutate_batch(self, operations) -> Any:
+        """Apply a sequence of mutation operations under one snapshot
+        copy (:meth:`SnapshotStore.mutate_batch`); an empty sequence is
+        free — no copy, no new version, no metrics noise."""
+        operations = list(operations)
+        results = self.snapshots.mutate_batch(operations)
+        if operations:
+            self._mutations.inc()
+        return results
 
     # -- introspection --------------------------------------------------------
 

@@ -23,7 +23,7 @@ import itertools
 import queue
 import threading
 from concurrent.futures import Future
-from typing import Any, Callable, Iterable, List, Optional, Sequence
+from typing import Any, Callable, Iterable, List, Optional
 
 from repro.errors import EngineStoppedError, PoolSaturatedError, ServeError
 

@@ -1,0 +1,49 @@
+"""``repro.shard`` — sharded scatter-gather keyword search.
+
+Partition the BANKS data graph across N shards, scatter each keyword
+query to per-shard :class:`~repro.serve.engine.QueryEngine`-backed
+searchers, and gather the per-shard answer trees into one global top-k
+ranked by the paper's answer-relevance score:
+
+* :mod:`repro.shard.partition` — :class:`GraphPartitioner` and the
+  pluggable placement strategies; records cut edges as federation
+  tuple links;
+* :mod:`repro.shard.stitch` — lossless reassembly of the global search
+  graph from shard subgraphs plus cut links;
+* :mod:`repro.shard.searcher` — one shard's partitioned inverted index
+  and root-restricted search;
+* :mod:`repro.shard.process` — forked worker processes, one per shard
+  (CPU scaling past the GIL);
+* :mod:`repro.shard.router` — the :class:`ShardRouter` front end;
+* :mod:`repro.shard.bench` — the ``banks bench-shard`` measurement.
+"""
+
+from repro.shard.partition import (
+    CutEdge,
+    GraphPartitioner,
+    Partition,
+    hash_strategy,
+    round_robin_strategy,
+    table_strategy,
+)
+from repro.shard.process import ProcessShardWorker, fork_available
+from repro.shard.router import ShardAnswer, ShardRouter
+from repro.shard.searcher import ShardSearcher
+from repro.shard.stitch import graphs_equal, stats_of, stitch_graph
+
+__all__ = [
+    "CutEdge",
+    "GraphPartitioner",
+    "Partition",
+    "ProcessShardWorker",
+    "ShardAnswer",
+    "ShardRouter",
+    "ShardSearcher",
+    "fork_available",
+    "graphs_equal",
+    "hash_strategy",
+    "round_robin_strategy",
+    "stats_of",
+    "stitch_graph",
+    "table_strategy",
+]

@@ -1,0 +1,164 @@
+"""One shard's searcher: partitioned index, root-restricted search.
+
+Answer-space partitioning: every shard searches the same stitched
+graph, but a shard only *emits* answers whose information node (the
+tree root) it owns — :attr:`SearchConfig.allowed_root_nodes` carries
+the owned set into the backward expanding search.  Since every node is
+owned by exactly one shard, the union of per-shard emissions covers
+every answer exactly once (up to re-rootings of the same undirected
+tree, which the gather's top-k merge deduplicates).
+
+Keyword resolution is partitioned for real: each shard holds an
+inverted index restricted to its own tuples
+(:meth:`~repro.text.inverted_index.InvertedIndex.restricted_to`), and
+the per-term node sets it resolves are intersected with the owned set —
+so the union of per-shard resolutions equals the unsharded resolution
+node-for-node.
+
+Fuzzy (edit-distance) expansion is the one resolution feature that does
+not decompose: it triggers on *absence from the vocabulary*, and a term
+can be absent from one shard's vocabulary while present in another's.
+The searcher therefore does not offer it; the router documents the gap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import FrozenSet, List, Optional, Sequence, Set, Union
+
+from repro.core.model import GraphStats, link_tables
+from repro.core.query import ParsedQuery, parse_query, resolve_term
+from repro.core.scoring import Scorer, ScoringConfig
+from repro.core.search import (
+    ScoredAnswer,
+    SearchConfig,
+    backward_expanding_search,
+)
+from repro.graph.digraph import DiGraph
+from repro.relational.database import Database, RID
+from repro.text.inverted_index import InvertedIndex
+
+
+class ShardSearcher:
+    """Search duties of one shard.
+
+    Args:
+        shard_id: this shard's index in the partition.
+        database: the (shared, read-only) database — needed for
+            metadata expansion during resolution.
+        graph: the stitched global search graph.
+        stats: the stitched graph's scoring normalisers.
+        owned_nodes: the nodes this shard owns (allowed answer roots).
+        full_index: the database-wide inverted index to restrict; the
+            router builds it once and every shard slices it.
+        scoring: scoring parameters (default: the paper's best).
+        search_config: search knobs; the owned set and the link-table
+            root exclusion are applied on top.
+        include_metadata: let keywords match table/column names.
+    """
+
+    def __init__(
+        self,
+        shard_id: int,
+        database: Database,
+        graph: DiGraph,
+        stats: GraphStats,
+        owned_nodes: FrozenSet[RID],
+        full_index: InvertedIndex,
+        scoring: Optional[ScoringConfig] = None,
+        search_config: Optional[SearchConfig] = None,
+        include_metadata: bool = True,
+    ):
+        self.shard_id = shard_id
+        self.database = database
+        self.graph = graph
+        self.owned_nodes = owned_nodes
+        self.include_metadata = include_metadata
+        self.scorer = Scorer(stats, scoring or ScoringConfig())
+        self.index = full_index.restricted_to(owned_nodes)
+        # The full index rides along for route-dispatch (whole queries
+        # answered by one shard worker).  In a forked worker it is
+        # inherited copy-on-write; in thread mode it is a shared
+        # reference — either way it costs no extra build or memory.
+        self.full_index = full_index
+        config = search_config or SearchConfig()
+        if not config.excluded_root_tables:
+            config = replace(config, excluded_root_tables=link_tables(database))
+        self.search_config = replace(config, allowed_root_nodes=owned_nodes)
+
+    # -- resolution -----------------------------------------------------------
+
+    def resolve(self, query: Union[str, ParsedQuery]) -> List[Set[RID]]:
+        """Per-term node sets, restricted to this shard's tuples."""
+        parsed = parse_query(query) if isinstance(query, str) else query
+        return [
+            resolve_term(
+                term,
+                self.index,
+                self.database,
+                include_metadata=self.include_metadata,
+            )
+            & self.owned_nodes
+            for term in parsed.terms
+        ]
+
+    # -- search ---------------------------------------------------------------
+
+    def search(
+        self,
+        query: Union[str, ParsedQuery, None] = None,
+        keyword_node_sets: Optional[Sequence[Set[RID]]] = None,
+        max_results: Optional[int] = None,
+        unrestricted: bool = False,
+        **config_overrides,
+    ) -> List[ScoredAnswer]:
+        """Answers scored on the stitched graph.
+
+        Default (gather dispatch): answers rooted in this shard only.
+        With ``keyword_node_sets`` (the router's scatter phase passes
+        the gathered global sets), resolution is skipped and the trees
+        may reach keyword matches owned by *other* shards — that is how
+        cross-shard answers surface.  Without it, the shard resolves
+        against its own index only (a shard-local search).
+
+        With ``unrestricted=True`` (route dispatch) the worker answers
+        the whole query by itself: resolution runs against the full
+        index and any node may serve as the root — one full search,
+        exactly what the single engine would compute.
+        """
+        if keyword_node_sets is None:
+            if query is None:
+                raise ValueError("need a query or keyword_node_sets")
+            if unrestricted:
+                parsed = (
+                    parse_query(query) if isinstance(query, str) else query
+                )
+                keyword_node_sets = [
+                    resolve_term(
+                        term,
+                        self.full_index,
+                        self.database,
+                        include_metadata=self.include_metadata,
+                    )
+                    for term in parsed.terms
+                ]
+            else:
+                keyword_node_sets = self.resolve(query)
+        config = self.search_config
+        if unrestricted:
+            config_overrides.setdefault("allowed_root_nodes", None)
+        if max_results is not None:
+            config_overrides["max_results"] = max_results
+        if config_overrides:
+            config = replace(config, **config_overrides)
+        return list(
+            backward_expanding_search(
+                self.graph, keyword_node_sets, self.scorer, config
+            )
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ShardSearcher(shard {self.shard_id}: "
+            f"{len(self.owned_nodes)} nodes, {len(self.index)} terms)"
+        )

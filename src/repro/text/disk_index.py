@@ -21,10 +21,9 @@ BANKS uses it: build at load time, query forever after.
 
 from __future__ import annotations
 
-import io
 import os
 import struct
-from typing import BinaryIO, Dict, Iterable, List, Optional, Tuple
+from typing import BinaryIO, Dict, List, Tuple
 
 from repro.errors import IndexError_
 from repro.text.inverted_index import InvertedIndex, Posting

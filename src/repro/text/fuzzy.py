@@ -12,7 +12,7 @@ Two flavours the paper sketches as future work:
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence, Tuple
+from typing import Iterable, List, Tuple
 
 
 def damerau_levenshtein(left: str, right: str, cap: int = 10**9) -> int:

@@ -17,7 +17,7 @@ the very problem Sec. 7 discusses).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.errors import IndexError_
 from repro.relational.database import Database, RID
@@ -163,6 +163,26 @@ class InvertedIndex:
                     self._postings[token] = kept
                 else:
                     del self._postings[token]
+
+    def restricted_to(self, nodes: Set[RID]) -> "InvertedIndex":
+        """A new index holding only the postings of ``nodes``.
+
+        The shard layer partitions the keyword index this way: each
+        shard keeps the postings of its own tuples, so the union of
+        per-shard lookups equals a full-index lookup and no shard pays
+        for another shard's vocabulary.  Metadata tables (name matches)
+        are shared — they describe the schema, which every shard sees.
+        """
+        sub = InvertedIndex(index_key_columns=self.index_key_columns)
+        sub._database = self._database
+        sub._table_meta = self._table_meta
+        sub._column_meta = self._column_meta
+        sub._postings = {}
+        for token, postings in self._postings.items():
+            kept = [p for p in postings if p.node in nodes]
+            if kept:
+                sub._postings[token] = kept
+        return sub
 
     # -- lookup ------------------------------------------------------------
 

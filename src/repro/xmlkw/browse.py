@@ -21,12 +21,12 @@ unit-testable without a server, matching the relational app's design.
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, List, Optional, Tuple
+from typing import Callable, Iterable, List, Tuple
 from urllib.parse import parse_qs, unquote
 
 from repro.browse.html import el, link, page
 from repro.errors import ReproError, XMLError
-from repro.xmlkw.document import XMLDocument, XMLElement
+from repro.xmlkw.document import XMLElement
 from repro.xmlkw.model import XMLNode
 from repro.xmlkw.search import XMLBanks
 

@@ -18,9 +18,9 @@ distribution so prestige has something to rank.
 from __future__ import annotations
 
 import random
-from typing import List, Optional, Sequence
+from typing import List, Sequence
 
-from repro.xmlkw.document import XMLDocument, XMLElement
+from repro.xmlkw.document import XMLDocument
 from repro.xmlkw.parser import parse_xml
 
 _FIRST_NAMES = (

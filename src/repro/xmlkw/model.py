@@ -23,14 +23,14 @@ the relational side's "column or relation name" metadata matching.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.core.model import GraphStats
 from repro.errors import XMLError
 from repro.graph.digraph import DiGraph
 from repro.text.tokenizer import normalize, tokenize, tokenize_identifier
-from repro.xmlkw.document import XMLDocument, XMLElement
+from repro.xmlkw.document import XMLDocument
 
 #: A graph node: (document name, preorder element id).
 XMLNode = Tuple[str, int]

@@ -18,13 +18,8 @@ from typing import List, Optional, Sequence, Set, Union
 
 from repro.core.query import ParsedQuery, QueryTerm, parse_query
 from repro.core.scoring import Scorer, ScoringConfig
-from repro.core.search import (
-    ScoredAnswer,
-    SearchConfig,
-    backward_expanding_search,
-)
+from repro.core.search import SearchConfig, backward_expanding_search
 from repro.core.answer import AnswerTree
-from repro.errors import EmptyQueryError
 from repro.text.fuzzy import numbers_near
 from repro.xmlkw.document import XMLDocument, XMLElement
 from repro.xmlkw.model import (

@@ -7,7 +7,6 @@ import pytest
 
 from repro.authz import (
     AccessPolicy,
-    AuditLog,
     PolicySet,
     Principal,
     SecureBanks,

@@ -12,7 +12,7 @@ from repro.baselines import (
     ProximitySearch,
     compare_systems,
 )
-from repro.baselines.compare import evaluate_system, format_comparison
+from repro.baselines.compare import format_comparison
 from repro.baselines.dataspot import build_hyperbase
 from repro.baselines.goldman import bond
 from repro.datasets import generate_bibliography

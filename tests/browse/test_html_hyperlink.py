@@ -3,7 +3,7 @@
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.browse.html import Element, el, escape, link, page
+from repro.browse.html import el, escape, link, page
 from repro.browse.hyperlink import BrowseState, row_url, search_url, table_url
 from repro.errors import BrowseError
 

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro import BANKS
 from repro.browse.app import BrowseApp
 from repro.browse.hyperlink import BrowseState
 from repro.browse.schema_browser import render_schema

@@ -6,7 +6,6 @@ from __future__ import annotations
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.core.banks import BANKS
 from repro.core.incremental import IncrementalBANKS
 from repro.core.model import build_data_graph
 from repro.core.weights import WeightPolicy

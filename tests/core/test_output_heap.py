@@ -10,7 +10,6 @@ relevance is higher."
 
 import pytest
 
-from repro.core.answer import AnswerTree
 from repro.core.model import GraphStats
 from repro.core.scoring import Scorer, ScoringConfig
 from repro.core.search import (

@@ -3,8 +3,7 @@
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.core.answer import AnswerTree
-from repro.core.model import GraphStats, build_data_graph
+from repro.core.model import GraphStats
 from repro.core.scoring import Scorer, ScoringConfig
 from repro.core.search import SearchConfig, backward_expanding_search
 from repro.errors import EmptyQueryError, QueryError

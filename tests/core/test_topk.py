@@ -1,0 +1,75 @@
+"""Tests for the global top-k merge of per-shard answer streams."""
+
+from __future__ import annotations
+
+from repro.core.answer import AnswerTree
+from repro.core.search import ScoredAnswer
+from repro.core.topk import merge_scored_answers
+from repro.graph.digraph import DiGraph
+
+
+def _graph():
+    graph = DiGraph()
+    for name in ("a", "b", "c", "d"):
+        graph.add_node((name, 0), weight=1.0)
+    graph.add_edge(("a", 0), ("b", 0), 1.0)
+    graph.add_edge(("b", 0), ("a", 0), 1.0)
+    graph.add_edge(("b", 0), ("c", 0), 1.0)
+    graph.add_edge(("c", 0), ("b", 0), 1.0)
+    graph.add_edge(("c", 0), ("d", 0), 1.0)
+    return graph
+
+
+def _tree(graph, root, path):
+    return AnswerTree.from_paths(graph, root, [path])
+
+
+def test_merge_ranks_by_relevance_across_streams():
+    graph = _graph()
+    low = ScoredAnswer(_tree(graph, ("a", 0), [("a", 0)]), 0.2, 0)
+    mid = ScoredAnswer(_tree(graph, ("b", 0), [("b", 0)]), 0.5, 0)
+    high = ScoredAnswer(_tree(graph, ("c", 0), [("c", 0)]), 0.9, 0)
+    merged = merge_scored_answers([[low], [mid, high]], 10)
+    assert [a.relevance for a in merged] == [0.9, 0.5, 0.2]
+    assert [a.order for a in merged] == [0, 1, 2]
+
+
+def test_merge_deduplicates_rerootings_keeping_best():
+    graph = _graph()
+    # The same undirected a-b tree, rooted at a (one shard) and at b
+    # (another shard): one answer, best rooting wins.
+    rooted_a = ScoredAnswer(
+        _tree(graph, ("a", 0), [("a", 0), ("b", 0)]), 0.4, 0
+    )
+    rooted_b = ScoredAnswer(
+        _tree(graph, ("b", 0), [("b", 0), ("a", 0)]), 0.6, 0
+    )
+    assert (
+        rooted_a.tree.undirected_key() == rooted_b.tree.undirected_key()
+    )
+    merged = merge_scored_answers([[rooted_a], [rooted_b]], 10)
+    assert len(merged) == 1
+    assert merged[0].tree.root == ("b", 0)
+    assert merged[0].relevance == 0.6
+
+
+def test_merge_truncates_to_max_results():
+    graph = _graph()
+    answers = [
+        ScoredAnswer(_tree(graph, (n, 0), [(n, 0)]), score, 0)
+        for n, score in (("a", 0.1), ("b", 0.9), ("c", 0.5), ("d", 0.7))
+    ]
+    merged = merge_scored_answers([answers], 2)
+    assert [a.relevance for a in merged] == [0.9, 0.7]
+    assert merge_scored_answers([answers], 0) == []
+
+
+def test_merge_breaks_score_ties_deterministically():
+    graph = _graph()
+    tied = [
+        ScoredAnswer(_tree(graph, (n, 0), [(n, 0)]), 0.5, 0)
+        for n in ("d", "b", "c", "a")
+    ]
+    merged = merge_scored_answers([tied], 10)
+    roots = [a.tree.root for a in merged]
+    assert roots == sorted(roots, key=repr)

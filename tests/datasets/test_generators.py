@@ -1,6 +1,5 @@
 """Tests for the dataset generators: determinism, anecdote structure."""
 
-import pytest
 
 from repro.datasets import (
     generate_bibliography,

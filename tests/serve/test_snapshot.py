@@ -118,3 +118,73 @@ class TestIsolation:
             thread.join()
         assert store.version == 4
         assert len(store.current().facade.database.table("paper")) == 5
+
+
+class TestBatchMutation:
+    def test_empty_batch_skips_the_copy_entirely(self):
+        store = SnapshotStore(incremental_banks())
+        before = store.current()
+        assert store.mutate_batch([]) == []
+        assert store.current() is before  # no copy, no publish
+        assert store.version == 0
+        assert store.copies == 0
+        assert store.copy_seconds == 0.0
+
+    def test_batch_pays_one_copy_for_many_operations(self):
+        store = SnapshotStore(incremental_banks())
+        results = store.mutate_batch(
+            [
+                lambda f: f.insert("paper", ["p2", "flow charts"]),
+                lambda f: f.insert("paper", ["p3", "subroutines"]),
+            ]
+        )
+        assert [rid[0] for rid in results] == ["paper", "paper"]
+        assert store.version == 1  # one publish for the whole batch
+        assert store.copies == 1
+        assert store.copy_seconds > 0.0
+        assert len(store.current().facade.database.table("paper")) == 3
+
+    def test_mutate_meters_every_copy(self):
+        store = SnapshotStore(incremental_banks())
+        store.mutate(lambda f: f.insert("paper", ["p2", "flow charts"]))
+        store.mutate(lambda f: f.insert("paper", ["p3", "subroutines"]))
+        assert store.copies == 2
+        assert store.copy_seconds > 0.0
+
+    def test_failed_batch_publishes_nothing(self):
+        store = SnapshotStore(incremental_banks())
+
+        def boom(facade):
+            raise RuntimeError("doomed")
+
+        before = store.current()
+        with pytest.raises(RuntimeError):
+            store.mutate_batch(
+                [lambda f: f.insert("paper", ["p2", "x"]), boom]
+            )
+        assert store.current() is before
+        assert store.version == 0
+
+
+class TestEngineCopyMetrics:
+    def test_engine_exposes_snapshot_copy_cost(self):
+        from repro.serve import EngineConfig, QueryEngine
+
+        with QueryEngine(incremental_banks(), EngineConfig(workers=1)) as engine:
+            snapshot = engine.metrics.snapshot()
+            assert snapshot["snapshot_copies_total"] == 0
+            assert snapshot["snapshot_copy_seconds_total"] == 0.0
+
+            engine.mutate_batch([])  # free: no copy, no mutation count
+            snapshot = engine.metrics.snapshot()
+            assert snapshot["snapshot_copies_total"] == 0
+            assert snapshot["mutations_total"] == 0
+
+            engine.mutate_batch(
+                [lambda f: f.insert("paper", ["p2", "flow charts"])]
+            )
+            snapshot = engine.metrics.snapshot()
+            assert snapshot["snapshot_copies_total"] == 1
+            assert snapshot["snapshot_copy_seconds_total"] > 0.0
+            assert snapshot["mutations_total"] == 1
+            assert snapshot["snapshot_version"] == 1

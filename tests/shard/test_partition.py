@@ -1,0 +1,116 @@
+"""Tests for the graph partitioner and placement strategies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.model import build_data_graph
+from repro.errors import ShardError
+from repro.shard import (
+    GraphPartitioner,
+    hash_strategy,
+    round_robin_strategy,
+    table_strategy,
+)
+
+
+@pytest.fixture(scope="module")
+def university_graph():
+    from repro.datasets import generate_university
+
+    database, _ = generate_university()
+    graph, _stats = build_data_graph(database)
+    return graph
+
+
+class TestStrategies:
+    def test_hash_strategy_is_deterministic_and_in_range(self):
+        place = hash_strategy(4)
+        for node in [("paper", 0), ("paper", 1), ("author", 0)]:
+            shard = place(node)
+            assert 0 <= shard < 4
+            assert place(node) == shard  # stable across calls
+
+    def test_hash_strategy_does_not_use_builtin_hash(self):
+        # CRC32 of "table:rid" — a fixed value, immune to PYTHONHASHSEED.
+        assert hash_strategy(1000)(("paper", 7)) == 508
+        assert hash_strategy(1000)(("author", 7)) == 222
+
+    def test_table_strategy_colocates_rows(self):
+        place = table_strategy(3)
+        shards = {place(("paper", rid)) for rid in range(50)}
+        assert len(shards) == 1
+
+    def test_round_robin_stripes_rows(self):
+        place = round_robin_strategy(3)
+        assert [place(("t", rid)) for rid in range(6)] == [0, 1, 2, 0, 1, 2]
+
+
+class TestPartitioner:
+    def test_partition_covers_all_nodes_disjointly(self, university_graph):
+        partition = GraphPartitioner(3).partition(university_graph)
+        union = set()
+        total = 0
+        for nodes in partition.shard_nodes:
+            total += len(nodes)
+            union.update(nodes)
+        assert union == set(university_graph.nodes())
+        assert total == university_graph.num_nodes  # disjoint
+
+    def test_cut_edges_are_exactly_the_crossing_edges(self, university_graph):
+        partition = GraphPartitioner(3).partition(university_graph)
+        expected = set()
+        for source, target, weight in university_graph.edges():
+            if partition.shard_of(source) != partition.shard_of(target):
+                expected.add((source, target, weight))
+        recorded = {
+            (edge.source, edge.target, edge.weight)
+            for edge in partition.cut_edges
+        }
+        assert recorded == expected
+        for edge in partition.cut_edges:
+            assert partition.shard_of(edge.source) == edge.source_shard
+            assert partition.shard_of(edge.target) == edge.target_shard
+            assert edge.source_shard != edge.target_shard
+
+    def test_cut_links_use_federation_records(self, university_graph):
+        partition = GraphPartitioner(2).partition(university_graph)
+        links = partition.cut_links()
+        assert len(links) == len(partition.cut_edges)
+        for link, edge in zip(links, partition.cut_edges):
+            assert link.source_db == f"shard{edge.source_shard}"
+            assert link.target_db == f"shard{edge.target_shard}"
+            assert link.source == edge.source
+            assert link.target == edge.target
+            assert link.weight == edge.weight
+
+    def test_single_shard_has_no_cut_edges(self, university_graph):
+        partition = GraphPartitioner(1).partition(university_graph)
+        assert partition.cut_edges == []
+        assert partition.shard_nodes[0] == frozenset(university_graph.nodes())
+
+    def test_balance_and_cut_fraction(self, university_graph):
+        partition = GraphPartitioner(4).partition(university_graph)
+        assert partition.balance() >= 1.0
+        assert 0.0 < partition.cut_fraction(university_graph) < 1.0
+
+    def test_shard_of_unknown_node_raises(self, university_graph):
+        partition = GraphPartitioner(2).partition(university_graph)
+        with pytest.raises(ShardError):
+            partition.shard_of(("nope", 999))
+
+    def test_custom_strategy_callable(self, university_graph):
+        partition = GraphPartitioner(
+            2, strategy=lambda node: 0
+        ).partition(university_graph)
+        assert partition.shard_nodes[1] == frozenset()
+        assert partition.cut_edges == []
+
+    def test_rejects_bad_configuration(self, university_graph):
+        with pytest.raises(ShardError):
+            GraphPartitioner(0)
+        with pytest.raises(ShardError):
+            GraphPartitioner(2, strategy="sorcery")
+        out_of_range = GraphPartitioner(2, strategy=lambda node: 7)
+        with pytest.raises(ShardError):
+            out_of_range.partition(university_graph)

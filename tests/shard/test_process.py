@@ -1,0 +1,74 @@
+"""Forked shard-worker tests (skipped where fork is unavailable)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ShardError
+from repro.shard import ShardRouter, fork_available
+
+pytestmark = pytest.mark.skipif(
+    not fork_available(), reason="platform lacks the fork start method"
+)
+
+
+@pytest.fixture(scope="module")
+def university_db():
+    from repro.datasets import generate_university
+
+    database, _ = generate_university()
+    return database
+
+
+def _signature(answers):
+    ranked = sorted(
+        answers, key=lambda a: (-a.relevance, repr(a.tree.root))
+    )
+    return [(a.tree.root, round(a.relevance, 9)) for a in ranked]
+
+
+def test_process_backend_matches_thread_backend(university_db):
+    queries = ("alice bob", "seminar rare")
+    with ShardRouter(
+        university_db, shards=3, backend="thread"
+    ) as thread_router:
+        expected = {
+            q: _signature(thread_router.search(q, max_results=5))
+            for q in queries
+        }
+    with ShardRouter(
+        university_db, shards=3, backend="process"
+    ) as process_router:
+        assert process_router.backend == "process"
+        for worker in process_router._workers:
+            assert worker.alive
+        for q in queries:
+            assert _signature(
+                process_router.search(q, max_results=5)
+            ) == expected[q]
+
+
+def test_auto_backend_prefers_processes(university_db):
+    with ShardRouter(university_db, shards=2, backend="auto") as router:
+        assert router.backend == "process"
+        assert router.search("alice bob", max_results=3)
+
+
+def test_dead_worker_raises_shard_error(university_db):
+    with ShardRouter(
+        university_db, shards=2, backend="process"
+    ) as router:
+        victim = router._workers[0]
+        victim._process.terminate()
+        victim._process.join(5)
+        with pytest.raises(ShardError):
+            router.search("alice bob", max_results=3)
+
+
+def test_stop_is_idempotent_and_kills_workers(university_db):
+    router = ShardRouter(university_db, shards=2, backend="process")
+    workers = list(router._workers)
+    router.stop()
+    router.stop()
+    for worker in workers:
+        assert not worker.alive

@@ -1,0 +1,77 @@
+"""The stitch must reassemble the data graph losslessly."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.model import build_data_graph
+from repro.errors import ShardError
+from repro.graph.digraph import DiGraph
+from repro.shard import GraphPartitioner, graphs_equal, stats_of, stitch_graph
+
+
+@pytest.fixture(scope="module")
+def university_build():
+    from repro.datasets import generate_university
+
+    database, _ = generate_university()
+    return build_data_graph(database)
+
+
+@pytest.mark.parametrize("strategy", ["hash", "table", "round_robin"])
+@pytest.mark.parametrize("shards", [1, 2, 5])
+def test_stitch_reassembles_exactly(university_build, strategy, shards):
+    graph, stats = university_build
+    partition = GraphPartitioner(shards, strategy=strategy).partition(graph)
+    stitched = stitch_graph(
+        partition.induced_subgraphs(graph), partition.cut_links()
+    )
+    assert graphs_equal(stitched, graph)
+    assert stats_of(stitched) == stats
+
+
+def test_stitch_without_cut_links_is_lossy(university_build):
+    graph, _stats = university_build
+    partition = GraphPartitioner(3).partition(graph)
+    assert partition.cut_edges  # hash split cuts something
+    crippled = stitch_graph(partition.induced_subgraphs(graph), [])
+    assert not graphs_equal(crippled, graph)
+    assert crippled.num_edges == graph.num_edges - len(partition.cut_edges)
+
+
+def test_overlapping_subgraphs_rejected(university_build):
+    graph, _stats = university_build
+    partition = GraphPartitioner(2).partition(graph)
+    subgraphs = partition.induced_subgraphs(graph)
+    with pytest.raises(ShardError):
+        stitch_graph([subgraphs[0], subgraphs[0]], [])
+
+
+def test_dangling_cut_link_rejected(university_build):
+    graph, _stats = university_build
+    partition = GraphPartitioner(2).partition(graph)
+    subgraphs = partition.induced_subgraphs(graph)
+    from repro.federate.links import TupleLink
+
+    bogus = TupleLink(
+        source_db="shard0",
+        source=("ghost", 1),
+        target_db="shard1",
+        target=("ghost", 2),
+        weight=1.0,
+    )
+    with pytest.raises(ShardError):
+        stitch_graph(subgraphs, [bogus])
+
+
+def test_duplicate_cut_links_merge_by_min():
+    graph = DiGraph()
+    graph.add_node(("a", 0), weight=1.0)
+    graph.add_node(("b", 0), weight=1.0)
+    graph.add_edge(("a", 0), ("b", 0), 3.0)
+    partition = GraphPartitioner(
+        2, strategy=lambda node: 0 if node[0] == "a" else 1
+    ).partition(graph)
+    links = partition.cut_links() + partition.cut_links()
+    stitched = stitch_graph(partition.induced_subgraphs(graph), links)
+    assert stitched.edge_weight(("a", 0), ("b", 0)) == 3.0

@@ -4,7 +4,7 @@ import sqlite3
 
 import pytest
 
-from repro import BANKS, ScoringConfig, SearchConfig, WeightPolicy
+from repro import BANKS, WeightPolicy
 from repro.browse.app import BrowseApp
 from repro.datasets import generate_tpcd, generate_university
 from repro.eval.baselines import uniform_backedge_policy

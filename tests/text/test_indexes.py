@@ -3,7 +3,7 @@
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.relational import Database, execute_script
+from repro.relational import Database
 from repro.relational.schema import Column, TableSchema
 from repro.relational.types import TEXT
 from repro.text.disk_index import DiskIndex
