@@ -1,6 +1,7 @@
-"""Sharded scatter-gather benchmarks (the ISSUE 2 acceptance criteria).
+"""Sharded scatter-gather benchmarks (the ISSUE 2 acceptance criteria,
+plus the ISSUE 3 mutation-parity criterion).
 
-Three claims, each asserted:
+Four claims, each asserted:
 
 1. **Parity** — on ``demo:bibliography``, the 4-shard router returns
    the same top-5 answers as single-engine search over the full
@@ -21,6 +22,13 @@ Three claims, each asserted:
    ``repro.shard.bench``).  The assertion is gated on having a core
    per worker; both ratios are recorded in ``BENCH_shard.json``
    either way.
+4. **Parity after mutations** — mutations published through a
+   delta-mode :class:`~repro.serve.snapshot.SnapshotStore` and routed
+   into the 4-shard router via :meth:`ShardRouter.apply` leave the
+   gathered top-5 strictly equal to single-engine search over the
+   *mutated* facade, on the whole battery plus mutation-targeted
+   queries.  This is the first criterion exercising ``repro.shard``
+   over a non-static database.
 
 Run with::
 
@@ -118,6 +126,70 @@ def test_bibliography_parity_and_throughput(benchmark, bibliography):
             f"{report.speedup_route:.2f}x / gather "
             f"{report.speedup_gather:.2f}x)"
         )
+
+
+def test_bibliography_parity_after_routed_mutations(bibliography):
+    """Mutate through the delta log, replay into the router, re-check
+    strict 4-shard parity against the mutated single-engine facade."""
+    from repro.core.incremental import IncrementalBANKS
+    from repro.serve.snapshot import SnapshotStore
+    from repro.shard.router import ShardRouter
+
+    database, _anecdotes = bibliography
+    # Forks keep the session-scoped dataset pristine for other tests.
+    store = SnapshotStore(
+        IncrementalBANKS(database.fork()), copy_mode="delta"
+    )
+    seen = store.log.pin()
+    planted = store.mutate_batch(
+        [
+            lambda f: f.insert("paper", ["mut-p1", "epoch replay convergence"]),
+            lambda f: f.insert("paper", ["mut-p2", "structural sharing heaps"]),
+            lambda f: f.insert("author", ["mut-a1", "vera molnar"]),
+            lambda f: f.insert("writes", ["mut-a1", "mut-p1"]),
+            lambda f: f.insert("writes", ["mut-a1", "mut-p2"]),
+        ]
+    )
+    store.mutate(
+        lambda f: f.update(planted[0], {"title": "epoch replay dynamics"})
+    )
+    store.mutate(lambda f: f.delete(planted[4]))
+
+    with ShardRouter(database.fork(), shards=SHARDS, backend="thread") as router:
+        applied = router.apply_epochs(store.log.entries_since(seen))
+        store.log.release(seen)
+        assert applied == 7
+        facade = store.current().facade
+        battery = tuple(BIBLIOGRAPHY_QUERIES) + (
+            "replay dynamics",
+            "vera structural",
+            "molnar epoch",
+        )
+        matched = 0
+        for query in battery:
+            routed = [
+                (a.tree.root, round(a.relevance, 9))
+                for a in router.search(query, max_results=K)
+            ]
+            single = [
+                (a.tree.root, round(a.relevance, 9))
+                for a in facade.search(query, max_results=K)
+            ]
+            if routed == single:
+                matched += 1
+        print(
+            f"\npost-mutation parity: {matched}/{len(battery)} "
+            f"(epoch {router.epoch})"
+        )
+        record_bench_result(
+            "shard",
+            "bibliography_mutations",
+            {
+                "deltas_applied": applied,
+                "parity_after_mutations": matched / len(battery),
+            },
+        )
+        assert matched == len(battery)
 
 
 def test_tpcd_parity_and_throughput(benchmark, tpcd):

@@ -35,7 +35,13 @@ import sys
 from typing import Any, Dict, List
 
 #: Throughput metrics gated with the relative threshold.
-RATIO_METRICS = ("speedup", "speedup_gather", "speedup_route")
+RATIO_METRICS = (
+    "speedup",
+    "speedup_gather",
+    "speedup_route",
+    "speedup_write_batch1",
+    "speedup_write_batch8",
+)
 
 #: Correctness metrics gated as "must not drop below baseline".
 FLOOR_METRICS = (
@@ -43,7 +49,9 @@ FLOOR_METRICS = (
     "parity_scores",
     "parity_never_worse",
     "parity_route",
+    "parity_after_mutations",
     "results_match",
+    "equivalence_ok",
 )
 
 

@@ -15,6 +15,17 @@ When constructed with a :class:`~repro.serve.engine.QueryEngine`,
 searches route through the engine (worker pool, admission control,
 single-flight dedup) instead of calling the facade inline, and the
 engine's metrics registry is exposed as plaintext at ``/metrics``.
+
+``/mutate`` is the write surface (the paper's live "Web publishing of
+organisational data"): it applies an insert, delete or update through
+whichever write path the deployment has — the shard router's delta
+routing, the engine's snapshot store, or a bare
+:class:`~repro.core.incremental.IncrementalBANKS` facade — and reports
+the resulting epoch.  Parameters::
+
+    /mutate?op=insert&table=paper&v=p9&v=Some+Title
+    /mutate?op=delete&table=paper&rid=3
+    /mutate?op=update&table=paper&rid=3&set=title%3DNew+Title
 """
 
 from __future__ import annotations
@@ -161,6 +172,13 @@ class BrowseApp:
             el(
                 "li",
                 None,
+                f"epoch: {info.get('epoch', 0)} "
+                f"({int(snapshot.get('mutations_total', 0))} routed "
+                "mutation(s))",
+            ),
+            el(
+                "li",
+                None,
                 f"cut edges: {info['cut_edges']} "
                 f"({info['cut_fraction']:.1%} of directed edges)",
             ),
@@ -173,10 +191,16 @@ class BrowseApp:
                 el("th", None, "shard"),
                 el("th", None, "nodes"),
                 el("th", None, "sub-searches"),
+                el("th", None, "engine epoch"),
             )
         ]
+        engines = getattr(self.engine, "engines", [])
         for shard_id, nodes in enumerate(info["shard_nodes"]):
             searches = snapshot.get(f"shard{shard_id}_searches_total", 0)
+            if shard_id < len(engines):
+                engine_epoch = engines[shard_id].snapshots.version
+            else:  # pragma: no cover - defensive
+                engine_epoch = 0
             rows.append(
                 el(
                     "tr",
@@ -184,12 +208,118 @@ class BrowseApp:
                     el("td", None, str(shard_id)),
                     el("td", None, str(nodes)),
                     el("td", None, str(int(searches))),
+                    el("td", None, str(engine_epoch)),
                 )
             )
         return page(
             f"Shards: {self.database.name}",
             facts,
             el("table", {"border": "1"}, *rows),
+        )
+
+    # -- the write surface ----------------------------------------------------
+
+    def _writer(self):
+        """The object carrying insert/delete/update, or ``None``.
+
+        Preference order: the engine itself (a shard router routes
+        deltas), an engine wrapping a mutable facade (snapshot-store
+        write path), then a bare mutable facade.
+        """
+        engine = self.engine
+        if engine is not None and callable(getattr(engine, "insert", None)):
+            return engine
+        if engine is not None and callable(getattr(engine, "mutate", None)):
+            facade = getattr(engine, "facade", None)
+            if callable(getattr(facade, "insert", None)):
+                return engine  # mutate-capable engine over a live facade
+        if callable(getattr(self._banks, "insert", None)):
+            return self._banks
+        return None
+
+    def _current_epoch(self) -> int:
+        engine = self.engine
+        if engine is None:
+            return 0
+        epoch = getattr(engine, "epoch", None)
+        if epoch is not None:
+            return int(epoch)
+        snapshots = getattr(engine, "snapshots", None)
+        if snapshots is not None:
+            return int(snapshots.epoch)
+        return 0
+
+    def mutate_page(self, query_string: str) -> str:
+        """Apply one mutation and report the published epoch."""
+        writer = self._writer()
+        if writer is None:
+            return page(
+                "Mutate",
+                el(
+                    "p",
+                    None,
+                    "This deployment is read-only: serve a live facade "
+                    "(banks serve --live) or a shard router to enable "
+                    "mutations.",
+                ),
+            )
+        params = parse_qs(query_string)
+        op = params.get("op", [""])[0]
+        table = params.get("table", [""])[0]
+        try:
+            outcome = self._apply_mutation(writer, op, table, params)
+        except ReproError as error:
+            return page("Mutate", el("p", None, f"Error: {error}"))
+        return page(
+            "Mutate",
+            el("p", None, outcome),
+            el("p", None, f"epoch: {self._current_epoch()}"),
+            el("p", None, link("/", "home")),
+        )
+
+    def _apply_mutation(self, writer, op: str, table: str, params) -> str:
+        values = params.get("v", [])
+        rid_param = params.get("rid", [None])[0]
+        sets = {}
+        for pair in params.get("set", []):
+            column, _, value = pair.partition("=")
+            if not column:
+                raise ReproError(f"malformed set parameter {pair!r}")
+            sets[column] = value
+        through_engine = writer is self.engine and not callable(
+            getattr(writer, "insert", None)
+        )
+        if op == "insert":
+            if not table or not values:
+                raise ReproError("insert needs table= and one v= per column")
+            if through_engine:
+                rid = writer.mutate(lambda f: f.insert(table, values))
+            else:
+                rid = writer.insert(table, values)
+            return f"inserted {rid[0]}:{rid[1]}"
+        if op == "delete":
+            if not table or rid_param is None:
+                raise ReproError("delete needs table= and rid=")
+            node = (table, int(rid_param))
+            if through_engine:
+                writer.mutate(lambda f: f.delete(node))
+            else:
+                writer.delete(node)
+            return f"deleted {table}:{rid_param}"
+        if op == "update":
+            if not table or rid_param is None or not sets:
+                raise ReproError(
+                    "update needs table=, rid= and one set=column=value "
+                    "per change"
+                )
+            node = (table, int(rid_param))
+            if through_engine:
+                writer.mutate(lambda f: f.update(node, sets))
+            else:
+                writer.update(node, sets)
+            return f"updated {table}:{rid_param} ({', '.join(sorted(sets))})"
+        raise ReproError(
+            f"unknown mutation op {op!r} (use insert, delete or update)"
         )
 
     # -- routing ------------------------------------------------------------
@@ -222,6 +352,8 @@ class BrowseApp:
                 params = parse_qs(query_string)
                 query = params.get("q", [""])[0]
                 return "200 OK", self.search_page(query), self._HTML
+            if parts == ["mutate"]:
+                return "200 OK", self.mutate_page(query_string), self._HTML
             if parts == ["metrics"] and self.engine is not None:
                 return (
                     "200 OK",

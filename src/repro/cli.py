@@ -21,6 +21,7 @@ Commands::
     banks serve DB [--port P]          the browsing/search Web app
     banks bench-serve DB               serving-engine throughput benchmark
     banks bench-shard DB               sharded scatter-gather benchmark
+    banks bench-mutate DB              write-path benchmark (delta vs deep)
 
 ``banks serve`` dispatches searches through the concurrent serving
 engine (:mod:`repro.serve`): a worker pool with admission control,
@@ -33,14 +34,27 @@ at ``/metrics``.  Tuning knobs:
     --deadline SECS    fail requests that wait longer than this in the
                        queue (default: no deadline)
     --no-engine        call the facade inline (the pre-engine behaviour)
+    --live             serve an IncrementalBANKS facade so ``/mutate``
+                       can apply inserts/deletes/updates; snapshots
+                       publish through the delta-log write path
+                       (:mod:`repro.store`)
+    --copy-mode M      snapshot capture mode for mutations: auto
+                       (default), delta (O(delta) copy-on-write fork +
+                       delta log) or deep (the O(data) deepcopy path)
     --shards N         partition the data graph into N shards and serve
                        searches through the scatter-gather ShardRouter
-                       (:mod:`repro.shard`); shard stats at ``/shards``
+                       (:mod:`repro.shard`); shard stats at ``/shards``;
+                       ``/mutate`` routes deltas to the owning shard
     --shard-backend B  thread (default) or process (forked workers, one
                        per shard — CPU scaling) or auto
     --dispatch P       gather (exact scatter-gather, default) or route
                        (whole queries to one worker each — the
                        throughput policy; see repro.shard.router)
+
+``banks bench-mutate`` measures write throughput of the delta-log
+write path against the deep-copy baseline on the same mutation
+workload, verifies both end states match each other and a full
+rebuild, and reports epoch publish latency.
 
 ``banks bench-serve`` measures the engine against serialized
 single-thread dispatch on a Zipf-skewed workload; ``--concurrency``,
@@ -190,6 +204,23 @@ def _command_serve(args: argparse.Namespace, out) -> int:
         banks = engine
     elif args.no_engine:
         banks = BANKS(database)
+    elif args.live:
+        from repro.core.incremental import IncrementalBANKS
+        from repro.serve import EngineConfig, QueryEngine
+
+        # A live deployment serves a mutable facade: /mutate applies
+        # IncrementalBANKS deltas through the snapshot store (delta-log
+        # write path under --copy-mode auto/delta).
+        banks = IncrementalBANKS(database)
+        engine = QueryEngine(
+            banks,
+            EngineConfig(
+                workers=args.workers,
+                queue_bound=args.queue_bound,
+                default_deadline=args.deadline,
+                copy_mode=args.copy_mode,
+            ),
+        )
     else:
         from repro.core.cache import CachedBanks
         from repro.serve import EngineConfig, QueryEngine
@@ -224,6 +255,14 @@ def _command_serve(args: argparse.Namespace, out) -> int:
                         file=out,
                     )
                     if not status_shards.startswith("200"):
+                        return 1
+                if args.live or args.shards:
+                    status_mutate, _html3 = app.handle("/mutate", "")
+                    print(
+                        f"self-check: GET /mutate -> {status_mutate}",
+                        file=out,
+                    )
+                    if not status_mutate.startswith("200"):
                         return 1
             return 0 if status.startswith("200") else 1
         from socketserver import ThreadingMixIn
@@ -289,6 +328,20 @@ def _command_bench_shard(args: argparse.Namespace, out) -> int:
     )
     print(report.render(), file=out)
     return 0 if report.parity_ok else 1
+
+
+def _command_bench_mutate(args: argparse.Namespace, out) -> int:
+    from repro.store.bench import run_mutation_benchmark
+
+    database = load_database(args.db)
+    report = run_mutation_benchmark(
+        database,
+        dataset=args.db,
+        mutations=args.mutations,
+        batch_size=args.batch_size,
+    )
+    print(report.render(), file=out)
+    return 0 if report.equivalence_ok else 1
 
 
 def _command_bench_serve(args: argparse.Namespace, out) -> int:
@@ -362,6 +415,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="dispatch searches inline instead of through the engine",
     )
     serve.add_argument(
+        "--live",
+        action="store_true",
+        help="serve a mutable facade: /mutate applies inserts, deletes "
+        "and updates through the snapshot store",
+    )
+    serve.add_argument(
+        "--copy-mode",
+        choices=("auto", "delta", "deep"),
+        default="auto",
+        dest="copy_mode",
+        help="snapshot capture mode for mutations (delta = O(delta) "
+        "copy-on-write fork + delta log; deep = O(data) deepcopy)",
+    )
+    serve.add_argument(
         "--shards",
         type=int,
         default=0,
@@ -427,6 +494,17 @@ def build_parser() -> argparse.ArgumentParser:
         "-k", "--max-results", type=int, default=5, dest="max_results"
     )
     bench_shard.set_defaults(run=_command_bench_shard)
+
+    bench_mutate = commands.add_parser(
+        "bench-mutate",
+        help="write-path benchmark: delta-log vs deep-copy snapshots",
+    )
+    bench_mutate.add_argument("db")
+    bench_mutate.add_argument("--mutations", type=int, default=32)
+    bench_mutate.add_argument(
+        "--batch-size", type=int, default=1, dest="batch_size"
+    )
+    bench_mutate.set_defaults(run=_command_bench_mutate)
     return parser
 
 

@@ -17,9 +17,25 @@ methods that apply *deltas*:
 * **update** — combine both for the changed references, and re-index
   the changed text.
 
+The delta arithmetic itself lives in :mod:`repro.store.delta` — one
+derivation shared with the serving layer's delta-log write path and
+the shard router's delta routing.  Two capabilities build on that:
+
+* **delta capture** — between :meth:`begin_delta_capture` and
+  :meth:`end_delta_capture` every mutation also *records* its
+  :class:`~repro.store.delta.Delta`; the serving layer publishes those
+  records through a :class:`~repro.store.log.DeltaLog` so downstream
+  consumers (shard routers, replicas) can follow along;
+* **copy-on-write forking** — :meth:`fork` returns a facade sharing
+  all storage structurally (graph adjacency, postings lists, table
+  heaps); mutating the fork copies only what it touches.  This is
+  what makes publishing a snapshot O(delta) instead of O(data).
+
 Equivalence to a full rebuild — identical node set, edge set, weights,
 prestige and scoring normalisers — is asserted by a hypothesis property
-test over random mutation sequences (``tests/core/test_incremental.py``).
+test over random mutation sequences (``tests/core/test_incremental.py``),
+which also drives the delta-log and deep-copy snapshot paths side by
+side.
 
 Limitations: prestige mode ``"pagerank"`` is global by nature and not
 maintained incrementally (construction refuses it); scoring
@@ -29,17 +45,23 @@ after a mutation, which is still far cheaper than a rebuild.
 
 from __future__ import annotations
 
-from typing import Any, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import Any, List, Mapping, Optional, Sequence
 
 from repro.core.banks import BANKS
 from repro.core.model import GraphStats
 from repro.core.scoring import Scorer
 from repro.core.weights import WeightPolicy
-from repro.errors import GraphError
+from repro.errors import GraphError, StoreError
 from repro.relational.database import Database, RID
-
-#: A directed node pair whose edge weight must be re-derived.
-_Pair = Tuple[RID, RID]
+from repro.store.delta import (
+    Delta,
+    apply_graph_delta,
+    derive_delete,
+    derive_insert,
+    derive_insert_dict,
+    derive_update,
+)
+from repro.store.versioned import fork_graph
 
 
 class IncrementalBANKS(BANKS):
@@ -60,6 +82,7 @@ class IncrementalBANKS(BANKS):
             )
         super().__init__(database, **banks_options)
         self._stats_dirty = False
+        self._captured: Optional[List[Delta]] = None
 
     # -- stats refresh ---------------------------------------------------------
 
@@ -82,18 +105,67 @@ class IncrementalBANKS(BANKS):
         self._refresh_stats()
         return super().search(*args, **kwargs)
 
+    # -- copy-on-write forking -------------------------------------------------
+
+    def fork(self) -> "IncrementalBANKS":
+        """A facade sharing all storage structurally with this one.
+
+        The fork sees exactly this facade's data; mutating it copies
+        only the touched adjacency dicts, postings lists and table
+        heaps (see :mod:`repro.store`).  By the snapshot contract the
+        parent must not be mutated once forked — the serving layer
+        always mutates the newest fork and publishes it.
+        """
+        clone = object.__new__(type(self))
+        clone.__dict__.update(self.__dict__)
+        clone.database = self.database.fork()
+        clone.index = self.index.fork(clone.database)
+        clone.graph = fork_graph(self.graph)
+        clone._captured = None
+        return clone
+
+    # -- delta capture ---------------------------------------------------------
+
+    def begin_delta_capture(self) -> None:
+        """Record every subsequent mutation's delta until
+        :meth:`end_delta_capture`."""
+        if self._captured is not None:
+            raise StoreError("delta capture already in progress")
+        self._captured = []
+
+    def end_delta_capture(self) -> List[Delta]:
+        """Stop capturing; return the recorded deltas in order."""
+        if self._captured is None:
+            raise StoreError("no delta capture in progress")
+        captured, self._captured = self._captured, None
+        return captured
+
     # -- mutations ----------------------------------------------------------------
 
     def insert(self, table_name: str, values: Sequence[Any]) -> RID:
         """Insert a tuple; graph and index follow."""
-        rid = self.database.insert(table_name, values)
-        self._apply_insert(rid)
-        return rid
+        delta = derive_insert(
+            self.database,
+            (self.index,),
+            self.graph,
+            self.weight_policy,
+            table_name,
+            values,
+        )
+        self._absorb(delta)
+        return delta.node
 
     def insert_dict(self, table_name: str, mapping: Mapping[str, Any]) -> RID:
-        rid = self.database.insert_dict(table_name, mapping)
-        self._apply_insert(rid)
-        return rid
+        delta = derive_insert_dict(
+            self.database,
+            (self.index,),
+            self.graph,
+            self.weight_policy,
+            table_name,
+            mapping,
+        )
+        self._absorb(delta)
+        return delta.node
 
     def delete(self, rid: RID) -> None:
         """Delete a tuple; graph and index follow.
@@ -101,133 +173,33 @@ class IncrementalBANKS(BANKS):
         Raises :class:`repro.errors.IntegrityError` (before any graph
         change) if other tuples still reference ``rid``.
         """
-        targets = [target for _fk, target in self.database.references_of(rid)]
-        self.index.remove_row(rid[0], rid[1])
-        try:
-            self.database.delete(rid)
-        except Exception:
-            self.index.add_row(rid[0], rid[1])  # restore postings
-            raise
-        self.graph.remove_node(rid)
-        pairs: Set[_Pair] = set()
-        for target in targets:
-            pairs.update(self._referrer_pairs(target))
-        self._recompute_pairs(pairs)
-        self._recompute_prestige(set(targets))
-        self._stats_dirty = True
+        delta = derive_delete(
+            self.database, (self.index,), self.graph, self.weight_policy, rid
+        )
+        self._absorb(delta)
 
     def update(self, rid: RID, changes: Mapping[str, Any]) -> None:
         """Update a tuple in place; graph and index follow."""
-        old_targets = {
-            target for _fk, target in self.database.references_of(rid)
-        }
-        self.index.remove_row(rid[0], rid[1])
-        try:
-            self.database.update(rid, changes)
-        except Exception:
-            self.index.add_row(rid[0], rid[1])
-            raise
-        self.index.add_row(rid[0], rid[1])
-        new_targets = {
-            target for _fk, target in self.database.references_of(rid)
-        }
-        touched = old_targets | new_targets
-        pairs: Set[_Pair] = set()
-        for target in touched:
-            pairs.add((rid, target))
-            pairs.add((target, rid))
-            pairs.update(self._referrer_pairs(target))
-        self._recompute_pairs(pairs)
-        self._recompute_prestige(touched | {rid})
-        self._stats_dirty = True
+        delta = derive_update(
+            self.database,
+            (self.index,),
+            self.graph,
+            self.weight_policy,
+            rid,
+            changes,
+        )
+        self._absorb(delta)
 
     # -- delta machinery ------------------------------------------------------------
 
-    def _apply_insert(self, rid: RID) -> None:
-        self.graph.add_node(rid)
-        self.index.add_row(rid[0], rid[1])
-        targets = {
-            target for _fk, target in self.database.references_of(rid)
-        }
-        pairs: Set[_Pair] = set()
-        for target in targets:
-            pairs.add((rid, target))
-            pairs.add((target, rid))
-            pairs.update(self._referrer_pairs(target))
-        self._recompute_pairs(pairs)
-        self._recompute_prestige(targets | {rid})
+    def _absorb(self, delta: Delta) -> None:
+        """Apply the graph part of a derived delta and record it when a
+        capture is running (the relational + index part was applied
+        during derivation)."""
+        apply_graph_delta(self.graph, delta)
         self._stats_dirty = True
-
-    def _referrer_pairs(self, target: RID) -> Set[_Pair]:
-        """Both directed pairs between ``target`` and each tuple that
-        currently references it (their Eq. 1 weights depend on the
-        target's per-relation indegree, which just changed)."""
-        pairs: Set[_Pair] = set()
-        for _fk, referrer in self.database.referencing(target):
-            if referrer != target:
-                pairs.add((target, referrer))
-                pairs.add((referrer, target))
-        return pairs
-
-    def _recompute_pairs(self, pairs: Set[_Pair]) -> None:
-        """Re-derive each directed pair's edge weight from the database,
-        replacing / removing the graph edge to match."""
-        for source, target in pairs:
-            if source == target:
-                continue  # the graph model has no self loops
-            if not (self.graph.has_node(source) and self.graph.has_node(target)):
-                continue
-            weight = self._pair_weight(source, target)
-            if weight is None:
-                if self.graph.has_edge(source, target):
-                    self.graph.remove_edge(source, target)
-            else:
-                self.graph.add_edge(source, target, weight)
-
-    def _pair_weight(self, source: RID, target: RID) -> Optional[float]:
-        """The Eq. 1 weight the directed edge ``source -> target`` should
-        carry right now, or ``None`` when no reference justifies it.
-
-        Candidates come from forward references ``source -> target`` and
-        back edges of references ``target -> source``; multiple
-        candidates merge through the policy rule (min / parallel), in
-        any order — both rules are associative and commutative, so the
-        result matches full construction.
-        """
-        policy = self.weight_policy
-        candidates: List[float] = []
-        for fk, referenced in self.database.references_of(source):
-            if referenced == target:
-                candidates.append(
-                    policy.forward_similarity(fk.source_table, fk.target_table)
-                )
-        for fk, referenced in self.database.references_of(target):
-            if referenced == source:
-                candidates.append(
-                    policy.backward_weight(
-                        fk.source_table,
-                        fk.target_table,
-                        self.database.indegree_from(source, fk.source_table),
-                    )
-                )
-        if not candidates:
-            return None
-        weight = candidates[0]
-        for candidate in candidates[1:]:
-            weight = policy.merge(weight, candidate)
-        return weight
-
-    def _recompute_prestige(self, nodes: Set[RID]) -> None:
-        if self.weight_policy.prestige == "none":
-            for node in nodes:
-                if self.graph.has_node(node):
-                    self.graph.set_node_weight(node, 1.0)
-            return
-        for node in nodes:
-            if self.graph.has_node(node):
-                self.graph.set_node_weight(
-                    node, float(self.database.indegree(node))
-                )
+        if self._captured is not None:
+            self._captured.append(delta)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -106,6 +106,11 @@ class ShardError(ReproError):
     partition strategy, lossy stitch, dead shard worker process, ...)."""
 
 
+class StoreError(ReproError):
+    """The delta-log write path failed (reclaimed epoch requested,
+    replica divergence on replay, bad log configuration, ...)."""
+
+
 class ServeError(ReproError):
     """The query-serving engine could not process a request."""
 
@@ -124,3 +129,21 @@ class DeadlineExceededError(ServeError):
 
 class EngineStoppedError(ServeError):
     """The engine (or pool) has been stopped and accepts no new work."""
+
+
+class BatchMutationError(ServeError):
+    """A batch mutation failed part-way; nothing was published.
+
+    Carries the zero-based index of the failing operation so callers
+    can retry or report precisely; the original exception rides along
+    as both :attr:`cause` and ``__cause__``.
+    """
+
+    def __init__(self, index: int, cause: BaseException):
+        super().__init__(
+            f"batch operation {index} failed "
+            f"({type(cause).__name__}: {cause}); batch rolled back, "
+            "nothing published"
+        )
+        self.index = index
+        self.cause = cause

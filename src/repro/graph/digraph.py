@@ -33,7 +33,6 @@ class DiGraph:
         self._succ: List[Dict[int, float]] = []
         self._pred: List[Dict[int, float]] = []
         self._edge_count = 0
-        self._tombstones = 0
 
     # -- construction -------------------------------------------------------
 
@@ -94,7 +93,6 @@ class DiGraph:
         self._ids[index] = None
         self._node_weights[index] = 0.0
         del self._index[node]
-        self._tombstones += 1
 
     # -- node access ----------------------------------------------------------
 
@@ -121,7 +119,22 @@ class DiGraph:
 
     @property
     def num_nodes(self) -> int:
-        return len(self._ids) - self._tombstones
+        """Live node count.
+
+        Derived from the id-to-index map, which holds exactly the live
+        nodes — the *single* source of truth.  (An earlier revision
+        kept a separate ``_tombstones`` counter next to the ``None``
+        slots in ``_ids``; two bookkeeping sites meant every new
+        mutator — and every copy-on-write fork — had to keep them in
+        sync by hand.)
+        """
+        return len(self._index)
+
+    @property
+    def tombstone_count(self) -> int:
+        """Freed node slots kept so surviving indexes stay stable —
+        the audited accessor: ``len(self._ids)`` minus the live count."""
+        return len(self._ids) - len(self._index)
 
     @property
     def num_edges(self) -> int:

@@ -14,7 +14,17 @@ That index serves two masters:
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+from typing import (
+    Any,
+    Dict,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from repro.errors import IntegrityError, TypeMismatchError, UnknownTableError
 from repro.relational.schema import DatabaseSchema, ForeignKey, TableSchema
@@ -44,6 +54,32 @@ class Database:
         self._reverse_refs: Dict[RID, List[Tuple[ForeignKey, str, int]]] = (
             defaultdict(list)
         )
+        # Reverse-ref lists shared with a fork; copied before append.
+        self._shared_refs: Set[RID] = set()
+
+    # -- copy-on-write forking ------------------------------------------------
+
+    def fork(self) -> "Database":
+        """A copy-on-write fork: same schema, shared row storage.
+
+        Tables fork at table granularity (a batch that never touches a
+        table never copies it); the reverse-reference index forks at
+        key granularity (only the lists a mutation appends to are
+        copied).  The fork and the original each see a fully
+        consistent database; whichever side mutates first pays for
+        exactly what it touches.  The snapshot store only ever mutates
+        the newest fork.
+        """
+        child = Database.__new__(Database)
+        child.name = self.name
+        child.schema = self.schema  # DDL is fixed while serving
+        child._deferred = self._deferred
+        child._tables = {name: table.fork() for name, table in self._tables.items()}
+        child._reverse_refs = defaultdict(list, self._reverse_refs)
+        shared = set(self._reverse_refs)
+        child._shared_refs = shared
+        self._shared_refs = set(shared)
+        return child
 
     # -- DDL ----------------------------------------------------------------
 
@@ -226,6 +262,10 @@ class Database:
             if target is not None:
                 targets.append((target, fk))
         for target, fk in targets:
+            if target in self._shared_refs:
+                # The list is shared with a fork: copy before append.
+                self._reverse_refs[target] = list(self._reverse_refs[target])
+                self._shared_refs.discard(target)
             self._reverse_refs[target].append((fk, schema.name, row.rid))
 
     def _forget_references(self, schema: TableSchema, row: Row) -> None:
@@ -289,6 +329,7 @@ class Database:
         """
         self.schema.validate()
         self._reverse_refs.clear()
+        self._shared_refs.clear()
         was_deferred = self._deferred
         self._deferred = False
         try:

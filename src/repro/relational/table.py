@@ -82,11 +82,44 @@ class Table:
             schema.column_position(c) for c in schema.primary_key
         )
         self._pk_index: Dict[Tuple[Any, ...], int] = {}
+        self._shared = False
+
+    # -- copy-on-write forking ---------------------------------------------
+
+    def fork(self) -> "Table":
+        """A copy-on-write fork sharing this table's heap and PK index.
+
+        Both sides keep reading the shared storage for free; whichever
+        side mutates first takes a private copy of the heap and PK
+        index (row tuples themselves are immutable and stay shared
+        forever).  The snapshot store forks the newest version and
+        never mutates published ones, so in practice only the fork
+        pays the copy — and only if the batch touches this table.
+        """
+        child = Table(self.schema)
+        child._heap = self._heap
+        child._pk_index = self._pk_index
+        child._live_count = self._live_count
+        child._shared = True
+        self._shared = True
+        return child
+
+    def _materialize(self) -> None:
+        if self._shared:
+            self._heap = list(self._heap)
+            self._pk_index = dict(self._pk_index)
+            self._shared = False
+
+    @property
+    def next_rid(self) -> int:
+        """The RID the next successful :meth:`insert` will assign."""
+        return len(self._heap)
 
     # -- mutation ----------------------------------------------------------
 
     def insert(self, values: Sequence[Any]) -> int:
         """Validate and append one tuple; return its RID."""
+        self._materialize()
         columns = self.schema.columns
         if len(values) != len(columns):
             raise IntegrityError(
@@ -139,6 +172,7 @@ class Table:
         Validates types, NOT NULL and primary-key uniqueness exactly like
         :meth:`insert`; on any failure the old tuple is left untouched.
         """
+        self._materialize()
         old_tuple = self._fetch(rid)
         columns = self.schema.columns
         if len(values) != len(columns):
@@ -180,6 +214,7 @@ class Table:
 
     def delete(self, rid: int) -> None:
         """Tombstone the row at ``rid`` (RIDs of other rows are unchanged)."""
+        self._materialize()
         row_tuple = self._fetch(rid)
         if self._pk_positions:
             key = tuple(row_tuple[p] for p in self._pk_positions)

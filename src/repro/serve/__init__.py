@@ -8,13 +8,14 @@ See :mod:`repro.serve.engine` for the architecture overview.
 """
 
 from repro.serve.engine import EngineConfig, QueryEngine, QueryOutcome
-from repro.serve.metrics import MetricsRegistry
+from repro.serve.metrics import Histogram, MetricsRegistry
 from repro.serve.pool import WorkerPool
 from repro.serve.singleflight import SingleFlight
-from repro.serve.snapshot import Snapshot, SnapshotStore
+from repro.serve.snapshot import Snapshot, SnapshotStore, supports_delta
 
 __all__ = [
     "EngineConfig",
+    "Histogram",
     "MetricsRegistry",
     "QueryEngine",
     "QueryOutcome",
@@ -22,4 +23,5 @@ __all__ = [
     "Snapshot",
     "SnapshotStore",
     "WorkerPool",
+    "supports_delta",
 ]

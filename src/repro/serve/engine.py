@@ -101,6 +101,10 @@ class EngineConfig:
             makes ``submit`` wait for a queue slot (back-pressure).
         dedup: share one computation among identical in-flight queries.
         metrics_window: sliding window (seconds) for QPS / quantiles.
+        copy_mode: how :meth:`QueryEngine.mutate` captures a writable
+            snapshot — ``"auto"`` (delta-log when the facade supports
+            it), ``"delta"`` or ``"deep"`` (see
+            :class:`~repro.serve.snapshot.SnapshotStore`).
     """
 
     workers: int = 4
@@ -109,12 +113,18 @@ class EngineConfig:
     shed_policy: str = "reject"
     dedup: bool = True
     metrics_window: float = 60.0
+    copy_mode: str = "auto"
 
     def __post_init__(self):
         if self.shed_policy not in _SHED_POLICIES:
             raise ServeError(
                 f"unknown shed policy {self.shed_policy!r} "
                 f"(choose from {', '.join(_SHED_POLICIES)})"
+            )
+        if self.copy_mode not in ("auto", "deep", "delta"):
+            raise ServeError(
+                f"unknown copy mode {self.copy_mode!r} "
+                "(choose from auto, deep, delta)"
             )
         if self.default_deadline is not None and self.default_deadline <= 0:
             raise ServeError("default_deadline must be positive")
@@ -160,7 +170,7 @@ class QueryEngine:
         metrics: Optional[MetricsRegistry] = None,
     ):
         self.config = config or EngineConfig()
-        self.snapshots = SnapshotStore(facade)
+        self.snapshots = SnapshotStore(facade, copy_mode=self.config.copy_mode)
         self.pool = WorkerPool(
             workers=self.config.workers,
             queue_bound=self.config.queue_bound,
@@ -187,15 +197,31 @@ class QueryEngine:
                 fn=lambda: self.snapshots.version)
         m.gauge("cache_hit_rate", "facade result-cache hit rate",
                 fn=self._cache_hit_rate)
-        m.gauge("snapshot_copies_total", "facade deep copies taken",
+        m.gauge("snapshot_copies_total", "facade snapshot captures taken",
                 fn=lambda: self.snapshots.copies)
         m.gauge("snapshot_copy_seconds_total",
-                "seconds spent deep-copying facades",
+                "seconds spent capturing facade snapshots",
                 fn=lambda: self.snapshots.copy_seconds)
+        m.gauge("snapshot_epoch", "delta-log epoch of the current version",
+                fn=lambda: self.snapshots.epoch)
+        m.gauge("snapshot_deltas_total", "deltas published through the log",
+                fn=lambda: self.snapshots.deltas_published)
+        m.gauge("snapshot_epochs_reclaimed_total",
+                "delta-log epochs reclaimed",
+                fn=lambda: self.snapshots.epochs_reclaimed)
         self._latency = m.latency(
             "latency_seconds", "admission-to-completion latency",
             window_seconds=window,
         )
+        self._latency_hist = m.histogram(
+            "request_latency_seconds",
+            "admission-to-completion latency distribution",
+        )
+        self._copy_hist = m.histogram(
+            "snapshot_copy_cost_seconds",
+            "per-capture snapshot copy/fork cost distribution",
+        )
+        self.snapshots.copy_observer = self._copy_hist.observe
 
     # -- read path ------------------------------------------------------------
 
@@ -378,6 +404,7 @@ class QueryEngine:
                     raise
                 latency = time.monotonic() - admitted
                 self._latency.observe(latency)
+                self._latency_hist.observe(latency)
                 self._completed.inc()
                 return QueryOutcome(answers, snapshot.version, latency)
             finally:

@@ -10,6 +10,10 @@ the Prometheus client model:
   (queue depth straight from the pool's queue);
 * :class:`LatencyWindow` — a sliding time window of request latencies
   giving p50/p95 and a windowed QPS;
+* :class:`Histogram` — cumulative buckets in the Prometheus
+  ``_bucket{le="..."}`` / ``_sum`` / ``_count`` shape, for latencies
+  and snapshot-copy costs where a real dashboard wants full
+  distributions rather than two quantiles;
 * :class:`MetricsRegistry` — the named collection, exposed both as a
   Python API (:meth:`MetricsRegistry.snapshot`) and as the plaintext
   exposition format (:meth:`MetricsRegistry.render_text`) the browse
@@ -149,6 +153,80 @@ class LatencyWindow:
         return len(self._window())
 
 
+#: Default histogram buckets (seconds): spans sub-millisecond snapshot
+#: forks through multi-second scatter-gather searches.
+DEFAULT_BUCKETS = (
+    0.0005,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+)
+
+
+class Histogram:
+    """Cumulative-bucket histogram (the Prometheus client model).
+
+    ``observe`` is one lock acquisition plus a linear scan over a
+    short, fixed bucket list; reads return cumulative counts, so the
+    exposition output needs no post-processing.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str = "",
+        buckets: Tuple[float, ...] = DEFAULT_BUCKETS,
+    ):
+        if not buckets or list(buckets) != sorted(buckets):
+            raise ServeError("histogram buckets must be sorted and non-empty")
+        self.name = name
+        self.help_text = help_text
+        self.buckets = tuple(float(b) for b in buckets)
+        # counts[i] = observations <= buckets[i]; the +Inf bucket is
+        # implicit in _count.
+        self._counts = [0] * len(self.buckets)
+        self._sum = 0.0
+        self._count = 0
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        with self._lock:
+            self._sum += value
+            self._count += 1
+            for position, bound in enumerate(self.buckets):
+                if value <= bound:
+                    self._counts[position] += 1
+
+    def summary(self) -> Tuple[List[Tuple[float, int]], float, int]:
+        """``(cumulative bucket counts, sum, count)`` in one lock."""
+        with self._lock:
+            return (
+                list(zip(self.buckets, self._counts)),
+                self._sum,
+                self._count,
+            )
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+
 class MetricsRegistry:
     """Named metrics with a plaintext exposition endpoint.
 
@@ -163,6 +241,7 @@ class MetricsRegistry:
         self._counters: Dict[str, Counter] = {}
         self._gauges: Dict[str, Gauge] = {}
         self._latencies: Dict[str, LatencyWindow] = {}
+        self._histograms: Dict[str, Histogram] = {}
 
     # -- registration (idempotent by name) ------------------------------------
 
@@ -203,6 +282,19 @@ class MetricsRegistry:
                 )
             return self._latencies[name]
 
+    def histogram(
+        self,
+        name: str,
+        help_text: str = "",
+        buckets: Optional[Tuple[float, ...]] = None,
+    ) -> Histogram:
+        with self._lock:
+            if name not in self._histograms:
+                self._histograms[name] = Histogram(
+                    name, help_text, buckets or DEFAULT_BUCKETS
+                )
+            return self._histograms[name]
+
     # -- reading --------------------------------------------------------------
 
     def snapshot(self) -> Dict[str, float]:
@@ -212,6 +304,7 @@ class MetricsRegistry:
             counters = list(self._counters.values())
             gauges = list(self._gauges.values())
             latencies = list(self._latencies.values())
+            histograms = list(self._histograms.values())
         out: Dict[str, float] = {}
         for counter in counters:
             out[counter.name] = counter.value
@@ -222,6 +315,10 @@ class MetricsRegistry:
             out[f"{latency.name}_p50"] = p50
             out[f"{latency.name}_p95"] = p95
             out[f"{latency.name}_qps"] = qps
+        for histogram in histograms:
+            _buckets, total, count = histogram.summary()
+            out[f"{histogram.name}_count"] = count
+            out[f"{histogram.name}_sum"] = total
         return out
 
     def render_text(self) -> str:
@@ -230,6 +327,7 @@ class MetricsRegistry:
             counters = list(self._counters.values())
             gauges = list(self._gauges.values())
             latencies = list(self._latencies.values())
+            histograms = list(self._histograms.values())
         lines: List[str] = []
 
         def full(name: str) -> str:
@@ -255,6 +353,17 @@ class MetricsRegistry:
             lines.append(f'{name}{{quantile="0.95"}} {p95:.6f}')
             lines.append(f"{name}_count {count}")
             lines.append(f"{full(latency.name + '_qps')} {qps:.3f}")
+        for histogram in histograms:
+            name = full(histogram.name)
+            if histogram.help_text:
+                lines.append(f"# HELP {name} {histogram.help_text}")
+            lines.append(f"# TYPE {name} histogram")
+            buckets, total, count = histogram.summary()
+            for bound, cumulative in buckets:
+                lines.append(f'{name}_bucket{{le="{bound:g}"}} {cumulative}')
+            lines.append(f'{name}_bucket{{le="+Inf"}} {count}')
+            lines.append(f"{name}_sum {total:.6f}")
+            lines.append(f"{name}_count {count}")
         return "\n".join(lines) + "\n"
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -11,18 +11,30 @@ control with a single writer:
   snapshot for the whole search — publication is one reference
   assignment, so pinning is wait-free and never blocks the writer;
 * the writer calls :meth:`mutate` with a function receiving a private
-  deep copy of the newest facade; when the function returns, the copy
-  is published as the next version.
+  writable version of the newest facade; when the function returns,
+  that version is published as the next snapshot.
+
+How the private version is produced is the ``copy_mode``:
+
+* ``"delta"`` — the facade is *forked* copy-on-write
+  (:meth:`~repro.core.incremental.IncrementalBANKS.fork`): all graph
+  adjacency, postings lists and table heaps are shared structurally
+  and only what the batch touches is copied — writes are O(delta).
+  Every mutation's :class:`~repro.store.delta.Delta` is captured and
+  published to the store's :class:`~repro.store.log.DeltaLog` as one
+  **epoch** per publish, for consumers that follow history (shard
+  routers, replicas).  See :mod:`repro.store` for the epoch /
+  reclamation model.
+* ``"deep"`` — the original ``copy.deepcopy`` path, O(data) per
+  batch; kept as the fallback for facades that cannot fork and as the
+  reference implementation the hypothesis equivalence test
+  (``tests/core/test_incremental.py``) checks the delta path against.
+* ``"auto"`` (default) — ``"delta"`` when the facade supports forking
+  and delta capture, else ``"deep"``.
 
 A reader admitted before a publish keeps its old version until it
-finishes (that version stays alive exactly as long as someone
-references it — plain refcounting, no epoch bookkeeping).  Writers are
-serialised by a lock, so versions advance linearly.
-
-The copy makes writes O(data) — deliberately so: BANKS graphs are
-"modest amounts of memory" (Sec. 5.2) and reads outnumber writes by
-orders of magnitude in the paper's web-publishing workload.  Batch
-mutations through one :meth:`mutate` call to amortise the copy.
+finishes; structural sharing makes old versions cheap to keep alive.
+Writers are serialised by a lock, so versions advance linearly.
 """
 
 from __future__ import annotations
@@ -31,7 +43,20 @@ import copy
 import threading
 import time
 from dataclasses import dataclass
-from typing import Any, Callable, List, Sequence
+from typing import Any, Callable, List, Optional, Sequence
+
+from repro.errors import BatchMutationError, ServeError
+from repro.store.log import DeltaLog
+
+_COPY_MODES = ("auto", "deep", "delta")
+
+#: Methods a facade must offer for the delta-log write path.
+_DELTA_PROTOCOL = ("fork", "begin_delta_capture", "end_delta_capture")
+
+
+def supports_delta(facade: Any) -> bool:
+    """Whether ``facade`` can serve the delta-log write path."""
+    return all(callable(getattr(facade, name, None)) for name in _DELTA_PROTOCOL)
 
 
 @dataclass(frozen=True)
@@ -45,19 +70,45 @@ class Snapshot:
 class SnapshotStore:
     """Single-writer / many-reader versioned store of BANKS facades.
 
-    The deep copy dominates write cost (ROADMAP: "cheaper snapshots"),
-    so the store meters it: :attr:`copies` counts copies taken and
-    :attr:`copy_seconds` accumulates the time spent inside
-    ``copy.deepcopy`` — the engine surfaces both through its metrics
-    registry, making the O(data) write price visible before anyone
-    tunes batch sizes against it.
+    The snapshot capture (fork or deep copy) dominates write cost, so
+    the store meters it: :attr:`copies` counts captures taken and
+    :attr:`copy_seconds` accumulates the time spent inside them — the
+    engine surfaces both through its metrics registry (plus a
+    histogram via :attr:`copy_observer`), making the write price
+    visible before anyone tunes batch sizes against it.
+
+    Args:
+        facade: the version-0 facade (never mutated by the store).
+        copy_mode: ``"auto"``, ``"deep"`` or ``"delta"`` (see module
+            docstring).
+        retain: delta-log retention window (delta mode only).
     """
 
-    def __init__(self, facade: Any):
+    def __init__(self, facade: Any, copy_mode: str = "auto", retain: int = 256):
+        if copy_mode not in _COPY_MODES:
+            raise ServeError(
+                f"unknown copy mode {copy_mode!r} "
+                f"(choose from {', '.join(_COPY_MODES)})"
+            )
+        if copy_mode == "delta" and not supports_delta(facade):
+            raise ServeError(
+                "copy_mode='delta' needs a facade with fork() and delta "
+                "capture (IncrementalBANKS); got "
+                f"{type(facade).__name__}"
+            )
+        if copy_mode == "auto":
+            copy_mode = "delta" if supports_delta(facade) else "deep"
+        self.copy_mode = copy_mode
+        self.log: Optional[DeltaLog] = (
+            DeltaLog(retain=retain) if copy_mode == "delta" else None
+        )
         self._current = Snapshot(0, facade)
         self._write_lock = threading.Lock()
         self.copies = 0
         self.copy_seconds = 0.0
+        #: Optional per-capture cost observer (the engine points this
+        #: at a metrics histogram).
+        self.copy_observer: Optional[Callable[[float], None]] = None
 
     def current(self) -> Snapshot:
         """Pin the newest snapshot (wait-free)."""
@@ -67,52 +118,136 @@ class SnapshotStore:
     def version(self) -> int:
         return self._current.version
 
-    def _clone_current(self) -> Any:
+    @property
+    def epoch(self) -> int:
+        """The delta-log epoch (equals :attr:`version` in delta mode;
+        falls back to the version when no log exists)."""
+        return self.log.epoch if self.log is not None else self.version
+
+    @property
+    def deltas_published(self) -> int:
+        return self.log.deltas_total if self.log is not None else 0
+
+    @property
+    def epochs_reclaimed(self) -> int:
+        return self.log.reclaimed_total if self.log is not None else 0
+
+    # -- capture ----------------------------------------------------------------
+
+    def _writable_clone(self) -> Any:
+        """A private writable version of the newest facade, metered."""
         started = time.perf_counter()
-        clone = copy.deepcopy(self._current.facade)
-        self.copy_seconds += time.perf_counter() - started
+        if self.copy_mode == "delta":
+            clone = self._current.facade.fork()
+        else:
+            clone = copy.deepcopy(self._current.facade)
+        elapsed = time.perf_counter() - started
+        self.copy_seconds += elapsed
         self.copies += 1
+        if self.copy_observer is not None:
+            self.copy_observer(elapsed)
         return clone
 
+    # -- the write path ----------------------------------------------------------
+
     def mutate(self, fn: Callable[[Any], Any]) -> Any:
-        """Apply ``fn`` to a private copy of the newest facade, then
-        publish the copy as the next version.  Returns ``fn``'s result.
+        """Apply ``fn`` to a private version of the newest facade, then
+        publish it as the next version.  Returns ``fn``'s result.
 
         ``fn`` typically calls :class:`IncrementalBANKS` mutation
         methods (``insert`` / ``delete`` / ``update``); it may apply any
         number of them — the whole batch becomes visible atomically.
-        If ``fn`` raises, nothing is published (the failed copy is
+        If ``fn`` raises, nothing is published (the private version is
         discarded) and the exception propagates.
         """
         with self._write_lock:
-            clone = self._clone_current()
-            result = fn(clone)
-            self._seal(clone)
-            self._current = Snapshot(self._current.version + 1, clone)
+            clone = self._capture_begin()
+            try:
+                result = fn(clone)
+            except BaseException:
+                self._capture_abort(clone)
+                raise
+            self._publish(clone)
             return result
 
     def mutate_batch(self, operations: Sequence[Callable[[Any], Any]]) -> List[Any]:
-        """Apply a batch of mutation operations under *one* copy.
+        """Apply a batch of mutation operations under *one* capture.
 
-        The batch form exists because the copy is the dominant cost: N
-        operations through :meth:`mutate` pay N copies, a batch pays
-        one — and an **empty batch pays none**: no copy is taken, no
-        version is published, readers are completely undisturbed.
+        The batch form exists because the capture is the dominant
+        cost: N operations through :meth:`mutate` pay N captures, a
+        batch pays one — and an **empty batch pays none**: no capture,
+        no published version, readers completely undisturbed.
         Returns the operations' results, in order.
+
+        Raises:
+            BatchMutationError: operation *k* raised.  The batch is
+                rolled back explicitly — the private version (holding
+                the effects of operations ``0..k-1``) is discarded,
+                nothing is published, and the error carries the
+                failing index plus the original exception as its
+                cause.
         """
         operations = list(operations)
         if not operations:
             return []
         with self._write_lock:
-            clone = self._clone_current()
-            results = [operation(clone) for operation in operations]
-            self._seal(clone)
-            self._current = Snapshot(self._current.version + 1, clone)
+            clone = self._capture_begin()
+            results: List[Any] = []
+            for position, operation in enumerate(operations):
+                try:
+                    results.append(operation(clone))
+                except BaseException as error:
+                    self._capture_abort(clone)
+                    raise BatchMutationError(position, error) from error
+            self._publish(clone)
             return results
+
+    def republish(self, facade: Optional[Any] = None) -> Snapshot:
+        """Publish a new version *without* capturing a copy.
+
+        The shard layer uses this to advance a shard engine's version
+        after routing a delta into the worker's own state: the facade
+        object is unchanged (or externally replaced), but readers —
+        and the single-flight dedup keyed on the version — must see a
+        new epoch.
+        """
+        with self._write_lock:
+            current = self._current
+            self._current = Snapshot(
+                current.version + 1,
+                current.facade if facade is None else facade,
+            )
+            if self.log is not None:
+                self.log.publish(())
+            return self._current
+
+    # -- internals ---------------------------------------------------------------
+
+    def _capture_begin(self) -> Any:
+        clone = self._writable_clone()
+        if self.copy_mode == "delta":
+            clone.begin_delta_capture()
+        return clone
+
+    def _capture_abort(self, clone: Any) -> None:
+        """Explicit rollback: stop any capture and drop the private
+        version (its copy-on-write state simply falls away — shared
+        structure was never mutated)."""
+        if self.copy_mode == "delta":
+            clone.end_delta_capture()
+
+    def _publish(self, clone: Any) -> None:
+        deltas = (
+            clone.end_delta_capture() if self.copy_mode == "delta" else None
+        )
+        self._seal(clone)
+        self._current = Snapshot(self._current.version + 1, clone)
+        if self.log is not None:
+            self.log.publish(deltas or ())
 
     @staticmethod
     def _seal(facade: Any) -> None:
-        """Make the clone read-only in practice before publication.
+        """Make the new version read-only in practice before publication.
 
         ``IncrementalBANKS`` recomputes scoring normalisers lazily on
         the first search after a mutation — a hidden write that would
@@ -127,4 +262,6 @@ class SnapshotStore:
             refresh()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return f"SnapshotStore(version={self.version})"
+        return (
+            f"SnapshotStore(version={self.version}, mode={self.copy_mode})"
+        )

@@ -16,6 +16,12 @@ ranked by the paper's answer-relevance score:
   (CPU scaling past the GIL);
 * :mod:`repro.shard.router` — the :class:`ShardRouter` front end;
 * :mod:`repro.shard.bench` — the ``banks bench-shard`` measurement.
+
+The router also serves a *changing* database: mutations derive
+:class:`~repro.store.delta.Delta` records (see :mod:`repro.store`)
+that are routed to the owning shard — index slice, ownership set,
+cut-edge records and that shard's engine state move; everything else
+stays put.
 """
 
 from repro.shard.partition import (

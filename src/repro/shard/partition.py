@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import zlib
 from dataclasses import dataclass
-from typing import Callable, Dict, FrozenSet, List, Union
+from typing import Callable, Dict, List, Set, Union
 
 from repro.errors import ShardError
 from repro.federate.links import TupleLink
@@ -100,9 +100,16 @@ class CutEdge:
 class Partition:
     """One concrete split of a data graph into ``shards`` shards.
 
+    The partition is *live*: :meth:`apply_delta` moves the assignment,
+    per-shard node sets and cut-edge records along with a routed
+    mutation, so a sharded deployment keeps serving a changing
+    database without rebuilding the split.  The per-shard node sets
+    are plain mutable sets shared by reference with each shard's
+    searcher — one update is visible everywhere in thread mode.
+
     Attributes:
         shards: the shard count.
-        shard_nodes: per shard, the frozen set of owned nodes.
+        shard_nodes: per shard, the (mutable) set of owned nodes.
         cut_edges: every directed edge crossing the partition.
     """
 
@@ -118,7 +125,7 @@ class Partition:
         nodes: List[List[RID]] = [[] for _ in range(shards)]
         for node, shard in assignment.items():
             nodes[shard].append(node)
-        self.shard_nodes: List[FrozenSet[RID]] = [frozenset(group) for group in nodes]
+        self.shard_nodes: List[Set[RID]] = [set(group) for group in nodes]
 
     def shard_of(self, node: RID) -> int:
         """The shard owning ``node``."""
@@ -126,6 +133,51 @@ class Partition:
             return self._assignment[node]
         except KeyError:
             raise ShardError(f"node {node!r} is not in the partition") from None
+
+    def apply_delta(self, delta, owner: int) -> None:
+        """Follow one routed mutation (see :mod:`repro.store.delta`).
+
+        Inserts assign the new node to ``owner`` before the edge pass
+        (a new cut edge needs both endpoints placed); deletes
+        unassign after it.  Every edge the delta re-weighed is
+        re-classified: its old cut record (if any) is dropped, and a
+        fresh :class:`CutEdge` is recorded when the new edge crosses
+        the partition — so ``cut_links()`` keeps describing exactly
+        the stitched graph's federation links.
+        """
+        if delta.kind == "insert" and delta.node not in self._assignment:
+            if not 0 <= owner < self.shards:
+                raise ShardError(
+                    f"delta for {delta.node!r} routed to shard {owner}, "
+                    f"outside range(0, {self.shards})"
+                )
+            self._assignment[delta.node] = owner
+            self.shard_nodes[owner].add(delta.node)
+        changed = {(source, target) for source, target, _weight in delta.edges}
+        removed = delta.node if delta.kind == "delete" else None
+        kept = [
+            edge
+            for edge in self.cut_edges
+            if (edge.source, edge.target) not in changed
+            and edge.source != removed
+            and edge.target != removed
+        ]
+        for source, target, weight in delta.edges:
+            if weight is None:
+                continue
+            source_shard = self._assignment.get(source)
+            target_shard = self._assignment.get(target)
+            if source_shard is None or target_shard is None:
+                continue
+            if source_shard != target_shard:
+                kept.append(
+                    CutEdge(source, target, weight, source_shard, target_shard)
+                )
+        self.cut_edges[:] = kept
+        if removed is not None:
+            shard = self._assignment.pop(removed, None)
+            if shard is not None:
+                self.shard_nodes[shard].discard(removed)
 
     def cut_links(self) -> List[TupleLink]:
         """The cut edges as federation tuple links (stitching input)."""

@@ -120,6 +120,14 @@ class ProcessShardWorker:
     def search(self, query=None, **kwargs):
         return self._call("search", query, **kwargs)
 
+    def apply_delta(self, delta, owner: int) -> bool:
+        """Replay one routed delta into the worker's private replica.
+
+        Serialised with searches by the per-worker pipe lock, so the
+        child applies it atomically between requests.
+        """
+        return self._call("apply_delta", delta, owner)
+
     # -- lifecycle ------------------------------------------------------------
 
     def stop(self, timeout: float = 5.0) -> None:

@@ -45,16 +45,33 @@ Dispatch policies — the throughput finding, measured honestly:
   shrink; this is the policy when the graph fits and the GIL is the
   constraint.
 
+Mutations — the router serves a *changing* database: the write path
+routes every :class:`~repro.store.delta.Delta` to its **owning shard**
+(the shard the affected node hashes to) instead of republishing a
+whole-facade copy.  :meth:`ShardRouter.insert` / :meth:`delete` /
+:meth:`update` derive the delta against the router's own replica;
+:meth:`ShardRouter.apply` accepts deltas produced elsewhere (e.g. a
+:class:`~repro.serve.snapshot.SnapshotStore` delta log).  Either way
+the same O(delta) work happens everywhere it must: the shared stitched
+graph absorbs the edge re-weighs once (thread mode) or each forked
+worker replays them into its private copy (process mode); the owning
+shard's index slice and ownership set move; the partition's cut-edge
+``TupleLink`` records follow; and only the owning shard's engine state
+is republished (its snapshot version advances, bumping the epoch that
+keys single-flight dedup).
+
 With the process backend each worker is a forked process; the thread
 backend exists for portability and deterministic tests.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 import zlib
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Set, Union
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Set, Union
 
 from repro.core.answer import AnswerTree
 from repro.core.banks import node_label
@@ -73,10 +90,72 @@ from repro.shard.partition import GraphPartitioner, Partition
 from repro.shard.process import ProcessShardWorker, fork_available
 from repro.shard.searcher import ShardSearcher
 from repro.shard.stitch import stats_of, stitch_graph
+from repro.store.delta import (
+    Delta,
+    apply_graph_delta,
+    derive_delete,
+    derive_insert,
+    derive_update,
+    replay_delta,
+)
 from repro.text.inverted_index import InvertedIndex
 
 _BACKENDS = ("thread", "process", "auto")
 _DISPATCHES = ("gather", "route")
+
+
+class _SearchGate:
+    """Writer-preferring reader/writer gate between searches and
+    routed mutations.
+
+    Thread-backed searchers share one stitched graph, database and
+    index; applying a delta while a Dijkstra iterator walks those
+    dicts would crash or corrupt scores.  Searches therefore enter as
+    *readers* (concurrent with each other — the per-shard engines do
+    the real parallelism) and a mutation enters as the exclusive
+    *writer*, waiting for in-flight searches to drain.  Writers are
+    preferred: once one is waiting, new searches queue behind it, so a
+    steady read load cannot starve the write path.  Both sides are
+    short-lived relative to serving (mutations are O(delta)), and
+    mutations also cover the process backend — its per-worker pipe
+    locks already serialise per shard, but the router's own replica
+    (labels, partition, describe) wants the same exclusion.
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writers_waiting = 0
+        self._writing = False
+
+    @contextmanager
+    def read(self):
+        with self._cond:
+            while self._writing or self._writers_waiting:
+                self._cond.wait()
+            self._readers += 1
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._readers -= 1
+                if not self._readers:
+                    self._cond.notify_all()
+
+    @contextmanager
+    def write(self):
+        with self._cond:
+            self._writers_waiting += 1
+            while self._writing or self._readers:
+                self._cond.wait()
+            self._writers_waiting -= 1
+            self._writing = True
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._writing = False
+                self._cond.notify_all()
 
 
 @dataclass
@@ -179,10 +258,14 @@ class ShardRouter:
         self.overfetch = overfetch
         self.include_metadata = include_metadata
         self.search_config = search_config or SearchConfig()
+        self.weight_policy = weight_policy or WeightPolicy()
+        self._gate = _SearchGate()
+        self._stats_dirty = False
 
         # Build once, slice per shard.
-        graph, _stats = build_data_graph(database, weight_policy or WeightPolicy())
+        graph, _stats = build_data_graph(database, self.weight_policy)
         full_index = InvertedIndex(database)
+        self.full_index = full_index
         self.partitioner = GraphPartitioner(shards, strategy)
         self.partition: Partition = self.partitioner.partition(graph)
         # The searchers run on the *stitched* graph — reassembled from
@@ -239,6 +322,14 @@ class ShardRouter:
             "cross_shard_answers_total",
             "returned answers spanning more than one shard",
         )
+        self.epoch = 0
+        self._mutations = m.counter(
+            "mutations_total", "deltas routed to their owning shard"
+        )
+        m.gauge("epoch", "router mutation epoch", fn=lambda: self.epoch)
+        self._mutate_latency = m.histogram(
+            "mutate_seconds", "delta route-and-apply cost distribution"
+        )
         m.gauge("shards", "shard count", fn=lambda: self.partition.shards)
         m.gauge(
             "cut_edges",
@@ -269,6 +360,10 @@ class ShardRouter:
 
     def resolve(self, query: Union[str, ParsedQuery]) -> List[Set[RID]]:
         """Global per-term node sets, gathered from every shard."""
+        with self._gate.read():
+            return self._resolve_unlocked(query)
+
+    def _resolve_unlocked(self, query: Union[str, ParsedQuery]) -> List[Set[RID]]:
         parsed = parse_query(query) if isinstance(query, str) else query
         per_shard = self.pool.map(lambda worker: worker.resolve(parsed), self._workers)
         node_sets: List[Set[RID]] = [set() for _ in parsed.terms]
@@ -285,7 +380,12 @@ class ShardRouter:
         **config_overrides,
     ) -> List[ShardAnswer]:
         """Answer a keyword query under the configured dispatch policy:
-        scatter-search-gather-rank, or route whole to one worker."""
+        scatter-search-gather-rank, or route whole to one worker.
+
+        Searches enter the router's read gate: they run concurrently
+        with each other but never overlap a routed mutation (which
+        takes the gate exclusively — see :class:`_SearchGate`).
+        """
         start = time.monotonic()
         self._queries.inc()
         wanted = (
@@ -294,22 +394,23 @@ class ShardRouter:
             else self.search_config.max_results
         )
         parsed = parse_query(query) if isinstance(query, str) else query
-        if self.dispatch == "route":
-            merged = self._route(parsed, wanted, timeout, config_overrides)
-        else:
-            merged = self._scatter_gather(
-                parsed, wanted, timeout, config_overrides
-            )
-        answers = [
-            ShardAnswer(
-                scored.tree,
-                scored.relevance,
-                rank,
-                self.partition.shard_of(scored.tree.root),
-                self,
-            )
-            for rank, scored in enumerate(merged)
-        ]
+        with self._gate.read():
+            if self.dispatch == "route":
+                merged = self._route(parsed, wanted, timeout, config_overrides)
+            else:
+                merged = self._scatter_gather(
+                    parsed, wanted, timeout, config_overrides
+                )
+            answers = [
+                ShardAnswer(
+                    scored.tree,
+                    scored.relevance,
+                    rank,
+                    self.partition.shard_of(scored.tree.root),
+                    self,
+                )
+                for rank, scored in enumerate(merged)
+            ]
         self._answers.inc(len(answers))
         self._cross.inc(sum(1 for a in answers if a.is_cross_shard()))
         self._latency.observe(time.monotonic() - start)
@@ -319,7 +420,7 @@ class ShardRouter:
         self, parsed: ParsedQuery, wanted: int, timeout, config_overrides
     ) -> List[ScoredAnswer]:
         """Exact scatter-gather: all shards, roots partitioned."""
-        keyword_node_sets = self.resolve(parsed)
+        keyword_node_sets = self._resolve_unlocked(parsed)
         futures = []
         for shard_id, engine in enumerate(self.engines):
             self._shard_searches[shard_id].inc()
@@ -374,6 +475,141 @@ class ShardRouter:
         # the single-engine answer list, not a re-sorted view of it.
         return future.result(timeout=timeout).answers
 
+    # -- the write path (delta routing) ---------------------------------------
+
+    def insert(self, table_name: str, values: Sequence[Any]) -> RID:
+        """Insert a tuple; route the delta to its owning shard."""
+        with self._gate.write():
+            started = time.perf_counter()
+            # Validate placement *before* deriving: derivation mutates
+            # the shared database and index, and a strategy that
+            # misplaces the new node must fail before any of that.
+            # The heap is append-only, so the next RID is known.
+            node = (table_name, self.database.table(table_name).next_rid)
+            owner = self._place(node)
+            delta = derive_insert(
+                self.database,
+                [self.full_index],
+                self.graph,
+                self.weight_policy,
+                table_name,
+                values,
+            )
+            # The owning shard's index slice gains the new postings
+            # (derivation already updated the shared full index).
+            self._searchers[owner].index.add_row(*delta.node)
+            apply_graph_delta(self.graph, delta)
+            self._admit(delta, owner, started)
+            return delta.node
+
+    def delete(self, rid: RID) -> None:
+        """Delete a tuple; route the delta to its owning shard.
+
+        Raises :class:`repro.errors.IntegrityError` (before any shard
+        state changes) if other tuples still reference ``rid``.
+        """
+        with self._gate.write():
+            started = time.perf_counter()
+            owner = self.partition.shard_of(rid)
+            delta = derive_delete(
+                self.database,
+                [self.full_index, self._searchers[owner].index],
+                self.graph,
+                self.weight_policy,
+                rid,
+            )
+            apply_graph_delta(self.graph, delta)
+            self._admit(delta, owner, started)
+
+    def update(self, rid: RID, changes: Mapping[str, Any]) -> None:
+        """Update a tuple in place; route the delta to its owner."""
+        with self._gate.write():
+            started = time.perf_counter()
+            owner = self.partition.shard_of(rid)
+            delta = derive_update(
+                self.database,
+                [self.full_index, self._searchers[owner].index],
+                self.graph,
+                self.weight_policy,
+                rid,
+                changes,
+            )
+            apply_graph_delta(self.graph, delta)
+            self._admit(delta, owner, started)
+
+    def apply(self, delta: Delta) -> int:
+        """Route one externally derived delta (e.g. from a
+        :class:`~repro.serve.snapshot.SnapshotStore` delta log) to its
+        owning shard; returns the owner.
+
+        The router's replica replays the relational + index part and
+        absorbs the graph part, then the same per-shard propagation as
+        the native mutation methods runs.
+        """
+        with self._gate.write():
+            started = time.perf_counter()
+            if delta.kind == "insert":
+                owner = self._place(delta.node)
+            else:
+                owner = self.partition.shard_of(delta.node)
+            replay_delta(
+                self.database,
+                [self.full_index, self._searchers[owner].index],
+                delta,
+            )
+            apply_graph_delta(self.graph, delta)
+            self._admit(delta, owner, started)
+            return owner
+
+    def apply_epochs(self, epochs) -> int:
+        """Apply every delta of a sequence of published
+        :class:`~repro.store.log.Epoch` entries; returns deltas applied."""
+        applied = 0
+        for epoch in epochs:
+            for delta in epoch.deltas:
+                self.apply(delta)
+                applied += 1
+        return applied
+
+    def _place(self, node: RID) -> int:
+        """The shard a *new* node belongs to, by the partition strategy."""
+        shard = self.partitioner.strategy(node)
+        if not 0 <= shard < self.partition.shards:
+            raise ShardError(
+                f"strategy placed {node!r} on shard {shard}, outside "
+                f"range(0, {self.partition.shards})"
+            )
+        return shard
+
+    def _admit(self, delta: Delta, owner: int, started: float) -> None:
+        """Propagate an already-derived delta through the shard state.
+
+        The router's shared structures (database, full index, stitched
+        graph, owner's index slice) are updated by the caller; what
+        remains is the partition bookkeeping, the per-searcher
+        ownership/normaliser notes, the per-worker replay in process
+        mode, and republishing the owning shard's engine state.
+        """
+        self.partition.apply_delta(delta, owner)
+        for searcher in self._searchers:
+            searcher.note_delta(delta, owner)
+        if self.backend == "process":
+            # Each forked worker holds a private replica: replay the
+            # whole delta there (serialised with in-flight searches by
+            # the per-worker pipe lock).
+            for worker in self._workers:
+                worker.apply_delta(delta, owner)
+        # Normalisers refresh lazily (searchers on their next search,
+        # the router's reporting copy in describe()): recomputing the
+        # O(E) scan here would make every O(delta) write pay O(graph).
+        self._stats_dirty = True
+        # Republish only the owning shard's engine state: its snapshot
+        # version advances (new dedup epoch), everyone else's stands.
+        self.engines[owner].snapshots.republish()
+        self.epoch += 1
+        self._mutations.inc()
+        self._mutate_latency.observe(time.perf_counter() - started)
+
     # -- presentation / introspection ----------------------------------------
 
     def node_label(self, node: RID) -> str:
@@ -381,11 +617,15 @@ class ShardRouter:
 
     def describe(self) -> Dict[str, Any]:
         """Shard-level facts for status pages and benchmarks."""
+        if self._stats_dirty:
+            self.stats = stats_of(self.graph)
+            self._stats_dirty = False
         return {
             "shards": self.partition.shards,
             "strategy": self.partitioner.strategy_name,
             "backend": self.backend,
             "dispatch": self.dispatch,
+            "epoch": self.epoch,
             "nodes": self.partition.num_nodes,
             "edges": self.stats.num_edges,
             "cut_edges": len(self.partition.cut_edges),

@@ -24,7 +24,7 @@ The searcher therefore does not offer it; the router documents the gap.
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import FrozenSet, List, Optional, Sequence, Set, Union
+from typing import AbstractSet, List, Optional, Sequence, Set, Union
 
 from repro.core.model import GraphStats, link_tables
 from repro.core.query import ParsedQuery, parse_query, resolve_term
@@ -36,6 +36,8 @@ from repro.core.search import (
 )
 from repro.graph.digraph import DiGraph
 from repro.relational.database import Database, RID
+from repro.shard.stitch import stats_of
+from repro.store.delta import Delta, apply_graph_delta, replay_delta
 from repro.text.inverted_index import InvertedIndex
 
 
@@ -63,7 +65,7 @@ class ShardSearcher:
         database: Database,
         graph: DiGraph,
         stats: GraphStats,
-        owned_nodes: FrozenSet[RID],
+        owned_nodes: AbstractSet[RID],
         full_index: InvertedIndex,
         scoring: Optional[ScoringConfig] = None,
         search_config: Optional[SearchConfig] = None,
@@ -72,9 +74,14 @@ class ShardSearcher:
         self.shard_id = shard_id
         self.database = database
         self.graph = graph
+        # Kept by reference: the router's Partition shares this very
+        # set, so an ownership change lands in one place (thread mode)
+        # or is replayed into the worker's private copy (process mode).
         self.owned_nodes = owned_nodes
         self.include_metadata = include_metadata
-        self.scorer = Scorer(stats, scoring or ScoringConfig())
+        self._scoring_config = scoring or ScoringConfig()
+        self._stats_dirty = False
+        self.scorer = Scorer(stats, self._scoring_config)
         self.index = full_index.restricted_to(owned_nodes)
         # The full index rides along for route-dispatch (whole queries
         # answered by one shard worker).  In a forked worker it is
@@ -85,6 +92,47 @@ class ShardSearcher:
         if not config.excluded_root_tables:
             config = replace(config, excluded_root_tables=link_tables(database))
         self.search_config = replace(config, allowed_root_nodes=owned_nodes)
+
+    # -- mutation (delta routing) ---------------------------------------------
+
+    def apply_delta(self, delta: Delta, owner: int) -> bool:
+        """Replay one routed delta into this searcher's *own* replica.
+
+        Called inside a forked worker process (each worker holds
+        private fork-inherited copies of the database, the indexes and
+        the stitched graph).  The relational + index part replays in
+        the canonical order; the graph part applies idempotently; the
+        ownership and normaliser bookkeeping follows.  In thread mode
+        the router updates the shared structures itself and calls only
+        :meth:`note_delta`.
+        """
+        indexes = [self.full_index]
+        if owner == self.shard_id and self.index is not self.full_index:
+            indexes.append(self.index)
+        replay_delta(self.database, indexes, delta)
+        apply_graph_delta(self.graph, delta)
+        self.note_delta(delta, owner)
+        return True
+
+    def note_delta(self, delta: Delta, owner: int) -> None:
+        """Bookkeeping after a delta reached this searcher's graph:
+        ownership set maintenance plus a lazy normaliser refresh.
+        Idempotent, so shared-state (thread) mode may broadcast it."""
+        if delta.kind == "insert" and owner == self.shard_id:
+            self.owned_nodes.add(delta.node)
+        elif delta.kind == "delete":
+            self.owned_nodes.discard(delta.node)
+        self._stats_dirty = True
+
+    def _refresh_stats(self) -> None:
+        """Re-derive the scoring normalisers after mutations (lazy,
+        O(E) — mirrors :class:`~repro.core.incremental.IncrementalBANKS`).
+        Delegates to :func:`repro.shard.stitch.stats_of`, the one
+        normaliser implementation score parity depends on."""
+        if not self._stats_dirty:
+            return
+        self.scorer = Scorer(stats_of(self.graph), self._scoring_config)
+        self._stats_dirty = False
 
     # -- resolution -----------------------------------------------------------
 
@@ -126,6 +174,7 @@ class ShardSearcher:
         index and any node may serve as the root — one full search,
         exactly what the single engine would compute.
         """
+        self._refresh_stats()
         if keyword_node_sets is None:
             if query is None:
                 raise ValueError("need a query or keyword_node_sets")

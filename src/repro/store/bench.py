@@ -1,0 +1,259 @@
+"""Write-path benchmark: delta-log snapshots vs the deep-copy baseline.
+
+Shared by the ``banks bench-mutate`` CLI command and
+``benchmarks/bench_mutate.py``.  Both sides drive the *same*
+deterministic mutation workload through a
+:class:`~repro.serve.snapshot.SnapshotStore` over the same starting
+facade — one store under ``copy_mode="delta"`` (copy-on-write fork +
+delta log), one under ``copy_mode="deep"`` (the original
+``copy.deepcopy`` path) — and the report compares:
+
+* **write throughput** (mutation batches per second) at a given batch
+  size; the acceptance bar is >= 5x for the delta path at batch size 1
+  on ``demo:bibliography``;
+* **epoch publish latency** (median seconds per publish, which for
+  the delta path includes fork + capture + normaliser seal);
+* **equivalence** — the two final facades must match each other
+  *and* a from-scratch rebuild of the mutated database: node set,
+  edge set, weights, prestige, scoring normalisers, and top-k answers
+  on probe queries.  A speedup achieved by skipping work would fail
+  here, not ship.
+
+The workload mixes inserts (new papers, new authorship links that
+re-weigh sibling back edges), text updates (re-indexing) and deletes
+of previously inserted rows — every delta kind the write path knows.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, List, Sequence, Tuple
+
+from repro.core.incremental import IncrementalBANKS
+from repro.core.model import build_data_graph
+from repro.errors import ReproError
+from repro.serve.snapshot import SnapshotStore
+from repro.shard.stitch import graphs_equal
+
+#: Queries used to compare end-state answers (hit both seeded data and
+#: the rows the workload plants).
+PROBE_QUERIES = (
+    "soumen sunita",
+    "transaction",
+    "benchmark workload",
+    "snapshot epoch",
+)
+
+
+def mutation_workload(database, mutations: int) -> List[Tuple[str, Tuple[Any, ...]]]:
+    """A deterministic mutation script for a bibliography-schema
+    database: ``(op, args)`` pairs ready for :func:`run_operation`.
+
+    Cycle of four: insert a paper, link it to an existing author
+    (re-weighs sibling back edges + prestige), rename an earlier
+    planted paper (re-index), delete an earlier planted link (delete
+    with re-weigh).  Needs a bibliography-style schema with ``author``,
+    ``paper`` and ``writes`` tables (``demo:bibliography``, or any
+    database following the Fig. 1 layout).
+    """
+    for required in ("author", "paper", "writes"):
+        if required not in database.table_names:
+            raise ReproError(
+                "the mutation workload needs a bibliography-style schema "
+                f"(author/paper/writes); {database.name!r} has no "
+                f"{required!r} table — use demo:bibliography"
+            )
+    author_rows = list(database.table("author").scan())
+    if not author_rows:
+        raise ReproError("mutation workload needs at least one author")
+    script: List[Tuple[str, Tuple[Any, ...]]] = []
+    planted_papers: List[str] = []
+    planted_links: List[Tuple[str, str]] = []
+    for step in range(mutations):
+        phase = step % 4
+        if phase == 0:
+            pid = f"bench-p{step}"
+            planted_papers.append(pid)
+            script.append(
+                (
+                    "insert",
+                    ("paper", [pid, f"benchmark workload paper {step}"]),
+                )
+            )
+        elif phase == 1:
+            author = author_rows[step % len(author_rows)]
+            pid = planted_papers[-1]
+            planted_links.append((author["author_id"], pid))
+            script.append(("insert", ("writes", [author["author_id"], pid])))
+        elif phase == 2:
+            pid = planted_papers[(step // 4) % len(planted_papers)]
+            script.append(
+                (
+                    "update_pid",
+                    (pid, {"title": f"snapshot epoch study {step}"}),
+                )
+            )
+        else:
+            script.append(("delete_link", (planted_links.pop(0),)))
+    return script
+
+
+def run_operation(facade: IncrementalBANKS, op: str, args: Tuple) -> Any:
+    """Apply one workload step to a facade (inside a store mutation)."""
+    if op == "insert":
+        table, values = args
+        return facade.insert(table, values)
+    if op == "update_pid":
+        pid, changes = args
+        row = facade.database.table("paper").lookup_pk((pid,))
+        return facade.update(("paper", row.rid), changes)
+    if op == "delete_link":
+        (author_id, pid) = args[0]
+        row = facade.database.table("writes").lookup_pk((author_id, pid))
+        return facade.delete(("writes", row.rid))
+    raise ReproError(f"unknown workload op {op!r}")  # pragma: no cover
+
+
+@dataclass
+class MutateBenchReport:
+    """Outcome of one delta-vs-deep write-path comparison."""
+
+    dataset: str
+    mutations: int
+    batch_size: int
+    delta_seconds: float
+    deep_seconds: float
+    delta_publish_ms_p50: float
+    deep_publish_ms_p50: float
+    epochs: int
+    deltas_logged: int
+    equivalence_ok: bool
+
+    @property
+    def delta_writes_per_second(self) -> float:
+        return self.mutations / self.delta_seconds if self.delta_seconds else 0.0
+
+    @property
+    def deep_writes_per_second(self) -> float:
+        return self.mutations / self.deep_seconds if self.deep_seconds else 0.0
+
+    @property
+    def speedup(self) -> float:
+        if self.delta_seconds <= 0:
+            return float("inf")
+        return self.deep_seconds / self.delta_seconds
+
+    def render(self) -> str:
+        verdict = "delta == deep == rebuild" if self.equivalence_ok else "MISMATCH"
+        lines = [
+            f"dataset             : {self.dataset}",
+            f"mutations           : {self.mutations} "
+            f"(batch size {self.batch_size})",
+            f"deep-copy write path: {self.deep_seconds:.3f} s "
+            f"({self.deep_writes_per_second:.1f} writes/s, publish p50 "
+            f"{self.deep_publish_ms_p50:.2f} ms)",
+            f"delta-log write path: {self.delta_seconds:.3f} s "
+            f"({self.delta_writes_per_second:.1f} writes/s, publish p50 "
+            f"{self.delta_publish_ms_p50:.2f} ms)",
+            f"write speedup       : {self.speedup:.2f}x",
+            f"epochs published    : {self.epochs} "
+            f"({self.deltas_logged} delta(s) logged)",
+            f"equivalence         : {verdict}",
+        ]
+        return "\n".join(lines)
+
+
+def _drive(
+    store: SnapshotStore,
+    script: Sequence[Tuple[str, Tuple[Any, ...]]],
+    batch_size: int,
+) -> Tuple[float, float]:
+    """Run the script through a store; ``(seconds, publish p50 ms)``."""
+    publish_times: List[float] = []
+    elapsed = 0.0
+    for start in range(0, len(script), batch_size):
+        batch = script[start : start + batch_size]
+        operations: List[Callable[[Any], Any]] = [
+            lambda facade, op=op, args=args: run_operation(facade, op, args)
+            for op, args in batch
+        ]
+        began = time.perf_counter()
+        store.mutate_batch(operations)
+        took = time.perf_counter() - began
+        elapsed += took
+        publish_times.append(took)
+    p50 = statistics.median(publish_times) if publish_times else 0.0
+    return elapsed, 1000.0 * p50
+
+
+def _answer_signature(facade, query: str) -> List[Tuple]:
+    return [
+        (answer.tree.root, round(answer.relevance, 9))
+        for answer in facade.search(query, max_results=10)
+    ]
+
+
+def _states_equivalent(delta_facade, deep_facade) -> bool:
+    """Final-state equivalence: delta == deep == full rebuild."""
+    if not graphs_equal(delta_facade.graph, deep_facade.graph):
+        return False
+    rebuilt_graph, rebuilt_stats = build_data_graph(
+        delta_facade.database, delta_facade.weight_policy
+    )
+    if not graphs_equal(delta_facade.graph, rebuilt_graph):
+        return False
+    delta_facade._refresh_stats()
+    deep_facade._refresh_stats()
+    if delta_facade.stats != deep_facade.stats:
+        return False
+    if delta_facade.stats != rebuilt_stats:
+        return False
+    if set(delta_facade.index.vocabulary()) != set(deep_facade.index.vocabulary()):
+        return False
+    for query in PROBE_QUERIES:
+        if _answer_signature(delta_facade, query) != _answer_signature(
+            deep_facade, query
+        ):
+            return False
+    return True
+
+
+def run_mutation_benchmark(
+    database,
+    dataset: str = "",
+    mutations: int = 32,
+    batch_size: int = 1,
+) -> MutateBenchReport:
+    """Measure the delta-log write path against the deep-copy baseline.
+
+    Both stores start from identical facades over *forks* of
+    ``database`` (the caller's database is left untouched) and apply
+    the same deterministic workload; the report carries throughput,
+    publish latency and the equivalence verdict.
+    """
+    script = mutation_workload(database, mutations)
+
+    deep_store = SnapshotStore(IncrementalBANKS(database.fork()), copy_mode="deep")
+    deep_seconds, deep_p50 = _drive(deep_store, script, batch_size)
+
+    delta_store = SnapshotStore(IncrementalBANKS(database.fork()), copy_mode="delta")
+    delta_seconds, delta_p50 = _drive(delta_store, script, batch_size)
+
+    equivalence_ok = _states_equivalent(
+        delta_store.current().facade, deep_store.current().facade
+    )
+
+    return MutateBenchReport(
+        dataset=dataset or database.name,
+        mutations=len(script),
+        batch_size=batch_size,
+        delta_seconds=delta_seconds,
+        deep_seconds=deep_seconds,
+        delta_publish_ms_p50=delta_p50,
+        deep_publish_ms_p50=deep_p50,
+        epochs=delta_store.epoch,
+        deltas_logged=delta_store.deltas_published,
+        equivalence_ok=equivalence_ok,
+    )

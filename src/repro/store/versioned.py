@@ -1,0 +1,134 @@
+"""Node-granularity copy-on-write over :class:`DiGraph`.
+
+``copy.deepcopy`` of the data graph copies every adjacency dict and
+every key in it — O(data) per snapshot.  A :class:`VersionedGraph`
+forks in O(n) pointer copies (the index arrays) and thereafter copies
+an adjacency dict only when the fork first mutates that node — O(delta)
+adjacency data per published version.  All untouched structure is
+shared with the parent, which is what lets many live snapshot versions
+coexist in barely more memory than one.
+
+The contract is the snapshot store's: once a graph has been forked,
+the *parent* is published and must not be mutated again (the store
+always mutates the newest fork).  Reads need no coordination — the
+read API is inherited from :class:`DiGraph` unchanged, so the hot
+search loops (``raw_successors`` et al.) pay zero overhead for the
+versioning.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Optional, Set
+
+from repro.graph.digraph import DiGraph
+
+
+def fork_graph(graph: DiGraph) -> "VersionedGraph":
+    """A copy-on-write fork of any :class:`DiGraph`.
+
+    The parent is left untouched and remains fully usable for reads;
+    by the snapshot contract it must not be mutated afterwards (its
+    adjacency dicts are now shared with the fork).
+    """
+    if isinstance(graph, VersionedGraph):
+        return graph.fork()
+    return VersionedGraph._fork_of(graph)
+
+
+class VersionedGraph(DiGraph):
+    """A :class:`DiGraph` whose forks share adjacency structurally.
+
+    A freshly constructed ``VersionedGraph`` owns all of its storage
+    and behaves exactly like a ``DiGraph``.  After :meth:`fork`, the
+    child owns none of the adjacency dicts; every mutator first
+    *takes ownership* of the dicts it is about to touch (copying them
+    once), so parent snapshots never observe the child's writes.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        # None = owns every adjacency dict (nothing shared).
+        self._owned_succ: Optional[Set[int]] = None
+        self._owned_pred: Optional[Set[int]] = None
+
+    @classmethod
+    def _fork_of(cls, graph: DiGraph) -> "VersionedGraph":
+        child = cls.__new__(cls)
+        child._index = dict(graph._index)
+        child._ids = list(graph._ids)
+        child._node_weights = list(graph._node_weights)
+        child._succ = list(graph._succ)
+        child._pred = list(graph._pred)
+        child._edge_count = graph._edge_count
+        child._owned_succ = set()
+        child._owned_pred = set()
+        return child
+
+    def fork(self) -> "VersionedGraph":
+        """A child sharing all adjacency dicts with this graph."""
+        return VersionedGraph._fork_of(self)
+
+    @property
+    def shared_nodes(self) -> int:
+        """How many adjacency slots are still shared with the parent
+        (introspection for tests and the write benchmark)."""
+        if self._owned_succ is None:
+            return 0
+        return len(self._succ) - len(self._owned_succ)
+
+    # -- ownership ----------------------------------------------------------
+
+    def _own_succ(self, index: int) -> None:
+        owned = self._owned_succ
+        if owned is None or index in owned:
+            return
+        self._succ[index] = dict(self._succ[index])
+        owned.add(index)
+
+    def _own_pred(self, index: int) -> None:
+        owned = self._owned_pred
+        if owned is None or index in owned:
+            return
+        self._pred[index] = dict(self._pred[index])
+        owned.add(index)
+
+    # -- mutators (take ownership, then defer to DiGraph) -------------------
+
+    def add_node(self, node: Hashable, weight: float = 0.0) -> int:
+        existing = self._index.get(node)
+        if existing is not None:
+            return existing
+        index = super().add_node(node, weight)
+        if self._owned_succ is not None:
+            self._owned_succ.add(index)
+            self._owned_pred.add(index)
+        return index
+
+    def add_edge(self, source: Hashable, target: Hashable, weight: float) -> None:
+        if source != target:  # let DiGraph raise on self loops
+            source_index = self.add_node(source)
+            target_index = self.add_node(target)
+            self._own_succ(source_index)
+            self._own_pred(target_index)
+        super().add_edge(source, target, weight)
+
+    def remove_edge(self, source: Hashable, target: Hashable) -> None:
+        self._own_succ(self.index_of(source))
+        self._own_pred(self.index_of(target))
+        super().remove_edge(source, target)
+
+    def remove_node(self, node: Hashable) -> None:
+        index = self.index_of(node)
+        self._own_succ(index)
+        self._own_pred(index)
+        for target_index in self._succ[index]:
+            self._own_pred(target_index)
+        for source_index in self._pred[index]:
+            self._own_succ(source_index)
+        super().remove_node(node)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"VersionedGraph({self.num_nodes} nodes, {self.num_edges} "
+            f"edges, {self.shared_nodes} shared)"
+        )

@@ -73,6 +73,8 @@ class InvertedIndex:
         # token -> (table, column) pairs whose column name matches it
         self._column_meta: Dict[str, Set[Tuple[str, str]]] = {}
         self._database: Optional[Database] = None
+        # Postings lists shared with a fork; copied before append.
+        self._shared_tokens: Set[str] = set()
         if database is not None:
             self.build(database)
 
@@ -83,6 +85,7 @@ class InvertedIndex:
         self._postings.clear()
         self._table_meta.clear()
         self._column_meta.clear()
+        self._shared_tokens.clear()
         self._database = database
 
         for table in database.tables():
@@ -113,8 +116,9 @@ class InvertedIndex:
                             Posting(schema.name, row.rid, column_name)
                         )
 
-    def add_row(self, table: str, rid: int) -> None:
-        """Index one newly inserted row (incremental maintenance)."""
+    def add_row(self, table: str, rid: int) -> Tuple[str, ...]:
+        """Index one newly inserted row (incremental maintenance);
+        returns the tokens that gained a posting."""
         if self._database is None:
             raise IndexError_("index not built yet")
         table_obj = self._database.table(table)
@@ -122,6 +126,7 @@ class InvertedIndex:
         key_columns = (
             set() if self.index_key_columns else _key_columns(table_obj.schema)
         )
+        added: List[str] = []
         for column in table_obj.schema.text_columns():
             if column.name in key_columns:
                 continue
@@ -129,14 +134,25 @@ class InvertedIndex:
             if value is None:
                 continue
             for token in tokenize(value):
+                if token in self._shared_tokens:
+                    # The list is shared with a fork: copy before
+                    # append.  (A removal may already have dropped or
+                    # replaced the entry — then there is nothing
+                    # shared left to copy.)
+                    existing = self._postings.get(token)
+                    if existing is not None:
+                        self._postings[token] = list(existing)
+                    self._shared_tokens.discard(token)
                 self._postings.setdefault(token, []).append(
                     Posting(table, rid, column.name)
                 )
+                added.append(token)
+        return tuple(added)
 
-    def remove_row(self, table: str, rid: int) -> None:
+    def remove_row(self, table: str, rid: int) -> Tuple[str, ...]:
         """Drop the postings of one row (call *before* deleting or
         updating the row — the tokens are derived from its current
-        values)."""
+        values); returns the tokens that lost a posting."""
         if self._database is None:
             raise IndexError_("index not built yet")
         table_obj = self._database.table(table)
@@ -144,6 +160,7 @@ class InvertedIndex:
         key_columns = (
             set() if self.index_key_columns else _key_columns(table_obj.schema)
         )
+        removed: List[str] = []
         for column in table_obj.schema.text_columns():
             if column.name in key_columns:
                 continue
@@ -159,10 +176,33 @@ class InvertedIndex:
                     for posting in postings
                     if not (posting.table == table and posting.rid == rid)
                 ]
+                if len(kept) != len(postings):
+                    removed.append(token)
                 if kept:
                     self._postings[token] = kept
                 else:
                     del self._postings[token]
+        return tuple(removed)
+
+    def fork(self, database: Optional[Database] = None) -> "InvertedIndex":
+        """A copy-on-write fork sharing every postings list.
+
+        ``database`` rebinds the fork to (typically) a fork of the
+        database, so incremental maintenance reads the right rows.
+        Postings lists are copied only when a mutation appends to them
+        (removal already replaces lists wholesale); metadata tables
+        describe the schema, which is fixed while serving, and stay
+        shared outright.
+        """
+        child = InvertedIndex(index_key_columns=self.index_key_columns)
+        child._database = database if database is not None else self._database
+        child._table_meta = self._table_meta
+        child._column_meta = self._column_meta
+        child._postings = dict(self._postings)
+        shared = set(self._postings)
+        child._shared_tokens = shared
+        self._shared_tokens = set(shared)
+        return child
 
     def restricted_to(self, nodes: Set[RID]) -> "InvertedIndex":
         """A new index holding only the postings of ``nodes``.

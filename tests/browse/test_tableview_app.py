@@ -131,3 +131,92 @@ class TestApp:
         assert captured["status"] == "200 OK"
         assert captured["headers"]["Content-Type"].startswith("text/html")
         assert int(captured["headers"]["Content-Length"]) == len(body)
+
+
+class TestMutateEndpoint:
+    def live_app(self, figure1_db):
+        from repro.core.incremental import IncrementalBANKS
+        from repro.serve import EngineConfig, QueryEngine
+
+        banks = IncrementalBANKS(figure1_db)
+        engine = QueryEngine(banks, EngineConfig(workers=1))
+        return BrowseApp(banks, engine=engine), engine
+
+    def test_read_only_deployment_reports_itself(self, figure1_banks):
+        app = BrowseApp(figure1_banks)
+        status, html = app.handle("/mutate", "op=insert&table=paper&v=x&v=y")
+        assert status == "200 OK"
+        assert "read-only" in html
+
+    def test_insert_through_engine_bumps_epoch(self, figure1_db):
+        app, engine = self.live_app(figure1_db)
+        try:
+            status, html = app.handle(
+                "/mutate",
+                "op=insert&table=paper&v=NewP99&v=Epoch+Based+Reclamation",
+            )
+            assert status == "200 OK"
+            assert "inserted paper:" in html
+            assert "epoch: 1" in html
+            assert engine.snapshots.version == 1
+            # The published version is what /search now reads.
+            status, html = app.handle("/search", "q=reclamation")
+            assert "Epoch Based Reclamation" in html
+        finally:
+            engine.stop()
+
+    def test_update_and_delete_round_trip(self, figure1_db):
+        app, engine = self.live_app(figure1_db)
+        try:
+            _status, html = app.handle(
+                "/mutate", "op=insert&table=paper&v=TmpP&v=Doomed+Title"
+            )
+            rid = html.split("inserted paper:")[1].split("<")[0].strip()
+            _status, html = app.handle(
+                "/mutate",
+                f"op=update&table=paper&rid={rid}&set=title%3DRenamed+Title",
+            )
+            assert f"updated paper:{rid}" in html
+            _status, html = app.handle(
+                "/mutate", f"op=delete&table=paper&rid={rid}"
+            )
+            assert f"deleted paper:{rid}" in html
+            assert engine.snapshots.version == 3
+        finally:
+            engine.stop()
+
+    def test_malformed_requests_render_errors(self, figure1_db):
+        app, engine = self.live_app(figure1_db)
+        try:
+            for query_string in (
+                "",
+                "op=explode",
+                "op=insert&table=paper",
+                "op=update&table=paper&rid=0",
+                "op=delete&table=ghost&rid=0",
+            ):
+                status, html = app.handle("/mutate", query_string)
+                assert status == "200 OK"
+                assert "Error" in html or "needs" in html
+            assert engine.snapshots.version == 0
+        finally:
+            engine.stop()
+
+    def test_shard_router_mutations_via_endpoint(self, figure1_db):
+        from repro.shard import ShardRouter
+
+        router = ShardRouter(figure1_db, shards=2, backend="thread")
+        app = BrowseApp(router, engine=router)
+        with router:
+            status, html = app.handle(
+                "/mutate",
+                "op=insert&table=paper&v=ShardP&v=Routed+Mutation+Study",
+            )
+            assert status == "200 OK"
+            assert "inserted paper:" in html
+            assert "epoch: 1" in html
+            status, html = app.handle("/shards", "")
+            assert "epoch: 1" in html
+            assert "1 routed mutation(s)" in html
+            status, html = app.handle("/search", "q=routed+mutation")
+            assert "Routed Mutation Study" in html

@@ -1,5 +1,7 @@
-"""Tests for IncrementalBANKS: per-delta behaviour plus the rebuild
-equivalence property over random mutation sequences."""
+"""Tests for IncrementalBANKS: per-delta behaviour, the rebuild
+equivalence property over random mutation sequences, and the
+three-path write equivalence (direct mutation vs the delta-log
+snapshot path vs the deep-copy snapshot path)."""
 
 from __future__ import annotations
 
@@ -9,7 +11,7 @@ from hypothesis import given, settings, strategies as st
 from repro.core.incremental import IncrementalBANKS
 from repro.core.model import build_data_graph
 from repro.core.weights import WeightPolicy
-from repro.errors import GraphError, IntegrityError
+from repro.errors import BatchMutationError, GraphError, IntegrityError
 from repro.relational import Database, execute_script
 
 
@@ -212,6 +214,38 @@ _operations = st.lists(
 )
 
 
+def _run_operation(banks: IncrementalBANKS, op: str, argument: int, paper_count: int):
+    """Apply one random operation to a facade; returns the new paper
+    count (insert decisions must be identical across the three write
+    paths, so everything derives from the *facade's* current state)."""
+    if op == "insert_paper":
+        paper_count += 1
+        banks.insert("paper", [f"p{paper_count}", f"title word{argument}"])
+    elif op == "insert_writes":
+        authors = list(banks.database.table("author").rids())
+        papers = list(banks.database.table("paper").rids())
+        if authors and papers:
+            author_row = banks.database.table("author").row(
+                authors[argument % len(authors)]
+            )
+            paper_row = banks.database.table("paper").row(
+                papers[argument % len(papers)]
+            )
+            banks.insert("writes", [author_row["aid"], paper_row["pid"]])
+    elif op == "delete":
+        writes = list(banks.database.table("writes").rids())
+        if writes:
+            banks.delete(("writes", writes[argument % len(writes)]))
+    elif op == "update_title":
+        papers = list(banks.database.table("paper").rids())
+        if papers:
+            banks.update(
+                ("paper", papers[argument % len(papers)]),
+                {"title": f"renamed word{argument}"},
+            )
+    return paper_count
+
+
 @settings(deadline=None, max_examples=40)
 @given(operations=_operations)
 def test_property_mutations_match_rebuild(operations):
@@ -219,36 +253,7 @@ def test_property_mutations_match_rebuild(operations):
     paper_count = 1
     for op, argument in operations:
         try:
-            if op == "insert_paper":
-                paper_count += 1
-                banks.insert(
-                    "paper", [f"p{paper_count}", f"title word{argument}"]
-                )
-            elif op == "insert_writes":
-                authors = list(banks.database.table("author").rids())
-                papers = list(banks.database.table("paper").rids())
-                if not authors or not papers:
-                    continue
-                author_row = banks.database.table("author").row(
-                    authors[argument % len(authors)]
-                )
-                paper_row = banks.database.table("paper").row(
-                    papers[argument % len(papers)]
-                )
-                banks.insert(
-                    "writes", [author_row["aid"], paper_row["pid"]]
-                )
-            elif op == "delete":
-                writes = list(banks.database.table("writes").rids())
-                if writes:
-                    banks.delete(("writes", writes[argument % len(writes)]))
-            elif op == "update_title":
-                papers = list(banks.database.table("paper").rids())
-                if papers:
-                    banks.update(
-                        ("paper", papers[argument % len(papers)]),
-                        {"title": f"renamed word{argument}"},
-                    )
+            paper_count = _run_operation(banks, op, argument, paper_count)
         except IntegrityError:
             pass  # legitimately refused mutations leave state consistent
     assert_matches_rebuild(banks)
@@ -261,3 +266,64 @@ def test_property_mutations_match_rebuild(operations):
         assert set(p.node for p in banks.index.lookup(term)) == set(
             p.node for p in fresh_index.lookup(term)
         )
+
+
+# -- property: delta-log, deep-copy and direct paths are one write path ----------
+
+
+@settings(deadline=None, max_examples=25)
+@given(operations=_operations)
+def test_property_delta_log_deep_copy_and_rebuild_agree(operations):
+    """Drive the same random mutation sequence through (a) direct
+    in-place mutation, (b) a delta-mode SnapshotStore and (c) a
+    deep-mode SnapshotStore; all three must converge to identical node
+    sets, edge sets, weights, prestige and top-k answers — and match a
+    full rebuild."""
+    from repro.serve.snapshot import SnapshotStore
+    from repro.shard.stitch import graphs_equal
+
+    direct = IncrementalBANKS(make_db())
+    delta_store = SnapshotStore(IncrementalBANKS(make_db()), copy_mode="delta")
+    deep_store = SnapshotStore(IncrementalBANKS(make_db()), copy_mode="deep")
+
+    direct_papers = 1
+    for op, argument in operations:
+        try:
+            direct_papers = _run_operation(direct, op, argument, direct_papers)
+        except IntegrityError:
+            pass
+        for store in (delta_store, deep_store):
+            # Each store keeps its own paper counter equal to the
+            # direct one by construction (same op sequence, and the
+            # counter only moves on successful insert_paper ops, which
+            # never fail with IntegrityError on this schema).
+            try:
+                store.mutate(
+                    lambda facade, op=op, argument=argument: _run_operation(
+                        facade, op, argument, direct_papers - 1
+                    )
+                )
+            except BatchMutationError:  # pragma: no cover - defensive
+                raise
+            except IntegrityError:
+                pass
+
+    delta_facade = delta_store.current().facade
+    deep_facade = deep_store.current().facade
+    for facade in (delta_facade, deep_facade):
+        assert graphs_equal(direct.graph, facade.graph)
+        direct._refresh_stats()
+        facade._refresh_stats()
+        assert direct.stats == facade.stats
+        assert set(direct.index.vocabulary()) == set(facade.index.vocabulary())
+    assert_matches_rebuild(delta_facade)
+    for query in ("title", "renamed word3", "ada", "computing"):
+        expected = [
+            (a.tree.root, round(a.relevance, 9)) for a in direct.search(query)
+        ]
+        for facade in (delta_facade, deep_facade):
+            got = [
+                (a.tree.root, round(a.relevance, 9))
+                for a in facade.search(query)
+            ]
+            assert got == expected, query

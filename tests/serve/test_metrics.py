@@ -4,6 +4,8 @@ from __future__ import annotations
 
 import threading
 
+import pytest
+
 from repro.serve.metrics import (
     Counter,
     Gauge,
@@ -154,3 +156,75 @@ class TestRegistry:
         registry = MetricsRegistry(prefix="")
         registry.counter("hits_total").inc()
         assert "\nhits_total 1" in "\n" + registry.render_text()
+
+
+class TestHistogram:
+    def test_cumulative_buckets(self):
+        from repro.serve.metrics import Histogram
+
+        histogram = Histogram("lat", buckets=(0.01, 0.1, 1.0))
+        for value in (0.005, 0.05, 0.5, 5.0):
+            histogram.observe(value)
+        buckets, total, count = histogram.summary()
+        assert buckets == [(0.01, 1), (0.1, 2), (1.0, 3)]
+        assert count == 4
+        assert total == pytest.approx(5.555)
+
+    def test_bad_buckets_rejected(self):
+        from repro.errors import ServeError
+        from repro.serve.metrics import Histogram
+
+        with pytest.raises(ServeError):
+            Histogram("h", buckets=())
+        with pytest.raises(ServeError):
+            Histogram("h", buckets=(1.0, 0.5))
+
+    def test_registry_exposition_format(self):
+        from repro.serve.metrics import MetricsRegistry
+
+        registry = MetricsRegistry(prefix="t")
+        histogram = registry.histogram(
+            "copy_seconds", "copy cost", buckets=(0.1, 1.0)
+        )
+        histogram.observe(0.05)
+        histogram.observe(2.0)
+        text = registry.render_text()
+        assert "# TYPE t_copy_seconds histogram" in text
+        assert 't_copy_seconds_bucket{le="0.1"} 1' in text
+        assert 't_copy_seconds_bucket{le="+Inf"} 2' in text
+        assert "t_copy_seconds_count 2" in text
+        snapshot = registry.snapshot()
+        assert snapshot["copy_seconds_count"] == 2
+        assert snapshot["copy_seconds_sum"] == pytest.approx(2.05)
+
+    def test_registry_histogram_idempotent_by_name(self):
+        from repro.serve.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        first = registry.histogram("h")
+        assert registry.histogram("h") is first
+
+    def test_engine_exposes_latency_and_copy_histograms(self):
+        from repro.core.incremental import IncrementalBANKS
+        from repro.relational import Database, execute_script
+        from repro.serve import EngineConfig, QueryEngine
+
+        database = Database("hist")
+        execute_script(
+            database,
+            "CREATE TABLE t (id TEXT PRIMARY KEY, v TEXT);"
+            "INSERT INTO t VALUES ('a', 'hello world');",
+        )
+        with QueryEngine(
+            IncrementalBANKS(database), EngineConfig(workers=1)
+        ) as engine:
+            engine.search("hello")
+            engine.mutate(lambda f: f.insert("t", ["b", "more words"]))
+            text = engine.metrics.render_text()
+            assert "request_latency_seconds_bucket" in text
+            assert "snapshot_copy_cost_seconds_bucket" in text
+            snapshot = engine.metrics.snapshot()
+            assert snapshot["request_latency_seconds_count"] == 1
+            assert snapshot["snapshot_copy_cost_seconds_count"] == 1
+            assert snapshot["snapshot_epoch"] == 1
+            assert snapshot["snapshot_deltas_total"] == 1

@@ -1,4 +1,4 @@
-"""Tests for snapshot isolation (the MVCC store)."""
+"""Tests for snapshot isolation (the MVCC store), in both copy modes."""
 
 from __future__ import annotations
 
@@ -7,8 +7,9 @@ import threading
 import pytest
 
 from repro.core.incremental import IncrementalBANKS
+from repro.errors import BatchMutationError, ServeError
 from repro.relational import Database, execute_script
-from repro.serve.snapshot import SnapshotStore
+from repro.serve.snapshot import SnapshotStore, supports_delta
 
 SCHEMA = """
 CREATE TABLE author (aid TEXT PRIMARY KEY, name TEXT NOT NULL);
@@ -151,19 +152,137 @@ class TestBatchMutation:
         assert store.copies == 2
         assert store.copy_seconds > 0.0
 
-    def test_failed_batch_publishes_nothing(self):
+    def test_failed_batch_rolls_back_and_names_the_failing_index(self):
+        """Partial-failure semantics: operation k fails -> operations
+        0..k-1 are rolled back with the discarded private version,
+        nothing is published, and the error carries the index."""
         store = SnapshotStore(incremental_banks())
 
         def boom(facade):
             raise RuntimeError("doomed")
 
         before = store.current()
-        with pytest.raises(RuntimeError):
+        with pytest.raises(BatchMutationError) as caught:
             store.mutate_batch(
                 [lambda f: f.insert("paper", ["p2", "x"]), boom]
             )
+        assert caught.value.index == 1
+        assert isinstance(caught.value.cause, RuntimeError)
+        assert isinstance(caught.value.__cause__, RuntimeError)
         assert store.current() is before
         assert store.version == 0
+        # The rolled-back insert of operation 0 is invisible everywhere.
+        assert store.current().facade.search("x") == []
+        assert len(store.current().facade.database.table("paper")) == 1
+
+
+class TestCopyModes:
+    def test_auto_picks_delta_for_incremental_banks(self):
+        store = SnapshotStore(incremental_banks())
+        assert store.copy_mode == "delta"
+        assert store.log is not None
+
+    def test_auto_falls_back_to_deep_for_plain_objects(self):
+        store = SnapshotStore(object())
+        assert store.copy_mode == "deep"
+        assert store.log is None
+
+    def test_delta_mode_refuses_incapable_facade(self):
+        with pytest.raises(ServeError):
+            SnapshotStore(object(), copy_mode="delta")
+
+    def test_unknown_mode_refused(self):
+        with pytest.raises(ServeError):
+            SnapshotStore(incremental_banks(), copy_mode="shallow")
+
+    def test_supports_delta_protocol(self):
+        assert supports_delta(incremental_banks())
+        assert not supports_delta(object())
+
+    def test_deep_and_delta_publish_identical_states(self):
+        """The deep path is the reference; the delta path must match
+        it node-for-node, edge-for-edge, answer-for-answer."""
+        from repro.shard.stitch import graphs_equal
+
+        operations = [
+            lambda f: f.insert("paper", ["p2", "structural sharing"]),
+            lambda f: f.insert("author", ["a2", "barbara liskov"]),
+            lambda f: f.insert("writes", ["a2", "p2"]),
+            lambda f: f.update(("paper", 0), {"title": "revised title"}),
+            lambda f: f.delete(("writes", 0)),
+        ]
+        deep = SnapshotStore(incremental_banks(), copy_mode="deep")
+        delta = SnapshotStore(incremental_banks(), copy_mode="delta")
+        for operation in operations:
+            deep.mutate(operation)
+            delta.mutate(operation)
+        deep_facade = deep.current().facade
+        delta_facade = delta.current().facade
+        assert graphs_equal(deep_facade.graph, delta_facade.graph)
+        assert deep_facade.stats == delta_facade.stats
+        assert set(deep_facade.index.vocabulary()) == set(
+            delta_facade.index.vocabulary()
+        )
+        for query in ("structural", "barbara", "revised"):
+            assert [
+                (a.tree.root, round(a.relevance, 12))
+                for a in deep_facade.search(query)
+            ] == [
+                (a.tree.root, round(a.relevance, 12))
+                for a in delta_facade.search(query)
+            ]
+
+    def test_delta_mode_publishes_epochs_with_deltas(self):
+        store = SnapshotStore(incremental_banks(), copy_mode="delta")
+        store.mutate(lambda f: f.insert("paper", ["p2", "flow charts"]))
+        store.mutate_batch(
+            [
+                lambda f: f.insert("paper", ["p3", "subroutines"]),
+                lambda f: f.insert("paper", ["p4", "linkers"]),
+            ]
+        )
+        assert store.epoch == 2
+        entries = store.log.entries_since(0)
+        assert [e.number for e in entries] == [1, 2]
+        assert len(entries[0].deltas) == 1
+        assert len(entries[1].deltas) == 2
+        assert entries[1].deltas[0].kind == "insert"
+        assert store.deltas_published == 3
+
+    def test_republish_bumps_version_without_copy(self):
+        store = SnapshotStore(incremental_banks(), copy_mode="delta")
+        facade = store.current().facade
+        store.republish()
+        assert store.version == 1
+        assert store.epoch == 1
+        assert store.current().facade is facade
+        assert store.copies == 0
+
+    def test_pinned_reader_isolated_under_delta_mode(self):
+        """The fork must copy-on-write *everything* a search touches:
+        graph adjacency, postings, table heaps, reverse references."""
+        store = SnapshotStore(incremental_banks(), copy_mode="delta")
+        pinned = store.current()
+        store.mutate_batch(
+            [
+                lambda f: f.insert("author", ["a9", "edsger dijkstra"]),
+                lambda f: f.insert("paper", ["p9", "structured programming"]),
+                lambda f: f.insert("writes", ["a9", "p9"]),
+                lambda f: f.update(
+                    ("paper", 0), {"title": "renamed expressions"}
+                ),
+            ]
+        )
+        # The pinned version still answers from the old world.
+        assert pinned.facade.search("structured") == []
+        assert pinned.facade.search("compiling")
+        assert len(pinned.facade.database.table("paper")) == 1
+        # The new version answers from the new world.
+        fresh = store.current().facade
+        assert fresh.search("structured")
+        assert fresh.search("compiling") == []
+        answers = fresh.search("edsger structured")
+        assert answers and len(answers[0].tree.nodes) >= 3
 
 
 class TestEngineCopyMetrics:

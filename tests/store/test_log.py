@@ -1,0 +1,93 @@
+"""Tests for the DeltaLog: epochs, pins, and reclamation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import StoreError
+from repro.store.delta import Delta
+from repro.store.log import DeltaLog
+
+
+def delta(n: int) -> Delta:
+    return Delta(kind="insert", node=("paper", n), row_values=(f"p{n}", "t"))
+
+
+class TestPublication:
+    def test_epochs_are_monotone(self):
+        log = DeltaLog()
+        assert log.epoch == 0
+        first = log.publish([delta(1)])
+        second = log.publish([delta(2), delta(3)])
+        assert (first.number, second.number) == (1, 2)
+        assert log.epoch == 2
+        assert log.published_total == 2
+        assert log.deltas_total == 3
+
+    def test_entries_since(self):
+        log = DeltaLog()
+        for n in range(5):
+            log.publish([delta(n)])
+        tail = log.entries_since(3)
+        assert [e.number for e in tail] == [4, 5]
+        assert log.entries_since(5) == []
+
+    def test_entries_since_future_epoch_raises(self):
+        log = DeltaLog()
+        log.publish([delta(1)])
+        with pytest.raises(StoreError):
+            log.entries_since(7)
+
+
+class TestReclamation:
+    def test_window_bounds_unpinned_logs(self):
+        log = DeltaLog(retain=3)
+        for n in range(10):
+            log.publish([delta(n)])
+        assert len(log) == 3
+        assert log.reclaimed_total == 7
+        assert [e.number for e in log.entries_since(7)] == [8, 9, 10]
+
+    def test_reclaimed_epoch_request_fails_loudly(self):
+        log = DeltaLog(retain=2)
+        for n in range(6):
+            log.publish([delta(n)])
+        with pytest.raises(StoreError):
+            log.entries_since(1)
+
+    def test_pin_protects_catchup_window(self):
+        log = DeltaLog(retain=2)
+        pinned = log.pin()  # epoch 0: consumer has seen nothing
+        for n in range(8):
+            log.publish([delta(n)])
+        # Everything after the pin is still replayable.
+        assert [e.number for e in log.entries_since(pinned)] == list(
+            range(1, 9)
+        )
+        log.release(pinned)
+        log.publish([delta(99)])  # reclamation runs on publish
+        assert len(log) == 2
+
+    def test_release_unknown_pin_raises(self):
+        log = DeltaLog()
+        with pytest.raises(StoreError):
+            log.release(3)
+
+    def test_pin_counts_nest(self):
+        log = DeltaLog(retain=1)
+        first = log.pin()
+        second = log.pin()
+        assert first == second == 0
+        for n in range(4):
+            log.publish([delta(n)])
+        log.release(first)
+        for n in range(3):
+            log.publish([delta(n)])
+        assert [e.number for e in log.entries_since(second)][0] == 1
+        log.release(second)
+        log.publish([delta(0)])
+        assert len(log) == 1
+
+    def test_retain_must_be_positive(self):
+        with pytest.raises(StoreError):
+            DeltaLog(retain=0)
