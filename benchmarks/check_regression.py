@@ -52,6 +52,14 @@ FLOOR_METRICS = (
     "parity_after_mutations",
     "results_match",
     "equivalence_ok",
+    # Durable-log floors (BENCH_wal.json): recovery and the
+    # cross-process replica must reproduce the live answers exactly,
+    # the replica must reach zero lag, and the durable write path must
+    # stay within the 3x overhead bar bench_wal.py asserts.
+    "recovery_parity",
+    "replica_parity",
+    "replica_lag_zero",
+    "wal_overhead_ok",
 )
 
 

@@ -50,11 +50,16 @@ class BrowseApp:
         engine: optional :class:`~repro.serve.engine.QueryEngine`;
             when given, ``/search`` dispatches through it and
             ``/metrics`` serves the engine's metrics.
+        read_only: refuse ``/mutate`` even over a mutable facade.  A
+            WAL replica (``banks serve --replica``) serves one: its
+            state is owned by the primary's epoch log, and a local
+            write would silently diverge from it.
     """
 
-    def __init__(self, banks: BANKS, engine=None):
+    def __init__(self, banks: BANKS, engine=None, read_only: bool = False):
         self._banks = banks
         self.engine = engine
+        self.read_only = read_only
         self.templates = TemplateRegistry(banks.database)
 
     @property
@@ -224,8 +229,11 @@ class BrowseApp:
 
         Preference order: the engine itself (a shard router routes
         deltas), an engine wrapping a mutable facade (snapshot-store
-        write path), then a bare mutable facade.
+        write path), then a bare mutable facade.  A read-only
+        deployment (a WAL replica) has no writer at all.
         """
+        if self.read_only:
+            return None
         engine = self.engine
         if engine is not None and callable(getattr(engine, "insert", None)):
             return engine
@@ -260,7 +268,9 @@ class BrowseApp:
                     None,
                     "This deployment is read-only: serve a live facade "
                     "(banks serve --live) or a shard router to enable "
-                    "mutations.",
+                    "mutations.  A WAL replica (banks serve --replica) "
+                    "follows the primary's epochs and never writes "
+                    "locally.",
                 ),
             )
         params = parse_qs(query_string)

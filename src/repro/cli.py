@@ -19,9 +19,12 @@ Commands::
     banks search DB QUERY... [-k N]    ranked connection trees
     banks sweep DB                     the Figure 5 lambda x EdgeLog grid
     banks serve DB [--port P]          the browsing/search Web app
+    banks recover DB --wal PATH        replay a durable epoch log onto DB
     banks bench-serve DB               serving-engine throughput benchmark
     banks bench-shard DB               sharded scatter-gather benchmark
     banks bench-mutate DB              write-path benchmark (delta vs deep)
+    banks bench-wal DB                 durable-log benchmark (WAL overhead,
+                                       recovery + replica parity)
 
 ``banks serve`` dispatches searches through the concurrent serving
 engine (:mod:`repro.serve`): a worker pool with admission control,
@@ -50,6 +53,27 @@ at ``/metrics``.  Tuning knobs:
     --dispatch P       gather (exact scatter-gather, default) or route
                        (whole queries to one worker each — the
                        throughput policy; see repro.shard.router)
+    --wal PATH         with --live: append every published mutation
+                       epoch to a durable segmented log at PATH
+                       (repro.store.wal); on startup, any epochs
+                       already there are replayed first, so restarting
+                       after a crash recovers the pre-crash state
+    --wal-fsync M      WAL durability: always (default; fsync each
+                       epoch), rotate (fsync on segment close), never
+    --replica          with --wal: serve a *read-only replica* that
+                       tails another process's WAL and stays caught up
+                       by epoch (replica_lag_epochs on /metrics);
+                       /mutate is refused — the primary owns the state
+
+A primary/replica pair on one database::
+
+    banks serve demo:bibliography --live --wal /tmp/banks-wal
+    banks serve demo:bibliography --replica --wal /tmp/banks-wal --port 8001
+
+``banks recover DB --wal PATH`` rebuilds the pre-crash facade by
+replaying the WAL onto the base database DB (the runbook lives in
+``docs/OPERATIONS.md``); ``--query`` options search the recovered
+facade as a spot check.
 
 ``banks bench-mutate`` measures write throughput of the delta-log
 write path against the deep-copy baseline on the same mutation
@@ -65,6 +89,13 @@ single-thread dispatch on a Zipf-skewed workload; ``--concurrency``,
 gathered global top-k matches single-engine search; it needs a demo
 dataset with a benchmark query set (bibliography, tpcd) or explicit
 ``--query`` options.
+
+``banks bench-wal`` measures the durable write path (delta snapshots +
+WAL append + fsync) against the in-memory delta path on the same
+mutation workload, then proves the log back: recovery from the base
+snapshot must reproduce the live facade's top-5 answers exactly, and a
+replica follower in a second process must catch up to zero lag with
+identical answers.
 
 Exit status: 0 on success, 1 on a usage or data error (message on
 stderr).
@@ -180,8 +211,25 @@ def _command_sweep(args: argparse.Namespace, out) -> int:
 def _command_serve(args: argparse.Namespace, out) -> int:
     from repro.browse.app import BrowseApp
 
+    if args.replica and not args.wal:
+        raise ReproError("--replica needs --wal PATH (the primary's log)")
+    if args.replica and (args.shards or args.live or args.no_engine):
+        raise ReproError(
+            "--replica is its own serving mode; drop --shards/--live/"
+            "--no-engine (a sharded WAL replica is not wired up yet)"
+        )
+    if args.wal and not (args.live or args.replica):
+        raise ReproError(
+            "--wal needs --live (durable primary) or --replica (follower); "
+            "the other serving modes publish no mutation epochs"
+        )
+    if args.wal and args.live and args.copy_mode == "deep":
+        raise ReproError(
+            "--wal needs the delta write path; drop --copy-mode deep"
+        )
     database = load_database(args.db)
     engine = None
+    follower = None
     if args.shards:
         from repro.serve import EngineConfig
         from repro.shard import ShardRouter
@@ -204,13 +252,15 @@ def _command_serve(args: argparse.Namespace, out) -> int:
         banks = engine
     elif args.no_engine:
         banks = BANKS(database)
-    elif args.live:
+    elif args.replica:
         from repro.core.incremental import IncrementalBANKS
         from repro.serve import EngineConfig, QueryEngine
+        from repro.store.wal import ReplicaFollower
 
-        # A live deployment serves a mutable facade: /mutate applies
-        # IncrementalBANKS deltas through the snapshot store (delta-log
-        # write path under --copy-mode auto/delta).
+        # A replica serves reads only: the loaded DB is the base
+        # snapshot, the primary's WAL is the source of truth, and the
+        # follower applies each new epoch through the engine so readers
+        # keep snapshot isolation.
         banks = IncrementalBANKS(database)
         engine = QueryEngine(
             banks,
@@ -218,7 +268,47 @@ def _command_serve(args: argparse.Namespace, out) -> int:
                 workers=args.workers,
                 queue_bound=args.queue_bound,
                 default_deadline=args.deadline,
+            ),
+        )
+        follower = ReplicaFollower.over_engine(
+            args.wal, engine, metrics=engine.metrics
+        )
+        caught_up = follower.poll()
+        print(
+            f"replica caught up: {caught_up} epoch(s) applied, "
+            f"lag {follower.lag_epochs()}",
+            file=out,
+        )
+    elif args.live:
+        from repro.core.incremental import IncrementalBANKS
+        from repro.serve import EngineConfig, QueryEngine
+
+        # A live deployment serves a mutable facade: /mutate applies
+        # IncrementalBANKS deltas through the snapshot store (delta-log
+        # write path under --copy-mode auto/delta).  With --wal the
+        # store appends every epoch durably — and any epochs already on
+        # disk replay first, so a restart recovers the pre-crash state.
+        import os
+
+        if args.wal and os.path.isdir(args.wal):
+            # The one recovery implementation (pruned-history guard
+            # included): base snapshot + every complete epoch on disk.
+            banks = IncrementalBANKS.recover(database, args.wal)
+            print(
+                f"recovered {banks.applied_epoch} epoch(s) from {args.wal}",
+                file=out,
+            )
+        else:
+            banks = IncrementalBANKS(database)
+        engine = QueryEngine(
+            banks,
+            EngineConfig(
+                workers=args.workers,
+                queue_bound=args.queue_bound,
+                default_deadline=args.deadline,
                 copy_mode=args.copy_mode,
+                wal_path=args.wal,
+                wal_fsync=args.wal_fsync,
             ),
         )
     else:
@@ -236,7 +326,7 @@ def _command_serve(args: argparse.Namespace, out) -> int:
                 default_deadline=args.deadline,
             ),
         )
-    app = BrowseApp(banks, engine=engine)
+    app = BrowseApp(banks, engine=engine, read_only=args.replica)
     try:
         if args.check:
             status, _html = app.handle("/", "")
@@ -285,23 +375,86 @@ def _command_serve(args: argparse.Namespace, out) -> int:
                     f"{args.shards} shards, {engine.backend} backend, "
                     f"{engine.dispatch} dispatch"
                 )
+            elif args.replica:
+                mode = f"read-only replica tailing {args.wal}"
             else:
                 mode = (
                     f"{args.workers} workers, queue bound {args.queue_bound}"
                 )
+                if args.wal:
+                    mode += f", WAL at {args.wal} ({args.wal_fsync} fsync)"
             print(
                 f"serving {database.name} on http://{args.host}:{args.port}/ "
                 f"({mode})",
                 file=out,
             )
+            if follower is not None:
+                follower.start(interval=0.5)
             try:
                 server.serve_forever()
             except KeyboardInterrupt:  # pragma: no cover - interactive
                 print("shutting down", file=out)
         return 0
     finally:
+        if follower is not None:
+            follower.stop()
         if engine is not None:
             engine.stop()
+
+
+def _command_recover(args: argparse.Namespace, out) -> int:
+    from repro.core.incremental import IncrementalBANKS
+
+    database = load_database(args.db)
+    start = time.perf_counter()
+    facade = IncrementalBANKS.recover(database, args.wal)
+    elapsed = time.perf_counter() - start
+    facade._refresh_stats()
+    print(f"base database : {database.name} ({args.db})", file=out)
+    print(f"wal           : {args.wal}", file=out)
+    print(f"recovered to  : epoch {facade.applied_epoch}", file=out)
+    print(
+        f"graph         : {facade.stats.num_nodes} nodes, "
+        f"{facade.stats.num_edges} edges",
+        file=out,
+    )
+    print(f"replay time   : {elapsed:.2f} s", file=out)
+    for query in args.queries or ():
+        answers = facade.search(query, max_results=args.max_results)
+        if answers:
+            best = answers[0]
+            print(
+                f"query {query!r}: {len(answers)} answer(s), best "
+                f"{facade.node_label(best.tree.root)} "
+                f"(relevance {best.relevance:.4f})",
+                file=out,
+            )
+        else:
+            print(f"query {query!r}: no answers", file=out)
+    return 0
+
+
+def _command_bench_wal(args: argparse.Namespace, out) -> int:
+    from repro.datasets import DEMO_QUERY_SETS
+    from repro.store.bench import run_wal_benchmark
+
+    database = load_database(args.db)
+    queries = args.queries or DEMO_QUERY_SETS.get(database.name)
+    if not queries:
+        raise ReproError(
+            f"no benchmark query set for database {database.name!r}; "
+            "pass one or more --query options"
+        )
+    report = run_wal_benchmark(
+        database,
+        dataset=args.db,
+        mutations=args.mutations,
+        batch_size=args.batch_size,
+        fsync=args.fsync,
+        queries=queries,
+    )
+    print(report.render(), file=out)
+    return 0 if report.ok else 1
 
 
 def _command_bench_shard(args: argparse.Namespace, out) -> int:
@@ -450,7 +603,48 @@ def build_parser() -> argparse.ArgumentParser:
         help="shard dispatch policy: exact scatter-gather, or whole "
         "queries routed to one worker each (throughput)",
     )
+    serve.add_argument(
+        "--wal",
+        default=None,
+        metavar="PATH",
+        help="with --live: durable epoch-log directory (recovers any "
+        "epochs already there on startup); with --replica: the "
+        "primary's log to tail",
+    )
+    serve.add_argument(
+        "--wal-fsync",
+        choices=("always", "rotate", "never"),
+        default="always",
+        dest="wal_fsync",
+        help="WAL durability policy (always = fsync each epoch)",
+    )
+    serve.add_argument(
+        "--replica",
+        action="store_true",
+        help="serve a read-only replica that tails --wal PATH and "
+        "stays caught up by epoch",
+    )
     serve.set_defaults(run=_command_serve)
+
+    recover = commands.add_parser(
+        "recover",
+        help="replay a durable epoch log onto the base database",
+    )
+    recover.add_argument("db", help="the base snapshot (pre-WAL state)")
+    recover.add_argument(
+        "--wal", required=True, metavar="PATH", help="epoch-log directory"
+    )
+    recover.add_argument(
+        "--query",
+        action="append",
+        dest="queries",
+        metavar="QUERY",
+        help="spot-check query against the recovered facade (repeatable)",
+    )
+    recover.add_argument(
+        "-k", "--max-results", type=int, default=5, dest="max_results"
+    )
+    recover.set_defaults(run=_command_recover)
 
     bench_serve = commands.add_parser(
         "bench-serve", help="serving-engine throughput benchmark"
@@ -505,6 +699,29 @@ def build_parser() -> argparse.ArgumentParser:
         "--batch-size", type=int, default=1, dest="batch_size"
     )
     bench_mutate.set_defaults(run=_command_bench_mutate)
+
+    bench_wal = commands.add_parser(
+        "bench-wal",
+        help="durable-log benchmark: WAL overhead, recovery and "
+        "replica parity",
+    )
+    bench_wal.add_argument("db")
+    bench_wal.add_argument("--mutations", type=int, default=52)
+    bench_wal.add_argument(
+        "--batch-size", type=int, default=1, dest="batch_size"
+    )
+    bench_wal.add_argument(
+        "--fsync", choices=("always", "rotate", "never"), default="always"
+    )
+    bench_wal.add_argument(
+        "--query",
+        action="append",
+        dest="queries",
+        metavar="QUERY",
+        help="parity query (repeatable; default: the dataset's demo "
+        "query set)",
+    )
+    bench_wal.set_defaults(run=_command_bench_wal)
     return parser
 
 

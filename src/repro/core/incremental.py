@@ -29,7 +29,12 @@ the shard router's delta routing.  Two capabilities build on that:
 * **copy-on-write forking** — :meth:`fork` returns a facade sharing
   all storage structurally (graph adjacency, postings lists, table
   heaps); mutating the fork copies only what it touches.  This is
-  what makes publishing a snapshot O(delta) instead of O(data).
+  what makes publishing a snapshot O(delta) instead of O(data);
+* **replication and recovery** — :meth:`apply_delta` /
+  :meth:`apply_epochs` absorb *externally derived* deltas (a replica
+  following a primary's epochs), and :meth:`recover` rebuilds the
+  exact pre-crash facade from a base snapshot plus a durable WAL
+  (:mod:`repro.store.wal`).
 
 Equivalence to a full rebuild — identical node set, edge set, weights,
 prestige and scoring normalisers — is asserted by a hypothesis property
@@ -60,6 +65,7 @@ from repro.store.delta import (
     derive_insert,
     derive_insert_dict,
     derive_update,
+    replay_delta,
 )
 from repro.store.versioned import fork_graph
 
@@ -83,6 +89,9 @@ class IncrementalBANKS(BANKS):
         super().__init__(database, **banks_options)
         self._stats_dirty = False
         self._captured: Optional[List[Delta]] = None
+        #: Newest WAL epoch this facade has absorbed (0 = base
+        #: snapshot).  Only replicas and recovered facades advance it.
+        self.applied_epoch = 0
 
     # -- stats refresh ---------------------------------------------------------
 
@@ -189,6 +198,88 @@ class IncrementalBANKS(BANKS):
             changes,
         )
         self._absorb(delta)
+
+    # -- replication / recovery ------------------------------------------------
+
+    def apply_delta(self, delta: Delta) -> None:
+        """Absorb one *externally derived* delta, as a replica.
+
+        Replays the relational + index part
+        (:func:`~repro.store.delta.replay_delta` verifies insert RIDs,
+        so divergence from the primary fails loudly) and applies the
+        graph part.  Mirrors what the native mutation methods do with
+        a locally derived delta — one arithmetic, two directions.
+        """
+        replay_delta(self.database, (self.index,), delta)
+        self._absorb(delta)
+
+    def apply_epoch(self, epoch) -> int:
+        """Absorb one published :class:`~repro.store.log.Epoch`;
+        returns the deltas applied.
+
+        Raises :class:`~repro.errors.StoreError` unless the epoch is
+        exactly the next one (``applied_epoch + 1``) — a replica fed a
+        gapped history (e.g. from a WAL pruned past its position) must
+        rebuild, not silently skip.
+        """
+        if epoch.number != self.applied_epoch + 1:
+            raise StoreError(
+                f"replica at epoch {self.applied_epoch} cannot apply "
+                f"epoch {epoch.number}; rebuild from a current snapshot"
+            )
+        for delta in epoch.deltas:
+            self.apply_delta(delta)
+        self.applied_epoch = epoch.number
+        return len(epoch.deltas)
+
+    def apply_epochs(self, epochs) -> int:
+        """Absorb a sequence of epochs in order; returns the total
+        deltas applied.  This is the replica surface a
+        :class:`~repro.store.wal.ReplicaFollower` tails into."""
+        applied = 0
+        for epoch in epochs:
+            applied += self.apply_epoch(epoch)
+        return applied
+
+    @classmethod
+    def recover(
+        cls, db_factory, wal_path, **banks_options
+    ) -> "IncrementalBANKS":
+        """Rebuild the exact pre-crash facade: base snapshot + WAL.
+
+        Args:
+            db_factory: a callable returning the *base* database (the
+                state before WAL epoch 1 — e.g. the deterministic demo
+                generator, or ``base.fork``), or a Database to adopt.
+            wal_path: the WAL directory (or an open
+                :class:`~repro.store.wal.WalReader`).
+
+        Replays every complete epoch in order; a torn tail from the
+        crash is ignored by the reader (no partial epoch is ever
+        applied), and the returned facade's :attr:`applied_epoch` says
+        how far history reached.  Raises
+        :class:`~repro.errors.StoreError` when the WAL was pruned
+        (``first_epoch > 1``): recovery from a base snapshot needs the
+        full history.
+        """
+        from repro.store.wal import WalReader
+
+        reader = (
+            wal_path
+            if isinstance(wal_path, WalReader)
+            else WalReader(str(wal_path))
+        )
+        first = reader.first_epoch()
+        if first > 1:
+            raise StoreError(
+                f"WAL starts at epoch {first}: epochs 1..{first - 1} were "
+                "pruned, so recovery from a base snapshot cannot replay "
+                "the full history"
+            )
+        database = db_factory() if callable(db_factory) else db_factory
+        facade = cls(database, **banks_options)
+        facade.apply_epochs(reader.read_all())
+        return facade
 
     # -- delta machinery ------------------------------------------------------------
 

@@ -111,6 +111,13 @@ class StoreError(ReproError):
     replica divergence on replay, bad log configuration, ...)."""
 
 
+class WalError(StoreError):
+    """The durable epoch log is corrupt or misused (mid-log torn
+    record, epoch-number gap on append, refused resume after missing
+    history, ...).  Torn *tails* are not errors — the reader stops at
+    the last complete epoch and the writer truncates them on open."""
+
+
 class ServeError(ReproError):
     """The query-serving engine could not process a request."""
 

@@ -1,10 +1,32 @@
 """``repro.serve`` — concurrent query serving over a BANKS facade.
 
 The layer between front ends (web app, CLI, federation) and the
-in-memory engine: a worker pool with admission control, single-flight
-deduplication of identical in-flight queries, snapshot isolation
-against incremental mutations, and an engine-level metrics registry.
-See :mod:`repro.serve.engine` for the architecture overview.
+in-memory engine.  The subsystem contract:
+
+* :mod:`repro.serve.engine` — :class:`QueryEngine` fronts any facade
+  with a ``search`` method: a fixed worker pool
+  (:mod:`repro.serve.pool`), bounded admission with shedding or
+  back-pressure and per-request deadlines, and single-flight
+  deduplication (:mod:`repro.serve.singleflight`) keyed on the
+  snapshot version, so deduplicated requests are exactly as consistent
+  as independent ones.
+* :mod:`repro.serve.snapshot` — :class:`SnapshotStore`, the
+  single-writer / many-reader MVCC boundary: readers pin an immutable
+  version wait-free; :meth:`~SnapshotStore.mutate` applies a batch to
+  a private copy and publishes atomically.  ``copy_mode="delta"``
+  captures O(delta) copy-on-write forks and publishes each batch as a
+  :class:`~repro.store.log.DeltaLog` epoch; with a WAL attached
+  (``wal=`` / ``EngineConfig.wal_path``) every epoch is durable before
+  readers see it — the write-ahead contract behind ``banks recover``
+  and :class:`~repro.store.wal.ReplicaFollower` replicas.
+* :mod:`repro.serve.metrics` — the engine-level
+  :class:`MetricsRegistry` (counters, gauges, latency windows,
+  Prometheus-style histograms) rendered at ``/metrics``; every series
+  is documented in ``docs/OPERATIONS.md``.
+
+The layer map and request/mutation data flows are drawn in
+``docs/ARCHITECTURE.md``; :mod:`repro.serve.engine` holds the
+per-mechanism details.
 """
 
 from repro.serve.engine import EngineConfig, QueryEngine, QueryOutcome

@@ -105,6 +105,12 @@ class EngineConfig:
             snapshot — ``"auto"`` (delta-log when the facade supports
             it), ``"delta"`` or ``"deep"`` (see
             :class:`~repro.serve.snapshot.SnapshotStore`).
+        wal_path: directory for the durable epoch log; every published
+            mutation epoch is appended there before readers see it
+            (crash recovery + cross-process replicas, see
+            :mod:`repro.store.wal`).  Delta mode only.
+        wal_fsync: the WAL's durability policy (``"always"`` |
+            ``"rotate"`` | ``"never"``).
     """
 
     workers: int = 4
@@ -114,6 +120,8 @@ class EngineConfig:
     dedup: bool = True
     metrics_window: float = 60.0
     copy_mode: str = "auto"
+    wal_path: Optional[str] = None
+    wal_fsync: str = "always"
 
     def __post_init__(self):
         if self.shed_policy not in _SHED_POLICIES:
@@ -125,6 +133,11 @@ class EngineConfig:
             raise ServeError(
                 f"unknown copy mode {self.copy_mode!r} "
                 "(choose from auto, deep, delta)"
+            )
+        if self.wal_fsync not in ("always", "rotate", "never"):
+            raise ServeError(
+                f"unknown wal fsync policy {self.wal_fsync!r} "
+                "(choose from always, rotate, never)"
             )
         if self.default_deadline is not None and self.default_deadline <= 0:
             raise ServeError("default_deadline must be positive")
@@ -170,7 +183,14 @@ class QueryEngine:
         metrics: Optional[MetricsRegistry] = None,
     ):
         self.config = config or EngineConfig()
-        self.snapshots = SnapshotStore(facade, copy_mode=self.config.copy_mode)
+        wal = None
+        if self.config.wal_path is not None:
+            from repro.store.wal import WalWriter
+
+            wal = WalWriter(self.config.wal_path, fsync=self.config.wal_fsync)
+        self.snapshots = SnapshotStore(
+            facade, copy_mode=self.config.copy_mode, wal=wal
+        )
         self.pool = WorkerPool(
             workers=self.config.workers,
             queue_bound=self.config.queue_bound,
@@ -209,6 +229,12 @@ class QueryEngine:
         m.gauge("snapshot_epochs_reclaimed_total",
                 "delta-log epochs reclaimed",
                 fn=lambda: self.snapshots.epochs_reclaimed)
+        m.gauge("wal_epochs_written",
+                "epochs appended to the durable log (0 = no WAL)",
+                fn=lambda: self.snapshots.wal_epochs_written)
+        m.gauge("wal_bytes",
+                "bytes the durable log holds on disk (0 = no WAL)",
+                fn=lambda: self.snapshots.wal_bytes)
         self._latency = m.latency(
             "latency_seconds", "admission-to-completion latency",
             window_seconds=window,

@@ -47,6 +47,7 @@ from typing import Any, Callable, List, Optional, Sequence
 
 from repro.errors import BatchMutationError, ServeError
 from repro.store.log import DeltaLog
+from repro.store.wal import open_wal
 
 _COPY_MODES = ("auto", "deep", "delta")
 
@@ -82,9 +83,21 @@ class SnapshotStore:
         copy_mode: ``"auto"``, ``"deep"`` or ``"delta"`` (see module
             docstring).
         retain: delta-log retention window (delta mode only).
+        wal: durable epoch log (delta mode only) — a
+            :class:`~repro.store.wal.WalWriter` or a directory path;
+            every published epoch is appended before it becomes
+            visible, making the store the durable write path behind
+            ``banks serve --live --wal`` (recovery and replicas read
+            it back; see :mod:`repro.store.wal`).
     """
 
-    def __init__(self, facade: Any, copy_mode: str = "auto", retain: int = 256):
+    def __init__(
+        self,
+        facade: Any,
+        copy_mode: str = "auto",
+        retain: int = 256,
+        wal: Any = None,
+    ):
         if copy_mode not in _COPY_MODES:
             raise ServeError(
                 f"unknown copy mode {copy_mode!r} "
@@ -98,9 +111,16 @@ class SnapshotStore:
             )
         if copy_mode == "auto":
             copy_mode = "delta" if supports_delta(facade) else "deep"
+        if wal is not None and copy_mode != "delta":
+            raise ServeError(
+                "a WAL needs the delta-log write path: copy_mode='deep' "
+                "captures no deltas to serialise"
+            )
         self.copy_mode = copy_mode
         self.log: Optional[DeltaLog] = (
-            DeltaLog(retain=retain) if copy_mode == "delta" else None
+            DeltaLog(retain=retain, wal=open_wal(wal))
+            if copy_mode == "delta"
+            else None
         )
         self._current = Snapshot(0, facade)
         self._write_lock = threading.Lock()
@@ -120,8 +140,9 @@ class SnapshotStore:
 
     @property
     def epoch(self) -> int:
-        """The delta-log epoch (equals :attr:`version` in delta mode;
-        falls back to the version when no log exists)."""
+        """The delta-log epoch (advances with :attr:`version` in delta
+        mode, offset by any epochs a resumed WAL already held; falls
+        back to the version when no log exists)."""
         return self.log.epoch if self.log is not None else self.version
 
     @property
@@ -131,6 +152,21 @@ class SnapshotStore:
     @property
     def epochs_reclaimed(self) -> int:
         return self.log.reclaimed_total if self.log is not None else 0
+
+    @property
+    def wal(self):
+        """The attached :class:`~repro.store.wal.WalWriter` (or None)."""
+        return self.log.wal if self.log is not None else None
+
+    @property
+    def wal_epochs_written(self) -> int:
+        wal = self.wal
+        return wal.epochs_written if wal is not None else 0
+
+    @property
+    def wal_bytes(self) -> int:
+        wal = self.wal
+        return wal.bytes_written if wal is not None else 0
 
     # -- capture ----------------------------------------------------------------
 
@@ -213,12 +249,14 @@ class SnapshotStore:
         """
         with self._write_lock:
             current = self._current
+            # Log (and WAL-append) first: the version must never be
+            # visible before its epoch is durable.
+            if self.log is not None:
+                self.log.publish(())
             self._current = Snapshot(
                 current.version + 1,
                 current.facade if facade is None else facade,
             )
-            if self.log is not None:
-                self.log.publish(())
             return self._current
 
     # -- internals ---------------------------------------------------------------
@@ -241,9 +279,14 @@ class SnapshotStore:
             clone.end_delta_capture() if self.copy_mode == "delta" else None
         )
         self._seal(clone)
-        self._current = Snapshot(self._current.version + 1, clone)
+        # Write-ahead: the epoch reaches the log (and, with a WAL, the
+        # disk) *before* the snapshot swap makes it visible.  A reader
+        # can never observe an epoch a crash would lose, and a failed
+        # WAL append aborts the publish — the mutate raises and the
+        # clone is discarded, keeping live state and log in lockstep.
         if self.log is not None:
             self.log.publish(deltas or ())
+        self._current = Snapshot(self._current.version + 1, clone)
 
     @staticmethod
     def _seal(facade: Any) -> None:

@@ -21,7 +21,16 @@ The router also serves a *changing* database: mutations derive
 :class:`~repro.store.delta.Delta` records (see :mod:`repro.store`)
 that are routed to the owning shard — index slice, ownership set,
 cut-edge records and that shard's engine state move; everything else
-stays put.
+stays put.  :meth:`~repro.shard.router.ShardRouter.apply_epochs`
+consumes epochs published elsewhere, which is how a
+:class:`~repro.store.wal.ReplicaFollower` keeps a whole forked router
+(a replicated hot-shard deployment) caught up from a primary's WAL.
+
+Dispatch policies and the measured gather-vs-route finding (exact
+scatter-gather buys partitioned mechanics, routing buys QPS) are
+documented in ``docs/ARCHITECTURE.md``; the operator knobs
+(``banks serve --shards/--dispatch/--shard-backend``) in
+``docs/OPERATIONS.md``.
 """
 
 from repro.shard.partition import (

@@ -30,6 +30,15 @@ updates incrementally.  This package makes writes O(delta):
 * :class:`~repro.store.log.DeltaLog` — the publication record.  Every
   published snapshot is an **epoch**: a monotone number plus the tuple
   of deltas that produced it.
+* :mod:`repro.store.wal` — the durable half:
+  :class:`~repro.store.wal.WalWriter` appends each published epoch to
+  a segmented, checksummed on-disk log (``DeltaLog(wal=...)`` wires it
+  in), :class:`~repro.store.wal.WalReader` replays it —
+  :meth:`~repro.core.incremental.IncrementalBANKS.recover` rebuilds
+  the exact pre-crash facade from a base snapshot — and
+  :class:`~repro.store.wal.ReplicaFollower` tails it from another
+  process to keep a read-only replica (a facade behind an engine, or
+  a whole shard router) caught up by epoch.
 
 The epoch / reclamation model
 -----------------------------
@@ -60,7 +69,14 @@ path, so readers stay wait-free.  What changes is lifetime management:
 ``copy_mode="deep"`` keeps the original deep-copy path as a fallback,
 asserted equivalent by the hypothesis property test in
 ``tests/core/test_incremental.py``.  ``banks bench-mutate`` measures
-the two against each other.
+the two against each other; ``banks bench-wal`` measures the durable
+write path against the in-memory one and verifies recovery + replica
+parity.
+
+The full mutation data flow (derivation → capture → epoch → WAL →
+recovery/replica) is drawn in ``docs/ARCHITECTURE.md``; the operator
+view (``banks serve --live --wal``, ``banks recover``, the metric
+series) lives in ``docs/OPERATIONS.md``.
 """
 
 from repro.store.delta import (
@@ -74,12 +90,16 @@ from repro.store.delta import (
 )
 from repro.store.log import DeltaLog, Epoch
 from repro.store.versioned import VersionedGraph, fork_graph
+from repro.store.wal import ReplicaFollower, WalReader, WalWriter
 
 __all__ = [
     "Delta",
     "DeltaLog",
     "Epoch",
+    "ReplicaFollower",
     "VersionedGraph",
+    "WalReader",
+    "WalWriter",
     "apply_graph_delta",
     "derive_delete",
     "derive_insert",

@@ -1,41 +1,51 @@
-"""Write-path benchmark: delta-log snapshots vs the deep-copy baseline.
+"""Write-path benchmarks: snapshot modes and the durable epoch log.
 
-Shared by the ``banks bench-mutate`` CLI command and
-``benchmarks/bench_mutate.py``.  Both sides drive the *same*
-deterministic mutation workload through a
-:class:`~repro.serve.snapshot.SnapshotStore` over the same starting
-facade — one store under ``copy_mode="delta"`` (copy-on-write fork +
-delta log), one under ``copy_mode="deep"`` (the original
-``copy.deepcopy`` path) — and the report compares:
+Two measurements live here, sharing one deterministic mutation
+workload (:func:`mutation_workload` — inserts that re-weigh sibling
+back edges, text updates that re-index, deletes of planted links:
+every delta kind the write path knows):
 
-* **write throughput** (mutation batches per second) at a given batch
-  size; the acceptance bar is >= 5x for the delta path at batch size 1
-  on ``demo:bibliography``;
-* **epoch publish latency** (median seconds per publish, which for
-  the delta path includes fork + capture + normaliser seal);
-* **equivalence** — the two final facades must match each other
-  *and* a from-scratch rebuild of the mutated database: node set,
-  edge set, weights, prestige, scoring normalisers, and top-k answers
-  on probe queries.  A speedup achieved by skipping work would fail
-  here, not ship.
-
-The workload mixes inserts (new papers, new authorship links that
-re-weigh sibling back edges), text updates (re-indexing) and deletes
-of previously inserted rows — every delta kind the write path knows.
+* :func:`run_mutation_benchmark` (``banks bench-mutate`` /
+  ``benchmarks/bench_mutate.py``) — the delta-log write path vs the
+  deep-copy baseline.  Both sides drive the same workload through a
+  :class:`~repro.serve.snapshot.SnapshotStore` over identical starting
+  facades — ``copy_mode="delta"`` (copy-on-write fork + delta log) vs
+  ``copy_mode="deep"`` (the original ``copy.deepcopy`` path) — and the
+  report compares write throughput at a given batch size (acceptance:
+  >= 5x at batch size 1 on ``demo:bibliography``), epoch publish
+  latency, and **equivalence**: both final facades must match each
+  other *and* a from-scratch rebuild (node set, edge set, weights,
+  prestige, normalisers, top-k probe answers).  A speedup achieved by
+  skipping work fails here, not ships.
+* :func:`run_wal_benchmark` (``banks bench-wal`` /
+  ``benchmarks/bench_wal.py``) — the durable write path (delta
+  snapshots + :class:`~repro.store.wal.WalWriter` append + fsync) vs
+  the in-memory delta path on the same workload (acceptance: <= 3x
+  overhead at batch size 1), plus the proof that the log reads back:
+  :meth:`~repro.core.incremental.IncrementalBANKS.recover` from the
+  base snapshot must reproduce the live facade's top-5 answers
+  exactly, and a :class:`~repro.store.wal.ReplicaFollower` tailing the
+  WAL from a second (forked) process must reach zero lag with
+  identical answers.
 """
 
 from __future__ import annotations
 
+import multiprocessing
+import shutil
 import statistics
+import tempfile
 import time
 from dataclasses import dataclass
-from typing import Any, Callable, List, Sequence, Tuple
+from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 from repro.core.incremental import IncrementalBANKS
 from repro.core.model import build_data_graph
 from repro.errors import ReproError
 from repro.serve.snapshot import SnapshotStore
+from repro.shard.process import fork_available
 from repro.shard.stitch import graphs_equal
+from repro.store.wal import ReplicaFollower, WalWriter
 
 #: Queries used to compare end-state answers (hit both seeded data and
 #: the rows the workload plants).
@@ -257,3 +267,182 @@ def run_mutation_benchmark(
         deltas_logged=delta_store.deltas_published,
         equivalence_ok=equivalence_ok,
     )
+
+
+# -- the durable log (banks bench-wal) ----------------------------------------
+
+
+def _top5_signatures(facade, queries: Sequence[str]) -> List[List[Tuple]]:
+    """Per-query ``(root, relevance)`` top-5 signatures — the parity
+    currency of the WAL benchmark (roots and scores, strictly)."""
+    return [
+        [
+            (answer.tree.root, round(answer.relevance, 9))
+            for answer in facade.search(query, max_results=5)
+        ]
+        for query in queries
+    ]
+
+
+def _replica_probe(database, wal_dir, queries, target_epoch, connection):
+    """Child-process body: build a replica from the inherited base
+    snapshot, tail the WAL to ``target_epoch``, report lag + answers."""
+    try:
+        replica = IncrementalBANKS(database.fork())
+        follower = ReplicaFollower(wal_dir, replica)
+        follower.catch_up(target_epoch, timeout=60.0)
+        connection.send((follower.lag_epochs(), _top5_signatures(replica, queries)))
+    except BaseException as error:  # pragma: no cover - child diagnostics
+        connection.send((f"{type(error).__name__}: {error}", None))
+    finally:
+        connection.close()
+
+
+@dataclass
+class WalBenchReport:
+    """Outcome of one durable-vs-in-memory write-path comparison."""
+
+    dataset: str
+    mutations: int
+    batch_size: int
+    fsync: str
+    delta_seconds: float
+    wal_seconds: float
+    wal_bytes: int
+    segments: int
+    epochs: int
+    recover_seconds: float
+    recovered_epoch: int
+    recovery_ok: bool
+    replica_ok: bool
+    replica_lag: int
+    replica_cross_process: bool
+
+    @property
+    def overhead(self) -> float:
+        """Durable write time as a multiple of the in-memory path."""
+        if self.delta_seconds <= 0:
+            return float("inf")
+        return self.wal_seconds / self.delta_seconds
+
+    @property
+    def ok(self) -> bool:
+        """Correctness only (overhead is hardware-dependent and gated
+        by ``benchmarks/bench_wal.py``, not here)."""
+        return self.recovery_ok and self.replica_ok and self.replica_lag == 0
+
+    def render(self) -> str:
+        if self.recovery_ok:
+            recovery = "exact (top-5 roots and scores)"
+        else:
+            recovery = "MISMATCH"
+        answers = "identical" if self.replica_ok else "MISMATCH"
+        where = "second process" if self.replica_cross_process else "in-process"
+        delta_wps = self.mutations / max(self.delta_seconds, 1e-9)
+        wal_wps = self.mutations / max(self.wal_seconds, 1e-9)
+        lines = [
+            f"dataset             : {self.dataset}",
+            f"mutations           : {self.mutations} "
+            f"(batch size {self.batch_size}, fsync={self.fsync})",
+            f"in-memory delta path: {self.delta_seconds:.3f} s "
+            f"({delta_wps:.1f} writes/s)",
+            f"durable WAL path    : {self.wal_seconds:.3f} s "
+            f"({wal_wps:.1f} writes/s)",
+            f"durability overhead : {self.overhead:.2f}x",
+            f"log on disk         : {self.epochs} epoch(s), "
+            f"{self.segments} segment(s), {self.wal_bytes} bytes",
+            f"recovery            : epoch {self.recovered_epoch} in "
+            f"{self.recover_seconds:.3f} s, {recovery}",
+            f"replica             : lag {self.replica_lag}, "
+            f"answers {answers} ({where})",
+        ]
+        return "\n".join(lines)
+
+
+def run_wal_benchmark(
+    database,
+    dataset: str = "",
+    mutations: int = 52,
+    batch_size: int = 1,
+    fsync: str = "always",
+    segment_bytes: int = 256 * 1024,
+    queries: Sequence[str] = PROBE_QUERIES,
+    wal_dir: Optional[str] = None,
+) -> WalBenchReport:
+    """Measure the durable write path and prove the log reads back.
+
+    Drives the shared mutation workload twice from identical forks of
+    ``database`` — once through an in-memory delta store, once through
+    a WAL-attached one — then (1) recovers a facade from the base
+    snapshot plus the WAL and (2) tails the WAL with a
+    :class:`~repro.store.wal.ReplicaFollower` in a forked process
+    (in-process where fork is unavailable); both must reproduce the
+    live facade's top-5 answers for every query, and the replica must
+    report zero lag.
+    """
+    script = mutation_workload(database, mutations)
+    owns_dir = wal_dir is None
+    if owns_dir:
+        wal_dir = tempfile.mkdtemp(prefix="banks-wal-bench-")
+    try:
+        delta_store = SnapshotStore(
+            IncrementalBANKS(database.fork()), copy_mode="delta"
+        )
+        delta_seconds, _p50 = _drive(delta_store, script, batch_size)
+
+        writer = WalWriter(wal_dir, segment_bytes=segment_bytes, fsync=fsync)
+        wal_store = SnapshotStore(
+            IncrementalBANKS(database.fork()), copy_mode="delta", wal=writer
+        )
+        wal_seconds, _p50 = _drive(wal_store, script, batch_size)
+        live = wal_store.current().facade
+        live_signatures = _top5_signatures(live, queries)
+
+        began = time.perf_counter()
+        recovered = IncrementalBANKS.recover(database.fork, wal_dir)
+        recover_seconds = time.perf_counter() - began
+        recovery_ok = _top5_signatures(recovered, queries) == live_signatures
+
+        target_epoch = wal_store.epoch
+        cross_process = fork_available()
+        if cross_process:
+            context = multiprocessing.get_context("fork")
+            parent_end, child_end = context.Pipe()
+            probe = context.Process(
+                target=_replica_probe,
+                args=(database, wal_dir, queries, target_epoch, child_end),
+                daemon=True,
+            )
+            probe.start()
+            child_end.close()
+            lag, replica_signatures = parent_end.recv()
+            probe.join(timeout=30.0)
+            if replica_signatures is None:
+                raise ReproError(f"replica probe failed: {lag}")
+        else:  # pragma: no cover - fork exists on every CI platform
+            replica = IncrementalBANKS(database.fork())
+            follower = ReplicaFollower(wal_dir, replica)
+            follower.catch_up(target_epoch)
+            lag = follower.lag_epochs()
+            replica_signatures = _top5_signatures(replica, queries)
+
+        return WalBenchReport(
+            dataset=dataset or database.name,
+            mutations=len(script),
+            batch_size=batch_size,
+            fsync=fsync,
+            delta_seconds=delta_seconds,
+            wal_seconds=wal_seconds,
+            wal_bytes=writer.bytes_written,
+            segments=writer.rotations + 1,
+            epochs=wal_store.epoch,
+            recover_seconds=recover_seconds,
+            recovered_epoch=recovered.applied_epoch,
+            recovery_ok=recovery_ok,
+            replica_ok=replica_signatures == live_signatures,
+            replica_lag=int(lag),
+            replica_cross_process=cross_process,
+        )
+    finally:
+        if owns_dir:
+            shutil.rmtree(wal_dir, ignore_errors=True)

@@ -22,6 +22,11 @@ Lifetime management is explicit (the ROADMAP called the old scheme
   missing updates.
 
 All methods are thread-safe; publication is O(1) plus reclamation.
+
+The log is in-memory; attach a :class:`~repro.store.wal.WalWriter`
+(``DeltaLog(wal=...)``) to make every published epoch durable — the
+write-ahead half of crash recovery and cross-process replicas (see
+:mod:`repro.store.wal` and ``docs/ARCHITECTURE.md``).
 """
 
 from __future__ import annotations
@@ -48,18 +53,46 @@ class Epoch:
 class DeltaLog:
     """Bounded, pinnable record of published epochs.
 
+    The pin/release contract (every history-following consumer must
+    observe it):
+
+    1. call :meth:`pin` *before* reading — it returns the epoch your
+       catch-up will start from and protects everything published
+       after it from reclamation, however long you take;
+    2. read :meth:`entries_since` with that epoch and apply the
+       entries;
+    3. call :meth:`release` with the pinned number (then re-pin at the
+       new position for the next round, or use
+       ``pin(new); release(old)`` to slide forward without a window).
+
+    A consumer that reads *without* pinning races reclamation: if it
+    sleeps past the ``retain`` window, :meth:`entries_since` raises
+    :class:`~repro.errors.StoreError` — a loud "rebuild from the
+    current snapshot" signal, never a silent gap.  A pinned consumer
+    can sleep arbitrarily long; the log holds its epochs (and grows)
+    until the pin is released.  The regression test
+    ``tests/store/test_log.py::TestPinContract`` keeps both halves of
+    the contract honest.
+
     Args:
         retain: epochs kept beyond the oldest pin.  The window bounds
-            both memory and how far behind a consumer may fall before
-            it must rebuild.
+            both memory and how far behind an *unpinned* consumer may
+            fall before it must rebuild.
+        wal: optional :class:`~repro.store.wal.WalWriter`; every
+            published epoch is appended durably before :meth:`publish`
+            returns, and epoch numbering resumes from the WAL's last
+            record (recovery restarts continue the sequence instead of
+            re-issuing epoch 1).  In-memory reclamation is unchanged;
+            WAL retention is the writer's own (segment-granular) knob.
     """
 
-    def __init__(self, retain: int = 256):
+    def __init__(self, retain: int = 256, wal: Optional[object] = None):
         if retain < 1:
             raise StoreError("DeltaLog needs retain >= 1")
         self.retain = retain
+        self.wal = wal
         self._entries: List[Epoch] = []
-        self._epoch = 0
+        self._epoch = wal.last_epoch if wal is not None else 0
         self._pins: Dict[int, int] = {}
         self._lock = threading.Lock()
         self.published_total = 0
@@ -78,10 +111,18 @@ class DeltaLog:
     # -- publication ----------------------------------------------------------
 
     def publish(self, deltas: Sequence[Delta]) -> Epoch:
-        """Record one published version; reclaim old entries."""
+        """Record one published version; reclaim old entries.
+
+        With a WAL attached the epoch is appended (and, under
+        ``fsync="always"``, durable) *before* it becomes visible to
+        in-memory consumers — a reader can never observe an epoch a
+        crash would lose.
+        """
         with self._lock:
+            entry = Epoch(self._epoch + 1, tuple(deltas))
+            if self.wal is not None:
+                self.wal.append(entry)
             self._epoch += 1
-            entry = Epoch(self._epoch, tuple(deltas))
             self._entries.append(entry)
             self.published_total += 1
             self.deltas_total += len(entry.deltas)

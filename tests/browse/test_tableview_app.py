@@ -148,6 +148,24 @@ class TestMutateEndpoint:
         assert status == "200 OK"
         assert "read-only" in html
 
+    def test_read_only_flag_refuses_writes_over_mutable_facade(
+        self, figure1_db
+    ):
+        """A WAL replica serves a mutable IncrementalBANKS, but its
+        state is owned by the primary's log: read_only=True must
+        refuse /mutate even though a writer exists."""
+        app, engine = self.live_app(figure1_db)
+        app.read_only = True
+        try:
+            status, html = app.handle(
+                "/mutate", "op=insert&table=paper&v=x&v=y"
+            )
+            assert status == "200 OK"
+            assert "read-only" in html
+            assert engine.snapshots.version == 0  # nothing published
+        finally:
+            engine.stop()
+
     def test_insert_through_engine_bumps_epoch(self, figure1_db):
         app, engine = self.live_app(figure1_db)
         try:

@@ -91,3 +91,49 @@ class TestReclamation:
     def test_retain_must_be_positive(self):
         with pytest.raises(StoreError):
             DeltaLog(retain=0)
+
+
+class TestPinContract:
+    """The pin/release contract the :class:`DeltaLog` docstring
+    documents: a pinned consumer survives any amount of pruning; an
+    unpinned one that sleeps past the window fails loudly."""
+
+    def test_pinned_consumer_survives_pruning(self):
+        log = DeltaLog(retain=2)
+        position = log.pin()  # a consumer parks well before the flood
+        for n in range(50):  # 25x the retention window
+            log.publish([delta(n)])
+        # Nothing the consumer still needs was reclaimed: the full
+        # history after the pin replays, in order.
+        tail = log.entries_since(position)
+        assert [e.number for e in tail] == list(range(1, 51))
+        # Sliding the pin forward releases the backlog for reclamation.
+        log.pin(50)
+        log.release(position)
+        log.publish([delta(99)])
+        assert len(log) <= log.retain + 1
+
+    def test_unpinned_consumer_fails_loudly_not_silently(self):
+        log = DeltaLog(retain=2)
+        position = log.epoch  # read, but never pinned
+        for n in range(50):
+            log.publish([delta(n)])
+        # The stale consumer must get an error — not a partial list
+        # that silently skips the reclaimed epochs.
+        with pytest.raises(StoreError) as excinfo:
+            log.entries_since(position)
+        assert "rebuild" in str(excinfo.value)
+
+    def test_same_position_pinned_vs_unpinned(self):
+        """The two halves of the contract, side by side from one
+        shared starting epoch."""
+        pinned_log = DeltaLog(retain=3)
+        unpinned_log = DeltaLog(retain=3)
+        pin = pinned_log.pin()
+        start = unpinned_log.epoch
+        for n in range(20):
+            pinned_log.publish([delta(n)])
+            unpinned_log.publish([delta(n)])
+        assert len(pinned_log.entries_since(pin)) == 20
+        with pytest.raises(StoreError):
+            unpinned_log.entries_since(start)

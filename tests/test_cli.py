@@ -82,6 +82,107 @@ class TestCommands:
         assert status == 1
 
 
+class TestWalCommands:
+    """The durable-log surface: serve --wal/--replica and recover."""
+
+    def _write_epochs(self, wal: str) -> None:
+        """Publish a few mutation epochs for demo:university into a
+        WAL, the way banks serve --live --wal would."""
+        from repro.core.incremental import IncrementalBANKS
+        from repro.serve.snapshot import SnapshotStore
+
+        store = SnapshotStore(
+            IncrementalBANKS(load_database("demo:university")),
+            copy_mode="delta",
+            wal=wal,
+        )
+        store.mutate(
+            lambda f: f.insert("student", ["S901", "Walter Logmann", "BIGDEPT"])
+        )
+        store.mutate(
+            lambda f: f.update(("student", 0), {"name": "Alice Hubward-Logg"})
+        )
+
+    def test_serve_live_with_wal_check(self, tmp_path):
+        wal = str(tmp_path / "wal")
+        status, output = run_cli(
+            "serve", "demo:university", "--check", "--live", "--wal", wal
+        )
+        assert status == 0
+        assert "GET /metrics -> 200" in output
+
+    def test_serve_live_recovers_existing_wal(self, tmp_path):
+        wal = str(tmp_path / "wal")
+        self._write_epochs(wal)
+        status, output = run_cli(
+            "serve", "demo:university", "--check", "--live", "--wal", wal
+        )
+        assert status == 0
+        assert "recovered 2 epoch(s)" in output
+
+    def test_serve_replica_check(self, tmp_path):
+        wal = str(tmp_path / "wal")
+        self._write_epochs(wal)
+        status, output = run_cli(
+            "serve", "demo:university", "--check", "--replica", "--wal", wal
+        )
+        assert status == 0
+        assert "replica caught up: 2 epoch(s) applied, lag 0" in output
+
+    def test_recover_replays_and_spot_checks(self, tmp_path):
+        wal = str(tmp_path / "wal")
+        self._write_epochs(wal)
+        status, output = run_cli(
+            "recover",
+            "demo:university",
+            "--wal",
+            wal,
+            "--query",
+            "walter logmann",
+        )
+        assert status == 0
+        assert "recovered to  : epoch 2" in output
+        assert "Walter Logmann" in output
+
+    def test_wal_flag_combinations_are_validated(self, tmp_path):
+        wal = str(tmp_path / "wal")
+        # --replica without --wal
+        assert run_cli("serve", "demo:university", "--check", "--replica")[0] == 1
+        # --replica combined with another serving mode (it would be
+        # silently ignored and serve stale base data forever)
+        for conflict in ("--shards", "--live", "--no-engine"):
+            argv = [
+                "serve", "demo:university", "--check",
+                "--replica", "--wal", wal, conflict,
+            ]
+            if conflict == "--shards":
+                argv.append("2")
+            assert run_cli(*argv)[0] == 1
+        # --wal without --live/--replica
+        assert (
+            run_cli("serve", "demo:university", "--check", "--wal", wal)[0]
+            == 1
+        )
+        # --wal with the deep copy mode
+        assert (
+            run_cli(
+                "serve",
+                "demo:university",
+                "--check",
+                "--live",
+                "--wal",
+                wal,
+                "--copy-mode",
+                "deep",
+            )[0]
+            == 1
+        )
+        # recover from a missing WAL directory
+        assert (
+            run_cli("recover", "demo:university", "--wal", wal)[0] == 1
+        )
+
+
 class TestResultCache:
     def test_lru_eviction(self):
         cache = ResultCache(capacity=2)

@@ -1,0 +1,141 @@
+"""Docs staleness gate: symbols must import, links must resolve.
+
+Documentation rots in two specific, mechanically checkable ways, and
+this script fails CI on both:
+
+* **stale symbol references** — every dotted ``repro.*`` name a
+  document mentions (``repro.store.wal``,
+  ``repro.store.wal.WalWriter``, ``repro.serve.engine.QueryEngine.submit``,
+  ...) must actually resolve: the longest importable module prefix is
+  imported and the remaining attributes are walked.  Renaming or
+  deleting a module/class/function without updating the docs fails
+  here.
+* **dead relative links** — every markdown link target that is not an
+  absolute URL or a pure fragment must exist on disk, relative to the
+  document (fragments are stripped; ``#section`` anchors themselves
+  are not verified).
+
+Usage::
+
+    python tools/check_docs.py docs/*.md README.md ROADMAP.md
+
+Exit status 0 when clean, 1 with one line per violation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import re
+import sys
+from pathlib import Path
+from typing import Iterable, List, Tuple
+
+#: Dotted repro.* names: at least one dot, segments are identifiers.
+_SYMBOL = re.compile(r"\brepro(?:\.[A-Za-z_][A-Za-z0-9_]*)+")
+
+#: Markdown inline links: [text](target).  Images share the syntax.
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+#: Link schemes that are not filesystem paths.
+_EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def _ensure_importable() -> None:
+    """Put the repo's ``src`` on the path, wherever we're run from."""
+    src = Path(__file__).resolve().parents[1] / "src"
+    if src.is_dir() and str(src) not in sys.path:
+        sys.path.insert(0, str(src))
+
+
+def extract_symbols(text: str) -> List[str]:
+    """Every distinct ``repro.*`` dotted name, with trailing
+    sentence punctuation already excluded by the regex."""
+    return sorted(set(_SYMBOL.findall(text)))
+
+
+def resolve_symbol(dotted: str) -> Tuple[bool, str]:
+    """Import the longest module prefix, then walk attributes."""
+    parts = dotted.split(".")
+    module = None
+    consumed = 0
+    for end in range(len(parts), 0, -1):
+        candidate = ".".join(parts[:end])
+        try:
+            module = importlib.import_module(candidate)
+            consumed = end
+            break
+        except ImportError:
+            continue
+        except Exception as error:  # pragma: no cover - import crash
+            return False, f"importing {candidate} raised {error!r}"
+    if module is None:
+        return False, "no importable module prefix"
+    target = module
+    for attribute in parts[consumed:]:
+        try:
+            target = getattr(target, attribute)
+        except AttributeError:
+            return (
+                False,
+                f"{'.'.join(parts[:consumed])} has no attribute "
+                f"{attribute!r}",
+            )
+    return True, ""
+
+
+def extract_links(text: str) -> List[str]:
+    return _LINK.findall(text)
+
+
+def check_document(path: Path) -> List[str]:
+    """Every violation in one document, as ``file: message`` lines."""
+    failures: List[str] = []
+    text = path.read_text(encoding="utf-8")
+    for dotted in extract_symbols(text):
+        ok, why = resolve_symbol(dotted)
+        if not ok:
+            failures.append(f"{path}: stale symbol {dotted} ({why})")
+    for target in extract_links(text):
+        if target.startswith(_EXTERNAL) or target.startswith("#"):
+            continue
+        relative = target.split("#", 1)[0]
+        if not relative:
+            continue
+        resolved = (path.parent / relative).resolve()
+        if not resolved.exists():
+            failures.append(f"{path}: dead link {target}")
+    return failures
+
+
+def main(argv: Iterable[str] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("documents", nargs="+", type=Path)
+    args = parser.parse_args(argv)
+    _ensure_importable()
+    failures: List[str] = []
+    checked_symbols = 0
+    checked_links = 0
+    for document in args.documents:
+        if not document.exists():
+            failures.append(f"{document}: document does not exist")
+            continue
+        text = document.read_text(encoding="utf-8")
+        checked_symbols += len(extract_symbols(text))
+        checked_links += len(extract_links(text))
+        failures.extend(check_document(document))
+    if failures:
+        print("documentation is stale:")
+        for failure in failures:
+            print(f"  {failure}")
+        return 1
+    print(
+        f"docs clean: {len(args.documents)} document(s), "
+        f"{checked_symbols} symbol reference(s) import, "
+        f"{checked_links} link(s) checked"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
