@@ -1,0 +1,103 @@
+"""Replica-set acceptance benchmarks (the ISSUE 5 criteria).
+
+Four claims, asserted on ``demo:bibliography``:
+
+1. **Parity** — every WAL-following replica answers the whole
+   ``DEMO_QUERIES`` battery with exactly the primary's top-5 (roots
+   and scores): replication must never change an answer.
+2. **Read-your-writes** — a read issued with
+   ``consistency="read_your_writes"`` immediately after a mutation
+   observes that mutation's epoch (replica waits, or the primary
+   serves).
+3. **Lag exclusion** — a replica suspended past the staleness bound
+   (``max_lag``) is routed around by the balancer and re-admitted once
+   it catches back up.
+4. **Read scaling** — ``--replicas 3`` (process backend) answers the
+   concurrent read workload at >= 1.5x the QPS of a single replica.
+   A CPU-parallelism property, measurable only with a core per
+   replica: the assertion is gated exactly like the route-QPS bar in
+   ``bench_shard.py``; the measured ratio is recorded in
+   ``BENCH_replicaset.json`` either way.
+
+Run with::
+
+    pytest benchmarks/bench_replicaset.py -q -s
+"""
+
+from __future__ import annotations
+
+import os
+
+from benchjson import record_bench_result
+from repro.cluster.bench import run_replicaset_benchmark
+from repro.datasets import DEMO_QUERY_SETS
+from repro.shard.process import fork_available
+
+REPLICAS = 3
+CONCURRENCY = 8
+REQUESTS = 48
+K = 5
+
+#: The >=1.5x read-QPS acceptance bar needs one core per replica.
+CAN_SCALE = fork_available() and (os.cpu_count() or 1) >= REPLICAS
+
+
+def test_bibliography_replicaset_scaling_and_parity(benchmark, bibliography):
+    database, _anecdotes = bibliography
+    queries = DEMO_QUERY_SETS["bibliography"]
+
+    report = benchmark.pedantic(
+        lambda: run_replicaset_benchmark(
+            database,
+            queries,
+            dataset="bibliography",
+            requests=REQUESTS,
+            concurrency=CONCURRENCY,
+            replicas=REPLICAS,
+            k=K,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + report.render())
+
+    record_bench_result(
+        "replicaset",
+        "bibliography",
+        {
+            "replicas": report.replicas,
+            "backend": report.backend,
+            "balance": report.balance,
+            "requests": report.requests,
+            "concurrency": report.concurrency,
+            "k": report.k,
+            "qps_single": round(report.qps_single, 3),
+            "qps_replicaset": round(report.qps_multi, 3),
+            "speedup_replicaset": round(report.speedup, 3),
+            "replicaset_parity": report.parity_matched / report.parity_total,
+            "read_your_writes": float(report.ryw_ok),
+            "lag_exclusion": float(report.lag_exclusion_ok),
+            "lag_readmission": float(report.readmitted_ok),
+            "epochs": report.epochs,
+        },
+    )
+
+    # Acceptance: every replica reproduces the primary's top-5 exactly.
+    assert report.parity_matched == report.parity_total
+    # Acceptance: read_your_writes observes the just-applied mutation.
+    assert report.ryw_ok
+    # Acceptance: the balancer honors the staleness bound, and the
+    # laggard is re-admitted after catching up.
+    assert report.lag_exclusion_ok
+    assert report.readmitted_ok
+    # Acceptance: >= 1.5x read QPS over a single replica — a
+    # CPU-parallelism property, measurable only with a core per
+    # replica worker.
+    if CAN_SCALE:
+        assert report.speedup >= 1.5
+    else:
+        print(
+            f"(speedup assertion skipped: {os.cpu_count()} core(s) for "
+            f"{REPLICAS} replica workers; measured "
+            f"{report.speedup:.2f}x)"
+        )

@@ -41,6 +41,7 @@ RATIO_METRICS = (
     "speedup_route",
     "speedup_write_batch1",
     "speedup_write_batch8",
+    "speedup_replicaset",
 )
 
 #: Correctness metrics gated as "must not drop below baseline".
@@ -60,6 +61,14 @@ FLOOR_METRICS = (
     "replica_parity",
     "replica_lag_zero",
     "wal_overhead_ok",
+    # Replica-set floors (BENCH_replicaset.json): every replica must
+    # reproduce the primary's top-k exactly, read_your_writes must
+    # observe the preceding mutation, and the balancer must honor the
+    # staleness bound (exclusion + re-admission).
+    "replicaset_parity",
+    "read_your_writes",
+    "lag_exclusion",
+    "lag_readmission",
 )
 
 

@@ -51,12 +51,34 @@ class BrowseApp:
             when given, ``/search`` dispatches through it and
             ``/metrics`` serves the engine's metrics.
         read_only: refuse ``/mutate`` even over a mutable facade.  A
-            WAL replica (``banks serve --replica``) serves one: its
+            WAL follower (``banks serve --follow``) serves one: its
             state is owned by the primary's epoch log, and a local
             write would silently diverge from it.
+        cluster: a :class:`~repro.cluster.api.Cluster` to serve —
+            the preferred construction: the facade, engine and
+            read-only flag all derive from the cluster's spec, so the
+            app cannot desync from the deployment.  Mutually exclusive
+            with the explicit arguments.
     """
 
-    def __init__(self, banks: BANKS, engine=None, read_only: bool = False):
+    def __init__(
+        self,
+        banks: BANKS = None,
+        engine=None,
+        read_only: bool = False,
+        cluster=None,
+    ):
+        if cluster is not None:
+            if banks is not None or engine is not None:
+                raise ReproError(
+                    "pass either cluster= or banks/engine, not both"
+                )
+            banks = cluster.banks
+            engine = cluster.backend
+            read_only = cluster.read_only
+        if banks is None:
+            raise ReproError("BrowseApp needs a facade or a cluster")
+        self.cluster = cluster
         self._banks = banks
         self.engine = engine
         self.read_only = read_only
@@ -222,6 +244,63 @@ class BrowseApp:
             el("table", {"border": "1"}, *rows),
         )
 
+    def replicas_page(self) -> str:
+        """Replica-set layout: balancing, per-replica state and lag."""
+        info = self.engine.describe()
+        snapshot = self.engine.metrics.snapshot()
+        facts = el(
+            "ul",
+            None,
+            el("li", None, f"replicas: {info['replicas']}"),
+            el("li", None, f"backend: {info['backend']}"),
+            el("li", None, f"balance: {info['balance']}"),
+            el("li", None, f"staleness bound: {info['max_lag']} epoch(s)"),
+            el(
+                "li",
+                None,
+                f"primary epoch: {info['epoch']} "
+                f"({int(snapshot.get('mutations_total', 0))} write(s), "
+                f"{int(snapshot.get('primary_reads_total', 0))} primary "
+                "read(s))",
+            ),
+            el(
+                "li",
+                None,
+                f"failovers: {int(snapshot.get('replica_failovers_total', 0))}, "
+                f"deaths: {int(snapshot.get('replica_deaths_total', 0))}, "
+                "re-admissions: "
+                f"{int(snapshot.get('replica_readmitted_total', 0))}",
+            ),
+        )
+        rows = [
+            el(
+                "tr",
+                None,
+                el("th", None, "replica"),
+                el("th", None, "state"),
+                el("th", None, "applied epoch"),
+                el("th", None, "lag"),
+                el("th", None, "served"),
+            )
+        ]
+        for status in info["replica_status"]:
+            rows.append(
+                el(
+                    "tr",
+                    None,
+                    el("td", None, str(status["replica"])),
+                    el("td", None, status["state"]),
+                    el("td", None, str(status["applied_epoch"])),
+                    el("td", None, str(status["lag_epochs"])),
+                    el("td", None, str(status["served"])),
+                )
+            )
+        return page(
+            f"Replicas: {self.database.name}",
+            facts,
+            el("table", {"border": "1"}, *rows),
+        )
+
     # -- the write surface ----------------------------------------------------
 
     def _writer(self):
@@ -373,9 +452,15 @@ class BrowseApp:
             if (
                 parts == ["shards"]
                 and self.engine is not None
-                and hasattr(self.engine, "describe")
+                and hasattr(self.engine, "partition")
             ):
                 return "200 OK", self.shards_page(), self._HTML
+            if (
+                parts == ["replicas"]
+                and self.engine is not None
+                and hasattr(self.engine, "replica_status")
+            ):
+                return "200 OK", self.replicas_page(), self._HTML
             if parts[0] == "table" and len(parts) == 2:
                 state = BrowseState.from_query(parts[1], query_string)
                 return (

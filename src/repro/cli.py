@@ -25,9 +25,17 @@ Commands::
     banks bench-mutate DB              write-path benchmark (delta vs deep)
     banks bench-wal DB                 durable-log benchmark (WAL overhead,
                                        recovery + replica parity)
+    banks bench-replicaset DB          replica-set benchmark (read QPS
+                                       scaling, parity, read-your-writes,
+                                       lag exclusion)
 
-``banks serve`` dispatches searches through the concurrent serving
-engine (:mod:`repro.serve`): a worker pool with admission control,
+``banks serve`` stands the deployment up through the cluster layer
+(:mod:`repro.cluster`): the flags translate into one declarative
+:class:`~repro.cluster.spec.ClusterSpec`, every conflicting
+combination fails through its single validation path, and the
+:class:`~repro.cluster.api.Cluster` facade owns composition and
+lifecycle.  Searches dispatch through the concurrent serving engine
+(:mod:`repro.serve`): a worker pool with admission control,
 single-flight deduplication and a result cache, with metrics exposed
 at ``/metrics``.  Tuning knobs:
 
@@ -36,7 +44,8 @@ at ``/metrics``.  Tuning knobs:
                        shedding kicks in (default 64; 0 = unbounded)
     --deadline SECS    fail requests that wait longer than this in the
                        queue (default: no deadline)
-    --no-engine        call the facade inline (the pre-engine behaviour)
+    --inline           call the facade inline (the pre-engine behaviour;
+                       --no-engine is the deprecated alias)
     --live             serve an IncrementalBANKS facade so ``/mutate``
                        can apply inserts/deletes/updates; snapshots
                        publish through the delta-log write path
@@ -60,15 +69,31 @@ at ``/metrics``.  Tuning knobs:
                        after a crash recovers the pre-crash state
     --wal-fsync M      WAL durability: always (default; fsync each
                        epoch), rotate (fsync on segment close), never
-    --replica          with --wal: serve a *read-only replica* that
+    --follow           with --wal: serve a *read-only follower* that
                        tails another process's WAL and stays caught up
                        by epoch (replica_lag_epochs on /metrics);
                        /mutate is refused — the primary owns the state
+                       (--replica is the deprecated alias)
+    --replicas N       run a replica set in one process: a WAL-writing
+                       primary plus N WAL-following replicas behind a
+                       load-balancing front end (status at /replicas;
+                       combine with --shards N for replicated shard
+                       routers)
+    --balance P        replica balancing: round_robin (default) or
+                       least_inflight
+    --max-lag N        staleness bound in epochs before a replica is
+                       excluded from balancing (default 8)
+    --replica-backend  thread, process (forked workers — read QPS
+                       scales with cores) or auto
 
-A primary/replica pair on one database::
+A primary/follower pair on one database::
 
     banks serve demo:bibliography --live --wal /tmp/banks-wal
-    banks serve demo:bibliography --replica --wal /tmp/banks-wal --port 8001
+    banks serve demo:bibliography --follow --wal /tmp/banks-wal --port 8001
+
+A three-replica set in one process::
+
+    banks serve demo:bibliography --replicas 3
 
 ``banks recover DB --wal PATH`` rebuilds the pre-crash facade by
 replaying the WAL onto the base database DB (the runbook lives in
@@ -96,6 +121,14 @@ mutation workload, then proves the log back: recovery from the base
 snapshot must reproduce the live facade's top-5 answers exactly, and a
 replica follower in a second process must catch up to zero lag with
 identical answers.
+
+``banks bench-replicaset`` measures the replica-set front end: N
+process-backed replicas must answer a concurrent read workload faster
+than one (QPS scales with cores), every replica must reproduce the
+primary's top-k exactly, a read issued with read-your-writes
+consistency must observe the preceding mutation, and a replica
+suspended past the staleness bound must be routed around (then
+re-admitted once caught up).
 
 Exit status: 0 on success, 1 on a usage or data error (message on
 stderr).
@@ -208,151 +241,93 @@ def _command_sweep(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _warn_deprecated_serve_flags(args: argparse.Namespace) -> None:
+    """Old flags keep working as shims; each names its replacement."""
+    import warnings
+
+    if getattr(args, "replica", False):
+        warnings.warn(
+            "banks serve flag --replica is deprecated; use --follow "
+            "(ClusterSpec(topology='single', follow=True, wal_path=...))",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+    if getattr(args, "no_engine", False):
+        warnings.warn(
+            "banks serve flag --no-engine is deprecated; use --inline "
+            "(ClusterSpec(engine=False))",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+
+
+def _serve_mode(cluster) -> str:
+    """One human line describing the deployment, from the spec."""
+    spec = cluster.spec
+    if spec.topology == "sharded":
+        return (
+            f"{spec.shards} shards, {cluster.backend.backend} backend, "
+            f"{spec.dispatch} dispatch"
+        )
+    if spec.replicated:
+        mode = (
+            f"{spec.replicas}-replica set "
+            f"({cluster.backend.backend} backend, {spec.balance})"
+        )
+        if spec.topology == "sharded_replicated":
+            mode = f"{spec.shards} shards per replica, " + mode
+        return mode
+    if spec.follow:
+        return f"read-only follower tailing {spec.wal_path}"
+    if not spec.engine:
+        return "inline facade"
+    mode = f"{spec.workers} workers, queue bound {spec.queue_bound}"
+    if spec.wal_path:
+        mode += f", WAL at {spec.wal_path} ({spec.wal_fsync} fsync)"
+    return mode
+
+
 def _command_serve(args: argparse.Namespace, out) -> int:
     from repro.browse.app import BrowseApp
+    from repro.cluster import Cluster, ClusterSpec
 
-    if args.replica and not args.wal:
-        raise ReproError("--replica needs --wal PATH (the primary's log)")
-    if args.replica and (args.shards or args.live or args.no_engine):
-        raise ReproError(
-            "--replica is its own serving mode; drop --shards/--live/"
-            "--no-engine (a sharded WAL replica is not wired up yet)"
-        )
-    if args.wal and not (args.live or args.replica):
-        raise ReproError(
-            "--wal needs --live (durable primary) or --replica (follower); "
-            "the other serving modes publish no mutation epochs"
-        )
-    if args.wal and args.live and args.copy_mode == "deep":
-        raise ReproError(
-            "--wal needs the delta write path; drop --copy-mode deep"
-        )
+    _warn_deprecated_serve_flags(args)
+    # One validation path: every conflicting flag combination fails
+    # here, with the same message a programmatic caller would get.
+    spec = ClusterSpec.from_serve_args(args)
     database = load_database(args.db)
-    engine = None
-    follower = None
-    if args.shards:
-        from repro.serve import EngineConfig
-        from repro.shard import ShardRouter
-
-        # The router fills both roles: the scatter-gather "engine" for
-        # /search and the browsing facade (it carries the database and
-        # labels nodes).  Admission knobs pass through to the per-shard
-        # engines; --workers does not apply (each shard engine fronts
-        # exactly one CPU-bound searcher).
-        engine = ShardRouter(
-            database,
-            shards=args.shards,
-            backend=args.shard_backend,
-            dispatch=args.dispatch,
-            engine_config=EngineConfig(
-                queue_bound=args.queue_bound,
-                default_deadline=args.deadline,
-            ),
-        )
-        banks = engine
-    elif args.no_engine:
-        banks = BANKS(database)
-    elif args.replica:
-        from repro.core.incremental import IncrementalBANKS
-        from repro.serve import EngineConfig, QueryEngine
-        from repro.store.wal import ReplicaFollower
-
-        # A replica serves reads only: the loaded DB is the base
-        # snapshot, the primary's WAL is the source of truth, and the
-        # follower applies each new epoch through the engine so readers
-        # keep snapshot isolation.
-        banks = IncrementalBANKS(database)
-        engine = QueryEngine(
-            banks,
-            EngineConfig(
-                workers=args.workers,
-                queue_bound=args.queue_bound,
-                default_deadline=args.deadline,
-            ),
-        )
-        follower = ReplicaFollower.over_engine(
-            args.wal, engine, metrics=engine.metrics
-        )
-        caught_up = follower.poll()
-        print(
-            f"replica caught up: {caught_up} epoch(s) applied, "
-            f"lag {follower.lag_epochs()}",
-            file=out,
-        )
-    elif args.live:
-        from repro.core.incremental import IncrementalBANKS
-        from repro.serve import EngineConfig, QueryEngine
-
-        # A live deployment serves a mutable facade: /mutate applies
-        # IncrementalBANKS deltas through the snapshot store (delta-log
-        # write path under --copy-mode auto/delta).  With --wal the
-        # store appends every epoch durably — and any epochs already on
-        # disk replay first, so a restart recovers the pre-crash state.
-        import os
-
-        if args.wal and os.path.isdir(args.wal):
-            # The one recovery implementation (pruned-history guard
-            # included): base snapshot + every complete epoch on disk.
-            banks = IncrementalBANKS.recover(database, args.wal)
+    cluster = Cluster(spec, database=database)
+    try:
+        if cluster.recovered_epochs:
             print(
-                f"recovered {banks.applied_epoch} epoch(s) from {args.wal}",
+                f"recovered {cluster.recovered_epochs} epoch(s) from "
+                f"{spec.wal_path}",
                 file=out,
             )
-        else:
-            banks = IncrementalBANKS(database)
-        engine = QueryEngine(
-            banks,
-            EngineConfig(
-                workers=args.workers,
-                queue_bound=args.queue_bound,
-                default_deadline=args.deadline,
-                copy_mode=args.copy_mode,
-                wal_path=args.wal,
-                wal_fsync=args.wal_fsync,
-            ),
-        )
-    else:
-        from repro.core.cache import CachedBanks
-        from repro.serve import EngineConfig, QueryEngine
-
-        # One facade serves both roles (CachedBanks is-a BANKS):
-        # building a second one would duplicate graph + index work.
-        banks = CachedBanks(database)
-        engine = QueryEngine(
-            banks,
-            EngineConfig(
-                workers=args.workers,
-                queue_bound=args.queue_bound,
-                default_deadline=args.deadline,
-            ),
-        )
-    app = BrowseApp(banks, engine=engine, read_only=args.replica)
-    try:
+        if cluster.follower is not None:
+            print(
+                f"replica caught up: {cluster.follower.epochs_applied} "
+                f"epoch(s) applied, lag {cluster.follower.lag_epochs()}",
+                file=out,
+            )
+        app = BrowseApp(cluster=cluster)
         if args.check:
             status, _html = app.handle("/", "")
             print(f"self-check: GET / -> {status}", file=out)
-            if engine is not None:
-                status_metrics, _text = app.handle("/metrics", "")
-                print(
-                    f"self-check: GET /metrics -> {status_metrics}", file=out
-                )
-                if not status_metrics.startswith("200"):
-                    return 1
-                if args.shards:
-                    status_shards, _html2 = app.handle("/shards", "")
+            if cluster.backend is not None:
+                probes = ["/metrics"]
+                if spec.topology == "sharded":
+                    probes.append("/shards")
+                if spec.replicated:
+                    probes.append("/replicas")
+                if spec.live or spec.shards or spec.replicated:
+                    probes.append("/mutate")
+                for probe in probes:
+                    probe_status, _body = app.handle(probe, "")
                     print(
-                        f"self-check: GET /shards -> {status_shards}",
-                        file=out,
+                        f"self-check: GET {probe} -> {probe_status}", file=out
                     )
-                    if not status_shards.startswith("200"):
-                        return 1
-                if args.live or args.shards:
-                    status_mutate, _html3 = app.handle("/mutate", "")
-                    print(
-                        f"self-check: GET /mutate -> {status_mutate}",
-                        file=out,
-                    )
-                    if not status_mutate.startswith("200"):
+                    if not probe_status.startswith("200"):
                         return 1
             return 0 if status.startswith("200") else 1
         from socketserver import ThreadingMixIn
@@ -368,38 +343,19 @@ def _command_serve(args: argparse.Namespace, out) -> int:
         with make_server(
             args.host, args.port, app, server_class=ThreadingWSGIServer
         ) as server:
-            if engine is None:
-                mode = "inline facade"
-            elif args.shards:
-                mode = (
-                    f"{args.shards} shards, {engine.backend} backend, "
-                    f"{engine.dispatch} dispatch"
-                )
-            elif args.replica:
-                mode = f"read-only replica tailing {args.wal}"
-            else:
-                mode = (
-                    f"{args.workers} workers, queue bound {args.queue_bound}"
-                )
-                if args.wal:
-                    mode += f", WAL at {args.wal} ({args.wal_fsync} fsync)"
             print(
                 f"serving {database.name} on http://{args.host}:{args.port}/ "
-                f"({mode})",
+                f"({_serve_mode(cluster)})",
                 file=out,
             )
-            if follower is not None:
-                follower.start(interval=0.5)
+            cluster.start()
             try:
                 server.serve_forever()
             except KeyboardInterrupt:  # pragma: no cover - interactive
                 print("shutting down", file=out)
         return 0
     finally:
-        if follower is not None:
-            follower.stop()
-        if engine is not None:
-            engine.stop()
+        cluster.close()
 
 
 def _command_recover(args: argparse.Namespace, out) -> int:
@@ -452,6 +408,32 @@ def _command_bench_wal(args: argparse.Namespace, out) -> int:
         batch_size=args.batch_size,
         fsync=args.fsync,
         queries=queries,
+    )
+    print(report.render(), file=out)
+    return 0 if report.ok else 1
+
+
+def _command_bench_replicaset(args: argparse.Namespace, out) -> int:
+    from repro.cluster.bench import run_replicaset_benchmark
+    from repro.datasets import DEMO_QUERY_SETS
+
+    database = load_database(args.db)
+    queries = args.queries or DEMO_QUERY_SETS.get(database.name)
+    if not queries:
+        raise ReproError(
+            f"no benchmark query set for database {database.name!r}; "
+            "pass one or more --query options"
+        )
+    report = run_replicaset_benchmark(
+        database,
+        queries,
+        dataset=args.db,
+        requests=args.requests,
+        concurrency=args.concurrency,
+        replicas=args.replicas,
+        balance=args.balance,
+        replica_backend=args.replica_backend,
+        k=args.max_results,
     )
     print(report.render(), file=out)
     return 0 if report.ok else 1
@@ -562,10 +544,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-request queueing deadline in seconds",
     )
     serve.add_argument(
+        "--inline",
+        action="store_true",
+        help="dispatch searches inline instead of through the engine",
+    )
+    serve.add_argument(
         "--no-engine",
         action="store_true",
         dest="no_engine",
-        help="dispatch searches inline instead of through the engine",
+        help="deprecated alias for --inline",
     )
     serve.add_argument(
         "--live",
@@ -619,10 +606,45 @@ def build_parser() -> argparse.ArgumentParser:
         help="WAL durability policy (always = fsync each epoch)",
     )
     serve.add_argument(
+        "--follow",
+        action="store_true",
+        help="serve a read-only follower that tails --wal PATH (an "
+        "external primary's log) and stays caught up by epoch",
+    )
+    serve.add_argument(
         "--replica",
         action="store_true",
-        help="serve a read-only replica that tails --wal PATH and "
-        "stays caught up by epoch",
+        help="deprecated alias for --follow",
+    )
+    serve.add_argument(
+        "--replicas",
+        type=int,
+        default=0,
+        help="run a replica set: one WAL-writing primary plus N "
+        "WAL-following replicas behind a load-balancing front end "
+        "(status at /replicas; 0 = unreplicated)",
+    )
+    serve.add_argument(
+        "--balance",
+        choices=("round_robin", "least_inflight"),
+        default="round_robin",
+        help="replica-set load-balancing policy",
+    )
+    serve.add_argument(
+        "--max-lag",
+        type=int,
+        default=8,
+        dest="max_lag",
+        help="staleness bound in epochs: a replica lagging the WAL by "
+        "more is excluded from balancing until it catches up",
+    )
+    serve.add_argument(
+        "--replica-backend",
+        choices=("thread", "process", "auto"),
+        default="auto",
+        dest="replica_backend",
+        help="replica worker backend (process = one forked worker per "
+        "replica — read QPS scales with cores; needs fork)",
     )
     serve.set_defaults(run=_command_serve)
 
@@ -722,6 +744,39 @@ def build_parser() -> argparse.ArgumentParser:
         "query set)",
     )
     bench_wal.set_defaults(run=_command_bench_wal)
+
+    bench_replicaset = commands.add_parser(
+        "bench-replicaset",
+        help="replica-set benchmark: read QPS scaling, replica parity, "
+        "read-your-writes, lag exclusion",
+    )
+    bench_replicaset.add_argument("db")
+    bench_replicaset.add_argument("--replicas", type=int, default=3)
+    bench_replicaset.add_argument("--requests", type=int, default=64)
+    bench_replicaset.add_argument("--concurrency", type=int, default=8)
+    bench_replicaset.add_argument(
+        "--balance",
+        choices=("round_robin", "least_inflight"),
+        default="round_robin",
+    )
+    bench_replicaset.add_argument(
+        "--replica-backend",
+        choices=("thread", "process", "auto"),
+        default="auto",
+        dest="replica_backend",
+    )
+    bench_replicaset.add_argument(
+        "--query",
+        action="append",
+        dest="queries",
+        metavar="QUERY",
+        help="benchmark query (repeatable; default: the dataset's "
+        "demo query set)",
+    )
+    bench_replicaset.add_argument(
+        "-k", "--max-results", type=int, default=5, dest="max_results"
+    )
+    bench_replicaset.set_defaults(run=_command_bench_replicaset)
     return parser
 
 

@@ -1,0 +1,481 @@
+""":class:`Cluster` — one facade, one request/response contract.
+
+The public construction path for every deployment shape the repo has
+grown: hand a validated :class:`~repro.cluster.spec.ClusterSpec` to
+:class:`Cluster` and it owns composition (engines, routers, replica
+sets, WALs, followers), lifecycle (``start``/``close``, context
+manager) and a single typed query surface::
+
+    from repro.cluster import Cluster, ClusterSpec, QueryRequest
+
+    with Cluster(ClusterSpec(topology="replicated", replicas=3,
+                             db="demo:bibliography")) as cluster:
+        cluster.insert("paper", ["p9", "epoch replication study"])
+        result = cluster.query(QueryRequest(
+            "epoch replication", k=5, consistency="read_your_writes"))
+        print(result.served_by, result.epoch, result.answers[0].render())
+
+Whatever the topology, :meth:`Cluster.query` returns a
+:class:`QueryResult` carrying the answers **plus provenance** (which
+replica / which shards served it) **and the epoch** the read observed;
+:meth:`Cluster.submit` is the future-returning form.  Mutations route
+to whichever component owns the write path — the live engine's
+snapshot store, the shard router's delta routing, or the replica set's
+primary.
+
+Consistency levels (per request, ``QueryRequest.consistency``):
+
+* ``"eventual"`` (default) — any eligible replica may serve; the
+  answer reflects *some* published epoch at most ``max_lag`` behind.
+* ``"read_your_writes"`` — the read observes at least the epoch of the
+  last mutation made through this cluster; the replica set waits for
+  the chosen replica (bounded) or falls back to the primary.
+* ``"primary"`` — the read goes to the authoritative copy.
+
+On unreplicated topologies every level is trivially satisfied (reads
+and writes share one published state), so the levels are accepted —
+and recorded in the result — everywhere.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass
+from typing import Any, List, Optional, Tuple
+
+from repro.deprecation import internal_construction
+from repro.errors import ClusterError
+from repro.relational.database import Database, RID
+
+from repro.cluster.replicaset import ReplicaSet
+from repro.cluster.spec import CONSISTENCY_LEVELS, ClusterSpec
+
+
+@dataclass(frozen=True)
+class QueryRequest:
+    """One keyword read, fully described.
+
+    Attributes:
+        keywords: the keyword query (a string, or a pre-parsed
+            :class:`~repro.core.query.ParsedQuery`).
+        k: how many answers to return.
+        deadline: seconds the request may wait queued before it is
+            failed (engine-backed topologies).
+        consistency: ``"eventual"`` | ``"read_your_writes"`` |
+            ``"primary"`` (see the module docstring).
+    """
+
+    keywords: Any
+    k: int = 10
+    deadline: Optional[float] = None
+    consistency: str = "eventual"
+
+    def __post_init__(self):
+        if self.consistency not in CONSISTENCY_LEVELS:
+            raise ClusterError(
+                f"unknown consistency level {self.consistency!r} "
+                f"(choose from {', '.join(CONSISTENCY_LEVELS)})"
+            )
+        if self.k < 1:
+            raise ClusterError(f"k must be >= 1 (got {self.k})")
+
+
+@dataclass
+class QueryResult:
+    """What every topology answers with.
+
+    Attributes:
+        answers: the ranked answer list (objects with ``tree``,
+            ``relevance``, ``rank`` and ``render()``, whatever the
+            backend).
+        topology: the spec topology that served the read.
+        served_by: human-readable provenance — ``"engine"``,
+            ``"inline"``, ``"router"``, ``"primary"`` or
+            ``"replica-N"``.
+        replica: replica index (replicated topologies; ``None`` when
+            the primary or an unreplicated backend served).
+        shards: shard ids contributing nodes to the answers (sharded
+            topologies; empty elsewhere).
+        epoch: the mutation epoch the read observed.
+        consistency: the level the request asked for.
+        latency: request-to-answer seconds at the cluster surface.
+    """
+
+    answers: List[Any]
+    topology: str
+    served_by: str
+    replica: Optional[int]
+    shards: Tuple[int, ...]
+    epoch: int
+    consistency: str
+    latency: float
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"QueryResult({len(self.answers)} answers via {self.served_by}, "
+            f"epoch {self.epoch}, {1000 * self.latency:.1f} ms)"
+        )
+
+
+class Cluster:
+    """Own one deployment: construction, lifecycle, queries, writes.
+
+    Args:
+        spec: the validated deployment description.
+        database: the data to serve; optional when ``spec.db`` names it
+            (a loaded :class:`~repro.relational.database.Database` or a
+            CLI specifier string like ``"demo:bibliography"``).
+    """
+
+    def __init__(
+        self, spec: ClusterSpec, database: Optional[Database] = None
+    ):
+        spec.validate()
+        self.spec = spec
+        self.database = self._resolve_database(spec, database)
+        #: Epochs replayed from an existing WAL at startup (live
+        #: recovery), for operator output.
+        self.recovered_epochs = 0
+        #: The follower tailing an external primary (follow mode only).
+        self.follower = None
+        self._pool = None
+        self._started = False
+        self._closed = False
+        with internal_construction():
+            self._build()
+
+    @staticmethod
+    def _resolve_database(spec: ClusterSpec, database) -> Database:
+        if database is not None:
+            return database
+        source = spec.db
+        if isinstance(source, Database):
+            return source
+        if isinstance(source, str):
+            from repro.cli import load_database
+
+            return load_database(source)
+        raise ClusterError(
+            "no database: pass one to Cluster(...) or set ClusterSpec.db "
+            "to a Database or a specifier string like 'demo:bibliography'"
+        )
+
+    # -- composition -----------------------------------------------------------
+
+    def _build(self) -> None:
+        spec = self.spec
+        self.backend: Any = None  # the engine-like component
+        self.banks: Any = None  # the facade browse pages read
+        if spec.replicated:
+            replica_set = ReplicaSet(self.database, spec)
+            self.backend = replica_set
+            self.banks = replica_set  # facade property resolves per read
+        elif spec.topology == "sharded":
+            from repro.serve.engine import EngineConfig
+            from repro.shard.router import ShardRouter
+
+            router = ShardRouter(
+                self.database,
+                shards=spec.shards,
+                strategy=spec.shard_strategy,
+                backend=spec.shard_backend,
+                dispatch=spec.dispatch,
+                engine_config=EngineConfig(
+                    queue_bound=spec.queue_bound,
+                    default_deadline=spec.deadline,
+                ),
+            )
+            self.backend = router
+            self.banks = router
+        elif not spec.engine:
+            from repro.core.banks import BANKS
+
+            self.banks = BANKS(self.database)
+        elif spec.follow:
+            self._build_follower()
+        elif spec.live:
+            self._build_live()
+        else:
+            from repro.core.cache import CachedBanks
+            from repro.serve.engine import EngineConfig, QueryEngine
+
+            self.banks = CachedBanks(self.database)
+            self.backend = QueryEngine(self.banks, self._engine_config())
+
+    def _engine_config(self, **overrides):
+        from repro.serve.engine import EngineConfig
+
+        spec = self.spec
+        settings = dict(
+            workers=spec.workers,
+            queue_bound=spec.queue_bound,
+            default_deadline=spec.deadline,
+            dedup=spec.dedup,
+        )
+        settings.update(overrides)
+        return EngineConfig(**settings)
+
+    def _build_live(self) -> None:
+        import os
+
+        from repro.core.incremental import IncrementalBANKS
+        from repro.serve.engine import QueryEngine
+
+        spec = self.spec
+        if spec.wal_path and os.path.isdir(spec.wal_path):
+            # Restarting over an existing log: recover the exact
+            # pre-crash facade before serving (pruned history refuses
+            # loudly inside recover).
+            self.banks = IncrementalBANKS.recover(self.database, spec.wal_path)
+            self.recovered_epochs = self.banks.applied_epoch
+        else:
+            self.banks = IncrementalBANKS(self.database)
+        self.backend = QueryEngine(
+            self.banks,
+            self._engine_config(
+                copy_mode=spec.copy_mode,
+                wal_path=spec.wal_path,
+                wal_fsync=spec.wal_fsync,
+            ),
+        )
+
+    def _build_follower(self) -> None:
+        from repro.core.incremental import IncrementalBANKS
+        from repro.serve.engine import QueryEngine
+        from repro.store.wal import ReplicaFollower
+
+        # A follower serves reads only: the loaded database is the base
+        # snapshot, the external primary's WAL is the source of truth,
+        # and epochs apply through the engine so readers keep snapshot
+        # isolation.
+        self.banks = IncrementalBANKS(self.database)
+        self.backend = QueryEngine(self.banks, self._engine_config())
+        self.follower = ReplicaFollower.over_engine(
+            self.spec.wal_path, self.backend, metrics=self.backend.metrics
+        )
+        self.follower.poll()
+
+    # -- the public read surface -----------------------------------------------
+
+    def query(self, request: Any, **overrides) -> QueryResult:
+        """Serve one read; accepts a :class:`QueryRequest` or a plain
+        keyword string (``overrides``: ``k``, ``deadline``,
+        ``consistency``)."""
+        if not isinstance(request, QueryRequest):
+            request = QueryRequest(request, **overrides)
+        elif overrides:
+            raise ClusterError(
+                "pass either a QueryRequest or keyword overrides, not both"
+            )
+        self._check_open()
+        started = time.monotonic()
+        spec = self.spec
+        if spec.replicated:
+            answers, replica, epoch = self.backend.query(
+                request.keywords,
+                max_results=request.k,
+                deadline=request.deadline,
+                consistency=request.consistency,
+            )
+            served_by = "primary" if replica is None else f"replica-{replica}"
+            shards = tuple(
+                sorted({s for a in answers for s in getattr(a, "shards", ())})
+            )
+        elif spec.topology == "sharded":
+            answers = self.backend.search(
+                request.keywords, max_results=request.k
+            )
+            replica, epoch = None, self.backend.epoch
+            served_by = "router"
+            shards = tuple(sorted({s for a in answers for s in a.shards()}))
+        elif self.backend is not None:
+            outcome = self.backend.submit(
+                request.keywords,
+                deadline=request.deadline,
+                max_results=request.k,
+            ).result()
+            answers = outcome.answers
+            if self.follower is not None:
+                # The follower's local delta log renumbers per poll
+                # batch; the primary's WAL epoch is the one that means
+                # something to the operator.
+                replica, epoch = None, self.follower.applied_epoch
+                served_by = "follower"
+            else:
+                replica, epoch = None, self.backend.snapshots.epoch
+                served_by = "engine"
+            shards = ()
+        else:
+            answers = self.banks.search(
+                request.keywords, max_results=request.k
+            )
+            replica, epoch, served_by, shards = None, 0, "inline", ()
+        return QueryResult(
+            answers=answers,
+            topology=spec.topology,
+            served_by=served_by,
+            replica=replica,
+            shards=shards,
+            epoch=epoch,
+            consistency=request.consistency,
+            latency=time.monotonic() - started,
+        )
+
+    def submit(self, request: Any, **overrides) -> "Future[QueryResult]":
+        """Admit one read asynchronously; the future resolves to the
+        same :class:`QueryResult` :meth:`query` returns."""
+        if not isinstance(request, QueryRequest):
+            request = QueryRequest(request, **overrides)
+        elif overrides:
+            raise ClusterError(
+                "pass either a QueryRequest or keyword overrides, not both"
+            )
+        self._check_open()
+        if self._pool is None:
+            from repro.serve.pool import WorkerPool
+
+            self._pool = WorkerPool(
+                workers=max(4, self.spec.workers, 2 * self.spec.replicas),
+                queue_bound=0,
+                name="cluster-submit",
+            )
+        future: Future = Future()
+        self._pool.submit(lambda: self.query(request), future=future)
+        return future
+
+    def search(self, query: Any, max_results: int = 10, **kwargs) -> List[Any]:
+        """Engine-compatible convenience: the bare answer list."""
+        return self.query(QueryRequest(query, k=max_results, **kwargs)).answers
+
+    # -- the public write surface ----------------------------------------------
+
+    def insert(self, table_name: str, values) -> RID:
+        writer = self._writer()
+        if hasattr(writer, "insert"):
+            return writer.insert(table_name, values)
+        return writer.mutate(lambda f: f.insert(table_name, values))
+
+    def delete(self, rid: RID) -> None:
+        writer = self._writer()
+        if hasattr(writer, "insert"):
+            writer.delete(rid)
+        else:
+            writer.mutate(lambda f: f.delete(rid))
+
+    def update(self, rid: RID, changes) -> None:
+        writer = self._writer()
+        if hasattr(writer, "insert"):
+            writer.update(rid, changes)
+        else:
+            writer.mutate(lambda f: f.update(rid, changes))
+
+    def mutate(self, fn) -> Any:
+        """Apply a mutation batch function on the write path's facade
+        (engine-backed topologies; the shard router exposes only the
+        typed insert/delete/update surface)."""
+        writer = self._writer()
+        if not hasattr(writer, "mutate"):
+            raise ClusterError(
+                f"topology {self.spec.topology!r} routes typed mutations "
+                "(insert/delete/update); it has no facade-function write "
+                "path"
+            )
+        return writer.mutate(fn)
+
+    def _writer(self):
+        spec = self.spec
+        if spec.follow:
+            raise ClusterError(
+                "this cluster is a read-only follower: its state is owned "
+                "by the primary's epoch log (mutate through the primary)"
+            )
+        if spec.replicated or spec.topology == "sharded":
+            return self.backend
+        if spec.live:
+            return self.backend
+        raise ClusterError(
+            f"topology {self.spec.topology!r} serves an immutable facade; "
+            "set live=True (or a replicated topology) for a write path"
+        )
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def engine(self) -> Any:
+        """The engine-like backend (``None`` for inline dispatch)."""
+        return self.backend
+
+    @property
+    def metrics(self):
+        return getattr(self.backend, "metrics", None)
+
+    @property
+    def read_only(self) -> bool:
+        return self.spec.read_only
+
+    @property
+    def epoch(self) -> int:
+        if self.follower is not None:
+            return int(self.follower.applied_epoch)
+        backend = self.backend
+        if backend is None:
+            return 0
+        epoch = getattr(backend, "epoch", None)
+        if epoch is not None:
+            return int(epoch)
+        return int(backend.snapshots.epoch)
+
+    def describe(self) -> dict:
+        facts = {"topology": self.spec.topology, "spec": self.spec.describe()}
+        describe = getattr(self.backend, "describe", None)
+        if callable(describe):
+            facts["backend"] = describe()
+        return facts
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def start(self) -> "Cluster":
+        """Begin background work: WAL tailing (follower / replica
+        set).  Idempotent; querying before ``start`` is fine — the
+        backends are live from construction."""
+        self._check_open()
+        if self._started:
+            return self
+        self._started = True
+        if self.follower is not None:
+            self.follower.start(interval=0.5)
+        if self.spec.replicated:
+            self.backend.start()
+        return self
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        if self.follower is not None:
+            self.follower.stop()
+        if self._pool is not None:
+            self._pool.stop(wait=False)
+        stop = getattr(self.backend, "stop", None)
+        if callable(stop):
+            stop()
+
+    #: Engine-compatible alias.
+    stop = close
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ClusterError("cluster is closed")
+
+    def __enter__(self) -> "Cluster":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Cluster({self.spec.topology}, {self.database.name}, "
+            f"epoch {self.epoch})"
+        )

@@ -1,0 +1,293 @@
+"""The ``banks bench-replicaset`` measurement.
+
+Four claims about the replica-set front end, measured on one box:
+
+1. **Parity** — every replica answers the benchmark battery with
+   exactly the primary's top-k (roots and scores): the WAL-following
+   forks run the same arithmetic over the same replayed state.
+2. **Read-your-writes** — a query issued with
+   ``consistency="read_your_writes"`` immediately after a mutation
+   observes that mutation (the chosen replica waits for the epoch, or
+   the primary serves).
+3. **Lag exclusion** — a replica whose follower is suspended past the
+   staleness bound stops being chosen by the balancer (and is
+   re-admitted once it catches back up).
+4. **Read scaling** — N process-backed replicas answer a concurrent
+   read-only workload at >= 1.5x the QPS of a single replica — the
+   GIL-free half of the gather-vs-route finding: whole queries to
+   whole replicas is the throughput policy, and replication is how it
+   scales *without* partitioning.  The ratio is a CPU-parallelism
+   property: ``benchmarks/bench_replicaset.py`` gates it only when the
+   box has a core per replica, mirroring the route-QPS gate.
+
+The workload is read-only during measurement, so the single- and
+N-replica sides serve identical published states; the speedup is a
+pure dispatch ratio.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.errors import ReproError
+
+from repro.cluster.api import Cluster, QueryRequest
+from repro.cluster.spec import ClusterSpec
+
+
+def _signature(answers) -> List[Tuple]:
+    return [(a.tree.root, round(a.relevance, 9)) for a in answers]
+
+
+def _throughput(
+    cluster: Cluster, queries: Sequence[str], requests: int, concurrency: int, k: int
+) -> float:
+    """Seconds to serve ``requests`` eventual-consistency reads from
+    ``concurrency`` client threads."""
+    workload = [queries[i % len(queries)] for i in range(requests)]
+    position = {"next": 0}
+    lock = threading.Lock()
+    errors: List[BaseException] = []
+
+    def client() -> None:
+        while True:
+            with lock:
+                index = position["next"]
+                if index >= len(workload):
+                    return
+                position["next"] = index + 1
+            try:
+                cluster.query(QueryRequest(workload[index], k=k))
+            except BaseException as error:  # pragma: no cover - fails test
+                errors.append(error)
+                return
+
+    threads = [
+        threading.Thread(target=client, name=f"bench-client-{i}")
+        for i in range(concurrency)
+    ]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - started
+    if errors:
+        raise ReproError(f"benchmark client failed: {errors[0]!r}")
+    return elapsed
+
+
+@dataclass
+class ReplicaSetBenchReport:
+    """Outcome of one replica-set front-end measurement."""
+
+    dataset: str
+    replicas: int
+    backend: str
+    balance: str
+    requests: int
+    concurrency: int
+    k: int
+    multi_seconds: float
+    single_seconds: float
+    parity_matched: int
+    parity_total: int
+    ryw_ok: bool
+    lag_exclusion_ok: bool
+    readmitted_ok: bool
+    epochs: int
+
+    @property
+    def qps_multi(self) -> float:
+        return self.requests / self.multi_seconds if self.multi_seconds else 0.0
+
+    @property
+    def qps_single(self) -> float:
+        return (
+            self.requests / self.single_seconds if self.single_seconds else 0.0
+        )
+
+    @property
+    def speedup(self) -> float:
+        if self.multi_seconds <= 0:
+            return float("inf")
+        return self.single_seconds / self.multi_seconds
+
+    @property
+    def parity_ok(self) -> bool:
+        return self.parity_matched == self.parity_total
+
+    @property
+    def ok(self) -> bool:
+        """Correctness only; the speedup is gated by
+        ``benchmarks/bench_replicaset.py`` where core count is known."""
+        return (
+            self.parity_ok
+            and self.ryw_ok
+            and self.lag_exclusion_ok
+            and self.readmitted_ok
+        )
+
+    def render(self) -> str:
+        parity = (
+            f"{self.parity_matched}/{self.parity_total} "
+            f"{'exact' if self.parity_ok else 'MISMATCH'}"
+        )
+        lines = [
+            f"dataset             : {self.dataset}",
+            f"replica set         : {self.replicas} replicas "
+            f"({self.backend} backend, {self.balance})",
+            f"workload            : {self.requests} requests at "
+            f"concurrency {self.concurrency}, top-{self.k}",
+            f"single replica      : {self.single_seconds:.3f} s "
+            f"({self.qps_single:.1f} QPS)",
+            f"{self.replicas} replicas          : {self.multi_seconds:.3f} s "
+            f"({self.qps_multi:.1f} QPS)",
+            f"read speedup        : {self.speedup:.2f}x",
+            f"replica parity      : {parity} (vs primary, roots + scores)",
+            f"read-your-writes    : "
+            f"{'observed' if self.ryw_ok else 'MISSED'}",
+            f"lag exclusion       : "
+            f"{'honored' if self.lag_exclusion_ok else 'VIOLATED'} "
+            f"(re-admission {'ok' if self.readmitted_ok else 'FAILED'})",
+            f"epochs published    : {self.epochs}",
+        ]
+        return "\n".join(lines)
+
+
+def run_replicaset_benchmark(
+    database,
+    queries: Sequence[str],
+    dataset: str = "",
+    requests: int = 64,
+    concurrency: int = 8,
+    replicas: int = 3,
+    balance: str = "round_robin",
+    k: int = 5,
+    max_lag: int = 4,
+    replica_backend: str = "auto",
+    workers: int = 2,
+) -> ReplicaSetBenchReport:
+    """Measure the replica-set front end; see the module docstring.
+
+    The mutation probes (read-your-writes, lag exclusion) insert rows
+    into a ``paper`` table, so the benchmark needs a
+    bibliography-style schema (``demo:bibliography``) or any database
+    with a two-column ``paper`` relation.
+    """
+    if "paper" not in database.table_names:
+        raise ReproError(
+            "the replica-set benchmark's mutation probes need a "
+            f"bibliography-style 'paper' table; {database.name!r} has "
+            "none — use demo:bibliography"
+        )
+
+    def build(n: int) -> Cluster:
+        return Cluster(
+            ClusterSpec(
+                topology="replicated",
+                replicas=n,
+                balance=balance,
+                replica_backend=replica_backend,
+                workers=workers,
+                max_lag=max_lag,
+            ),
+            database=database.fork(),
+        )
+
+    with build(replicas) as cluster:
+        replica_set = cluster.backend
+
+        # Warm writes: give every replica real history to replay.
+        for step in range(3):
+            cluster.insert(
+                "paper", [f"rs-warm-{step}", f"replica warmup study {step}"]
+            )
+        replica_set.sync()
+
+        # 1. Parity: every replica vs the primary, whole battery.
+        parity_matched = 0
+        battery = list(queries) + ["replica warmup"]
+        for query in battery:
+            primary_signature = _signature(
+                cluster.query(
+                    QueryRequest(query, k=k, consistency="primary")
+                ).answers
+            )
+            for index in range(replicas):
+                if (
+                    _signature(replica_set.search_on(index, query, max_results=k))
+                    == primary_signature
+                ):
+                    parity_matched += 1
+        parity_total = len(battery) * replicas
+
+        # 2. Read-your-writes: the very next read observes the write.
+        planted = cluster.insert(
+            "paper", ["rs-ryw", "freshness probe replication"]
+        )
+        ryw = cluster.query(
+            QueryRequest(
+                "freshness probe", k=k, consistency="read_your_writes"
+            )
+        )
+        ryw_ok = (
+            any(answer.tree.root == planted for answer in ryw.answers)
+            and ryw.epoch >= replica_set.last_write_epoch
+        )
+
+        # 3. Lag exclusion: suspend replica 0, publish past the bound,
+        # catch the others up, and watch the balancer route around it.
+        replica_set.suspend_replica(0)
+        for step in range(max_lag + 2):
+            cluster.insert(
+                "paper", [f"rs-lag-{step}", f"staleness drill {step}"]
+            )
+        for index in range(1, replicas):
+            replica_set.resume_replica(index)
+        lag_exclusion_ok = replica_set.lag_epochs(0) > max_lag
+        for probe in range(2 * replicas):
+            result = cluster.query(
+                QueryRequest(battery[probe % len(battery)], k=k)
+            )
+            if result.replica == 0:
+                lag_exclusion_ok = False
+        # Re-admission: catch replica 0 back up; it serves again.
+        replica_set.resume_replica(0)
+        readmitted_ok = False
+        for _probe in range(2 * replicas):
+            if cluster.query(QueryRequest(battery[0], k=k)).replica == 0:
+                readmitted_ok = True
+                break
+        readmitted_ok = readmitted_ok and replica_set.lag_epochs(0) == 0
+
+        # 4. Throughput: read-only workload over the full set.
+        replica_set.sync()
+        multi_seconds = _throughput(cluster, battery, requests, concurrency, k)
+        backend = replica_set.backend
+        epochs = cluster.epoch
+
+    with build(1) as single:
+        single.backend.sync()
+        single_seconds = _throughput(single, battery, requests, concurrency, k)
+
+    return ReplicaSetBenchReport(
+        dataset=dataset or database.name,
+        replicas=replicas,
+        backend=backend,
+        balance=balance,
+        requests=requests,
+        concurrency=concurrency,
+        k=k,
+        multi_seconds=multi_seconds,
+        single_seconds=single_seconds,
+        parity_matched=parity_matched,
+        parity_total=parity_total,
+        ryw_ok=ryw_ok,
+        lag_exclusion_ok=lag_exclusion_ok,
+        readmitted_ok=readmitted_ok,
+        epochs=epochs,
+    )

@@ -1,0 +1,358 @@
+""":class:`ClusterSpec` — one declarative description of a deployment.
+
+Four PRs of scaling work left the repo with four parallel construction
+idioms: ``QueryEngine(facade, EngineConfig(...))``,
+``ShardRouter(database, shards, backend, dispatch)``,
+``ReplicaFollower(wal, over_engine=...)`` and
+``SnapshotStore(copy_mode=..., wal=...)`` — each with its own kwargs
+and its own hand-rolled flag conflicts in ``banks serve``.  The spec
+replaces all of that with one frozen dataclass: *what* to stand up
+(the topology), *how* it serves (worker/admission knobs), *how* it
+writes (copy mode + WAL), and *how* replicas behave (balancing policy,
+staleness bound).
+
+Validation is centralised: every conflicting combination — the old
+``--replica`` + ``--shards``/``--live``/``--no-engine`` matrix, a
+WAL-less follower, a durable log over the deep-copy write path, … —
+fails through :class:`~repro.errors.ClusterError` with one message
+format (``invalid cluster spec: <detail>``), at construction time,
+before any engine exists.
+
+Topologies::
+
+    single              one QueryEngine over one facade (cached, or a
+                        live IncrementalBANKS with --live; optionally
+                        inline with engine=False — the old --no-engine)
+    sharded             a ShardRouter over N graph shards
+    replicated          a ReplicaSet: one WAL-writing primary plus N
+                        WAL-following replica engines behind a
+                        load-balancing front end
+    sharded_replicated  a ReplicaSet whose replicas are whole
+                        ShardRouters, each kept caught up from the
+                        primary's WAL
+
+``follow=True`` (the old ``banks serve --replica``) is the external
+half of replication: a read-only single-engine follower of *another
+process's* WAL, valid only on the ``single`` topology.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields, replace
+from typing import Any, Callable, Optional, Union
+
+from repro.errors import ClusterError
+
+#: The deployments the cluster layer can stand up.
+TOPOLOGIES = ("single", "sharded", "replicated", "sharded_replicated")
+
+#: Replica-set load-balancing policies.
+BALANCE_POLICIES = ("round_robin", "least_inflight")
+
+#: Per-request consistency levels (see repro.cluster.api.QueryRequest).
+CONSISTENCY_LEVELS = ("eventual", "read_your_writes", "primary")
+
+_COPY_MODES = ("auto", "delta", "deep")
+_FSYNC_POLICIES = ("always", "rotate", "never")
+_DISPATCHES = ("gather", "route")
+_BACKENDS = ("thread", "process", "auto")
+
+
+def _invalid(detail: str) -> ClusterError:
+    """The one error path every bad spec combination exits through."""
+    return ClusterError(f"invalid cluster spec: {detail}")
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """Declarative description of one cluster deployment.
+
+    Attributes:
+        topology: ``"single"`` | ``"sharded"`` | ``"replicated"`` |
+            ``"sharded_replicated"``.
+        db: optional data source — a loaded
+            :class:`~repro.relational.database.Database` or a CLI
+            specifier string (``"demo:bibliography"``,
+            ``"sqlite:/path"``); :class:`~repro.cluster.api.Cluster`
+            resolves it when no database is passed explicitly.
+        shards: shard count (sharded topologies only).
+        replicas: replica count (replicated topologies only).
+        workers: worker threads for the (primary) engine.
+        queue_bound: admission-queue bound before shedding
+            (0 = unbounded).
+        deadline: per-request queueing deadline in seconds.
+        dedup: single-flight deduplication of identical in-flight
+            queries.
+        engine: ``False`` dispatches searches inline on the facade
+            (the old ``--no-engine``; single topology only).
+        live: serve a mutable :class:`IncrementalBANKS` facade (single
+            topology; replicated topologies are always live — the
+            primary owns the write path).
+        copy_mode: snapshot capture mode for mutations (``"auto"`` |
+            ``"delta"`` | ``"deep"``).
+        wal_path: durable epoch-log directory.  Required with
+            ``follow``; optional for replicated topologies (an
+            ephemeral log is created when omitted); with
+            ``live`` it makes the single primary durable.
+        wal_fsync: WAL durability policy.
+        follow: read-only follower of an external primary's WAL (the
+            old ``--replica``); single topology only.
+        shard_backend: ``"thread"`` | ``"process"`` | ``"auto"`` shard
+            workers.
+        dispatch: shard dispatch policy (``"gather"`` | ``"route"``).
+        shard_strategy: placement strategy (name or callable) for the
+            graph partitioner.
+        replica_backend: how replica workers run — ``"process"``
+            (forked, CPU scaling), ``"thread"`` or ``"auto"``.
+        balance: replica load-balancing policy (``"round_robin"`` |
+            ``"least_inflight"``).
+        max_lag: staleness bound in epochs; a replica trailing the WAL
+            by more than this is excluded from balancing until it
+            catches back up.
+    """
+
+    topology: str = "single"
+    db: Any = None
+    shards: int = 0
+    replicas: int = 0
+    # engine / admission knobs
+    workers: int = 4
+    queue_bound: int = 64
+    deadline: Optional[float] = None
+    dedup: bool = True
+    engine: bool = True
+    # write path
+    live: bool = False
+    copy_mode: str = "auto"
+    wal_path: Optional[str] = None
+    wal_fsync: str = "always"
+    follow: bool = False
+    # shard knobs
+    shard_backend: str = "auto"
+    dispatch: str = "gather"
+    shard_strategy: Union[str, Callable] = "hash"
+    # replica-set knobs
+    replica_backend: str = "auto"
+    balance: str = "round_robin"
+    max_lag: int = 8
+
+    def __post_init__(self):
+        self.validate()
+
+    # -- the one validation path ----------------------------------------------
+
+    def validate(self) -> "ClusterSpec":
+        """Check the whole conflict matrix; raises
+        :class:`~repro.errors.ClusterError` (``invalid cluster spec:
+        <detail>``) on the first violation, returns ``self`` when
+        clean."""
+        self._validate_enums()
+        self._validate_counts()
+        self._validate_modes()
+        return self
+
+    def _validate_enums(self) -> None:
+        if self.topology not in TOPOLOGIES:
+            raise _invalid(
+                f"unknown topology {self.topology!r} "
+                f"(choose from {', '.join(TOPOLOGIES)})"
+            )
+        if self.balance not in BALANCE_POLICIES:
+            raise _invalid(
+                f"unknown balance policy {self.balance!r} "
+                f"(choose from {', '.join(BALANCE_POLICIES)})"
+            )
+        if self.copy_mode not in _COPY_MODES:
+            raise _invalid(
+                f"unknown copy mode {self.copy_mode!r} "
+                f"(choose from {', '.join(_COPY_MODES)})"
+            )
+        if self.wal_fsync not in _FSYNC_POLICIES:
+            raise _invalid(
+                f"unknown wal fsync policy {self.wal_fsync!r} "
+                f"(choose from {', '.join(_FSYNC_POLICIES)})"
+            )
+        if self.dispatch not in _DISPATCHES:
+            raise _invalid(
+                f"unknown dispatch policy {self.dispatch!r} "
+                f"(choose from {', '.join(_DISPATCHES)})"
+            )
+        if self.shard_backend not in _BACKENDS:
+            raise _invalid(
+                f"unknown shard backend {self.shard_backend!r} "
+                f"(choose from {', '.join(_BACKENDS)})"
+            )
+        if self.replica_backend not in _BACKENDS:
+            raise _invalid(
+                f"unknown replica backend {self.replica_backend!r} "
+                f"(choose from {', '.join(_BACKENDS)})"
+            )
+
+    def _validate_counts(self) -> None:
+        sharded = self.topology in ("sharded", "sharded_replicated")
+        replicated = self.topology in ("replicated", "sharded_replicated")
+        if sharded and self.shards < 1:
+            raise _invalid(
+                f"topology {self.topology!r} needs shards >= 1 "
+                f"(got {self.shards})"
+            )
+        if not sharded and self.shards:
+            raise _invalid(
+                f"shards={self.shards} conflicts with topology "
+                f"{self.topology!r}; use topology='sharded' or "
+                "'sharded_replicated'"
+            )
+        if replicated and self.replicas < 1:
+            raise _invalid(
+                f"topology {self.topology!r} needs replicas >= 1 "
+                f"(got {self.replicas})"
+            )
+        if not replicated and self.replicas:
+            raise _invalid(
+                f"replicas={self.replicas} conflicts with topology "
+                f"{self.topology!r}; use topology='replicated' or "
+                "'sharded_replicated'"
+            )
+        if self.workers < 1:
+            raise _invalid(f"workers must be >= 1 (got {self.workers})")
+        if self.queue_bound < 0:
+            raise _invalid(
+                f"queue_bound must be >= 0 (got {self.queue_bound})"
+            )
+        if self.deadline is not None and self.deadline <= 0:
+            raise _invalid(f"deadline must be positive (got {self.deadline})")
+        if self.max_lag < 0:
+            raise _invalid(f"max_lag must be >= 0 (got {self.max_lag})")
+
+    def _validate_modes(self) -> None:
+        replicated = self.topology in ("replicated", "sharded_replicated")
+        if self.follow:
+            if self.topology != "single":
+                raise _invalid(
+                    "follow=True is its own serving mode (a read-only "
+                    "WAL follower); it conflicts with topology "
+                    f"{self.topology!r}"
+                )
+            if self.live:
+                raise _invalid(
+                    "follow=True conflicts with live=True: a follower's "
+                    "state is owned by the primary's epoch log, a local "
+                    "write path would silently diverge from it"
+                )
+            if not self.engine:
+                raise _invalid(
+                    "follow=True needs the serving engine (engine=True): "
+                    "the follower applies epochs through the engine's "
+                    "snapshot store"
+                )
+            if not self.wal_path:
+                raise _invalid(
+                    "follow=True needs wal_path (the primary's log to "
+                    "tail)"
+                )
+        if not self.engine:
+            if self.topology != "single":
+                raise _invalid(
+                    "engine=False (inline dispatch) only exists on the "
+                    f"single topology, not {self.topology!r}"
+                )
+            if self.live:
+                raise _invalid(
+                    "engine=False conflicts with live=True: mutations "
+                    "need the engine's snapshot store to publish "
+                    "atomically"
+                )
+        if self.wal_path and self.topology == "sharded":
+            raise _invalid(
+                "wal_path is not wired into the plain sharded topology; "
+                "use topology='sharded_replicated' (the primary owns the "
+                "log, replica routers follow it)"
+            )
+        if self.wal_path and not (self.live or self.follow or replicated):
+            raise _invalid(
+                "wal_path needs a live primary (live=True), a follower "
+                "(follow=True) or a replicated topology; the other "
+                "serving modes publish no mutation epochs"
+            )
+        if self.copy_mode == "deep" and self.wal_path:
+            raise _invalid(
+                "wal_path needs the delta write path; copy_mode='deep' "
+                "captures no deltas to serialise"
+            )
+        if self.copy_mode == "deep" and replicated:
+            raise _invalid(
+                "replicated topologies need the delta write path "
+                "(replicas follow the primary's epochs); drop "
+                "copy_mode='deep'"
+            )
+
+    # -- conveniences ----------------------------------------------------------
+
+    @property
+    def replicated(self) -> bool:
+        return self.topology in ("replicated", "sharded_replicated")
+
+    @property
+    def read_only(self) -> bool:
+        """Whether the deployment refuses local writes (a follower)."""
+        return self.follow
+
+    def with_overrides(self, **changes) -> "ClusterSpec":
+        """A re-validated copy with ``changes`` applied."""
+        return replace(self, **changes)
+
+    def describe(self) -> dict:
+        """The spec as a plain dict (benchmarks, status pages)."""
+        return {
+            field.name: getattr(self, field.name)
+            for field in fields(self)
+            if field.name != "db"
+        }
+
+    # -- the ``banks serve`` bridge -------------------------------------------
+
+    @classmethod
+    def from_serve_args(cls, args) -> "ClusterSpec":
+        """Translate a ``banks serve`` argparse namespace into a spec.
+
+        This is where the old flag surface funnels into the one
+        validation path: any conflicting combination raises
+        :class:`~repro.errors.ClusterError` from the spec constructor,
+        with the same message a programmatic caller would get.
+        """
+        follow = bool(
+            getattr(args, "follow", False) or getattr(args, "replica", False)
+        )
+        inline = bool(
+            getattr(args, "inline", False) or getattr(args, "no_engine", False)
+        )
+        shards = int(getattr(args, "shards", 0) or 0)
+        replicas = int(getattr(args, "replicas", 0) or 0)
+        if shards and replicas:
+            topology = "sharded_replicated"
+        elif shards:
+            topology = "sharded"
+        elif replicas:
+            topology = "replicated"
+        else:
+            topology = "single"
+        return cls(
+            topology=topology,
+            db=getattr(args, "db", None),
+            shards=shards,
+            replicas=replicas,
+            workers=getattr(args, "workers", 4),
+            queue_bound=getattr(args, "queue_bound", 64),
+            deadline=getattr(args, "deadline", None),
+            engine=not inline,
+            live=bool(getattr(args, "live", False)),
+            copy_mode=getattr(args, "copy_mode", "auto"),
+            wal_path=getattr(args, "wal", None),
+            wal_fsync=getattr(args, "wal_fsync", "always"),
+            follow=follow,
+            shard_backend=getattr(args, "shard_backend", "auto"),
+            dispatch=getattr(args, "dispatch", "gather"),
+            replica_backend=getattr(args, "replica_backend", "auto"),
+            balance=getattr(args, "balance", "round_robin"),
+            max_lag=getattr(args, "max_lag", 8),
+        )

@@ -1,0 +1,62 @@
+"""Deprecation plumbing for the pre-cluster construction surface.
+
+PR 5 made :class:`~repro.cluster.api.Cluster` /
+:class:`~repro.cluster.spec.ClusterSpec` the one public way to stand a
+deployment up; :class:`~repro.serve.engine.QueryEngine` and
+:class:`~repro.shard.router.ShardRouter` remain the internal layers the
+cluster composes.  Constructing them directly still works — the old
+code paths are untouched — but emits a :class:`DeprecationWarning`
+naming the spec replacement.
+
+The cluster layer itself (and anything else composing the internals on
+a caller's behalf) builds inside :func:`internal_construction`, which
+suppresses the warning for the current thread: a deprecation aimed at
+*callers* must not fire on every internal composition, or it becomes
+noise nobody can act on.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+import warnings
+
+_STATE = threading.local()
+
+
+@contextlib.contextmanager
+def internal_construction():
+    """Mark the enclosed constructions as cluster-internal (reentrant,
+    per-thread): no deprecation warnings fire inside."""
+    depth = getattr(_STATE, "depth", 0)
+    _STATE.depth = depth + 1
+    try:
+        yield
+    finally:
+        _STATE.depth = depth
+
+
+def in_internal_construction() -> bool:
+    return bool(getattr(_STATE, "depth", 0))
+
+
+def warn_direct_construction(
+    old: str, replacement: str, stacklevel: int = 3
+) -> None:
+    """Emit the direct-construction deprecation unless we are inside
+    :func:`internal_construction`.
+
+    Args:
+        old: the class being constructed (e.g. ``"QueryEngine"``).
+        replacement: the ``ClusterSpec`` fields that express the same
+            deployment (e.g. ``"topology='single', workers=..."``).
+    """
+    if in_internal_construction():
+        return
+    warnings.warn(
+        f"constructing {old} directly is deprecated; declare the "
+        f"deployment with repro.cluster.ClusterSpec({replacement}) and "
+        "build it through repro.cluster.Cluster (see docs/API.md)",
+        DeprecationWarning,
+        stacklevel=stacklevel,
+    )

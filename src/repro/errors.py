@@ -154,3 +154,16 @@ class BatchMutationError(ServeError):
         )
         self.index = index
         self.cause = cause
+
+
+class ClusterError(ReproError):
+    """The cluster layer refused a spec or a request.
+
+    Every invalid :class:`~repro.cluster.spec.ClusterSpec` — conflicting
+    topology flags, a follower without a WAL, a durable log over the
+    deep-copy write path, ... — fails through this one error type with
+    one message format (``invalid cluster spec: <detail>``), replacing
+    the per-flag checks ``banks serve`` used to hand-roll.  Runtime
+    cluster misuse (mutating a read-only follower, an unknown
+    consistency level) raises it too.
+    """

@@ -25,8 +25,6 @@ from dataclasses import dataclass
 from typing import Any, List, Optional, Sequence, Tuple
 
 from repro.core.banks import BANKS
-from repro.core.cache import CachedBanks
-from repro.serve.engine import EngineConfig, QueryEngine
 
 from repro.datasets.bibliography import DEMO_QUERIES
 
@@ -135,10 +133,17 @@ def run_serving_benchmark(
         serial_facade.search(query, max_results=max_results)
     serial_seconds = time.perf_counter() - start
 
-    config = EngineConfig(
-        workers=workers, queue_bound=queue_bound, shed_policy="reject"
+    # The engine side stands up through the cluster layer — the same
+    # construction path ``banks serve`` uses — so the benchmark
+    # measures exactly the deployment an operator gets (a QueryEngine
+    # over a CachedBanks, shed policy "reject").
+    from repro.cluster import Cluster, ClusterSpec
+
+    spec = ClusterSpec(
+        topology="single", workers=workers, queue_bound=queue_bound
     )
-    with QueryEngine(CachedBanks(database), config) as engine:
+    with Cluster(spec, database=database) as cluster:
+        engine = cluster.backend
         errors: List[BaseException] = []
 
         def client(stream: List[str]) -> None:

@@ -44,6 +44,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, List, Optional
 
 from repro.core.cache import _query_key, _scoring_key
+from repro.deprecation import warn_direct_construction
 from repro.errors import (
     DeadlineExceededError,
     EngineOverloadedError,
@@ -182,6 +183,10 @@ class QueryEngine:
         config: Optional[EngineConfig] = None,
         metrics: Optional[MetricsRegistry] = None,
     ):
+        warn_direct_construction(
+            "QueryEngine",
+            "topology='single', workers=..., live=..., wal_path=...",
+        )
         self.config = config or EngineConfig()
         wal = None
         if self.config.wal_path is not None:

@@ -41,7 +41,11 @@ from repro.shard.partition import (
     round_robin_strategy,
     table_strategy,
 )
-from repro.shard.process import ProcessShardWorker, fork_available
+from repro.shard.process import (
+    ProcessShardWorker,
+    ProcessWorkerProxy,
+    fork_available,
+)
 from repro.shard.router import ShardAnswer, ShardRouter
 from repro.shard.searcher import ShardSearcher
 from repro.shard.stitch import graphs_equal, stats_of, stitch_graph
@@ -51,6 +55,7 @@ __all__ = [
     "GraphPartitioner",
     "Partition",
     "ProcessShardWorker",
+    "ProcessWorkerProxy",
     "ShardAnswer",
     "ShardRouter",
     "ShardSearcher",

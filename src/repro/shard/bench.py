@@ -206,22 +206,32 @@ def run_shard_benchmark(
     """
     workload = zipfian_workload(queries, requests, seed=seed)
 
-    with ShardRouter(
-        database, shards=1, backend=backend, strategy=strategy
-    ) as single_router:
+    # Routers stand up through the cluster layer — the construction
+    # path ``banks serve --shards`` uses — so the measured deployment
+    # is the served one.
+    from repro.cluster import Cluster, ClusterSpec
+
+    def sharded_cluster(n: int, dispatch: str = "gather") -> Cluster:
+        return Cluster(
+            ClusterSpec(
+                topology="sharded",
+                shards=n,
+                shard_backend=backend,
+                shard_strategy=strategy,
+                dispatch=dispatch,
+            ),
+            database=database,
+        )
+
+    with sharded_cluster(1) as single_cluster:
         single_seconds, single_median = _timed_run(
-            single_router, workload, concurrency, k
+            single_cluster.backend, workload, concurrency, k
         )
 
     facade = BANKS(database)
 
-    with ShardRouter(
-        database,
-        shards=shards,
-        backend=backend,
-        strategy=strategy,
-        dispatch="route",
-    ) as route_router:
+    with sharded_cluster(shards, dispatch="route") as route_cluster:
+        route_router = route_cluster.backend
         route_seconds, route_median = _timed_run(
             route_router, workload, concurrency, k
         )
@@ -236,9 +246,8 @@ def run_shard_benchmark(
             if [s for _r, s in routed] == [s for _r, s in single]:
                 route_matched += 1
 
-    with ShardRouter(
-        database, shards=shards, backend=backend, strategy=strategy
-    ) as router:
+    with sharded_cluster(shards) as gather_cluster:
+        router = gather_cluster.backend
         gather_seconds, gather_median = _timed_run(
             router, workload, concurrency, k
         )

@@ -65,28 +65,35 @@ def _serve_loop(searcher, connection) -> None:  # pragma: no cover - child
     connection.close()
 
 
-class ProcessShardWorker:
-    """Parent-side proxy for one forked shard worker.
+class ProcessWorkerProxy:
+    """Parent-side proxy for one forked request/response worker.
 
-    Exposes the searcher methods the router scatters to; each call is
-    one request/response round-trip on a private pipe, serialised by a
-    lock (one in-flight request per shard process — the shard engine in
-    front of it runs one worker thread, matching one CPU-bound child).
+    The generic transport both the shard and the replica workers ride:
+    each call is one request/response round-trip on a private pipe,
+    serialised by a lock (one in-flight request per child process; the
+    calling thread blocks in ``recv`` with the GIL released).
+    Subclasses set :attr:`error_type` (what transport failures raise)
+    and pass a human ``label`` (``"shard 3"``, ``"replica 1"``) for
+    the messages.
     """
 
-    def __init__(self, searcher):
+    #: Raised for transport-level failures (stopped proxy, dead child,
+    #: remote traceback).
+    error_type: type = ShardError
+
+    def __init__(self, target: Any, label: str, name: str):
         if not fork_available():
-            raise ShardError(
-                "process shard backend needs the fork start method; "
+            raise self.error_type(
+                f"the process {label} worker needs the fork start method; "
                 "use the thread backend on this platform"
             )
-        self.shard_id = searcher.shard_id
+        self.label = label
         context = multiprocessing.get_context("fork")
         self._connection, child_connection = context.Pipe()
         self._process = context.Process(
             target=_serve_loop,
-            args=(searcher, child_connection),
-            name=f"shard-worker-{searcher.shard_id}",
+            args=(target, child_connection),
+            name=name,
             daemon=True,
         )
         self._process.start()
@@ -97,20 +104,64 @@ class ProcessShardWorker:
     def _call(self, method_name: str, *args, **kwargs) -> Any:
         with self._lock:
             if self._stopped:
-                raise ShardError(f"shard {self.shard_id} worker is stopped")
+                raise self.error_type(f"{self.label} worker is stopped")
             try:
                 self._connection.send((method_name, args, kwargs))
                 ok, payload = self._connection.recv()
             except (EOFError, OSError, BrokenPipeError) as error:
-                raise ShardError(
-                    f"shard {self.shard_id} worker process died "
+                raise self.error_type(
+                    f"{self.label} worker process died "
                     f"({type(error).__name__})"
                 ) from None
         if not ok:
-            raise ShardError(
-                f"shard {self.shard_id} search failed in worker:\n{payload}"
+            raise self.error_type(
+                f"{self.label} search failed in worker:\n{payload}"
             )
         return payload
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def stop(self, timeout: float = 5.0) -> None:
+        """Shut the worker down; escalate to SIGTERM if it lingers."""
+        with self._lock:
+            if self._stopped:
+                self._process.join(timeout)
+                return
+            self._stopped = True
+            try:
+                self._connection.send(_SHUTDOWN)
+            except (OSError, BrokenPipeError):
+                pass
+            self._connection.close()
+        self._process.join(timeout)
+        if self._process.is_alive():  # pragma: no cover - defensive
+            self._process.terminate()
+            self._process.join(timeout)
+
+    @property
+    def alive(self) -> bool:
+        return self._process.is_alive() and not self._stopped
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "alive" if self.alive else "dead"
+        return f"{type(self).__name__}({self.label}, {state})"
+
+
+class ProcessShardWorker(ProcessWorkerProxy):
+    """Parent-side proxy for one forked shard worker.
+
+    Exposes the searcher methods the router scatters to (one in-flight
+    request per shard process — the shard engine in front of it runs
+    one worker thread, matching one CPU-bound child).
+    """
+
+    def __init__(self, searcher):
+        self.shard_id = searcher.shard_id
+        super().__init__(
+            searcher,
+            label=f"shard {searcher.shard_id}",
+            name=f"shard-worker-{searcher.shard_id}",
+        )
 
     # -- the searcher surface the router scatters to --------------------------
 
@@ -127,29 +178,3 @@ class ProcessShardWorker:
         child applies it atomically between requests.
         """
         return self._call("apply_delta", delta, owner)
-
-    # -- lifecycle ------------------------------------------------------------
-
-    def stop(self, timeout: float = 5.0) -> None:
-        """Shut the worker down; escalate to SIGTERM if it lingers."""
-        with self._lock:
-            if self._stopped:
-                return
-            self._stopped = True
-            try:
-                self._connection.send(_SHUTDOWN)
-            except (OSError, BrokenPipeError):
-                pass
-            self._connection.close()
-        self._process.join(timeout)
-        if self._process.is_alive():  # pragma: no cover - defensive
-            self._process.terminate()
-            self._process.join(timeout)
-
-    @property
-    def alive(self) -> bool:
-        return self._process.is_alive()
-
-    def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        state = "alive" if self.alive else "dead"
-        return f"ProcessShardWorker(shard {self.shard_id}, {state})"

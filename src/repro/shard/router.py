@@ -81,6 +81,7 @@ from repro.core.scoring import ScoringConfig
 from repro.core.search import ScoredAnswer, SearchConfig
 from repro.core.topk import merge_scored_answers
 from repro.core.weights import WeightPolicy
+from repro.deprecation import internal_construction, warn_direct_construction
 from repro.errors import ShardError
 from repro.relational.database import Database, RID
 from repro.serve.engine import EngineConfig, QueryEngine
@@ -238,6 +239,11 @@ class ShardRouter:
         engine_config: Optional[EngineConfig] = None,
         metrics: Optional[MetricsRegistry] = None,
     ):
+        warn_direct_construction(
+            "ShardRouter",
+            "topology='sharded', shards=..., dispatch=..., "
+            "shard_backend=...",
+        )
         if backend not in _BACKENDS:
             raise ShardError(
                 f"unknown shard backend {backend!r} "
@@ -309,7 +315,10 @@ class ShardRouter:
             dedup=False,
             metrics_window=base.metrics_window,
         )
-        self.engines = [QueryEngine(worker, per_shard) for worker in self._workers]
+        with internal_construction():
+            self.engines = [
+                QueryEngine(worker, per_shard) for worker in self._workers
+            ]
         self.pool = WorkerPool(
             workers=max(2, shards), queue_bound=0, name="shard-router"
         )

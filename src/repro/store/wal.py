@@ -561,6 +561,10 @@ class ReplicaFollower:
         self.deltas_applied = 0
         self._thread: Optional[threading.Thread] = None
         self._wake = threading.Event()
+        # Polls are serialised: a background tail and a foreground
+        # catch_up (e.g. a read-your-writes wait) must never both read
+        # entries_since(applied) and double-apply the same epochs.
+        self._poll_lock = threading.Lock()
         if metrics is not None:
             metrics.gauge(
                 "replica_lag_epochs",
@@ -580,15 +584,17 @@ class ReplicaFollower:
 
     def poll(self) -> int:
         """Apply every epoch published since the last poll; returns
-        how many were applied (0 = already caught up)."""
-        epochs = self.reader.entries_since(self.applied_epoch)
-        if not epochs:
-            return 0
-        self.target.apply_epochs(epochs)
-        self.applied_epoch = epochs[-1].number
-        self.epochs_applied += len(epochs)
-        self.deltas_applied += sum(len(e.deltas) for e in epochs)
-        return len(epochs)
+        how many were applied (0 = already caught up).  Thread-safe:
+        concurrent polls serialise instead of double-applying."""
+        with self._poll_lock:
+            epochs = self.reader.entries_since(self.applied_epoch)
+            if not epochs:
+                return 0
+            self.target.apply_epochs(epochs)
+            self.applied_epoch = epochs[-1].number
+            self.epochs_applied += len(epochs)
+            self.deltas_applied += sum(len(e.deltas) for e in epochs)
+            return len(epochs)
 
     def catch_up(
         self,
@@ -611,6 +617,11 @@ class ReplicaFollower:
         return max(0, self.reader.last_epoch() - self.applied_epoch)
 
     # -- background tailing ---------------------------------------------------
+
+    @property
+    def tailing(self) -> bool:
+        """Whether a background tailing thread is running."""
+        return self._thread is not None
 
     def start(self, interval: float = 0.5) -> "ReplicaFollower":
         """Poll on a daemon thread every ``interval`` seconds until

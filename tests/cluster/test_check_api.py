@@ -1,0 +1,57 @@
+"""The public-API surface gate (tools/check_api.py)."""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+_TOOL = Path(__file__).resolve().parents[2] / "tools" / "check_api.py"
+
+
+@pytest.fixture(scope="module")
+def check_api():
+    specification = importlib.util.spec_from_file_location("check_api", _TOOL)
+    module = importlib.util.module_from_spec(specification)
+    specification.loader.exec_module(module)
+    return module
+
+
+class TestSurfaceGate:
+    def test_committed_snapshot_is_clean(self, check_api, capsys):
+        assert check_api.main([]) == 0
+        assert "intact" in capsys.readouterr().out
+
+    def test_disappeared_public_name_is_flagged(self, check_api):
+        problems = check_api.check_module(
+            "repro.cluster",
+            check_api.PUBLIC_API["repro.cluster"] + ("VanishedThing",),
+        )
+        assert any("disappeared" in p for p in problems)
+
+    def test_leaked_name_is_flagged(self, check_api):
+        module = sys.modules["repro.serve"]
+        module.__all__.append("_leaky")
+        try:
+            problems = check_api.check_module(
+                "repro.serve", check_api.PUBLIC_API["repro.serve"]
+            )
+        finally:
+            module.__all__.remove("_leaky")
+        assert any("leaked into __all__" in p for p in problems)
+        assert any("private name" in p for p in problems)
+
+    def test_undeclared_public_definition_is_flagged(self, check_api):
+        module = sys.modules["repro.store"]
+        module.UndeclaredSurface = type("UndeclaredSurface", (), {})
+        # Simulate a repro-defined class leaking into the namespace.
+        module.UndeclaredSurface.__module__ = "repro.store.delta"
+        try:
+            problems = check_api.check_module(
+                "repro.store", check_api.PUBLIC_API["repro.store"]
+            )
+        finally:
+            del module.UndeclaredSurface
+        assert any("not in __all__" in p for p in problems)

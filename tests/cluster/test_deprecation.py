@@ -1,0 +1,138 @@
+"""Deprecation shims: old constructors and flags warn, stay equivalent."""
+
+from __future__ import annotations
+
+import io
+import warnings
+
+import pytest
+
+from repro.cluster import Cluster, ClusterSpec
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def university():
+    from repro.datasets import generate_university
+
+    return generate_university()[0]
+
+
+def run_cli(*argv: str):
+    out = io.StringIO()
+    status = main(list(argv), out=out)
+    return status, out.getvalue()
+
+
+class TestDirectConstructionWarns:
+    def test_query_engine_warns_and_names_the_replacement(self, university):
+        from repro.core.cache import CachedBanks
+        from repro.serve import QueryEngine
+
+        with pytest.warns(
+            DeprecationWarning, match="constructing QueryEngine directly"
+        ) as caught:
+            engine = QueryEngine(CachedBanks(university.fork()))
+        engine.stop()
+        assert "ClusterSpec" in str(caught[0].message)
+
+    def test_shard_router_warns_and_names_the_replacement(self, university):
+        from repro.shard import ShardRouter
+
+        with pytest.warns(
+            DeprecationWarning, match="constructing ShardRouter directly"
+        ) as caught:
+            router = ShardRouter(
+                university.fork(), shards=2, backend="thread"
+            )
+        router.stop()
+        assert "topology='sharded'" in str(caught[0].message)
+
+    def test_cluster_construction_is_warning_free(self, university):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            with Cluster(
+                ClusterSpec(), database=university.fork()
+            ) as cluster:
+                cluster.query("alice", k=1)
+            with Cluster(
+                ClusterSpec(
+                    topology="sharded", shards=2, shard_backend="thread"
+                ),
+                database=university.fork(),
+            ) as cluster:
+                cluster.query("alice", k=1)
+            with Cluster(
+                ClusterSpec(
+                    topology="replicated",
+                    replicas=2,
+                    replica_backend="thread",
+                ),
+                database=university.fork(),
+            ) as cluster:
+                cluster.query("alice", k=1)
+
+    def test_direct_construction_still_works(self, university):
+        """The shim is a warning, not a break: old code keeps running
+        with parity-equal results."""
+        from repro.core.banks import BANKS
+        from repro.serve import QueryEngine
+
+        plain = BANKS(university).search("alice seminar", max_results=3)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            with QueryEngine(BANKS(university.fork())) as engine:
+                engined = engine.search("alice seminar", max_results=3)
+        assert [
+            (a.tree.root, round(a.relevance, 9)) for a in plain
+        ] == [(a.tree.root, round(a.relevance, 9)) for a in engined]
+
+
+class TestDeprecatedServeFlags:
+    def test_replica_flag_warns_and_matches_follow(self, tmp_path):
+        from repro.core.incremental import IncrementalBANKS
+        from repro.serve.snapshot import SnapshotStore
+        from repro.cli import load_database
+
+        wal = str(tmp_path / "wal")
+        store = SnapshotStore(
+            IncrementalBANKS(load_database("demo:university")),
+            copy_mode="delta",
+            wal=wal,
+        )
+        store.mutate(
+            lambda f: f.insert("student", ["S901", "Old Flagg", "BIGDEPT"])
+        )
+        with pytest.warns(
+            DeprecationWarning, match="--replica is deprecated"
+        ) as caught:
+            old = run_cli(
+                "serve", "demo:university", "--check", "--replica",
+                "--wal", wal,
+            )
+        assert "--follow" in str(caught[0].message)
+        assert "ClusterSpec" in str(caught[0].message)
+        new = run_cli(
+            "serve", "demo:university", "--check", "--follow", "--wal", wal
+        )
+        # The shimmed path serves exactly what the new flag serves.
+        assert old == new and old[0] == 0
+
+    def test_no_engine_flag_warns_and_matches_inline(self):
+        with pytest.warns(
+            DeprecationWarning, match="--no-engine is deprecated"
+        ) as caught:
+            old = run_cli("serve", "demo:university", "--check", "--no-engine")
+        assert "--inline" in str(caught[0].message)
+        new = run_cli("serve", "demo:university", "--check", "--inline")
+        assert old == new and old[0] == 0
+
+    def test_new_flags_are_warning_free(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            status, _ = run_cli("serve", "demo:university", "--check")
+            assert status == 0
+            status, _ = run_cli(
+                "serve", "demo:university", "--check", "--inline"
+            )
+            assert status == 0

@@ -1,0 +1,203 @@
+"""ClusterSpec: the centralised conflict matrix and the serve bridge."""
+
+from __future__ import annotations
+
+import argparse
+
+import pytest
+
+from repro.cluster import ClusterSpec, QueryRequest
+from repro.errors import ClusterError
+
+#: Every conflicting combination ``validate()`` must refuse — the old
+#: hand-rolled ``banks serve`` checks plus the new topology matrix.
+CONFLICTS = [
+    # (kwargs, detail fragment)
+    ({"topology": "mesh"}, "unknown topology"),
+    ({"balance": "fastest"}, "unknown balance policy"),
+    ({"copy_mode": "shallow"}, "unknown copy mode"),
+    ({"wal_fsync": "sometimes"}, "unknown wal fsync"),
+    ({"dispatch": "broadcast"}, "unknown dispatch policy"),
+    ({"shard_backend": "fiber"}, "unknown shard backend"),
+    ({"replica_backend": "fiber"}, "unknown replica backend"),
+    ({"topology": "sharded"}, "needs shards >= 1"),
+    ({"topology": "sharded_replicated", "replicas": 2}, "needs shards >= 1"),
+    ({"shards": 2}, "conflicts with topology 'single'"),
+    ({"topology": "replicated"}, "needs replicas >= 1"),
+    ({"topology": "sharded_replicated", "shards": 2}, "needs replicas >= 1"),
+    ({"replicas": 2}, "conflicts with topology 'single'"),
+    ({"topology": "sharded", "shards": 2, "replicas": 2}, "conflicts with"),
+    ({"workers": 0}, "workers must be >= 1"),
+    ({"queue_bound": -1}, "queue_bound must be >= 0"),
+    ({"deadline": 0.0}, "deadline must be positive"),
+    ({"max_lag": -1}, "max_lag must be >= 0"),
+    # The old --replica conflict matrix, spec-shaped.
+    ({"follow": True}, "needs wal_path"),
+    ({"follow": True, "wal_path": "/w", "live": True}, "conflicts with live"),
+    (
+        {"topology": "sharded", "shards": 2, "follow": True, "wal_path": "/w"},
+        "its own serving mode",
+    ),
+    (
+        {"follow": True, "wal_path": "/w", "engine": False},
+        "needs the serving engine",
+    ),
+    (
+        {
+            "topology": "replicated",
+            "replicas": 2,
+            "follow": True,
+            "wal_path": "/w",
+        },
+        "its own serving mode",
+    ),
+    # WAL routing rules.
+    ({"wal_path": "/w"}, "publish no mutation epochs"),
+    (
+        {"topology": "sharded", "shards": 2, "wal_path": "/w"},
+        "not wired into the plain sharded topology",
+    ),
+    ({"live": True, "wal_path": "/w", "copy_mode": "deep"}, "delta write path"),
+    (
+        {
+            "topology": "replicated",
+            "replicas": 2,
+            "copy_mode": "deep",
+        },
+        "delta write path",
+    ),
+    # Inline dispatch rules.
+    ({"engine": False, "live": True}, "conflicts with live"),
+    (
+        {"topology": "sharded", "shards": 2, "engine": False},
+        "only exists on the single topology",
+    ),
+    (
+        {"topology": "replicated", "replicas": 2, "engine": False},
+        "only exists on the single topology",
+    ),
+]
+
+
+class TestConflictMatrix:
+    @pytest.mark.parametrize(
+        "kwargs, fragment",
+        CONFLICTS,
+        ids=[str(sorted(c[0].items())) for c in CONFLICTS],
+    )
+    def test_conflict_fails_through_one_error_path(self, kwargs, fragment):
+        with pytest.raises(ClusterError) as caught:
+            ClusterSpec(**kwargs)
+        # One error type, one message format, whatever the conflict.
+        assert str(caught.value).startswith("invalid cluster spec: ")
+        assert fragment in str(caught.value)
+
+    def test_valid_topologies_validate(self, tmp_path):
+        wal = str(tmp_path / "wal")
+        ClusterSpec()  # single
+        ClusterSpec(engine=False)
+        ClusterSpec(live=True, wal_path=wal)
+        ClusterSpec(follow=True, wal_path=wal)
+        ClusterSpec(topology="sharded", shards=4, dispatch="route")
+        ClusterSpec(topology="replicated", replicas=3, wal_path=wal)
+        ClusterSpec(topology="replicated", replicas=3)  # ephemeral WAL
+        ClusterSpec(topology="sharded_replicated", shards=2, replicas=2)
+
+    def test_with_overrides_revalidates(self):
+        spec = ClusterSpec(topology="sharded", shards=2)
+        assert spec.with_overrides(shards=4).shards == 4
+        with pytest.raises(ClusterError):
+            spec.with_overrides(shards=0)
+
+    def test_describe_covers_every_field_except_db(self):
+        facts = ClusterSpec(topology="sharded", shards=2).describe()
+        assert facts["topology"] == "sharded"
+        assert facts["shards"] == 2
+        assert "db" not in facts
+
+
+class TestQueryRequest:
+    def test_unknown_consistency_refused(self):
+        with pytest.raises(ClusterError):
+            QueryRequest("x", consistency="linearizable")
+
+    def test_bad_k_refused(self):
+        with pytest.raises(ClusterError):
+            QueryRequest("x", k=0)
+
+
+def _serve_args(**overrides) -> argparse.Namespace:
+    """A namespace shaped like the ``banks serve`` parser output."""
+    defaults = dict(
+        db="demo:university",
+        workers=4,
+        queue_bound=64,
+        deadline=None,
+        inline=False,
+        no_engine=False,
+        live=False,
+        copy_mode="auto",
+        shards=0,
+        shard_backend="thread",
+        dispatch="gather",
+        wal=None,
+        wal_fsync="always",
+        follow=False,
+        replica=False,
+        replicas=0,
+        balance="round_robin",
+        max_lag=8,
+        replica_backend="auto",
+    )
+    defaults.update(overrides)
+    return argparse.Namespace(**defaults)
+
+
+class TestFromServeArgs:
+    def test_flag_topology_derivation(self):
+        assert ClusterSpec.from_serve_args(_serve_args()).topology == "single"
+        assert (
+            ClusterSpec.from_serve_args(_serve_args(shards=3)).topology
+            == "sharded"
+        )
+        assert (
+            ClusterSpec.from_serve_args(_serve_args(replicas=2)).topology
+            == "replicated"
+        )
+        assert (
+            ClusterSpec.from_serve_args(
+                _serve_args(shards=2, replicas=2)
+            ).topology
+            == "sharded_replicated"
+        )
+
+    def test_deprecated_aliases_map(self, tmp_path):
+        wal = str(tmp_path / "wal")
+        spec = ClusterSpec.from_serve_args(_serve_args(replica=True, wal=wal))
+        assert spec.follow and spec.wal_path == wal
+        assert not ClusterSpec.from_serve_args(
+            _serve_args(no_engine=True)
+        ).engine
+        # The new spellings land in the same spec fields.
+        assert ClusterSpec.from_serve_args(
+            _serve_args(follow=True, wal=wal)
+        ) == spec
+        assert ClusterSpec.from_serve_args(
+            _serve_args(inline=True)
+        ) == ClusterSpec.from_serve_args(_serve_args(no_engine=True))
+
+    def test_old_conflicts_fail_through_the_spec(self, tmp_path):
+        wal = str(tmp_path / "wal")
+        for namespace in (
+            _serve_args(replica=True),  # --replica without --wal
+            _serve_args(replica=True, wal=wal, live=True),
+            _serve_args(replica=True, wal=wal, shards=2),
+            _serve_args(replica=True, wal=wal, no_engine=True),
+            _serve_args(replica=True, wal=wal, replicas=2),
+            _serve_args(wal=wal),  # --wal without a publisher
+            _serve_args(wal=wal, live=True, copy_mode="deep"),
+            _serve_args(replicas=2, no_engine=True),
+        ):
+            with pytest.raises(ClusterError) as caught:
+                ClusterSpec.from_serve_args(namespace)
+            assert str(caught.value).startswith("invalid cluster spec: ")
