@@ -82,6 +82,74 @@ def test_engine_throughput_vs_serialized(benchmark):
     assert report.cache_hit_rate > 0.3 or report.deduplicated > 0
 
 
+def test_tracing_disabled_overhead_under_five_percent(benchmark):
+    """ISSUE 6 guard: the observability hooks must be free when off.
+
+    The same serial workload runs through two engines over one shared
+    facade — tracing fully disabled (``trace_sample="off"``, the
+    default) and tracing always-on — best-of-N rounds each.  The gate
+    asserts the *disabled* path keeps at least 95% of the traced
+    path's throughput and vice versa is not asserted: ``off`` is the
+    production default, so the cost being guarded is the ``if obs``
+    checks and ``None`` guards threaded through the hot path.
+    """
+    from time import perf_counter
+
+    from repro.core.banks import BANKS
+    from repro.datasets import DEMO_QUERY_SETS
+
+    database, _anecdotes = generate_bibliography()
+    facade = BANKS(database)
+    queries = tuple(DEMO_QUERY_SETS["bibliography"]) + (
+        "soumen sunita",
+        "transaction",
+        "prasan epoch",
+    )
+
+    def measure(trace_sample: str) -> float:
+        """Best-of-rounds QPS; a fresh engine per round so the result
+        cache cannot turn later rounds into pure cache-hit timing."""
+        best = 0.0
+        for _round in range(3):
+            config = EngineConfig(
+                workers=2, queue_bound=0, trace_sample=trace_sample
+            )
+            with QueryEngine(facade, config) as engine:
+                started = perf_counter()
+                for query in queries:
+                    engine.search(query, max_results=5)
+                elapsed = perf_counter() - started
+            best = max(best, len(queries) / elapsed)
+        return best
+
+    def run():
+        return measure("off"), measure("always")
+
+    qps_untraced, qps_traced = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    ratio = qps_untraced / qps_traced
+    overhead_ok = ratio >= 0.95
+    print(
+        f"\ntracing overhead: untraced {qps_untraced:.1f} qps, "
+        f"traced {qps_traced:.1f} qps, off/on ratio {ratio:.3f} "
+        f"({'ok' if overhead_ok else 'REGRESSION'})"
+    )
+    record_bench_result(
+        "serve",
+        "tracing_overhead",
+        {
+            "queries": len(queries),
+            "qps_untraced": round(qps_untraced, 3),
+            "qps_traced": round(qps_traced, 3),
+            "off_on_ratio": round(ratio, 4),
+            "obs_overhead_ok": overhead_ok,
+        },
+    )
+    # Acceptance: disabled tracing costs < 5% throughput.
+    assert overhead_ok
+
+
 QUERIES = ("soumen sunita", "transaction", "freshly inserted")
 
 

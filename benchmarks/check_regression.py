@@ -69,6 +69,10 @@ FLOOR_METRICS = (
     "read_your_writes",
     "lag_exclusion",
     "lag_readmission",
+    # Observability floor (BENCH_serve.json): the tracing hooks must
+    # stay free when disabled — bench_serve.py asserts the off/on
+    # throughput ratio >= 0.95.
+    "obs_overhead_ok",
 )
 
 

@@ -30,6 +30,7 @@ the resulting epoch.  Parameters::
 
 from __future__ import annotations
 
+import json
 from typing import Callable, Iterable, Tuple
 from urllib.parse import parse_qs, unquote
 
@@ -98,6 +99,15 @@ class BrowseApp:
     @property
     def database(self):
         return self.banks.database
+
+    @property
+    def obs(self):
+        """The deployment's :class:`repro.obs.Observability` bundle, or
+        ``None``: the cluster's when one was passed (the surface that
+        originates traces), otherwise the engine's own."""
+        if self.cluster is not None:
+            return getattr(self.cluster, "obs", None)
+        return getattr(self.engine, "obs", None)
 
     # -- pages -------------------------------------------------------------
 
@@ -301,6 +311,102 @@ class BrowseApp:
             el("table", {"border": "1"}, *rows),
         )
 
+    # -- tracing pages --------------------------------------------------------
+
+    def trace_page(self) -> str:
+        """Recent sampled traces, newest first, with store stats."""
+        obs = self.obs
+        stats = obs.store.stats()
+        facts = el(
+            "ul",
+            None,
+            el("li", None, f"sampling: {stats['sample']}"),
+            el(
+                "li",
+                None,
+                "slow-query threshold: "
+                + (
+                    f"{stats['slow_query_ms']:g} ms"
+                    if stats["slow_query_ms"] is not None
+                    else "off"
+                ),
+            ),
+            el(
+                "li",
+                None,
+                f"kept {stats['kept']} of {stats['offered']} offered "
+                f"({stats['stored']} buffered, {stats['slow_stored']} slow, "
+                f"capacity {stats['capacity']})",
+            ),
+        )
+        rows = [
+            el(
+                "tr",
+                None,
+                el("th", None, "trace"),
+                el("th", None, "query"),
+                el("th", None, "topology"),
+                el("th", None, "ms"),
+                el("th", None, "spans"),
+                el("th", None, "slow"),
+            )
+        ]
+        for record in obs.store.recent(50):
+            rows.append(
+                el(
+                    "tr",
+                    None,
+                    el(
+                        "td",
+                        None,
+                        link(f"/trace/{record.trace_id}", record.trace_id),
+                    ),
+                    el("td", None, record.query),
+                    el("td", None, record.topology),
+                    el("td", None, f"{record.duration_ms:.2f}"),
+                    el("td", None, str(len(record.spans))),
+                    el("td", None, "SLOW" if record.slow else ""),
+                )
+            )
+        return page(
+            f"Traces: {self.database.name}",
+            facts,
+            el("table", {"border": "1"}, *rows),
+            el("p", None, link("/", "home")),
+        )
+
+    def trace_detail_page(self, trace_id: str) -> str:
+        """One trace, rendered as the ASCII span tree."""
+        record = self.obs.store.get(trace_id)
+        if record is None:
+            return page(
+                "Trace",
+                el(
+                    "p",
+                    None,
+                    f"No trace {trace_id!r} in the buffer (sampled away "
+                    "or evicted).",
+                ),
+                el("p", None, link("/trace", "all traces")),
+            )
+        return page(
+            f"Trace {trace_id}",
+            el("pre", None, record.render()),
+            el("p", None, link("/trace", "all traces")),
+        )
+
+    def debug_slow_json(self) -> str:
+        """``GET /debug/slow`` — the slow-query ring as JSON."""
+        obs = self.obs
+        return json.dumps(
+            {
+                "stats": obs.store.stats(),
+                "slow": [record.to_dict() for record in obs.store.slow(50)],
+            },
+            indent=2,
+            sort_keys=True,
+        )
+
     # -- the write surface ----------------------------------------------------
 
     def _writer(self):
@@ -416,6 +522,7 @@ class BrowseApp:
     #: Content types emitted by the router.
     _HTML = "text/html; charset=utf-8"
     _PLAINTEXT = "text/plain; version=0.0.4; charset=utf-8"
+    _JSON = "application/json; charset=utf-8"
 
     def handle(self, path: str, query_string: str = "") -> Tuple[str, str]:
         """Route one request; returns ``(status, body)``."""
@@ -443,6 +550,16 @@ class BrowseApp:
                 return "200 OK", self.search_page(query), self._HTML
             if parts == ["mutate"]:
                 return "200 OK", self.mutate_page(query_string), self._HTML
+            if parts == ["trace"] and self.obs is not None:
+                return "200 OK", self.trace_page(), self._HTML
+            if (
+                parts[0] == "trace"
+                and len(parts) == 2
+                and self.obs is not None
+            ):
+                return "200 OK", self.trace_detail_page(parts[1]), self._HTML
+            if parts == ["debug", "slow"] and self.obs is not None:
+                return "200 OK", self.debug_slow_json(), self._JSON
             if parts == ["metrics"] and self.engine is not None:
                 return (
                     "200 OK",

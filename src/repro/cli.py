@@ -17,6 +17,9 @@ Commands::
 
     banks stats DB                     graph/index statistics
     banks search DB QUERY... [-k N]    ranked connection trees
+    banks trace DB QUERY... [-k N]     one traced query: the span tree
+                                       across every serving layer plus
+                                       the kernel's SearchProfile
     banks sweep DB                     the Figure 5 lambda x EdgeLog grid
     banks serve DB [--port P]          the browsing/search Web app
     banks recover DB --wal PATH        replay a durable epoch log onto DB
@@ -85,6 +88,14 @@ at ``/metrics``.  Tuning knobs:
                        excluded from balancing (default 8)
     --replica-backend  thread, process (forked workers — read QPS
                        scales with cores) or auto
+    --trace-sample S   trace sampling: always (default), off, slow
+                       (keep only slow queries), or a rate in (0, 1]
+                       (0.1 = one trace in ten); sampled traces are
+                       browsable at /trace and /trace/<id>
+    --slow-query-ms T  slow-query threshold in milliseconds (default
+                       500); slow queries are always kept, logged, and
+                       served as JSON at /debug/slow
+    --trace-buffer N   traces retained in the ring buffer (default 256)
 
 A primary/follower pair on one database::
 
@@ -222,6 +233,50 @@ def _command_search(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _command_trace(args: argparse.Namespace, out) -> int:
+    """Run one query with tracing forced on and print the span tree.
+
+    The deployment shape mirrors ``banks serve``: bare engine by
+    default, ``--shards`` / ``--replicas`` stand up the same router /
+    replica-set topologies — so the trace shows exactly the layers a
+    server with those flags would cross.
+    """
+    from repro.cluster import Cluster, ClusterSpec, QueryRequest
+
+    if args.shards and args.replicas:
+        topology = "sharded_replicated"
+    elif args.shards:
+        topology = "sharded"
+    elif args.replicas:
+        topology = "replicated"
+    else:
+        topology = "single"
+    spec = ClusterSpec(
+        topology=topology,
+        shards=args.shards,
+        replicas=args.replicas,
+        shard_backend="thread",
+        replica_backend="thread",
+        trace_sample="always",
+        slow_query_ms=args.slow_ms,
+    )
+    database = load_database(args.db)
+    query = " ".join(args.query)
+    with Cluster(spec, database=database) as cluster:
+        result = cluster.query(QueryRequest(query, k=args.max_results))
+    record = result.trace
+    if record is None:  # pragma: no cover - defensive; sample="always"
+        print("no trace recorded", file=out)
+        return 1
+    print(record.render(), file=out)
+    print(
+        f"{len(result.answers)} answer(s) via {result.served_by} "
+        f"({len(record.spans)} spans)",
+        file=out,
+    )
+    return 0
+
+
 def _command_sweep(args: argparse.Namespace, out) -> int:
     if not args.db.startswith("demo:bibliography"):
         raise ReproError(
@@ -315,7 +370,7 @@ def _command_serve(args: argparse.Namespace, out) -> int:
             status, _html = app.handle("/", "")
             print(f"self-check: GET / -> {status}", file=out)
             if cluster.backend is not None:
-                probes = ["/metrics"]
+                probes = ["/metrics", "/trace", "/debug/slow"]
                 if spec.topology == "sharded":
                     probes.append("/shards")
                 if spec.replicated:
@@ -514,6 +569,36 @@ def build_parser() -> argparse.ArgumentParser:
     )
     search.set_defaults(run=_command_search)
 
+    trace = commands.add_parser(
+        "trace",
+        help="run one traced query and print its span tree + profile",
+    )
+    trace.add_argument("db")
+    trace.add_argument("query", nargs="+", help="search keywords")
+    trace.add_argument(
+        "-k", "--max-results", type=int, default=10, dest="max_results"
+    )
+    trace.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        help="trace through a shard router (0 = unsharded)",
+    )
+    trace.add_argument(
+        "--replicas",
+        type=int,
+        default=0,
+        help="trace through a replica set (0 = unreplicated)",
+    )
+    trace.add_argument(
+        "--slow-ms",
+        type=float,
+        default=500.0,
+        dest="slow_ms",
+        help="slow-query threshold for the SLOW marker",
+    )
+    trace.set_defaults(run=_command_trace)
+
     sweep = commands.add_parser("sweep", help="Figure 5 parameter sweep")
     sweep.add_argument("db")
     sweep.set_defaults(run=_command_sweep)
@@ -645,6 +730,31 @@ def build_parser() -> argparse.ArgumentParser:
         dest="replica_backend",
         help="replica worker backend (process = one forked worker per "
         "replica — read QPS scales with cores; needs fork)",
+    )
+    serve.add_argument(
+        "--trace-sample",
+        default=None,
+        dest="trace_sample",
+        metavar="S",
+        help="trace sampling: always (default), off, slow, or a rate "
+        "in (0, 1]; traces are browsable at /trace",
+    )
+    serve.add_argument(
+        "--slow-query-ms",
+        type=float,
+        default=None,
+        dest="slow_query_ms",
+        metavar="T",
+        help="slow-query threshold in ms (default 500); slow queries "
+        "are always traced, logged, and served at /debug/slow",
+    )
+    serve.add_argument(
+        "--trace-buffer",
+        type=int,
+        default=None,
+        dest="trace_buffer",
+        metavar="N",
+        help="traces retained in the ring buffer (default 256)",
     )
     serve.set_defaults(run=_command_serve)
 

@@ -46,6 +46,7 @@ from typing import Any, List, Optional, Tuple
 
 from repro.deprecation import internal_construction
 from repro.errors import ClusterError
+from repro.obs import Observability, SearchProfile, TraceRecord
 from repro.relational.database import Database, RID
 
 from repro.cluster.replicaset import ReplicaSet
@@ -100,6 +101,12 @@ class QueryResult:
         epoch: the mutation epoch the read observed.
         consistency: the level the request asked for.
         latency: request-to-answer seconds at the cluster surface.
+        trace: the finished :class:`repro.obs.TraceRecord` (one rooted
+            span tree across every layer and process the read touched)
+            when the cluster samples traces; ``None`` with
+            ``trace_sample="off"`` and no slow-query threshold.
+        profile: the merged :class:`repro.obs.SearchProfile` kernel
+            counters for the read (same condition).
     """
 
     answers: List[Any]
@@ -110,6 +117,8 @@ class QueryResult:
     epoch: int
     consistency: str
     latency: float
+    trace: Optional[TraceRecord] = None
+    profile: Optional[SearchProfile] = None
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
@@ -133,6 +142,15 @@ class Cluster:
     ):
         spec.validate()
         self.spec = spec
+        #: The cluster-wide observability bundle: trace store, event
+        #: log and sampling knobs.  Shared with the backend (router /
+        #: replica set / engine) so every layer's spans and the
+        #: ``/trace`` pages read from one place.
+        self.obs = Observability(
+            sample=spec.trace_sample,
+            slow_query_ms=spec.slow_query_ms,
+            buffer=spec.trace_buffer,
+        )
         self.database = self._resolve_database(spec, database)
         #: Epochs replayed from an existing WAL at startup (live
         #: recovery), for operator output.
@@ -168,7 +186,7 @@ class Cluster:
         self.backend: Any = None  # the engine-like component
         self.banks: Any = None  # the facade browse pages read
         if spec.replicated:
-            replica_set = ReplicaSet(self.database, spec)
+            replica_set = ReplicaSet(self.database, spec, obs=self.obs)
             self.backend = replica_set
             self.banks = replica_set  # facade property resolves per read
         elif spec.topology == "sharded":
@@ -185,6 +203,7 @@ class Cluster:
                     queue_bound=spec.queue_bound,
                     default_deadline=spec.deadline,
                 ),
+                obs=self.obs,
             )
             self.backend = router
             self.banks = router
@@ -201,7 +220,9 @@ class Cluster:
             from repro.serve.engine import EngineConfig, QueryEngine
 
             self.banks = CachedBanks(self.database)
-            self.backend = QueryEngine(self.banks, self._engine_config())
+            self.backend = QueryEngine(
+                self.banks, self._engine_config(), obs=self.obs
+            )
 
     def _engine_config(self, **overrides):
         from repro.serve.engine import EngineConfig
@@ -238,6 +259,7 @@ class Cluster:
                 wal_path=spec.wal_path,
                 wal_fsync=spec.wal_fsync,
             ),
+            obs=self.obs,
         )
 
     def _build_follower(self) -> None:
@@ -250,7 +272,9 @@ class Cluster:
         # and epochs apply through the engine so readers keep snapshot
         # isolation.
         self.banks = IncrementalBANKS(self.database)
-        self.backend = QueryEngine(self.banks, self._engine_config())
+        self.backend = QueryEngine(
+            self.banks, self._engine_config(), obs=self.obs
+        )
         self.follower = ReplicaFollower.over_engine(
             self.spec.wal_path, self.backend, metrics=self.backend.metrics
         )
@@ -271,46 +295,110 @@ class Cluster:
         self._check_open()
         started = time.monotonic()
         spec = self.spec
-        if spec.replicated:
-            answers, replica, epoch = self.backend.query(
-                request.keywords,
-                max_results=request.k,
-                deadline=request.deadline,
+        # The cluster surface originates the trace: one root ``query``
+        # span per request, with every layer below (replica set, shard
+        # router, engine, kernel) parenting its spans under it — across
+        # forked workers too.  A handed-down trace suppresses the inner
+        # layers' own origination, so exactly one record is finished.
+        trace = self.obs.begin()
+        profile = SearchProfile() if trace is not None else None
+        root = (
+            trace.begin(
+                "query",
+                topology=spec.topology,
+                consistency=request.consistency,
+                k=request.k,
+            )
+            if trace is not None
+            else None
+        )
+        obs_kwargs = (
+            {
+                "trace": trace,
+                "trace_parent": root.span_id,
+                "profile": profile,
+            }
+            if trace is not None
+            else {}
+        )
+        record = None
+        try:
+            if spec.replicated:
+                answers, replica, epoch = self.backend.query(
+                    request.keywords,
+                    max_results=request.k,
+                    deadline=request.deadline,
+                    consistency=request.consistency,
+                    **obs_kwargs,
+                )
+                served_by = (
+                    "primary" if replica is None else f"replica-{replica}"
+                )
+                shards = tuple(
+                    sorted(
+                        {s for a in answers for s in getattr(a, "shards", ())}
+                    )
+                )
+            elif spec.topology == "sharded":
+                answers = self.backend.search(
+                    request.keywords, max_results=request.k, **obs_kwargs
+                )
+                replica, epoch = None, self.backend.epoch
+                served_by = "router"
+                shards = tuple(
+                    sorted({s for a in answers for s in a.shards()})
+                )
+            elif self.backend is not None:
+                outcome = self.backend.submit(
+                    request.keywords,
+                    deadline=request.deadline,
+                    max_results=request.k,
+                    **obs_kwargs,
+                ).result()
+                answers = outcome.answers
+                if self.follower is not None:
+                    # The follower's local delta log renumbers per poll
+                    # batch; the primary's WAL epoch is the one that means
+                    # something to the operator.
+                    replica, epoch = None, self.follower.applied_epoch
+                    served_by = "follower"
+                else:
+                    replica, epoch = None, self.backend.snapshots.epoch
+                    served_by = "engine"
+                shards = ()
+            else:
+                answers = self.banks.search(
+                    request.keywords, max_results=request.k, **obs_kwargs
+                )
+                replica, epoch, served_by, shards = None, 0, "inline", ()
+        except BaseException as error:
+            if trace is not None:
+                root.attrs["error"] = type(error).__name__
+                trace.end(root)
+                self.obs.finish(
+                    trace,
+                    query=request.keywords,
+                    topology=spec.topology,
+                    duration_ms=(time.monotonic() - started) * 1000.0,
+                    profile=profile,
+                    consistency=request.consistency,
+                    error=type(error).__name__,
+                )
+            raise
+        latency = time.monotonic() - started
+        if trace is not None:
+            root.attrs["answers"] = len(answers)
+            root.attrs["served_by"] = served_by
+            trace.end(root)
+            record = self.obs.finish(
+                trace,
+                query=request.keywords,
+                topology=spec.topology,
+                duration_ms=latency * 1000.0,
+                profile=profile,
+                served_by=served_by,
                 consistency=request.consistency,
             )
-            served_by = "primary" if replica is None else f"replica-{replica}"
-            shards = tuple(
-                sorted({s for a in answers for s in getattr(a, "shards", ())})
-            )
-        elif spec.topology == "sharded":
-            answers = self.backend.search(
-                request.keywords, max_results=request.k
-            )
-            replica, epoch = None, self.backend.epoch
-            served_by = "router"
-            shards = tuple(sorted({s for a in answers for s in a.shards()}))
-        elif self.backend is not None:
-            outcome = self.backend.submit(
-                request.keywords,
-                deadline=request.deadline,
-                max_results=request.k,
-            ).result()
-            answers = outcome.answers
-            if self.follower is not None:
-                # The follower's local delta log renumbers per poll
-                # batch; the primary's WAL epoch is the one that means
-                # something to the operator.
-                replica, epoch = None, self.follower.applied_epoch
-                served_by = "follower"
-            else:
-                replica, epoch = None, self.backend.snapshots.epoch
-                served_by = "engine"
-            shards = ()
-        else:
-            answers = self.banks.search(
-                request.keywords, max_results=request.k
-            )
-            replica, epoch, served_by, shards = None, 0, "inline", ()
         return QueryResult(
             answers=answers,
             topology=spec.topology,
@@ -319,7 +407,9 @@ class Cluster:
             shards=shards,
             epoch=epoch,
             consistency=request.consistency,
-            latency=time.monotonic() - started,
+            latency=latency,
+            trace=record,
+            profile=profile,
         )
 
     def submit(self, request: Any, **overrides) -> "Future[QueryResult]":

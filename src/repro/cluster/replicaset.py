@@ -51,6 +51,7 @@ import pickle
 import tempfile
 import threading
 import time
+import warnings
 from dataclasses import dataclass, field
 from typing import Any, List, Optional, Sequence, Set, Tuple
 
@@ -62,6 +63,7 @@ from repro.errors import (
     ReproError,
     ShardError,
 )
+from repro.obs import Observability, SearchProfile, Trace
 from repro.relational.database import RID
 from repro.serve.engine import EngineConfig, QueryEngine
 from repro.serve.metrics import MetricsRegistry
@@ -69,6 +71,23 @@ from repro.shard.process import ProcessWorkerProxy, fork_available
 from repro.store.wal import ReplicaFollower, WalReader
 
 from repro.cluster.spec import ClusterSpec
+
+
+def _deprecated_series(old: str, new: str, fn):
+    """Wrap a gauge callback so reading the old series warns once."""
+    warned = []
+
+    def read():
+        if not warned:
+            warned.append(True)
+            warnings.warn(
+                f"metric {old} is deprecated; scrape {new} instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+        return fn()
+
+    return read
 
 #: How long a read_your_writes request may wait for a replica to catch
 #: up before falling back to the primary.
@@ -149,17 +168,55 @@ class _ReplicaSearchTarget:
         self.facade = facade
 
     def search_scored(
-        self, query, timeout: Optional[float] = None, **kwargs
+        self,
+        query,
+        timeout: Optional[float] = None,
+        trace=None,
+        profile=None,
+        **kwargs,
     ):
         # ``timeout`` bounds the caller's wait, not the search itself;
         # the single-threaded child just runs to completion.
+        # Tracing arrives over the pipe as a context dict (and
+        # ``profile=True``); the reply becomes an (answers, obs)
+        # envelope the parent-side proxy absorbs.
+        envelope = isinstance(trace, dict) or profile is True
+        local_trace = Trace.from_ctx(trace) if isinstance(trace, dict) else trace
+        local_profile = SearchProfile() if profile is True else profile
+        span = (
+            local_trace.begin(
+                "replica.search", parent_id=local_trace.parent_hint
+            )
+            if local_trace is not None
+            else None
+        )
         try:
-            return [
+            result = [
                 (answer.tree, answer.relevance)
-                for answer in self.facade.search(query, **kwargs)
+                for answer in self.facade.search(
+                    query,
+                    trace=local_trace,
+                    trace_parent=span.span_id if span is not None else None,
+                    profile=local_profile,
+                    **kwargs,
+                )
             ]
+            if span is not None:
+                span.attrs["answers"] = len(result)
         except Exception as error:
-            return _RemoteQueryFailure(error)
+            if span is not None:
+                span.attrs["error"] = type(error).__name__
+            result = _RemoteQueryFailure(error)
+        if span is not None:
+            local_trace.end(span)
+        if envelope:
+            return result, {
+                "spans": local_trace.export() if local_trace else [],
+                "profile": (
+                    local_profile.to_dict() if local_profile else {}
+                ),
+            }
+        return result
 
     def apply_epochs(self, epochs) -> int:
         return self.facade.apply_epochs(epochs)
@@ -186,8 +243,22 @@ class ProcessReplicaWorker(ProcessWorkerProxy):
             target, label=f"replica {index}", name=f"replica-worker-{index}"
         )
 
-    def search_scored(self, query, **kwargs) -> List[Tuple[Any, float]]:
+    def search_scored(
+        self, query, trace=None, trace_parent=None, profile=None, **kwargs
+    ) -> List[Tuple[Any, float]]:
+        # A live trace cannot cross the fork: ship the serialized
+        # context, absorb the child's spans from the reply envelope.
+        if trace is not None:
+            kwargs["trace"] = trace.ctx(trace_parent)
+        if profile is not None:
+            kwargs["profile"] = True
         result = self._call("search_scored", query, **kwargs)
+        if trace is not None or profile is not None:
+            result, obs = result
+            if trace is not None:
+                trace.absorb(obs.get("spans") or [])
+            if profile is not None:
+                profile.merge_dict(obs.get("profile") or {})
         if isinstance(result, _RemoteQueryFailure):
             raise result.error
         return result
@@ -347,6 +418,7 @@ class ReplicaSet:
         database,
         spec: ClusterSpec,
         metrics: Optional[MetricsRegistry] = None,
+        obs: Optional[Observability] = None,
     ):
         if not spec.replicated:
             raise ClusterError(
@@ -395,6 +467,10 @@ class ReplicaSet:
         self._rr_lock = threading.Lock()
         self._rr_next = 0
 
+        # Disabled unless the cluster front end hands its bundle in
+        # (the cluster is the originator; the set only records spans).
+        self.obs = obs or Observability()
+
         self.metrics = metrics or MetricsRegistry(prefix="banks_replicaset")
         m = self.metrics
         self._queries = m.counter("queries_total", "front-end reads admitted")
@@ -433,14 +509,37 @@ class ReplicaSet:
         )
         for handle in self._handles:
             m.gauge(
-                f"replica{handle.index}_lag_epochs",
-                f"epochs replica {handle.index} trails the WAL by",
+                "replica_lag_epochs",
+                "epochs a replica trails the WAL by",
                 fn=lambda i=handle.index: self.lag_epochs(i),
+                labels={"replica": str(handle.index)},
+            )
+            m.gauge(
+                "replica_served_total",
+                "reads served by a replica",
+                fn=lambda i=handle.index: self._handles[i].served,
+                labels={"replica": str(handle.index)},
+            )
+            # Deprecated name-mangled aliases; kept emitting for one
+            # release so dashboards keyed on the old series keep
+            # working, but the first read warns.
+            m.gauge(
+                f"replica{handle.index}_lag_epochs",
+                f'DEPRECATED: use replica_lag_epochs{{replica="{handle.index}"}}',
+                fn=_deprecated_series(
+                    f"replica{handle.index}_lag_epochs",
+                    f'replica_lag_epochs{{replica="{handle.index}"}}',
+                    lambda i=handle.index: self.lag_epochs(i),
+                ),
             )
             m.gauge(
                 f"replica{handle.index}_served_total",
-                f"reads served by replica {handle.index}",
-                fn=lambda i=handle.index: self._handles[i].served,
+                f'DEPRECATED: use replica_served_total{{replica="{handle.index}"}}',
+                fn=_deprecated_series(
+                    f"replica{handle.index}_served_total",
+                    f'replica_served_total{{replica="{handle.index}"}}',
+                    lambda i=handle.index: self._handles[i].served,
+                ),
             )
         self._tail_interval: Optional[float] = None
 
@@ -602,17 +701,44 @@ class ReplicaSet:
         timeout: Optional[float] = None,
         deadline: Optional[float] = None,
         consistency: str = "eventual",
+        trace=None,
+        trace_parent=None,
+        profile=None,
         **search_kwargs,
     ) -> Tuple[List[ReplicaAnswer], Optional[int], int]:
         """Serve one read; returns ``(answers, replica, epoch)`` where
-        ``replica`` is ``None`` when the primary served it."""
+        ``replica`` is ``None`` when the primary served it.
+
+        With a ``trace``, balancing records a ``replicaset.query`` span
+        with one ``replicaset.dispatch`` child per attempt (failovers
+        included), each covering the chosen replica's or the primary's
+        execution subtree — forked replicas' spans come back in the
+        response envelope and re-parent under their dispatch span.
+        """
         started = time.monotonic()
+        originated = False
+        if trace is None and profile is None and self.obs.enabled:
+            trace = self.obs.begin()
+            if trace is not None:
+                originated = True
+                profile = SearchProfile()
+        query_span = (
+            trace.begin(
+                "replicaset.query",
+                parent_id=trace_parent,
+                consistency=consistency,
+            )
+            if trace is not None
+            else None
+        )
+        parent_id = query_span.span_id if query_span is not None else None
         self._queries.inc()
         try:
             if consistency == "primary":
                 self._primary_reads.inc()
                 return self._query_primary(
-                    query, max_results, timeout, deadline, search_kwargs
+                    query, max_results, timeout, deadline, search_kwargs,
+                    trace, parent_id, profile,
                 )
             want_epoch = (
                 self.last_write_epoch
@@ -632,7 +758,8 @@ class ReplicaSet:
                 if not eligible:
                     self._primary_reads.inc()
                     return self._query_primary(
-                        query, max_results, timeout, deadline, search_kwargs
+                        query, max_results, timeout, deadline, search_kwargs,
+                        trace, parent_id, profile,
                     )
                 handle = self._pick(eligible)
                 if want_epoch and handle.applied_epoch < want_epoch:
@@ -644,9 +771,19 @@ class ReplicaSet:
                         self._primary_reads.inc()
                         return self._query_primary(
                             query, max_results, timeout, deadline,
-                            search_kwargs,
+                            search_kwargs, trace, parent_id, profile,
                         )
                 attempted.add(handle.index)
+                dispatch_span = (
+                    trace.begin(
+                        "replicaset.dispatch",
+                        parent_id=parent_id,
+                        replica=handle.index,
+                        lag_epochs=max(0, wal_epoch - handle.applied_epoch),
+                    )
+                    if trace is not None
+                    else None
+                )
                 with handle.lock:
                     handle.inflight += 1
                 try:
@@ -654,18 +791,31 @@ class ReplicaSet:
                         query,
                         timeout=timeout,
                         max_results=max_results,
+                        trace=trace,
+                        trace_parent=(
+                            dispatch_span.span_id
+                            if dispatch_span is not None
+                            else None
+                        ),
+                        profile=profile,
                         **search_kwargs,
                     )
                 except (ClusterError, EngineStoppedError, ShardError):
                     # The replica itself failed (dead process, stopped
                     # engine) — never the query: mark it down and retry
                     # elsewhere.  Query errors propagate unchanged.
+                    if dispatch_span is not None:
+                        dispatch_span.attrs["error"] = "failover"
+                        trace.end(dispatch_span)
                     self._mark_dead(handle)
                     self._failovers.inc()
                     continue
                 finally:
                     with handle.lock:
                         handle.inflight -= 1
+                if dispatch_span is not None:
+                    dispatch_span.attrs["answers"] = len(scored)
+                    trace.end(dispatch_span)
                 handle.served += 1
                 return (
                     self._wrap(scored, handle.index),
@@ -673,14 +823,45 @@ class ReplicaSet:
                     handle.applied_epoch,
                 )
         finally:
-            self._latency.observe(time.monotonic() - started)
+            duration = time.monotonic() - started
+            self._latency.observe(duration)
+            if query_span is not None:
+                trace.end(query_span)
+                if originated:
+                    self.obs.finish(
+                        trace,
+                        query=query,
+                        topology=self.spec.topology,
+                        duration_ms=duration * 1000.0,
+                        profile=profile,
+                        consistency=consistency,
+                    )
 
     def _query_primary(
-        self, query, max_results, timeout, deadline, search_kwargs
+        self, query, max_results, timeout, deadline, search_kwargs,
+        trace=None, parent_id=None, profile=None,
     ) -> Tuple[List[ReplicaAnswer], Optional[int], int]:
+        dispatch_span = (
+            trace.begin(
+                "replicaset.dispatch", parent_id=parent_id, target="primary"
+            )
+            if trace is not None
+            else None
+        )
         outcome = self.primary.submit(
-            query, deadline=deadline, max_results=max_results, **search_kwargs
+            query,
+            deadline=deadline,
+            max_results=max_results,
+            trace=trace,
+            trace_parent=(
+                dispatch_span.span_id if dispatch_span is not None else None
+            ),
+            profile=profile,
+            **search_kwargs,
         ).result(timeout=timeout)
+        if dispatch_span is not None:
+            dispatch_span.attrs["answers"] = len(outcome.answers)
+            trace.end(dispatch_span)
         scored = [(a.tree, a.relevance) for a in outcome.answers]
         return self._wrap(scored, None), None, self.primary.snapshots.epoch
 

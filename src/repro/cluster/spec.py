@@ -41,7 +41,8 @@ from __future__ import annotations
 from dataclasses import dataclass, fields, replace
 from typing import Any, Callable, Optional, Union
 
-from repro.errors import ClusterError
+from repro.errors import ClusterError, ReproError
+from repro.obs import parse_sample
 
 #: The deployments the cluster layer can stand up.
 TOPOLOGIES = ("single", "sharded", "replicated", "sharded_replicated")
@@ -109,6 +110,13 @@ class ClusterSpec:
         max_lag: staleness bound in epochs; a replica trailing the WAL
             by more than this is excluded from balancing until it
             catches back up.
+        trace_sample: query-trace sampling — ``"always"`` (default),
+            ``"off"``, ``"slow"`` (keep only slow queries) or a rate
+            in (0, 1] (deterministic 1-in-N).
+        slow_query_ms: queries at or above this duration are flagged
+            slow, always kept in the trace store and logged at
+            WARNING; ``None`` disables the slow-query log.
+        trace_buffer: trace ring-buffer capacity (kept traces).
     """
 
     topology: str = "single"
@@ -135,6 +143,10 @@ class ClusterSpec:
     replica_backend: str = "auto"
     balance: str = "round_robin"
     max_lag: int = 8
+    # observability knobs
+    trace_sample: Union[str, float] = "always"
+    slow_query_ms: Optional[float] = 500.0
+    trace_buffer: int = 256
 
     def __post_init__(self):
         self.validate()
@@ -223,6 +235,19 @@ class ClusterSpec:
             raise _invalid(f"deadline must be positive (got {self.deadline})")
         if self.max_lag < 0:
             raise _invalid(f"max_lag must be >= 0 (got {self.max_lag})")
+        try:
+            parse_sample(self.trace_sample)
+        except ReproError as error:
+            raise _invalid(str(error)) from None
+        if self.slow_query_ms is not None and self.slow_query_ms <= 0:
+            raise _invalid(
+                f"slow_query_ms must be positive or None "
+                f"(got {self.slow_query_ms})"
+            )
+        if self.trace_buffer < 1:
+            raise _invalid(
+                f"trace_buffer must be >= 1 (got {self.trace_buffer})"
+            )
 
     def _validate_modes(self) -> None:
         replicated = self.topology in ("replicated", "sharded_replicated")
@@ -355,4 +380,7 @@ class ClusterSpec:
             replica_backend=getattr(args, "replica_backend", "auto"),
             balance=getattr(args, "balance", "round_robin"),
             max_lag=getattr(args, "max_lag", 8),
+            trace_sample=getattr(args, "trace_sample", None) or "always",
+            slow_query_ms=getattr(args, "slow_query_ms", None) or 500.0,
+            trace_buffer=getattr(args, "trace_buffer", None) or 256,
         )

@@ -18,6 +18,7 @@ indexing (:mod:`repro.text.inverted_index`), query parsing
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from time import perf_counter
 from typing import Dict, List, Optional, Set, Union
 
 from repro.core.answer import AnswerTree
@@ -157,6 +158,9 @@ class BANKS:
         max_results: Optional[int] = None,
         scoring: Optional[ScoringConfig] = None,
         bidirectional: bool = False,
+        trace=None,
+        trace_parent=None,
+        profile=None,
         **config_overrides,
     ) -> List[Answer]:
         """Answer a keyword query.
@@ -168,12 +172,26 @@ class BANKS:
                 (the evaluation sweep uses this).
             bidirectional: use the Sec. 7 forward-from-selective-terms
                 strategy instead of pure backward search.
+            trace: optional :class:`repro.obs.Trace` collector; the
+                kernel invocation is recorded as a ``search.kernel``
+                span under ``trace_parent``.
+            trace_parent: span id the kernel span hangs under.
+            profile: optional :class:`repro.obs.SearchProfile` the
+                kernel fills (counters + expansion wall time).
             **config_overrides: any :class:`SearchConfig` field.
 
         Returns:
             Ranked answers (rank 0 = best).
         """
+        resolve_span = (
+            trace.begin("search.resolve", parent_id=trace_parent)
+            if trace is not None
+            else None
+        )
         keyword_node_sets = self.resolve(query)
+        if resolve_span is not None:
+            resolve_span.attrs["terms"] = len(keyword_node_sets)
+            trace.end(resolve_span)
         config = self.search_config
         if max_results is not None:
             config_overrides["max_results"] = max_results
@@ -181,16 +199,36 @@ class BANKS:
             config = replace(config, **config_overrides)
         scorer = self.scorer if scoring is None else self.scorer.with_config(scoring)
 
+        kernel_span = (
+            trace.begin(
+                "search.kernel",
+                parent_id=trace_parent,
+                bidirectional=bool(bidirectional),
+            )
+            if trace is not None
+            else None
+        )
+        kernel_start = perf_counter() if profile is not None else 0.0
         if bidirectional:
             scored = bidirectional_search(
-                self.graph, keyword_node_sets, scorer, config
+                self.graph, keyword_node_sets, scorer, config, profile=profile
             )
         else:
             scored = list(
                 backward_expanding_search(
-                    self.graph, keyword_node_sets, scorer, config
+                    self.graph, keyword_node_sets, scorer, config,
+                    profile=profile,
                 )
             )
+        if profile is not None:
+            profile.expansion_seconds += perf_counter() - kernel_start
+        if kernel_span is not None:
+            kernel_span.attrs["answers"] = len(scored)
+            if profile is not None:
+                kernel_span.attrs["heap_pops"] = profile.heap_pops
+                kernel_span.attrs["nodes_expanded"] = profile.nodes_expanded
+                kernel_span.attrs["edges_relaxed"] = profile.edges_relaxed
+            trace.end(kernel_span)
         return [
             Answer(s.tree, s.relevance, rank, self)
             for rank, s in enumerate(scored)

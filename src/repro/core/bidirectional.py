@@ -54,6 +54,7 @@ def bidirectional_search(
     config: Optional[SearchConfig] = None,
     selectivity_threshold: int = 10,
     candidate_budget: int = 2000,
+    profile=None,
 ) -> List[ScoredAnswer]:
     """Answer a query, expanding backward only from selective terms.
 
@@ -65,6 +66,9 @@ def bidirectional_search(
         selectivity_threshold: a term is *selective* when it matches at
             most this many nodes.
         candidate_budget: maximum candidate roots to probe forward from.
+        profile: optional :class:`repro.obs.SearchProfile` counter
+            block (same near-zero-when-disabled contract as
+            :func:`~repro.core.search.backward_expanding_search`).
 
     Returns:
         Up to ``config.max_results`` answers in decreasing relevance.
@@ -90,7 +94,9 @@ def bidirectional_search(
     if not selective or not broad:
         # Degenerate splits: plain backward search already optimal.
         return list(
-            backward_expanding_search(graph, keyword_node_sets, scorer, config)
+            backward_expanding_search(
+                graph, keyword_node_sets, scorer, config, profile=profile
+            )
         )
 
     # Step 1: backward iterators from selective keyword nodes only.
@@ -111,6 +117,8 @@ def bidirectional_search(
         peek = iterator.peek()
         if peek is not None:
             heapq.heappush(iterator_heap, (peek, next(counter), origin))
+    if profile is not None:
+        profile.iterators += len(iterators)
 
     # candidate root -> per-selective-term list of origins that reached it
     reached: Dict[Node, Dict[int, List[Node]]] = {}
@@ -128,7 +136,14 @@ def bidirectional_search(
     while iterator_heap and probes < candidate_budget:
         _distance, _tiebreak, origin = heapq.heappop(iterator_heap)
         iterator = iterators[origin]
+        if profile is not None:
+            profile.heap_pops += 1
+            relaxed_before = iterator.relaxations
         visit = iterator.next()
+        if profile is not None:
+            profile.edges_relaxed += iterator.relaxations - relaxed_before
+            if visit is not None:
+                profile.nodes_expanded += 1
         if visit is None:
             continue
         peek = iterator.peek()
@@ -153,16 +168,22 @@ def bidirectional_search(
         forward = DijkstraIterator(
             graph, root, reverse=False, max_distance=config.max_distance
         )
+        if profile is not None:
+            profile.iterators += 1
         remaining: List[Set[Node]] = [set(group) for group in broad_sets]
         found: List[Optional[Node]] = [None] * len(broad)
         missing = len(broad)
         for visit in forward:
+            if profile is not None:
+                profile.nodes_expanded += 1
             for position, group in enumerate(remaining):
                 if found[position] is None and visit.node in group:
                     found[position] = visit.node
                     missing -= 1
             if missing == 0:
                 break
+        if profile is not None:
+            profile.edges_relaxed += forward.relaxations
         if missing and config.require_all_keywords:
             continue
 
@@ -180,10 +201,14 @@ def bidirectional_search(
             paths[term_index] = forward_path
 
         tree = AnswerTree.from_paths(graph, root, paths)
+        if profile is not None:
+            profile.trees_considered += 1
         if _discard_single_child_root(tree):
             continue
         key = tree.undirected_key()
         if key in seen_keys:
+            if profile is not None:
+                profile.duplicate_trees += 1
             continue
         seen_keys.add(key)
         relevance = scorer.relevance(tree, graph)
@@ -192,9 +217,12 @@ def bidirectional_search(
         answers.append((-relevance, next(order), tree))
 
     answers.sort()
-    return [
+    results = [
         ScoredAnswer(tree, -neg_relevance, rank)
         for rank, (neg_relevance, _tiebreak, tree) in enumerate(
             answers[: config.max_results]
         )
     ]
+    if profile is not None:
+        profile.answers_emitted += len(results)
+    return results

@@ -140,6 +140,9 @@ class CachedBanks(BANKS):
         max_results=None,
         scoring=None,
         bidirectional=False,
+        trace=None,
+        trace_parent=None,
+        profile=None,
         **config_overrides,
     ) -> List[Answer]:
         if config_overrides:
@@ -149,8 +152,13 @@ class CachedBanks(BANKS):
                 max_results=max_results,
                 scoring=scoring,
                 bidirectional=bidirectional,
+                trace=trace,
+                trace_parent=trace_parent,
+                profile=profile,
                 **config_overrides,
             )
+        # Tracing/profiling does not affect ranking, so it stays out of
+        # the cache key: traced and untraced requests share entries.
         key = (
             _query_key(query),
             max_results,
@@ -159,12 +167,20 @@ class CachedBanks(BANKS):
         )
         cached = self.cache.get(key)
         if cached is not None:
+            if trace is not None:
+                with trace.span(
+                    "search.cache", parent_id=trace_parent, hit=True
+                ) as span:
+                    span.attrs["answers"] = len(cached)
             return list(cached)
         answers = super().search(
             query,
             max_results=max_results,
             scoring=scoring,
             bidirectional=bidirectional,
+            trace=trace,
+            trace_parent=trace_parent,
+            profile=profile,
         )
         self.cache.put(key, tuple(answers))
         return answers

@@ -183,6 +183,7 @@ def backward_expanding_search(
     keyword_node_sets: Sequence[Set[Node]],
     scorer: Scorer,
     config: Optional[SearchConfig] = None,
+    profile=None,
 ) -> Iterator[ScoredAnswer]:
     """Generate answers incrementally, approximately best-first.
 
@@ -192,6 +193,9 @@ def backward_expanding_search(
             relevant to it (``S_i`` in the paper).
         scorer: relevance scorer (carries the parameter setting).
         config: search knobs; defaults are the paper's.
+        profile: optional :class:`repro.obs.SearchProfile` counter
+            block; every increment is behind an ``is not None`` check,
+            so the unprofiled path pays one comparison per event.
 
     Yields:
         :class:`ScoredAnswer` in emission order (approximately
@@ -245,6 +249,8 @@ def backward_expanding_search(
         peek = iterator.peek()
         if peek is not None:
             heapq.heappush(iterator_heap, (peek, next(counter), origin))
+    if profile is not None:
+        profile.iterators += len(iterators)
 
     # v -> per-term lists of origins whose iterators have visited v.
     visit_lists: Dict[Node, List[List[Node]]] = {}
@@ -276,11 +282,15 @@ def backward_expanding_search(
     def consider(tree: AnswerTree) -> Optional[ScoredAnswer]:
         """Dedup + output-heap insertion; returns an emission, if any."""
         nonlocal emitted_count
+        if profile is not None:
+            profile.trees_considered += 1
         key = tree.undirected_key()
         if key in emitted_keys:
             # "In fact, a duplicate of the result might have already been
             # output; in that case we discard the new result even if its
             # relevance is higher."
+            if profile is not None:
+                profile.duplicate_trees += 1
             return None
         relevance = relevance_of(tree)
         existing = output.get_relevance(key)
@@ -305,7 +315,14 @@ def backward_expanding_search(
 
         _distance, _tiebreak, origin = heapq.heappop(iterator_heap)
         iterator = iterators[origin]
+        if profile is not None:
+            profile.heap_pops += 1
+            relaxed_before = iterator.relaxations
         visit = iterator.next()
+        if profile is not None:
+            profile.edges_relaxed += iterator.relaxations - relaxed_before
+            if visit is not None:
+                profile.nodes_expanded += 1
         if visit is None:
             continue
         peek = iterator.peek()
@@ -357,6 +374,8 @@ def backward_expanding_search(
                             continue  # Fig. 3: "duplicate result"
                         emission = consider(tree)
                         if emission is not None:
+                            if profile is not None:
+                                profile.answers_emitted += 1
                             yield emission
                             if emitted_count >= config.max_results:
                                 return
@@ -367,5 +386,7 @@ def backward_expanding_search(
     while len(output) and emitted_count < config.max_results:
         key, tree, relevance = output.pop_best()
         emitted_keys.add(key)
+        if profile is not None:
+            profile.answers_emitted += 1
         yield ScoredAnswer(tree, relevance, emitted_count)
         emitted_count += 1

@@ -74,6 +74,10 @@ class DijkstraIterator:
         self._heap: List[Tuple[float, int, int]] = [
             (initial_distance, next(self._counter), source_index)
         ]
+        #: Edges examined across every settlement so far — read by the
+        #: search kernels' profiling hooks (one O(1) addition per
+        #: settlement; the inner relaxation loop stays untouched).
+        self.relaxations = 0
 
     # -- iteration ------------------------------------------------------------
 
@@ -109,7 +113,9 @@ class DijkstraIterator:
             return None
         distance, _tiebreak, index = heapq.heappop(self._heap)
         self._settled[index] = distance
-        for neighbor, weight in self._neighbors(index).items():
+        neighbors = self._neighbors(index)
+        self.relaxations += len(neighbors)
+        for neighbor, weight in neighbors.items():
             if neighbor in self._settled:
                 continue
             candidate = distance + weight

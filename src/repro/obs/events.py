@@ -1,0 +1,94 @@
+"""Structured event log: JSON lines over stdlib ``logging``.
+
+One :class:`EventLog` per observability bundle.  Every emitted event
+is a single JSON object on one line — machine-parseable, trace-id
+correlated — routed through a named ``logging.Logger`` so operators
+plug it into whatever handler topology they already run.  By default
+the logger carries a :class:`logging.NullHandler`: emitting is a
+no-op until a stream or file is attached (:meth:`EventLog.attach`),
+which is exactly the near-zero-when-disabled contract the rest of
+``repro.obs`` keeps.
+
+Slow queries are logged at WARNING (event ``slow_query``); routine
+query completions at INFO (event ``query``).
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import logging
+import time
+from typing import Any, Dict, Optional
+
+#: The logger name the serving stack emits under.
+DEFAULT_LOGGER = "banks.events"
+
+
+class EventLog:
+    """JSON-lines event emitter with trace-id correlation."""
+
+    def __init__(
+        self,
+        name: str = DEFAULT_LOGGER,
+        logger: Optional[logging.Logger] = None,
+    ):
+        self.logger = logger or logging.getLogger(name)
+        if not self.logger.handlers:
+            # Quiet by default; also suppresses the root-logger
+            # "no handlers" fallback from double-printing events.
+            self.logger.addHandler(logging.NullHandler())
+            self.logger.propagate = False
+
+    # -- wiring ----------------------------------------------------------------
+
+    def attach(
+        self,
+        stream: Optional[io.TextIOBase] = None,
+        path: Optional[str] = None,
+        level: int = logging.INFO,
+    ) -> logging.Handler:
+        """Attach a stream (or file at ``path``) receiving the JSON lines.
+
+        Returns the handler so callers can detach it again
+        (``logger.removeHandler``).  The formatter is the bare message:
+        each record already is one complete JSON object.
+        """
+        if path is not None:
+            handler: logging.Handler = logging.FileHandler(
+                path, encoding="utf-8"
+            )
+        else:
+            handler = logging.StreamHandler(stream)
+        handler.setFormatter(logging.Formatter("%(message)s"))
+        handler.setLevel(level)
+        self.logger.addHandler(handler)
+        self.logger.setLevel(min(self.logger.level or level, level) or level)
+        return handler
+
+    # -- emission --------------------------------------------------------------
+
+    def emit(
+        self, event: str, level: int = logging.INFO, **fields: Any
+    ) -> None:
+        """Emit one event as a single JSON line.
+
+        ``fields`` ride verbatim (must be JSON-serialisable); ``ts``
+        (epoch seconds) and ``event`` are added here so every line has
+        the same envelope.
+        """
+        if not self.logger.isEnabledFor(level):
+            return
+        payload: Dict[str, Any] = {"event": event, "ts": round(time.time(), 6)}
+        payload.update(fields)
+        self.logger.log(
+            level, json.dumps(payload, sort_keys=True, default=str)
+        )
+
+    def query(self, **fields: Any) -> None:
+        """Routine query-completion event (INFO)."""
+        self.emit("query", logging.INFO, **fields)
+
+    def slow_query(self, **fields: Any) -> None:
+        """Slow-query event (WARNING) — the log line the runbook greps."""
+        self.emit("slow_query", logging.WARNING, **fields)

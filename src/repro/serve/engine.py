@@ -52,6 +52,7 @@ from repro.errors import (
     PoolSaturatedError,
     ServeError,
 )
+from repro.obs import Observability, SearchProfile, parse_sample
 from repro.serve.metrics import MetricsRegistry
 from repro.serve.pool import WorkerPool
 from repro.serve.singleflight import SingleFlight
@@ -112,6 +113,14 @@ class EngineConfig:
             :mod:`repro.store.wal`).  Delta mode only.
         wal_fsync: the WAL's durability policy (``"always"`` |
             ``"rotate"`` | ``"never"``).
+        trace_sample: trace sampling mode — ``"off"`` (default: no
+            tracing unless the caller hands a trace in), ``"always"``,
+            ``"slow"`` (trace everything, store only slow queries) or
+            a rate in (0, 1] (see :func:`repro.obs.parse_sample`).
+        slow_query_ms: queries at or above this duration are always
+            kept in the trace store and logged at WARNING (``None``
+            disables the slow-query path).
+        trace_buffer: ring-buffer capacity of the trace store.
     """
 
     workers: int = 4
@@ -123,6 +132,9 @@ class EngineConfig:
     copy_mode: str = "auto"
     wal_path: Optional[str] = None
     wal_fsync: str = "always"
+    trace_sample: Any = "off"
+    slow_query_ms: Optional[float] = None
+    trace_buffer: int = 256
 
     def __post_init__(self):
         if self.shed_policy not in _SHED_POLICIES:
@@ -142,6 +154,14 @@ class EngineConfig:
             )
         if self.default_deadline is not None and self.default_deadline <= 0:
             raise ServeError("default_deadline must be positive")
+        try:
+            parse_sample(self.trace_sample)
+        except Exception as error:
+            raise ServeError(str(error)) from None
+        if self.slow_query_ms is not None and self.slow_query_ms <= 0:
+            raise ServeError("slow_query_ms must be positive")
+        if self.trace_buffer < 1:
+            raise ServeError("trace_buffer must be >= 1")
 
 
 @dataclass
@@ -152,11 +172,16 @@ class QueryOutcome:
         answers: the ranked answer list, exactly as the facade returns.
         snapshot_version: the data version the search ran against.
         latency: admission-to-completion seconds (queue wait included).
+        profile: the :class:`repro.obs.SearchProfile` the kernel filled
+            (``None`` for untraced, unprofiled requests; a dedup
+            follower resolves to the leader's outcome and thus the
+            leader's profile).
     """
 
     answers: List[Any]
     snapshot_version: int
     latency: float
+    profile: Optional[SearchProfile] = None
 
 
 class QueryEngine:
@@ -175,6 +200,11 @@ class QueryEngine:
             registry per engine — sharing one across engines raises,
             since the computed gauges (queue depth, version) can only
             report a single source.
+        obs: an external :class:`repro.obs.Observability` bundle to
+            record traces into (the cluster shares one across its
+            layers); a private one is built from the config's
+            ``trace_sample`` / ``slow_query_ms`` / ``trace_buffer``
+            knobs otherwise.
     """
 
     def __init__(
@@ -182,12 +212,18 @@ class QueryEngine:
         facade: Any,
         config: Optional[EngineConfig] = None,
         metrics: Optional[MetricsRegistry] = None,
+        obs: Optional[Observability] = None,
     ):
         warn_direct_construction(
             "QueryEngine",
             "topology='single', workers=..., live=..., wal_path=...",
         )
         self.config = config or EngineConfig()
+        self.obs = obs or Observability(
+            sample=self.config.trace_sample,
+            slow_query_ms=self.config.slow_query_ms,
+            buffer=self.config.trace_buffer,
+        )
         wal = None
         if self.config.wal_path is not None:
             from repro.store.wal import WalWriter
@@ -261,9 +297,20 @@ class QueryEngine:
         query: Any,
         *,
         deadline: Optional[float] = None,
+        trace=None,
+        trace_parent=None,
+        profile: Optional[SearchProfile] = None,
         **search_kwargs,
     ) -> "Future[QueryOutcome]":
         """Admit one search; resolve to a :class:`QueryOutcome`.
+
+        When a ``trace`` is handed in (the cluster/router originated
+        it), the engine records its ``engine.request`` span — with
+        ``engine.queue``, ``engine.snapshot_pin`` and
+        ``engine.execute`` children — under ``trace_parent``.  With no
+        incoming trace and tracing enabled on this engine's
+        :class:`~repro.obs.Observability`, the engine originates (and
+        on completion stores) the trace itself.
 
         Raises:
             EngineOverloadedError: queue at its bound (policy "reject").
@@ -272,8 +319,29 @@ class QueryEngine:
         if self.pool.stopped:
             raise EngineStoppedError("engine is stopped")
         self._requests.inc()
+        originated = False
+        if trace is None and profile is None and self.obs.enabled:
+            trace = self.obs.begin()
+            originated = True
+        request_span = None
+        if trace is not None:
+            request_span = trace.begin(
+                "engine.request", parent_id=trace_parent
+            )
+            if profile is None:
+                profile = SearchProfile()
+        pin_started = time.time()
         snapshot = self.snapshots.current()
+        if request_span is not None:
+            trace.record(
+                "engine.snapshot_pin",
+                request_span.span_id,
+                pin_started,
+                time.time(),
+                version=snapshot.version,
+            )
         admitted = time.monotonic()
+        admitted_wall = time.time()
         if deadline is None:
             deadline = self.config.default_deadline
 
@@ -281,10 +349,35 @@ class QueryEngine:
         future, leader = self._flights.join(key)
         if not leader:
             self._deduped.inc()
-            return _mirror(future)
+            mirrored = _mirror(future)
+            if trace is not None:
+                def finalize_joined(_done: Future) -> None:
+                    trace.record(
+                        "engine.execute",
+                        request_span.span_id,
+                        admitted_wall,
+                        time.time(),
+                        dedup="joined",
+                    )
+                    trace.end(request_span)
+                    if originated:
+                        self.obs.finish(
+                            trace,
+                            query=query,
+                            topology="engine",
+                            duration_ms=(time.monotonic() - admitted)
+                            * 1000.0,
+                            profile=profile,
+                            dedup="joined",
+                        )
+                mirrored.add_done_callback(finalize_joined)
+            return mirrored
 
         task = self._make_task(snapshot, admitted, deadline, key, query,
-                               search_kwargs)
+                               search_kwargs, trace=trace,
+                               request_span=request_span, profile=profile,
+                               originated=originated,
+                               admitted_wall=admitted_wall)
         try:
             if self.config.shed_policy == "block":
                 self.pool.submit(task, future=future)
@@ -297,12 +390,16 @@ class QueryEngine:
                 f"request queue full ({self.config.queue_bound} pending); "
                 "request shed"
             )
+            self._abort_trace(trace, request_span, originated, admitted,
+                              query, profile, "shed")
             # Followers of this flight hold the same future: fail it, or
             # they would wait forever on a request that was never queued.
             future.set_exception(error)
             raise error from None
         except EngineStoppedError as stopped:
             self._flights.forget(key)
+            self._abort_trace(trace, request_span, originated, admitted,
+                              query, profile, "stopped")
             future.set_exception(stopped)
             raise
         # Deduplicatable flights hand every caller (leader included) a
@@ -415,30 +512,91 @@ class QueryEngine:
             search_kwargs.get("bidirectional", False),
         )
 
+    def _abort_trace(self, trace, request_span, originated, admitted, query,
+                     profile, reason: str) -> None:
+        """Seal a trace whose request never reached a worker."""
+        if trace is None:
+            return
+        request_span.attrs["error"] = reason
+        trace.end(request_span)
+        if originated:
+            self.obs.finish(
+                trace,
+                query=query,
+                topology="engine",
+                duration_ms=(time.monotonic() - admitted) * 1000.0,
+                profile=profile,
+                error=reason,
+            )
+
     def _make_task(self, snapshot, admitted, deadline, key, query,
-                   search_kwargs):
+                   search_kwargs, trace=None, request_span=None,
+                   profile=None, originated=False, admitted_wall=0.0):
         def task():
             try:
+                if trace is not None:
+                    # Queue wait: admission to this worker picking it up.
+                    trace.record(
+                        "engine.queue",
+                        request_span.span_id,
+                        admitted_wall,
+                        time.time(),
+                    )
                 if (
                     deadline is not None
                     and time.monotonic() - admitted > deadline
                 ):
                     self._expired.inc()
+                    if trace is not None:
+                        request_span.attrs["error"] = "deadline"
                     raise DeadlineExceededError(
                         f"deadline of {deadline:.3f}s lapsed before a "
                         "worker picked the request up"
                     )
+                kwargs = search_kwargs
+                execute_span = None
+                if trace is not None:
+                    execute_span = trace.begin(
+                        "engine.execute", parent_id=request_span.span_id
+                    )
+                    kwargs = dict(search_kwargs)
+                    kwargs["trace"] = trace
+                    kwargs["trace_parent"] = execute_span.span_id
+                if profile is not None:
+                    if kwargs is search_kwargs:
+                        kwargs = dict(search_kwargs)
+                    kwargs["profile"] = profile
                 try:
-                    answers = snapshot.facade.search(query, **search_kwargs)
-                except Exception:
+                    answers = snapshot.facade.search(query, **kwargs)
+                except Exception as error:
                     self._errors.inc()
+                    if execute_span is not None:
+                        execute_span.attrs["error"] = type(error).__name__
+                        trace.end(execute_span)
+                        request_span.attrs["error"] = type(error).__name__
                     raise
+                if execute_span is not None:
+                    execute_span.attrs["answers"] = len(answers)
+                    trace.end(execute_span)
                 latency = time.monotonic() - admitted
                 self._latency.observe(latency)
                 self._latency_hist.observe(latency)
                 self._completed.inc()
-                return QueryOutcome(answers, snapshot.version, latency)
+                return QueryOutcome(
+                    answers, snapshot.version, latency, profile=profile
+                )
             finally:
+                if trace is not None:
+                    trace.end(request_span)
+                    if originated:
+                        self.obs.finish(
+                            trace,
+                            query=query,
+                            topology="engine",
+                            duration_ms=(time.monotonic() - admitted)
+                            * 1000.0,
+                            profile=profile,
+                        )
                 # Before the future resolves: a duplicate arriving after
                 # this point must start a fresh flight, not latch onto a
                 # finished one.

@@ -27,18 +27,54 @@ from __future__ import annotations
 
 import threading
 import time
-from collections import deque
-from typing import Callable, Deque, Dict, List, Optional, Tuple
+from collections import OrderedDict, deque
+from typing import Callable, Deque, Dict, List, Mapping, Optional, Tuple
 
 from repro.errors import ServeError
+
+
+def _escape_label_value(value: str) -> str:
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace("\n", "\\n")
+        .replace('"', '\\"')
+    )
+
+
+def _label_suffix(labels: Optional[Mapping[str, str]]) -> str:
+    """``{k="v",...}`` in sorted key order, or ``""`` when unlabeled."""
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{key}="{_escape_label_value(value)}"'
+        for key, value in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
+def series_id(name: str, labels: Optional[Mapping[str, str]] = None) -> str:
+    """The identity of one series: family name plus rendered labels.
+
+    Registry keys and :meth:`MetricsRegistry.snapshot` keys both use
+    this, so ``replica_lag_epochs{replica="1"}`` and
+    ``replica_lag_epochs{replica="2"}`` are distinct series of one
+    family."""
+    return name + _label_suffix(labels)
 
 
 class Counter:
     """A monotonically increasing event count."""
 
-    def __init__(self, name: str, help_text: str = ""):
+    def __init__(
+        self,
+        name: str,
+        help_text: str = "",
+        labels: Optional[Mapping[str, str]] = None,
+    ):
         self.name = name
         self.help_text = help_text
+        self.labels = dict(labels or {})
         self._value = 0
         self._lock = threading.Lock()
 
@@ -60,9 +96,11 @@ class Gauge:
         name: str,
         help_text: str = "",
         fn: Optional[Callable[[], float]] = None,
+        labels: Optional[Mapping[str, str]] = None,
     ):
         self.name = name
         self.help_text = help_text
+        self.labels = dict(labels or {})
         self._fn = fn
         self._value = 0.0
         self._lock = threading.Lock()
@@ -185,11 +223,13 @@ class Histogram:
         name: str,
         help_text: str = "",
         buckets: Tuple[float, ...] = DEFAULT_BUCKETS,
+        labels: Optional[Mapping[str, str]] = None,
     ):
         if not buckets or list(buckets) != sorted(buckets):
             raise ServeError("histogram buckets must be sorted and non-empty")
         self.name = name
         self.help_text = help_text
+        self.labels = dict(labels or {})
         self.buckets = tuple(float(b) for b in buckets)
         # counts[i] = observations <= buckets[i]; the +Inf bucket is
         # implicit in _count.
@@ -243,31 +283,39 @@ class MetricsRegistry:
         self._latencies: Dict[str, LatencyWindow] = {}
         self._histograms: Dict[str, Histogram] = {}
 
-    # -- registration (idempotent by name) ------------------------------------
+    # -- registration (idempotent by series: name + labels) --------------------
 
-    def counter(self, name: str, help_text: str = "") -> Counter:
+    def counter(
+        self,
+        name: str,
+        help_text: str = "",
+        labels: Optional[Mapping[str, str]] = None,
+    ) -> Counter:
+        key = series_id(name, labels)
         with self._lock:
-            if name not in self._counters:
-                self._counters[name] = Counter(name, help_text)
-            return self._counters[name]
+            if key not in self._counters:
+                self._counters[key] = Counter(name, help_text, labels)
+            return self._counters[key]
 
     def gauge(
         self,
         name: str,
         help_text: str = "",
         fn: Optional[Callable[[], float]] = None,
+        labels: Optional[Mapping[str, str]] = None,
     ) -> Gauge:
+        key = series_id(name, labels)
         with self._lock:
-            existing = self._gauges.get(name)
+            existing = self._gauges.get(key)
             if existing is None:
-                self._gauges[name] = Gauge(name, help_text, fn)
-                return self._gauges[name]
+                self._gauges[key] = Gauge(name, help_text, fn, labels)
+                return self._gauges[key]
             if fn is not None and existing._fn is not fn:
                 # Silently keeping the first callback would report the
                 # wrong source (e.g. a second engine sharing a registry
                 # would read the first engine's queue depth forever).
                 raise ServeError(
-                    f"gauge {name!r} already registered with a different "
+                    f"gauge {key!r} already registered with a different "
                     "callback; give each engine its own MetricsRegistry"
                 )
             return existing
@@ -287,13 +335,15 @@ class MetricsRegistry:
         name: str,
         help_text: str = "",
         buckets: Optional[Tuple[float, ...]] = None,
+        labels: Optional[Mapping[str, str]] = None,
     ) -> Histogram:
+        key = series_id(name, labels)
         with self._lock:
-            if name not in self._histograms:
-                self._histograms[name] = Histogram(
-                    name, help_text, buckets or DEFAULT_BUCKETS
+            if key not in self._histograms:
+                self._histograms[key] = Histogram(
+                    name, help_text, buckets or DEFAULT_BUCKETS, labels
                 )
-            return self._histograms[name]
+            return self._histograms[key]
 
     # -- reading --------------------------------------------------------------
 
@@ -307,9 +357,9 @@ class MetricsRegistry:
             histograms = list(self._histograms.values())
         out: Dict[str, float] = {}
         for counter in counters:
-            out[counter.name] = counter.value
+            out[series_id(counter.name, counter.labels)] = counter.value
         for gauge in gauges:
-            out[gauge.name] = gauge.value
+            out[series_id(gauge.name, gauge.labels)] = gauge.value
         for latency in latencies:
             p50, p95, qps, _count = latency.summary()
             out[f"{latency.name}_p50"] = p50
@@ -317,12 +367,20 @@ class MetricsRegistry:
             out[f"{latency.name}_qps"] = qps
         for histogram in histograms:
             _buckets, total, count = histogram.summary()
-            out[f"{histogram.name}_count"] = count
-            out[f"{histogram.name}_sum"] = total
+            suffix = _label_suffix(histogram.labels)
+            out[f"{histogram.name}_count{suffix}"] = count
+            out[f"{histogram.name}_sum{suffix}"] = total
         return out
 
     def render_text(self) -> str:
-        """The plaintext exposition format (one metric per line)."""
+        """The plaintext exposition format.
+
+        Every family gets one ``# HELP`` / ``# TYPE`` pair (the help
+        text defaults to the family name when none was given) followed
+        by all of its series — labeled series of one family render as
+        adjacent ``name{k="v"} value`` lines, as the Prometheus text
+        format requires.  The summary's derived ``_qps`` series is its
+        own gauge family."""
         with self._lock:
             counters = list(self._counters.values())
             gauges = list(self._gauges.values())
@@ -333,37 +391,55 @@ class MetricsRegistry:
         def full(name: str) -> str:
             return f"{self.prefix}_{name}" if self.prefix else name
 
-        for counter in counters:
-            if counter.help_text:
-                lines.append(f"# HELP {full(counter.name)} {counter.help_text}")
-            lines.append(f"# TYPE {full(counter.name)} counter")
-            lines.append(f"{full(counter.name)} {counter.value}")
-        for gauge in gauges:
-            if gauge.help_text:
-                lines.append(f"# HELP {full(gauge.name)} {gauge.help_text}")
-            lines.append(f"# TYPE {full(gauge.name)} gauge")
-            lines.append(f"{full(gauge.name)} {gauge.value:g}")
+        def families(metrics):
+            grouped: "OrderedDict[str, list]" = OrderedDict()
+            for metric in metrics:
+                grouped.setdefault(metric.name, []).append(metric)
+            return grouped.items()
+
+        def header(name: str, help_text: str, kind: str) -> None:
+            text = (help_text or name).replace("\\", "\\\\").replace("\n", "\\n")
+            lines.append(f"# HELP {full(name)} {text}")
+            lines.append(f"# TYPE {full(name)} {kind}")
+
+        for name, members in families(counters):
+            header(name, members[0].help_text, "counter")
+            for counter in members:
+                suffix = _label_suffix(counter.labels)
+                lines.append(f"{full(name)}{suffix} {counter.value}")
+        for name, members in families(gauges):
+            header(name, members[0].help_text, "gauge")
+            for gauge in members:
+                suffix = _label_suffix(gauge.labels)
+                lines.append(f"{full(name)}{suffix} {gauge.value:g}")
+        qps_series: List[Tuple[str, str, float]] = []
         for latency in latencies:
             name = full(latency.name)
-            if latency.help_text:
-                lines.append(f"# HELP {name} {latency.help_text}")
-            lines.append(f"# TYPE {name} summary")
+            header(latency.name, latency.help_text, "summary")
             p50, p95, qps, count = latency.summary()
             lines.append(f'{name}{{quantile="0.5"}} {p50:.6f}')
             lines.append(f'{name}{{quantile="0.95"}} {p95:.6f}')
             lines.append(f"{name}_count {count}")
-            lines.append(f"{full(latency.name + '_qps')} {qps:.3f}")
-        for histogram in histograms:
-            name = full(histogram.name)
-            if histogram.help_text:
-                lines.append(f"# HELP {name} {histogram.help_text}")
-            lines.append(f"# TYPE {name} histogram")
-            buckets, total, count = histogram.summary()
-            for bound, cumulative in buckets:
-                lines.append(f'{name}_bucket{{le="{bound:g}"}} {cumulative}')
-            lines.append(f'{name}_bucket{{le="+Inf"}} {count}')
-            lines.append(f"{name}_sum {total:.6f}")
-            lines.append(f"{name}_count {count}")
+            qps_series.append(
+                (latency.name + "_qps", latency.help_text, qps)
+            )
+        for qps_name, help_text, qps in qps_series:
+            base = help_text or qps_name
+            header(qps_name, f"{base} (windowed completions per second)", "gauge")
+            lines.append(f"{full(qps_name)} {qps:.3f}")
+        for name, members in families(histograms):
+            header(name, members[0].help_text, "histogram")
+            for histogram in members:
+                buckets, total, count = histogram.summary()
+                labels = dict(histogram.labels)
+                for bound, cumulative in buckets:
+                    le = _label_suffix({**labels, "le": f"{bound:g}"})
+                    lines.append(f"{full(name)}_bucket{le} {cumulative}")
+                le = _label_suffix({**labels, "le": "+Inf"})
+                lines.append(f"{full(name)}_bucket{le} {count}")
+                suffix = _label_suffix(labels)
+                lines.append(f"{full(name)}_sum{suffix} {total:.6f}")
+                lines.append(f"{full(name)}_count{suffix} {count}")
         return "\n".join(lines) + "\n"
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -168,8 +168,30 @@ class ProcessShardWorker(ProcessWorkerProxy):
     def resolve(self, query) -> List[set]:
         return self._call("resolve", query)
 
-    def search(self, query=None, **kwargs):
-        return self._call("search", query, **kwargs)
+    def search(
+        self, query=None, trace=None, trace_parent=None, profile=None, **kwargs
+    ):
+        """Search in the worker; carry the trace across the pipe.
+
+        A live trace cannot cross the fork boundary, so the proxy ships
+        the serialized context (``trace.ctx``) and ``profile=True``
+        instead; the child-side searcher replies with an
+        ``(answers, {"spans": ..., "profile": ...})`` envelope whose
+        spans are absorbed (re-parented under ``trace_parent``) and
+        whose counters merge into the caller's profile.
+        """
+        if trace is None and profile is None:
+            return self._call("search", query, **kwargs)
+        if trace is not None:
+            kwargs["trace"] = trace.ctx(trace_parent)
+        if profile is not None:
+            kwargs["profile"] = True
+        answers, obs = self._call("search", query, **kwargs)
+        if trace is not None:
+            trace.absorb(obs.get("spans") or [])
+        if profile is not None:
+            profile.merge_dict(obs.get("profile") or {})
+        return answers
 
     def apply_delta(self, delta, owner: int) -> bool:
         """Replay one routed delta into the worker's private replica.

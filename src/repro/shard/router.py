@@ -83,6 +83,7 @@ from repro.core.topk import merge_scored_answers
 from repro.core.weights import WeightPolicy
 from repro.deprecation import internal_construction, warn_direct_construction
 from repro.errors import ShardError
+from repro.obs import Observability, SearchProfile
 from repro.relational.database import Database, RID
 from repro.serve.engine import EngineConfig, QueryEngine
 from repro.serve.metrics import MetricsRegistry
@@ -238,6 +239,7 @@ class ShardRouter:
         overfetch: int = 1,
         engine_config: Optional[EngineConfig] = None,
         metrics: Optional[MetricsRegistry] = None,
+        obs: Optional[Observability] = None,
     ):
         warn_direct_construction(
             "ShardRouter",
@@ -323,6 +325,12 @@ class ShardRouter:
             workers=max(2, shards), queue_bound=0, name="shard-router"
         )
 
+        # Disabled by default; the cluster front end passes its own
+        # Observability so router traces land in one store.  The
+        # per-shard engines keep tracing off (EngineConfig default) —
+        # the router is the originator for sharded queries.
+        self.obs = obs or Observability()
+
         self.metrics = metrics or MetricsRegistry(prefix="banks_shard")
         m = self.metrics
         self._queries = m.counter("queries_total", "scatter-gather searches")
@@ -386,6 +394,9 @@ class ShardRouter:
         query: Union[str, ParsedQuery],
         max_results: Optional[int] = None,
         timeout: Optional[float] = None,
+        trace=None,
+        trace_parent=None,
+        profile=None,
         **config_overrides,
     ) -> List[ShardAnswer]:
         """Answer a keyword query under the configured dispatch policy:
@@ -394,8 +405,31 @@ class ShardRouter:
         Searches enter the router's read gate: they run concurrently
         with each other but never overlap a routed mutation (which
         takes the gate exclusively — see :class:`_SearchGate`).
+
+        When a ``trace`` is handed in (the cluster front end) or the
+        router's own :class:`repro.obs.Observability` samples the
+        query, the scatter records a span tree: ``router.search`` over
+        ``router.resolve``, one ``engine.request`` subtree per shard
+        (forked workers' spans re-parented across the pipe) and
+        ``router.merge``; per-shard profiles merge into ``profile``.
         """
         start = time.monotonic()
+        originated = False
+        if trace is None and profile is None and self.obs.enabled:
+            trace = self.obs.begin()
+            if trace is not None:
+                originated = True
+                profile = SearchProfile()
+        router_span = (
+            trace.begin(
+                "router.search",
+                parent_id=trace_parent,
+                dispatch=self.dispatch,
+                shards=self.partition.shards,
+            )
+            if trace is not None
+            else None
+        )
         self._queries.inc()
         wanted = (
             max_results
@@ -403,42 +437,84 @@ class ShardRouter:
             else self.search_config.max_results
         )
         parsed = parse_query(query) if isinstance(query, str) else query
-        with self._gate.read():
-            if self.dispatch == "route":
-                merged = self._route(parsed, wanted, timeout, config_overrides)
-            else:
-                merged = self._scatter_gather(
-                    parsed, wanted, timeout, config_overrides
-                )
-            answers = [
-                ShardAnswer(
-                    scored.tree,
-                    scored.relevance,
-                    rank,
-                    self.partition.shard_of(scored.tree.root),
-                    self,
-                )
-                for rank, scored in enumerate(merged)
-            ]
+        try:
+            with self._gate.read():
+                if self.dispatch == "route":
+                    merged = self._route(
+                        parsed, wanted, timeout, config_overrides,
+                        trace, router_span, profile,
+                    )
+                else:
+                    merged = self._scatter_gather(
+                        parsed, wanted, timeout, config_overrides,
+                        trace, router_span, profile,
+                    )
+                answers = [
+                    ShardAnswer(
+                        scored.tree,
+                        scored.relevance,
+                        rank,
+                        self.partition.shard_of(scored.tree.root),
+                        self,
+                    )
+                    for rank, scored in enumerate(merged)
+                ]
+        except BaseException as error:
+            if router_span is not None:
+                router_span.attrs["error"] = type(error).__name__
+                trace.end(router_span)
+                if originated:
+                    self._finish_trace(trace, parsed, start, profile)
+            raise
         self._answers.inc(len(answers))
         self._cross.inc(sum(1 for a in answers if a.is_cross_shard()))
         self._latency.observe(time.monotonic() - start)
+        if router_span is not None:
+            router_span.attrs["answers"] = len(answers)
+            trace.end(router_span)
+            if originated:
+                self._finish_trace(trace, parsed, start, profile)
         return answers
 
+    def _finish_trace(self, trace, parsed, start, profile) -> None:
+        self.obs.finish(
+            trace,
+            query=parsed,
+            topology="sharded",
+            duration_ms=(time.monotonic() - start) * 1000.0,
+            profile=profile,
+            dispatch=self.dispatch,
+        )
+
     def _scatter_gather(
-        self, parsed: ParsedQuery, wanted: int, timeout, config_overrides
+        self, parsed: ParsedQuery, wanted: int, timeout, config_overrides,
+        trace=None, router_span=None, profile=None,
     ) -> List[ScoredAnswer]:
         """Exact scatter-gather: all shards, roots partitioned."""
-        keyword_node_sets = self._resolve_unlocked(parsed)
+        parent_id = router_span.span_id if router_span is not None else None
+        if trace is not None:
+            with trace.span("router.resolve", parent_id=parent_id) as span:
+                keyword_node_sets = self._resolve_unlocked(parsed)
+                span.attrs["terms"] = len(keyword_node_sets)
+        else:
+            keyword_node_sets = self._resolve_unlocked(parsed)
         futures = []
+        # One private profile per shard: the engines fill them from
+        # concurrent worker threads, the gather merges single-threaded.
+        shard_profiles: List[Optional[SearchProfile]] = []
         for shard_id, engine in enumerate(self.engines):
             self._shard_searches[shard_id].inc()
+            shard_profile = SearchProfile() if profile is not None else None
+            shard_profiles.append(shard_profile)
             try:
                 futures.append(
                     engine.submit(
                         parsed,
                         keyword_node_sets=keyword_node_sets,
                         max_results=wanted + self.overfetch,
+                        trace=trace,
+                        trace_parent=parent_id,
+                        profile=shard_profile,
                         **config_overrides,
                     )
                 )
@@ -464,20 +540,37 @@ class ShardRouter:
                 for queued in futures[position:]:
                     queued.cancel()
                 raise
+        if profile is not None:
+            for shard_profile in shard_profiles:
+                if shard_profile is not None:
+                    profile.merge(shard_profile)
+        if trace is not None:
+            with trace.span("router.merge", parent_id=parent_id) as span:
+                merged = merge_scored_answers(per_shard, wanted)
+                span.attrs["candidates"] = sum(len(s) for s in per_shard)
+                span.attrs["answers"] = len(merged)
+            return merged
         return merge_scored_answers(per_shard, wanted)
 
     def _route(
-        self, parsed: ParsedQuery, wanted: int, timeout, config_overrides
+        self, parsed: ParsedQuery, wanted: int, timeout, config_overrides,
+        trace=None, router_span=None, profile=None,
     ) -> List[ScoredAnswer]:
         """Route the whole query to one worker, by query hash."""
+        parent_id = router_span.span_id if router_span is not None else None
         shard_id = zlib.crc32(repr(parsed).encode("utf-8")) % len(
             self.engines
         )
+        if router_span is not None:
+            router_span.attrs["routed_shard"] = shard_id
         self._shard_searches[shard_id].inc()
         future = self.engines[shard_id].submit(
             parsed,
             unrestricted=True,
             max_results=wanted,
+            trace=trace,
+            trace_parent=parent_id,
+            profile=profile,
             **config_overrides,
         )
         # Emission order is preserved: a routed query returns exactly

@@ -24,6 +24,7 @@ The searcher therefore does not offer it; the router documents the gap.
 from __future__ import annotations
 
 from dataclasses import replace
+from time import perf_counter
 from typing import AbstractSet, List, Optional, Sequence, Set, Union
 
 from repro.core.model import GraphStats, link_tables
@@ -35,6 +36,7 @@ from repro.core.search import (
     backward_expanding_search,
 )
 from repro.graph.digraph import DiGraph
+from repro.obs import SearchProfile, Trace
 from repro.relational.database import Database, RID
 from repro.shard.stitch import stats_of
 from repro.store.delta import Delta, apply_graph_delta, replay_delta
@@ -158,6 +160,9 @@ class ShardSearcher:
         keyword_node_sets: Optional[Sequence[Set[RID]]] = None,
         max_results: Optional[int] = None,
         unrestricted: bool = False,
+        trace=None,
+        trace_parent=None,
+        profile=None,
         **config_overrides,
     ) -> List[ScoredAnswer]:
         """Answers scored on the stitched graph.
@@ -173,7 +178,31 @@ class ShardSearcher:
         the whole query by itself: resolution runs against the full
         index and any node may serve as the root — one full search,
         exactly what the single engine would compute.
+
+        Tracing crosses the fork boundary here: in-process callers pass
+        a live :class:`repro.obs.Trace` (plus ``trace_parent``) and a
+        :class:`repro.obs.SearchProfile` to fill; a forked worker
+        receives ``trace`` as the serialized context dict and
+        ``profile=True``, records into a local trace, and returns an
+        ``(answers, {"spans": ..., "profile": ...})`` envelope the
+        parent-side proxy absorbs back into the real trace.
         """
+        envelope = isinstance(trace, dict) or profile is True
+        if isinstance(trace, dict):
+            trace = Trace.from_ctx(trace)
+            trace_parent = trace.parent_hint
+        if profile is True:
+            profile = SearchProfile()
+        span = (
+            trace.begin(
+                "shard.search",
+                parent_id=trace_parent,
+                shard=self.shard_id,
+                unrestricted=bool(unrestricted),
+            )
+            if trace is not None
+            else None
+        )
         self._refresh_stats()
         if keyword_node_sets is None:
             if query is None:
@@ -200,11 +229,24 @@ class ShardSearcher:
             config_overrides["max_results"] = max_results
         if config_overrides:
             config = replace(config, **config_overrides)
-        return list(
+        kernel_start = perf_counter() if profile is not None else 0.0
+        answers = list(
             backward_expanding_search(
-                self.graph, keyword_node_sets, self.scorer, config
+                self.graph, keyword_node_sets, self.scorer, config,
+                profile=profile,
             )
         )
+        if profile is not None:
+            profile.expansion_seconds += perf_counter() - kernel_start
+        if span is not None:
+            span.attrs["answers"] = len(answers)
+            trace.end(span)
+        if envelope:
+            return answers, {
+                "spans": trace.export() if trace is not None else [],
+                "profile": profile.to_dict() if profile is not None else {},
+            }
+        return answers
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -228,3 +228,341 @@ class TestHistogram:
             assert snapshot["snapshot_copy_cost_seconds_count"] == 1
             assert snapshot["snapshot_epoch"] == 1
             assert snapshot["snapshot_deltas_total"] == 1
+
+
+# -- labeled series and the exposition format (ISSUE 6 satellites) -------------
+
+import re
+
+from repro.serve.metrics import Histogram, series_id
+
+_SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?P<labels>\{.*\})?"
+    r" (?P<value>\S+)$"
+)
+_LABEL = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+_KINDS = {"counter", "gauge", "summary", "histogram", "untyped"}
+
+
+def check_prometheus_text(text: str):
+    """A Prometheus text-format (version 0.0.4) checker.
+
+    Verifies what a scraper relies on: every sample line parses; every
+    family has exactly one ``# HELP`` and one ``# TYPE`` (before its
+    samples); no duplicate series; histogram buckets are cumulative
+    with ``+Inf`` equal to ``_count``.  Returns ``{family: kind}``.
+    """
+    assert text.endswith("\n"), "exposition must end with a newline"
+    helped, typed = {}, {}
+    seen_series = set()
+    buckets: dict = {}
+    hist_counts: dict = {}
+    for line in text.splitlines():
+        assert line == line.strip(), f"stray whitespace: {line!r}"
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            _, _, rest = line.partition("# HELP ")
+            name, _, _help = rest.partition(" ")
+            assert name not in helped, f"duplicate HELP for {name}"
+            helped[name] = True
+            continue
+        if line.startswith("# TYPE "):
+            _, _, rest = line.partition("# TYPE ")
+            name, _, kind = rest.partition(" ")
+            assert kind in _KINDS, f"bad TYPE {kind!r} for {name}"
+            assert name not in typed, f"duplicate TYPE for {name}"
+            assert name in helped, f"TYPE before HELP for {name}"
+            typed[name] = kind
+            continue
+        assert not line.startswith("#"), f"unknown comment: {line!r}"
+        match = _SAMPLE.match(line)
+        assert match, f"unparseable sample line: {line!r}"
+        name, labels_text = match.group("name"), match.group("labels")
+        float(match.group("value"))  # must be numeric
+        labels = dict(_LABEL.findall(labels_text or ""))
+        if labels_text:
+            rebuilt = ",".join(
+                f'{k}="{v}"' for k, v in _LABEL.findall(labels_text)
+            )
+            assert "{" + rebuilt + "}" == labels_text, (
+                f"malformed label block: {labels_text!r}"
+            )
+        # Resolve the family the sample belongs to.
+        family = None
+        for suffix in ("_bucket", "_sum", "_count"):
+            base = name[: -len(suffix)] if name.endswith(suffix) else None
+            if base and typed.get(base) in ("histogram", "summary"):
+                family = base
+                break
+        if family is None:
+            family = name
+        assert family in typed, f"sample {name!r} precedes its TYPE"
+        series = name + "|" + ",".join(sorted(f"{k}={v}" for k, v in labels.items()))
+        assert series not in seen_series, f"duplicate series: {line!r}"
+        seen_series.add(series)
+        if typed.get(family) == "histogram" and name.endswith("_bucket"):
+            le = labels.pop("le", None)
+            assert le is not None, f"histogram bucket without le: {line!r}"
+            key = (family, tuple(sorted(labels.items())))
+            bound = float("inf") if le == "+Inf" else float(le)
+            buckets.setdefault(key, []).append(
+                (bound, float(match.group("value")))
+            )
+        elif typed.get(family) == "histogram" and name.endswith("_count"):
+            key = (family, tuple(sorted(labels.items())))
+            hist_counts[key] = float(match.group("value"))
+    for key, pairs in buckets.items():
+        ordered = sorted(pairs)
+        counts = [count for _bound, count in ordered]
+        assert counts == sorted(counts), f"non-cumulative buckets: {key}"
+        assert ordered[-1][0] == float("inf"), f"missing +Inf bucket: {key}"
+        assert ordered[-1][1] == hist_counts.get(key), (
+            f"+Inf bucket != _count for {key}"
+        )
+    for name in typed:
+        assert name in helped, f"TYPE without HELP: {name}"
+    return typed
+
+
+class TestLabeledSeries:
+    def test_series_identity(self):
+        assert series_id("lag") == "lag"
+        assert series_id("lag", {"replica": "1"}) == 'lag{replica="1"}'
+        # Sorted key order makes the identity canonical.
+        assert series_id("m", {"b": "2", "a": "1"}) == 'm{a="1",b="2"}'
+
+    def test_registration_idempotent_per_series(self):
+        registry = MetricsRegistry()
+        first = registry.counter("reads_total", labels={"replica": "0"})
+        again = registry.counter("reads_total", labels={"replica": "0"})
+        other = registry.counter("reads_total", labels={"replica": "1"})
+        assert first is again
+        assert first is not other
+
+    def test_one_family_header_many_series(self):
+        registry = MetricsRegistry(prefix="t")
+        registry.gauge(
+            "lag_epochs", "lag", fn=lambda: 1, labels={"replica": "0"}
+        )
+        registry.gauge(
+            "lag_epochs", "lag", fn=lambda: 3, labels={"replica": "1"}
+        )
+        text = registry.render_text()
+        assert text.count("# TYPE t_lag_epochs gauge") == 1
+        assert 't_lag_epochs{replica="0"} 1' in text
+        assert 't_lag_epochs{replica="1"} 3' in text
+
+    def test_label_values_escaped(self):
+        registry = MetricsRegistry(prefix="t")
+        registry.counter(
+            "odd_total", labels={"q": 'say "hi"\\now'}
+        ).inc()
+        text = registry.render_text()
+        assert 't_odd_total{q="say \\"hi\\"\\\\now"} 1' in text
+        check_prometheus_text(text)
+
+    def test_snapshot_keys_carry_labels(self):
+        registry = MetricsRegistry()
+        registry.counter("reads_total", labels={"replica": "1"}).inc(4)
+        histogram = registry.histogram(
+            "cost_seconds", buckets=(1.0,), labels={"shard": "0"}
+        )
+        histogram.observe(0.5)
+        snapshot = registry.snapshot()
+        assert snapshot['reads_total{replica="1"}'] == 4
+        assert snapshot['cost_seconds_count{shard="0"}'] == 1
+
+
+class TestExpositionFormatChecker:
+    def test_populated_registry_passes(self):
+        registry = MetricsRegistry(prefix="banks_engine")
+        registry.counter("requests_total", "requests admitted").inc(3)
+        registry.counter(
+            "reads_total", "reads", labels={"replica": "0"}
+        ).inc()
+        registry.counter(
+            "reads_total", "reads", labels={"replica": "1"}
+        ).inc(2)
+        registry.gauge("queue_depth", "queued").set(1)
+        registry.latency("latency_seconds", "latency").observe(0.02)
+        registry.histogram(
+            "copy_seconds", "copy cost", buckets=(0.1, 1.0)
+        ).observe(0.5)
+        registry.histogram(
+            "shard_seconds", "per-shard", buckets=(0.1,), labels={"shard": "1"}
+        ).observe(0.05)
+        typed = check_prometheus_text(registry.render_text())
+        assert typed["banks_engine_requests_total"] == "counter"
+        assert typed["banks_engine_latency_seconds"] == "summary"
+        assert typed["banks_engine_latency_seconds_qps"] == "gauge"
+        assert typed["banks_engine_copy_seconds"] == "histogram"
+
+    def test_checker_rejects_duplicates_and_torn_buckets(self):
+        with pytest.raises(AssertionError):
+            check_prometheus_text(
+                "# HELP a a\n# TYPE a counter\na 1\na 2\n"
+            )
+        with pytest.raises(AssertionError):
+            check_prometheus_text(
+                "# HELP h h\n# TYPE h histogram\n"
+                'h_bucket{le="0.1"} 5\nh_bucket{le="+Inf"} 3\nh_sum 1\n'
+                "h_count 3\n"
+            )
+        with pytest.raises(AssertionError):
+            check_prometheus_text("no_type_declared 1\n")
+
+    def test_live_engine_metrics_pass_the_checker(self):
+        from repro.core.incremental import IncrementalBANKS
+        from repro.relational import Database, execute_script
+        from repro.serve import EngineConfig, QueryEngine
+
+        database = Database("expo")
+        execute_script(
+            database,
+            "CREATE TABLE t (id TEXT PRIMARY KEY, v TEXT);"
+            "INSERT INTO t VALUES ('a', 'hello world');",
+        )
+        with QueryEngine(
+            IncrementalBANKS(database), EngineConfig(workers=1)
+        ) as engine:
+            engine.search("hello")
+            engine.mutate(lambda f: f.insert("t", ["b", "more words"]))
+            check_prometheus_text(engine.metrics.render_text())
+
+    def test_replicaset_metrics_pass_the_checker(self, tiny_cluster_db):
+        from repro.cluster import Cluster, ClusterSpec
+
+        spec = ClusterSpec(
+            topology="replicated", replicas=2, replica_backend="thread"
+        )
+        with Cluster(spec, database=tiny_cluster_db) as cluster:
+            cluster.query("hello")
+            text = cluster.metrics.render_text()
+            typed = check_prometheus_text(text)
+            assert typed["banks_replicaset_replica_lag_epochs"] == "gauge"
+            assert 'replica_lag_epochs{replica="0"}' in text
+            assert 'replica_lag_epochs{replica="1"}' in text
+
+
+@pytest.fixture
+def tiny_cluster_db():
+    from repro.relational import Database, execute_script
+
+    database = Database("tiny")
+    execute_script(
+        database,
+        "CREATE TABLE t (id TEXT PRIMARY KEY, v TEXT);"
+        "INSERT INTO t VALUES ('a', 'hello world');"
+        "INSERT INTO t VALUES ('b', 'hello again');",
+    )
+    return database
+
+
+class TestDeprecatedReplicaGauges:
+    def test_old_series_still_emit_but_warn_once(self, tiny_cluster_db):
+        from repro.cluster import Cluster, ClusterSpec
+
+        spec = ClusterSpec(
+            topology="replicated", replicas=2, replica_backend="thread"
+        )
+        with Cluster(spec, database=tiny_cluster_db) as cluster:
+            with pytest.warns(
+                DeprecationWarning,
+                match=r"metric replica0_lag_epochs is deprecated",
+            ):
+                snapshot = cluster.metrics.snapshot()
+            # Old and new series report the same value.
+            assert snapshot["replica0_lag_epochs"] == (
+                snapshot['replica_lag_epochs{replica="0"}']
+            )
+            assert "replica1_served_total" in snapshot
+            # The warning fires once per series, not once per read.
+            import warnings as warnings_module
+
+            with warnings_module.catch_warnings(record=True) as caught:
+                warnings_module.simplefilter("always")
+                cluster.metrics.snapshot()
+            assert not [
+                w
+                for w in caught
+                if issubclass(w.category, DeprecationWarning)
+                and "metric replica" in str(w.message)
+            ]
+
+
+class TestConcurrentRegistry:
+    def test_hammer_while_rendering(self):
+        """N writer threads vs. a render/snapshot loop: no torn reads,
+        counters monotone, histogram bucket/count/sum consistent."""
+        registry = MetricsRegistry(prefix="t")
+        counter = registry.counter("events_total", "events")
+        labeled = [
+            registry.counter("work_total", "work", labels={"w": str(i)})
+            for i in range(4)
+        ]
+        histogram = registry.histogram("cost_seconds", "cost", buckets=(1.0, 2.0))
+        rounds, threads_n = 500, 4
+        # Parties: the writers, the reader, and the main thread.
+        start = threading.Barrier(threads_n + 2)
+        stop = threading.Event()
+
+        def writer(index):
+            start.wait()
+            for _ in range(rounds):
+                counter.inc()
+                labeled[index].inc()
+                histogram.observe(0.5)
+                histogram.observe(1.5)
+
+        failures = []
+
+        def reader():
+            start.wait()
+            last_total = -1
+            while not stop.is_set():
+                text = registry.render_text()
+                try:
+                    check_prometheus_text(text)
+                except AssertionError as error:  # pragma: no cover
+                    failures.append(str(error))
+                    return
+                snapshot = registry.snapshot()
+                total = snapshot["events_total"]
+                if total < last_total:  # pragma: no cover
+                    failures.append(f"counter went backwards: {total}")
+                    return
+                last_total = total
+                buckets, total_sum, count = histogram.summary()
+                if buckets[0][1] > buckets[1][1]:  # pragma: no cover
+                    failures.append("buckets not cumulative")
+                    return
+                if count and not (
+                    0.0 < total_sum / count <= 2.0
+                ):  # pragma: no cover
+                    failures.append("sum/count out of range")
+                    return
+
+        workers = [
+            threading.Thread(target=writer, args=(i,))
+            for i in range(threads_n)
+        ]
+        observer = threading.Thread(target=reader)
+        for thread in workers:
+            thread.start()
+        observer.start()
+        start.wait()
+        for thread in workers:
+            thread.join()
+        stop.set()
+        observer.join()
+        assert not failures, failures
+        assert counter.value == rounds * threads_n
+        for index, series in enumerate(labeled):
+            assert series.value == rounds
+        buckets, total_sum, count = histogram.summary()
+        assert count == 2 * rounds * threads_n
+        assert buckets[0][1] == rounds * threads_n  # <= 1.0: the 0.5s
+        assert buckets[1][1] == count  # <= 2.0: everything
+        assert total_sum == pytest.approx(count * 1.0)

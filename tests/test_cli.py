@@ -73,6 +73,46 @@ class TestCommands:
         assert status == 0
         assert "200" in output
 
+    def test_serve_check_with_trace_knobs(self):
+        status, output = run_cli(
+            "serve",
+            "demo:university",
+            "--check",
+            "--trace-sample",
+            "0.5",
+            "--slow-query-ms",
+            "100",
+            "--trace-buffer",
+            "32",
+        )
+        assert status == 0
+        assert "GET /trace -> 200" in output
+        assert "GET /debug/slow -> 200" in output
+
+    def test_serve_rejects_bad_trace_sample(self):
+        status = main(
+            ["serve", "demo:university", "--check", "--trace-sample", "bogus"],
+            out=io.StringIO(),
+        )
+        assert status == 1
+
+    def test_trace_prints_span_tree_and_profile(self):
+        status, output = run_cli("trace", "demo:university", "alice", "-k", "3")
+        assert status == 0
+        assert "trace " in output
+        assert "engine.execute" in output
+        assert "search.kernel" in output
+        assert "profile: heap_pops=" in output
+        assert "answer(s) via engine" in output
+
+    def test_trace_sharded_topology(self):
+        status, output = run_cli(
+            "trace", "demo:university", "alice", "--shards", "2"
+        )
+        assert status == 0
+        assert "router.search" in output
+        assert "shard.search" in output
+
     def test_sweep_requires_bibliography(self):
         status = main(["sweep", "demo:university"], out=io.StringIO())
         assert status == 1

@@ -51,6 +51,18 @@ PUBLIC_API: Dict[str, Tuple[str, ...]] = {
         "TOPOLOGIES",
         "run_replicaset_benchmark",
     ),
+    "repro.obs": (
+        "EventLog",
+        "Observability",
+        "SearchProfile",
+        "Span",
+        "Trace",
+        "TraceRecord",
+        "TraceStore",
+        "parse_sample",
+        "render_trace_tree",
+        "span_tree",
+    ),
     "repro.serve": (
         "EngineConfig",
         "Histogram",
