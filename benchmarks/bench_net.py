@@ -1,0 +1,71 @@
+"""Network-tier acceptance benchmarks (the ISSUE 7 criteria).
+
+Three claims, asserted on ``demo:bibliography`` behind a real
+loopback ``HttpServer``:
+
+1. **Parity** — ``/v1/query`` answers the whole ``DEMO_QUERIES``
+   battery with exactly the in-process ``Cluster.query`` top-5 (roots
+   and scores): the wire codec must never change an answer.
+2. **Streaming wins** — the SSE stream delivers its first answer
+   strictly before the full top-k completes (time-to-first-answer
+   < whole-stream latency, with at least one answer frame preceding
+   the result frame).
+3. **Throughput rides along** — sequential loopback HTTP QPS is
+   recorded as an artifact for humans and dashboards; absolute QPS is
+   not gated (wall-clock numbers do not transfer between machines).
+
+Run with::
+
+    pytest benchmarks/bench_net.py -q -s
+"""
+
+from __future__ import annotations
+
+from benchjson import record_bench_result
+from repro.datasets import DEMO_QUERY_SETS
+from repro.net import run_net_benchmark
+
+REQUESTS = 32
+K = 5
+
+
+def test_bibliography_http_parity_and_streaming(benchmark, bibliography):
+    database, _anecdotes = bibliography
+    queries = DEMO_QUERY_SETS["bibliography"]
+
+    report = benchmark.pedantic(
+        lambda: run_net_benchmark(
+            database,
+            queries,
+            dataset="bibliography",
+            k=K,
+            requests=REQUESTS,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + report.render())
+
+    record_bench_result(
+        "net",
+        "bibliography",
+        {
+            "k": report.k,
+            "requests": report.requests,
+            "net_parity": report.parity_matched / report.parity_total,
+            "net_ttfa_ok": float(report.ttfa_ok),
+            "ttfa_ms": round(report.ttfa_seconds * 1000.0, 3),
+            "stream_ms": round(report.stream_seconds * 1000.0, 3),
+            "stream_answers": report.stream_answers,
+            "http_qps": round(report.qps, 3),
+        },
+    )
+
+    # Acceptance: the wire format reproduces the in-process top-5
+    # exactly on every demo query.
+    assert report.parity_matched == report.parity_total
+    # Acceptance: SSE streams the first answer strictly before the
+    # full top-k completes.
+    assert report.stream_answers >= 1
+    assert report.first_before_result
+    assert report.ttfa_seconds < report.stream_seconds

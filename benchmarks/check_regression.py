@@ -69,6 +69,12 @@ FLOOR_METRICS = (
     "read_your_writes",
     "lag_exclusion",
     "lag_readmission",
+    # Network-tier floors (BENCH_net.json): /v1/query must reproduce
+    # the in-process top-k exactly on every demo query, and the SSE
+    # stream must deliver its first answer strictly before the full
+    # top-k completes.
+    "net_parity",
+    "net_ttfa_ok",
     # Observability floor (BENCH_serve.json): the tracing hooks must
     # stay free when disabled — bench_serve.py asserts the off/on
     # throughput ratio >= 0.95.

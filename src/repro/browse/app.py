@@ -453,7 +453,7 @@ class BrowseApp:
                     None,
                     "This deployment is read-only: serve a live facade "
                     "(banks serve --live) or a shard router to enable "
-                    "mutations.  A WAL replica (banks serve --replica) "
+                    "mutations.  A WAL follower (banks serve --follow) "
                     "follows the primary's epochs and never writes "
                     "locally.",
                 ),

@@ -22,6 +22,12 @@ Commands::
                                        the kernel's SearchProfile
     banks sweep DB                     the Figure 5 lambda x EdgeLog grid
     banks serve DB [--port P]          the browsing/search Web app
+    banks serve DB --http              the versioned JSON API with SSE
+                                       streaming (/v1/query,
+                                       /v1/query/stream, /v1/health)
+    banks client URL QUERY...          query a --http server; --stream
+                                       prints each answer as the remote
+                                       kernel finds it
     banks recover DB --wal PATH        replay a durable epoch log onto DB
     banks bench-serve DB               serving-engine throughput benchmark
     banks bench-shard DB               sharded scatter-gather benchmark
@@ -31,6 +37,9 @@ Commands::
     banks bench-replicaset DB          replica-set benchmark (read QPS
                                        scaling, parity, read-your-writes,
                                        lag exclusion)
+    banks bench-net DB                 HTTP-tier benchmark (wire parity,
+                                       time-to-first-answer over SSE,
+                                       end-to-end QPS)
 
 ``banks serve`` stands the deployment up through the cluster layer
 (:mod:`repro.cluster`): the flags translate into one declarative
@@ -47,8 +56,7 @@ at ``/metrics``.  Tuning knobs:
                        shedding kicks in (default 64; 0 = unbounded)
     --deadline SECS    fail requests that wait longer than this in the
                        queue (default: no deadline)
-    --inline           call the facade inline (the pre-engine behaviour;
-                       --no-engine is the deprecated alias)
+    --inline           call the facade inline (the pre-engine behaviour)
     --live             serve an IncrementalBANKS facade so ``/mutate``
                        can apply inserts/deletes/updates; snapshots
                        publish through the delta-log write path
@@ -76,7 +84,6 @@ at ``/metrics``.  Tuning knobs:
                        tails another process's WAL and stays caught up
                        by epoch (replica_lag_epochs on /metrics);
                        /mutate is refused — the primary owns the state
-                       (--replica is the deprecated alias)
     --replicas N       run a replica set in one process: a WAL-writing
                        primary plus N WAL-following replicas behind a
                        load-balancing front end (status at /replicas;
@@ -96,6 +103,19 @@ at ``/metrics``.  Tuning knobs:
                        500); slow queries are always kept, logged, and
                        served as JSON at /debug/slow
     --trace-buffer N   traces retained in the ring buffer (default 256)
+    --http             serve the versioned JSON/SSE API (repro.net)
+                       instead of the browse app
+    --token T          with --http: accepted bearer token (repeatable;
+                       none = open server)
+    --rate-limit QPS   with --http: per-client token-bucket admission
+                       in front of the engine's own load shedding
+    --spec FILE        load the whole deployment from a ClusterSpec
+                       JSON file (ClusterSpec.to_json) instead of flags
+    --remote-replica U balance reads over a remote ``--http`` replica
+                       at URL U (repeatable; the front end reads each
+                       replica's applied epoch from /v1/health)
+    --remote-token T   bearer token presented to --remote-replica
+                       servers
 
 A primary/follower pair on one database::
 
@@ -105,6 +125,14 @@ A primary/follower pair on one database::
 A three-replica set in one process::
 
     banks serve demo:bibliography --replicas 3
+
+Two networked followers behind one replicated front end::
+
+    banks serve demo:bibliography --follow --wal /wal --http --port 8001
+    banks serve demo:bibliography --follow --wal /wal --http --port 8002
+    banks serve demo:bibliography --wal /wal \\
+        --remote-replica http://127.0.0.1:8001 \\
+        --remote-replica http://127.0.0.1:8002
 
 ``banks recover DB --wal PATH`` rebuilds the pre-crash facade by
 replaying the WAL onto the base database DB (the runbook lives in
@@ -296,26 +324,6 @@ def _command_sweep(args: argparse.Namespace, out) -> int:
     return 0
 
 
-def _warn_deprecated_serve_flags(args: argparse.Namespace) -> None:
-    """Old flags keep working as shims; each names its replacement."""
-    import warnings
-
-    if getattr(args, "replica", False):
-        warnings.warn(
-            "banks serve flag --replica is deprecated; use --follow "
-            "(ClusterSpec(topology='single', follow=True, wal_path=...))",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-    if getattr(args, "no_engine", False):
-        warnings.warn(
-            "banks serve flag --no-engine is deprecated; use --inline "
-            "(ClusterSpec(engine=False))",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-
-
 def _serve_mode(cluster) -> str:
     """One human line describing the deployment, from the spec."""
     spec = cluster.spec
@@ -342,15 +350,74 @@ def _serve_mode(cluster) -> str:
     return mode
 
 
+def _serve_http(args: argparse.Namespace, cluster, database, out) -> int:
+    """``banks serve --http``: the v1 JSON/SSE API instead of the
+    browse app.  ``--check`` binds an ephemeral port, probes
+    ``/v1/health`` and ``/metrics`` through a real socket, and exits."""
+    from repro.net import BanksClient, HttpServer, NetConfig
+
+    tokens = tuple(getattr(args, "tokens", None) or ())
+    config = NetConfig(
+        host=args.host,
+        port=0 if args.check else args.port,
+        tokens=tokens,
+        rate=float(getattr(args, "rate_limit", 0.0) or 0.0),
+    )
+    server = HttpServer(cluster, config)
+    if args.check:
+        server.start_background()
+        try:
+            client = BanksClient(
+                server.url, token=tokens[0] if tokens else None
+            )
+            health = client.health()
+            print(
+                f"self-check: GET /v1/health -> {health['status']} "
+                f"(topology {health['topology']}, epoch {health['epoch']}, "
+                f"auth {health['auth']})",
+                file=out,
+            )
+            lines = len(client.metrics().splitlines())
+            print(f"self-check: GET /metrics -> {lines} lines", file=out)
+        finally:
+            server.stop()
+        return 0
+    cluster.start()
+    admission = "token auth" if tokens else "open"
+    if config.rate:
+        admission += f", {config.rate:g} req/s per client"
+    print(
+        f"serving {database.name} v1 HTTP API on "
+        f"http://{args.host}:{args.port}/v1/query "
+        f"({_serve_mode(cluster)}; {admission})",
+        file=out,
+    )
+    server.serve_forever()
+    return 0
+
+
 def _command_serve(args: argparse.Namespace, out) -> int:
     from repro.browse.app import BrowseApp
     from repro.cluster import Cluster, ClusterSpec
 
-    _warn_deprecated_serve_flags(args)
     # One validation path: every conflicting flag combination fails
     # here, with the same message a programmatic caller would get.
-    spec = ClusterSpec.from_serve_args(args)
-    database = load_database(args.db)
+    if getattr(args, "spec", None):
+        spec = ClusterSpec.from_json_file(args.spec)
+        db_spec = args.db or spec.db
+        if not db_spec:
+            raise ReproError(
+                f"spec file {args.spec!r} names no database; give the DB "
+                "argument or put a 'db' specifier in the spec"
+            )
+    else:
+        if not args.db:
+            raise ReproError(
+                "the DB argument is required without --spec FILE"
+            )
+        db_spec = args.db
+        spec = ClusterSpec.from_serve_args(args)
+    database = load_database(db_spec)
     cluster = Cluster(spec, database=database)
     try:
         if cluster.recovered_epochs:
@@ -365,6 +432,8 @@ def _command_serve(args: argparse.Namespace, out) -> int:
                 f"epoch(s) applied, lag {cluster.follower.lag_epochs()}",
                 file=out,
             )
+        if getattr(args, "http", False):
+            return _serve_http(args, cluster, database, out)
         app = BrowseApp(cluster=cluster)
         if args.check:
             status, _html = app.handle("/", "")
@@ -550,6 +619,89 @@ def _command_bench_serve(args: argparse.Namespace, out) -> int:
     return 0 if report.results_match else 1
 
 
+def _command_client(args: argparse.Namespace, out) -> int:
+    from repro.net import BanksClient
+
+    client = BanksClient(args.url, token=args.token)
+    query = " ".join(args.query)
+    if args.stream:
+        started = time.perf_counter()
+        count = 0
+        for event, data in client.query_stream(
+            query,
+            k=args.max_results,
+            offset=args.offset,
+            consistency=args.consistency,
+            staleness_bound=args.staleness_bound,
+            trace_id=args.trace_id,
+        ):
+            elapsed_ms = 1000 * (time.perf_counter() - started)
+            if event == "answer":
+                count += 1
+                table, row = data["root"]
+                print(
+                    f"[{elapsed_ms:7.1f} ms] #{data['rank'] + 1} "
+                    f"{table}:{row}  relevance {data['relevance']:.6f}",
+                    file=out,
+                )
+            elif event == "error":
+                print(f"error: {data['error']}", file=sys.stderr)
+                return 1
+            else:
+                print(
+                    f"[{elapsed_ms:7.1f} ms] done: {count} of "
+                    f"{data['total']} answers via {data['served_by']} "
+                    f"(epoch {data['epoch']}, "
+                    f"server {data['latency_ms']:.1f} ms)",
+                    file=out,
+                )
+        return 0
+    document = client.query(
+        query,
+        k=args.max_results,
+        offset=args.offset,
+        consistency=args.consistency,
+        staleness_bound=args.staleness_bound,
+        trace_id=args.trace_id,
+    )
+    for answer in document["answers"]:
+        table, row = answer["root"]
+        print(
+            f"#{answer['rank'] + 1} {table}:{row}  "
+            f"relevance {answer['relevance']:.6f}",
+            file=out,
+        )
+    print(
+        f"{len(document['answers'])} of {document['total']} answers via "
+        f"{document['served_by']} (epoch {document['epoch']}, "
+        f"{document['latency_ms']:.1f} ms)",
+        file=out,
+    )
+    return 0
+
+
+def _command_bench_net(args: argparse.Namespace, out) -> int:
+    from repro.datasets import DEMO_QUERY_SETS
+    from repro.net.bench import run_net_benchmark
+
+    database = load_database(args.db)
+    queries = args.queries or DEMO_QUERY_SETS.get(database.name)
+    if not queries:
+        raise ReproError(
+            f"no benchmark query set for database {database.name!r}; "
+            "pass one or more --query options"
+        )
+    report = run_net_benchmark(
+        database,
+        queries,
+        dataset=args.db,
+        k=args.max_results,
+        requests=args.requests,
+    )
+    print(report.render(), file=out)
+    return 0 if report.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="banks",
@@ -604,13 +756,64 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.set_defaults(run=_command_sweep)
 
     serve = commands.add_parser("serve", help="run the Web front end")
-    serve.add_argument("db")
+    serve.add_argument(
+        "db", nargs="?", default=None, help="database specifier (optional "
+        "with --spec FILE naming one)"
+    )
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=8000)
     serve.add_argument(
         "--check",
         action="store_true",
-        help="render the home page and exit (no server)",
+        help="render the home page and exit (no server); with --http, "
+        "probe /v1/health over a real socket and exit",
+    )
+    serve.add_argument(
+        "--http",
+        action="store_true",
+        help="serve the versioned JSON/SSE API (/v1/query, "
+        "/v1/query/stream, /v1/health, /metrics) instead of the "
+        "browse app",
+    )
+    serve.add_argument(
+        "--token",
+        action="append",
+        dest="tokens",
+        metavar="TOKEN",
+        help="with --http: accepted bearer token (repeatable; none = "
+        "open server)",
+    )
+    serve.add_argument(
+        "--rate-limit",
+        type=float,
+        default=0.0,
+        dest="rate_limit",
+        metavar="QPS",
+        help="with --http: per-client sustained requests/second "
+        "(0 = unlimited); engine admission control still applies",
+    )
+    serve.add_argument(
+        "--spec",
+        default=None,
+        metavar="FILE",
+        help="load the whole deployment from a ClusterSpec JSON file "
+        "(written by ClusterSpec.to_json) instead of flags",
+    )
+    serve.add_argument(
+        "--remote-replica",
+        action="append",
+        dest="remote_replicas",
+        metavar="URL",
+        help="balance reads over this remote 'banks serve --http' "
+        "replica (repeatable; conflicts with --replicas)",
+    )
+    serve.add_argument(
+        "--remote-token",
+        default=None,
+        dest="remote_token",
+        metavar="TOKEN",
+        help="bearer token the front end presents to --remote-replica "
+        "servers",
     )
     serve.add_argument(
         "--workers", type=int, default=4, help="engine worker threads"
@@ -632,12 +835,6 @@ def build_parser() -> argparse.ArgumentParser:
         "--inline",
         action="store_true",
         help="dispatch searches inline instead of through the engine",
-    )
-    serve.add_argument(
-        "--no-engine",
-        action="store_true",
-        dest="no_engine",
-        help="deprecated alias for --inline",
     )
     serve.add_argument(
         "--live",
@@ -695,11 +892,6 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="serve a read-only follower that tails --wal PATH (an "
         "external primary's log) and stays caught up by epoch",
-    )
-    serve.add_argument(
-        "--replica",
-        action="store_true",
-        help="deprecated alias for --follow",
     )
     serve.add_argument(
         "--replicas",
@@ -887,6 +1079,68 @@ def build_parser() -> argparse.ArgumentParser:
         "-k", "--max-results", type=int, default=5, dest="max_results"
     )
     bench_replicaset.set_defaults(run=_command_bench_replicaset)
+
+    client = commands.add_parser(
+        "client",
+        help="query a 'banks serve --http' server (add --stream to "
+        "watch answers arrive)",
+    )
+    client.add_argument("url", help="server base URL, e.g. http://127.0.0.1:8000")
+    client.add_argument("query", nargs="+", help="keyword query")
+    client.add_argument(
+        "-k", "--max-results", type=int, default=5, dest="max_results"
+    )
+    client.add_argument("--offset", type=int, default=0)
+    client.add_argument("--token", default=None, help="bearer token")
+    client.add_argument(
+        "--consistency",
+        default="eventual",
+        help="consistency level (eventual, read_your_writes, "
+        "bounded_staleness, monotonic_reads, primary)",
+    )
+    client.add_argument(
+        "--staleness-bound",
+        type=int,
+        default=None,
+        dest="staleness_bound",
+        metavar="EPOCHS",
+        help="with --consistency bounded_staleness: per-request lag "
+        "ceiling in epochs",
+    )
+    client.add_argument(
+        "--stream",
+        action="store_true",
+        help="use /v1/query/stream: print each answer as the remote "
+        "kernel finds it",
+    )
+    client.add_argument(
+        "--trace-id",
+        default=None,
+        dest="trace_id",
+        metavar="ID",
+        help="correlation id to send as X-Trace-Id",
+    )
+    client.set_defaults(run=_command_client)
+
+    bench_net = commands.add_parser(
+        "bench-net",
+        help="HTTP-tier benchmark: wire parity vs in-process search, "
+        "time-to-first-answer over SSE, end-to-end QPS",
+    )
+    bench_net.add_argument("db")
+    bench_net.add_argument("--requests", type=int, default=32)
+    bench_net.add_argument(
+        "--query",
+        action="append",
+        dest="queries",
+        metavar="QUERY",
+        help="benchmark query (repeatable; default: the dataset's "
+        "demo query set)",
+    )
+    bench_net.add_argument(
+        "-k", "--max-results", type=int, default=5, dest="max_results"
+    )
+    bench_net.set_defaults(run=_command_bench_net)
     return parser
 
 

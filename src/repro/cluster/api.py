@@ -30,6 +30,11 @@ Consistency levels (per request, ``QueryRequest.consistency``):
 * ``"read_your_writes"`` — the read observes at least the epoch of the
   last mutation made through this cluster; the replica set waits for
   the chosen replica (bounded) or falls back to the primary.
+* ``"bounded_staleness"`` — the read skips replicas trailing the WAL
+  by more than ``QueryRequest.staleness_bound`` epochs (default: the
+  spec's ``max_lag``), falling back to the primary when none qualify.
+* ``"monotonic_reads"`` — successive reads through one cluster never
+  observe an older epoch than an earlier read did.
 * ``"primary"`` — the read goes to the authoritative copy.
 
 On unreplicated topologies every level is trivially satisfied (reads
@@ -39,6 +44,7 @@ and recorded in the result — everywhere.
 
 from __future__ import annotations
 
+import threading
 import time
 from concurrent.futures import Future
 from dataclasses import dataclass
@@ -64,13 +70,23 @@ class QueryRequest:
         deadline: seconds the request may wait queued before it is
             failed (engine-backed topologies).
         consistency: ``"eventual"`` | ``"read_your_writes"`` |
+            ``"bounded_staleness"`` | ``"monotonic_reads"`` |
             ``"primary"`` (see the module docstring).
+        staleness_bound: with ``consistency="bounded_staleness"``, the
+            per-request lag ceiling in epochs (default: the spec's
+            ``max_lag``); ignored by the other levels.
+        trace_id: adopt this correlation id for the request's trace
+            (the HTTP tier forwards ``X-Trace-Id`` headers here), so
+            the stored :class:`~repro.obs.TraceRecord` is findable
+            under the id the client knows.
     """
 
     keywords: Any
     k: int = 10
     deadline: Optional[float] = None
     consistency: str = "eventual"
+    staleness_bound: Optional[int] = None
+    trace_id: Optional[str] = None
 
     def __post_init__(self):
         if self.consistency not in CONSISTENCY_LEVELS:
@@ -80,6 +96,10 @@ class QueryRequest:
             )
         if self.k < 1:
             raise ClusterError(f"k must be >= 1 (got {self.k})")
+        if self.staleness_bound is not None and self.staleness_bound < 0:
+            raise ClusterError(
+                f"staleness_bound must be >= 0 (got {self.staleness_bound})"
+            )
 
 
 @dataclass
@@ -282,10 +302,18 @@ class Cluster:
 
     # -- the public read surface -----------------------------------------------
 
-    def query(self, request: Any, **overrides) -> QueryResult:
+    def query(self, request: Any, on_answer=None, **overrides) -> QueryResult:
         """Serve one read; accepts a :class:`QueryRequest` or a plain
         keyword string (``overrides``: ``k``, ``deadline``,
-        ``consistency``)."""
+        ``consistency``).
+
+        ``on_answer`` (when the deployment streams inline — see
+        :meth:`streams_inline`) fires with each answer as the search
+        kernel emits it, strictly before the call returns; the final
+        returned list stays authoritative.  Backends whose workers live
+        across a process boundary cannot carry the callback and simply
+        ignore it.
+        """
         if not isinstance(request, QueryRequest):
             request = QueryRequest(request, **overrides)
         elif overrides:
@@ -295,12 +323,15 @@ class Cluster:
         self._check_open()
         started = time.monotonic()
         spec = self.spec
+        if on_answer is not None and not self.streams_inline():
+            on_answer = None
+        stream_kwargs = {} if on_answer is None else {"on_answer": on_answer}
         # The cluster surface originates the trace: one root ``query``
         # span per request, with every layer below (replica set, shard
         # router, engine, kernel) parenting its spans under it — across
         # forked workers too.  A handed-down trace suppresses the inner
         # layers' own origination, so exactly one record is finished.
-        trace = self.obs.begin()
+        trace = self.obs.begin(request.trace_id)
         profile = SearchProfile() if trace is not None else None
         root = (
             trace.begin(
@@ -329,7 +360,9 @@ class Cluster:
                     max_results=request.k,
                     deadline=request.deadline,
                     consistency=request.consistency,
+                    staleness_bound=request.staleness_bound,
                     **obs_kwargs,
+                    **stream_kwargs,
                 )
                 served_by = (
                     "primary" if replica is None else f"replica-{replica}"
@@ -341,7 +374,10 @@ class Cluster:
                 )
             elif spec.topology == "sharded":
                 answers = self.backend.search(
-                    request.keywords, max_results=request.k, **obs_kwargs
+                    request.keywords,
+                    max_results=request.k,
+                    **obs_kwargs,
+                    **stream_kwargs,
                 )
                 replica, epoch = None, self.backend.epoch
                 served_by = "router"
@@ -354,6 +390,7 @@ class Cluster:
                     deadline=request.deadline,
                     max_results=request.k,
                     **obs_kwargs,
+                    **stream_kwargs,
                 ).result()
                 answers = outcome.answers
                 if self.follower is not None:
@@ -368,7 +405,10 @@ class Cluster:
                 shards = ()
             else:
                 answers = self.banks.search(
-                    request.keywords, max_results=request.k, **obs_kwargs
+                    request.keywords,
+                    max_results=request.k,
+                    **obs_kwargs,
+                    **stream_kwargs,
                 )
                 replica, epoch, served_by, shards = None, 0, "inline", ()
         except BaseException as error:
@@ -437,6 +477,70 @@ class Cluster:
     def search(self, query: Any, max_results: int = 10, **kwargs) -> List[Any]:
         """Engine-compatible convenience: the bare answer list."""
         return self.query(QueryRequest(query, k=max_results, **kwargs)).answers
+
+    def streams_inline(self) -> bool:
+        """Whether this deployment can flush answers as the kernel
+        finds them (the ``on_answer`` hook / SSE streaming).  True for
+        every in-process backend; false when the serving workers live
+        across a process boundary (forked shard or replica workers,
+        remote HTTP replicas) — a Python callback cannot cross a pipe
+        or a socket, so those deployments deliver all answers at
+        completion instead."""
+        backend = self.backend
+        worker_backend = getattr(backend, "backend", None)
+        if worker_backend is not None:
+            return worker_backend == "thread"
+        return True
+
+    def query_stream(self, request: Any, **overrides):
+        """Serve one read incrementally: a generator of ``(kind,
+        payload)`` events — ``("answer", answer)`` for each answer as
+        the kernel emits it, then exactly one ``("result", QueryResult)``
+        carrying the authoritative ranked list (identical to what
+        :meth:`query` returns for the same request).
+
+        On deployments that cannot stream inline (see
+        :meth:`streams_inline`) the answer events arrive only once the
+        search completes — the event shape is the same either way.
+        The underlying query runs on a worker thread; an error raises
+        out of the generator, not into the void.
+        """
+        import queue as queue_module
+
+        if not isinstance(request, QueryRequest):
+            request = QueryRequest(request, **overrides)
+        elif overrides:
+            raise ClusterError(
+                "pass either a QueryRequest or keyword overrides, not both"
+            )
+        self._check_open()
+        events: "queue_module.Queue" = queue_module.Queue()
+        streamed = self.streams_inline()
+
+        def run() -> None:
+            try:
+                result = self.query(
+                    request,
+                    on_answer=lambda a: events.put(("answer", a)),
+                )
+                if not streamed:
+                    for answer in result.answers:
+                        events.put(("answer", answer))
+                events.put(("result", result))
+            except BaseException as error:  # noqa: BLE001 - re-raised below
+                events.put(("error", error))
+
+        worker = threading.Thread(
+            target=run, name="cluster-query-stream", daemon=True
+        )
+        worker.start()
+        while True:
+            kind, payload = events.get()
+            if kind == "error":
+                raise payload
+            yield kind, payload
+            if kind == "result":
+                return
 
     # -- the public write surface ----------------------------------------------
 

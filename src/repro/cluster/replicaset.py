@@ -51,7 +51,6 @@ import pickle
 import tempfile
 import threading
 import time
-import warnings
 from dataclasses import dataclass, field
 from typing import Any, List, Optional, Sequence, Set, Tuple
 
@@ -72,22 +71,6 @@ from repro.store.wal import ReplicaFollower, WalReader
 
 from repro.cluster.spec import ClusterSpec
 
-
-def _deprecated_series(old: str, new: str, fn):
-    """Wrap a gauge callback so reading the old series warns once."""
-    warned = []
-
-    def read():
-        if not warned:
-            warned.append(True)
-            warnings.warn(
-                f"metric {old} is deprecated; scrape {new} instead",
-                DeprecationWarning,
-                stacklevel=2,
-            )
-        return fn()
-
-    return read
 
 #: How long a read_your_writes request may wait for a replica to catch
 #: up before falling back to the primary.
@@ -438,12 +421,14 @@ class ReplicaSet:
             backend = "process" if fork_available() else "thread"
         self.backend = backend
 
+        if spec.remote_replicas:
+            self.backend = "remote"
         with internal_construction():
             # Replica workers first: the process backend must fork
             # before the primary engine starts any thread.
             self._handles: List[_ReplicaHandle] = [
                 _ReplicaHandle(index, self._build_worker(index))
-                for index in range(spec.replicas)
+                for index in range(spec.replica_count)
             ]
             self.primary = QueryEngine(
                 self._primary_facade(),
@@ -458,14 +443,22 @@ class ReplicaSet:
                 ),
             )
         self.reader = WalReader(self._wal_dir)
-        for handle in self._handles:
-            # Each follower owns a private reader: its segment-range
-            # cache is then only ever touched by that replica's threads.
-            handle.follower = ReplicaFollower(self._wal_dir, handle.worker)
+        if not spec.remote_replicas:
+            for handle in self._handles:
+                # Each follower owns a private reader: its segment-range
+                # cache is then only ever touched by that replica's
+                # threads.  Remote replicas keep themselves caught up
+                # (their own follower over shared WAL storage) — the
+                # front end only observes their epoch.
+                handle.follower = ReplicaFollower(self._wal_dir, handle.worker)
 
         self.last_write_epoch = self.primary.snapshots.epoch
         self._rr_lock = threading.Lock()
         self._rr_next = 0
+        # monotonic_reads floor: the newest epoch any read served
+        # through this front end has observed.
+        self._read_lock = threading.Lock()
+        self._read_floor = 0
 
         # Disabled unless the cluster front end hands its bundle in
         # (the cluster is the originator; the set only records spans).
@@ -520,27 +513,6 @@ class ReplicaSet:
                 fn=lambda i=handle.index: self._handles[i].served,
                 labels={"replica": str(handle.index)},
             )
-            # Deprecated name-mangled aliases; kept emitting for one
-            # release so dashboards keyed on the old series keep
-            # working, but the first read warns.
-            m.gauge(
-                f"replica{handle.index}_lag_epochs",
-                f'DEPRECATED: use replica_lag_epochs{{replica="{handle.index}"}}',
-                fn=_deprecated_series(
-                    f"replica{handle.index}_lag_epochs",
-                    f'replica_lag_epochs{{replica="{handle.index}"}}',
-                    lambda i=handle.index: self.lag_epochs(i),
-                ),
-            )
-            m.gauge(
-                f"replica{handle.index}_served_total",
-                f'DEPRECATED: use replica_served_total{{replica="{handle.index}"}}',
-                fn=_deprecated_series(
-                    f"replica{handle.index}_served_total",
-                    f'replica_served_total{{replica="{handle.index}"}}',
-                    lambda i=handle.index: self._handles[i].served,
-                ),
-            )
         self._tail_interval: Optional[float] = None
 
     # -- construction helpers --------------------------------------------------
@@ -554,6 +526,14 @@ class ReplicaSet:
         return IncrementalBANKS(self._base.fork())
 
     def _build_worker(self, index: int) -> Any:
+        if self.spec.remote_replicas:
+            from repro.net.client import RemoteReplica
+
+            return RemoteReplica(
+                self.spec.remote_replicas[index],
+                index=index,
+                token=self.spec.remote_token,
+            )
         if self.spec.topology == "sharded_replicated":
             return _RouterReplica(self._base.fork(), self.spec)
         facade = IncrementalBANKS(self._base.fork())
@@ -643,12 +623,15 @@ class ReplicaSet:
                 continue
             with internal_construction():
                 handle.worker = self._build_worker(handle.index)
-            handle.follower = ReplicaFollower(self._wal_dir, handle.worker)
-            handle.follower.catch_up(self.reader.last_epoch(), timeout=timeout)
+            if not self.spec.remote_replicas:
+                handle.follower = ReplicaFollower(self._wal_dir, handle.worker)
+                handle.follower.catch_up(
+                    self.reader.last_epoch(), timeout=timeout
+                )
+                if self._tail_interval is not None:
+                    handle.follower.start(self._tail_interval)
             handle.dead = False
             handle.excluded = False
-            if self._tail_interval is not None:
-                handle.follower.start(self._tail_interval)
             self._readmitted.inc()
             healed += 1
         return healed
@@ -684,6 +667,39 @@ class ReplicaSet:
             self._readmitted.inc()
         return True
 
+    def _within_bound(
+        self,
+        handle: _ReplicaHandle,
+        wal_epoch: int,
+        bound: Optional[int],
+    ) -> bool:
+        """Per-request staleness filter (``bounded_staleness``); a
+        tighter bound than the spec's ``max_lag`` skips laggards for
+        this read only — it moves no exclusion state."""
+        if bound is None:
+            return True
+        if (wal_epoch - handle.applied_epoch) <= bound:
+            return True
+        self._stale_skips.inc()
+        return False
+
+    def _catch_up(self, handle: _ReplicaHandle, want_epoch: int) -> None:
+        """Bounded wait for ``handle`` to reach ``want_epoch`` — via
+        its local follower, or the worker's own mechanism (remote
+        replicas poll their serving process)."""
+        if handle.follower is not None:
+            handle.follower.catch_up(want_epoch, timeout=_RYW_WAIT_SECONDS)
+            return
+        catch_up = getattr(handle.worker, "catch_up", None)
+        if catch_up is not None:
+            catch_up(want_epoch, timeout=_RYW_WAIT_SECONDS)
+
+    def _note_read(self, epoch: int) -> None:
+        """Advance the monotonic_reads floor to the epoch just served."""
+        with self._read_lock:
+            if epoch > self._read_floor:
+                self._read_floor = epoch
+
     def _pick(self, eligible: Sequence[_ReplicaHandle]) -> _ReplicaHandle:
         if self.spec.balance == "least_inflight":
             return min(eligible, key=lambda h: (h.inflight, h.index))
@@ -701,6 +717,7 @@ class ReplicaSet:
         timeout: Optional[float] = None,
         deadline: Optional[float] = None,
         consistency: str = "eventual",
+        staleness_bound: Optional[int] = None,
         trace=None,
         trace_parent=None,
         profile=None,
@@ -708,6 +725,20 @@ class ReplicaSet:
     ) -> Tuple[List[ReplicaAnswer], Optional[int], int]:
         """Serve one read; returns ``(answers, replica, epoch)`` where
         ``replica`` is ``None`` when the primary served it.
+
+        Consistency dispatch:
+
+        * ``eventual`` — any balancer-eligible replica;
+        * ``read_your_writes`` — the chosen replica must reach the
+          epoch of the last local write (bounded wait, then primary);
+        * ``bounded_staleness`` — replicas trailing the WAL by more
+          than ``staleness_bound`` epochs (default: the spec's
+          ``max_lag``) are skipped for this request;
+        * ``monotonic_reads`` — the read observes at least the newest
+          epoch any earlier read through this front end observed
+          (bounded wait, then primary), so successive reads never step
+          backwards in time;
+        * ``primary`` — straight to the authoritative copy.
 
         With a ``trace``, balancing records a ``replicaset.query`` span
         with one ``replicaset.dispatch`` child per attempt (failovers
@@ -740,11 +771,18 @@ class ReplicaSet:
                     query, max_results, timeout, deadline, search_kwargs,
                     trace, parent_id, profile,
                 )
-            want_epoch = (
-                self.last_write_epoch
-                if consistency == "read_your_writes"
-                else None
-            )
+            want_epoch = None
+            bound: Optional[int] = None
+            if consistency == "read_your_writes":
+                want_epoch = self.last_write_epoch
+            elif consistency == "monotonic_reads":
+                want_epoch = self._read_floor
+            elif consistency == "bounded_staleness":
+                bound = (
+                    self.spec.max_lag
+                    if staleness_bound is None
+                    else staleness_bound
+                )
             attempted: Set[int] = set()
             while True:
                 # One WAL probe per dispatch round, not one per replica.
@@ -754,6 +792,7 @@ class ReplicaSet:
                     for h in self._handles
                     if h.index not in attempted
                     and self._dispatchable(h, wal_epoch)
+                    and self._within_bound(h, wal_epoch, bound)
                 ]
                 if not eligible:
                     self._primary_reads.inc()
@@ -763,11 +802,9 @@ class ReplicaSet:
                     )
                 handle = self._pick(eligible)
                 if want_epoch and handle.applied_epoch < want_epoch:
-                    handle.follower.catch_up(
-                        want_epoch, timeout=_RYW_WAIT_SECONDS
-                    )
+                    self._catch_up(handle, want_epoch)
                     if handle.applied_epoch < want_epoch:
-                        # The primary trivially has the caller's write.
+                        # The primary trivially has the wanted epoch.
                         self._primary_reads.inc()
                         return self._query_primary(
                             query, max_results, timeout, deadline,
@@ -817,11 +854,9 @@ class ReplicaSet:
                     dispatch_span.attrs["answers"] = len(scored)
                     trace.end(dispatch_span)
                 handle.served += 1
-                return (
-                    self._wrap(scored, handle.index),
-                    handle.index,
-                    handle.applied_epoch,
-                )
+                epoch = handle.applied_epoch
+                self._note_read(epoch)
+                return (self._wrap(scored, handle.index), handle.index, epoch)
         finally:
             duration = time.monotonic() - started
             self._latency.observe(duration)
@@ -863,7 +898,9 @@ class ReplicaSet:
             dispatch_span.attrs["answers"] = len(outcome.answers)
             trace.end(dispatch_span)
         scored = [(a.tree, a.relevance) for a in outcome.answers]
-        return self._wrap(scored, None), None, self.primary.snapshots.epoch
+        epoch = self.primary.snapshots.epoch
+        self._note_read(epoch)
+        return self._wrap(scored, None), None, epoch
 
     def _wrap(self, scored, replica: Optional[int]) -> List[ReplicaAnswer]:
         answers = []

@@ -38,8 +38,9 @@ process's* WAL, valid only on the ``single`` topology.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, fields, replace
-from typing import Any, Callable, Optional, Union
+from typing import Any, Callable, Optional, Tuple, Union
 
 from repro.errors import ClusterError, ReproError
 from repro.obs import parse_sample
@@ -51,7 +52,13 @@ TOPOLOGIES = ("single", "sharded", "replicated", "sharded_replicated")
 BALANCE_POLICIES = ("round_robin", "least_inflight")
 
 #: Per-request consistency levels (see repro.cluster.api.QueryRequest).
-CONSISTENCY_LEVELS = ("eventual", "read_your_writes", "primary")
+CONSISTENCY_LEVELS = (
+    "eventual",
+    "read_your_writes",
+    "bounded_staleness",
+    "monotonic_reads",
+    "primary",
+)
 
 _COPY_MODES = ("auto", "delta", "deep")
 _FSYNC_POLICIES = ("always", "rotate", "never")
@@ -110,6 +117,13 @@ class ClusterSpec:
         max_lag: staleness bound in epochs; a replica trailing the WAL
             by more than this is excluded from balancing until it
             catches back up.
+        remote_replicas: base URLs (``http://host:port``) of remote
+            HTTP serving processes (:mod:`repro.net`) the replicated
+            front end balances over instead of forking local workers;
+            ``replicated`` topology only, mutually exclusive with
+            ``replicas``.
+        remote_token: bearer token the front end authenticates to the
+            remote replicas with (when they require one).
         trace_sample: query-trace sampling — ``"always"`` (default),
             ``"off"``, ``"slow"`` (keep only slow queries) or a rate
             in (0, 1] (deterministic 1-in-N).
@@ -143,6 +157,13 @@ class ClusterSpec:
     replica_backend: str = "auto"
     balance: str = "round_robin"
     max_lag: int = 8
+    # networked replicas (repro.net): base URLs of remote HTTP serving
+    # processes the front end balances over instead of forking local
+    # workers; each remote process keeps itself caught up (e.g. a
+    # ``--follow`` follower over shared WAL storage) and reports its
+    # epoch on ``/v1/health``.
+    remote_replicas: Tuple[str, ...] = ()
+    remote_token: Optional[str] = None
     # observability knobs
     trace_sample: Union[str, float] = "always"
     slow_query_ms: Optional[float] = 500.0
@@ -214,10 +235,10 @@ class ClusterSpec:
                 f"{self.topology!r}; use topology='sharded' or "
                 "'sharded_replicated'"
             )
-        if replicated and self.replicas < 1:
+        if replicated and self.replicas < 1 and not self.remote_replicas:
             raise _invalid(
                 f"topology {self.topology!r} needs replicas >= 1 "
-                f"(got {self.replicas})"
+                f"(got {self.replicas}) or remote_replicas URLs"
             )
         if not replicated and self.replicas:
             raise _invalid(
@@ -310,12 +331,43 @@ class ClusterSpec:
                 "(replicas follow the primary's epochs); drop "
                 "copy_mode='deep'"
             )
+        if self.remote_replicas:
+            if self.topology != "replicated":
+                raise _invalid(
+                    "remote_replicas (networked HTTP replicas) only "
+                    "exist on topology='replicated', not "
+                    f"{self.topology!r}"
+                )
+            if self.replicas:
+                raise _invalid(
+                    "remote_replicas conflicts with replicas="
+                    f"{self.replicas}: a replica set balances over "
+                    "local forked workers or remote HTTP processes, "
+                    "not a mix"
+                )
+            for url in self.remote_replicas:
+                if not (
+                    isinstance(url, str)
+                    and url.startswith(("http://", "https://"))
+                ):
+                    raise _invalid(
+                        f"remote replica {url!r} is not an http(s) "
+                        "base URL"
+                    )
 
     # -- conveniences ----------------------------------------------------------
 
     @property
     def replicated(self) -> bool:
         return self.topology in ("replicated", "sharded_replicated")
+
+    @property
+    def replica_count(self) -> int:
+        """How many replicas the front end balances over (local forked
+        workers, or remote HTTP processes)."""
+        if self.remote_replicas:
+            return len(self.remote_replicas)
+        return self.replicas
 
     @property
     def read_only(self) -> bool:
@@ -334,6 +386,67 @@ class ClusterSpec:
             if field.name != "db"
         }
 
+    # -- JSON round trip (spec-file deployments) -------------------------------
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        """The spec as JSON, loadable by :meth:`from_json`.
+
+        Raises :class:`~repro.errors.ClusterError` when a field cannot
+        be serialised (a loaded ``db`` object, a callable
+        ``shard_strategy``) — spec files carry names, not objects.
+        """
+        payload = {}
+        for field in fields(self):
+            value = getattr(self, field.name)
+            if field.name == "db":
+                if value is None:
+                    continue
+                if not isinstance(value, str):
+                    raise ClusterError(
+                        "cannot serialise a spec holding a loaded "
+                        "database; set db to a specifier string like "
+                        "'demo:bibliography'"
+                    )
+            if field.name == "shard_strategy" and not isinstance(value, str):
+                raise ClusterError(
+                    "cannot serialise a callable shard_strategy; use a "
+                    "named strategy ('hash', 'table', 'round_robin')"
+                )
+            if isinstance(value, tuple):
+                value = list(value)
+            payload[field.name] = value
+        return json.dumps(payload, indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ClusterSpec":
+        """Parse a spec from JSON and validate it (construction runs
+        the full conflict matrix).  Unknown keys fail loudly — a typo
+        in a spec file must not silently deploy the default."""
+        try:
+            payload = json.loads(text)
+        except ValueError as error:
+            raise _invalid(f"not valid JSON ({error})") from None
+        if not isinstance(payload, dict):
+            raise _invalid("spec JSON must be an object")
+        known = {field.name for field in fields(cls)}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise _invalid(
+                f"unknown spec field(s) {', '.join(map(repr, unknown))}"
+            )
+        if isinstance(payload.get("remote_replicas"), list):
+            payload["remote_replicas"] = tuple(payload["remote_replicas"])
+        return cls(**payload)
+
+    @classmethod
+    def from_json_file(cls, path: str) -> "ClusterSpec":
+        """Load and validate a spec file (``banks serve --spec``)."""
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                return cls.from_json(handle.read())
+        except OSError as error:
+            raise _invalid(f"cannot read spec file {path!r}: {error}") from None
+
     # -- the ``banks serve`` bridge -------------------------------------------
 
     @classmethod
@@ -345,14 +458,29 @@ class ClusterSpec:
         :class:`~repro.errors.ClusterError` from the spec constructor,
         with the same message a programmatic caller would get.
         """
-        follow = bool(
-            getattr(args, "follow", False) or getattr(args, "replica", False)
-        )
-        inline = bool(
-            getattr(args, "inline", False) or getattr(args, "no_engine", False)
-        )
+        follow = bool(getattr(args, "follow", False))
+        inline = bool(getattr(args, "inline", False))
         shards = int(getattr(args, "shards", 0) or 0)
         replicas = int(getattr(args, "replicas", 0) or 0)
+        remote_replicas = tuple(getattr(args, "remote_replicas", ()) or ())
+        if remote_replicas:
+            topology = "replicated"
+            return cls(
+                topology=topology,
+                db=getattr(args, "db", None),
+                workers=getattr(args, "workers", 4),
+                queue_bound=getattr(args, "queue_bound", 64),
+                deadline=getattr(args, "deadline", None),
+                wal_path=getattr(args, "wal", None),
+                wal_fsync=getattr(args, "wal_fsync", "always"),
+                balance=getattr(args, "balance", "round_robin"),
+                max_lag=getattr(args, "max_lag", 8),
+                remote_replicas=remote_replicas,
+                remote_token=getattr(args, "remote_token", None),
+                trace_sample=getattr(args, "trace_sample", None) or "always",
+                slow_query_ms=getattr(args, "slow_query_ms", None) or 500.0,
+                trace_buffer=getattr(args, "trace_buffer", None) or 256,
+            )
         if shards and replicas:
             topology = "sharded_replicated"
         elif shards:

@@ -161,6 +161,7 @@ class BANKS:
         trace=None,
         trace_parent=None,
         profile=None,
+        on_answer=None,
         **config_overrides,
     ) -> List[Answer]:
         """Answer a keyword query.
@@ -178,6 +179,13 @@ class BANKS:
             trace_parent: span id the kernel span hangs under.
             profile: optional :class:`repro.obs.SearchProfile` the
                 kernel fills (counters + expansion wall time).
+            on_answer: optional callback fired with each
+                :class:`Answer` as the backward expanding search emits
+                it — strictly before the full top-k completes.  The
+                streamed answers equal the returned list, in order.
+                (The bidirectional kernel produces its list at once, so
+                there the callback fires per answer only after the
+                kernel returns.)
             **config_overrides: any :class:`SearchConfig` field.
 
         Returns:
@@ -213,6 +221,20 @@ class BANKS:
             scored = bidirectional_search(
                 self.graph, keyword_node_sets, scorer, config, profile=profile
             )
+            if on_answer is not None:
+                for rank, s in enumerate(scored):
+                    on_answer(Answer(s.tree, s.relevance, rank, self))
+        elif on_answer is not None:
+            # Drain the kernel generator one emission at a time so each
+            # answer reaches the callback while the expansion is still
+            # running — the hook the SSE streaming tier hangs off.
+            scored = []
+            for s in backward_expanding_search(
+                self.graph, keyword_node_sets, scorer, config,
+                profile=profile,
+            ):
+                on_answer(Answer(s.tree, s.relevance, len(scored), self))
+                scored.append(s)
         else:
             scored = list(
                 backward_expanding_search(

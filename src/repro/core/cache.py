@@ -143,6 +143,7 @@ class CachedBanks(BANKS):
         trace=None,
         trace_parent=None,
         profile=None,
+        on_answer=None,
         **config_overrides,
     ) -> List[Answer]:
         if config_overrides:
@@ -155,6 +156,7 @@ class CachedBanks(BANKS):
                 trace=trace,
                 trace_parent=trace_parent,
                 profile=profile,
+                on_answer=on_answer,
                 **config_overrides,
             )
         # Tracing/profiling does not affect ranking, so it stays out of
@@ -172,6 +174,11 @@ class CachedBanks(BANKS):
                     "search.cache", parent_id=trace_parent, hit=True
                 ) as span:
                     span.attrs["answers"] = len(cached)
+            if on_answer is not None:
+                # A hit still streams: replay the cached list through
+                # the callback so SSE consumers see the same events.
+                for answer in cached:
+                    on_answer(answer)
             return list(cached)
         answers = super().search(
             query,
@@ -181,6 +188,7 @@ class CachedBanks(BANKS):
             trace=trace,
             trace_parent=trace_parent,
             profile=profile,
+            on_answer=on_answer,
         )
         self.cache.put(key, tuple(answers))
         return answers

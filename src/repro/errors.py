@@ -167,3 +167,17 @@ class ClusterError(ReproError):
     cluster misuse (mutating a read-only follower, an unknown
     consistency level) raises it too.
     """
+
+
+class NetError(ReproError):
+    """The HTTP serving tier refused or failed a request.
+
+    Raised by :mod:`repro.net` for malformed wire payloads, failed
+    authentication and client-side HTTP failures.  Carries the HTTP
+    ``status`` when one exists (``None`` for transport errors — a
+    connection refused or reset before any response arrived).
+    """
+
+    def __init__(self, message: str, status=None):
+        super().__init__(message)
+        self.status = status

@@ -1,0 +1,56 @@
+"""repro.net — the cluster over HTTP, answers streamed as found.
+
+The serving tier (paper Sec. 6 envisions BANKS behind a web front
+end): a zero-dependency asyncio HTTP server over
+:class:`repro.cluster.Cluster`, a blocking client, and the
+:class:`RemoteReplica` adapter that lets a local
+:class:`~repro.cluster.replicaset.ReplicaSet` balance over serving
+processes on other machines.
+
+* :class:`HttpServer` / :class:`NetConfig` — ``/v1/query`` (JSON,
+  paginated), ``/v1/query/stream`` (SSE, each answer tree flushed the
+  moment the backward expansion emits it), ``/v1/health``,
+  ``/metrics``; bearer-token auth and per-client rate limiting in
+  front of the engine's own admission control.
+* :class:`BanksClient` — blocking stdlib client; ``query_stream``
+  yields ``(event, data)`` pairs as the remote kernel produces them.
+* :class:`RemoteReplica` — the worker-interface adapter behind
+  ``ClusterSpec(remote_replicas=...)``.
+* :func:`run_net_benchmark` — parity, time-to-first-answer and
+  throughput gates (``banks bench-net``).
+"""
+
+from repro.net.auth import RateLimiter, TokenAuth
+from repro.net.bench import NetBenchReport, run_net_benchmark
+from repro.net.client import BanksClient, RemoteReplica
+from repro.net.schema import (
+    WIRE_VERSION,
+    WireQuery,
+    decode_request,
+    encode_answer,
+    encode_result,
+    sse_event,
+    tree_from_wire,
+    tree_to_wire,
+)
+from repro.net.server import HttpServer, NetConfig, serve_http
+
+__all__ = [
+    "BanksClient",
+    "HttpServer",
+    "NetBenchReport",
+    "NetConfig",
+    "RateLimiter",
+    "RemoteReplica",
+    "TokenAuth",
+    "WIRE_VERSION",
+    "WireQuery",
+    "decode_request",
+    "encode_answer",
+    "encode_result",
+    "run_net_benchmark",
+    "serve_http",
+    "sse_event",
+    "tree_from_wire",
+    "tree_to_wire",
+]

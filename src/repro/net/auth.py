@@ -1,0 +1,101 @@
+"""Authentication and per-client admission for the HTTP tier.
+
+Two small, separable policies:
+
+* :class:`TokenAuth` — static bearer tokens.  Constant-time
+  comparison, no token ever echoed back.  An empty token set means an
+  open server (demos, loopback benchmarks) — the CLI makes that an
+  explicit choice, not a default surprise.
+* :class:`RateLimiter` — a per-principal token bucket.  This is the
+  *client-fairness* layer; it sits in front of the engine's own
+  admission control (queue bounds, load shedding), which protects the
+  *process*.  Both answer 429, and the body says which one refused.
+"""
+
+from __future__ import annotations
+
+import hmac
+import threading
+import time
+from typing import Dict, Iterable, Optional
+
+from repro.errors import NetError
+
+
+class TokenAuth:
+    """Static bearer-token authentication.
+
+    ``authenticate`` takes the raw ``Authorization`` header value and
+    returns the matched token (the request's *principal*, which the
+    rate limiter buckets by).  With no tokens configured every request
+    authenticates as principal ``None`` and the limiter falls back to
+    bucketing by peer address.
+    """
+
+    def __init__(self, tokens: Iterable[str] = ()):
+        self.tokens = tuple(t for t in tokens if t)
+
+    @property
+    def open(self) -> bool:
+        return not self.tokens
+
+    def authenticate(self, header: Optional[str]) -> Optional[str]:
+        """Return the principal, or raise :class:`NetError` (401)."""
+        if self.open:
+            return None
+        if not header or not header.startswith("Bearer "):
+            raise NetError(
+                "missing bearer token (send 'Authorization: Bearer <token>')",
+                status=401,
+            )
+        presented = header[len("Bearer ") :].strip()
+        for token in self.tokens:
+            if hmac.compare_digest(presented, token):
+                return token
+        raise NetError("invalid bearer token", status=401)
+
+
+class RateLimiter:
+    """A token bucket per principal.
+
+    ``rate`` is sustained requests/second, ``burst`` the bucket depth
+    (defaults to ``rate``).  ``rate <= 0`` disables limiting.  Buckets
+    are created on first sight of a principal and refill continuously;
+    a request either takes a whole token or is refused — there is no
+    queueing at this layer (the engine's admission queue does that,
+    with backpressure the client can see).
+    """
+
+    def __init__(self, rate: float = 0.0, burst: Optional[float] = None):
+        self.rate = float(rate)
+        self.burst = float(burst if burst is not None else max(rate, 1.0))
+        self._lock = threading.Lock()
+        self._buckets: Dict[str, "list"] = {}  # key -> [tokens, stamp]
+
+    @property
+    def enabled(self) -> bool:
+        return self.rate > 0.0
+
+    def admit(self, principal: Optional[str], peer: str = "") -> None:
+        """Take one token for ``principal`` (or ``peer`` on an open
+        server), or raise :class:`NetError` (429)."""
+        if not self.enabled:
+            return
+        key = principal if principal is not None else (peer or "-")
+        now = time.monotonic()
+        with self._lock:
+            bucket = self._buckets.get(key)
+            if bucket is None:
+                bucket = [self.burst, now]
+                self._buckets[key] = bucket
+            tokens, stamp = bucket
+            tokens = min(self.burst, tokens + (now - stamp) * self.rate)
+            if tokens < 1.0:
+                bucket[0], bucket[1] = tokens, now
+                raise NetError(
+                    "client rate limit exceeded "
+                    f"({self.rate:g} requests/s sustained, "
+                    f"burst {self.burst:g})",
+                    status=429,
+                )
+            bucket[0], bucket[1] = tokens - 1.0, now

@@ -1,0 +1,178 @@
+"""The ``banks bench-net`` measurement.
+
+Three claims about the HTTP tier, measured on one box against a real
+server on a loopback socket:
+
+1. **Parity** — ``/v1/query`` answers the benchmark battery with
+   exactly the in-process :meth:`~repro.cluster.Cluster.query` top-k
+   (roots and scores): the wire codec and the executor hop change
+   *where* the kernel runs, never what it returns.
+2. **Streaming beats waiting** — on ``/v1/query/stream`` the first
+   ``answer`` event lands strictly before the closing ``result``
+   event, and the client's time-to-first-answer is strictly below the
+   full-query wall time: the SSE path flushes answers as the
+   backward expansion emits them rather than after the heap settles.
+3. **Serving overhead is bounded** — end-to-end HTTP QPS on the
+   battery, recorded so ``benchmarks/check_regression.py`` catches a
+   transport regression (framing, executor hand-off, JSON codec).
+
+The battery reuses the demo query sets, so a parity failure points at
+the codec, not at ranking (which has its own gates).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.cluster.api import Cluster, QueryRequest
+from repro.cluster.spec import ClusterSpec
+from repro.errors import ReproError
+from repro.net.client import BanksClient
+from repro.net.server import HttpServer, NetConfig
+
+
+def _local_signature(answers) -> List[Tuple]:
+    return [(list(a.tree.root), round(a.relevance, 9)) for a in answers]
+
+
+def _wire_signature(document) -> List[Tuple]:
+    return [
+        (list(a["root"]), round(a["relevance"], 9))
+        for a in document["answers"]
+    ]
+
+
+@dataclass
+class NetBenchReport:
+    """Outcome of one HTTP-tier measurement."""
+
+    dataset: str
+    k: int
+    parity_matched: int
+    parity_total: int
+    ttfa_seconds: float
+    stream_seconds: float
+    stream_answers: int
+    first_before_result: bool
+    requests: int
+    http_seconds: float
+
+    @property
+    def parity_ok(self) -> bool:
+        return (
+            self.parity_total > 0
+            and self.parity_matched == self.parity_total
+        )
+
+    @property
+    def ttfa_ok(self) -> bool:
+        """First answer strictly before the stream completes."""
+        return (
+            self.stream_answers >= 1
+            and self.first_before_result
+            and self.ttfa_seconds < self.stream_seconds
+        )
+
+    @property
+    def qps(self) -> float:
+        return self.requests / self.http_seconds if self.http_seconds else 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.parity_ok and self.ttfa_ok
+
+    def render(self) -> str:
+        parity = (
+            f"{self.parity_matched}/{self.parity_total} "
+            f"{'exact' if self.parity_ok else 'MISMATCH'}"
+        )
+        lines = [
+            f"dataset             : {self.dataset}",
+            f"battery             : {self.parity_total} queries, "
+            f"top-{self.k}",
+            f"HTTP parity         : {parity} (vs in-process, "
+            "roots + scores)",
+            f"time to first answer: {1000 * self.ttfa_seconds:.1f} ms of "
+            f"{1000 * self.stream_seconds:.1f} ms stream "
+            f"({self.stream_answers} answers, "
+            f"{'streamed' if self.ttfa_ok else 'NOT STREAMED'})",
+            f"HTTP throughput     : {self.requests} requests in "
+            f"{self.http_seconds:.3f} s ({self.qps:.1f} QPS)",
+        ]
+        return "\n".join(lines)
+
+
+def run_net_benchmark(
+    database,
+    queries: Sequence[str],
+    dataset: str = "",
+    k: int = 5,
+    stream_query: Optional[str] = None,
+    requests: int = 32,
+) -> NetBenchReport:
+    """Measure the HTTP tier; see the module docstring.
+
+    One cluster serves both sides: the in-process reference queries and
+    the :class:`~repro.net.server.HttpServer` bound to a loopback
+    port, so parity compares transports, not database forks.
+    """
+    if not queries:
+        raise ReproError("the HTTP benchmark needs a non-empty battery")
+    battery = list(queries)
+    stream_query = stream_query or battery[0]
+
+    with Cluster(ClusterSpec(), database=database.fork()) as cluster:
+        server = HttpServer(cluster, NetConfig()).start_background()
+        try:
+            client = BanksClient(server.url)
+
+            # 1. Parity: wire top-k vs in-process top-k, whole battery.
+            parity_matched = 0
+            for query in battery:
+                local = _local_signature(
+                    cluster.query(QueryRequest(query, k=k)).answers
+                )
+                wire = _wire_signature(client.query(query, k=k))
+                if wire == local:
+                    parity_matched += 1
+
+            # 2. Streaming: first answer strictly before completion.
+            started = time.perf_counter()
+            ttfa = 0.0
+            stream_answers = 0
+            first_before_result = False
+            stream_seconds = 0.0
+            for event, _data in client.query_stream(stream_query, k=k):
+                now = time.perf_counter() - started
+                if event == "answer":
+                    if stream_answers == 0:
+                        ttfa = now
+                    stream_answers += 1
+                elif event == "result":
+                    stream_seconds = now
+                    first_before_result = stream_answers >= 1
+            if stream_seconds <= 0.0:
+                stream_seconds = time.perf_counter() - started
+
+            # 3. Throughput: sequential requests over the battery.
+            started = time.perf_counter()
+            for index in range(requests):
+                client.query(battery[index % len(battery)], k=k)
+            http_seconds = time.perf_counter() - started
+        finally:
+            server.stop()
+
+    return NetBenchReport(
+        dataset=dataset,
+        k=k,
+        parity_matched=parity_matched,
+        parity_total=len(battery),
+        ttfa_seconds=ttfa,
+        stream_seconds=stream_seconds,
+        stream_answers=stream_answers,
+        first_before_result=first_before_result,
+        requests=requests,
+        http_seconds=http_seconds,
+    )

@@ -480,9 +480,14 @@ class Observability:
     def enabled(self) -> bool:
         return self.sample != "off" or self.slow_query_ms is not None
 
-    def begin(self) -> Optional[Trace]:
-        """A fresh per-query trace, or ``None`` when fully disabled."""
-        return Trace() if self.enabled else None
+    def begin(self, trace_id: Optional[str] = None) -> Optional[Trace]:
+        """A fresh per-query trace, or ``None`` when fully disabled.
+
+        ``trace_id`` adopts a caller-supplied correlation id (the HTTP
+        tier propagates ``X-Trace-Id`` request headers through here) so
+        the stored record is findable under the id the client knows.
+        """
+        return Trace(trace_id=trace_id) if self.enabled else None
 
     def finish(
         self,

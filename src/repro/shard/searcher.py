@@ -163,6 +163,7 @@ class ShardSearcher:
         trace=None,
         trace_parent=None,
         profile=None,
+        on_answer=None,
         **config_overrides,
     ) -> List[ScoredAnswer]:
         """Answers scored on the stitched graph.
@@ -230,12 +231,23 @@ class ShardSearcher:
         if config_overrides:
             config = replace(config, **config_overrides)
         kernel_start = perf_counter() if profile is not None else 0.0
-        answers = list(
-            backward_expanding_search(
+        if on_answer is not None:
+            # Stream each emission as the kernel finds it (in-process
+            # callers only — a callback cannot cross the fork pipe).
+            answers = []
+            for scored in backward_expanding_search(
                 self.graph, keyword_node_sets, self.scorer, config,
                 profile=profile,
+            ):
+                on_answer(scored)
+                answers.append(scored)
+        else:
+            answers = list(
+                backward_expanding_search(
+                    self.graph, keyword_node_sets, self.scorer, config,
+                    profile=profile,
+                )
             )
-        )
         if profile is not None:
             profile.expansion_seconds += perf_counter() - kernel_start
         if span is not None:

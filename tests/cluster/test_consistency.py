@@ -1,0 +1,198 @@
+"""bounded_staleness and monotonic_reads dispatch in the ReplicaSet.
+
+Both levels are *per-read* filters layered over the spec's standing
+``max_lag`` exclusion: bounded_staleness tightens the lag ceiling for
+one request without moving exclusion state; monotonic_reads pins a
+session floor — no read ever observes an older epoch than an earlier
+read did.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import Cluster, ClusterSpec, QueryRequest
+
+
+@pytest.fixture(scope="module")
+def university():
+    from repro.datasets import generate_university
+
+    return generate_university()[0]
+
+
+def _cluster(database, replicas=2, **spec_overrides):
+    spec = ClusterSpec(
+        topology="replicated",
+        replicas=replicas,
+        replica_backend="thread",
+        max_lag=4,
+        **spec_overrides,
+    )
+    return Cluster(spec, database=database.fork())
+
+
+def _lag_replica(cluster, index, epochs):
+    """Suspend one replica, publish ``epochs`` writes, catch the
+    others up — leaving exactly that replica ``epochs`` behind."""
+    replica_set = cluster.backend
+    replica_set.suspend_replica(index)
+    for step in range(epochs):
+        cluster.insert(
+            "student", [f"SC{index}{step}", f"probe {step}", "BIGDEPT"]
+        )
+    for other in range(len(replica_set._handles)):
+        if other != index:
+            replica_set.resume_replica(other)
+    assert replica_set.lag_epochs(index) == epochs
+    return replica_set
+
+
+class TestBoundedStaleness:
+    def test_tighter_bound_skips_the_laggard(self, university):
+        with _cluster(university) as cluster:
+            replica_set = _lag_replica(cluster, 0, epochs=2)
+            # Inside the spec's max_lag (4): eventual reads still use
+            # replica 0...
+            served = {
+                cluster.query(QueryRequest("alice seminar", k=2)).replica
+                for _ in range(4)
+            }
+            assert 0 in served
+            # ...but a per-request bound of 1 must route around it.
+            for _ in range(4):
+                result = cluster.query(
+                    QueryRequest(
+                        "alice seminar",
+                        k=2,
+                        consistency="bounded_staleness",
+                        staleness_bound=1,
+                    )
+                )
+                assert result.replica == 1
+            replica_set.resume_replica(0)
+
+    def test_default_bound_is_the_spec_max_lag(self, university):
+        with _cluster(university) as cluster:
+            _lag_replica(cluster, 0, epochs=2)
+            # No explicit bound: bounded_staleness falls back to
+            # max_lag (4), and a 2-epoch laggard stays eligible.
+            served = {
+                cluster.query(
+                    QueryRequest(
+                        "alice seminar", k=2, consistency="bounded_staleness"
+                    )
+                ).replica
+                for _ in range(4)
+            }
+            assert 0 in served
+
+    def test_bound_zero_with_all_laggards_serves_primary(self, university):
+        with _cluster(university) as cluster:
+            replica_set = cluster.backend
+            replica_set.suspend_replica(0)
+            replica_set.suspend_replica(1)
+            cluster.insert("student", ["SC90", "lag probe", "BIGDEPT"])
+            result = cluster.query(
+                QueryRequest(
+                    "alice seminar",
+                    k=2,
+                    consistency="bounded_staleness",
+                    staleness_bound=0,
+                )
+            )
+            assert result.replica is None
+            assert result.served_by == "primary"
+            assert result.epoch == replica_set.last_write_epoch
+
+    def test_request_validation(self):
+        from repro.errors import ClusterError
+
+        with pytest.raises(ClusterError):
+            QueryRequest("x", staleness_bound=-1)
+
+    def test_exclusion_state_is_untouched(self, university):
+        """A tight per-request bound skips laggards for that read only
+        — it never marks them excluded the way max_lag does."""
+        with _cluster(university) as cluster:
+            replica_set = _lag_replica(cluster, 0, epochs=2)
+            before = replica_set._excluded_events.value
+            for _ in range(3):
+                cluster.query(
+                    QueryRequest(
+                        "alice seminar",
+                        k=2,
+                        consistency="bounded_staleness",
+                        staleness_bound=0,
+                    )
+                )
+            assert replica_set._excluded_events.value == before
+            assert not replica_set._handles[0].excluded
+
+
+class TestMonotonicReads:
+    def test_floor_advances_with_reads(self, university):
+        with _cluster(university) as cluster:
+            replica_set = cluster.backend
+            cluster.insert("student", ["SM01", "floor probe", "BIGDEPT"])
+            replica_set.sync()
+            first = cluster.query(
+                QueryRequest("alice seminar", k=2, consistency="monotonic_reads")
+            )
+            assert first.epoch >= 1
+            for _ in range(6):
+                result = cluster.query(
+                    QueryRequest(
+                        "alice seminar", k=2, consistency="monotonic_reads"
+                    )
+                )
+                assert result.epoch >= first.epoch
+
+    def test_laggard_never_serves_below_the_floor(self, university):
+        with _cluster(university) as cluster:
+            replica_set = _lag_replica(cluster, 0, epochs=2)
+            # Raise the session floor to the write frontier with a
+            # primary read (the floor starts at 0, where any replica
+            # would trivially satisfy monotonicity).
+            floor = cluster.query(
+                QueryRequest("alice seminar", k=2, consistency="primary")
+            ).epoch
+            assert floor == replica_set.last_write_epoch
+            # Replica 0 (2 epochs behind, still inside max_lag) must
+            # catch up or be bypassed — never serve below the floor.
+            for _ in range(2):
+                result = cluster.query(
+                    QueryRequest(
+                        "alice seminar", k=2, consistency="monotonic_reads"
+                    )
+                )
+                assert result.epoch >= floor
+
+    def test_primary_reads_raise_the_floor_too(self, university):
+        with _cluster(university) as cluster:
+            replica_set = cluster.backend
+            cluster.insert("student", ["SM02", "primary floor", "BIGDEPT"])
+            primary = cluster.query(
+                QueryRequest("alice seminar", k=2, consistency="primary")
+            )
+            assert primary.epoch == replica_set.last_write_epoch
+            monotonic = cluster.query(
+                QueryRequest(
+                    "alice seminar", k=2, consistency="monotonic_reads"
+                )
+            )
+            assert monotonic.epoch >= primary.epoch
+
+    def test_eventual_reads_do_not_enforce_the_floor(self, university):
+        """Contrast case: after a fresh monotonic read, plain eventual
+        reads may still use the in-bound laggard."""
+        with _cluster(university) as cluster:
+            _lag_replica(cluster, 0, epochs=2)
+            cluster.query(
+                QueryRequest("alice seminar", k=2, consistency="monotonic_reads")
+            )
+            served = {
+                cluster.query(QueryRequest("alice seminar", k=2)).replica
+                for _ in range(4)
+            }
+            assert 0 in served

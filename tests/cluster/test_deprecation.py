@@ -1,4 +1,4 @@
-"""Deprecation shims: old constructors and flags warn, stay equivalent."""
+"""Deprecation policy: old constructors warn; removed flags reject."""
 
 from __future__ import annotations
 
@@ -88,8 +88,25 @@ class TestDirectConstructionWarns:
         ] == [(a.tree.root, round(a.relevance, 9)) for a in engined]
 
 
-class TestDeprecatedServeFlags:
-    def test_replica_flag_warns_and_matches_follow(self, tmp_path):
+class TestRemovedServeFlags:
+    """The one-release shims (--replica, --no-engine) are gone: the
+    parser rejects them outright instead of warning."""
+
+    def test_replica_flag_is_rejected(self, tmp_path):
+        wal = str(tmp_path / "wal")
+        with pytest.raises(SystemExit) as caught:
+            run_cli(
+                "serve", "demo:university", "--check", "--replica",
+                "--wal", wal,
+            )
+        assert caught.value.code == 2
+
+    def test_no_engine_flag_is_rejected(self):
+        with pytest.raises(SystemExit) as caught:
+            run_cli("serve", "demo:university", "--check", "--no-engine")
+        assert caught.value.code == 2
+
+    def test_replacement_flags_serve(self, tmp_path):
         from repro.core.incremental import IncrementalBANKS
         from repro.serve.snapshot import SnapshotStore
         from repro.cli import load_database
@@ -103,29 +120,13 @@ class TestDeprecatedServeFlags:
         store.mutate(
             lambda f: f.insert("student", ["S901", "Old Flagg", "BIGDEPT"])
         )
-        with pytest.warns(
-            DeprecationWarning, match="--replica is deprecated"
-        ) as caught:
-            old = run_cli(
-                "serve", "demo:university", "--check", "--replica",
-                "--wal", wal,
-            )
-        assert "--follow" in str(caught[0].message)
-        assert "ClusterSpec" in str(caught[0].message)
-        new = run_cli(
+        status, output = run_cli(
             "serve", "demo:university", "--check", "--follow", "--wal", wal
         )
-        # The shimmed path serves exactly what the new flag serves.
-        assert old == new and old[0] == 0
-
-    def test_no_engine_flag_warns_and_matches_inline(self):
-        with pytest.warns(
-            DeprecationWarning, match="--no-engine is deprecated"
-        ) as caught:
-            old = run_cli("serve", "demo:university", "--check", "--no-engine")
-        assert "--inline" in str(caught[0].message)
-        new = run_cli("serve", "demo:university", "--check", "--inline")
-        assert old == new and old[0] == 0
+        assert status == 0
+        assert "replica caught up" in output
+        status, _ = run_cli("serve", "demo:university", "--check", "--inline")
+        assert status == 0
 
     def test_new_flags_are_warning_free(self):
         with warnings.catch_warnings():

@@ -134,7 +134,6 @@ def _serve_args(**overrides) -> argparse.Namespace:
         queue_bound=64,
         deadline=None,
         inline=False,
-        no_engine=False,
         live=False,
         copy_mode="auto",
         shards=0,
@@ -143,7 +142,6 @@ def _serve_args(**overrides) -> argparse.Namespace:
         wal=None,
         wal_fsync="always",
         follow=False,
-        replica=False,
         replicas=0,
         balance="round_robin",
         max_lag=8,
@@ -171,33 +169,102 @@ class TestFromServeArgs:
             == "sharded_replicated"
         )
 
-    def test_deprecated_aliases_map(self, tmp_path):
-        wal = str(tmp_path / "wal")
-        spec = ClusterSpec.from_serve_args(_serve_args(replica=True, wal=wal))
-        assert spec.follow and spec.wal_path == wal
-        assert not ClusterSpec.from_serve_args(
-            _serve_args(no_engine=True)
-        ).engine
-        # The new spellings land in the same spec fields.
-        assert ClusterSpec.from_serve_args(
-            _serve_args(follow=True, wal=wal)
-        ) == spec
-        assert ClusterSpec.from_serve_args(
-            _serve_args(inline=True)
-        ) == ClusterSpec.from_serve_args(_serve_args(no_engine=True))
+    def test_removed_aliases_are_ignored_not_mapped(self, tmp_path):
+        """The shim flags no longer exist; a stale namespace carrying
+        them (an old script building Namespace by hand) gets the plain
+        non-follower, engine-backed spec — not silent alias behaviour."""
+        spec = ClusterSpec.from_serve_args(
+            _serve_args(replica=True, no_engine=True)
+        )
+        assert not spec.follow
+        assert spec.engine
 
-    def test_old_conflicts_fail_through_the_spec(self, tmp_path):
+    def test_current_flags_map(self, tmp_path):
+        wal = str(tmp_path / "wal")
+        spec = ClusterSpec.from_serve_args(_serve_args(follow=True, wal=wal))
+        assert spec.follow and spec.wal_path == wal
+        assert not ClusterSpec.from_serve_args(_serve_args(inline=True)).engine
+
+    def test_conflicts_fail_through_the_spec(self, tmp_path):
         wal = str(tmp_path / "wal")
         for namespace in (
-            _serve_args(replica=True),  # --replica without --wal
-            _serve_args(replica=True, wal=wal, live=True),
-            _serve_args(replica=True, wal=wal, shards=2),
-            _serve_args(replica=True, wal=wal, no_engine=True),
-            _serve_args(replica=True, wal=wal, replicas=2),
+            _serve_args(follow=True),  # --follow without --wal
+            _serve_args(follow=True, wal=wal, live=True),
+            _serve_args(follow=True, wal=wal, shards=2),
+            _serve_args(follow=True, wal=wal, inline=True),
+            _serve_args(follow=True, wal=wal, replicas=2),
             _serve_args(wal=wal),  # --wal without a publisher
             _serve_args(wal=wal, live=True, copy_mode="deep"),
-            _serve_args(replicas=2, no_engine=True),
+            _serve_args(replicas=2, inline=True),
         ):
             with pytest.raises(ClusterError) as caught:
                 ClusterSpec.from_serve_args(namespace)
             assert str(caught.value).startswith("invalid cluster spec: ")
+
+
+class TestSpecJson:
+    """to_json / from_json: the --spec FILE surface round-trips."""
+
+    def test_round_trip_preserves_every_field(self):
+        spec = ClusterSpec(
+            db="demo:bibliography",
+            topology="sharded_replicated",
+            shards=2,
+            replicas=2,
+            workers=3,
+            queue_bound=32,
+            deadline=1.5,
+            balance="least_inflight",
+            max_lag=3,
+            replica_backend="thread",
+            trace_sample="slow",
+        )
+        assert ClusterSpec.from_json(spec.to_json()) == spec
+
+    def test_remote_replica_tuples_round_trip(self):
+        spec = ClusterSpec(
+            db="demo:university",
+            topology="replicated",
+            remote_replicas=(
+                "http://127.0.0.1:8001",
+                "http://127.0.0.1:8002",
+            ),
+            remote_token="t",
+        )
+        clone = ClusterSpec.from_json(spec.to_json())
+        assert clone == spec
+        assert isinstance(clone.remote_replicas, tuple)
+
+    def test_from_json_validates_on_load(self):
+        import json
+
+        payload = json.loads(ClusterSpec(db="demo:university").to_json())
+        payload["topology"] = "replicated"  # replicas stay 0: invalid
+        with pytest.raises(ClusterError) as caught:
+            ClusterSpec.from_json(json.dumps(payload))
+        assert "replicas >= 1" in str(caught.value)
+
+    def test_unknown_keys_are_refused(self):
+        with pytest.raises(ClusterError) as caught:
+            ClusterSpec.from_json('{"db": "demo:university", "shardz": 2}')
+        assert "shardz" in str(caught.value)
+
+    def test_non_object_payload_is_refused(self):
+        with pytest.raises(ClusterError):
+            ClusterSpec.from_json("[1, 2]")
+        with pytest.raises(ClusterError):
+            ClusterSpec.from_json("{not json")
+
+    def test_loaded_database_object_is_not_serialisable(self):
+        from repro.relational import Database
+
+        spec = ClusterSpec(db=Database("inmem"))
+        with pytest.raises(ClusterError) as caught:
+            spec.to_json()
+        assert "db" in str(caught.value)
+
+    def test_from_json_file(self, tmp_path):
+        spec = ClusterSpec(db="demo:university", workers=2)
+        path = tmp_path / "cluster.json"
+        path.write_text(spec.to_json())
+        assert ClusterSpec.from_json_file(str(path)) == spec

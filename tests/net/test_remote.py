@@ -1,0 +1,180 @@
+"""RemoteReplica: a ReplicaSet front end balancing over HTTP servers.
+
+Topology under test: one live primary writing a WAL, two follower
+clusters tailing it — each behind a real loopback HttpServer — and a
+replicated front-end Cluster whose spec names the two server URLs.
+The front end must balance, read epochs from ``/v1/health``, honor
+per-request consistency, and fail over when a remote goes away.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.cluster import Cluster, ClusterSpec, QueryRequest
+from repro.net import HttpServer, NetConfig, RemoteReplica
+
+TOKEN = "remote-secret"
+
+
+@pytest.fixture()
+def remote_pair(tmp_path):
+    """(primary, [servers], front) — everything torn down after."""
+    wal = str(tmp_path / "wal")
+    primary = Cluster(
+        ClusterSpec(db="demo:university", live=True, wal_path=wal)
+    )
+    followers, servers = [], []
+    for _ in range(2):
+        follower = Cluster(
+            ClusterSpec(db="demo:university", follow=True, wal_path=wal)
+        ).start()
+        server = HttpServer(
+            follower, NetConfig(tokens=(TOKEN,))
+        ).start_background()
+        followers.append(follower)
+        servers.append(server)
+    front = Cluster(
+        ClusterSpec(
+            db="demo:university",
+            topology="replicated",
+            remote_replicas=tuple(s.url for s in servers),
+            remote_token=TOKEN,
+            wal_path=wal,
+        )
+    )
+    try:
+        yield primary, servers, front
+    finally:
+        front.close()
+        for server in servers:
+            server.stop()
+        for follower in followers:
+            follower.close()
+        primary.close()
+
+
+def _wait_for_epoch(front, epoch, timeout=8.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        handles = front.backend._handles
+        if all(h.applied_epoch >= epoch for h in handles):
+            return
+        time.sleep(0.1)
+    raise AssertionError(f"remote replicas never reached epoch {epoch}")
+
+
+class TestRemoteReplicaSet:
+    def test_backend_is_remote_and_balances(self, remote_pair):
+        _primary, _servers, front = remote_pair
+        assert front.backend.backend == "remote"
+        served = [
+            front.query(QueryRequest("alice seminar", k=2)).replica
+            for _ in range(4)
+        ]
+        assert set(served) == {0, 1}
+
+    def test_remote_answers_match_the_primary(self, remote_pair):
+        primary, _servers, front = remote_pair
+        reference = [
+            (a.tree.root, round(a.relevance, 9))
+            for a in primary.query(QueryRequest("alice seminar", k=3)).answers
+        ]
+        for _ in range(2):  # one read per remote
+            result = front.query(QueryRequest("alice seminar", k=3))
+            assert [
+                (a.tree.root, round(a.relevance, 9)) for a in result.answers
+            ] == reference
+
+    def test_writes_flow_through_the_wal(self, remote_pair):
+        primary, _servers, front = remote_pair
+        planted = primary.insert(
+            "student", ["S950", "Remote Freshness", "BIGDEPT"]
+        )
+        _wait_for_epoch(front, 1)
+        result = front.query(
+            QueryRequest(
+                "remote freshness",
+                k=3,
+                consistency="bounded_staleness",
+                staleness_bound=0,
+            )
+        )
+        assert any(a.tree.root == planted for a in result.answers)
+        assert result.epoch >= 1
+
+    def test_failover_to_the_surviving_remote(self, remote_pair):
+        _primary, servers, front = remote_pair
+        servers[0].stop()
+        for _ in range(4):
+            result = front.query(QueryRequest("alice seminar", k=2))
+            assert result.replica in (1, None)
+
+    def test_monotonic_reads_over_http(self, remote_pair):
+        primary, _servers, front = remote_pair
+        primary.insert("student", ["S951", "Floor Remote", "BIGDEPT"])
+        _wait_for_epoch(front, 1)
+        floor = front.query(
+            QueryRequest("alice seminar", k=2, consistency="primary")
+        ).epoch
+        result = front.query(
+            QueryRequest("alice seminar", k=2, consistency="monotonic_reads")
+        )
+        assert result.epoch >= min(floor, 1)
+
+
+class TestRemoteReplicaUnit:
+    def test_health_backed_epoch_and_liveness(self, remote_pair):
+        _primary, servers, _front = remote_pair
+        replica = RemoteReplica(servers[0].url, index=0, token=TOKEN)
+        assert replica.alive
+        assert replica.applied_epoch == 0
+        replica.kill()
+        assert not replica.alive
+        from repro.errors import ClusterError
+
+        with pytest.raises(ClusterError):
+            replica.search_scored("alice")
+
+    def test_transport_failure_is_a_cluster_error(self):
+        from repro.errors import ClusterError
+
+        replica = RemoteReplica("http://127.0.0.1:9")  # discard port
+        with pytest.raises(ClusterError):
+            replica.search_scored("alice")
+        assert not replica.alive
+        assert replica.applied_epoch == 0
+
+
+class TestSpecValidation:
+    def test_remote_replicas_need_replicated_topology(self):
+        from repro.errors import ClusterError
+
+        with pytest.raises(ClusterError):
+            ClusterSpec(
+                db="demo:university",
+                remote_replicas=("http://127.0.0.1:8001",),
+            )
+
+    def test_remote_replicas_conflict_with_local_replicas(self):
+        from repro.errors import ClusterError
+
+        with pytest.raises(ClusterError):
+            ClusterSpec(
+                db="demo:university",
+                topology="replicated",
+                replicas=2,
+                remote_replicas=("http://127.0.0.1:8001",),
+            )
+
+    def test_remote_urls_must_be_http(self):
+        from repro.errors import ClusterError
+
+        with pytest.raises(ClusterError):
+            ClusterSpec(
+                db="demo:university",
+                topology="replicated",
+                remote_replicas=("ftp://127.0.0.1:8001",),
+            )

@@ -490,7 +490,7 @@ class TestCliIntegration:
 
     def test_serve_check_without_engine(self):
         status, output = self.run_cli(
-            "serve", "demo:university", "--check", "--no-engine"
+            "serve", "demo:university", "--check", "--inline"
         )
         assert status == 0
         assert "metrics" not in output

@@ -460,36 +460,25 @@ def tiny_cluster_db():
     return database
 
 
-class TestDeprecatedReplicaGauges:
-    def test_old_series_still_emit_but_warn_once(self, tiny_cluster_db):
+class TestRemovedReplicaGaugeAliases:
+    def test_only_labelled_series_remain(self, tiny_cluster_db):
+        """The one-release ``replica{i}_*`` alias gauges are gone:
+        snapshots carry only the labelled series, with no warnings."""
+        import warnings as warnings_module
+
         from repro.cluster import Cluster, ClusterSpec
 
         spec = ClusterSpec(
             topology="replicated", replicas=2, replica_backend="thread"
         )
         with Cluster(spec, database=tiny_cluster_db) as cluster:
-            with pytest.warns(
-                DeprecationWarning,
-                match=r"metric replica0_lag_epochs is deprecated",
-            ):
+            with warnings_module.catch_warnings():
+                warnings_module.simplefilter("error", DeprecationWarning)
                 snapshot = cluster.metrics.snapshot()
-            # Old and new series report the same value.
-            assert snapshot["replica0_lag_epochs"] == (
-                snapshot['replica_lag_epochs{replica="0"}']
-            )
-            assert "replica1_served_total" in snapshot
-            # The warning fires once per series, not once per read.
-            import warnings as warnings_module
-
-            with warnings_module.catch_warnings(record=True) as caught:
-                warnings_module.simplefilter("always")
-                cluster.metrics.snapshot()
-            assert not [
-                w
-                for w in caught
-                if issubclass(w.category, DeprecationWarning)
-                and "metric replica" in str(w.message)
-            ]
+            assert 'replica_lag_epochs{replica="0"}' in snapshot
+            assert 'replica_served_total{replica="1"}' in snapshot
+            assert "replica0_lag_epochs" not in snapshot
+            assert "replica1_served_total" not in snapshot
 
 
 class TestConcurrentRegistry:

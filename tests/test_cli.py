@@ -123,7 +123,7 @@ class TestCommands:
 
 
 class TestWalCommands:
-    """The durable-log surface: serve --wal/--replica and recover."""
+    """The durable-log surface: serve --wal/--follow and recover."""
 
     def _write_epochs(self, wal: str) -> None:
         """Publish a few mutation epochs for demo:university into a
@@ -160,11 +160,11 @@ class TestWalCommands:
         assert status == 0
         assert "recovered 2 epoch(s)" in output
 
-    def test_serve_replica_check(self, tmp_path):
+    def test_serve_follow_check(self, tmp_path):
         wal = str(tmp_path / "wal")
         self._write_epochs(wal)
         status, output = run_cli(
-            "serve", "demo:university", "--check", "--replica", "--wal", wal
+            "serve", "demo:university", "--check", "--follow", "--wal", wal
         )
         assert status == 0
         assert "replica caught up: 2 epoch(s) applied, lag 0" in output
@@ -186,19 +186,19 @@ class TestWalCommands:
 
     def test_wal_flag_combinations_are_validated(self, tmp_path):
         wal = str(tmp_path / "wal")
-        # --replica without --wal
-        assert run_cli("serve", "demo:university", "--check", "--replica")[0] == 1
-        # --replica combined with another serving mode (it would be
+        # --follow without --wal
+        assert run_cli("serve", "demo:university", "--check", "--follow")[0] == 1
+        # --follow combined with another serving mode (it would be
         # silently ignored and serve stale base data forever)
-        for conflict in ("--shards", "--live", "--no-engine"):
+        for conflict in ("--shards", "--live", "--inline"):
             argv = [
                 "serve", "demo:university", "--check",
-                "--replica", "--wal", wal, conflict,
+                "--follow", "--wal", wal, conflict,
             ]
             if conflict == "--shards":
                 argv.append("2")
             assert run_cli(*argv)[0] == 1
-        # --wal without --live/--replica
+        # --wal without --live/--follow
         assert (
             run_cli("serve", "demo:university", "--check", "--wal", wal)[0]
             == 1

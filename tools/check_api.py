@@ -51,6 +51,25 @@ PUBLIC_API: Dict[str, Tuple[str, ...]] = {
         "TOPOLOGIES",
         "run_replicaset_benchmark",
     ),
+    "repro.net": (
+        "BanksClient",
+        "HttpServer",
+        "NetBenchReport",
+        "NetConfig",
+        "RateLimiter",
+        "RemoteReplica",
+        "TokenAuth",
+        "WIRE_VERSION",
+        "WireQuery",
+        "decode_request",
+        "encode_answer",
+        "encode_result",
+        "run_net_benchmark",
+        "serve_http",
+        "sse_event",
+        "tree_from_wire",
+        "tree_to_wire",
+    ),
     "repro.obs": (
         "EventLog",
         "Observability",
