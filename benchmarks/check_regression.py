@@ -42,6 +42,9 @@ RATIO_METRICS = (
     "speedup_write_batch1",
     "speedup_write_batch8",
     "speedup_replicaset",
+    # CSR search kernel vs the dict-of-dicts reference
+    # (BENCH_kernel.json): median per-query latency ratio.
+    "speedup_kernel",
 )
 
 #: Correctness metrics gated as "must not drop below baseline".
@@ -79,6 +82,10 @@ FLOOR_METRICS = (
     # stay free when disabled — bench_serve.py asserts the off/on
     # throughput ratio >= 0.95.
     "obs_overhead_ok",
+    # CSR-kernel floor (BENCH_kernel.json): the frozen facade must
+    # reproduce the reference facade's top-5 (roots and scores,
+    # float-equal) on every DEMO_QUERIES entry of both datasets.
+    "kernel_parity",
 )
 
 

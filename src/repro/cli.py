@@ -40,6 +40,9 @@ Commands::
     banks bench-net DB                 HTTP-tier benchmark (wire parity,
                                        time-to-first-answer over SSE,
                                        end-to-end QPS)
+    banks bench-kernel DB              CSR search-kernel benchmark (median
+                                       latency vs the reference kernel,
+                                       strict top-k parity)
 
 ``banks serve`` stands the deployment up through the cluster layer
 (:mod:`repro.cluster`): the flags translate into one declarative
@@ -702,6 +705,28 @@ def _command_bench_net(args: argparse.Namespace, out) -> int:
     return 0 if report.ok else 1
 
 
+def _command_bench_kernel(args: argparse.Namespace, out) -> int:
+    from repro.core.kernelbench import run_kernel_benchmark
+    from repro.datasets import DEMO_QUERY_SETS
+
+    database = load_database(args.db)
+    queries = args.queries or DEMO_QUERY_SETS.get(database.name)
+    if not queries:
+        raise ReproError(
+            f"no benchmark query set for database {database.name!r}; "
+            "pass one or more --query options"
+        )
+    report = run_kernel_benchmark(
+        database,
+        queries,
+        dataset=args.db,
+        k=args.max_results,
+        repeats=args.repeats,
+    )
+    print(report.render(), file=out)
+    return 0 if report.parity == 1.0 else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="banks",
@@ -1141,6 +1166,26 @@ def build_parser() -> argparse.ArgumentParser:
         "-k", "--max-results", type=int, default=5, dest="max_results"
     )
     bench_net.set_defaults(run=_command_bench_net)
+
+    bench_kernel = commands.add_parser(
+        "bench-kernel",
+        help="CSR search-kernel benchmark: median latency vs the "
+        "dict-of-dicts reference kernel, strict top-k parity",
+    )
+    bench_kernel.add_argument("db")
+    bench_kernel.add_argument("--repeats", type=int, default=3)
+    bench_kernel.add_argument(
+        "--query",
+        action="append",
+        dest="queries",
+        metavar="QUERY",
+        help="benchmark query (repeatable; default: the dataset's "
+        "demo query set)",
+    )
+    bench_kernel.add_argument(
+        "-k", "--max-results", type=int, default=5, dest="max_results"
+    )
+    bench_kernel.set_defaults(run=_command_bench_kernel)
     return parser
 
 

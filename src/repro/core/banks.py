@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 from time import perf_counter
-from typing import Dict, List, Optional, Set, Union
+from typing import Dict, Iterator, List, Optional, Set, Union
 
 from repro.core.answer import AnswerTree
 from repro.core.bidirectional import bidirectional_search
@@ -33,6 +33,7 @@ from repro.core.search import (
 )
 from repro.core.summarize import structure_signature, summarize_answers
 from repro.core.weights import WeightPolicy
+from repro.graph.csr import freeze_graph
 from repro.relational.database import Database, RID
 from repro.text.inverted_index import InvertedIndex
 
@@ -111,6 +112,14 @@ class BANKS:
             (``writes``, ``cites``, ...) as information nodes — the
             paper's "selected set" restriction, derived automatically
             from the catalog.
+        freeze: snapshot the built graph into the compact CSR form
+            (:mod:`repro.graph.csr`) and search through the array
+            kernel.  The facade's graph becomes a
+            :class:`~repro.graph.csr.CSROverlayGraph` — same read and
+            mutation surface as :class:`~repro.graph.digraph.DiGraph`,
+            answers bit-identical, roughly half the latency.  Pass
+            ``False`` to keep the dict-of-dicts reference
+            representation (the parity benchmark does).
     """
 
     def __init__(
@@ -122,6 +131,7 @@ class BANKS:
         include_metadata: bool = True,
         fuzzy: bool = False,
         auto_exclude_link_roots: bool = True,
+        freeze: bool = True,
     ):
         self.database = database
         self.weight_policy = weight_policy or WeightPolicy()
@@ -136,6 +146,8 @@ class BANKS:
             )
 
         self.graph, self.stats = build_data_graph(database, self.weight_policy)
+        if freeze:
+            self.graph = freeze_graph(self.graph)
         self.index = InvertedIndex(database)
         self.scorer = Scorer(self.stats, self.scoring)
 
@@ -151,6 +163,78 @@ class BANKS:
             include_metadata=self.include_metadata,
             fuzzy=self.fuzzy,
         )
+
+    def search_iter(
+        self,
+        query: Union[str, ParsedQuery],
+        max_results: Optional[int] = None,
+        scoring: Optional[ScoringConfig] = None,
+        trace=None,
+        trace_parent=None,
+        profile=None,
+        **config_overrides,
+    ) -> Iterator[Answer]:
+        """Stream answers as the backward expansion emits them.
+
+        The answer-iterator protocol: a generator of :class:`Answer`
+        in emission order — the same answers :meth:`search` returns, in
+        the same order, but available one at a time while the kernel is
+        still expanding.  Early termination is first-class: abandoning
+        the iterator (``break``) closes the underlying kernel generator
+        and stops the expansion; nothing beyond the consumed prefix is
+        computed.  :meth:`search` and the SSE streaming tier are both
+        built on this.
+
+        Args: as :meth:`search`, minus ``bidirectional`` (that kernel
+        produces its list at once — nothing to stream) and
+        ``on_answer`` (the iterator *is* the stream).
+        """
+        resolve_span = (
+            trace.begin("search.resolve", parent_id=trace_parent)
+            if trace is not None
+            else None
+        )
+        keyword_node_sets = self.resolve(query)
+        if resolve_span is not None:
+            resolve_span.attrs["terms"] = len(keyword_node_sets)
+            trace.end(resolve_span)
+        config = self.search_config
+        if max_results is not None:
+            config_overrides["max_results"] = max_results
+        if config_overrides:
+            config = replace(config, **config_overrides)
+        scorer = (
+            self.scorer if scoring is None else self.scorer.with_config(scoring)
+        )
+        kernel_span = (
+            trace.begin(
+                "search.kernel", parent_id=trace_parent, bidirectional=False
+            )
+            if trace is not None
+            else None
+        )
+        kernel_start = perf_counter() if profile is not None else 0.0
+        emitted = 0
+        try:
+            for s in backward_expanding_search(
+                self.graph, keyword_node_sets, scorer, config,
+                profile=profile,
+            ):
+                yield Answer(s.tree, s.relevance, emitted, self)
+                emitted += 1
+        finally:
+            # Runs on exhaustion AND on early abandonment (generator
+            # close), so spans and timings cover exactly the expansion
+            # work actually performed.
+            if profile is not None:
+                profile.expansion_seconds += perf_counter() - kernel_start
+            if kernel_span is not None:
+                kernel_span.attrs["answers"] = emitted
+                if profile is not None:
+                    kernel_span.attrs["heap_pops"] = profile.heap_pops
+                    kernel_span.attrs["nodes_expanded"] = profile.nodes_expanded
+                    kernel_span.attrs["edges_relaxed"] = profile.edges_relaxed
+                trace.end(kernel_span)
 
     def search(
         self,
@@ -191,6 +275,25 @@ class BANKS:
         Returns:
             Ranked answers (rank 0 = best).
         """
+        if not bidirectional:
+            # The backward path is the answer-iterator protocol, drained:
+            # each answer reaches the callback while the expansion is
+            # still running — the hook the SSE streaming tier hangs off.
+            answers: List[Answer] = []
+            for answer in self.search_iter(
+                query,
+                max_results=max_results,
+                scoring=scoring,
+                trace=trace,
+                trace_parent=trace_parent,
+                profile=profile,
+                **config_overrides,
+            ):
+                if on_answer is not None:
+                    on_answer(answer)
+                answers.append(answer)
+            return answers
+
         resolve_span = (
             trace.begin("search.resolve", parent_id=trace_parent)
             if trace is not None
@@ -209,39 +312,18 @@ class BANKS:
 
         kernel_span = (
             trace.begin(
-                "search.kernel",
-                parent_id=trace_parent,
-                bidirectional=bool(bidirectional),
+                "search.kernel", parent_id=trace_parent, bidirectional=True
             )
             if trace is not None
             else None
         )
         kernel_start = perf_counter() if profile is not None else 0.0
-        if bidirectional:
-            scored = bidirectional_search(
-                self.graph, keyword_node_sets, scorer, config, profile=profile
-            )
-            if on_answer is not None:
-                for rank, s in enumerate(scored):
-                    on_answer(Answer(s.tree, s.relevance, rank, self))
-        elif on_answer is not None:
-            # Drain the kernel generator one emission at a time so each
-            # answer reaches the callback while the expansion is still
-            # running — the hook the SSE streaming tier hangs off.
-            scored = []
-            for s in backward_expanding_search(
-                self.graph, keyword_node_sets, scorer, config,
-                profile=profile,
-            ):
-                on_answer(Answer(s.tree, s.relevance, len(scored), self))
-                scored.append(s)
-        else:
-            scored = list(
-                backward_expanding_search(
-                    self.graph, keyword_node_sets, scorer, config,
-                    profile=profile,
-                )
-            )
+        scored = bidirectional_search(
+            self.graph, keyword_node_sets, scorer, config, profile=profile
+        )
+        if on_answer is not None:
+            for rank, s in enumerate(scored):
+                on_answer(Answer(s.tree, s.relevance, rank, self))
         if profile is not None:
             profile.expansion_seconds += perf_counter() - kernel_start
         if kernel_span is not None:

@@ -41,6 +41,7 @@ from repro.core.search import (
     _discard_single_child_root,
     backward_expanding_search,
 )
+from repro.graph.csr import dijkstra_for
 from repro.graph.digraph import DiGraph
 from repro.graph.dijkstra import DijkstraIterator
 
@@ -105,8 +106,11 @@ def bidirectional_search(
         for node in keyword_node_sets[term_index]:
             terms_of_origin.setdefault(node, []).append(term_index)
 
+    # dijkstra_for picks the array-backed iterator on a frozen/overlay
+    # graph and the reference dict iterator otherwise — both expose the
+    # same peek/next/path_to_source surface this loop multiplexes.
     iterators: Dict[Node, DijkstraIterator] = {
-        origin: DijkstraIterator(
+        origin: dijkstra_for(
             graph, origin, reverse=True, max_distance=config.max_distance
         )
         for origin in terms_of_origin
@@ -165,7 +169,7 @@ def bidirectional_search(
     order = itertools.count()
 
     for root in candidates:
-        forward = DijkstraIterator(
+        forward = dijkstra_for(
             graph, root, reverse=False, max_distance=config.max_distance
         )
         if profile is not None:

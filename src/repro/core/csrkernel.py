@@ -1,0 +1,501 @@
+"""Backward expanding search over the frozen CSR graph.
+
+This is :func:`repro.core.search.backward_expanding_search` rewritten
+for :class:`repro.graph.csr.CSRGraph`: the algorithm, heuristics and
+emission semantics are identical (the kernel parity benchmark asserts
+strict top-k equality of roots *and* scores on every demo query), but
+the hot loops run on dense int node ids and contiguous arrays:
+
+* one distance/parent/parent-weight array triple per keyword-node
+  lane instead of per-iterator dicts — relaxation is two array probes;
+* flat two-tuple heap entries ``(distance, counter * N + node)`` for
+  both the per-lane heaps and the multiplexer (the packed int
+  reproduces the reference ``(distance, counter, origin)`` tie-break
+  exactly, since counters are unique);
+* candidate trees are built as int parent maps and scored from the
+  parent-edge weights captured during relaxation — no
+  ``graph.edge_weight`` probes, no :class:`AnswerTree` allocation for
+  the overwhelming majority of candidates that the single-child-root
+  rule or the output heap discards.  Trees materialise to real
+  :class:`AnswerTree` objects only at emission, in the same dict
+  insertion order the reference builds them (``AnswerTree.weight``
+  sums in that order, so even the float arithmetic matches);
+* edge/node score normalisations are memoised per query, seeded from
+  the snapshot's precomputed ``log2(1 + w/w_min)`` table whenever the
+  live normaliser still equals the frozen one.
+
+Overlay rows (:class:`repro.graph.csr.CSROverlayGraph`) are consulted
+before the arrays, so a forked, delta-mutated graph searches correctly
+without re-freezing — at dict speed only for the touched rows.
+
+``SearchProfile`` counters fill at exactly the reference points, every
+increment behind the same ``is not None`` guard.
+"""
+
+from __future__ import annotations
+
+import itertools
+from heapq import heappop, heappush
+from operator import itemgetter
+from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import EmptyQueryError, GraphError
+from repro.core.answer import AnswerTree
+from repro.core.scoring import Scorer
+from repro.graph.csr import CSRGraph
+
+#: An unscored candidate: (root, child -> parent, keyword nodes,
+#: (parent, child) -> weight) — all dense int node ids.
+_IntTree = Tuple[int, Dict[int, int], Tuple[Optional[int], ...], Dict]
+
+
+def csr_backward_search(
+    graph: CSRGraph,
+    keyword_node_sets: Sequence[Set],
+    scorer: Scorer,
+    config=None,
+    profile=None,
+) -> Iterator:
+    """Generate answers incrementally over a CSR graph — the array twin
+    of :func:`repro.core.search.backward_expanding_search` (see that
+    docstring for the algorithm; only the representation differs)."""
+    from repro.core.search import ScoredAnswer, SearchConfig, _OutputHeap
+
+    config = config or SearchConfig()
+    term_count = len(keyword_node_sets)
+    if term_count == 0:
+        raise EmptyQueryError("no search terms")
+
+    index = graph._index
+    ids = graph._ids
+    reprs = graph._reprs
+    tables = graph._tables
+
+    groups = [
+        {node for node in group if node in index}
+        for group in keyword_node_sets
+    ]
+    if config.require_all_keywords and any(not group for group in groups):
+        return  # some keyword matches nothing: no complete answer exists
+
+    # Same origin ordering as the reference: per term, sorted by repr;
+    # dict insertion order then fixes lane numbering and every heap
+    # tie-break downstream.
+    terms_of_origin: Dict[int, List[int]] = {}
+    for term_index, group in enumerate(groups):
+        for node in sorted(group, key=repr):
+            terms_of_origin.setdefault(index[node], []).append(term_index)
+    if not terms_of_origin:
+        return
+
+    over_nw = graph._over_nw
+    base_nw = graph._node_weights
+    if over_nw:
+
+        def nw(i: int) -> float:
+            weight = over_nw.get(i)
+            return base_nw[i] if weight is None else weight
+
+    else:
+        nw = base_nw.__getitem__
+
+    max_node_weight = graph.max_node_weight() if len(index) else 1.0
+    if max_node_weight <= 0:
+        max_node_weight = 1.0
+
+    n_total = len(ids)
+    over_pred = graph._over_pred
+    pred_off = graph._pred_off
+    pred_to = graph._pred_to
+    pred_w = graph._pred_w
+    base_n = len(pred_off) - 1
+    max_distance = config.max_distance
+    inf = float("inf")
+
+    # -- lanes: one array-backed Dijkstra per origin -----------------------
+    lane_of: Dict[int, int] = {}
+    origins: List[int] = []
+    dists: List = []
+    parents: List = []
+    parws: List = []
+    settleds: List[bytearray] = []
+    heaps: List[List[Tuple[float, int]]] = []
+    counters: List[int] = []
+    from array import array
+
+    inf_template = array("d", [inf])
+    parent_template = array("q", [-1])
+    zero_bytes = bytes(8 * n_total)
+    lane_count = len(terms_of_origin)
+    multiplexer: List[Tuple[float, int]] = []
+    mcount = 0
+    scale = config.origin_distance_scale
+    for origin in terms_of_origin:
+        lane = len(heaps)
+        lane_of[origin] = lane
+        origins.append(origin)
+        offset = 0.0
+        if scale > 0.0:
+            prestige = nw(origin) / max_node_weight
+            offset = scale * (1.0 - prestige)
+        dist = inf_template * n_total
+        dist[origin] = offset
+        dists.append(dist)
+        parents.append(parent_template * n_total)
+        parws.append(array("d", zero_bytes))
+        settled = bytearray(n_total)
+        settleds.append(settled)
+        heap = [(offset, origin)]
+        heaps.append(heap)
+        counters.append(1)
+        # initial peek (reference: iterator.peek() before first push)
+        while heap:
+            peek_distance, packed = heap[0]
+            if settled[packed % n_total]:
+                heappop(heap)
+                continue
+            if max_distance is not None and peek_distance > max_distance:
+                heap.clear()
+                continue
+            heappush(multiplexer, (peek_distance, mcount * lane_count + lane))
+            mcount += 1
+            break
+    if profile is not None:
+        profile.iterators += lane_count
+
+    # -- per-query score memos ---------------------------------------------
+    if (
+        scorer.config.edge_log
+        and scorer.stats.min_edge_weight == graph.frozen_min_edge_weight
+    ):
+        esn_memo: Dict[float, float] = dict(graph.frozen_edge_norms)
+    else:
+        esn_memo = {}
+    edge_score_norm = scorer.edge_score_norm
+    nsn_memo: Dict[int, float] = {}
+    node_score_norm = scorer.node_score_norm
+    require_all = config.require_all_keywords
+
+    def relevance_of(tree: _IntTree) -> float:
+        root, _parent, keyword_nodes, edge_weights = tree
+        total = 0
+        if edge_weights:
+            pairs = [
+                ("(%s, %s)" % (reprs[s], reprs[t]), w)
+                for (s, t), w in edge_weights.items()
+            ]
+            pairs.sort(key=itemgetter(0))
+            for _key, weight in pairs:
+                norm = esn_memo.get(weight)
+                if norm is None:
+                    norm = edge_score_norm(weight)
+                    esn_memo[weight] = norm
+                total = total + norm
+        norms = nsn_memo.get(root)
+        if norms is None:
+            norms = node_score_norm(nw(root))
+            nsn_memo[root] = norms
+        scores = [norms]
+        covered = 0
+        for keyword_node in keyword_nodes:
+            if keyword_node is None:
+                scores.append(0.0)
+            else:
+                covered += 1
+                norm = nsn_memo.get(keyword_node)
+                if norm is None:
+                    norm = node_score_norm(nw(keyword_node))
+                    nsn_memo[keyword_node] = norm
+                scores.append(norm)
+        score = scorer.relevance_parts(total, scores)
+        if not require_all and term_count:
+            score *= (covered / term_count) ** 2
+        return score
+
+    def materialize(tree: _IntTree) -> AnswerTree:
+        root, parent, keyword_nodes, edge_weights = tree
+        return AnswerTree(
+            ids[root],
+            {ids[c]: ids[p] for c, p in parent.items()},
+            tuple(None if k is None else ids[k] for k in keyword_nodes),
+            {(ids[s], ids[t]): w for (s, t), w in edge_weights.items()},
+        )
+
+    # -- dedup + output heap (identical machinery, int keys) ---------------
+    visit_lists: Dict[int, List[List[int]]] = {}
+    output = _OutputHeap(config.output_heap_size)
+    emitted_keys: Set[FrozenSet] = set()
+    emitted_count = 0
+    visited_budget = config.max_visited
+    max_results = config.max_results
+    excluded_tables = config.excluded_root_tables
+    excluded_nodes = config.excluded_root_nodes
+    allowed_nodes = config.allowed_root_nodes
+
+    def consider(tree: _IntTree):
+        nonlocal emitted_count
+        if profile is not None:
+            profile.trees_considered += 1
+        root, parent, _keyword_nodes, _edge_weights = tree
+        key = frozenset(
+            (
+                frozenset(parent) | {root},
+                frozenset(frozenset(pair) for pair in _edge_weights),
+            )
+        )
+        if key in emitted_keys:
+            if profile is not None:
+                profile.duplicate_trees += 1
+            return None
+        relevance = relevance_of(tree)
+        existing = output.get_relevance(key)
+        if existing is not None:
+            if relevance <= existing:
+                return None
+            output.remove(key)
+        emission = None
+        if output.full:
+            best_key, best_tree, best_relevance = output.pop_best()
+            emitted_keys.add(best_key)
+            emission = ScoredAnswer(
+                materialize(best_tree), best_relevance, emitted_count
+            )
+            emitted_count += 1
+        output.add(key, tree, relevance)
+        return emission
+
+    # -- main loop ---------------------------------------------------------
+    product = itertools.product
+    while multiplexer and emitted_count < max_results:
+        if visited_budget is not None:
+            if visited_budget <= 0:
+                break
+            visited_budget -= 1
+
+        _distance, packed = heappop(multiplexer)
+        lane = packed % lane_count
+        if profile is not None:
+            profile.heap_pops += 1
+
+        # settle the lane's next node (inlined CSRDijkstra.next_index)
+        heap = heaps[lane]
+        settled = settleds[lane]
+        while heap:
+            head_distance, head_packed = heap[0]
+            if settled[head_packed % n_total]:
+                heappop(heap)
+                continue
+            if max_distance is not None and head_distance > max_distance:
+                heap.clear()
+                continue
+            break
+        if not heap:
+            continue
+        d0, packed0 = heappop(heap)
+        v = packed0 % n_total
+        settled[v] = 1
+        dist = dists[lane]
+        parent = parents[lane]
+        parw = parws[lane]
+        count = counters[lane]
+        row = over_pred.get(v)
+        if row is None and v < base_n:
+            lo = pred_off[v]
+            hi = pred_off[v + 1]
+            if profile is not None:
+                profile.edges_relaxed += hi - lo
+            for position in range(lo, hi):
+                neighbor = pred_to[position]
+                if settled[neighbor]:
+                    continue
+                candidate = d0 + pred_w[position]
+                if candidate < dist[neighbor]:
+                    dist[neighbor] = candidate
+                    parent[neighbor] = v
+                    parw[neighbor] = pred_w[position]
+                    heappush(heap, (candidate, count * n_total + neighbor))
+                    count += 1
+        elif row:
+            if profile is not None:
+                profile.edges_relaxed += len(row)
+            for neighbor, weight in row.items():
+                if settled[neighbor]:
+                    continue
+                candidate = d0 + weight
+                if candidate < dist[neighbor]:
+                    dist[neighbor] = candidate
+                    parent[neighbor] = v
+                    parw[neighbor] = weight
+                    heappush(heap, (candidate, count * n_total + neighbor))
+                    count += 1
+        counters[lane] = count
+        if profile is not None:
+            profile.nodes_expanded += 1
+
+        # re-arm the multiplexer with the lane's next distance
+        while heap:
+            head_distance, head_packed = heap[0]
+            if settled[head_packed % n_total]:
+                heappop(heap)
+                continue
+            if max_distance is not None and head_distance > max_distance:
+                heap.clear()
+                continue
+            heappush(multiplexer, (head_distance, mcount * lane_count + lane))
+            mcount += 1
+            break
+
+        lists = visit_lists.get(v)
+        if lists is None:
+            lists = [[] for _ in range(term_count)]
+            visit_lists[v] = lists
+
+        node_id = ids[v]
+        root_allowed = (
+            tables[v] not in excluded_tables
+            and node_id not in excluded_nodes
+            and (allowed_nodes is None or node_id in allowed_nodes)
+        )
+
+        origin = origins[lane]
+        path_cache: Dict[int, List[int]] = {}
+        first_hops: Set[int] = set()
+        for term_index in terms_of_origin[origin]:
+            if root_allowed:
+                pools: Optional[List[List[Optional[int]]]] = []
+                for other_term in range(term_count):
+                    if other_term == term_index:
+                        continue
+                    pool: List[Optional[int]] = list(lists[other_term])
+                    if not require_all:
+                        pool.append(None)
+                    if not pool:
+                        pools = None
+                        break
+                    pools.append(pool)
+                if pools is not None:
+                    for combo in product(*pools):
+                        assignment: List[Optional[int]] = []
+                        combo_iter = iter(combo)
+                        for position in range(term_count):
+                            if position == term_index:
+                                assignment.append(origin)
+                            else:
+                                assignment.append(next(combo_iter))
+                        # Pre-graft discard (Fig. 3 "duplicate result"):
+                        # the grafted tree's root children are a subset
+                        # of the raw first hops {parents[lane][v]}, and
+                        # the subset is exact when it has at most one
+                        # element (the first grafted path always keeps
+                        # its first hop) — so most discards need no tree
+                        # build.  Two or more distinct hops can still
+                        # collapse to one root child during grafting, so
+                        # that case falls through to the exact check.
+                        first_hops.clear()
+                        root_is_keyword = False
+                        for member in assignment:
+                            if member is None:
+                                continue
+                            hop = parents[lane_of[member]][v]
+                            if hop < 0:
+                                root_is_keyword = True
+                            else:
+                                first_hops.add(hop)
+                        if len(first_hops) == 1 and not root_is_keyword:
+                            continue
+                        tree = _build_int_tree(
+                            v,
+                            assignment,
+                            lane_of,
+                            parents,
+                            parws,
+                            path_cache,
+                        )
+                        if len(first_hops) > 1 and (
+                            _discard_single_child_root_int(tree)
+                        ):
+                            continue
+                        emission = consider(tree)
+                        if emission is not None:
+                            if profile is not None:
+                                profile.answers_emitted += 1
+                            yield emission
+                            if emitted_count >= max_results:
+                                return
+            lists[term_index].append(origin)
+
+    # Drain: remaining buffered trees in decreasing relevance.
+    while len(output) and emitted_count < max_results:
+        key, tree, relevance = output.pop_best()
+        emitted_keys.add(key)
+        if profile is not None:
+            profile.answers_emitted += 1
+        yield ScoredAnswer(materialize(tree), relevance, emitted_count)
+        emitted_count += 1
+
+
+def _build_int_tree(
+    root: int,
+    assignment: Sequence[Optional[int]],
+    lane_of: Dict[int, int],
+    parents: List,
+    parws: List,
+    path_cache: Dict[int, List[int]],
+) -> _IntTree:
+    """Union-of-paths graft, int edition of :meth:`AnswerTree.from_paths`.
+
+    Edge weights come from the parent-weight arrays captured at
+    relaxation time (the exact float ``graph.edge_weight`` would
+    return), and dict insertion order replicates the reference graft
+    order so the eventual ``AnswerTree.weight`` sums identically.
+    """
+    parent: Dict[int, int] = {}
+    in_tree = {root}
+    edge_weights: Dict[Tuple[int, int], float] = {}
+    keyword_nodes: List[Optional[int]] = []
+    for origin in assignment:
+        if origin is None:
+            keyword_nodes.append(None)
+            continue
+        lane = lane_of[origin]
+        path = path_cache.get(origin)
+        if path is None:
+            lane_parent = parents[lane]
+            path = [root]
+            current = lane_parent[root]
+            while current >= 0:
+                path.append(current)
+                current = lane_parent[current]
+            path_cache[origin] = path
+        keyword_nodes.append(path[-1])
+        graft = 0
+        for position in range(len(path) - 1, -1, -1):
+            if path[position] in in_tree:
+                graft = position
+                break
+        lane_parw = parws[lane]
+        for position in range(graft, len(path) - 1):
+            source, target = path[position], path[position + 1]
+            if target in in_tree:
+                raise GraphError(f"path re-enters the tree at {target!r}")
+            parent[target] = source
+            in_tree.add(target)
+            edge_weights[(source, target)] = lane_parw[source]
+    return (root, parent, tuple(keyword_nodes), edge_weights)
+
+
+def _discard_single_child_root_int(tree: _IntTree) -> bool:
+    """The Fig. 3 discard rule on int trees (see
+    :func:`repro.core.search._discard_single_child_root`)."""
+    root, parent, keyword_nodes, _edge_weights = tree
+    if not parent:
+        return False
+    children_of_root = 0
+    for node_parent in parent.values():
+        if node_parent == root:
+            children_of_root += 1
+            if children_of_root > 1:
+                return False
+    if children_of_root != 1:
+        return False
+    return root not in set(keyword_nodes)

@@ -114,6 +114,10 @@ class IncrementalBANKS(BANKS):
         self._refresh_stats()
         return super().search(*args, **kwargs)
 
+    def search_iter(self, *args, **kwargs):
+        self._refresh_stats()
+        return super().search_iter(*args, **kwargs)
+
     # -- copy-on-write forking -------------------------------------------------
 
     def fork(self) -> "IncrementalBANKS":

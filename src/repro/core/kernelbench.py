@@ -1,0 +1,150 @@
+"""CSR-kernel acceptance benchmark: speedup with bit-exact parity.
+
+Builds two facades over the same database — ``freeze=True`` (the
+compact CSR snapshot searched through the array kernel) and
+``freeze=False`` (the dict-of-dicts reference) — and runs a query
+battery through both:
+
+* **parity** — the top-``k`` answers must match *strictly*: same roots,
+  same relevance scores (float equality, not tolerance), same order, on
+  every query.  The kernels share one scoring arithmetic
+  (:meth:`repro.core.scoring.Scorer.relevance_parts` replicates
+  :meth:`~repro.core.scoring.Scorer.relevance` operation for
+  operation), so any drift is a bug, not noise.
+* **speedup** — ratio of median per-query latency (best of ``repeats``
+  runs each, so one GC pause cannot decide the gate).  The dimensionless
+  ratio transfers between machines; absolute latencies ride along as
+  artifacts.
+* **throughput** — answers per second for each kernel over the whole
+  battery, the figure the streaming tier experiences.
+
+``benchmarks/bench_kernel.py`` asserts the ISSUE 8 criteria on this
+report (>= 2x on the bibliography battery, parity == 1.0 everywhere)
+and records ``BENCH_kernel.json`` for the CI regression gate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from statistics import median
+from time import perf_counter
+from typing import List, Sequence, Tuple
+
+from repro.core.banks import BANKS
+
+
+@dataclass
+class KernelBenchReport:
+    """Outcome of one CSR-vs-reference measurement."""
+
+    dataset: str
+    k: int
+    repeats: int
+    parity_matched: int
+    parity_total: int
+    ref_latencies: List[float] = field(default_factory=list)
+    csr_latencies: List[float] = field(default_factory=list)
+    ref_answers: int = 0
+    csr_answers: int = 0
+    mismatches: List[str] = field(default_factory=list)
+
+    @property
+    def parity(self) -> float:
+        return self.parity_matched / max(1, self.parity_total)
+
+    @property
+    def median_ref_seconds(self) -> float:
+        return median(self.ref_latencies) if self.ref_latencies else 0.0
+
+    @property
+    def median_csr_seconds(self) -> float:
+        return median(self.csr_latencies) if self.csr_latencies else 0.0
+
+    @property
+    def speedup(self) -> float:
+        csr = self.median_csr_seconds
+        return self.median_ref_seconds / csr if csr > 0.0 else 0.0
+
+    @property
+    def ref_answers_per_second(self) -> float:
+        total = sum(self.ref_latencies)
+        return self.ref_answers / total if total > 0.0 else 0.0
+
+    @property
+    def csr_answers_per_second(self) -> float:
+        total = sum(self.csr_latencies)
+        return self.csr_answers / total if total > 0.0 else 0.0
+
+    def render(self) -> str:
+        parity = (
+            f"{self.parity_matched}/{self.parity_total} "
+            f"{'exact' if self.parity == 1.0 else 'MISMATCH'}"
+        )
+        lines = [
+            f"dataset             : {self.dataset}",
+            f"queries x repeats   : {self.parity_total} x {self.repeats}",
+            f"top-{self.k} parity        : {parity}",
+            f"median latency ref  : {self.median_ref_seconds * 1000.0:.2f} ms",
+            f"median latency csr  : {self.median_csr_seconds * 1000.0:.2f} ms",
+            f"speedup             : {self.speedup:.2f}x",
+            f"answers/sec ref     : {self.ref_answers_per_second:.0f}",
+            f"answers/sec csr     : {self.csr_answers_per_second:.0f}",
+        ]
+        lines.extend(f"  mismatch: {entry}" for entry in self.mismatches)
+        return "\n".join(lines)
+
+
+def _top_k(banks: BANKS, query: str, k: int) -> Tuple:
+    return tuple(
+        (answer.root, answer.relevance)
+        for answer in banks.search(query, max_results=k)
+    )
+
+
+def run_kernel_benchmark(
+    database,
+    queries: Sequence[str],
+    dataset: str = "",
+    k: int = 5,
+    repeats: int = 3,
+) -> KernelBenchReport:
+    """Measure the CSR kernel against the reference on one battery.
+
+    Args:
+        database: the dataset to index (both facades build from it).
+        queries: the query battery (e.g. ``DEMO_QUERY_SETS[name]``).
+        dataset: label for the report.
+        k: answers compared for parity and timed per query.
+        repeats: timing runs per query per kernel; the best is kept.
+    """
+    reference = BANKS(database, freeze=False)
+    frozen = BANKS(database, freeze=True)
+    report = KernelBenchReport(
+        dataset=dataset,
+        k=k,
+        repeats=repeats,
+        parity_matched=0,
+        parity_total=len(queries),
+    )
+    for query in queries:
+        ref_top = _top_k(reference, query, k)
+        csr_top = _top_k(frozen, query, k)
+        if ref_top == csr_top:
+            report.parity_matched += 1
+        else:
+            report.mismatches.append(
+                f"{query!r}: ref={ref_top} csr={csr_top}"
+            )
+        report.ref_answers += len(ref_top)
+        report.csr_answers += len(csr_top)
+        best_ref = best_csr = float("inf")
+        for _ in range(repeats):
+            start = perf_counter()
+            _top_k(reference, query, k)
+            best_ref = min(best_ref, perf_counter() - start)
+            start = perf_counter()
+            _top_k(frozen, query, k)
+            best_csr = min(best_csr, perf_counter() - start)
+        report.ref_latencies.append(best_ref)
+        report.csr_latencies.append(best_csr)
+    return report

@@ -157,6 +157,30 @@ class Scorer:
         node_part = node_score**lam if lam > 0.0 else 1.0
         return edge_part * node_part
 
+    def relevance_parts(
+        self, edge_total: float, node_norms: List[float]
+    ) -> float:
+        """Relevance from precomputed components — the CSR kernel's
+        entry point.
+
+        ``edge_total`` is the sum of :meth:`edge_score_norm` over the
+        tree's edges *in sorted order* and ``node_norms`` the
+        :meth:`node_score_norm` list for root + keyword leaves (0.0 for
+        uncovered terms).  The arithmetic below replicates
+        :meth:`edge_score` / :meth:`node_score` / :meth:`relevance`
+        operation for operation, so a tree scored through either path
+        produces the identical float — the bit-exactness the kernel
+        parity gate depends on.
+        """
+        edge_score = 1.0 / (1.0 + edge_total)
+        node_score = sum(node_norms) / len(node_norms)
+        lam = self.config.lambda_weight
+        if self.config.combination == "additive":
+            return (1.0 - lam) * edge_score + lam * node_score
+        edge_part = edge_score ** (1.0 - lam) if lam < 1.0 else 1.0
+        node_part = node_score**lam if lam > 0.0 else 1.0
+        return edge_part * node_part
+
     def with_config(self, config: ScoringConfig) -> "Scorer":
         return Scorer(self.stats, config)
 

@@ -187,6 +187,14 @@ def backward_expanding_search(
 ) -> Iterator[ScoredAnswer]:
     """Generate answers incrementally, approximately best-first.
 
+    Dispatches on the graph representation: a frozen
+    :class:`~repro.graph.csr.CSRGraph` (or its mutable overlay) runs
+    the array kernel (:mod:`repro.core.csrkernel`); a dict-of-dicts
+    :class:`DiGraph` runs the reference implementation below.  The two
+    are answer-for-answer identical — the kernel parity benchmark
+    gates strict top-k equality of roots and scores — so callers never
+    need to know which one they got.
+
     Args:
         graph: the data graph (forward + backward edges, weighted).
         keyword_node_sets: for each search term, the set of nodes
@@ -197,10 +205,35 @@ def backward_expanding_search(
             block; every increment is behind an ``is not None`` check,
             so the unprofiled path pays one comparison per event.
 
-    Yields:
-        :class:`ScoredAnswer` in emission order (approximately
-        decreasing relevance).
+    Returns:
+        An iterator of :class:`ScoredAnswer` in emission order
+        (approximately decreasing relevance) — the *answer-iterator
+        protocol*: advancing it runs the expansion only as far as the
+        next emission, so a satisfied top-k consumer simply stops
+        iterating and the remaining frontier is never explored.
     """
+    from repro.graph.csr import CSRGraph
+
+    if isinstance(graph, CSRGraph):
+        from repro.core.csrkernel import csr_backward_search
+
+        return csr_backward_search(
+            graph, keyword_node_sets, scorer, config, profile=profile
+        )
+    return _reference_backward_search(
+        graph, keyword_node_sets, scorer, config, profile=profile
+    )
+
+
+def _reference_backward_search(
+    graph: DiGraph,
+    keyword_node_sets: Sequence[Set[Node]],
+    scorer: Scorer,
+    config: Optional[SearchConfig] = None,
+    profile=None,
+) -> Iterator[ScoredAnswer]:
+    """The dict-of-dicts implementation — the parity reference the CSR
+    kernel is gated against, and the path non-frozen graphs take."""
     config = config or SearchConfig()
     term_count = len(keyword_node_sets)
     if term_count == 0:

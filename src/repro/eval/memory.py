@@ -62,11 +62,43 @@ def _deep_sizeof(obj: object, seen: Set[int]) -> int:
     return size
 
 
+_DICT_GRAPH_ATTRS = ("_index", "_ids", "_node_weights", "_succ", "_pred")
+_CSR_GRAPH_ATTRS = (
+    "_index",
+    "_ids",
+    "_reprs",
+    "_tables",
+    "_node_weights",
+    "_succ_off",
+    "_succ_to",
+    "_succ_w",
+    "_pred_off",
+    "_pred_to",
+    "_pred_w",
+    "_edge_norms",
+    "_over_succ",
+    "_over_pred",
+    "_over_nw",
+)
+
+
 def graph_memory_bytes(graph: DiGraph) -> MemoryReport:
-    """Deep-measure the memory footprint of ``graph``."""
+    """Deep-measure the memory footprint of ``graph``.
+
+    Handles both representations: the dict-of-dicts
+    :class:`~repro.graph.digraph.DiGraph` and the frozen CSR snapshot
+    (:mod:`repro.graph.csr`), whose adjacency lives in typed arrays
+    plus overlay dicts.  ``sys.getsizeof`` on an ``array`` already
+    reports its buffer, so no per-element recursion is needed there.
+    """
+    attributes = (
+        _CSR_GRAPH_ATTRS
+        if hasattr(graph, "_succ_off")
+        else _DICT_GRAPH_ATTRS
+    )
     seen: Set[int] = set()
     total = 0
-    for attribute in ("_index", "_ids", "_node_weights", "_succ", "_pred"):
+    for attribute in attributes:
         total += _deep_sizeof(getattr(graph, attribute), seen)
     return MemoryReport(
         total_bytes=total,

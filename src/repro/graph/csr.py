@@ -1,0 +1,942 @@
+"""Frozen CSR snapshot of the data graph, plus COW overlay forks.
+
+The dict-of-dicts :class:`~repro.graph.digraph.DiGraph` is the right
+shape for *building* the data graph — idempotent edge merges, tombstoned
+removals — but the search kernel only ever reads it, and pays dict-probe
+and tuple-churn costs on every relaxation.  This module provides the
+read-optimised twin:
+
+* :class:`CSRGraph` — an immutable compressed-sparse-row snapshot.
+  :meth:`CSRGraph.freeze` densely renumbers the live nodes (tombstone
+  slots are skipped, insertion order is preserved — adjacency order
+  feeds Dijkstra tie-breaking, so freeze/thaw must not reshuffle it)
+  and lays successor *and* predecessor adjacency out as contiguous
+  ``array`` triples ``(offsets, targets, weights)``.  Node weights,
+  the scoring normalisers and the normalised log-scaled edge scores
+  (``log2(1 + w/w_min)``, the paper's *EdgeLog* form) are precomputed
+  at freeze time.
+
+* :class:`CSROverlayGraph` — a mutable copy-on-write view over a
+  frozen base.  Delta-touched adjacency rows live in per-node overlay
+  dicts consulted *before* the arrays; untouched rows are read straight
+  from the shared base.  Forking an overlay is O(n) pointer copies
+  (the same contract as :class:`~repro.store.versioned.VersionedGraph`),
+  and mutating a fork copies only the rows it touches — so the O(delta)
+  write path, WAL replay and shard delta routing run unchanged on top
+  of a frozen graph.
+
+* :class:`CSRDijkstra` — the lazy Dijkstra iterator rewritten for the
+  arrays: per-origin distance/parent/edge-weight *arrays* instead of
+  dict probes, a flat two-tuple heap (``(distance, counter*N + node)``
+  packs the tie-break counter and node into one machine int, halving
+  per-pop allocation), and a settled bytearray.  It reproduces
+  :class:`~repro.graph.dijkstra.DijkstraIterator` exactly — same
+  relaxation order, same tie-breaks, same float arithmetic — which is
+  what the kernel parity gate (``BENCH_kernel.json``) checks
+  end-to-end.
+"""
+
+from __future__ import annotations
+
+import math
+from array import array
+from heapq import heappop as _heappop, heappush as _heappush
+from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Tuple
+
+from repro.errors import GraphError as _GraphError
+from repro.errors import UnknownNodeError as _UnknownNodeError
+
+Node = Hashable
+
+__all__ = [
+    "CSRDijkstra",
+    "CSRGraph",
+    "CSROverlayGraph",
+    "dijkstra_for",
+    "freeze_graph",
+]
+
+
+def _node_table(node: Node) -> Optional[str]:
+    if isinstance(node, tuple) and len(node) == 2 and isinstance(node[0], str):
+        return node[0]
+    return None
+
+
+class CSRGraph:
+    """An immutable CSR snapshot of a :class:`DiGraph`-shaped graph.
+
+    Exposes the full read API of :class:`~repro.graph.digraph.DiGraph`
+    (``index_of``/``successors``/``edges``/...), so scorers, stitch
+    parity checks and browse pages work unchanged.  Mutators raise:
+    call :meth:`overlay` (or :func:`repro.store.versioned.fork_graph`)
+    to get a writable copy-on-write view.
+    """
+
+    __slots__ = (
+        "_index",
+        "_ids",
+        "_reprs",
+        "_tables",
+        "_node_weights",
+        "_succ_off",
+        "_succ_to",
+        "_succ_w",
+        "_pred_off",
+        "_pred_to",
+        "_pred_w",
+        "_edge_count",
+        "_min_edge",
+        "_max_node",
+        "_edge_norms",
+        "_over_succ",
+        "_over_pred",
+        "_over_nw",
+    )
+
+    def __init__(self) -> None:
+        raise _GraphError(
+            "CSRGraph is built by CSRGraph.freeze(graph), not constructed"
+        )
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def freeze(cls, graph) -> "CSRGraph":
+        """Snapshot any DiGraph-shaped graph into CSR arrays.
+
+        Tombstone slots (``None`` entries a ``remove_node`` left behind)
+        are skipped; live nodes keep their relative insertion order, and
+        each adjacency row is laid out in the source dict's iteration
+        order — both feed heap tie-breaking, so preserving them keeps
+        rankings bit-identical across freeze/thaw.
+        """
+        snapshot = cls.__new__(cls)
+        ids: List[Node] = list(graph.nodes())
+        index: Dict[Node, int] = {node: i for i, node in enumerate(ids)}
+        snapshot._ids = ids
+        snapshot._index = index
+        snapshot._reprs = [repr(node) for node in ids]
+        snapshot._tables = [_node_table(node) for node in ids]
+        snapshot._node_weights = array(
+            "d", (graph.node_weight(node) for node in ids)
+        )
+
+        succ_off = array("q", [0])
+        succ_to = array("q")
+        succ_w = array("d")
+        for node in ids:
+            for neighbor, weight in graph.successors(node):
+                succ_to.append(index[neighbor])
+                succ_w.append(weight)
+            succ_off.append(len(succ_to))
+        pred_off = array("q", [0])
+        pred_to = array("q")
+        pred_w = array("d")
+        for node in ids:
+            for neighbor, weight in graph.predecessors(node):
+                pred_to.append(index[neighbor])
+                pred_w.append(weight)
+            pred_off.append(len(pred_to))
+        snapshot._succ_off, snapshot._succ_to, snapshot._succ_w = (
+            succ_off,
+            succ_to,
+            succ_w,
+        )
+        snapshot._pred_off, snapshot._pred_to, snapshot._pred_w = (
+            pred_off,
+            pred_to,
+            pred_w,
+        )
+        snapshot._edge_count = len(succ_to)
+
+        # Delegate the normalisers to the source graph: its max scans
+        # tombstone slots as 0.0, and scoring parity demands the exact
+        # same float the dict representation would have produced.
+        snapshot._min_edge = (
+            graph.min_edge_weight() if snapshot._edge_count else None
+        )
+        snapshot._max_node = graph.max_node_weight() if ids else None
+        edge_norms: Dict[float, float] = {}
+        if snapshot._min_edge is not None and snapshot._min_edge > 0:
+            for weight in succ_w:
+                if weight not in edge_norms:
+                    edge_norms[weight] = math.log2(
+                        1.0 + weight / snapshot._min_edge
+                    )
+        snapshot._edge_norms = edge_norms
+
+        # Empty on the frozen base; CSROverlayGraph populates them.
+        # Present here so the kernels read one shape for both classes.
+        snapshot._over_succ = {}
+        snapshot._over_pred = {}
+        snapshot._over_nw = {}
+        return snapshot
+
+    def overlay(self) -> "CSROverlayGraph":
+        """A mutable copy-on-write view over this snapshot."""
+        return CSROverlayGraph._over(self)
+
+    @property
+    def frozen_min_edge_weight(self) -> Optional[float]:
+        """The ``w_min`` normaliser captured at freeze time (``None``
+        for an edgeless graph)."""
+        return self._min_edge
+
+    @property
+    def frozen_edge_norms(self) -> Dict[float, float]:
+        """Distinct edge weight -> ``log2(1 + w/w_min)``, precomputed at
+        freeze time; the kernel seeds its per-query score memo from this
+        when the live normaliser still equals the frozen one."""
+        return self._edge_norms
+
+    # -- mutators (refused) -------------------------------------------------
+
+    def _refuse_mutation(self, *_args, **_kwargs):
+        raise _GraphError(
+            "CSRGraph is frozen; call .overlay() for a mutable view"
+        )
+
+    add_node = _refuse_mutation
+    add_edge = _refuse_mutation
+    remove_node = _refuse_mutation
+    remove_edge = _refuse_mutation
+    set_node_weight = _refuse_mutation
+
+    # -- node access --------------------------------------------------------
+
+    def index_of(self, node: Node) -> int:
+        try:
+            return self._index[node]
+        except KeyError:
+            raise _UnknownNodeError(node) from None
+
+    def id_of(self, index: int) -> Node:
+        return self._ids[index]
+
+    def has_node(self, node: Node) -> bool:
+        return node in self._index
+
+    def node_weight(self, node: Node) -> float:
+        index = self.index_of(node)
+        weight = self._over_nw.get(index)
+        if weight is not None:
+            return weight
+        return self._node_weights[index]
+
+    def nodes(self) -> Iterator[Node]:
+        return (node for node in self._ids if node is not None)
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self._index)
+
+    @property
+    def tombstone_count(self) -> int:
+        return len(self._ids) - len(self._index)
+
+    @property
+    def num_edges(self) -> int:
+        return self._edge_count
+
+    # -- index-level adjacency ---------------------------------------------
+
+    def _succ_row(self, index: int) -> Dict[int, float]:
+        row = self._over_succ.get(index)
+        if row is not None:
+            return row
+        lo, hi = self._succ_off[index], self._succ_off[index + 1]
+        return dict(zip(self._succ_to[lo:hi], self._succ_w[lo:hi]))
+
+    def _pred_row(self, index: int) -> Dict[int, float]:
+        row = self._over_pred.get(index)
+        if row is not None:
+            return row
+        lo, hi = self._pred_off[index], self._pred_off[index + 1]
+        return dict(zip(self._pred_to[lo:hi], self._pred_w[lo:hi]))
+
+    def raw_successors(self, index: int) -> Dict[int, float]:
+        return self._succ_row(index)
+
+    def raw_predecessors(self, index: int) -> Dict[int, float]:
+        return self._pred_row(index)
+
+    # -- edge access --------------------------------------------------------
+
+    def has_edge(self, source: Node, target: Node) -> bool:
+        source_index = self._index.get(source)
+        target_index = self._index.get(target)
+        if source_index is None or target_index is None:
+            return False
+        return target_index in self._succ_row(source_index)
+
+    def edge_weight(self, source: Node, target: Node) -> float:
+        source_index = self.index_of(source)
+        target_index = self.index_of(target)
+        try:
+            return self._succ_row(source_index)[target_index]
+        except KeyError:
+            raise _GraphError(f"no edge {source!r} -> {target!r}") from None
+
+    def successors(self, node: Node) -> List[Tuple[Node, float]]:
+        ids = self._ids
+        return [
+            (ids[t], w) for t, w in self._succ_row(self.index_of(node)).items()
+        ]
+
+    def predecessors(self, node: Node) -> List[Tuple[Node, float]]:
+        ids = self._ids
+        return [
+            (ids[s], w) for s, w in self._pred_row(self.index_of(node)).items()
+        ]
+
+    def out_degree(self, node: Node) -> int:
+        return len(self._succ_row(self.index_of(node)))
+
+    def in_degree(self, node: Node) -> int:
+        return len(self._pred_row(self.index_of(node)))
+
+    def edges(self) -> Iterator[Tuple[Node, Node, float]]:
+        ids = self._ids
+        for source_index in range(len(ids)):
+            source = ids[source_index]
+            for target_index, weight in self._succ_row(source_index).items():
+                yield (source, ids[target_index], weight)
+
+    # -- aggregates ---------------------------------------------------------
+
+    def min_edge_weight(self) -> float:
+        over = self._over_succ
+        if not over and self.tombstone_count == 0:
+            if self._min_edge is None:
+                raise _GraphError("graph has no edges")
+            return self._min_edge
+        # Mutated overlay: this runs on every stats refresh of the
+        # write path, so scan overlay rows as dicts and untouched rows
+        # straight off the weight array — never materialise a row.
+        best: Optional[float] = None
+        base_n = len(self._succ_off) - 1
+        offsets, weights = self._succ_off, self._succ_w
+        for index in range(len(self._ids)):
+            row = over.get(index)
+            if row is not None:
+                if not row:
+                    continue
+                candidate = min(row.values())
+            elif index < base_n:
+                lo, hi = offsets[index], offsets[index + 1]
+                if lo == hi:
+                    continue
+                candidate = min(weights[lo:hi])
+            else:
+                continue  # overlay-born node whose row was never written
+            if best is None or candidate < best:
+                best = candidate
+        if best is None:
+            raise _GraphError("graph has no edges")
+        return best
+
+    def max_node_weight(self) -> float:
+        if not self._ids:
+            raise _GraphError("graph has no nodes")
+        if not self._over_nw and self.tombstone_count == 0:
+            return self._max_node
+        # Tombstone slots count as 0.0, exactly as DiGraph's weight
+        # list does after remove_node zeroes the slot.
+        best = 0.0 if self.tombstone_count else None
+        over = self._over_nw
+        base = self._node_weights
+        for index, node in enumerate(self._ids):
+            if node is None:
+                continue
+            weight = over.get(index)
+            if weight is None:
+                weight = base[index]
+            if best is None or weight > best:
+                best = weight
+        return best
+
+    # -- utilities ----------------------------------------------------------
+
+    def subgraph(self, nodes: Iterable[Node]):
+        from repro.graph.digraph import DiGraph
+
+        wanted = set(nodes)
+        result = DiGraph()
+        for node in self.nodes():
+            if node in wanted:
+                result.add_node(node, self.node_weight(node))
+        for node in result.nodes():
+            for neighbor, weight in self.successors(node):
+                if neighbor in wanted:
+                    result.add_edge(node, neighbor, weight)
+        return result
+
+    def reversed(self):
+        from repro.graph.digraph import DiGraph
+
+        result = DiGraph()
+        for node in self.nodes():
+            result.add_node(node, self.node_weight(node))
+        for source, target, weight in self.edges():
+            result.add_edge(target, source, weight)
+        return result
+
+    def __contains__(self, node: Node) -> bool:
+        return node in self._index
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CSRGraph({self.num_nodes} nodes, {self.num_edges} edges)"
+
+
+class CSROverlayGraph(CSRGraph):
+    """A mutable copy-on-write view over a frozen :class:`CSRGraph`.
+
+    Reads consult the per-node overlay dicts first and fall back to the
+    shared base arrays; the full :class:`DiGraph` mutator surface
+    (including tombstoned ``remove_node``) is implemented by *owning* a
+    row — materialising the array slice into a dict — before touching
+    it.  :meth:`fork` is O(n) pointer copies and fork children share
+    overlay rows structurally until they write, mirroring
+    :class:`~repro.store.versioned.VersionedGraph` semantics exactly.
+    """
+
+    __slots__ = (
+        "_base",
+        "_owned_succ",
+        "_owned_pred",
+        "_live_min",
+        "_min_dirty",
+        "_live_max",
+        "_max_dirty",
+    )
+
+    @classmethod
+    def _over(cls, base: CSRGraph) -> "CSROverlayGraph":
+        view = cls.__new__(cls)
+        view._base = base
+        view._index = dict(base._index)
+        view._ids = list(base._ids)
+        view._reprs = list(base._reprs)
+        view._tables = list(base._tables)
+        view._node_weights = base._node_weights
+        view._succ_off = base._succ_off
+        view._succ_to = base._succ_to
+        view._succ_w = base._succ_w
+        view._pred_off = base._pred_off
+        view._pred_to = base._pred_to
+        view._pred_w = base._pred_w
+        view._edge_count = base._edge_count
+        view._min_edge = base._min_edge
+        view._max_node = base._max_node
+        view._edge_norms = base._edge_norms
+        view._over_succ = dict(base._over_succ)
+        view._over_pred = dict(base._over_pred)
+        view._over_nw = dict(base._over_nw)
+        view._owned_succ = set()
+        view._owned_pred = set()
+        # Live normaliser aggregates, maintained incrementally by the
+        # mutators: a full rescan happens only when the standing
+        # extremum itself is invalidated (its edge removed, its node
+        # reweighed downward), so the per-write stats refresh on the
+        # delta path stays O(1) instead of O(V + E).
+        if isinstance(base, CSROverlayGraph):
+            view._live_min = base._live_min
+            view._min_dirty = base._min_dirty
+            view._live_max = base._live_max
+            view._max_dirty = base._max_dirty
+        else:
+            view._live_min = base._min_edge
+            view._min_dirty = False
+            view._live_max = base._max_node
+            view._max_dirty = False
+        return view
+
+    def fork(self) -> "CSROverlayGraph":
+        """A child sharing the base arrays and all overlay rows; the
+        parent must not be mutated afterwards (snapshot contract)."""
+        return CSROverlayGraph._over(self)
+
+    @property
+    def base(self) -> CSRGraph:
+        """The frozen snapshot underneath (its own base for forks)."""
+        base = self._base
+        while isinstance(base, CSROverlayGraph):
+            base = base._base
+        return base
+
+    @property
+    def overlay_nodes(self) -> int:
+        """Adjacency rows living in overlay dicts rather than the
+        frozen arrays — the re-freeze signal (see docs/OPERATIONS.md)."""
+        touched = set(self._over_succ)
+        touched.update(self._over_pred)
+        return len(touched)
+
+    @property
+    def shared_nodes(self) -> int:
+        """Adjacency slots still read from shared storage (base arrays
+        or the parent's overlay rows) — mirrors
+        :attr:`VersionedGraph.shared_nodes` for tests and benchmarks."""
+        return len(self._ids) - len(self._owned_succ)
+
+    def refreeze(self) -> CSRGraph:
+        """Collapse the overlay into a fresh frozen snapshot."""
+        return CSRGraph.freeze(self)
+
+    # -- aggregates (incremental) -------------------------------------------
+
+    def min_edge_weight(self) -> float:
+        if self._min_dirty:
+            self._live_min = self._scan_min_edge()
+            self._min_dirty = False
+        if self._live_min is None:
+            raise _GraphError("graph has no edges")
+        return self._live_min
+
+    def max_node_weight(self) -> float:
+        if not self._ids:
+            raise _GraphError("graph has no nodes")
+        if self._max_dirty:
+            self._live_max = self._scan_max_node()
+            self._max_dirty = False
+        return self._live_max
+
+    def _scan_min_edge(self) -> Optional[float]:
+        over = self._over_succ
+        best: Optional[float] = None
+        base_n = self._base_n()
+        offsets, weights = self._succ_off, self._succ_w
+        for index in range(len(self._ids)):
+            row = over.get(index)
+            if row is not None:
+                if not row:
+                    continue
+                candidate = min(row.values())
+            elif index < base_n:
+                lo, hi = offsets[index], offsets[index + 1]
+                if lo == hi:
+                    continue
+                candidate = min(weights[lo:hi])
+            else:
+                continue
+            if best is None or candidate < best:
+                best = candidate
+        return best
+
+    def _scan_max_node(self) -> Optional[float]:
+        # Tombstone slots count as 0.0, exactly as DiGraph's weight
+        # list does after remove_node zeroes the slot.
+        best: Optional[float] = 0.0 if self.tombstone_count else None
+        over = self._over_nw
+        base = self._node_weights
+        for index, node in enumerate(self._ids):
+            if node is None:
+                continue
+            weight = over.get(index)
+            if weight is None:
+                weight = base[index]
+            if best is None or weight > best:
+                best = weight
+        return best
+
+    # -- ownership ----------------------------------------------------------
+
+    def _base_n(self) -> int:
+        return len(self._succ_off) - 1
+
+    def _own_succ(self, index: int) -> Dict[int, float]:
+        owned = self._owned_succ
+        row = self._over_succ.get(index)
+        if index in owned:
+            return row
+        if row is None:
+            if index < self._base_n():
+                lo, hi = self._succ_off[index], self._succ_off[index + 1]
+                row = dict(zip(self._succ_to[lo:hi], self._succ_w[lo:hi]))
+            else:
+                row = {}
+        else:
+            row = dict(row)
+        self._over_succ[index] = row
+        owned.add(index)
+        return row
+
+    def _own_pred(self, index: int) -> Dict[int, float]:
+        owned = self._owned_pred
+        row = self._over_pred.get(index)
+        if index in owned:
+            return row
+        if row is None:
+            if index < self._base_n():
+                lo, hi = self._pred_off[index], self._pred_off[index + 1]
+                row = dict(zip(self._pred_to[lo:hi], self._pred_w[lo:hi]))
+            else:
+                row = {}
+        else:
+            row = dict(row)
+        self._over_pred[index] = row
+        owned.add(index)
+        return row
+
+    # -- mutators -----------------------------------------------------------
+
+    def add_node(self, node: Node, weight: float = 0.0) -> int:
+        existing = self._index.get(node)
+        if existing is not None:
+            return existing
+        index = len(self._ids)
+        self._index[node] = index
+        self._ids.append(node)
+        self._reprs.append(repr(node))
+        self._tables.append(_node_table(node))
+        value = float(weight)
+        self._over_nw[index] = value
+        self._over_succ[index] = {}
+        self._over_pred[index] = {}
+        self._owned_succ.add(index)
+        self._owned_pred.add(index)
+        if not self._max_dirty and (
+            self._live_max is None or value > self._live_max
+        ):
+            self._live_max = value
+        return index
+
+    def add_edge(self, source: Node, target: Node, weight: float) -> None:
+        if source == target:
+            raise _GraphError(f"self loop rejected: {source!r}")
+        if weight < 0:
+            raise _GraphError(f"negative edge weight rejected: {weight!r}")
+        source_index = self.add_node(source)
+        target_index = self.add_node(target)
+        succ = self._own_succ(source_index)
+        pred = self._own_pred(target_index)
+        previous = succ.get(target_index)
+        if previous is None:
+            self._edge_count += 1
+        value = float(weight)
+        succ[target_index] = value
+        pred[source_index] = value
+        if not self._min_dirty:
+            live = self._live_min
+            if (
+                previous is not None
+                and previous == live
+                and value > previous
+            ):
+                # Overwrote (possibly the only) minimum-weight edge
+                # with something heavier: the floor must be rescanned.
+                self._min_dirty = True
+            elif live is None or value < live:
+                self._live_min = value
+
+    def remove_edge(self, source: Node, target: Node) -> None:
+        source_index = self.index_of(source)
+        target_index = self.index_of(target)
+        succ = self._own_succ(source_index)
+        if target_index not in succ:
+            raise _GraphError(f"no edge {source!r} -> {target!r}")
+        pred = self._own_pred(target_index)
+        removed = succ[target_index]
+        del succ[target_index]
+        del pred[source_index]
+        self._edge_count -= 1
+        if not self._min_dirty and removed == self._live_min:
+            self._min_dirty = True
+
+    def remove_node(self, node: Node) -> None:
+        index = self.index_of(node)
+        succ = self._own_succ(index)
+        pred = self._own_pred(index)
+        live = self._live_min
+        if (
+            not self._min_dirty
+            and live is not None
+            and live in succ.values()
+        ):
+            self._min_dirty = True
+        for target_index in list(succ):
+            del self._own_pred(target_index)[index]
+            self._edge_count -= 1
+        succ.clear()
+        for source_index in list(pred):
+            row = self._own_succ(source_index)
+            if not self._min_dirty and row[index] == live:
+                self._min_dirty = True
+            del row[index]
+            self._edge_count -= 1
+        pred.clear()
+        previous = self._current_node_weight(index)
+        self._ids[index] = None
+        self._tables[index] = None
+        self._over_nw[index] = 0.0
+        del self._index[node]
+        if not self._max_dirty:
+            if previous == self._live_max:
+                self._max_dirty = True
+            elif self._live_max is None or self._live_max < 0.0:
+                self._live_max = 0.0  # the tombstone slot counts as 0.0
+
+    def set_node_weight(self, node: Node, weight: float) -> None:
+        index = self.index_of(node)
+        previous = self._current_node_weight(index)
+        value = float(weight)
+        self._over_nw[index] = value
+        if not self._max_dirty:
+            live = self._live_max
+            if live is None or value > live:
+                self._live_max = value
+            elif previous == live and value < live:
+                self._max_dirty = True
+
+    def _current_node_weight(self, index: int) -> float:
+        weight = self._over_nw.get(index)
+        if weight is None:
+            weight = self._node_weights[index]
+        return weight
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CSROverlayGraph({self.num_nodes} nodes, {self.num_edges} "
+            f"edges, {self.overlay_nodes} overlaid)"
+        )
+
+
+def freeze_graph(graph) -> CSROverlayGraph:
+    """Freeze ``graph`` and return a mutable overlay view over it —
+    the facade-facing idiom (search reads the arrays, feedback and
+    delta replay write the overlay)."""
+    if isinstance(graph, CSROverlayGraph):
+        return graph.refreeze().overlay()
+    if isinstance(graph, CSRGraph):
+        return graph.overlay()
+    return CSRGraph.freeze(graph).overlay()
+
+
+class CSRDijkstra:
+    """Array-backed lazy Dijkstra over a :class:`CSRGraph` (or overlay).
+
+    Drop-in behavioural twin of
+    :class:`~repro.graph.dijkstra.DijkstraIterator`: one settlement per
+    :meth:`next`, :meth:`peek` exposes the next distance, parents spell
+    the path back to the source.  State lives in flat arrays — distance
+    and parent per node, a settled bytearray — and the heap holds
+    ``(distance, counter * N + node)`` two-tuples whose packed second
+    element reproduces the reference ``(distance, counter, node)``
+    ordering exactly (counters are unique, so the node never decides).
+    ``parent_weight`` additionally caches the weight of each node's
+    parent edge at relaxation time, which lets tree construction skip
+    the edge-weight lookup entirely.
+    """
+
+    __slots__ = (
+        "_graph",
+        "source",
+        "_reverse",
+        "_max_distance",
+        "_n",
+        "_source_index",
+        "_dist",
+        "_parent",
+        "_parw",
+        "_settled",
+        "_heap",
+        "_counter",
+        "relaxations",
+    )
+
+    def __init__(
+        self,
+        graph: CSRGraph,
+        source: Node,
+        reverse: bool = False,
+        initial_distance: float = 0.0,
+        max_distance: Optional[float] = None,
+    ):
+        self._graph = graph
+        self.source = source
+        self._reverse = reverse
+        self._max_distance = max_distance
+        n = len(graph._ids)
+        self._n = n
+        source_index = graph.index_of(source)
+        self._source_index = source_index
+        self._dist = array("d", [math.inf]) * n
+        self._parent = array("q", [-1]) * n
+        self._parw = array("d", bytes(8 * n))
+        self._settled = bytearray(n)
+        self._dist[source_index] = initial_distance
+        self._heap: List[Tuple[float, int]] = [
+            (initial_distance, source_index)
+        ]
+        self._counter = 1
+        self.relaxations = 0
+
+    # -- iteration ----------------------------------------------------------
+
+    def _skim(self) -> None:
+        heap = self._heap
+        settled = self._settled
+        n = self._n
+        max_distance = self._max_distance
+        while heap:
+            distance, packed = heap[0]
+            if settled[packed % n]:
+                _heappop(heap)
+                continue
+            if max_distance is not None and distance > max_distance:
+                heap.clear()
+                continue
+            return
+
+    def peek(self) -> Optional[float]:
+        self._skim()
+        if not self._heap:
+            return None
+        return self._heap[0][0]
+
+    def next_index(self) -> int:
+        """Settle and return the nearest unsettled node's dense index,
+        or ``-1`` when exhausted — the kernel-facing fast path (no
+        :class:`Visit` allocation, no id translation)."""
+        self._skim()
+        heap = self._heap
+        if not heap:
+            return -1
+        n = self._n
+        distance, packed = _heappop(heap)
+        index = packed % n
+        settled = self._settled
+        settled[index] = 1
+        graph = self._graph
+        over = graph._over_pred if self._reverse else graph._over_succ
+        row = over.get(index)
+        dist = self._dist
+        parent = self._parent
+        parw = self._parw
+        counter = self._counter
+        if row is None and index < len(graph._succ_off) - 1:
+            if self._reverse:
+                offsets, to, weights = (
+                    graph._pred_off,
+                    graph._pred_to,
+                    graph._pred_w,
+                )
+            else:
+                offsets, to, weights = (
+                    graph._succ_off,
+                    graph._succ_to,
+                    graph._succ_w,
+                )
+            lo, hi = offsets[index], offsets[index + 1]
+            self.relaxations += hi - lo
+            for position in range(lo, hi):
+                neighbor = to[position]
+                if settled[neighbor]:
+                    continue
+                candidate = distance + weights[position]
+                if candidate < dist[neighbor]:
+                    dist[neighbor] = candidate
+                    parent[neighbor] = index
+                    parw[neighbor] = weights[position]
+                    _heappush(heap, (candidate, counter * n + neighbor))
+                    counter += 1
+        elif row:
+            self.relaxations += len(row)
+            for neighbor, weight in row.items():
+                if settled[neighbor]:
+                    continue
+                candidate = distance + weight
+                if candidate < dist[neighbor]:
+                    dist[neighbor] = candidate
+                    parent[neighbor] = index
+                    parw[neighbor] = weight
+                    _heappush(heap, (candidate, counter * n + neighbor))
+                    counter += 1
+        self._counter = counter
+        return index
+
+    def next(self):
+        """Settle and return the nearest unsettled node as a
+        :class:`~repro.graph.dijkstra.Visit`, or ``None``."""
+        from repro.graph.dijkstra import Visit
+
+        index = self.next_index()
+        if index < 0:
+            return None
+        ids = self._graph._ids
+        parent_index = self._parent[index]
+        parent = None if parent_index < 0 else ids[parent_index]
+        return Visit(ids[index], self._dist[index], parent)
+
+    def __iter__(self):
+        while True:
+            visit = self.next()
+            if visit is None:
+                return
+            yield visit
+
+    # -- queries over settled state -----------------------------------------
+
+    def settled_distance(self, node: Node) -> Optional[float]:
+        index = self._graph.index_of(node)
+        if not self._settled[index]:
+            return None
+        return self._dist[index]
+
+    def path_indexes(self, index: int) -> List[int]:
+        """Dense-index path ``index -> ... -> source`` along parents."""
+        if not self._settled[index]:
+            raise KeyError(f"node index {index} not settled yet")
+        parent = self._parent
+        path = [index]
+        current = parent[index]
+        while current >= 0:
+            path.append(current)
+            current = parent[current]
+        return path
+
+    def path_to_source(self, node: Node) -> List[Node]:
+        graph = self._graph
+        index = graph.index_of(node)
+        if not self._settled[index]:
+            raise KeyError(f"node {node!r} not settled yet")
+        ids = graph._ids
+        return [ids[i] for i in self.path_indexes(index)]
+
+    def parent_weight(self, index: int) -> float:
+        """Weight of the edge to ``index``'s parent, captured when the
+        winning relaxation happened."""
+        return self._parw[index]
+
+    @property
+    def exhausted(self) -> bool:
+        return self.peek() is None
+
+
+def dijkstra_for(
+    graph,
+    source: Node,
+    reverse: bool = False,
+    initial_distance: float = 0.0,
+    max_distance: Optional[float] = None,
+):
+    """The right Dijkstra for the representation: array-backed on a
+    frozen/overlay graph, the reference dict iterator otherwise."""
+    if isinstance(graph, CSRGraph):
+        return CSRDijkstra(
+            graph,
+            source,
+            reverse=reverse,
+            initial_distance=initial_distance,
+            max_distance=max_distance,
+        )
+    from repro.graph.dijkstra import DijkstraIterator
+
+    return DijkstraIterator(
+        graph,
+        source,
+        reverse=reverse,
+        initial_distance=initial_distance,
+        max_distance=max_distance,
+    )

@@ -12,9 +12,14 @@ in each direction.
 
 from __future__ import annotations
 
+import warnings
 from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Tuple
 
 from repro.errors import GraphError, UnknownNodeError
+
+# Warn-once latch for the raw_node_weight deprecation (list, not bool,
+# so the method can flip it without a global statement).
+_warned_raw_node_weight: List[bool] = []
 
 
 class DiGraph:
@@ -211,6 +216,17 @@ class DiGraph:
         return self._pred[index]
 
     def raw_node_weight(self, index: int) -> float:
+        """Deprecated: the array kernel reads weights through its own
+        frozen arrays, and no in-tree caller reads this anymore.  Use
+        :meth:`node_weight` (id-level) instead."""
+        if not _warned_raw_node_weight:
+            _warned_raw_node_weight.append(True)
+            warnings.warn(
+                "DiGraph.raw_node_weight is deprecated: the search "
+                "kernels no longer read it; use node_weight(node)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
         return self._node_weights[index]
 
     # -- utilities --------------------------------------------------------------

@@ -83,6 +83,7 @@ from repro.core.topk import merge_scored_answers
 from repro.core.weights import WeightPolicy
 from repro.deprecation import internal_construction, warn_direct_construction
 from repro.errors import ShardError
+from repro.graph.csr import freeze_graph
 from repro.obs import Observability, SearchProfile
 from repro.relational.database import Database, RID
 from repro.serve.engine import EngineConfig, QueryEngine
@@ -283,6 +284,10 @@ class ShardRouter:
             self.partition.induced_subgraphs(graph),
             self.partition.cut_links(),
         )
+        # Freeze the stitched graph into CSR form: every shard searcher
+        # shares the same arrays (thread mode shares them by reference),
+        # and delta routing keeps writing through the overlay dicts.
+        self.graph = freeze_graph(self.graph)
         self.stats = stats_of(self.graph)
         self._searchers = [
             ShardSearcher(

@@ -154,6 +154,75 @@ class ShardSearcher:
 
     # -- search ---------------------------------------------------------------
 
+    def _prepare_search(
+        self,
+        query,
+        keyword_node_sets,
+        max_results,
+        unrestricted,
+        config_overrides,
+    ):
+        """Resolve the query (if needed) and finalise the config —
+        shared by :meth:`search` and :meth:`search_iter`."""
+        if keyword_node_sets is None:
+            if query is None:
+                raise ValueError("need a query or keyword_node_sets")
+            if unrestricted:
+                parsed = (
+                    parse_query(query) if isinstance(query, str) else query
+                )
+                keyword_node_sets = [
+                    resolve_term(
+                        term,
+                        self.full_index,
+                        self.database,
+                        include_metadata=self.include_metadata,
+                    )
+                    for term in parsed.terms
+                ]
+            else:
+                keyword_node_sets = self.resolve(query)
+        config = self.search_config
+        if unrestricted:
+            config_overrides.setdefault("allowed_root_nodes", None)
+        if max_results is not None:
+            config_overrides["max_results"] = max_results
+        if config_overrides:
+            config = replace(config, **config_overrides)
+        return keyword_node_sets, config
+
+    def search_iter(
+        self,
+        query: Union[str, ParsedQuery, None] = None,
+        keyword_node_sets: Optional[Sequence[Set[RID]]] = None,
+        max_results: Optional[int] = None,
+        unrestricted: bool = False,
+        profile=None,
+        **config_overrides,
+    ):
+        """Stream :class:`ScoredAnswer` in kernel emission order.
+
+        The shard-level answer-iterator protocol (in-process callers
+        only — a generator cannot cross the fork pipe): same answers as
+        :meth:`search`, one at a time, with early termination stopping
+        the expansion.  ``profile.expansion_seconds`` covers exactly
+        the consumed prefix.
+        """
+        self._refresh_stats()
+        keyword_node_sets, config = self._prepare_search(
+            query, keyword_node_sets, max_results, unrestricted,
+            config_overrides,
+        )
+        kernel_start = perf_counter() if profile is not None else 0.0
+        try:
+            yield from backward_expanding_search(
+                self.graph, keyword_node_sets, self.scorer, config,
+                profile=profile,
+            )
+        finally:
+            if profile is not None:
+                profile.expansion_seconds += perf_counter() - kernel_start
+
     def search(
         self,
         query: Union[str, ParsedQuery, None] = None,
@@ -204,52 +273,21 @@ class ShardSearcher:
             if trace is not None
             else None
         )
-        self._refresh_stats()
-        if keyword_node_sets is None:
-            if query is None:
-                raise ValueError("need a query or keyword_node_sets")
-            if unrestricted:
-                parsed = (
-                    parse_query(query) if isinstance(query, str) else query
-                )
-                keyword_node_sets = [
-                    resolve_term(
-                        term,
-                        self.full_index,
-                        self.database,
-                        include_metadata=self.include_metadata,
-                    )
-                    for term in parsed.terms
-                ]
-            else:
-                keyword_node_sets = self.resolve(query)
-        config = self.search_config
-        if unrestricted:
-            config_overrides.setdefault("allowed_root_nodes", None)
-        if max_results is not None:
-            config_overrides["max_results"] = max_results
-        if config_overrides:
-            config = replace(config, **config_overrides)
-        kernel_start = perf_counter() if profile is not None else 0.0
-        if on_answer is not None:
-            # Stream each emission as the kernel finds it (in-process
-            # callers only — a callback cannot cross the fork pipe).
-            answers = []
-            for scored in backward_expanding_search(
-                self.graph, keyword_node_sets, self.scorer, config,
-                profile=profile,
-            ):
+        # Drain the iterator protocol: each emission reaches the
+        # callback while the expansion is still running (in-process
+        # callers only — a callback cannot cross the fork pipe).
+        answers = []
+        for scored in self.search_iter(
+            query=query,
+            keyword_node_sets=keyword_node_sets,
+            max_results=max_results,
+            unrestricted=unrestricted,
+            profile=profile,
+            **config_overrides,
+        ):
+            if on_answer is not None:
                 on_answer(scored)
-                answers.append(scored)
-        else:
-            answers = list(
-                backward_expanding_search(
-                    self.graph, keyword_node_sets, self.scorer, config,
-                    profile=profile,
-                )
-            )
-        if profile is not None:
-            profile.expansion_seconds += perf_counter() - kernel_start
+            answers.append(scored)
         if span is not None:
             span.attrs["answers"] = len(answers)
             trace.end(span)

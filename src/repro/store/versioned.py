@@ -23,13 +23,21 @@ from typing import Hashable, Optional, Set
 from repro.graph.digraph import DiGraph
 
 
-def fork_graph(graph: DiGraph) -> "VersionedGraph":
-    """A copy-on-write fork of any :class:`DiGraph`.
+def fork_graph(graph: DiGraph):
+    """A copy-on-write fork of any graph representation.
 
     The parent is left untouched and remains fully usable for reads;
     by the snapshot contract it must not be mutated afterwards (its
-    adjacency dicts are now shared with the fork).
+    adjacency dicts are now shared with the fork).  Frozen CSR graphs
+    fork into overlays (:mod:`repro.graph.csr`) — the same O(delta)
+    write path over array-backed shared storage.
     """
+    from repro.graph.csr import CSRGraph, CSROverlayGraph
+
+    if isinstance(graph, CSROverlayGraph):
+        return graph.fork()
+    if isinstance(graph, CSRGraph):
+        return graph.overlay()
     if isinstance(graph, VersionedGraph):
         return graph.fork()
     return VersionedGraph._fork_of(graph)

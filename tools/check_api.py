@@ -82,6 +82,13 @@ PUBLIC_API: Dict[str, Tuple[str, ...]] = {
         "render_trace_tree",
         "span_tree",
     ),
+    "repro.graph.csr": (
+        "CSRDijkstra",
+        "CSRGraph",
+        "CSROverlayGraph",
+        "dijkstra_for",
+        "freeze_graph",
+    ),
     "repro.serve": (
         "EngineConfig",
         "Histogram",
