@@ -1,0 +1,91 @@
+"""Ops benchmarks: checkpointed recovery speedup + live-drain parity.
+
+Two claims, asserted on ``demo:bibliography``:
+
+1. **Recovery speedup** — over a 500-epoch WAL with a checkpoint every
+   100 epochs, recovering from the newest checkpoint plus the tail
+   must be at least **3x** faster than replaying the whole history
+   from the base snapshot, and both recoveries must reproduce the live
+   facade's top-5 probe answers exactly
+   (``checkpoint_recovery_parity``).  Full replay grows linearly with
+   history while the checkpointed path replays at most one cadence
+   interval, so the ratio widens with log length — 3x at 500 epochs is
+   the conservative floor.
+2. **Rebalance parity** — a sharded router draining one shard live
+   must answer the probe queries identically before and after the
+   drain (roots and scores), stay never-worse than the unsharded
+   reference at every rank, and keep shard ownership a disjoint cover
+   (``rebalance_parity``).
+
+Run with::
+
+    pytest benchmarks/bench_ops.py -q -s
+"""
+
+from __future__ import annotations
+
+from benchjson import record_bench_result
+from repro.ops.bench import run_ops_benchmark
+
+#: The acceptance history: 500 epochs, checkpoint cadence 100.
+EPOCHS = 500
+CHECKPOINT_EVERY = 100
+
+#: Checkpointed recovery must beat full replay by at least this much.
+MIN_SPEEDUP = 3.0
+
+
+def test_bibliography_checkpoint_recovery_and_rebalance(
+    benchmark, bibliography
+):
+    database, _anecdotes = bibliography
+
+    report = benchmark.pedantic(
+        lambda: run_ops_benchmark(
+            database,
+            dataset="bibliography",
+            epochs=EPOCHS,
+            checkpoint_every=CHECKPOINT_EVERY,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + report.render())
+
+    record_bench_result(
+        "ops",
+        "bibliography",
+        {
+            "epochs": report.epochs,
+            "checkpoint_every": report.checkpoint_every,
+            "checkpoints_written": report.checkpoints_written,
+            "checkpoint_bytes": report.checkpoint_bytes,
+            "checkpoint_ms": round(report.checkpoint_seconds * 1000.0, 2),
+            "full_replay_seconds": round(report.full_replay_seconds, 4),
+            "checkpoint_recover_seconds": round(
+                report.checkpoint_recover_seconds, 4
+            ),
+            "recovery_speedup": round(report.recovery_speedup, 3),
+            "recovery_speedup_ok": float(
+                report.recovery_speedup >= MIN_SPEEDUP
+            ),
+            "checkpoint_recovery_parity": float(
+                report.checkpoint_recovery_ok
+            ),
+            "rebalance_moves": report.rebalance_moves,
+            "rebalance_seconds": round(report.rebalance_seconds, 4),
+            "rebalance_parity": float(report.rebalance_ok),
+            "rebalance_cover": float(report.cover_ok),
+        },
+    )
+
+    # Acceptance: exact recovery from the checkpoint, >= 3x faster
+    # than full replay at 500 epochs; the live drain changes nothing
+    # a query can observe.
+    assert report.epochs == EPOCHS
+    assert report.checkpoints_written >= EPOCHS // CHECKPOINT_EVERY - 1
+    assert report.checkpoint_recovery_ok
+    assert report.recovery_speedup >= MIN_SPEEDUP
+    assert report.rebalance_moves > 0
+    assert report.rebalance_ok
+    assert report.cover_ok

@@ -45,6 +45,9 @@ RATIO_METRICS = (
     # CSR search kernel vs the dict-of-dicts reference
     # (BENCH_kernel.json): median per-query latency ratio.
     "speedup_kernel",
+    # Checkpointed recovery vs full WAL replay (BENCH_ops.json):
+    # best-of-N wall-clock ratio on the 500-epoch log.
+    "recovery_speedup",
 )
 
 #: Correctness metrics gated as "must not drop below baseline".
@@ -86,6 +89,14 @@ FLOOR_METRICS = (
     # reproduce the reference facade's top-5 (roots and scores,
     # float-equal) on every DEMO_QUERIES entry of both datasets.
     "kernel_parity",
+    # Ops floors (BENCH_ops.json): both recovery paths must reproduce
+    # the live facade's top-5 exactly, the checkpointed path must hold
+    # the >= 3x acceptance bar bench_ops.py asserts, and a live drain
+    # must neither change answers nor break the ownership cover.
+    "checkpoint_recovery_parity",
+    "recovery_speedup_ok",
+    "rebalance_parity",
+    "rebalance_cover",
 )
 
 

@@ -29,6 +29,10 @@ Commands::
                                        prints each answer as the remote
                                        kernel finds it
     banks recover DB --wal PATH        replay a durable epoch log onto DB
+                                       (--checkpoints DIR starts from the
+                                       newest checkpoint, tail-only replay)
+    banks checkpoint DB --wal PATH     persist a checkpoint of the WAL's
+                                       recovered state and re-base the log
     banks bench-serve DB               serving-engine throughput benchmark
     banks bench-shard DB               sharded scatter-gather benchmark
     banks bench-mutate DB              write-path benchmark (delta vs deep)
@@ -43,6 +47,9 @@ Commands::
     banks bench-kernel DB              CSR search-kernel benchmark (median
                                        latency vs the reference kernel,
                                        strict top-k parity)
+    banks bench-ops DB                 checkpointing + rebalancing benchmark
+                                       (recovery speedup over full replay,
+                                       live-drain search parity)
 
 ``banks serve`` stands the deployment up through the cluster layer
 (:mod:`repro.cluster`): the flags translate into one declarative
@@ -83,6 +90,12 @@ at ``/metrics``.  Tuning knobs:
                        after a crash recovers the pre-crash state
     --wal-fsync M      WAL durability: always (default; fsync each
                        epoch), rotate (fsync on segment close), never
+    --checkpoint-every N  with --live --wal (or --replicas): persist a
+                       facade checkpoint every N epochs
+                       (repro.ops.checkpoint), so restart recovery and
+                       replica heal replay only the WAL tail
+    --checkpoint-path  checkpoint directory (default:
+                       ``<wal>/checkpoints``)
     --follow           with --wal: serve a *read-only follower* that
                        tails another process's WAL and stays caught up
                        by epoch (replica_lag_epochs on /metrics);
@@ -139,8 +152,19 @@ Two networked followers behind one replicated front end::
 
 ``banks recover DB --wal PATH`` rebuilds the pre-crash facade by
 replaying the WAL onto the base database DB (the runbook lives in
-``docs/OPERATIONS.md``); ``--query`` options search the recovered
-facade as a spot check.
+``docs/OPERATIONS.md``); ``--checkpoints DIR`` starts from the newest
+valid checkpoint instead of the base snapshot (O(tail) recovery), and
+``--query`` options search the recovered facade as a spot check.
+
+``banks checkpoint DB --wal PATH`` recovers the WAL's current state
+(checkpoint-aware) and persists it as a new checkpoint, re-basing the
+log: once the manifest records the checkpoint epoch, WAL retention may
+prune segments below it and recovery starts from the checkpoint.
+
+``banks bench-ops`` measures checkpointed recovery against full-history
+replay on a long mutation log (the gated claim: >= 3x faster at 500
+epochs) and proves a live shard drain keeps exact top-k parity while
+the ownership sets remain a disjoint cover.
 
 ``banks bench-mutate`` measures write throughput of the delta-log
 write path against the deep-copy baseline on the same mutation
@@ -490,11 +514,21 @@ def _command_recover(args: argparse.Namespace, out) -> int:
 
     database = load_database(args.db)
     start = time.perf_counter()
-    facade = IncrementalBANKS.recover(database, args.wal)
+    facade = IncrementalBANKS.recover(
+        database, args.wal, checkpoints=args.checkpoints
+    )
     elapsed = time.perf_counter() - start
     facade._refresh_stats()
     print(f"base database : {database.name} ({args.db})", file=out)
     print(f"wal           : {args.wal}", file=out)
+    if args.checkpoints:
+        from repro.store.wal import checkpoint_floor
+
+        print(
+            f"checkpoints   : {args.checkpoints} "
+            f"(manifest epoch {checkpoint_floor(args.checkpoints)})",
+            file=out,
+        )
     print(f"recovered to  : epoch {facade.applied_epoch}", file=out)
     print(
         f"graph         : {facade.stats.num_nodes} nodes, "
@@ -514,6 +548,54 @@ def _command_recover(args: argparse.Namespace, out) -> int:
             )
         else:
             print(f"query {query!r}: no answers", file=out)
+    return 0
+
+
+def _command_checkpoint(args: argparse.Namespace, out) -> int:
+    import os
+
+    from repro.core.incremental import IncrementalBANKS
+    from repro.ops.checkpoint import CheckpointManager
+
+    database = load_database(args.db)
+    checkpoint_dir = args.checkpoints or os.path.join(
+        args.wal, "checkpoints"
+    )
+    manager = CheckpointManager(checkpoint_dir, keep=args.keep)
+    start = time.perf_counter()
+    facade = IncrementalBANKS.recover(
+        database, args.wal, checkpoints=manager
+    )
+    recovered = time.perf_counter() - start
+    if not facade.applied_epoch:
+        print(f"wal {args.wal} holds no epochs; nothing to checkpoint",
+              file=out)
+        return 0
+    previous = manager.manifest_epoch()
+    if previous == facade.applied_epoch:
+        print(
+            f"checkpoint at epoch {previous} is already current "
+            f"({manager.path})",
+            file=out,
+        )
+        return 0
+    record = manager.checkpoint(facade, epoch=facade.applied_epoch)
+    print(f"wal           : {args.wal}", file=out)
+    print(
+        f"recovered to  : epoch {facade.applied_epoch} "
+        f"({recovered:.2f} s)",
+        file=out,
+    )
+    print(
+        f"checkpoint    : {record.path} ({record.size_bytes} bytes, "
+        f"{record.seconds * 1000.0:.1f} ms)",
+        file=out,
+    )
+    print(
+        f"log re-based  : retention may prune below epoch "
+        f"{record.epoch}; kept epochs {manager.checkpoint_epochs()}",
+        file=out,
+    )
     return 0
 
 
@@ -727,6 +809,27 @@ def _command_bench_kernel(args: argparse.Namespace, out) -> int:
     return 0 if report.parity == 1.0 else 1
 
 
+def _command_bench_ops(args: argparse.Namespace, out) -> int:
+    from repro.ops.bench import run_ops_benchmark
+
+    database = load_database(args.db)
+    # Default to the store benchmark's probe battery (strict-parity
+    # safe through a drain at the default shard count) rather than the
+    # demo query set, whose deep ranks straddle per-shard top-k
+    # boundaries.
+    kwargs = {"queries": tuple(args.queries)} if args.queries else {}
+    report = run_ops_benchmark(
+        database,
+        dataset=args.db,
+        epochs=args.epochs,
+        checkpoint_every=args.checkpoint_every,
+        shards=args.shards,
+        **kwargs,
+    )
+    print(report.render(), file=out)
+    return 0 if report.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="banks",
@@ -913,6 +1016,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="WAL durability policy (always = fsync each epoch)",
     )
     serve.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=0,
+        dest="checkpoint_every",
+        metavar="N",
+        help="with --live --wal (or --replicas): persist a facade "
+        "checkpoint every N epochs so restart recovery and replica "
+        "heal replay only the WAL tail (0 = off)",
+    )
+    serve.add_argument(
+        "--checkpoint-path",
+        default=None,
+        dest="checkpoint_path",
+        metavar="PATH",
+        help="checkpoint directory (default: <wal>/checkpoints)",
+    )
+    serve.add_argument(
         "--follow",
         action="store_true",
         help="serve a read-only follower that tails --wal PATH (an "
@@ -984,6 +1104,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--wal", required=True, metavar="PATH", help="epoch-log directory"
     )
     recover.add_argument(
+        "--checkpoints",
+        default=None,
+        metavar="PATH",
+        help="checkpoint directory: recovery starts from the newest "
+        "valid checkpoint there and replays only the WAL tail",
+    )
+    recover.add_argument(
         "--query",
         action="append",
         dest="queries",
@@ -994,6 +1121,29 @@ def build_parser() -> argparse.ArgumentParser:
         "-k", "--max-results", type=int, default=5, dest="max_results"
     )
     recover.set_defaults(run=_command_recover)
+
+    checkpoint = commands.add_parser(
+        "checkpoint",
+        help="persist a checkpoint of a WAL's recovered state and "
+        "re-base the log",
+    )
+    checkpoint.add_argument("db", help="the base snapshot (pre-WAL state)")
+    checkpoint.add_argument(
+        "--wal", required=True, metavar="PATH", help="epoch-log directory"
+    )
+    checkpoint.add_argument(
+        "--checkpoints",
+        default=None,
+        metavar="PATH",
+        help="checkpoint directory (default: <wal>/checkpoints)",
+    )
+    checkpoint.add_argument(
+        "--keep",
+        type=int,
+        default=2,
+        help="checkpoints retained on disk (older ones are pruned)",
+    )
+    checkpoint.set_defaults(run=_command_checkpoint)
 
     bench_serve = commands.add_parser(
         "bench-serve", help="serving-engine throughput benchmark"
@@ -1186,6 +1336,41 @@ def build_parser() -> argparse.ArgumentParser:
         "-k", "--max-results", type=int, default=5, dest="max_results"
     )
     bench_kernel.set_defaults(run=_command_bench_kernel)
+
+    bench_ops = commands.add_parser(
+        "bench-ops",
+        help="checkpointing + rebalancing benchmark: checkpointed "
+        "recovery speedup over full replay, live-drain search parity",
+    )
+    bench_ops.add_argument("db")
+    bench_ops.add_argument(
+        "--epochs",
+        type=int,
+        default=500,
+        help="mutation epochs to drive through the WAL",
+    )
+    bench_ops.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=100,
+        dest="checkpoint_every",
+        help="checkpoint cadence in epochs",
+    )
+    bench_ops.add_argument(
+        "--shards",
+        type=int,
+        default=3,
+        help="shards for the live-drain parity probe",
+    )
+    bench_ops.add_argument(
+        "--query",
+        action="append",
+        dest="queries",
+        metavar="QUERY",
+        help="parity probe query (repeatable; default: the dataset's "
+        "demo query set)",
+    )
+    bench_ops.set_defaults(run=_command_bench_ops)
     return parser
 
 

@@ -264,11 +264,27 @@ class Cluster:
         from repro.serve.engine import QueryEngine
 
         spec = self.spec
+        checkpoints = None
+        if spec.checkpoint_every or spec.checkpoint_path:
+            from repro.ops.checkpoint import CheckpointManager
+
+            checkpoints = CheckpointManager(
+                spec.checkpoint_path
+                or os.path.join(spec.wal_path, "checkpoints"),
+                every=0,
+            )
         if spec.wal_path and os.path.isdir(spec.wal_path):
             # Restarting over an existing log: recover the exact
             # pre-crash facade before serving (pruned history refuses
-            # loudly inside recover).
-            self.banks = IncrementalBANKS.recover(self.database, spec.wal_path)
+            # loudly inside recover).  With checkpointing configured,
+            # recovery starts from the newest valid checkpoint and
+            # replays only the tail.
+            self.banks = IncrementalBANKS.recover(
+                self.database, spec.wal_path, checkpoints=checkpoints
+            )
+            # Checkpoint recovery adopts the checkpoint's database copy;
+            # keep the cluster handle pointing at the served one.
+            self.database = self.banks.database
             self.recovered_epochs = self.banks.applied_epoch
         else:
             self.banks = IncrementalBANKS(self.database)
@@ -278,6 +294,8 @@ class Cluster:
                 copy_mode=spec.copy_mode,
                 wal_path=spec.wal_path,
                 wal_fsync=spec.wal_fsync,
+                checkpoint_every=spec.checkpoint_every,
+                checkpoint_path=spec.checkpoint_path,
             ),
             obs=self.obs,
         )

@@ -440,6 +440,8 @@ class ReplicaSet:
                     copy_mode=spec.copy_mode,
                     wal_path=self._wal_dir,
                     wal_fsync=spec.wal_fsync,
+                    checkpoint_every=spec.checkpoint_every,
+                    checkpoint_path=spec.checkpoint_path,
                 ),
             )
         self.reader = WalReader(self._wal_dir)
@@ -517,12 +519,45 @@ class ReplicaSet:
 
     # -- construction helpers --------------------------------------------------
 
+    def _checkpoint_manager(self):
+        """A read-side manager over the primary's checkpoint directory
+        (``None`` when the spec takes no checkpoints).  The *writing*
+        manager lives inside the primary engine; this one only loads."""
+        spec = self.spec
+        if not (spec.checkpoint_every or spec.checkpoint_path):
+            return None
+        from repro.ops.checkpoint import CheckpointManager
+
+        path = spec.checkpoint_path or os.path.join(
+            self._wal_dir, "checkpoints"
+        )
+        return CheckpointManager(path, every=0)
+
+    def _replica_base(self) -> Tuple[int, Any]:
+        """Where a (re)built replica starts: ``(epoch, database)`` from
+        the newest valid checkpoint when the spec takes them — so a
+        build or heal replays only the WAL tail — else epoch 0 and a
+        fork of the base database (full-history replay).  Each call
+        unpickles a fresh copy, so replicas never share state."""
+        manager = self._checkpoint_manager()
+        if manager is not None:
+            loaded = manager.newest_valid()
+            if loaded is not None:
+                return loaded
+        return 0, self._base.fork()
+
     def _primary_facade(self) -> IncrementalBANKS:
         if os.path.isdir(self._wal_dir):
             # Resuming an existing log: the primary recovers to the
             # exact pre-restart state before serving (replicas replay
-            # the same history through their followers).
-            return IncrementalBANKS.recover(self._base.fork, self._wal_dir)
+            # the same history through their followers).  With
+            # checkpointing configured, recovery starts from the
+            # newest valid checkpoint and replays only the tail.
+            return IncrementalBANKS.recover(
+                self._base.fork,
+                self._wal_dir,
+                checkpoints=self._checkpoint_manager(),
+            )
         return IncrementalBANKS(self._base.fork())
 
     def _build_worker(self, index: int) -> Any:
@@ -534,9 +569,13 @@ class ReplicaSet:
                 index=index,
                 token=self.spec.remote_token,
             )
+        start_epoch, database = self._replica_base()
         if self.spec.topology == "sharded_replicated":
-            return _RouterReplica(self._base.fork(), self.spec)
-        facade = IncrementalBANKS(self._base.fork())
+            replica = _RouterReplica(database, self.spec)
+            replica.applied_epoch = start_epoch
+            return replica
+        facade = IncrementalBANKS(database)
+        facade.applied_epoch = start_epoch
         if self.backend == "process":
             return ProcessReplicaWorker(_ReplicaSearchTarget(facade), index)
         return _ThreadReplica(facade, self.spec)
@@ -605,18 +644,20 @@ class ReplicaSet:
             pass
 
     def heal(self, timeout: float = 30.0) -> int:
-        """Rebuild every dead replica from the base snapshot plus the
-        WAL; re-admit each once it has caught up.  Returns how many
-        were re-admitted.
+        """Rebuild every dead replica and re-admit each once it has
+        caught up; returns how many were re-admitted.  The rebuilt
+        replica starts from the newest valid checkpoint when the spec
+        takes them (``checkpoint_every`` / ``checkpoint_path``) and its
+        follower replays only the WAL tail past it — O(tail), not
+        O(history); without checkpoints it starts from the base
+        snapshot and replays the full log.
 
         Process-backend healing forks while the primary's threads are
         live — unlike construction, which forks first.  The child only
         touches its own pre-forked facade (no registry, pool or log
         locks), so the cloned-lock hazard the module docstring
         describes is confined to interpreter-internal locks; the
-        thread backend is immune.  Bounding heal time is the WAL
-        checkpointing item on the ROADMAP — today a heal replays the
-        full history."""
+        thread backend is immune."""
         healed = 0
         for handle in self._handles:
             if handle.alive:

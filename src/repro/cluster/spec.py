@@ -105,6 +105,15 @@ class ClusterSpec:
         wal_fsync: WAL durability policy.
         follow: read-only follower of an external primary's WAL (the
             old ``--replica``); single topology only.
+        checkpoint_every: persist a facade checkpoint next to the WAL
+            every N epochs (0 = off), so recovery and replica heal
+            replay only the tail past the newest checkpoint instead of
+            the full history.  Needs a WAL-writing primary: ``live``
+            with ``wal_path``, or a replicated topology.
+        checkpoint_path: checkpoint directory (default:
+            ``<wal_path>/checkpoints``).  Setting it without
+            ``checkpoint_every`` enables checkpoint-aware recovery and
+            WAL prune clamping without a write cadence.
         shard_backend: ``"thread"`` | ``"process"`` | ``"auto"`` shard
             workers.
         dispatch: shard dispatch policy (``"gather"`` | ``"route"``).
@@ -149,6 +158,8 @@ class ClusterSpec:
     wal_path: Optional[str] = None
     wal_fsync: str = "always"
     follow: bool = False
+    checkpoint_every: int = 0
+    checkpoint_path: Optional[str] = None
     # shard knobs
     shard_backend: str = "auto"
     dispatch: str = "gather"
@@ -256,6 +267,10 @@ class ClusterSpec:
             raise _invalid(f"deadline must be positive (got {self.deadline})")
         if self.max_lag < 0:
             raise _invalid(f"max_lag must be >= 0 (got {self.max_lag})")
+        if self.checkpoint_every < 0:
+            raise _invalid(
+                f"checkpoint_every must be >= 0 (got {self.checkpoint_every})"
+            )
         try:
             parse_sample(self.trace_sample)
         except ReproError as error:
@@ -320,6 +335,19 @@ class ClusterSpec:
                 "(follow=True) or a replicated topology; the other "
                 "serving modes publish no mutation epochs"
             )
+        if self.checkpoint_every or self.checkpoint_path:
+            if self.follow:
+                raise _invalid(
+                    "a follower takes no checkpoints (the primary owns "
+                    "the WAL a checkpoint would re-base); drop "
+                    "checkpoint_every / checkpoint_path"
+                )
+            if not (replicated or (self.live and self.wal_path)):
+                raise _invalid(
+                    "checkpoints re-base a WAL: they need a live durable "
+                    "primary (live=True with wal_path) or a replicated "
+                    "topology"
+                )
         if self.copy_mode == "deep" and self.wal_path:
             raise _invalid(
                 "wal_path needs the delta write path; copy_mode='deep' "
@@ -473,6 +501,10 @@ class ClusterSpec:
                 deadline=getattr(args, "deadline", None),
                 wal_path=getattr(args, "wal", None),
                 wal_fsync=getattr(args, "wal_fsync", "always"),
+                checkpoint_every=int(
+                    getattr(args, "checkpoint_every", 0) or 0
+                ),
+                checkpoint_path=getattr(args, "checkpoint_path", None),
                 balance=getattr(args, "balance", "round_robin"),
                 max_lag=getattr(args, "max_lag", 8),
                 remote_replicas=remote_replicas,
@@ -503,6 +535,8 @@ class ClusterSpec:
             wal_path=getattr(args, "wal", None),
             wal_fsync=getattr(args, "wal_fsync", "always"),
             follow=follow,
+            checkpoint_every=int(getattr(args, "checkpoint_every", 0) or 0),
+            checkpoint_path=getattr(args, "checkpoint_path", None),
             shard_backend=getattr(args, "shard_backend", "auto"),
             dispatch=getattr(args, "dispatch", "gather"),
             replica_backend=getattr(args, "replica_backend", "auto"),

@@ -247,9 +247,10 @@ class IncrementalBANKS(BANKS):
 
     @classmethod
     def recover(
-        cls, db_factory, wal_path, **banks_options
+        cls, db_factory, wal_path, checkpoints=None, **banks_options
     ) -> "IncrementalBANKS":
-        """Rebuild the exact pre-crash facade: base snapshot + WAL.
+        """Rebuild the exact pre-crash facade: newest checkpoint (when
+        one exists) or base snapshot, plus the WAL tail.
 
         Args:
             db_factory: a callable returning the *base* database (the
@@ -257,14 +258,23 @@ class IncrementalBANKS(BANKS):
                 generator, or ``base.fork``), or a Database to adopt.
             wal_path: the WAL directory (or an open
                 :class:`~repro.store.wal.WalReader`).
+            checkpoints: a checkpoint directory path or a
+                :class:`~repro.ops.checkpoint.CheckpointManager`;
+                recovery starts from its newest *valid* checkpoint and
+                replays only the epochs after it — O(tail) instead of
+                O(history).  A torn or corrupt checkpoint is skipped;
+                with none usable (or ``None`` here), recovery falls
+                back to the base snapshot and full replay.
 
-        Replays every complete epoch in order; a torn tail from the
-        crash is ignored by the reader (no partial epoch is ever
+        Replays every needed complete epoch in order; a torn tail from
+        the crash is ignored by the reader (no partial epoch is ever
         applied), and the returned facade's :attr:`applied_epoch` says
         how far history reached.  Raises
-        :class:`~repro.errors.StoreError` when the WAL was pruned
-        (``first_epoch > 1``): recovery from a base snapshot needs the
-        full history.
+        :class:`~repro.errors.StoreError` when the WAL was pruned past
+        the chosen starting point — from a base snapshot that means
+        ``first_epoch > 1``; from a checkpoint at epoch E it means
+        ``first_epoch > E + 1``, which the writer's checkpoint prune
+        floor exists to prevent.
         """
         from repro.store.wal import WalReader
 
@@ -274,6 +284,28 @@ class IncrementalBANKS(BANKS):
             else WalReader(str(wal_path))
         )
         first = reader.first_epoch()
+        if checkpoints is not None:
+            from repro.ops.checkpoint import CheckpointManager
+
+            manager = (
+                checkpoints
+                if isinstance(checkpoints, CheckpointManager)
+                else CheckpointManager(str(checkpoints))
+            )
+            loaded = manager.newest_valid()
+            if loaded is not None:
+                epoch, database = loaded
+                if first and epoch + 1 < first:
+                    raise StoreError(
+                        f"WAL starts at epoch {first} but the newest "
+                        f"valid checkpoint covers epoch {epoch}: the "
+                        f"replay tail {epoch + 1}..{first - 1} was "
+                        "pruned, so the checkpoint cannot be caught up"
+                    )
+                facade = cls(database, **banks_options)
+                facade.applied_epoch = epoch
+                facade.apply_epochs(reader.entries_since(epoch))
+                return facade
         if first > 1:
             raise StoreError(
                 f"WAL starts at epoch {first}: epochs 1..{first - 1} were "

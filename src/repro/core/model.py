@@ -98,26 +98,41 @@ def build_data_graph(
         else:
             candidates[(source, target)] = policy.merge(existing, weight)
 
+    # ``s(R1, R2)``/``s_b(R1, R2)`` depend only on the relation pair and
+    # ``IN_{R(u)}(v)`` only on (target, referencing table), so both are
+    # computed once per distinct key instead of once per referencing row
+    # — on dense reference graphs (many tuples citing one) the repeated
+    # indegree scan was quadratic in the popular target's indegree.
+    pair_cache: Dict[Tuple[str, str], Tuple[float, float]] = {}
+    backward_cache: Dict[Tuple[RID, str], float] = {}
+    scaling = policy.backward_indegree_scaling
     for table in database.tables():
         table_name = table.schema.name
-        for rid in table.rids():
-            source: RID = (table_name, rid)
-            for fk, target in database.references_of(source):
-                if source == target:
-                    # A tuple referencing itself (e.g. an employee who is
-                    # their own manager) yields no edge: the graph model
-                    # has no self loops.
-                    continue
-                forward = policy.forward_similarity(
-                    fk.source_table, fk.target_table
+        for source, fk, target in database.resolved_references(table_name):
+            if source == target:
+                # A tuple referencing itself (e.g. an employee who is
+                # their own manager) yields no edge: the graph model
+                # has no self loops.
+                continue
+            pair = (fk.source_table, fk.target_table)
+            similarities = pair_cache.get(pair)
+            if similarities is None:
+                similarities = (
+                    policy.forward_similarity(*pair),
+                    policy.backward_similarity(*pair),
                 )
-                offer(source, target, forward)
-                backward = policy.backward_weight(
-                    fk.source_table,
-                    fk.target_table,
-                    database.indegree_from(target, fk.source_table),
-                )
-                offer(target, source, backward)
+                pair_cache[pair] = similarities
+            offer(source, target, similarities[0])
+            cache_key = (target, fk.source_table)
+            backward = backward_cache.get(cache_key)
+            if backward is None:
+                backward = similarities[1]
+                if scaling:
+                    backward *= max(
+                        1, database.indegree_from(target, fk.source_table)
+                    )
+                backward_cache[cache_key] = backward
+            offer(target, source, backward)
 
     for (source, target), weight in candidates.items():
         graph.add_edge(source, target, weight)
@@ -157,11 +172,9 @@ def _assign_prestige(
         forward.add_node(node)
     for table in database.tables():
         table_name = table.schema.name
-        for rid in table.rids():
-            source: RID = (table_name, rid)
-            for _fk, target in database.references_of(source):
-                if source != target:
-                    forward.add_edge(source, target, 1.0)
+        for source, _fk, target in database.resolved_references(table_name):
+            if source != target:
+                forward.add_edge(source, target, 1.0)
     scores = pagerank(forward, damping=policy.pagerank_damping)
     for node, score in scores.items():
         graph.set_node_weight(node, score)

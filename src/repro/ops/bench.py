@@ -1,0 +1,306 @@
+"""The ops benchmark: checkpointed recovery speed + rebalance parity.
+
+:func:`run_ops_benchmark` (``banks bench-ops`` /
+``benchmarks/bench_ops.py``) measures the two claims ``repro.ops``
+ships on, with the correctness half reported as hard parity verdicts
+the regression gate can floor:
+
+* **recovery_speedup** — drive a long deterministic mutation history
+  (default 500 epochs) through a WAL-attached
+  :class:`~repro.serve.snapshot.SnapshotStore` with a
+  :class:`~repro.ops.checkpoint.CheckpointManager` on a fixed cadence,
+  then recover twice: full replay from the base snapshot vs the newest
+  checkpoint plus the tail.  Both must reproduce the live facade's
+  top-5 answers exactly (**checkpoint_recovery_parity**), and the
+  checkpointed path must be meaningfully faster (the acceptance
+  criterion is >= 3x on the 500-epoch log, gated in
+  ``benchmarks/check_regression.py``).
+* **rebalance_parity** — build a sharded router over the same data,
+  record its gathered top-k, drain one shard live through
+  :meth:`~repro.shard.router.ShardRouter.rebalance`, and require the
+  post-drain top-k (roots and scores) to match the pre-drain one
+  exactly — a move changes ownership, never answers — while staying
+  never-worse than the unsharded reference at every rank (the shard
+  benchmark's gathered-parity guarantee); plus the ownership sets
+  must remain a disjoint cover of the node ids.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import tempfile
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.core.incremental import IncrementalBANKS
+from repro.deprecation import internal_construction
+from repro.ops.checkpoint import CheckpointManager
+from repro.ops.rebalance import drain_plan
+from repro.serve.snapshot import SnapshotStore
+from repro.store.bench import (
+    PROBE_QUERIES,
+    _top5_signatures,
+    mutation_workload,
+    run_operation,
+)
+from repro.store.wal import WalWriter
+
+
+def _ownership_is_disjoint_cover(router) -> bool:
+    """Every graph node owned by exactly one shard."""
+    owned: set = set()
+    total = 0
+    for nodes in router.partition.shard_nodes:
+        total += len(nodes)
+        owned |= nodes
+    if total != len(owned):
+        return False  # overlap
+    return owned == set(router.graph.nodes())
+
+
+def _newest_checkpoint_bytes(manager: CheckpointManager) -> int:
+    """Size of the newest checkpoint file on disk (0 when none)."""
+    for epoch in manager.checkpoint_epochs():
+        filepath = os.path.join(manager.path, f"{epoch:012d}.ckpt")
+        try:
+            return os.path.getsize(filepath)
+        except OSError:  # pragma: no cover - pruned concurrently
+            continue
+    return 0
+
+
+def _signature(answers) -> List[tuple]:
+    """Relevance-ordered (root, score) pairs, ties broken by root repr
+    (the shard benchmark's deterministic ordering)."""
+    ranked = sorted(answers, key=lambda a: (-a.relevance, repr(a.tree.root)))
+    return [(a.tree.root, round(a.relevance, 9)) for a in ranked]
+
+
+def _router_signatures(router, queries: Sequence[str]) -> List[List[tuple]]:
+    return [
+        _signature(router.search(query, max_results=5)) for query in queries
+    ]
+
+
+def _never_worse(
+    router_signatures: List[List[tuple]],
+    reference_signatures: List[List[tuple]],
+) -> bool:
+    """The gather guarantee vs the single engine: at every rank the
+    router's score is at least the reference's (per-shard top-k
+    cutoffs can only surface *extra* deep candidates, never lose
+    better ones) — the invariant ``benchmarks/bench_shard.py`` gates."""
+    for ours, theirs in zip(router_signatures, reference_signatures):
+        if len(ours) < len(theirs):
+            return False
+        for (_r1, score), (_r2, reference) in zip(ours, theirs):
+            if score < reference - 1e-9:
+                return False
+    return True
+
+
+@dataclass
+class OpsBenchReport:
+    """Outcome of one checkpointing + rebalancing measurement."""
+
+    dataset: str
+    epochs: int
+    checkpoint_every: int
+    checkpoints_written: int
+    checkpoint_bytes: int
+    checkpoint_seconds: float
+    full_replay_seconds: float
+    checkpoint_recover_seconds: float
+    checkpoint_recovery_ok: bool
+    rebalance_moves: int
+    rebalance_seconds: float
+    rebalance_ok: bool
+    cover_ok: bool
+
+    @property
+    def recovery_speedup(self) -> float:
+        """Full-history replay time over checkpointed recovery time."""
+        if self.checkpoint_recover_seconds <= 0:
+            return float("inf")
+        return self.full_replay_seconds / self.checkpoint_recover_seconds
+
+    @property
+    def ok(self) -> bool:
+        return self.checkpoint_recovery_ok and self.rebalance_ok and self.cover_ok
+
+    def render(self) -> str:
+        recovery = (
+            "exact (top-5 roots and scores)"
+            if self.checkpoint_recovery_ok
+            else "MISMATCH"
+        )
+        rebalance = (
+            "drain preserved answers exactly"
+            if self.rebalance_ok
+            else "MISMATCH"
+        )
+        cover = "disjoint cover held" if self.cover_ok else "COVER BROKEN"
+        moves_per_second = self.rebalance_moves / max(
+            self.rebalance_seconds, 1e-9
+        )
+        lines = [
+            f"dataset              : {self.dataset}",
+            f"history              : {self.epochs} epoch(s), checkpoint "
+            f"every {self.checkpoint_every}",
+            f"checkpoints          : {self.checkpoints_written} written, "
+            f"newest {self.checkpoint_bytes} bytes "
+            f"({self.checkpoint_seconds * 1000.0:.1f} ms each, mean)",
+            f"full-history recover : {self.full_replay_seconds:.3f} s",
+            f"checkpointed recover : {self.checkpoint_recover_seconds:.3f} s "
+            f"({self.recovery_speedup:.1f}x faster), {recovery}",
+            f"live drain           : {self.rebalance_moves} move(s) in "
+            f"{self.rebalance_seconds:.3f} s "
+            f"({moves_per_second:.0f} moves/s)",
+            f"rebalance parity     : {rebalance}; {cover}",
+        ]
+        return "\n".join(lines)
+
+
+def run_ops_benchmark(
+    database,
+    dataset: str = "",
+    epochs: int = 500,
+    checkpoint_every: int = 100,
+    shards: int = 3,
+    queries: Sequence[str] = PROBE_QUERIES,
+    work_dir: Optional[str] = None,
+) -> OpsBenchReport:
+    """Measure checkpointed recovery against full replay, and prove a
+    live drain keeps exact search parity.
+
+    The caller's ``database`` is never mutated — every participant
+    works on a fork.  ``fsync`` is off everywhere (WAL and
+    checkpoints): this benchmark times *replay* and *moves*, not the
+    disk, and the crash-consistency proof lives in ``tests/ops``.
+    """
+    script = mutation_workload(database, epochs)
+    owns_dir = work_dir is None
+    if owns_dir:
+        work_dir = tempfile.mkdtemp(prefix="banks-ops-bench-")
+    try:
+        wal_dir = f"{work_dir}/wal"
+        ckpt_dir = f"{work_dir}/checkpoints"
+        manager = CheckpointManager(
+            ckpt_dir, every=checkpoint_every, fsync=False
+        )
+        writer = WalWriter(
+            wal_dir, fsync="never", checkpoint_path=ckpt_dir
+        )
+        store = SnapshotStore(
+            IncrementalBANKS(database.fork()),
+            copy_mode="delta",
+            wal=writer,
+            checkpoints=manager,
+        )
+        checkpoint_seconds: List[float] = []
+        for op, args in script:
+            before = manager.checkpoints_written
+            began = time.perf_counter()
+            store.mutate(
+                lambda facade, op=op, args=args: run_operation(
+                    facade, op, args
+                )
+            )
+            if manager.checkpoints_written > before:
+                checkpoint_seconds.append(time.perf_counter() - began)
+        if manager.last_error is not None:  # pragma: no cover - diagnostics
+            raise manager.last_error
+        live = store.current().facade
+        live_signatures = _top5_signatures(live, queries)
+
+        # Each recovery is timed best-of-5: both paths are sub-second
+        # at 500 epochs, where a single one-shot measurement is at the
+        # mercy of GC pauses and allocator warm-up — the ratio is what
+        # the regression gate floors, so it must be a property of the
+        # mechanism, not of the noisiest run.
+        def _best_of(recover, repeats: int = 5):
+            best = float("inf")
+            result = None
+            for _attempt in range(repeats):
+                began = time.perf_counter()
+                result = recover()
+                best = min(best, time.perf_counter() - began)
+            return result, best
+
+        full, full_replay_seconds = _best_of(
+            lambda: IncrementalBANKS.recover(database.fork, wal_dir)
+        )
+        recovered, checkpoint_recover_seconds = _best_of(
+            lambda: IncrementalBANKS.recover(
+                database.fork, wal_dir, checkpoints=manager
+            )
+        )
+        checkpoint_recovery_ok = (
+            full.applied_epoch == recovered.applied_epoch == store.epoch
+            and _top5_signatures(full, queries) == live_signatures
+            and _top5_signatures(recovered, queries) == live_signatures
+        )
+
+        # Rebalance parity: a router draining a shard live must keep
+        # returning exactly what it returned before the drain (a move
+        # changes ownership, never answers), and stay never-worse than
+        # the unsharded reference at every rank.  Thread backend —
+        # deterministic and cheap; the process backend's move path is
+        # covered by tests/ops.
+        from repro.shard.router import ShardRouter
+
+        reference = IncrementalBANKS(database.fork())
+        reference_signatures = [
+            _signature(reference.search(query, max_results=5))
+            for query in queries
+        ]
+        with internal_construction():
+            router = ShardRouter(
+                database.fork(), shards=shards, backend="thread"
+            )
+        try:
+            before = _router_signatures(router, queries)
+            rebalance_ok = _never_worse(before, reference_signatures)
+            cover_ok = _ownership_is_disjoint_cover(router)
+            plan = drain_plan(router, shards - 1)
+            began = time.perf_counter()
+            outcome = router.rebalance(plan)
+            rebalance_seconds = time.perf_counter() - began
+            after = _router_signatures(router, queries)
+            rebalance_ok = (
+                rebalance_ok
+                and after == before
+                and _never_worse(after, reference_signatures)
+            )
+            cover_ok = cover_ok and _ownership_is_disjoint_cover(router)
+            cover_ok = cover_ok and not router.partition.shard_nodes[shards - 1]
+            rebalance_moves = outcome["applied"]
+        finally:
+            router.stop()
+
+        return OpsBenchReport(
+            dataset=dataset or database.name,
+            epochs=store.epoch,
+            checkpoint_every=checkpoint_every,
+            checkpoints_written=manager.checkpoints_written,
+            checkpoint_bytes=_newest_checkpoint_bytes(manager),
+            checkpoint_seconds=(
+                sum(checkpoint_seconds) / len(checkpoint_seconds)
+                if checkpoint_seconds
+                else 0.0
+            ),
+            full_replay_seconds=full_replay_seconds,
+            checkpoint_recover_seconds=checkpoint_recover_seconds,
+            checkpoint_recovery_ok=checkpoint_recovery_ok,
+            rebalance_moves=rebalance_moves,
+            rebalance_seconds=rebalance_seconds,
+            rebalance_ok=rebalance_ok,
+            cover_ok=cover_ok,
+        )
+    finally:
+        if owns_dir:
+            shutil.rmtree(work_dir, ignore_errors=True)
+
+

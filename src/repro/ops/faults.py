@@ -1,0 +1,162 @@
+"""Deterministic fault injection for the checkpoint/rebalance protocols.
+
+PR 4 established the testing discipline durability code needs: every
+failure offset is exercised mechanically, not sampled.  The WAL could
+be fuzzed byte-by-byte because its on-disk format made "every
+interruption point" enumerable.  Checkpointing and rebalancing are
+multi-step *protocols*, so their interruption points are named steps
+instead of byte offsets: each implementation calls
+``faults.step(name)`` immediately **after** completing the named
+action, and exports its step list (:data:`~repro.ops.checkpoint.
+CHECKPOINT_STEPS`, :data:`~repro.ops.rebalance.REBALANCE_STEPS`) so a
+test can iterate every one.
+
+A :class:`FaultInjector` holds a deterministic plan keyed by step
+name:
+
+* **kill** — raise :class:`FaultInjected` at the step, simulating a
+  crash at that exact point (everything before the step is on disk /
+  applied, nothing after it is);
+* **stall** — sleep at the step (through the injectable sleeper, so
+  tests can count stalls without waiting), simulating a slow disk or a
+  scheduler hiccup;
+* **torn write** — for steps that write a file, persist only a prefix
+  of the payload and then raise, simulating power loss mid-``write``.
+
+Occurrences are counted per step name, so a plan can target "the
+third checkpoint's rename" deterministically.  The injector records
+every fault it fired (:attr:`FaultInjector.fired`) for assertions.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.errors import ReproError
+
+
+class FaultInjected(ReproError):
+    """The injected crash: raised at a planned step.
+
+    Attributes:
+        step: the named protocol step the fault fired at.
+        mode: ``"kill"`` or ``"torn_write"``.
+    """
+
+    def __init__(self, step: str, mode: str = "kill"):
+        super().__init__(f"injected fault at step {step!r} ({mode})")
+        self.step = step
+        self.mode = mode
+
+
+class FaultInjector:
+    """A deterministic plan of faults over named protocol steps.
+
+    Args:
+        sleeper: the sleep function stalls go through (injectable so a
+            test can observe stalls without real waiting).
+        clock: the time source exposed as :meth:`now` for protocol code
+            that needs one (injectable for deterministic timestamps).
+    """
+
+    def __init__(
+        self,
+        sleeper: Callable[[float], None] = time.sleep,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self._sleeper = sleeper
+        self._clock = clock
+        #: step name -> list of (mode, occurrence, param) still armed.
+        self._plan: Dict[str, List[Tuple[str, int, float]]] = {}
+        self._counts: Dict[str, int] = {}
+        #: Every fault that fired, as ``(step, mode, occurrence)``.
+        self.fired: List[Tuple[str, str, int]] = []
+
+    # -- planning -------------------------------------------------------------
+
+    def kill_at(self, step: str, occurrence: int = 1) -> "FaultInjector":
+        """Crash (raise :class:`FaultInjected`) at the ``occurrence``-th
+        visit of ``step``."""
+        return self._arm(step, "kill", occurrence, 0.0)
+
+    def stall_at(
+        self, step: str, seconds: float = 0.05, occurrence: int = 1
+    ) -> "FaultInjector":
+        """Sleep ``seconds`` at the ``occurrence``-th visit of ``step``."""
+        return self._arm(step, "stall", occurrence, seconds)
+
+    def torn_write_at(
+        self, step: str, keep_fraction: float = 0.5, occurrence: int = 1
+    ) -> "FaultInjector":
+        """At the ``occurrence``-th visit of a *write* step, persist only
+        ``keep_fraction`` of the payload bytes, then crash.  Protocol
+        code consults :meth:`torn_bytes` during the write."""
+        if not 0.0 <= keep_fraction < 1.0:
+            raise ReproError(
+                f"torn keep_fraction must be in [0, 1), got {keep_fraction}"
+            )
+        return self._arm(step, "torn_write", occurrence, keep_fraction)
+
+    def _arm(
+        self, step: str, mode: str, occurrence: int, param: float
+    ) -> "FaultInjector":
+        if occurrence < 1:
+            raise ReproError(f"occurrence must be >= 1, got {occurrence}")
+        self._plan.setdefault(step, []).append((mode, occurrence, param))
+        return self
+
+    def reset(self) -> None:
+        """Forget counters and fired faults; the plan stays armed for
+        a fresh protocol run."""
+        self._counts.clear()
+        self.fired.clear()
+
+    # -- the shim surface protocol code calls ---------------------------------
+
+    def step(self, name: str) -> None:
+        """Mark one visit of a named step: stall and/or crash when the
+        plan says so.  Called by protocol code immediately *after* the
+        named action completed."""
+        count = self._counts.get(name, 0) + 1
+        self._counts[name] = count
+        for mode, occurrence, param in self._plan.get(name, ()):
+            if occurrence != count:
+                continue
+            if mode == "stall":
+                self.fired.append((name, mode, count))
+                self._sleeper(param)
+            elif mode == "kill":
+                self.fired.append((name, mode, count))
+                raise FaultInjected(name, "kill")
+
+    def torn_bytes(self, name: str, total: int) -> Optional[int]:
+        """How many bytes of a ``total``-byte payload the *upcoming*
+        visit of write step ``name`` may persist — ``None`` for all of
+        them.  Does not advance the visit counter (the :meth:`step`
+        call after the write does); a torn write is recorded as fired
+        here, and the caller must raise :meth:`torn` after persisting
+        the prefix."""
+        upcoming = self._counts.get(name, 0) + 1
+        for mode, occurrence, param in self._plan.get(name, ()):
+            if mode == "torn_write" and occurrence == upcoming:
+                self.fired.append((name, mode, upcoming))
+                return min(max(0, int(total * param)), max(0, total - 1))
+        return None
+
+    @staticmethod
+    def torn(name: str) -> FaultInjected:
+        """The exception a torn write crashes with (caller raises it)."""
+        return FaultInjected(name, "torn_write")
+
+    def now(self) -> float:
+        """The injected clock (protocol timestamps in tests)."""
+        return self._clock()
+
+    def sleep(self, seconds: float) -> None:
+        """The injected sleeper (protocol waits in tests)."""
+        self._sleeper(seconds)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        armed = sum(len(entries) for entries in self._plan.values())
+        return f"FaultInjector({armed} armed, {len(self.fired)} fired)"

@@ -38,6 +38,7 @@ Typical use::
 
 from __future__ import annotations
 
+import os
 import time
 from concurrent.futures import CancelledError, Future
 from dataclasses import dataclass
@@ -113,6 +114,14 @@ class EngineConfig:
             :mod:`repro.store.wal`).  Delta mode only.
         wal_fsync: the WAL's durability policy (``"always"`` |
             ``"rotate"`` | ``"never"``).
+        checkpoint_every: write a checkpoint every N published epochs
+            (0 disables checkpointing), re-basing the WAL so recovery
+            replays only the tail (see
+            :class:`~repro.ops.checkpoint.CheckpointManager`).
+            Requires ``wal_path``.
+        checkpoint_path: where checkpoints live; defaults to a
+            ``checkpoints/`` directory inside ``wal_path``.  Also the
+            WAL's retention prune floor.
         trace_sample: trace sampling mode — ``"off"`` (default: no
             tracing unless the caller hands a trace in), ``"always"``,
             ``"slow"`` (trace everything, store only slow queries) or
@@ -132,6 +141,8 @@ class EngineConfig:
     copy_mode: str = "auto"
     wal_path: Optional[str] = None
     wal_fsync: str = "always"
+    checkpoint_every: int = 0
+    checkpoint_path: Optional[str] = None
     trace_sample: Any = "off"
     slow_query_ms: Optional[float] = None
     trace_buffer: int = 256
@@ -154,6 +165,15 @@ class EngineConfig:
             )
         if self.default_deadline is not None and self.default_deadline <= 0:
             raise ServeError("default_deadline must be positive")
+        if self.checkpoint_every < 0:
+            raise ServeError("checkpoint_every must be >= 0")
+        if (
+            self.checkpoint_every or self.checkpoint_path is not None
+        ) and self.wal_path is None:
+            raise ServeError(
+                "checkpoints re-base a WAL: checkpoint_every / "
+                "checkpoint_path need wal_path"
+            )
         try:
             parse_sample(self.trace_sample)
         except Exception as error:
@@ -225,12 +245,32 @@ class QueryEngine:
             buffer=self.config.trace_buffer,
         )
         wal = None
+        checkpoints = None
         if self.config.wal_path is not None:
             from repro.store.wal import WalWriter
 
-            wal = WalWriter(self.config.wal_path, fsync=self.config.wal_fsync)
+            checkpoint_dir = None
+            if self.config.checkpoint_every or self.config.checkpoint_path:
+                from repro.ops.checkpoint import CheckpointManager
+
+                checkpoint_dir = self.config.checkpoint_path or os.path.join(
+                    self.config.wal_path, "checkpoints"
+                )
+                checkpoints = CheckpointManager(
+                    checkpoint_dir, every=self.config.checkpoint_every
+                )
+            # The WAL learns the checkpoint directory too: its
+            # retention pruning clamps to the manifest epoch there.
+            wal = WalWriter(
+                self.config.wal_path,
+                fsync=self.config.wal_fsync,
+                checkpoint_path=checkpoint_dir,
+            )
         self.snapshots = SnapshotStore(
-            facade, copy_mode=self.config.copy_mode, wal=wal
+            facade,
+            copy_mode=self.config.copy_mode,
+            wal=wal,
+            checkpoints=checkpoints,
         )
         self.pool = WorkerPool(
             workers=self.config.workers,
@@ -276,6 +316,13 @@ class QueryEngine:
         m.gauge("wal_bytes",
                 "bytes the durable log holds on disk (0 = no WAL)",
                 fn=lambda: self.snapshots.wal_bytes)
+        m.gauge("checkpoints_written",
+                "checkpoints durably written (0 = checkpointing off)",
+                fn=lambda: (
+                    self.snapshots.checkpoints.checkpoints_written
+                    if self.snapshots.checkpoints is not None
+                    else 0
+                ))
         self._latency = m.latency(
             "latency_seconds", "admission-to-completion latency",
             window_seconds=window,

@@ -89,6 +89,13 @@ class SnapshotStore:
             visible, making the store the durable write path behind
             ``banks serve --live --wal`` (recovery and replicas read
             it back; see :mod:`repro.store.wal`).
+        checkpoints: optional
+            :class:`~repro.ops.checkpoint.CheckpointManager`; after
+            each publish the store offers the new facade to
+            ``maybe_checkpoint`` (under the write lock, so the epoch
+            and the facade state are always consistent), re-basing the
+            WAL on the manager's cadence.  Checkpoint failures never
+            fail the publish — it is already durable in the WAL.
     """
 
     def __init__(
@@ -97,6 +104,7 @@ class SnapshotStore:
         copy_mode: str = "auto",
         retain: int = 256,
         wal: Any = None,
+        checkpoints: Any = None,
     ):
         if copy_mode not in _COPY_MODES:
             raise ServeError(
@@ -116,6 +124,12 @@ class SnapshotStore:
                 "a WAL needs the delta-log write path: copy_mode='deep' "
                 "captures no deltas to serialise"
             )
+        if checkpoints is not None and wal is None:
+            raise ServeError(
+                "checkpoints re-base a WAL: attach one (wal=...) or "
+                "drop the checkpoint manager"
+            )
+        self.checkpoints = checkpoints
         self.copy_mode = copy_mode
         self.log: Optional[DeltaLog] = (
             DeltaLog(retain=retain, wal=open_wal(wal))
@@ -257,6 +271,7 @@ class SnapshotStore:
                 current.version + 1,
                 current.facade if facade is None else facade,
             )
+            self._offer_checkpoint()
             return self._current
 
     # -- internals ---------------------------------------------------------------
@@ -287,6 +302,17 @@ class SnapshotStore:
         if self.log is not None:
             self.log.publish(deltas or ())
         self._current = Snapshot(self._current.version + 1, clone)
+        self._offer_checkpoint()
+
+    def _offer_checkpoint(self) -> None:
+        """Give the checkpoint manager its shot at the just-published
+        version (still under the write lock: the facade it pickles is
+        exactly the state at :attr:`epoch`, and no later publish can
+        interleave)."""
+        if self.checkpoints is not None:
+            self.checkpoints.maybe_checkpoint(
+                self._current.facade, epoch=self.epoch
+            )
 
     @staticmethod
     def _seal(facade: Any) -> None:

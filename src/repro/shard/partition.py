@@ -179,6 +179,38 @@ class Partition:
             if shard is not None:
                 self.shard_nodes[shard].discard(removed)
 
+    def move_node(self, node, target: int, incident_edges) -> int:
+        """Re-assign one node to ``target`` (live rebalancing); returns
+        the shard it came from.
+
+        The re-assignment itself is two set updates plus the dict
+        entry; the cut-edge bookkeeping rides the existing
+        :meth:`apply_delta` path as a synthetic ``update`` delta
+        carrying the node's incident edges — every one of them is
+        re-classified against the *new* assignment, so crossing edges
+        gain :class:`CutEdge` records (federation ``TupleLink``\\ s
+        re-point) and newly local ones lose theirs.  The graph itself
+        never changes: only ownership moves.
+        """
+        from repro.store.delta import Delta
+
+        if not 0 <= target < self.shards:
+            raise ShardError(
+                f"cannot move {node!r} to shard {target}, outside "
+                f"range(0, {self.shards})"
+            )
+        source = self.shard_of(node)
+        if source == target:
+            return source
+        self._assignment[node] = target
+        self.shard_nodes[source].discard(node)
+        self.shard_nodes[target].add(node)
+        self.apply_delta(
+            Delta(kind="update", node=node, edges=tuple(incident_edges)),
+            target,
+        )
+        return source
+
     def cut_links(self) -> List[TupleLink]:
         """The cut edges as federation tuple links (stitching input)."""
         return [edge.to_tuple_link() for edge in self.cut_edges]

@@ -200,3 +200,9 @@ class ProcessShardWorker(ProcessWorkerProxy):
         child applies it atomically between requests.
         """
         return self._call("apply_delta", delta, owner)
+
+    def move_node(self, node, source: int, target: int) -> bool:
+        """Replay one rebalance move into the worker's private replica
+        (ownership set + index slice; same pipe serialisation as
+        :meth:`apply_delta`)."""
+        return self._call("move_node", node, source, target)

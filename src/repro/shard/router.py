@@ -348,6 +348,9 @@ class ShardRouter:
         self._mutations = m.counter(
             "mutations_total", "deltas routed to their owning shard"
         )
+        self._rebalance_moves = m.counter(
+            "rebalance_moves_total", "nodes moved between shards live"
+        )
         m.gauge("epoch", "router mutation epoch", fn=lambda: self.epoch)
         self._mutate_latency = m.histogram(
             "mutate_seconds", "delta route-and-apply cost distribution"
@@ -716,6 +719,125 @@ class ShardRouter:
         self.epoch += 1
         self._mutations.inc()
         self._mutate_latency.observe(time.perf_counter() - started)
+
+    # -- live rebalancing ------------------------------------------------------
+
+    def rebalance(self, plan, faults=None) -> Dict[str, int]:
+        """Execute a rebalance plan move by move, while serving.
+
+        ``plan`` is a :class:`~repro.ops.rebalance.RebalancePlan` (or
+        anything with a ``moves`` sequence of ``node``/``source``/
+        ``target`` records — the router deliberately doesn't import the
+        planner).  Each move takes the write gate exclusively, exactly
+        like a routed mutation: in-flight searches drain, the move
+        applies everywhere (partition, every searcher's ownership and
+        index slice, forked workers' private replicas), both affected
+        engines republish, and the router epoch advances — so a query
+        admitted between moves always sees a disjoint ownership cover
+        and exact answer parity (the stitched graph never changes).
+
+        ``faults`` (a :class:`~repro.ops.faults.FaultInjector`) gets
+        every step of :data:`~repro.ops.rebalance.REBALANCE_STEPS`
+        announced per move.  A fault mid-move rolls the completed
+        sub-steps of *that move* back before re-raising, so an aborted
+        rebalance leaves the partition consistent at the last fully
+        applied move.
+
+        Returns ``{"applied": ..., "skipped": ..., "epoch": ...}``;
+        moves whose node has vanished or already migrated (a stale
+        plan) are skipped, not errors — planning reads live state that
+        mutations may have moved on from.
+        """
+        applied = 0
+        skipped = 0
+        for move in plan.moves:
+            with self._gate.write():
+                try:
+                    current = self.partition.shard_of(move.node)
+                except ShardError:
+                    skipped += 1  # deleted since planning
+                    continue
+                if current != move.source or move.source == move.target:
+                    skipped += 1  # already migrated / no-op
+                    continue
+                self._move_node(move.node, move.source, move.target, faults)
+                applied += 1
+                self._rebalance_moves.inc()
+        return {"applied": applied, "skipped": skipped, "epoch": self.epoch}
+
+    def drain(self, shard: int, faults=None) -> Dict[str, int]:
+        """Empty one shard through :meth:`rebalance` (decommission
+        primitive; plan derived by
+        :func:`~repro.ops.rebalance.drain_plan`)."""
+        from repro.ops.rebalance import drain_plan
+
+        return self.rebalance(drain_plan(self, shard), faults=faults)
+
+    def _move_node(self, node: RID, source: int, target: int, faults) -> None:
+        """One move under the held write gate, with rollback.
+
+        Order mirrors the delta write path: partition bookkeeping,
+        per-searcher ownership/index maintenance, process-worker
+        replay, then republish.  The undo stack inverts completed
+        sub-steps if a fault (or a dead worker) interrupts, restoring
+        the pre-move state before the error propagates.
+        """
+        incident = [
+            (node, successor, weight)
+            for successor, weight in self.graph.successors(node)
+        ] + [
+            (predecessor, node, weight)
+            for predecessor, weight in self.graph.predecessors(node)
+        ]
+        undo: List[Any] = []
+        try:
+            self.partition.move_node(node, target, incident)
+            undo.append(
+                lambda: self.partition.move_node(node, source, incident)
+            )
+            if faults is not None:
+                faults.step("assign")
+            moved_searchers: List[ShardSearcher] = []
+            undo.append(
+                lambda: [
+                    searcher.move_node(node, target, source)
+                    for searcher in moved_searchers
+                ]
+            )
+            for searcher in self._searchers:
+                searcher.move_node(node, source, target)
+                moved_searchers.append(searcher)
+            if faults is not None:
+                faults.step("reslice")
+            if self.backend == "process":
+                moved_workers: List[Any] = []
+                undo.append(
+                    lambda: [
+                        worker.move_node(node, target, source)
+                        for worker in moved_workers
+                    ]
+                )
+                for worker in self._workers:
+                    worker.move_node(node, source, target)
+                    moved_workers.append(worker)
+            if faults is not None:
+                faults.step("replay")
+            self.engines[source].snapshots.republish()
+            self.engines[target].snapshots.republish()
+            self.epoch += 1
+            if faults is not None:
+                faults.step("republish")
+        except BaseException:
+            for action in reversed(undo):
+                action()
+            # Readers may already have seen a republish carrying the
+            # half-applied (or, at the final step, fully applied but
+            # now reverted) move: advertise the restored ownership
+            # under a fresh version so every later search is exact.
+            self.engines[source].snapshots.republish()
+            self.engines[target].snapshots.republish()
+            self.epoch += 1
+            raise
 
     # -- presentation / introspection ----------------------------------------
 

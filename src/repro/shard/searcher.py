@@ -116,6 +116,27 @@ class ShardSearcher:
         self.note_delta(delta, owner)
         return True
 
+    def move_node(self, node: RID, source: int, target: int) -> bool:
+        """Follow one rebalance move: ownership and index-slice
+        maintenance for this searcher's side of it.
+
+        The stitched graph, the database and the full index are
+        untouched — a move changes *ownership*, nothing else.  Gaining
+        the node means adding its postings to this shard's index slice
+        and (process mode, where the ownership set is a private copy)
+        its id to the owned set; losing it is the reverse.  Set and
+        index operations are idempotent, so thread mode — where the
+        owned set is the very object the partition already updated —
+        may broadcast this to every searcher safely.
+        """
+        if target == self.shard_id:
+            self.owned_nodes.add(node)
+            self.index.add_row(*node)
+        elif source == self.shard_id:
+            self.owned_nodes.discard(node)
+            self.index.remove_row(*node)
+        return True
+
     def note_delta(self, delta: Delta, owner: int) -> None:
         """Bookkeeping after a delta reached this searcher's graph:
         ownership set maintenance plus a lazy normaliser refresh.

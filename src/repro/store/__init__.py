@@ -90,7 +90,12 @@ from repro.store.delta import (
 )
 from repro.store.log import DeltaLog, Epoch
 from repro.store.versioned import VersionedGraph, fork_graph
-from repro.store.wal import ReplicaFollower, WalReader, WalWriter
+from repro.store.wal import (
+    ReplicaFollower,
+    WalReader,
+    WalWriter,
+    checkpoint_floor,
+)
 
 __all__ = [
     "Delta",
@@ -101,6 +106,7 @@ __all__ = [
     "WalReader",
     "WalWriter",
     "apply_graph_delta",
+    "checkpoint_floor",
     "derive_delete",
     "derive_insert",
     "derive_insert_dict",

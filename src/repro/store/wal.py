@@ -57,15 +57,30 @@ behind it gets :class:`~repro.errors.StoreError` from
 outright — both loud, mirroring the in-memory contract.  The default
 ``retain=None`` keeps everything, which is what recovery from a base
 snapshot needs.
+
+With a ``checkpoint_path`` the writer additionally clamps the
+retention horizon to the **checkpoint floor**: the newest epoch the
+checkpoint directory's manifest records
+(:func:`checkpoint_floor`; written by
+:class:`~repro.ops.checkpoint.CheckpointManager`).  Epochs at or below
+a durable checkpoint are re-based and safe to drop; epochs above it
+are the replay tail recovery needs, and pruning them would make the
+log unrecoverable — the old behaviour with ``retain`` alone, which is
+why ``retain`` without checkpoints stays an explicit opt-in to bounded
+recoverability.  When the floor holds the horizon back the writer
+warns once (and again only after the floor advances), so a stalled
+checkpointer shows up in logs instead of as silent disk growth.
 """
 
 from __future__ import annotations
 
+import json
 import os
 import pickle
 import struct
 import threading
 import time
+import warnings
 import zlib
 from typing import Any, List, Optional, Tuple
 
@@ -79,6 +94,33 @@ _SEGMENT_SUFFIX = ".wal"
 
 #: Accepted fsync policies (see module docstring).
 FSYNC_POLICIES = ("always", "rotate", "never")
+
+#: The checkpoint directory's manifest file (written atomically by
+#: :class:`~repro.ops.checkpoint.CheckpointManager`; read here so the
+#: store layer never imports the ops layer).
+CHECKPOINT_MANIFEST = "MANIFEST.json"
+
+
+def checkpoint_floor(checkpoint_path: Optional[str]) -> int:
+    """The newest *manifested* checkpoint epoch under
+    ``checkpoint_path`` — the retention prune floor.
+
+    Conservative by construction: a missing directory, a missing
+    manifest or an unreadable one all return 0 (nothing may be pruned),
+    because the cost of a wrong floor is an unrecoverable log.  The
+    manifest only ever names a checkpoint that was already durably
+    renamed into place, so pruning up to its epoch is always safe.
+    """
+    if not checkpoint_path:
+        return 0
+    manifest = os.path.join(str(checkpoint_path), CHECKPOINT_MANIFEST)
+    try:
+        with open(manifest, "r", encoding="utf-8") as handle:
+            record = json.load(handle)
+        epoch = record["checkpoint_epoch"]
+    except (OSError, ValueError, KeyError, TypeError):
+        return 0
+    return int(epoch) if isinstance(epoch, int) and epoch > 0 else 0
 
 
 def _segment_filename(first_epoch: int) -> str:
@@ -105,37 +147,81 @@ def _encode_record(epoch: Epoch) -> bytes:
     return _RECORD_HEADER.pack(len(payload), zlib.crc32(payload)) + payload
 
 
-def _scan_segment(filepath: str) -> Tuple[List[Epoch], int, Optional[str]]:
-    """Parse one segment; ``(epochs, valid_prefix_bytes, tear)``.
+def _scan_segment(
+    filepath: str, skip_records: int = 0
+) -> Tuple[List[Epoch], int, Optional[str], int]:
+    """Parse one segment; ``(epochs, valid_prefix_bytes, tear, skipped)``.
 
     ``tear`` describes the first malformed record (``None`` when the
     whole file parses); ``valid_prefix_bytes`` is where it starts — the
     truncation point that repairs the segment.
+
+    The first ``skip_records`` records are frame-validated (length
+    prefix and payload bounds) but neither checksummed nor unpickled —
+    the epoch-number invariant (strictly sequential, first record named
+    by the segment file) lets :meth:`WalReader.entries_since` skip the
+    re-based prefix below a checkpoint without paying a decode per
+    discarded record.  ``skipped`` is how many were actually present.
     """
     epochs: List[Epoch] = []
     with open(filepath, "rb") as handle:
         data = handle.read()
     offset = 0
+    skipped = 0
     while offset < len(data):
         header_end = offset + _RECORD_HEADER.size
         if header_end > len(data):
-            return epochs, offset, "truncated record header"
+            return epochs, offset, "truncated record header", skipped
         length, checksum = _RECORD_HEADER.unpack(data[offset:header_end])
         payload_end = header_end + length
         if payload_end > len(data):
-            return epochs, offset, "truncated record payload"
+            return epochs, offset, "truncated record payload", skipped
+        if skipped < skip_records:
+            skipped += 1
+            offset = payload_end
+            continue
         payload = data[header_end:payload_end]
         if zlib.crc32(payload) != checksum:
-            return epochs, offset, "record checksum mismatch"
+            return epochs, offset, "record checksum mismatch", skipped
         try:
             epoch = pickle.loads(payload)
         except Exception:
-            return epochs, offset, "undecodable record payload"
+            return epochs, offset, "undecodable record payload", skipped
         if not isinstance(epoch, Epoch):
-            return epochs, offset, "record is not an Epoch"
+            return epochs, offset, "record is not an Epoch", skipped
         epochs.append(epoch)
         offset = payload_end
-    return epochs, offset, None
+    return epochs, offset, None, skipped
+
+
+def _complete_records(filepath: str) -> int:
+    """Number of complete (frame- and checksum-valid) records in a
+    segment, without decoding any payload.
+
+    The epoch-number invariant (strictly sequential, first record
+    named by the segment file) turns this count into the segment's
+    epoch range — the :meth:`WalReader.last_epoch` probe needs nothing
+    more.  A payload that checksums but would not unpickle still
+    counts; only the decoding readers classify that deeper tear.
+    """
+    with open(filepath, "rb") as handle:
+        data = handle.read()
+    offset = 0
+    count = 0
+    total = len(data)
+    while offset < total:
+        header_end = offset + _RECORD_HEADER.size
+        if header_end > total:
+            break
+        length, checksum = _RECORD_HEADER.unpack(data[offset:header_end])
+        payload_end = header_end + length
+        if payload_end > total:
+            break
+        if zlib.crc32(data[header_end:payload_end]) != checksum:
+            break
+        count += 1
+        offset = payload_end
+    return count
 
 
 class WalReader:
@@ -177,13 +263,18 @@ class WalReader:
     def _segment_range(self, filepath: str) -> Tuple[int, int]:
         """``(first, last)`` complete epoch numbers of one segment
         (``(0, 0)`` when it holds none), cached by file size — an
-        append or a tail repair changes the size and invalidates."""
+        append or a tail repair changes the size and invalidates.
+
+        Counted, not decoded: the first epoch is the segment's
+        filename and numbering is strictly sequential, so the range
+        probe never pays a pickle per record."""
         size = os.path.getsize(filepath)
         key = (filepath, size)
         cached = self._ranges.get(key)
         if cached is None:
-            parsed, _valid, _tear = _scan_segment(filepath)
-            cached = (parsed[0].number, parsed[-1].number) if parsed else (0, 0)
+            stem = os.path.basename(filepath)[: -len(_SEGMENT_SUFFIX)]
+            count = _complete_records(filepath)
+            cached = (int(stem), int(stem) + count - 1) if count else (0, 0)
             if len(self._ranges) > 256:
                 self._ranges.clear()
             self._ranges[key] = cached
@@ -237,12 +328,24 @@ class WalReader:
             ):
                 previous = segments[position + 1][0] - 1
                 continue
-            parsed, _valid_bytes, tear = _scan_segment(filepath)
+            # Records below ``since`` inside this segment are re-based
+            # history: frame-skip them (epochs are strictly sequential
+            # and the first record's number is the segment's filename,
+            # the same invariant the whole-segment skip above relies
+            # on) instead of decoding and discarding each one.
+            skip = 0
+            if since is not None and first_epoch <= since:
+                skip = since + 1 - first_epoch
+            parsed, _valid_bytes, tear, skipped = _scan_segment(
+                filepath, skip_records=skip
+            )
             if tear is not None and not final:
                 raise WalError(
                     f"segment {filepath!r} is corrupt mid-log ({tear}); "
                     "epochs after it cannot be replayed"
                 )
+            if skipped:
+                previous = first_epoch + skipped - 1
             for epoch in parsed:
                 if previous is not None and epoch.number != previous + 1:
                     raise WalError(
@@ -306,6 +409,11 @@ class WalWriter:
             :class:`~repro.store.log.DeltaLog`; pruning drops whole
             segments only.  ``None`` (default) keeps everything —
             required for recovery from a base snapshot.
+        checkpoint_path: the checkpoint directory whose manifest sets
+            the prune floor (see :func:`checkpoint_floor`); retention
+            never deletes epochs above the newest manifested
+            checkpoint, so a ``retain`` window cannot make the log
+            unrecoverable while checkpointing lags.
 
     Opening an existing directory resumes it: the torn tail of the
     last segment (if any) is truncated away and epoch numbering
@@ -318,6 +426,7 @@ class WalWriter:
         segment_bytes: int = 4 * 1024 * 1024,
         fsync: str = "always",
         retain: Optional[int] = None,
+        checkpoint_path: Optional[str] = None,
     ):
         if fsync not in FSYNC_POLICIES:
             raise StoreError(
@@ -332,6 +441,10 @@ class WalWriter:
         self.segment_bytes = segment_bytes
         self.fsync = fsync
         self.retain = retain
+        self.checkpoint_path = (
+            str(checkpoint_path) if checkpoint_path is not None else None
+        )
+        self._floor_warned_at: Optional[int] = None
         os.makedirs(self.path, exist_ok=True)
         self._lock = threading.Lock()
         self._handle = None
@@ -352,7 +465,7 @@ class WalWriter:
         self._bytes = 0
         for position, (first, filepath) in enumerate(segments):
             final = position == len(segments) - 1
-            parsed, valid_bytes, tear = _scan_segment(filepath)
+            parsed, valid_bytes, tear, _skipped = _scan_segment(filepath)
             if tear is not None:
                 if not final:
                     raise WalError(
@@ -368,7 +481,7 @@ class WalWriter:
             _first, filepath = segments[-1]
             self._segment_path = filepath
             self._segment_size = os.path.getsize(filepath)
-            parsed, _valid, _tear = _scan_segment(filepath)
+            parsed, _valid, _tear, _skipped = _scan_segment(filepath)
             self._segment_records = len(parsed)
             self._handle = open(filepath, "ab")
         else:
@@ -464,8 +577,27 @@ class WalWriter:
 
     def _prune_locked(self) -> None:
         """Delete whole segments whose newest epoch is older than the
-        retention horizon.  The open segment is never pruned."""
+        retention horizon, clamped to the checkpoint floor (recovery
+        must keep every epoch past the newest manifested checkpoint).
+        The open segment is never pruned."""
         horizon = self._last_epoch - self.retain
+        if self.checkpoint_path is not None:
+            floor = checkpoint_floor(self.checkpoint_path)
+            if floor < horizon:
+                if self._floor_warned_at != floor:
+                    self._floor_warned_at = floor
+                    warnings.warn(
+                        f"WAL retention wants to prune up to epoch "
+                        f"{horizon} but the newest checkpoint covers "
+                        f"only epoch {floor}; clamping — epochs "
+                        f"{floor + 1}..{horizon} stay on disk until a "
+                        "checkpoint re-bases them",
+                        RuntimeWarning,
+                        stacklevel=3,
+                    )
+                horizon = floor
+            else:
+                self._floor_warned_at = None
         if horizon <= 0:
             return
         segments = _list_segments(self.path)

@@ -17,6 +17,7 @@ import re
 from typing import Iterator, List
 
 _TOKEN_RE = re.compile(r"[A-Za-z0-9]+")
+_CAMEL_RE = re.compile(r"(?<=[a-z])(?=[A-Z])")
 
 
 def normalize(term: str) -> str:
@@ -32,10 +33,14 @@ def tokenize(text: str) -> List[str]:
     id-valued columns searchable the way the paper's screenshots show.
     """
     tokens: List[str] = []
-    for match in _TOKEN_RE.finditer(text):
-        word = match.group(0)
-        for part in _split_camel(word):
-            tokens.append(part.lower())
+    for word in _TOKEN_RE.findall(text):
+        lowered = word.lower()
+        if lowered == word:
+            # Fast path: no uppercase, so no camel boundary to split.
+            tokens.append(word)
+        else:
+            for part in _split_camel(word):
+                tokens.append(part.lower())
     return tokens
 
 
@@ -46,12 +51,7 @@ def _split_camel(word: str) -> Iterator[str]:
     (``DBLP`` -> ``DBLP``); single-character fragments are kept (they
     still normalise and index, e.g. middle initials).
     """
-    start = 0
-    for i in range(1, len(word)):
-        if word[i].isupper() and word[i - 1].islower():
-            yield word[start:i]
-            start = i
-    yield word[start:]
+    return iter(_CAMEL_RE.split(word))
 
 
 def tokenize_identifier(identifier: str) -> List[str]:

@@ -1,0 +1,125 @@
+"""Property test: random mutations interleaved with random rebalances
+keep the router an exact mirror of the unsharded engine.
+
+The searches use an exhaustive ``max_results`` (larger than any answer
+set a 12-op history can produce), so parity is ownership-independent:
+per-shard top-k emission cutoffs — which legitimately shuffle *deep*
+ranks when ownership moves — never truncate anything, and the answer
+lists must match strictly after every rebalance regardless of where
+the nodes live.  Answers are compared by the engine's own duplicate
+identity (:meth:`~repro.core.answer.AnswerTree.undirected_key`: node
+set + undirected edges — root choice within an equal-scoring tree is
+discovery-order dependent by design) plus the exact score.  Ownership
+itself must stay a disjoint cover of the graph throughout.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.incremental import IncrementalBANKS
+from repro.ops.rebalance import drain_plan, plan_rebalance
+from repro.shard.router import ShardRouter
+
+from tests.ops.test_checkpoint_crash import make_db
+
+SHARDS = 3
+QUERIES = ("grace", "abstraction", "property study", "compiling barbara")
+
+#: Each op is (kind, pick); pick deterministically selects the target
+#: row/shard so Hypothesis shrinks to minimal failing histories.
+OPS = st.lists(
+    st.tuples(
+        st.sampled_from(
+            ("insert_paper", "link", "rename", "unlink", "drain", "plan")
+        ),
+        st.integers(min_value=0, max_value=999),
+    ),
+    max_size=12,
+)
+
+
+def canonical_tree(tree):
+    """The engine's undirected duplicate key, in an orderable form."""
+    nodes = tuple(sorted(repr(node) for node in tree.nodes))
+    edges = tuple(
+        sorted(
+            tuple(sorted((repr(source), repr(target))))
+            for source, target in tree.edges
+        )
+    )
+    return (nodes, edges)
+
+
+def exhaustive_signature(target, query):
+    entries = [
+        (round(a.relevance, 9), canonical_tree(a.tree))
+        for a in target.search(query, max_results=32)
+    ]
+    return sorted(entries, key=lambda entry: (-entry[0], entry[1]))
+
+
+def assert_mirrors(router, reference):
+    for query in QUERIES:
+        assert exhaustive_signature(router, query) == exhaustive_signature(
+            reference, query
+        ), query
+    owned: set = set()
+    total = 0
+    for nodes in router.partition.shard_nodes:
+        total += len(nodes)
+        owned |= nodes
+    assert total == len(owned), "a node is owned by two shards"
+    assert owned == set(router.graph.nodes()), "ownership is not a cover"
+
+
+@settings(max_examples=25, deadline=None)
+@given(ops=OPS)
+def test_random_mutations_and_rebalances_mirror_the_reference(ops):
+    reference = IncrementalBANKS(make_db())
+    router = ShardRouter(make_db(), shards=SHARDS, backend="thread")
+    with router:
+        paper_rids = [("paper", 0), ("paper", 1)]
+        author_ids = ["a1", "a2"]
+        paper_ids = ["p1", "p2"]
+        link_rids = []
+        linked = {("a1", "p1"), ("a2", "p2")}
+        serial = 0
+        for kind, pick in ops:
+            if kind == "insert_paper":
+                pid = f"hp{serial}"
+                title = f"property study {serial}"
+                rid = router.insert("paper", [pid, title])
+                assert reference.insert("paper", [pid, title]) == rid
+                paper_rids.append(rid)
+                paper_ids.append(pid)
+                serial += 1
+            elif kind == "link":
+                aid = author_ids[pick % len(author_ids)]
+                pid = paper_ids[pick % len(paper_ids)]
+                if (aid, pid) in linked:
+                    continue
+                linked.add((aid, pid))
+                rid = router.insert("writes", [aid, pid])
+                assert reference.insert("writes", [aid, pid]) == rid
+                link_rids.append((rid, (aid, pid)))
+            elif kind == "rename":
+                target = paper_rids[pick % len(paper_rids)]
+                changes = {"title": f"revised study {serial}"}
+                router.update(target, changes)
+                reference.update(target, changes)
+                serial += 1
+            elif kind == "unlink":
+                if not link_rids:
+                    continue
+                rid, pair = link_rids.pop(pick % len(link_rids))
+                linked.discard(pair)
+                router.delete(rid)
+                reference.delete(rid)
+            elif kind == "drain":
+                router.rebalance(drain_plan(router, pick % SHARDS))
+                assert_mirrors(router, reference)
+            else:  # plan: metrics-driven rebalance
+                router.rebalance(plan_rebalance(router, max_moves=8))
+                assert_mirrors(router, reference)
+        assert_mirrors(router, reference)

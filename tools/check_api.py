@@ -1,8 +1,8 @@
 """Public-API surface gate: names must neither vanish nor leak.
 
 The intended public surface of the serving stack — the ``__all__``
-exports of ``repro.cluster``, ``repro.serve``, ``repro.shard`` and
-``repro.store`` — is snapshotted below.  CI fails when:
+exports of ``repro.cluster``, ``repro.ops``, ``repro.serve``,
+``repro.shard``, ``repro.store`` and friends — is snapshotted below.  CI fails when:
 
 * a **public name disappears** — it is in the snapshot but missing
   from the module's ``__all__`` (or no longer resolves): a breaking
@@ -82,6 +82,20 @@ PUBLIC_API: Dict[str, Tuple[str, ...]] = {
         "render_trace_tree",
         "span_tree",
     ),
+    "repro.ops": (
+        "CHECKPOINT_STEPS",
+        "CheckpointManager",
+        "CheckpointRecord",
+        "FaultInjected",
+        "FaultInjector",
+        "OpsBenchReport",
+        "REBALANCE_STEPS",
+        "RebalanceMove",
+        "RebalancePlan",
+        "drain_plan",
+        "plan_rebalance",
+        "run_ops_benchmark",
+    ),
     "repro.graph.csr": (
         "CSRDijkstra",
         "CSRGraph",
@@ -127,6 +141,7 @@ PUBLIC_API: Dict[str, Tuple[str, ...]] = {
         "WalReader",
         "WalWriter",
         "apply_graph_delta",
+        "checkpoint_floor",
         "derive_delete",
         "derive_insert",
         "derive_insert_dict",
