@@ -1,0 +1,84 @@
+"""Ingest benchmark: DBLP-scale bulk load, crash, resume, parity.
+
+One run on the 100k+-record synthetic bibliography
+(``synth:19500``) proves three claims:
+
+1. **Throughput** — the chunked pipeline sustains at least
+   :data:`MIN_RECORDS_PER_SEC` records/sec into an in-memory store
+   (``ingest_throughput_ok``).  The floor is deliberately
+   conservative (~5x below a dev-laptop run) so it gates algorithmic
+   collapse, not hardware.
+2. **Scale** — the ingested graph holds 100k+ nodes
+   (``ingest_scale_ok``): every tuple is a node, so the record count
+   is the node count.
+3. **Resume parity** — a WAL-backed ingest of the same stream is
+   killed mid-chunk, the facade is rebuilt from the WAL, the job is
+   resumed from the registry cursor, and the recovered store's top-5
+   answers on every demo query must match the uninterrupted ingest
+   **exactly** (``ingest_parity``).
+
+Run with::
+
+    pytest benchmarks/bench_ingest.py -q -s
+"""
+
+from __future__ import annotations
+
+from benchjson import record_bench_result
+from repro.ingest.bench import run_ingest_benchmark
+
+#: The acceptance scale: ~105k records => a 100k+-node graph.
+N_PAPERS = 19500
+CHUNK_SIZE = 1000
+
+#: Sustained records/sec floor for the uninterrupted ingest.
+MIN_RECORDS_PER_SEC = 400
+
+#: The graph must actually be DBLP-scale.
+MIN_NODES = 100_000
+
+
+def test_synth_bibliography_ingest_resume_parity(benchmark):
+    report = benchmark.pedantic(
+        lambda: run_ingest_benchmark(
+            n_papers=N_PAPERS,
+            chunk_size=CHUNK_SIZE,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + report.render())
+
+    record_bench_result(
+        "ingest",
+        "synth_bibliography",
+        {
+            "n_papers": report.n_papers,
+            "records": report.records,
+            "chunks": report.chunks,
+            "nodes": report.nodes,
+            "edges": report.edges,
+            "ingest_seconds": round(report.ingest_seconds, 3),
+            "records_per_sec": round(report.records_per_sec, 1),
+            "kill_step": report.kill_step,
+            "kill_chunk": report.kill_chunk,
+            "records_at_kill": report.records_at_kill,
+            "recover_seconds": round(report.recover_seconds, 3),
+            "resume_records": report.resume_records,
+            "resume_seconds": round(report.resume_seconds, 3),
+            "ingest_throughput_ok": float(
+                report.records_per_sec >= MIN_RECORDS_PER_SEC
+            ),
+            "ingest_scale_ok": float(report.nodes >= MIN_NODES),
+            "ingest_parity": float(report.parity_ok),
+        },
+    )
+
+    # Acceptance: DBLP scale, sustained throughput, and a crash that
+    # no query can observe after resume.
+    assert report.records == report.nodes
+    assert report.nodes >= MIN_NODES
+    assert report.records_per_sec >= MIN_RECORDS_PER_SEC
+    assert 0 < report.records_at_kill < report.records
+    assert report.resume_records == report.records - report.records_at_kill
+    assert report.parity_ok

@@ -97,6 +97,14 @@ FLOOR_METRICS = (
     "recovery_speedup_ok",
     "rebalance_parity",
     "rebalance_cover",
+    # Ingest floors (BENCH_ingest.json): a crash-and-resumed bulk load
+    # must answer every demo query exactly like the uninterrupted run,
+    # the graph must stay DBLP-scale (100k+ nodes), and the sustained
+    # records/sec must clear the conservative bar bench_ingest.py
+    # asserts.
+    "ingest_parity",
+    "ingest_scale_ok",
+    "ingest_throughput_ok",
 )
 
 

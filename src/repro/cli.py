@@ -10,6 +10,9 @@ Database specifiers (the ``DB`` argument)::
     demo:thesis            the IITB-thesis-like dataset
     demo:tpcd              the mini TPC-D dataset
     demo:university        the department-hub example
+    synth:N[:SEED]         the DBLP-scale synthetic bibliography with N
+                           papers (synth:0 = the empty schema, the base
+                           an ingest job streams into)
     sqlite:/path/to/db     any sqlite3 database file
     csv:/path/to/dir       a directory of CSV files (one per table)
 
@@ -33,6 +36,13 @@ Commands::
                                        newest checkpoint, tail-only replay)
     banks checkpoint DB --wal PATH     persist a checkpoint of the WAL's
                                        recovered state and re-base the log
+    banks ingest DB SOURCE             bulk-load a record stream into DB
+                                       through the chunked, resumable
+                                       pipeline (--wal makes the load
+                                       durable; --resume picks a killed
+                                       or failed job back up from its
+                                       registry cursor)
+    banks jobs --jobs-dir DIR          list ingest jobs and their states
     banks bench-serve DB               serving-engine throughput benchmark
     banks bench-shard DB               sharded scatter-gather benchmark
     banks bench-mutate DB              write-path benchmark (delta vs deep)
@@ -50,6 +60,10 @@ Commands::
     banks bench-ops DB                 checkpointing + rebalancing benchmark
                                        (recovery speedup over full replay,
                                        live-drain search parity)
+    banks bench-ingest synth:N         ingest benchmark (sustained
+                                       records/sec, kill + resume, strict
+                                       top-k parity vs an uninterrupted
+                                       load)
 
 ``banks serve`` stands the deployment up through the cluster layer
 (:mod:`repro.cluster`): the flags translate into one declarative
@@ -237,6 +251,18 @@ def load_database(spec: str) -> Database:
         raise ReproError(
             f"unknown demo dataset {rest!r} (choose from {', '.join(_DEMOS)})"
         )
+    if scheme == "synth":
+        from repro.datasets import synth_bibliography
+
+        papers, _, seed_text = rest.partition(":")
+        try:
+            n_papers = int(papers)
+            seed = int(seed_text) if seed_text else 7
+        except ValueError:
+            raise ReproError(
+                f"bad synthetic specifier {spec!r} (use synth:N[:SEED])"
+            ) from None
+        return synth_bibliography(n_papers, seed=seed)[0]
     if scheme == "sqlite":
         from repro.relational.sqlite_adapter import load_sqlite
 
@@ -247,7 +273,7 @@ def load_database(spec: str) -> Database:
         return load_from_csv_dir(rest)
     raise ReproError(
         f"unknown database specifier {spec!r} "
-        "(use demo:NAME, sqlite:PATH or csv:DIR)"
+        "(use demo:NAME, synth:N, sqlite:PATH or csv:DIR)"
     )
 
 
@@ -596,6 +622,130 @@ def _command_checkpoint(args: argparse.Namespace, out) -> int:
         f"{record.epoch}; kept epochs {manager.checkpoint_epochs()}",
         file=out,
     )
+    return 0
+
+
+def _command_ingest(args: argparse.Namespace, out) -> int:
+    import os
+
+    from repro.core.incremental import IncrementalBANKS
+    from repro.ingest import (
+        IngestJob,
+        IngestPipeline,
+        JobRegistry,
+        StoreTarget,
+        open_source,
+    )
+    from repro.serve.snapshot import SnapshotStore
+
+    if args.resume and not args.wal:
+        raise ReproError(
+            "--resume rebuilds the pre-crash state from the WAL the "
+            "original run wrote: pass the same --wal"
+        )
+    source = open_source(args.source)
+    jobs_dir = args.jobs_dir or (
+        os.path.join(args.wal, "jobs") if args.wal else "ingest-jobs"
+    )
+    registry = JobRegistry(jobs_dir)
+    if args.resume:
+        job = registry.load(args.job_id)
+        if job.source != source.name:
+            raise ReproError(
+                f"job {job.job_id!r} was started over {job.source!r}, "
+                f"not {source.name!r}; resume must replay the same stream"
+            )
+        facade = IncrementalBANKS.recover(
+            lambda: load_database(args.db), args.wal, freeze=False
+        )
+    else:
+        job = registry.create(
+            IngestJob(
+                args.job_id, source.name, args.db, chunk_size=args.chunk
+            )
+        )
+        facade = IncrementalBANKS(load_database(args.db), freeze=False)
+    store = SnapshotStore(facade, copy_mode="delta", wal=args.wal)
+    pipeline = IngestPipeline(registry, StoreTarget(store))
+    start = time.perf_counter()
+    job = pipeline.run(job, source, resume=args.resume)
+    elapsed = time.perf_counter() - start
+    current = store.current().facade
+    current._refresh_stats()
+    print(f"job           : {job.job_id} ({job.state})", file=out)
+    print(f"source        : {job.source}", file=out)
+    print(
+        f"committed     : {job.records_committed} records in "
+        f"{job.chunks_committed} chunk(s) of {job.chunk_size}",
+        file=out,
+    )
+    print(
+        f"this run      : {elapsed:.2f} s "
+        f"({job.records_committed / max(elapsed, 1e-9):.0f} records/s "
+        "cumulative)",
+        file=out,
+    )
+    print(f"store epoch   : {store.epoch}", file=out)
+    print(
+        f"graph         : {current.stats.num_nodes} nodes, "
+        f"{current.stats.num_edges} edges",
+        file=out,
+    )
+    if args.wal:
+        print(f"wal           : {args.wal}", file=out)
+    print(f"job registry  : {jobs_dir}", file=out)
+    return 0
+
+
+def _command_jobs(args: argparse.Namespace, out) -> int:
+    from repro.ingest import JobRegistry
+
+    registry = JobRegistry(args.jobs_dir)
+    jobs = registry.jobs()
+    if not jobs:
+        print(f"no jobs in {registry.path}", file=out)
+        return 0
+    for job in jobs:
+        line = (
+            f"{job.job_id:<24} {job.state:<8} "
+            f"{job.records_committed:>10} records "
+            f"{job.chunks_committed:>7} chunks  "
+            f"base_epoch={job.base_epoch}"
+        )
+        if job.error:
+            line += f"  error: {job.error}"
+        print(line, file=out)
+    return 0
+
+
+def _command_bench_ingest(args: argparse.Namespace, out) -> int:
+    from repro.ingest import run_ingest_benchmark
+
+    scheme, _, rest = args.db.partition(":")
+    if scheme != "synth" or not rest:
+        raise ReproError(
+            "bench-ingest generates its own stream: use synth:N[:SEED]"
+        )
+    papers, _, seed_text = rest.partition(":")
+    try:
+        n_papers = int(papers)
+        seed = int(seed_text) if seed_text else 7
+    except ValueError:
+        raise ReproError(
+            f"bad synthetic specifier {args.db!r} (use synth:N[:SEED])"
+        ) from None
+    report = run_ingest_benchmark(
+        n_papers=n_papers,
+        seed=seed,
+        chunk_size=args.chunk,
+        kill_step=args.kill_step,
+        kill_fraction=args.kill_fraction,
+    )
+    print(report.render(), file=out)
+    if not report.parity_ok:
+        raise ReproError(
+            "resumed ingest did not reproduce the uninterrupted top-k"
+        )
     return 0
 
 
@@ -1145,6 +1295,49 @@ def build_parser() -> argparse.ArgumentParser:
     )
     checkpoint.set_defaults(run=_command_checkpoint)
 
+    ingest = commands.add_parser(
+        "ingest",
+        help="bulk-load a record stream through the resumable pipeline",
+    )
+    ingest.add_argument("db", help="base database specifier (e.g. synth:0)")
+    ingest.add_argument(
+        "source",
+        help="record source: jsonl:PATH, csv:PATH or synth:N[:SEED]",
+    )
+    ingest.add_argument(
+        "--chunk", type=int, default=1000,
+        help="records per committed chunk (default 1000; fixed per job)",
+    )
+    ingest.add_argument(
+        "--job-id", default="ingest",
+        help="job identifier in the registry (default: ingest)",
+    )
+    ingest.add_argument(
+        "--jobs-dir", default=None,
+        help="job registry directory (default: <wal>/jobs with --wal, "
+        "else ./ingest-jobs)",
+    )
+    ingest.add_argument(
+        "--wal", default=None,
+        help="append every published chunk epoch to a durable WAL at "
+        "this path (required for --resume)",
+    )
+    ingest.add_argument(
+        "--resume", action="store_true",
+        help="recover the pre-crash state from --wal and continue the "
+        "job from its registry cursor",
+    )
+    ingest.set_defaults(run=_command_ingest)
+
+    jobs = commands.add_parser(
+        "jobs", help="list ingest jobs and their states"
+    )
+    jobs.add_argument(
+        "--jobs-dir", default="ingest-jobs",
+        help="job registry directory (default: ./ingest-jobs)",
+    )
+    jobs.set_defaults(run=_command_jobs)
+
     bench_serve = commands.add_parser(
         "bench-serve", help="serving-engine throughput benchmark"
     )
@@ -1371,6 +1564,30 @@ def build_parser() -> argparse.ArgumentParser:
         "demo query set)",
     )
     bench_ops.set_defaults(run=_command_bench_ops)
+
+    bench_ingest = commands.add_parser(
+        "bench-ingest",
+        help="ingest benchmark: throughput, kill + resume, top-k parity",
+    )
+    bench_ingest.add_argument(
+        "db", help="stream size as synth:N[:SEED] (the bench generates "
+        "its own records)",
+    )
+    bench_ingest.add_argument(
+        "--chunk", type=int, default=1000,
+        help="records per committed chunk (default 1000)",
+    )
+    bench_ingest.add_argument(
+        "--kill-step", default="ingest.chunk_commit",
+        help="protocol step the injected crash fires at "
+        "(default ingest.chunk_commit)",
+    )
+    bench_ingest.add_argument(
+        "--kill-fraction", type=float, default=0.5,
+        help="where in the stream to crash, as a fraction of chunks "
+        "(default 0.5)",
+    )
+    bench_ingest.set_defaults(run=_command_bench_ingest)
     return parser
 
 

@@ -13,10 +13,16 @@ parameter set — every test and benchmark depends on that.
 """
 
 from repro.datasets import bibliography as _bibliography
+from repro.datasets import synth as _synth
 from repro.datasets import tpcd as _tpcd
 from repro.datasets.bibliography import (
     BibliographyAnecdotes,
     generate_bibliography,
+)
+from repro.datasets.synth import (
+    synth_bibliography,
+    synth_bibliography_base,
+    synth_bibliography_records,
 )
 from repro.datasets.thesis import ThesisAnecdotes, generate_thesis_db
 from repro.datasets.tpcd import TpcdAnecdotes, generate_tpcd
@@ -26,6 +32,7 @@ from repro.datasets.university import UniversityAnecdotes, generate_university
 DEMO_QUERY_SETS = {
     "bibliography": _bibliography.DEMO_QUERIES,
     "tpcd": _tpcd.DEMO_QUERIES,
+    "synth_bibliography": _synth.DEMO_QUERIES,
 }
 
 __all__ = [
@@ -38,4 +45,7 @@ __all__ = [
     "generate_thesis_db",
     "generate_tpcd",
     "generate_university",
+    "synth_bibliography",
+    "synth_bibliography_base",
+    "synth_bibliography_records",
 ]

@@ -181,3 +181,15 @@ class NetError(ReproError):
     def __init__(self, message: str, status=None):
         super().__init__(message)
         self.status = status
+
+
+class IngestError(ReproError):
+    """The bulk-ingestion pipeline refused or failed a job.
+
+    Raised by :mod:`repro.ingest` for malformed source specifiers and
+    records, job-registry misuse (unknown or corrupt job files, an
+    illegal state transition), and chunks that exhausted their retry
+    budget — the job file records the failure (``state="failed"`` plus
+    the error text) before this propagates, so ``banks jobs`` shows
+    why and ``banks ingest --resume`` can pick the job back up.
+    """

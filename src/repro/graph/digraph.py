@@ -38,6 +38,16 @@ class DiGraph:
         self._succ: List[Dict[int, float]] = []
         self._pred: List[Dict[int, float]] = []
         self._edge_count = 0
+        # Cached global minimum edge weight plus how many edges carry
+        # exactly that weight (None = recompute on demand).  The count
+        # matters: Eq. 1 re-weighing constantly *replaces* one
+        # minimum-weight edge with a heavier one (a backward edge whose
+        # indegree grew), and only when the last minimum-carrying edge
+        # disappears is a rescan needed.  Keeps min_edge_weight — read
+        # per snapshot publish for the paper's e_min normaliser — from
+        # scanning all edges each time.
+        self._min_edge_cache: Optional[float] = None
+        self._min_edge_count = 0
 
     # -- construction -------------------------------------------------------
 
@@ -60,12 +70,33 @@ class DiGraph:
             raise GraphError(f"self loop rejected: {source!r}")
         if weight < 0:
             raise GraphError(f"negative edge weight rejected: {weight!r}")
-        source_index = self.add_node(source)
-        target_index = self.add_node(target)
-        if target_index not in self._succ[source_index]:
+        self._add_edge_at(self.add_node(source), self.add_node(target), weight)
+
+    def _add_edge_at(
+        self, source_index: int, target_index: int, weight: float
+    ) -> None:
+        """:meth:`add_edge` past validation and node resolution — for
+        subclasses that already resolved (and took ownership of) the
+        endpoint indices."""
+        new_weight = float(weight)
+        old_weight = self._succ[source_index].get(target_index)
+        if old_weight is None:
             self._edge_count += 1
-        self._succ[source_index][target_index] = float(weight)
-        self._pred[target_index][source_index] = float(weight)
+        self._succ[source_index][target_index] = new_weight
+        self._pred[target_index][source_index] = new_weight
+        cached = self._min_edge_cache
+        if cached is not None:
+            if old_weight == cached:
+                self._min_edge_count -= 1
+            if new_weight < cached:
+                self._min_edge_cache = new_weight
+                self._min_edge_count = 1
+            elif new_weight == cached:
+                self._min_edge_count += 1
+            elif self._min_edge_count == 0:
+                # Replaced the last edge carrying the minimum with a
+                # heavier weight: the true minimum is unknown now.
+                self._min_edge_cache = None
 
     # -- removal (incremental maintenance) -----------------------------------
 
@@ -75,9 +106,13 @@ class DiGraph:
         target_index = self.index_of(target)
         if target_index not in self._succ[source_index]:
             raise GraphError(f"no edge {source!r} -> {target!r}")
-        del self._succ[source_index][target_index]
+        removed = self._succ[source_index].pop(target_index)
         del self._pred[target_index][source_index]
         self._edge_count -= 1
+        if self._min_edge_cache is not None and removed == self._min_edge_cache:
+            self._min_edge_count -= 1
+            if self._min_edge_count == 0:
+                self._min_edge_cache = None
 
     def remove_node(self, node: Hashable) -> None:
         """Remove ``node`` and every incident edge.
@@ -87,17 +122,25 @@ class DiGraph:
         regions of the graph are not invalidated.
         """
         index = self.index_of(node)
-        for target_index in list(self._succ[index]):
+        for target_index, weight in list(self._succ[index].items()):
             del self._pred[target_index][index]
             self._edge_count -= 1
+            self._note_min_edge_removed(weight)
         self._succ[index].clear()
-        for source_index in list(self._pred[index]):
+        for source_index, weight in list(self._pred[index].items()):
             del self._succ[source_index][index]
             self._edge_count -= 1
+            self._note_min_edge_removed(weight)
         self._pred[index].clear()
         self._ids[index] = None
         self._node_weights[index] = 0.0
         del self._index[node]
+
+    def _note_min_edge_removed(self, weight: float) -> None:
+        if self._min_edge_cache is not None and weight == self._min_edge_cache:
+            self._min_edge_count -= 1
+            if self._min_edge_count == 0:
+                self._min_edge_cache = None
 
     # -- node access ----------------------------------------------------------
 
@@ -191,14 +234,27 @@ class DiGraph:
 
     def min_edge_weight(self) -> float:
         """Smallest edge weight in the graph (the paper's ``e_min``
-        normaliser).  Raises on an edgeless graph."""
+        normaliser).  Raises on an edgeless graph.
+
+        O(1) while the maintained cache is valid; a removal of the
+        minimum-carrying edge falls back to one full scan here.
+        """
+        cached = self._min_edge_cache
+        if cached is not None:
+            return cached
         best: Optional[float] = None
+        carriers = 0
         for adjacency in self._succ:
             for weight in adjacency.values():
                 if best is None or weight < best:
                     best = weight
+                    carriers = 1
+                elif weight == best:
+                    carriers += 1
         if best is None:
             raise GraphError("graph has no edges")
+        self._min_edge_cache = best
+        self._min_edge_count = carriers
         return best
 
     def max_node_weight(self) -> float:

@@ -1,0 +1,224 @@
+"""The ingest acceptance benchmark: scale, crash, resume, parity.
+
+Three claims, exercised on the DBLP-scale synthetic bibliography
+(:mod:`repro.datasets.synth`):
+
+1. **Scale** — the stream ingests through the chunked pipeline into a
+   live snapshot store at a sustained records/sec (the regression
+   gate holds a floor on it), reaching the paper's ~100K-node graph
+   at the default size.
+2. **Crash survival** — a second ingest of the *same* stream is
+   killed by fault injection at an arbitrary chunk boundary; the
+   facade is rebuilt from the WAL, the job resumed from the registry
+   cursor, and the resumed ingest completes.
+3. **Parity** — after resume, the recovered store answers every demo
+   query with *exactly* the uninterrupted store's top-k (roots and
+   scores): a crash plus resume is observationally equivalent to
+   never having crashed.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import time
+from dataclasses import dataclass
+from typing import Any, List, Optional, Sequence, Tuple
+
+from repro.core.incremental import IncrementalBANKS
+from repro.datasets.synth import (
+    DEMO_QUERIES,
+    synth_bibliography_base,
+    synth_bibliography_records,
+)
+from repro.errors import IngestError
+from repro.ingest.jobs import IngestJob, JobRegistry
+from repro.ingest.pipeline import IngestPipeline, StoreTarget
+from repro.ops.faults import FaultInjected, FaultInjector
+from repro.serve.snapshot import SnapshotStore
+
+
+@dataclass
+class IngestBenchReport:
+    n_papers: int
+    records: int
+    chunks: int
+    nodes: int
+    edges: int
+    ingest_seconds: float
+    records_per_sec: float
+    kill_step: str
+    kill_chunk: int
+    records_at_kill: int
+    recover_seconds: float
+    resume_records: int
+    resume_seconds: float
+    parity_ok: bool
+    queries: int
+
+    def render(self) -> str:
+        parity = (
+            "exact (top-5 roots and scores)"
+            if self.parity_ok
+            else "MISMATCH"
+        )
+        return "\n".join(
+            [
+                f"stream           : {self.records} records "
+                f"({self.n_papers} papers) -> {self.nodes} nodes, "
+                f"{self.edges} edges",
+                f"ingest           : {self.chunks} chunk(s) in "
+                f"{self.ingest_seconds:.2f} s = "
+                f"{self.records_per_sec:.0f} records/s",
+                f"kill             : {self.kill_step} at chunk "
+                f"{self.kill_chunk} ({self.records_at_kill} records in)",
+                f"recover + resume : {self.recover_seconds:.2f} s WAL "
+                f"replay, then {self.resume_records} records in "
+                f"{self.resume_seconds:.2f} s",
+                f"parity           : {parity} over {self.queries} "
+                "queries",
+            ]
+        )
+
+
+def _probe(facade: Any, queries: Sequence[str], k: int) -> List[List[Tuple]]:
+    """Top-k answers per query as comparable ``(root, score)`` lists."""
+    result = []
+    for query in queries:
+        answers = facade.search(query, max_results=k)
+        result.append(
+            [
+                (answer.tree.root, round(answer.relevance, 10))
+                for answer in answers
+            ]
+        )
+    return result
+
+
+def run_ingest_benchmark(
+    n_papers: int = 19500,
+    seed: int = 7,
+    chunk_size: int = 1000,
+    kill_step: str = "ingest.chunk_commit",
+    kill_fraction: float = 0.5,
+    queries: Sequence[str] = DEMO_QUERIES,
+    k: int = 5,
+    workdir: Optional[str] = None,
+) -> IngestBenchReport:
+    """Run the full scale/crash/resume/parity exercise; see the module
+    docstring.  ``workdir`` (default: a temp directory) receives the
+    WAL and the job registries."""
+    if workdir is None:
+        with tempfile.TemporaryDirectory(prefix="bench-ingest-") as work:
+            return run_ingest_benchmark(
+                n_papers,
+                seed,
+                chunk_size,
+                kill_step,
+                kill_fraction,
+                queries,
+                k,
+                workdir=work,
+            )
+
+    def source():
+        from repro.ingest.sources import GeneratorSource
+
+        return GeneratorSource(
+            lambda: synth_bibliography_records(n_papers, seed=seed),
+            name=f"synth:{n_papers}:{seed}",
+        )
+
+    # 1. The uninterrupted reference ingest (in-memory store).
+    reference_store = SnapshotStore(
+        IncrementalBANKS(synth_bibliography_base(), freeze=False),
+        copy_mode="delta",
+    )
+    registry = JobRegistry(os.path.join(workdir, "jobs"))
+    reference_job = registry.create(
+        IngestJob(
+            "reference",
+            source().name,
+            "synth:0",
+            chunk_size=chunk_size,
+        )
+    )
+    started = time.perf_counter()
+    IngestPipeline(registry, StoreTarget(reference_store)).run(
+        reference_job, source()
+    )
+    ingest_seconds = time.perf_counter() - started
+    records = reference_job.records_committed
+    chunks = reference_job.chunks_committed
+    reference_facade = reference_store.current().facade
+    reference_answers = _probe(reference_facade, queries, k)
+
+    # 2. The killed ingest: same stream, WAL-backed, crash injected.
+    wal_dir = os.path.join(workdir, "wal")
+    kill_chunk = max(1, int(chunks * kill_fraction))
+    killed_store = SnapshotStore(
+        IncrementalBANKS(synth_bibliography_base(), freeze=False),
+        copy_mode="delta",
+        wal=wal_dir,
+    )
+    killed_job = registry.create(
+        IngestJob(
+            "killed", source().name, "synth:0", chunk_size=chunk_size
+        )
+    )
+    faults = FaultInjector().kill_at(kill_step, occurrence=kill_chunk)
+    try:
+        IngestPipeline(
+            registry, StoreTarget(killed_store), faults=faults
+        ).run(killed_job, source())
+    except FaultInjected:
+        pass
+    else:
+        raise IngestError(
+            f"fault at {kill_step} x{kill_chunk} never fired "
+            f"({chunks} chunks total)"
+        )
+    killed_store.wal.close()
+    records_at_kill = registry.load("killed").records_committed
+    del killed_store  # the "crashed process": memory state is gone
+
+    # 3. Recover from the WAL, resume from the registry cursor.
+    started = time.perf_counter()
+    recovered_facade = IncrementalBANKS.recover(
+        synth_bibliography_base, wal_dir, freeze=False
+    )
+    recover_seconds = time.perf_counter() - started
+    recovered_store = SnapshotStore(
+        recovered_facade, copy_mode="delta", wal=wal_dir
+    )
+    resumed_job = registry.load("killed")
+    started = time.perf_counter()
+    IngestPipeline(registry, StoreTarget(recovered_store)).run(
+        resumed_job, source(), resume=True
+    )
+    resume_seconds = time.perf_counter() - started
+    final_facade = recovered_store.current().facade
+
+    # 4. Strict parity against the uninterrupted reference.
+    parity_ok = (
+        resumed_job.records_committed == records
+        and _probe(final_facade, queries, k) == reference_answers
+    )
+
+    return IngestBenchReport(
+        n_papers=n_papers,
+        records=records,
+        chunks=chunks,
+        nodes=reference_facade.stats.num_nodes,
+        edges=reference_facade.stats.num_edges,
+        ingest_seconds=ingest_seconds,
+        records_per_sec=records / max(ingest_seconds, 1e-9),
+        kill_step=kill_step,
+        kill_chunk=kill_chunk,
+        records_at_kill=records_at_kill,
+        recover_seconds=recover_seconds,
+        resume_records=resumed_job.records_committed - records_at_kill,
+        resume_seconds=resume_seconds,
+        parity_ok=parity_ok,
+        queries=len(queries),
+    )

@@ -56,6 +56,17 @@ class Database:
         )
         # Reverse-ref lists shared with a fork; copied before append.
         self._shared_refs: Set[RID] = set()
+        # target rid -> {source table: count}: the per-relation indegree
+        # ``IN_{R}(v)`` of Eq. 1, maintained so :meth:`indegree_from` is
+        # O(1) instead of scanning the (possibly huge, for hub tuples)
+        # reverse-reference list.  Inner dicts are never mutated in
+        # place — every change rebinds a fresh dict — so forks may share
+        # them without copy-on-write bookkeeping.
+        self._indeg: Dict[RID, Dict[str, int]] = {}
+        # table name -> prepared FK resolution steps (see :meth:`_fk_plan`).
+        # Derived purely from the schema, so forks share it; DDL rebinds
+        # a fresh dict rather than clearing in place.
+        self._fk_plans: Dict[str, List[Tuple[ForeignKey, str, Tuple[int, ...], Optional[Tuple[int, ...]]]]] = {}
 
     # -- copy-on-write forking ------------------------------------------------
 
@@ -79,6 +90,8 @@ class Database:
         shared = set(self._reverse_refs)
         child._shared_refs = shared
         self._shared_refs = set(shared)
+        child._indeg = dict(self._indeg)  # inner dicts shared, see __init__
+        child._fk_plans = self._fk_plans  # schema-derived, DDL rebinds
         return child
 
     # -- DDL ----------------------------------------------------------------
@@ -88,6 +101,7 @@ class Database:
         self.schema.validate()
         table = Table(table_schema)
         self._tables[table_schema.name] = table
+        self._fk_plans = {}
         return table
 
     def create_tables(self, table_schemas: Sequence[TableSchema]) -> None:
@@ -99,10 +113,12 @@ class Database:
         self.schema.validate()
         for table_schema in table_schemas:
             self._tables[table_schema.name] = Table(table_schema)
+        self._fk_plans = {}
 
     def drop_table(self, table_name: str) -> None:
         self.schema.drop_table(table_name)
         table = self._tables.pop(table_name)
+        self._fk_plans = {}
         for row in table.scan():
             self._forget_references(table.schema, row)
 
@@ -267,6 +283,9 @@ class Database:
                 self._reverse_refs[target] = list(self._reverse_refs[target])
                 self._shared_refs.discard(target)
             self._reverse_refs[target].append((fk, schema.name, row.rid))
+            counts = dict(self._indeg.get(target, ()))
+            counts[schema.name] = counts.get(schema.name, 0) + 1
+            self._indeg[target] = counts
 
     def _forget_references(self, schema: TableSchema, row: Row) -> None:
         for fk in schema.foreign_keys:
@@ -286,19 +305,93 @@ class Database:
                         self._reverse_refs[target] = kept
                     else:
                         del self._reverse_refs[target]
+                    dropped = len(entries) - len(kept)
+                    counts = dict(self._indeg.get(target, ()))
+                    remaining = counts.get(schema.name, 0) - dropped
+                    if remaining > 0:
+                        counts[schema.name] = remaining
+                    else:
+                        counts.pop(schema.name, None)
+                    if counts:
+                        self._indeg[target] = counts
+                    else:
+                        self._indeg.pop(target, None)
 
     # -- reference queries ------------------------------------------------------
+
+    def _fk_plan(
+        self, table_name: str
+    ) -> List[Tuple[ForeignKey, str, Tuple[int, ...], Optional[Tuple[int, ...]]]]:
+        """Prepared FK resolution steps for ``table_name``:
+        ``(fk, target table, source positions, target positions)`` with
+        ``target positions = None`` meaning a PK hash probe.  Purely
+        schema-derived, cached until DDL — Eq. 1 re-weighing resolves
+        references once per affected edge, so per-call schema walks
+        (column positions, PK comparisons) dominate without this.
+        """
+        plan = self._fk_plans.get(table_name)
+        if plan is None:
+            schema = self.table(table_name).schema
+            plan = []
+            for fk in schema.foreign_keys:
+                source_positions = tuple(
+                    schema.column_position(c) for c in fk.source_columns
+                )
+                target_schema = self.table(fk.target_table).schema
+                if tuple(target_schema.primary_key) == tuple(fk.target_columns):
+                    target_positions = None
+                else:
+                    target_positions = tuple(
+                        target_schema.column_position(c)
+                        for c in fk.target_columns
+                    )
+                plan.append(
+                    (fk, fk.target_table, source_positions, target_positions)
+                )
+            self._fk_plans[table_name] = plan
+        return plan
 
     def references_of(self, rid: RID) -> List[Tuple[ForeignKey, RID]]:
         """Outgoing references: tuples that ``rid`` points to."""
         table_name, slot = rid
-        table = self.table(table_name)
-        row = table.row(slot)
+        plan = self._fk_plans.get(table_name)
+        if plan is None:
+            plan = self._fk_plan(table_name)
+        if not plan:
+            return []
+        values = self._tables[table_name].values_at(slot)
         out: List[Tuple[ForeignKey, RID]] = []
-        for fk in table.schema.foreign_keys:
-            target = self._resolve_fk_target(fk, row)
-            if target is not None:
-                out.append((fk, target))
+        for fk, target_name, source_positions, target_positions in plan:
+            if len(source_positions) == 1:
+                part = values[source_positions[0]]
+                if part is None:
+                    continue  # NULL foreign keys reference nothing
+                key = (part,)
+            else:
+                key = tuple(values[p] for p in source_positions)
+                if any(part is None for part in key):
+                    continue
+            target_table = self._tables[target_name]
+            if target_positions is None:
+                target_rid = target_table.lookup_pk_rid(key)
+            else:
+                # Non-PK inclusion dependency: scan for the first match.
+                target_rid = None
+                for candidate in target_table.scan():
+                    if (
+                        tuple(candidate.values[p] for p in target_positions)
+                        == key
+                    ):
+                        target_rid = candidate.rid
+                        break
+            if target_rid is None:
+                if self._deferred:
+                    continue
+                raise IntegrityError(
+                    f"foreign key violation: {fk.name} has no target "
+                    f"for {key!r}"
+                )
+            out.append((fk, (target_name, target_rid)))
         return out
 
     def resolved_references(self, table_name: str):
@@ -370,18 +463,35 @@ class Database:
             for fk, source_table, source_rid in self._reverse_refs.get(rid, ())
         ]
 
+    def referrer_nodes(self, rid: RID) -> List[RID]:
+        """The tuples that point to ``rid``, without the FK detail —
+        :meth:`referencing` minus the per-entry tuple packing, for the
+        Eq. 1 re-weigh sweep that only needs the neighbour identities.
+        A tuple referencing ``rid`` through several FKs appears once
+        per reference; callers that need distinct nodes deduplicate.
+        """
+        return [
+            (source_table, source_rid)
+            for _fk, source_table, source_rid in self._reverse_refs.get(rid, ())
+        ]
+
     def indegree(self, rid: RID) -> int:
         """Total number of tuples referencing ``rid`` — node prestige."""
         return len(self._reverse_refs.get(rid, ()))
 
     def indegree_from(self, rid: RID, source_table: str) -> int:
         """Indegree of ``rid`` contributed by tuples of ``source_table``
-        (the ``IN_{R}(v)`` quantity of the paper's Eq. 1)."""
-        return sum(
-            1
-            for _, table_name, _ in self._reverse_refs.get(rid, ())
-            if table_name == source_table
-        )
+        (the ``IN_{R}(v)`` quantity of the paper's Eq. 1).
+
+        O(1): read from the maintained per-relation counters rather
+        than scanning the reverse-reference list — on hub tuples of a
+        bulk-ingested graph that list holds thousands of entries and
+        Eq. 1 re-weighing reads this once per affected edge.
+        """
+        counts = self._indeg.get(rid)
+        if not counts:
+            return 0
+        return counts.get(source_table, 0)
 
     def check_integrity(self) -> None:
         """Re-validate every foreign key (for deferred-check loading).
@@ -392,6 +502,7 @@ class Database:
         self.schema.validate()
         self._reverse_refs.clear()
         self._shared_refs.clear()
+        self._indeg.clear()
         was_deferred = self._deferred
         self._deferred = False
         try:

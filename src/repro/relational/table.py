@@ -239,6 +239,11 @@ class Table:
     def row(self, rid: int) -> Row:
         return Row(self.schema.name, rid, self._fetch(rid), self.schema)
 
+    def values_at(self, rid: int) -> Tuple[Any, ...]:
+        """The raw value tuple at ``rid`` — :meth:`row` without the
+        :class:`Row` wrapper, for hot paths that index by position."""
+        return self._fetch(rid)
+
     def has_rid(self, rid: int) -> bool:
         return 0 <= rid < len(self._heap) and self._heap[rid] is not None
 
@@ -252,6 +257,16 @@ class Table:
         if rid is None:
             return None
         return self.row(rid)
+
+    def lookup_pk_rid(self, key: Tuple[Any, ...]) -> Optional[int]:
+        """RID of the row with the given primary-key tuple, if present —
+        the :meth:`lookup_pk` hash probe without building a :class:`Row`
+        (foreign-key resolution only needs the slot number)."""
+        if not self._pk_positions:
+            raise IntegrityError(
+                f"table {self.schema.name!r} has no primary key"
+            )
+        return self._pk_index.get(key)
 
     def scan(self) -> Iterator[Row]:
         """Yield every live row in RID order."""

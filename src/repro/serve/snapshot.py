@@ -229,6 +229,21 @@ class SnapshotStore:
         no published version, readers completely undisturbed.
         Returns the operations' results, in order.
 
+        One batch is **one epoch**.  Everything downstream counts in
+        epochs, so a bulk loader chunking records through this method
+        (:mod:`repro.ingest` commits one chunk per call) should size
+        its knobs accordingly: a
+        :class:`~repro.ops.checkpoint.CheckpointManager` with
+        ``every=E`` checkpoints every E *batches* (E x chunk_size
+        records), not every E records, and a WAL ``retain=N`` window
+        holds the last N *batch* epochs.  A long ingest cannot starve
+        checkpointing or prune its own recovery tail: the checkpoint
+        offer runs under the write lock after every publish, and the
+        WAL's retention horizon is clamped to the checkpoint floor
+        (:func:`~repro.store.wal.checkpoint_floor`), so epochs newer
+        than the newest checkpoint are never dropped — proven by
+        ``tests/ingest/test_checkpoint_cadence.py``.
+
         Raises:
             BatchMutationError: operation *k* raised.  The batch is
                 rolled back explicitly — the private version (holding

@@ -111,7 +111,11 @@ class Delta:
 
 
 def pair_weight(
-    database: Database, policy, source: RID, target: RID
+    database: Database,
+    policy,
+    source: RID,
+    target: RID,
+    _refs_memo: Optional[dict] = None,
 ) -> Optional[float]:
     """The Eq. 1 weight the directed edge ``source -> target`` should
     carry right now, or ``None`` when no reference justifies it.
@@ -121,14 +125,29 @@ def pair_weight(
     merge through the policy rule (min / parallel), in any order —
     both rules are associative and commutative, so the result matches
     full construction.
+
+    ``_refs_memo`` (internal) caches ``references_of`` per node across
+    the pairs of one delta derivation: a hub tuple appears as the
+    source of every one of its re-weigh pairs, and its resolved
+    references cannot change mid-derivation.
     """
+    if _refs_memo is None:
+        source_refs = database.references_of(source)
+        target_refs = database.references_of(target)
+    else:
+        source_refs = _refs_memo.get(source)
+        if source_refs is None:
+            source_refs = _refs_memo[source] = database.references_of(source)
+        target_refs = _refs_memo.get(target)
+        if target_refs is None:
+            target_refs = _refs_memo[target] = database.references_of(target)
     candidates: List[float] = []
-    for fk, referenced in database.references_of(source):
+    for fk, referenced in source_refs:
         if referenced == target:
             candidates.append(
                 policy.forward_similarity(fk.source_table, fk.target_table)
             )
-    for fk, referenced in database.references_of(target):
+    for fk, referenced in target_refs:
         if referenced == source:
             candidates.append(
                 policy.backward_weight(
@@ -146,14 +165,24 @@ def pair_weight(
 
 
 def referrer_pairs(database: Database, target: RID) -> Set[_Pair]:
-    """Both directed pairs between ``target`` and each tuple that
-    currently references it (their Eq. 1 weights depend on the
-    target's per-relation indegree, which just changed)."""
+    """The directed pair ``(target, referrer)`` for each tuple that
+    currently references ``target``: those are the Eq. 1 weights that
+    depend on the target's per-relation indegree, which just changed.
+
+    The opposite direction ``(referrer, target)`` is deliberately not
+    emitted: per :func:`pair_weight`, the weight of ``s -> t`` merges
+    forward similarities (constants per table pair) with backward
+    weights driven by ``IN_R(s)`` — the *source's* indegree.  A
+    mutation only moves the indegrees of the tuples its row references
+    (the derivation's ``targets``), and every changed direction out of
+    those is covered by this function applied to each target.  On
+    bulk-ingested graphs with hub tuples this halves the dominant
+    re-weigh cost.
+    """
     pairs: Set[_Pair] = set()
-    for _fk, referrer in database.referencing(target):
+    for referrer in database.referrer_nodes(target):
         if referrer != target:
             pairs.add((target, referrer))
-            pairs.add((referrer, target))
     return pairs
 
 
@@ -176,18 +205,19 @@ def _edge_changes(
     on every replica.
     """
 
-    def present(node: RID) -> bool:
-        if node in absent:
-            return False
-        return node in pending or graph.has_node(node)
-
+    has_node = graph.has_node
     changes: List[EdgeChange] = []
+    refs_memo: dict = {}
     for source, target in sorted(pairs):
         if source == target:
             continue  # the graph model has no self loops
-        if not (present(source) and present(target)):
+        if source in absent or target in absent:
             continue
-        weight = pair_weight(database, policy, source, target)
+        if not (source in pending or has_node(source)):
+            continue
+        if not (target in pending or has_node(target)):
+            continue
+        weight = pair_weight(database, policy, source, target, refs_memo)
         changes.append((source, target, weight))
     return tuple(changes)
 

@@ -68,6 +68,8 @@ class VersionedGraph(DiGraph):
         child._succ = list(graph._succ)
         child._pred = list(graph._pred)
         child._edge_count = graph._edge_count
+        child._min_edge_cache = graph._min_edge_cache
+        child._min_edge_count = graph._min_edge_count
         child._owned_succ = set()
         child._owned_pred = set()
         return child
@@ -113,12 +115,14 @@ class VersionedGraph(DiGraph):
         return index
 
     def add_edge(self, source: Hashable, target: Hashable, weight: float) -> None:
-        if source != target:  # let DiGraph raise on self loops
-            source_index = self.add_node(source)
-            target_index = self.add_node(target)
-            self._own_succ(source_index)
-            self._own_pred(target_index)
-        super().add_edge(source, target, weight)
+        if source == target or weight < 0:
+            super().add_edge(source, target, weight)  # raises
+            return
+        source_index = self.add_node(source)
+        target_index = self.add_node(target)
+        self._own_succ(source_index)
+        self._own_pred(target_index)
+        self._add_edge_at(source_index, target_index, weight)
 
     def remove_edge(self, source: Hashable, target: Hashable) -> None:
         self._own_succ(self.index_of(source))

@@ -96,6 +96,23 @@ PUBLIC_API: Dict[str, Tuple[str, ...]] = {
         "plan_rebalance",
         "run_ops_benchmark",
     ),
+    "repro.ingest": (
+        "CsvSource",
+        "GeneratorSource",
+        "INGEST_STEPS",
+        "IngestBenchReport",
+        "IngestJob",
+        "IngestPipeline",
+        "JOB_STATES",
+        "JobRegistry",
+        "JsonLinesSource",
+        "RouterTarget",
+        "Source",
+        "StoreTarget",
+        "dump_jsonl",
+        "open_source",
+        "run_ingest_benchmark",
+    ),
     "repro.graph.csr": (
         "CSRDijkstra",
         "CSRGraph",
